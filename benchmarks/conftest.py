@@ -1,0 +1,57 @@
+"""Shared settings for the benchmark harness.
+
+Every benchmark regenerates one of the paper's figures at a laptop-friendly
+scale (fewer workloads and shorter traces than the paper, same structure).
+The measured quantity is the wall-clock cost of regenerating the figure; the
+figure's data series are attached to ``benchmark.extra_info`` and printed so
+the shapes can be compared against the paper (see EXPERIMENTS.md).
+
+Scale knobs can be raised through environment variables:
+
+* ``REPRO_BENCH_WORKLOADS``     — workloads per (core count, category) cell,
+* ``REPRO_BENCH_INSTRUCTIONS``  — instructions per core,
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.figure6 import Figure6Settings
+from repro.experiments.sweep import SweepSettings
+
+WORKLOADS = int(os.environ.get("REPRO_BENCH_WORKLOADS", "1"))
+INSTRUCTIONS = int(os.environ.get("REPRO_BENCH_INSTRUCTIONS", "10000"))
+INTERVAL = max(2_000, INSTRUCTIONS // 4)
+
+
+@pytest.fixture(scope="session")
+def sweep_settings() -> SweepSettings:
+    """Accuracy-sweep size used by the Figure 3/4/5 benchmarks."""
+    return SweepSettings(
+        core_counts=(2, 4),
+        categories=("H", "M", "L"),
+        workloads_per_category=WORKLOADS,
+        instructions_per_core=INSTRUCTIONS,
+        interval_instructions=INTERVAL,
+        collect_components=True,
+    )
+
+
+@pytest.fixture(scope="session")
+def figure6_settings() -> Figure6Settings:
+    """Case-study size used by the Figure 6 benchmark."""
+    return Figure6Settings(
+        core_counts=(4,),
+        categories=("H", "M", "L"),
+        workloads_per_category=WORKLOADS,
+        instructions_per_core=max(INSTRUCTIONS, 20_000),
+        interval_instructions=INTERVAL,
+        repartition_interval_cycles=20_000.0,
+    )
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run ``function`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,24 @@
+"""Benchmark regenerating Figure 3: private-mode prediction accuracy.
+
+Prints, per (core count, category) cell, the average per-benchmark absolute
+RMS error of the IPC estimates (Figure 3a) and the SMS-load stall-cycle
+estimates (Figure 3b) for ITCA, PTCA, ASM, GDP and GDP-O.
+"""
+
+from repro.experiments.figure3 import run_figure3
+
+from benchmarks.conftest import run_once
+
+
+def test_bench_figure3_accuracy_matrix(benchmark, sweep_settings):
+    result = run_once(benchmark, run_figure3, sweep_settings)
+    print()
+    print(result.report())
+    benchmark.extra_info["figure3a_ipc_rms"] = result.ipc_rms
+    benchmark.extra_info["figure3b_stall_rms"] = result.stall_rms
+    # Shape check mirroring the paper's headline: dataflow accounting is at
+    # least as accurate as the architecture-centric baselines on the
+    # contended H cells.
+    for cell, errors in result.ipc_rms.items():
+        if cell.endswith("-H"):
+            assert min(errors["GDP"], errors["GDP-O"]) <= max(errors["ITCA"], errors["PTCA"])

@@ -1,0 +1,18 @@
+"""Benchmark regenerating Figure 4: sorted stall-cycle RMS error distributions."""
+
+from repro.experiments.figure4 import run_figure4
+
+from benchmarks.conftest import run_once
+
+
+def test_bench_figure4_error_distributions(benchmark, sweep_settings):
+    result = run_once(benchmark, run_figure4, sweep_settings)
+    print()
+    print(result.report())
+    benchmark.extra_info["figure4_medians"] = {
+        n_cores: {technique: result.median(n_cores, technique) for technique in by_technique}
+        for n_cores, by_technique in result.distributions.items()
+    }
+    for n_cores, by_technique in result.distributions.items():
+        for technique, series in by_technique.items():
+            assert series == sorted(series)

@@ -1,0 +1,24 @@
+"""Benchmark regenerating Figure 5: GDP-O component estimation accuracy.
+
+Reports the relative RMS error distributions of the CPL estimate (5a), the
+overlap estimate (5b) and DIEF's private-latency estimate (5c).
+"""
+
+from repro.experiments.figure5 import run_figure5
+
+from benchmarks.conftest import run_once
+
+
+def test_bench_figure5_component_accuracy(benchmark, sweep_settings):
+    result = run_once(benchmark, run_figure5, sweep_settings)
+    print()
+    print(result.report())
+    benchmark.extra_info["figure5_medians"] = {
+        component: {cell: result.median(component, cell) for cell in cells}
+        for component, cells in result.distributions.items()
+    }
+    # The paper's key observation: the CPL median relative error is small for
+    # the contended cells (it is the component GDP's accuracy rests on).
+    for cell in result.distributions["cpl"]:
+        if cell.endswith("-H"):
+            assert abs(result.median("cpl", cell)) < 1.0

@@ -1,0 +1,22 @@
+"""Benchmark regenerating Figure 6: system throughput with LLC partitioning.
+
+Reports the average STP of LRU, UCP, ASM-driven partitioning, MCP and MCP-O
+per workload category (6a) and the per-workload STP of the H-workloads
+relative to LRU (6b).
+"""
+
+from repro.experiments.figure6 import run_figure6
+
+from benchmarks.conftest import run_once
+
+
+def test_bench_figure6_partitioning_throughput(benchmark, figure6_settings):
+    result = run_once(benchmark, run_figure6, figure6_settings)
+    print()
+    print(result.report())
+    benchmark.extra_info["figure6a_average_stp"] = result.average_stp
+    # Shape check: on the contended H cell, model-based partitioning (MCP or
+    # MCP-O) must beat the unmanaged LRU baseline.
+    for cell, stp in result.average_stp.items():
+        if cell.endswith("-H"):
+            assert max(stp.get("MCP", 0.0), stp.get("MCP-O", 0.0)) > stp["LRU"]

@@ -1,0 +1,41 @@
+"""Benchmarks regenerating Figure 7: GDP-O sensitivity analysis.
+
+One benchmark per panel: LLC size, LLC associativity, DDR2 channel count,
+DDR2-vs-DDR4, PRB entries and mixed workloads — each reporting GDP-O's
+average absolute IPC RMS error for the 4-core H/M/L categories.
+"""
+
+import pytest
+
+from repro.experiments.figure7 import Figure7Settings, run_figure7_panel
+from repro.experiments.tables import format_cell_table
+
+from benchmarks.conftest import INSTRUCTIONS, INTERVAL, WORKLOADS, run_once
+
+SETTINGS = Figure7Settings(
+    categories=("H", "M", "L"),
+    workloads_per_category=WORKLOADS,
+    instructions_per_core=INSTRUCTIONS,
+    interval_instructions=INTERVAL,
+)
+
+PANELS = (
+    "llc_size",
+    "llc_associativity",
+    "dram_channels",
+    "dram_interface",
+    "prb_entries",
+    "mixed_workloads",
+)
+
+
+@pytest.mark.parametrize("panel", PANELS)
+def test_bench_figure7_panel(benchmark, panel):
+    cells = run_once(benchmark, run_figure7_panel, panel, SETTINGS)
+    print()
+    print(f"Figure 7 ({panel}): GDP-O average absolute IPC RMS error")
+    print(format_cell_table(cells))
+    benchmark.extra_info[f"figure7_{panel}"] = cells
+    for row in cells.values():
+        for value in row.values():
+            assert value >= 0.0

@@ -1,0 +1,50 @@
+"""Benchmark regenerating the paper's headline aggregates (Sections I and VII).
+
+Reports the reproduction's equivalents of:
+
+* GDP's mean IPC estimation error on the 4-core and 8-core CMPs,
+* the accuracy advantage of GDP over invasive ASM accounting,
+* GDP-O's stall-cycle RMS reduction relative to GDP,
+* MCP's average STP improvement over ASM-driven partitioning and LRU.
+"""
+
+from repro.experiments.figure6 import Figure6Settings
+from repro.experiments.summary import run_headline_summary
+from repro.experiments.sweep import SweepSettings
+
+from benchmarks.conftest import INSTRUCTIONS, INTERVAL, WORKLOADS, run_once
+
+
+def test_bench_headline_summary(benchmark):
+    sweep_settings = SweepSettings(
+        core_counts=(4, 8),
+        categories=("H", "M", "L"),
+        workloads_per_category=WORKLOADS,
+        instructions_per_core=INSTRUCTIONS,
+        interval_instructions=INTERVAL,
+    )
+    figure6_settings = Figure6Settings(
+        core_counts=(4, 8),
+        categories=("H",),
+        workloads_per_category=WORKLOADS,
+        instructions_per_core=max(INSTRUCTIONS, 20_000),
+        interval_instructions=INTERVAL,
+        repartition_interval_cycles=20_000.0,
+    )
+    result = run_once(
+        benchmark,
+        run_headline_summary,
+        sweep_settings=sweep_settings,
+        figure6_settings=figure6_settings,
+    )
+    print()
+    print(result.report())
+    benchmark.extra_info["mean_ipc_error"] = result.mean_ipc_error
+    benchmark.extra_info["mcp_vs_asm_stp_improvement"] = result.mcp_vs_asm_stp_improvement
+    benchmark.extra_info["mcp_vs_lru_stp_improvement"] = result.mcp_vs_lru_stp_improvement
+    # Shape checks on the headline claims: GDP is more accurate than ASM, and
+    # MCP improves throughput over unmanaged LRU.
+    for n_cores, ratio in result.gdp_vs_asm_rms_ratio.items():
+        assert ratio > 1.0
+    for n_cores, improvement in result.mcp_vs_lru_stp_improvement.items():
+        assert improvement > -0.05

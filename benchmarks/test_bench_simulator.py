@@ -1,0 +1,40 @@
+"""Micro-benchmarks of the simulator substrate itself.
+
+These do not correspond to a paper figure; they track the cost of the building
+blocks (single-core simulation, shared-mode co-simulation, CPL estimation) so
+performance regressions in the substrate are visible independently of the
+figure-level benchmarks.
+"""
+
+from repro.core.cpl import estimate_interval_cpl
+from repro.experiments.common import default_experiment_config
+from repro.sim.runner import build_trace, run_private_mode, run_shared_mode
+
+INSTRUCTIONS = 10_000
+
+
+def test_bench_private_mode_simulation(benchmark):
+    config = default_experiment_config(4)
+    trace = build_trace("art_like", INSTRUCTIONS, seed=0)
+    result = benchmark(run_private_mode, trace, config)
+    assert result.cpi > 0
+
+
+def test_bench_shared_mode_simulation_4core(benchmark):
+    config = default_experiment_config(4)
+    names = ["art_like", "lbm_like", "hmmer_like", "wrf_like"]
+    traces = {core: build_trace(name, INSTRUCTIONS, seed=core) for core, name in enumerate(names)}
+
+    def run():
+        return run_shared_mode(traces, config, target_instructions=INSTRUCTIONS)
+
+    result = benchmark(run)
+    assert all(core.instructions == INSTRUCTIONS for core in result.cores.values())
+
+
+def test_bench_cpl_estimation(benchmark):
+    config = default_experiment_config(4)
+    trace = build_trace("sphinx3_like", INSTRUCTIONS, seed=0)
+    interval = run_private_mode(trace, config, interval_instructions=INSTRUCTIONS).intervals[0]
+    result = benchmark(estimate_interval_cpl, interval, 32)
+    assert result.cpl >= 0

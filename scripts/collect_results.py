@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Run every figure harness at a moderate scale and dump the reports.
+
+Used to populate EXPERIMENTS.md with measured numbers.  Larger than the
+benchmark defaults, smaller than the paper (see DESIGN.md for the scaling
+discussion).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+
+from repro.experiments.figure3 import run_figure3
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.figure6 import Figure6Settings, run_figure6
+from repro.experiments.figure7 import Figure7Settings, run_figure7
+from repro.experiments.summary import run_headline_summary
+from repro.experiments.sweep import SweepSettings, run_accuracy_sweep
+
+
+def main() -> None:
+    start = time.time()
+    sweep_settings = SweepSettings(
+        core_counts=(2, 4, 8),
+        categories=("H", "M", "L"),
+        workloads_per_category=2,
+        instructions_per_core=16_000,
+        interval_instructions=4_000,
+        collect_components=True,
+    )
+    figure6_settings = Figure6Settings(
+        core_counts=(2, 4, 8),
+        categories=("H", "M", "L"),
+        workloads_per_category=2,
+        instructions_per_core=24_000,
+        interval_instructions=6_000,
+        repartition_interval_cycles=20_000.0,
+    )
+    figure7_settings = Figure7Settings(
+        categories=("H", "M", "L"),
+        workloads_per_category=2,
+        instructions_per_core=12_000,
+        interval_instructions=4_000,
+    )
+
+    print("== accuracy sweep ==", flush=True)
+    sweep = run_accuracy_sweep(sweep_settings)
+    print(f"sweep done in {time.time() - start:.0f}s", flush=True)
+
+    figure3 = run_figure3(sweep=sweep)
+    print(figure3.report(), flush=True)
+    figure4 = run_figure4(sweep=sweep)
+    print(figure4.report(), flush=True)
+    figure5 = run_figure5(sweep=sweep)
+    print(figure5.report(), flush=True)
+
+    print("\n== figure 6 ==", flush=True)
+    figure6 = run_figure6(figure6_settings)
+    print(figure6.report(), flush=True)
+
+    print("\n== figure 7 ==", flush=True)
+    figure7 = run_figure7(figure7_settings)
+    print(figure7.report(), flush=True)
+
+    print("\n== headline ==", flush=True)
+    headline = run_headline_summary(accuracy_sweep=sweep, figure6=figure6)
+    print(headline.report(), flush=True)
+
+    summary = {
+        "figure3_ipc": figure3.ipc_rms,
+        "figure3_stall": figure3.stall_rms,
+        "figure6_stp": figure6.average_stp,
+        "figure7": figure7.panels,
+        "headline_mean_ipc_error": headline.mean_ipc_error,
+        "headline_mcp_vs_asm": headline.mcp_vs_asm_stp_improvement,
+        "headline_mcp_vs_lru": headline.mcp_vs_lru_stp_improvement,
+        "elapsed_seconds": time.time() - start,
+    }
+    with open(sys.argv[1] if len(sys.argv) > 1 else "results_summary.json", "w") as handle:
+        json.dump(summary, handle, indent=2, default=str)
+    print(f"\ntotal elapsed: {time.time() - start:.0f}s", flush=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+"""Reproduction of "GDP: Using Dataflow Properties to Accurately Estimate
+Interference-Free Performance at Runtime" (Jahre and Eeckhout, HPCA 2018).
+
+The package is organised bottom-up:
+
+* substrates — :mod:`repro.workloads`, :mod:`repro.cpu`, :mod:`repro.cache`,
+  :mod:`repro.interconnect`, :mod:`repro.dram`, :mod:`repro.mem` and
+  :mod:`repro.sim` form a trace-driven CMP timing simulator;
+* the paper's contribution — :mod:`repro.core` implements dataflow accounting
+  (GDP and GDP-O) on top of :mod:`repro.latency` (DIEF latency estimation),
+  with :mod:`repro.baselines` providing ITCA, PTCA and ASM for comparison;
+* the case study — :mod:`repro.partitioning` implements the MCP/MCP-O cache
+  partitioning policies next to LRU, UCP and ASM-driven partitioning;
+* evaluation — :mod:`repro.metrics` and :mod:`repro.experiments` regenerate
+  every figure in the paper's evaluation section.
+
+Quick start::
+
+    from repro import (
+        GDPAccounting, default_experiment_config, build_trace,
+        run_shared_mode,
+    )
+
+    config = default_experiment_config(4)
+    traces = {core: build_trace(name, 20_000, seed=core)
+              for core, name in enumerate(
+                  ["art_like", "lbm_like", "hmmer_like", "wrf_like"])}
+    shared = run_shared_mode(traces, config, target_instructions=20_000)
+    gdp = GDPAccounting()
+    for interval in shared.cores[0].intervals:
+        print(gdp.estimate(interval))
+"""
+
+from repro.core import (
+    AccountingTechnique,
+    CPLEstimator,
+    GDPAccounting,
+    GDPOAccounting,
+    PendingCommitBuffer,
+    PendingRequestBuffer,
+    PrivateModeEstimate,
+)
+from repro.baselines import ASMAccounting, ITCAAccounting, PTCAAccounting
+from repro.latency import DIEFLatencyEstimator
+from repro.partitioning import (
+    ASMPartitioningPolicy,
+    LRUSharingPolicy,
+    MCPOPolicy,
+    MCPPolicy,
+    UCPPolicy,
+)
+from repro.experiments.common import default_experiment_config
+from repro.config import CMPConfig
+from repro.sim import CMPSystem, build_trace, run_private_mode, run_shared_mode, run_workload
+from repro.workloads import (
+    Workload,
+    benchmark_names,
+    generate_category_workloads,
+    generate_mixed_workloads,
+    generate_trace,
+    get_benchmark,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "AccountingTechnique",
+    "PrivateModeEstimate",
+    "GDPAccounting",
+    "GDPOAccounting",
+    "CPLEstimator",
+    "PendingRequestBuffer",
+    "PendingCommitBuffer",
+    "ITCAAccounting",
+    "PTCAAccounting",
+    "ASMAccounting",
+    "DIEFLatencyEstimator",
+    "LRUSharingPolicy",
+    "UCPPolicy",
+    "ASMPartitioningPolicy",
+    "MCPPolicy",
+    "MCPOPolicy",
+    "default_experiment_config",
+    "CMPConfig",
+    "CMPSystem",
+    "build_trace",
+    "run_private_mode",
+    "run_shared_mode",
+    "run_workload",
+    "Workload",
+    "benchmark_names",
+    "generate_trace",
+    "get_benchmark",
+    "generate_category_workloads",
+    "generate_mixed_workloads",
+]

@@ -1,0 +1,13 @@
+"""Baseline accounting techniques the paper compares against: ITCA, PTCA and ASM."""
+
+from repro.baselines.asm import ASMAccounting, asm_priority_core, install_asm_rotation
+from repro.baselines.itca import ITCAAccounting
+from repro.baselines.ptca import PTCAAccounting
+
+__all__ = [
+    "ASMAccounting",
+    "asm_priority_core",
+    "install_asm_rotation",
+    "ITCAAccounting",
+    "PTCAAccounting",
+]

@@ -1,0 +1,15 @@
+"""Cache hierarchy components: caches, MSHRs, ATDs and miss curves."""
+
+from repro.cache.cache import AccessOutcome, CacheLine, SetAssociativeCache
+from repro.cache.mshr import MSHRFile
+from repro.cache.atd import AuxiliaryTagDirectory
+from repro.cache.miss_curve import MissCurve
+
+__all__ = [
+    "AccessOutcome",
+    "CacheLine",
+    "SetAssociativeCache",
+    "MSHRFile",
+    "AuxiliaryTagDirectory",
+    "MissCurve",
+]

@@ -1,0 +1,116 @@
+"""Auxiliary Tag Directories (ATDs) with set sampling.
+
+An ATD tracks, for one core, the tag state the shared LLC *would* have if that
+core had exclusive use of the cache.  It serves two purposes in the paper:
+
+1. producing private-mode miss curves for the partitioning policies
+   (UCP, ASM-driven partitioning and MCP), and
+2. identifying *interference misses* — accesses that hit in the ATD but miss
+   in the shared cache — which DIEF uses to estimate the LLC component of the
+   private-mode latency.
+
+Storing full tag directories per core is expensive, so the paper (following
+Qureshi et al.) samples a subset of sets and assumes they are representative.
+"""
+
+from __future__ import annotations
+
+from repro.cache.miss_curve import MissCurve
+from repro.errors import ConfigurationError
+from repro.config import CacheConfig
+
+__all__ = ["AuxiliaryTagDirectory"]
+
+
+class AuxiliaryTagDirectory:
+    """Per-core sampled LRU tag directory for the shared LLC."""
+
+    def __init__(self, llc_config: CacheConfig, sampled_sets: int = 32, core: int = 0):
+        llc_config.validate()
+        if sampled_sets <= 0:
+            raise ConfigurationError("the ATD must sample at least one set")
+        self.core = core
+        self.config = llc_config
+        self.num_llc_sets = llc_config.num_sets
+        self.associativity = llc_config.associativity
+        self.line_bytes = llc_config.line_bytes
+        self.sampled_sets = min(sampled_sets, self.num_llc_sets)
+        # Sample sets at a regular stride so the sample spans the whole index
+        # space (simple static set sampling).
+        stride = max(1, self.num_llc_sets // self.sampled_sets)
+        self._sampled_indices = {stride * i for i in range(self.sampled_sets)}
+        # Each sampled set is an LRU stack of tags (index 0 = MRU).
+        self._stacks: dict[int, list[int]] = {index: [] for index in self._sampled_indices}
+        self.hit_position_histogram = [0.0] * self.associativity
+        self.sampled_misses = 0.0
+        self.sampled_accesses = 0.0
+
+    # ------------------------------------------------------------------ geometry
+
+    def set_index(self, address: int) -> int:
+        return (address // self.line_bytes) % self.num_llc_sets
+
+    def tag(self, address: int) -> int:
+        return address // (self.line_bytes * self.num_llc_sets)
+
+    def samples(self, address: int) -> bool:
+        """True when the address maps to a sampled set."""
+        return self.set_index(address) in self._sampled_indices
+
+    @property
+    def sampling_factor(self) -> float:
+        """Multiplier converting sampled counts into full-cache counts."""
+        return self.num_llc_sets / self.sampled_sets
+
+    # ------------------------------------------------------------------ access
+
+    def access(self, address: int) -> bool | None:
+        """Record one access by this core.
+
+        Returns True for an ATD hit, False for an ATD miss and None when the
+        address does not map to a sampled set (in which case no state changes).
+        """
+        index = self.set_index(address)
+        if index not in self._sampled_indices:
+            return None
+        tag = self.tag(address)
+        stack = self._stacks[index]
+        self.sampled_accesses += 1
+        if tag in stack:
+            position = stack.index(tag)
+            self.hit_position_histogram[position] += 1
+            stack.remove(tag)
+            stack.insert(0, tag)
+            return True
+        self.sampled_misses += 1
+        stack.insert(0, tag)
+        if len(stack) > self.associativity:
+            stack.pop()
+        return False
+
+    def would_hit(self, address: int) -> bool | None:
+        """Non-destructive probe: would the private-mode LLC hit this address?"""
+        index = self.set_index(address)
+        if index not in self._sampled_indices:
+            return None
+        return self.tag(address) in self._stacks[index]
+
+    # ------------------------------------------------------------------ miss curves
+
+    def miss_curve(self, scale_to_full_cache: bool = True) -> MissCurve:
+        """Return the miss curve accumulated since the last reset."""
+        curve = MissCurve.from_hit_histogram(self.hit_position_histogram, self.sampled_misses)
+        if scale_to_full_cache:
+            return curve.scaled(self.sampling_factor)
+        return curve
+
+    def reset_statistics(self) -> None:
+        """Clear histogram counters (tag state is retained across intervals)."""
+        self.hit_position_histogram = [0.0] * self.associativity
+        self.sampled_misses = 0.0
+        self.sampled_accesses = 0.0
+
+    def storage_bits(self, tag_bits: int = 28) -> int:
+        """Approximate storage cost in bits (used to report the set-sampling saving)."""
+        per_line = tag_bits + 1  # tag + valid
+        return self.sampled_sets * self.associativity * per_line

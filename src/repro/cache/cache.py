@@ -1,0 +1,221 @@
+"""Set-associative cache model with LRU replacement and way partitioning.
+
+The same class models the private L1/L2 caches (no partitioning) and the
+shared LLC.  For the shared LLC, lines are tagged with the owning core and the
+replacement policy can enforce per-core way quotas, which is how the paper's
+MCP/UCP/ASM partitioning policies are enforced in hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.config import CacheConfig
+
+__all__ = ["CacheLine", "AccessOutcome", "SetAssociativeCache"]
+
+
+@dataclass
+class CacheLine:
+    """One cache line: tag, owning core and LRU age bookkeeping."""
+
+    tag: int
+    owner: int
+    last_use: int
+    dirty: bool = False
+
+
+@dataclass(frozen=True)
+class AccessOutcome:
+    """Result of a cache access."""
+
+    hit: bool
+    evicted_tag: int | None = None
+    evicted_owner: int | None = None
+    evicted_dirty: bool = False
+
+
+class SetAssociativeCache:
+    """A set-associative, write-allocate cache with LRU replacement.
+
+    Parameters
+    ----------
+    config:
+        Geometry and latency of the cache.
+    name:
+        Used in error messages and statistics reporting.
+    partitioned:
+        When True, misses respect per-core way allocations set through
+        :meth:`set_partition` (way partitioning as used by UCP/MCP/ASM).
+    """
+
+    def __init__(self, config: CacheConfig, name: str = "cache", partitioned: bool = False):
+        config.validate()
+        self.config = config
+        self.name = name
+        self.partitioned = partitioned
+        self.num_sets = config.num_sets
+        self.associativity = config.associativity
+        self.line_bytes = config.line_bytes
+        self._sets: list[list[CacheLine]] = [[] for _ in range(self.num_sets)]
+        self._use_counter = 0
+        self._allocation: dict[int, int] | None = None
+        self.hits = 0
+        self.misses = 0
+        self.per_core_hits: dict[int, int] = {}
+        self.per_core_misses: dict[int, int] = {}
+
+    # ------------------------------------------------------------------ geometry
+
+    def set_index(self, address: int) -> int:
+        """Map a byte address to its set index."""
+        return (address // self.line_bytes) % self.num_sets
+
+    def tag(self, address: int) -> int:
+        """Map a byte address to its tag."""
+        return address // (self.line_bytes * self.num_sets)
+
+    def bank_index(self, address: int) -> int:
+        """Map a byte address to its bank (sets are interleaved across banks)."""
+        return self.set_index(address) % self.config.banks
+
+    # ------------------------------------------------------------------ partitioning
+
+    def set_partition(self, allocation: dict[int, int] | None) -> None:
+        """Install a per-core way allocation (or None to disable partitioning).
+
+        The allocation maps core id to the number of LLC ways it may occupy in
+        every set.  The sum of the allocation must not exceed the cache
+        associativity.
+        """
+        if allocation is None:
+            self._allocation = None
+            return
+        if not self.partitioned:
+            raise ConfigurationError(f"{self.name} was not built with partitioning support")
+        total = sum(allocation.values())
+        if total > self.associativity:
+            raise ConfigurationError(
+                f"allocation of {total} ways exceeds associativity {self.associativity}"
+            )
+        if any(ways < 0 for ways in allocation.values()):
+            raise ConfigurationError("way allocations cannot be negative")
+        self._allocation = dict(allocation)
+
+    @property
+    def partition(self) -> dict[int, int] | None:
+        """The currently installed way allocation, if any."""
+        return dict(self._allocation) if self._allocation is not None else None
+
+    # ------------------------------------------------------------------ access
+
+    def probe(self, address: int) -> bool:
+        """Return True when the address currently hits, without updating state."""
+        index = self.set_index(address)
+        tag = self.tag(address)
+        return any(line.tag == tag for line in self._sets[index])
+
+    def access(self, address: int, core: int = 0, is_store: bool = False) -> AccessOutcome:
+        """Perform an access: update LRU state, allocate on miss, return the outcome."""
+        self._use_counter += 1
+        index = self.set_index(address)
+        tag = self.tag(address)
+        cache_set = self._sets[index]
+        for line in cache_set:
+            if line.tag == tag:
+                line.last_use = self._use_counter
+                if is_store:
+                    line.dirty = True
+                self.hits += 1
+                self.per_core_hits[core] = self.per_core_hits.get(core, 0) + 1
+                return AccessOutcome(hit=True)
+        self.misses += 1
+        self.per_core_misses[core] = self.per_core_misses.get(core, 0) + 1
+        outcome = self._fill(index, tag, core, is_store)
+        return outcome
+
+    def _fill(self, index: int, tag: int, core: int, is_store: bool) -> AccessOutcome:
+        cache_set = self._sets[index]
+        new_line = CacheLine(tag=tag, owner=core, last_use=self._use_counter, dirty=is_store)
+        quota = None
+        if self.partitioned and self._allocation is not None:
+            quota = max(1, self._allocation.get(core, self.associativity))
+        own_lines = sum(1 for line in cache_set if line.owner == core) if quota is not None else 0
+        within_quota = quota is None or own_lines < quota
+        if len(cache_set) < self.associativity and within_quota:
+            cache_set.append(new_line)
+            return AccessOutcome(hit=False)
+        victim = self._select_victim(cache_set, core)
+        evicted = AccessOutcome(
+            hit=False,
+            evicted_tag=victim.tag,
+            evicted_owner=victim.owner,
+            evicted_dirty=victim.dirty,
+        )
+        cache_set.remove(victim)
+        cache_set.append(new_line)
+        return evicted
+
+    def _select_victim(self, cache_set: list[CacheLine], core: int) -> CacheLine:
+        """Pick an eviction victim: plain LRU, or partition-aware LRU."""
+        if not self.partitioned or self._allocation is None:
+            return min(cache_set, key=lambda line: line.last_use)
+        allocation = self._allocation
+        quota = max(1, allocation.get(core, self.associativity))
+        occupancy: dict[int, int] = {}
+        for line in cache_set:
+            occupancy[line.owner] = occupancy.get(line.owner, 0) + 1
+        own_lines = [line for line in cache_set if line.owner == core]
+        if len(own_lines) >= quota:
+            # The requesting core is at (or above) its quota: recycle its own
+            # LRU line so it never exceeds the allocation.
+            return min(own_lines, key=lambda line: line.last_use)
+        # The requesting core is below its quota: take a line from a core that
+        # exceeds its own quota (preferring the most over-allocated), falling
+        # back to global LRU if nobody is over quota.
+        over_allocated = [
+            line
+            for line in cache_set
+            if line.owner != core
+            and occupancy.get(line.owner, 0) > allocation.get(line.owner, 0)
+        ]
+        if over_allocated:
+            return min(over_allocated, key=lambda line: line.last_use)
+        if len(cache_set) < self.associativity:
+            # Nobody is over quota and there is still free space: the caller
+            # only reaches this when the requester hit its own quota, so this
+            # branch recycles the requester's LRU line.
+            return min(own_lines, key=lambda line: line.last_use) if own_lines else min(
+                cache_set, key=lambda line: line.last_use
+            )
+        return min(cache_set, key=lambda line: line.last_use)
+
+    # ------------------------------------------------------------------ statistics
+
+    def occupancy(self, core: int) -> int:
+        """Total number of lines currently owned by ``core``."""
+        return sum(
+            1 for cache_set in self._sets for line in cache_set if line.owner == core
+        )
+
+    def set_occupancy(self, index: int) -> dict[int, int]:
+        """Per-core line counts for one set."""
+        counts: dict[int, int] = {}
+        for line in self._sets[index]:
+            counts[line.owner] = counts.get(line.owner, 0) + 1
+        return counts
+
+    def miss_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0
+
+    def reset_statistics(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.per_core_hits.clear()
+        self.per_core_misses.clear()
+
+    def flush(self) -> None:
+        """Invalidate every line (used between experiments)."""
+        self._sets = [[] for _ in range(self.num_sets)]

@@ -1,0 +1,82 @@
+"""Miss curves: estimated misses as a function of allocated LLC ways.
+
+A miss curve is produced by an Auxiliary Tag Directory (ATD): for each access
+that hits in the ATD, the LRU stack position of the hit tells which minimum
+number of ways would have kept the line resident.  Summing the histogram from
+the most-recently-used position outward yields hits(w), and misses(w) follows.
+Both UCP's lookahead algorithm and MCP's throughput model consume miss curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PartitioningError
+
+__all__ = ["MissCurve"]
+
+
+@dataclass(frozen=True)
+class MissCurve:
+    """Estimated misses per number of allocated ways.
+
+    ``misses[w]`` is the estimated miss count with ``w`` ways, for
+    ``w = 0 .. associativity``.  Zero ways means every access misses.
+    """
+
+    misses: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.misses) < 2:
+            raise PartitioningError("a miss curve needs entries for 0 ways and at least 1 way")
+
+    @property
+    def associativity(self) -> int:
+        return len(self.misses) - 1
+
+    @property
+    def total_accesses(self) -> float:
+        return self.misses[0]
+
+    def misses_at(self, ways: int) -> float:
+        """Misses with ``ways`` allocated ways (clamped to the curve's range)."""
+        ways = max(0, min(ways, self.associativity))
+        return self.misses[ways]
+
+    def hits_at(self, ways: int) -> float:
+        """Hits with ``ways`` allocated ways."""
+        return self.total_accesses - self.misses_at(ways)
+
+    def marginal_utility(self, from_ways: int, to_ways: int) -> float:
+        """UCP's marginal utility: extra hits per extra way between two allocations."""
+        if to_ways <= from_ways:
+            raise PartitioningError("marginal utility requires to_ways > from_ways")
+        extra_hits = self.misses_at(from_ways) - self.misses_at(to_ways)
+        return extra_hits / (to_ways - from_ways)
+
+    def is_monotone(self) -> bool:
+        """True when the curve never increases as more ways are added."""
+        return all(later <= earlier + 1e-9 for earlier, later in zip(self.misses, self.misses[1:]))
+
+    def scaled(self, factor: float) -> "MissCurve":
+        """Return the curve scaled by ``factor`` (used to undo set sampling)."""
+        if factor < 0:
+            raise PartitioningError("scale factor cannot be negative")
+        return MissCurve(tuple(value * factor for value in self.misses))
+
+    @staticmethod
+    def from_hit_histogram(hit_counts_per_position: list[float], misses: float) -> "MissCurve":
+        """Build a miss curve from an LRU stack-distance histogram.
+
+        ``hit_counts_per_position[i]`` is the number of accesses that hit at
+        LRU stack position ``i`` (0 = MRU).  ``misses`` is the number of
+        accesses that missed even with full associativity.
+        """
+        total = sum(hit_counts_per_position) + misses
+        curve = []
+        remaining_hits = 0.0
+        curve.append(total)  # zero ways: everything misses
+        for position in range(len(hit_counts_per_position)):
+            remaining_hits += hit_counts_per_position[position]
+            curve.append(total - remaining_hits)
+        return MissCurve(tuple(curve))

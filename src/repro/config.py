@@ -1,0 +1,315 @@
+"""CMP model configuration (Table I of the paper).
+
+The defaults reproduce the paper's 2-, 4- and 8-core CMP configurations: a
+4 GHz clock, a 128-entry ROB out-of-order core, two levels of private cache,
+a shared, banked L3 connected through a ring interconnect and a DDR2-800
+memory system with FR-FCFS scheduling.  The sensitivity-analysis knobs of
+Section VII-D (LLC size/associativity, DRAM channels, DDR2 vs DDR4, PRB
+entries) are exposed as ordinary fields so experiments can sweep them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "CoreConfig",
+    "CacheConfig",
+    "RingConfig",
+    "DRAMTimingConfig",
+    "DRAMConfig",
+    "AccountingConfig",
+    "CMPConfig",
+    "DDR2_800",
+    "DDR4_2666",
+]
+
+KILOBYTE = 1024
+MEGABYTE = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Out-of-order processor core parameters."""
+
+    rob_entries: int = 128
+    load_store_queue_entries: int = 32
+    instruction_queue_entries: int = 64
+    width: int = 4
+    int_alus: int = 4
+    fp_alus: int = 4
+    compute_latency: int = 1
+
+    def validate(self) -> None:
+        if self.rob_entries <= 0 or self.width <= 0:
+            raise ConfigurationError("core must have positive ROB size and width")
+        if self.load_store_queue_entries <= 0:
+            raise ConfigurationError("load/store queue must have at least one entry")
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Parameters for one cache level."""
+
+    size_bytes: int
+    associativity: int
+    latency: int
+    mshrs: int
+    line_bytes: int = 64
+    banks: int = 1
+
+    @property
+    def num_lines(self) -> int:
+        return self.size_bytes // self.line_bytes
+
+    @property
+    def num_sets(self) -> int:
+        return self.num_lines // self.associativity
+
+    def validate(self) -> None:
+        if self.size_bytes <= 0 or self.associativity <= 0 or self.line_bytes <= 0:
+            raise ConfigurationError("cache size, associativity and line size must be positive")
+        if self.num_lines % self.associativity != 0:
+            raise ConfigurationError("cache size must be divisible by associativity * line size")
+        if self.num_sets <= 0:
+            raise ConfigurationError("cache must have at least one set")
+        if self.banks <= 0 or self.num_sets % self.banks != 0:
+            raise ConfigurationError("number of sets must be divisible by the bank count")
+
+
+@dataclass(frozen=True)
+class RingConfig:
+    """Ring interconnect parameters."""
+
+    hop_latency: int = 4
+    request_rings: int = 1
+    response_rings: int = 1
+    queue_entries: int = 32
+    link_occupancy: int = 1
+
+    def validate(self) -> None:
+        if self.hop_latency < 0:
+            raise ConfigurationError("hop latency cannot be negative")
+        if self.request_rings <= 0 or self.response_rings <= 0:
+            raise ConfigurationError("at least one request and one response ring are required")
+
+
+@dataclass(frozen=True)
+class DRAMTimingConfig:
+    """DRAM interface timing expressed in CPU cycles (4 GHz core clock).
+
+    ``cpu_cycles_per_dram_cycle`` converts the DRAM command clock to CPU
+    cycles.  DDR2-800 runs its command bus at 400 MHz (10 CPU cycles per DRAM
+    cycle); DDR4-2666 at 1333 MHz (3 CPU cycles per DRAM cycle).
+    """
+
+    name: str
+    cpu_cycles_per_dram_cycle: int
+    t_cl: int
+    t_rcd: int
+    t_rp: int
+    t_ras: int
+    burst_dram_cycles: int = 4
+
+    @property
+    def cas_latency(self) -> int:
+        return self.t_cl * self.cpu_cycles_per_dram_cycle
+
+    @property
+    def activate_latency(self) -> int:
+        return self.t_rcd * self.cpu_cycles_per_dram_cycle
+
+    @property
+    def precharge_latency(self) -> int:
+        return self.t_rp * self.cpu_cycles_per_dram_cycle
+
+    @property
+    def row_cycle_latency(self) -> int:
+        return self.t_ras * self.cpu_cycles_per_dram_cycle
+
+    @property
+    def data_transfer_latency(self) -> int:
+        """CPU cycles the data bus is occupied transferring one cache line."""
+        return self.burst_dram_cycles * self.cpu_cycles_per_dram_cycle
+
+    @property
+    def row_hit_latency(self) -> int:
+        return self.cas_latency + self.data_transfer_latency
+
+    @property
+    def row_miss_latency(self) -> int:
+        return self.precharge_latency + self.activate_latency + self.row_hit_latency
+
+
+DDR2_800 = DRAMTimingConfig(
+    name="DDR2-800",
+    cpu_cycles_per_dram_cycle=10,
+    t_cl=4,
+    t_rcd=4,
+    t_rp=4,
+    t_ras=12,
+)
+
+DDR4_2666 = DRAMTimingConfig(
+    name="DDR4-2666",
+    cpu_cycles_per_dram_cycle=3,
+    t_cl=19,
+    t_rcd=19,
+    t_rp=19,
+    t_ras=43,
+)
+
+
+@dataclass(frozen=True)
+class DRAMConfig:
+    """Main-memory organisation."""
+
+    timing: DRAMTimingConfig = DDR2_800
+    channels: int = 1
+    banks_per_channel: int = 8
+    page_bytes: int = 1024
+    read_queue_entries: int = 64
+    write_queue_entries: int = 64
+
+    def validate(self) -> None:
+        if self.channels <= 0 or self.banks_per_channel <= 0:
+            raise ConfigurationError("DRAM needs at least one channel and one bank")
+        if self.page_bytes <= 0:
+            raise ConfigurationError("DRAM page size must be positive")
+
+
+@dataclass(frozen=True)
+class AccountingConfig:
+    """Parameters shared by the accounting techniques."""
+
+    prb_entries: int = 32
+    atd_sampled_sets: int = 32
+    estimate_interval_instructions: int = 20_000
+    asm_epoch_cycles: int = 2_000
+    partitioning_interval_cycles: int = 100_000
+
+    def validate(self) -> None:
+        if self.prb_entries <= 0:
+            raise ConfigurationError("the PRB needs at least one entry")
+        if self.atd_sampled_sets <= 0:
+            raise ConfigurationError("the ATD must sample at least one set")
+        if self.estimate_interval_instructions <= 0:
+            raise ConfigurationError("the estimate interval must be positive")
+
+
+@dataclass(frozen=True)
+class CMPConfig:
+    """Complete CMP configuration (Table I)."""
+
+    n_cores: int
+    clock_ghz: float = 4.0
+    core: CoreConfig = field(default_factory=CoreConfig)
+    l1d: CacheConfig = field(
+        default_factory=lambda: CacheConfig(64 * KILOBYTE, 2, latency=3, mshrs=16)
+    )
+    l1i: CacheConfig = field(
+        default_factory=lambda: CacheConfig(64 * KILOBYTE, 2, latency=3, mshrs=16)
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig(1 * MEGABYTE, 4, latency=9, mshrs=16)
+    )
+    llc: CacheConfig = field(
+        default_factory=lambda: CacheConfig(8 * MEGABYTE, 16, latency=16, mshrs=64, banks=4)
+    )
+    ring: RingConfig = field(default_factory=RingConfig)
+    dram: DRAMConfig = field(default_factory=DRAMConfig)
+    accounting: AccountingConfig = field(default_factory=AccountingConfig)
+
+    def validate(self) -> None:
+        if self.n_cores <= 0:
+            raise ConfigurationError("a CMP needs at least one core")
+        self.core.validate()
+        for cache in (self.l1d, self.l1i, self.l2, self.llc):
+            cache.validate()
+        self.ring.validate()
+        self.dram.validate()
+        self.accounting.validate()
+        if self.llc.associativity < self.n_cores:
+            raise ConfigurationError(
+                "way partitioning requires at least one LLC way per core"
+            )
+
+    @staticmethod
+    def default(n_cores: int) -> "CMPConfig":
+        """Return the paper's default configuration for 2, 4 or 8 cores.
+
+        Values follow Table I's multi-value encoding (2-core/4-core/8-core):
+        L1 latency 3/3/2, L2 latency 9/9/6, LLC 8/8/16 MB with latency
+        16/16/12 and 32/64/128 MSHRs per bank, and 1/1/2 request rings.
+        """
+        if n_cores not in (2, 4, 8):
+            config = CMPConfig(n_cores=n_cores)
+            config.validate()
+            return config
+        l1_latency = {2: 3, 4: 3, 8: 2}[n_cores]
+        l2_latency = {2: 9, 4: 9, 8: 6}[n_cores]
+        llc_size = {2: 8, 4: 8, 8: 16}[n_cores] * MEGABYTE
+        llc_latency = {2: 16, 4: 16, 8: 12}[n_cores]
+        llc_mshrs = {2: 32, 4: 64, 8: 128}[n_cores]
+        request_rings = {2: 1, 4: 1, 8: 2}[n_cores]
+        config = CMPConfig(
+            n_cores=n_cores,
+            l1d=CacheConfig(64 * KILOBYTE, 2, latency=l1_latency, mshrs=16),
+            l1i=CacheConfig(64 * KILOBYTE, 2, latency=l1_latency, mshrs=16),
+            l2=CacheConfig(1 * MEGABYTE, 4, latency=l2_latency, mshrs=16),
+            llc=CacheConfig(llc_size, 16, latency=llc_latency, mshrs=llc_mshrs, banks=4),
+            ring=RingConfig(request_rings=request_rings),
+        )
+        config.validate()
+        return config
+
+    def scaled(self, llc_size_bytes: int | None = None, llc_kilobytes: int | None = None) -> "CMPConfig":
+        """Return a copy with a scaled-down cache hierarchy for short traces.
+
+        Trace-driven runs in this reproduction use far fewer instructions than
+        the paper's 100M-instruction samples, so experiments shrink the cache
+        hierarchy (4 KB L1, 16 KB L2, LLC as requested — roughly a 64x scale-
+        down of Table I) to keep LLC contention observable at that scale.
+        Latencies and associativities keep their Table I values.
+        """
+        if llc_kilobytes is not None:
+            llc_size_bytes = llc_kilobytes * KILOBYTE
+        if llc_size_bytes is None:
+            raise ConfigurationError("scaled() requires a target LLC size")
+        new_llc = replace(self.llc, size_bytes=llc_size_bytes)
+        scaled_l2 = replace(self.l2, size_bytes=16 * KILOBYTE)
+        scaled_l1 = replace(self.l1d, size_bytes=4 * KILOBYTE)
+        config = replace(self, llc=new_llc, l2=scaled_l2, l1d=scaled_l1, l1i=scaled_l1)
+        config.validate()
+        return config
+
+    def with_llc(self, *, size_bytes: int | None = None, associativity: int | None = None) -> "CMPConfig":
+        """Return a copy with modified LLC parameters (Figure 7a/7b sweeps)."""
+        llc = self.llc
+        if size_bytes is not None:
+            llc = replace(llc, size_bytes=size_bytes)
+        if associativity is not None:
+            llc = replace(llc, associativity=associativity)
+        config = replace(self, llc=llc)
+        config.validate()
+        return config
+
+    def with_dram(self, *, timing: DRAMTimingConfig | None = None, channels: int | None = None) -> "CMPConfig":
+        """Return a copy with modified DRAM parameters (Figure 7c/7d sweeps)."""
+        dram = self.dram
+        if timing is not None:
+            dram = replace(dram, timing=timing)
+        if channels is not None:
+            dram = replace(dram, channels=channels)
+        config = replace(self, dram=dram)
+        config.validate()
+        return config
+
+    def with_prb_entries(self, prb_entries: int) -> "CMPConfig":
+        """Return a copy with a different PRB size (Figure 7e sweep)."""
+        accounting = replace(self.accounting, prb_entries=prb_entries)
+        config = replace(self, accounting=accounting)
+        config.validate()
+        return config

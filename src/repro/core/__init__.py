@@ -1,0 +1,40 @@
+"""The paper's primary contribution: dataflow accounting (GDP and GDP-O)."""
+
+from repro.core.base import AccountingTechnique, PrivateModeEstimate
+from repro.core.cpl import CPLEstimator, CPLResult, estimate_interval_cpl
+from repro.core.dataflow_graph import (
+    CommitPeriod,
+    DataflowGraph,
+    build_dataflow_graph,
+    commit_periods_from_stalls,
+)
+from repro.core.gdp import GDPAccounting, GDPOAccounting
+from repro.core.pcb import PendingCommitBuffer
+from repro.core.performance_model import (
+    CPIComponents,
+    components_from_interval,
+    estimate_other_stalls,
+    private_mode_cpi,
+)
+from repro.core.prb import PendingRequestBuffer, PRBEntry
+
+__all__ = [
+    "AccountingTechnique",
+    "PrivateModeEstimate",
+    "CPLEstimator",
+    "CPLResult",
+    "estimate_interval_cpl",
+    "CommitPeriod",
+    "DataflowGraph",
+    "build_dataflow_graph",
+    "commit_periods_from_stalls",
+    "GDPAccounting",
+    "GDPOAccounting",
+    "PendingCommitBuffer",
+    "PendingRequestBuffer",
+    "PRBEntry",
+    "CPIComponents",
+    "components_from_interval",
+    "estimate_other_stalls",
+    "private_mode_cpi",
+]

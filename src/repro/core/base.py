@@ -1,0 +1,61 @@
+"""Common interface of all performance-accounting techniques.
+
+Every technique — GDP, GDP-O and the baselines (ITCA, PTCA, ASM) — turns one
+shared-mode estimate interval into an estimate of the private-mode
+performance the application would have had over the same instructions.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.cpu.events import IntervalStats
+
+__all__ = ["PrivateModeEstimate", "AccountingTechnique"]
+
+
+@dataclass(frozen=True)
+class PrivateModeEstimate:
+    """One private-mode performance estimate produced from a shared-mode interval.
+
+    Attributes
+    ----------
+    core, interval_index:
+        Which core and estimate interval the estimate covers.
+    cpi, ipc:
+        Estimated private-mode CPI and IPC (the paper's pi-hat).
+    sms_stall_cycles:
+        Estimated private-mode stall cycles caused by shared-memory-system
+        loads (the paper's sigma-hat_SMS), the main quantity a dataflow
+        accounting technique estimates.
+    cpl:
+        Critical path length used for the estimate (dataflow techniques only).
+    private_latency:
+        Estimated average private-mode SMS-load latency (lambda-hat).
+    overlap:
+        Estimated average commit/load overlap cycles (GDP-O only).
+    """
+
+    core: int
+    interval_index: int
+    cpi: float
+    ipc: float
+    sms_stall_cycles: float
+    cpl: float | None = None
+    private_latency: float | None = None
+    overlap: float | None = None
+
+
+class AccountingTechnique(ABC):
+    """Base class: maps shared-mode interval observations to private-mode estimates."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def estimate(self, interval: IntervalStats) -> PrivateModeEstimate:
+        """Return the private-mode estimate for one shared-mode interval."""
+
+    def estimate_all(self, intervals: list[IntervalStats]) -> list[PrivateModeEstimate]:
+        """Convenience helper: estimate every interval of a core's run."""
+        return [self.estimate(interval) for interval in intervals]

@@ -1,0 +1,180 @@
+"""Runtime Critical Path Length (CPL) estimation — Algorithms 1, 2 and 3.
+
+The CPL estimator observes three kinds of events coming from the core and the
+L1 data cache:
+
+* a load request missed in the L1 and was issued towards the memory system
+  (Algorithm 1),
+* an L1 miss completed and is known to be a PMS- or SMS-load (Algorithm 2),
+* the processor resumed committing after a commit stall (Algorithm 3).
+
+Collectively the algorithms implement an online approximation of Kahn's
+longest-path computation for a DAG whose nodes are SMS-loads and commit
+periods: requests and commit periods are processed in time order, so every
+node's depth is final by the time its successors consult it.  The PCB depth at
+any point is the CPL of the dataflow graph observed since the last retrieval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.pcb import PendingCommitBuffer
+from repro.core.prb import PendingRequestBuffer
+from repro.cpu.events import CommitStall, IntervalStats, LoadRecord
+
+__all__ = ["CPLEstimator", "CPLResult", "estimate_interval_cpl"]
+
+
+@dataclass(frozen=True)
+class CPLResult:
+    """Outcome of running the CPL estimator over one event stream."""
+
+    cpl: int
+    tracked_loads: int
+    evictions: int
+    overlap_cycles: float
+    sms_loads: int
+
+    @property
+    def average_overlap(self) -> float:
+        return self.overlap_cycles / self.sms_loads if self.sms_loads else 0.0
+
+
+class CPLEstimator:
+    """Online CPL estimation using the PRB and PCB hardware structures."""
+
+    def __init__(self, prb_entries: int | None = 32):
+        self.prb = PendingRequestBuffer(capacity=prb_entries)
+        self.pcb = PendingCommitBuffer()
+        self.overlap_counter = 0.0
+        self.completed_sms_loads = 0
+        self._cpl_snapshot = 0
+
+    # ------------------------------------------------------------------ events
+
+    def on_load_issued(self, address: int, issue_time: float) -> None:
+        """Algorithm 1: an L1 miss was issued towards the memory system."""
+        entry = self.prb.insert(address, depth=self.pcb.depth)
+        self.pcb.add_child(entry)
+
+    def on_load_completed(self, address: int, completion_time: float, is_sms: bool,
+                          overlap_cycles: float = 0.0) -> None:
+        """Algorithm 2: an L1 miss completed.
+
+        SMS-loads are marked completed and retained so Algorithm 3 can fold
+        them into commit-period depths; PMS-loads are dropped immediately
+        (dependencies through them are carried by the intervening commit
+        periods).
+        """
+        entry = self.prb.find(address)
+        if entry is None:
+            return
+        if is_sms:
+            entry.completed = True
+            entry.completed_at = completion_time
+            entry.overlap = overlap_cycles
+            self.overlap_counter += overlap_cycles
+            self.completed_sms_loads += 1
+        else:
+            self.pcb.remove_child(entry)
+            self.prb.invalidate(entry)
+
+    def on_commit_resumed(self, stalling_address: int, stall_start: float,
+                          resume_time: float) -> None:
+        """Algorithm 3: the processor resumed after a commit stall.
+
+        ``stalling_address`` is the address of the load that blocked commit.
+        If it is not in the PRB the stall is treated as a PMS-stall and the
+        CPL is unaffected.
+        """
+        stalling_entry = self.prb.find(stalling_address)
+        if stalling_entry is None:
+            return
+        self.pcb.mark_stalled(stall_start)
+
+        # Step 1: complete the commit period that just ended.  Requests that
+        # completed before the stall are its parents; its depth is the maximum
+        # of their depths, and its children (requests issued while it ran)
+        # sit one level deeper.
+        ended_period_depth = self.pcb.depth
+        for entry in self.prb.completed_entries():
+            if entry is stalling_entry:
+                continue
+            if entry.completed_at <= stall_start:
+                ended_period_depth = max(ended_period_depth, entry.depth)
+                self.prb.invalidate(entry)
+        for child in self.pcb.valid_children():
+            child.depth = ended_period_depth + 1
+        self.pcb.depth = ended_period_depth
+
+        # Step 2: initialise the new commit period that starts at resume time.
+        new_depth = stalling_entry.depth
+        self.prb.invalidate(stalling_entry)
+        for entry in self.prb.completed_entries():
+            new_depth = max(new_depth, entry.depth)
+            self.prb.invalidate(entry)
+        self.pcb.start_new_period(depth=new_depth, started_at=resume_time)
+        self._cpl_snapshot = max(self._cpl_snapshot, new_depth)
+
+    # ------------------------------------------------------------------ retrieval
+
+    @property
+    def current_cpl(self) -> int:
+        """The CPL accumulated since the last :meth:`retrieve`."""
+        return max(self._cpl_snapshot, self.pcb.depth)
+
+    def retrieve(self, reset_time: float = 0.0) -> CPLResult:
+        """Read out the CPL and reset the estimator for the next interval."""
+        result = CPLResult(
+            cpl=self.current_cpl,
+            tracked_loads=self.prb.insertions,
+            evictions=self.prb.evictions,
+            overlap_cycles=self.overlap_counter,
+            sms_loads=self.completed_sms_loads,
+        )
+        self.prb.clear()
+        self.pcb.reset(reset_time)
+        self.overlap_counter = 0.0
+        self.completed_sms_loads = 0
+        self._cpl_snapshot = 0
+        self.prb.insertions = 0
+        self.prb.evictions = 0
+        return result
+
+    # ------------------------------------------------------------------ replay helpers
+
+    def replay(self, loads: list[LoadRecord], stalls: list[CommitStall]) -> CPLResult:
+        """Replay one interval's recorded events in time order and retrieve the CPL.
+
+        The core model records load and stall events per interval; this helper
+        feeds them to the estimator in the order the hardware would have seen
+        them (completions before the commit-resume they trigger).
+        """
+        events: list[tuple[float, int, object]] = []
+        for load in loads:
+            events.append((load.issue_time, 2, ("issue", load)))
+            events.append((load.completion_time, 0, ("complete", load)))
+        for stall in stalls:
+            if stall.load_address is not None:
+                events.append((stall.end, 1, ("resume", stall)))
+        events.sort(key=lambda item: (item[0], item[1]))
+        for _, _, (kind, payload) in events:
+            if kind == "issue":
+                self.on_load_issued(payload.address, payload.issue_time)
+            elif kind == "complete":
+                self.on_load_completed(
+                    payload.address,
+                    payload.completion_time,
+                    payload.is_sms,
+                    overlap_cycles=payload.overlap_cycles,
+                )
+            else:
+                self.on_commit_resumed(payload.load_address, payload.start, payload.end)
+        return self.retrieve()
+
+
+def estimate_interval_cpl(interval: IntervalStats, prb_entries: int | None = 32) -> CPLResult:
+    """Convenience wrapper: estimate the CPL of one recorded interval."""
+    estimator = CPLEstimator(prb_entries=prb_entries)
+    return estimator.replay(interval.loads, interval.stalls)

@@ -1,0 +1,146 @@
+"""Offline dataflow-graph construction and critical-path-length computation.
+
+This is the *reference* implementation of dataflow accounting's central data
+structure: the dependency graph between SMS-load requests and commit periods
+(Section II of the paper).  It builds the full graph with the two rules the
+paper gives —
+
+1. the parent of a load request is the commit period that started closest in
+   time before the request was issued, and
+2. the child of a load request is the commit period that finished closest in
+   time after the request completed
+
+— and computes the Critical Path Length (CPL): the maximum number of loads on
+any path through the graph.  The runtime hardware approximation (PRB/PCB plus
+Algorithms 1–3) lives in :mod:`repro.core.cpl`; the property tests check the
+two agree when the PRB has unlimited capacity.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+from repro.cpu.events import CommitStall, IntervalStats, LoadRecord
+from repro.errors import AccountingError
+
+__all__ = ["CommitPeriod", "DataflowGraph", "commit_periods_from_stalls", "build_dataflow_graph"]
+
+
+@dataclass(frozen=True)
+class CommitPeriod:
+    """A maximal period during which the core commits instructions."""
+
+    index: int
+    start: float
+    end: float
+
+
+@dataclass
+class DataflowGraph:
+    """The load / commit-period dependency graph.
+
+    Nodes are commit periods (by index) and loads (by position in ``loads``).
+    ``load_parent[i]`` is the index of the commit period that is load *i*'s
+    parent (or -1); ``load_child[i]`` the commit period the load feeds into
+    (or -1 when the load completes after the last commit period).
+    """
+
+    commit_periods: list[CommitPeriod] = field(default_factory=list)
+    loads: list[LoadRecord] = field(default_factory=list)
+    load_parent: list[int] = field(default_factory=list)
+    load_child: list[int] = field(default_factory=list)
+
+    def critical_path_length(self) -> int:
+        """Number of loads on a longest path through the graph.
+
+        Commit periods contribute no length of their own; the CPL counts
+        non-overlapped loads, which is what determines how many memory
+        latencies must be paid back-to-back.
+        """
+        commit_depth = [0] * len(self.commit_periods)
+        cpl = 0
+        # Loads are processed in order of completion so every commit period's
+        # depth is final before any load that depends on it is resolved — the
+        # same topological order (by time) the hardware exploits.
+        order = sorted(range(len(self.loads)), key=lambda i: self.loads[i].completion_time)
+        for load_index in order:
+            parent = self.load_parent[load_index]
+            parent_depth = commit_depth[parent] if parent >= 0 else 0
+            load_depth = parent_depth + 1
+            cpl = max(cpl, load_depth)
+            child = self.load_child[load_index]
+            if child >= 0:
+                commit_depth[child] = max(commit_depth[child], load_depth)
+        return cpl
+
+    def to_networkx(self):
+        """Export the graph as a ``networkx.DiGraph`` (used by tests and examples)."""
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        for period in self.commit_periods:
+            graph.add_node(("commit", period.index), start=period.start, end=period.end)
+        for index, load in enumerate(self.loads):
+            graph.add_node(("load", index), address=load.address)
+            parent = self.load_parent[index]
+            child = self.load_child[index]
+            if parent >= 0:
+                graph.add_edge(("commit", parent), ("load", index))
+            if child >= 0:
+                graph.add_edge(("load", index), ("commit", child))
+        return graph
+
+
+def commit_periods_from_stalls(stalls: list[CommitStall], start_time: float,
+                               end_time: float) -> list[CommitPeriod]:
+    """Derive commit periods from the stall intervals of one estimate interval.
+
+    Commit periods are the gaps between consecutive stalls (plus the leading
+    and trailing gaps).  Zero-length gaps (back-to-back stalls) are skipped.
+    """
+    if end_time < start_time:
+        raise AccountingError("interval end precedes its start")
+    periods: list[CommitPeriod] = []
+    cursor = start_time
+    for stall in sorted(stalls, key=lambda item: item.start):
+        if stall.start > cursor:
+            periods.append(CommitPeriod(index=len(periods), start=cursor, end=stall.start))
+        cursor = max(cursor, stall.end)
+    if end_time > cursor:
+        periods.append(CommitPeriod(index=len(periods), start=cursor, end=end_time))
+    return periods
+
+
+def build_dataflow_graph(loads: list[LoadRecord], stalls: list[CommitStall],
+                         start_time: float, end_time: float,
+                         sms_only: bool = True) -> DataflowGraph:
+    """Build the dataflow graph for one interval's event stream."""
+    selected = [load for load in loads if load.is_sms] if sms_only else list(loads)
+    periods = commit_periods_from_stalls(stalls, start_time, end_time)
+    graph = DataflowGraph(commit_periods=periods, loads=selected)
+    period_starts = [period.start for period in periods]
+    period_ends = [period.end for period in periods]
+    for load in selected:
+        graph.load_parent.append(_parent_period(period_starts, load.issue_time))
+        graph.load_child.append(_child_period(period_ends, load.completion_time))
+    return graph
+
+
+def from_interval(interval: IntervalStats, sms_only: bool = True) -> DataflowGraph:
+    """Build the dataflow graph for one :class:`IntervalStats`."""
+    return build_dataflow_graph(
+        interval.loads, interval.stalls, interval.start_time, interval.end_time, sms_only=sms_only
+    )
+
+
+def _parent_period(period_starts: list[float], issue_time: float) -> int:
+    """Commit period that started closest in time before the load issued."""
+    index = bisect.bisect_right(period_starts, issue_time) - 1
+    return index if index >= 0 else -1
+
+
+def _child_period(period_ends: list[float], completion_time: float) -> int:
+    """Commit period that finishes closest in time after the load completes."""
+    index = bisect.bisect_left(period_ends, completion_time)
+    return index if index < len(period_ends) else -1

@@ -1,0 +1,79 @@
+"""GDP and GDP-O: Graph-based Dynamic Performance accounting.
+
+GDP estimates the private-mode SMS-load stall cycles of an application by
+multiplying the Critical Path Length (CPL) of its load/commit-period dataflow
+graph with the estimated private-mode memory latency:
+
+    sigma_hat_SMS (GDP)   = CPL * lambda_hat
+    sigma_hat_SMS (GDP-O) = CPL * (lambda_hat - O)
+
+where ``O`` is the average number of cycles the processor commits instructions
+while an SMS-load is pending (GDP-O's overlap correction).  The stall estimate
+plugs into the CPI decomposition model (Equation 2) to produce the
+private-mode CPI estimate pi-hat.
+
+Both techniques are *transparent*: they only observe events (L1-miss issues,
+completions, commit stalls) and never change how the memory system schedules
+requests, so they add no performance overhead to the running applications.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import AccountingTechnique, PrivateModeEstimate
+from repro.core.cpl import CPLEstimator
+from repro.core.performance_model import (
+    components_from_interval,
+    estimate_other_stalls,
+    private_mode_cpi,
+)
+from repro.cpu.events import IntervalStats
+from repro.latency.dief import DIEFLatencyEstimator
+
+__all__ = ["GDPAccounting", "GDPOAccounting"]
+
+
+class GDPAccounting(AccountingTechnique):
+    """Graph-based Dynamic Performance accounting (GDP)."""
+
+    name = "GDP"
+    _use_overlap = False
+
+    def __init__(self, prb_entries: int | None = 32,
+                 latency_estimator: DIEFLatencyEstimator | None = None):
+        self.prb_entries = prb_entries
+        self.latency_estimator = latency_estimator or DIEFLatencyEstimator()
+
+    def estimate(self, interval: IntervalStats) -> PrivateModeEstimate:
+        """Estimate private-mode performance for one shared-mode interval."""
+        components = components_from_interval(interval)
+        cpl_result = CPLEstimator(prb_entries=self.prb_entries).replay(
+            interval.loads, interval.stalls
+        )
+        latency = self.latency_estimator.estimate(interval)
+        private_latency = latency.private_latency
+
+        overlap = cpl_result.average_overlap if self._use_overlap else 0.0
+        effective_latency = max(0.0, private_latency - overlap)
+        sms_stall_estimate = cpl_result.cpl * effective_latency
+
+        other_estimate = estimate_other_stalls(
+            components, shared_latency=latency.shared_latency, private_latency=private_latency
+        )
+        cpi = private_mode_cpi(components, sms_stall_estimate, other_estimate)
+        return PrivateModeEstimate(
+            core=interval.core,
+            interval_index=interval.index,
+            cpi=cpi,
+            ipc=1.0 / cpi if cpi > 0 else 0.0,
+            sms_stall_cycles=sms_stall_estimate,
+            cpl=float(cpl_result.cpl),
+            private_latency=private_latency,
+            overlap=cpl_result.average_overlap if self._use_overlap else None,
+        )
+
+
+class GDPOAccounting(GDPAccounting):
+    """GDP with Overlap (GDP-O): subtracts commit/load overlap from the latency."""
+
+    name = "GDP-O"
+    _use_overlap = True

@@ -1,0 +1,63 @@
+"""The Pending Commit Buffer (PCB).
+
+The PCB is a single register (per core) describing the commit period that is
+currently in progress (Figure 2 of the paper): its depth in the dataflow
+graph, when it started, when it stalled, and which pending PRB requests are
+its children.  Together with the PRB it holds exactly the state Algorithms
+1–3 need to compute the critical path length online.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.prb import PRBEntry
+
+__all__ = ["PendingCommitBuffer"]
+
+# Field widths from Figure 2 (Depth, Started at, Stalled at; the Children bit
+# vector has one bit per PRB entry).
+_DEPTH_BITS = 15
+_TIMESTAMP_BITS = 28
+
+
+@dataclass
+class PendingCommitBuffer:
+    """State of the in-progress commit period."""
+
+    depth: int = 0
+    started_at: float = 0.0
+    stalled_at: float = 0.0
+    children: list[PRBEntry] = field(default_factory=list)
+
+    def start_new_period(self, depth: int, started_at: float) -> None:
+        """Begin a new commit period (Step 2 of Algorithm 3)."""
+        self.depth = depth
+        self.started_at = started_at
+        self.stalled_at = started_at
+        self.children = []
+
+    def add_child(self, entry: PRBEntry) -> None:
+        """Record that a request issued during this commit period (Algorithm 1)."""
+        self.children.append(entry)
+
+    def remove_child(self, entry: PRBEntry) -> None:
+        """Drop a child pointer (when a PMS-load invalidates its PRB entry)."""
+        self.children = [child for child in self.children if child is not entry]
+
+    def valid_children(self) -> list[PRBEntry]:
+        """Children whose PRB entries are still valid."""
+        return [child for child in self.children if child.valid]
+
+    def mark_stalled(self, time: float) -> None:
+        """Record when this commit period stopped committing instructions."""
+        self.stalled_at = time
+
+    def reset(self, time: float = 0.0) -> None:
+        """Reset the PCB, e.g. when the CPL is retrieved at an interval boundary."""
+        self.start_new_period(depth=0, started_at=time)
+
+    @staticmethod
+    def storage_bits(prb_entries: int) -> int:
+        """PCB storage cost in bits for a given PRB size (Figure 2)."""
+        return _DEPTH_BITS + 2 * _TIMESTAMP_BITS + prb_entries

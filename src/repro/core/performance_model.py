@@ -1,0 +1,102 @@
+"""The CPI decomposition performance model (Equations 1 and 2 of the paper).
+
+Shared-mode performance decomposes into commit cycles plus stall cycles by
+cause (Equation 1):
+
+    CPI_p = (C_p + S_ind + S_loads + S_other) / Inst_p
+
+with load stalls further split into private-memory-system (PMS) and shared-
+memory-system (SMS) load stalls.  Because only the memory system differs
+between the shared and private modes, the commit cycles, the memory-
+independent stalls and the PMS-load stalls carry over unchanged; the private-
+mode estimate replaces the SMS-load stalls and the (rare) other stalls with
+estimates (Equation 2):
+
+    pi_hat_p = (C_p + S_ind + S_pms + sigma_hat_sms + sigma_hat_other) / Inst_p
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.events import IntervalStats
+from repro.errors import AccountingError
+
+__all__ = ["CPIComponents", "components_from_interval", "estimate_other_stalls", "private_mode_cpi"]
+
+
+@dataclass(frozen=True)
+class CPIComponents:
+    """Shared-mode cycle components of one estimate interval (Equation 1)."""
+
+    instructions: int
+    commit_cycles: float
+    independent_stall_cycles: float
+    pms_stall_cycles: float
+    sms_stall_cycles: float
+    other_stall_cycles: float
+
+    @property
+    def total_cycles(self) -> float:
+        return (
+            self.commit_cycles
+            + self.independent_stall_cycles
+            + self.pms_stall_cycles
+            + self.sms_stall_cycles
+            + self.other_stall_cycles
+        )
+
+    @property
+    def cpi(self) -> float:
+        return self.total_cycles / self.instructions if self.instructions else 0.0
+
+
+def components_from_interval(interval: IntervalStats) -> CPIComponents:
+    """Extract the Equation 1 components from a shared-mode interval."""
+    return CPIComponents(
+        instructions=interval.instructions,
+        commit_cycles=interval.commit_cycles,
+        independent_stall_cycles=interval.stall_independent,
+        pms_stall_cycles=interval.stall_pms,
+        sms_stall_cycles=interval.stall_sms,
+        other_stall_cycles=interval.stall_other,
+    )
+
+
+def estimate_other_stalls(components: CPIComponents, shared_latency: float,
+                          private_latency: float) -> float:
+    """Estimate private-mode "other" stalls (store buffer, blocked L1, ...).
+
+    The paper observes these events are rare and that scaling their length by
+    the ratio of private to shared memory latency is sufficiently accurate.
+    """
+    if components.other_stall_cycles <= 0:
+        return 0.0
+    if shared_latency <= 0:
+        return components.other_stall_cycles
+    ratio = max(0.0, min(1.0, private_latency / shared_latency))
+    return components.other_stall_cycles * ratio
+
+
+def private_mode_cpi(components: CPIComponents, sms_stall_estimate: float,
+                     other_stall_estimate: float | None = None) -> float:
+    """Evaluate Equation 2: the private-mode CPI estimate pi-hat.
+
+    ``sms_stall_estimate`` is the accounting technique's sigma-hat_SMS;
+    ``other_stall_estimate`` defaults to carrying the shared-mode other stalls
+    over unchanged.
+    """
+    if components.instructions <= 0:
+        raise AccountingError("cannot estimate CPI over an interval with no instructions")
+    if sms_stall_estimate < 0:
+        sms_stall_estimate = 0.0
+    if other_stall_estimate is None:
+        other_stall_estimate = components.other_stall_cycles
+    cycles = (
+        components.commit_cycles
+        + components.independent_stall_cycles
+        + components.pms_stall_cycles
+        + sms_stall_estimate
+        + other_stall_estimate
+    )
+    return cycles / components.instructions

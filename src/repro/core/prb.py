@@ -1,0 +1,134 @@
+"""The Pending Request Buffer (PRB).
+
+The PRB is a small, fully associative buffer — indexed by request address and
+by buffer index — that holds the SMS-load requests the CPL-estimation unit is
+currently tracking (Figure 2 of the paper).  Each entry keeps the request's
+depth in the dataflow graph, whether it has completed, when it completed and
+(for GDP-O) how many cycles the processor committed instructions while the
+request was pending.
+
+The buffer is deliberately simple: when it is full the oldest pending request
+is invalidated.  Section IV-A argues (and Section VII-B measures) that this
+rarely disturbs the CPL, because if the oldest load has not stalled commit it
+is unlikely to sit on the critical path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AccountingError
+
+__all__ = ["PRBEntry", "PendingRequestBuffer"]
+
+# Field widths from Figure 2, used to report the hardware storage cost.
+_ADDRESS_BITS = 48
+_DEPTH_BITS = 15
+_TIMESTAMP_BITS = 28
+_OVERLAP_BITS = 14
+_FLAG_BITS = 2  # Completed + Valid
+
+
+@dataclass
+class PRBEntry:
+    """One PRB entry (one in-flight or recently completed SMS-load)."""
+
+    address: int
+    depth: int = 0
+    completed: bool = False
+    completed_at: float = 0.0
+    overlap: float = 0.0
+    valid: bool = True
+
+
+class PendingRequestBuffer:
+    """Bounded buffer of pending load requests with oldest-entry eviction.
+
+    ``capacity=None`` models unlimited buffer space, which the paper uses as
+    the reference when measuring how much the capacity-eviction policy costs
+    in CPL accuracy (Figure 7e).
+    """
+
+    def __init__(self, capacity: int | None = 32):
+        if capacity is not None and capacity <= 0:
+            raise AccountingError("the PRB needs a positive capacity (or None for unlimited)")
+        self.capacity = capacity
+        self._entries: list[PRBEntry] = []
+        self.evictions = 0
+        self.insertions = 0
+
+    def __len__(self) -> int:
+        return sum(1 for entry in self._entries if entry.valid)
+
+    def __iter__(self):
+        return (entry for entry in self._entries if entry.valid)
+
+    # ------------------------------------------------------------------ insertion / lookup
+
+    def insert(self, address: int, depth: int = 0) -> PRBEntry:
+        """Algorithm 1: add a request, evicting the oldest pending one if full."""
+        self._compact()
+        if self.capacity is not None and len(self._entries) >= self.capacity:
+            self._evict_oldest()
+        entry = PRBEntry(address=address, depth=depth)
+        self._entries.append(entry)
+        self.insertions += 1
+        return entry
+
+    def find(self, address: int) -> PRBEntry | None:
+        """Return the oldest valid entry with the given address, if any."""
+        for entry in self._entries:
+            if entry.valid and entry.address == address:
+                return entry
+        return None
+
+    def invalidate(self, entry: PRBEntry) -> None:
+        entry.valid = False
+
+    # ------------------------------------------------------------------ queries used by Algorithm 3
+
+    def completed_entries(self) -> list[PRBEntry]:
+        """All valid entries whose request has completed."""
+        return [entry for entry in self._entries if entry.valid and entry.completed]
+
+    def pending_entries(self) -> list[PRBEntry]:
+        """All valid entries whose request is still outstanding."""
+        return [entry for entry in self._entries if entry.valid and not entry.completed]
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    # ------------------------------------------------------------------ internals
+
+    def _evict_oldest(self) -> None:
+        for entry in self._entries:
+            if entry.valid and not entry.completed:
+                entry.valid = False
+                self.evictions += 1
+                self._compact()
+                return
+        # Everything is completed; drop the oldest completed entry instead.
+        for entry in self._entries:
+            if entry.valid:
+                entry.valid = False
+                self.evictions += 1
+                break
+        self._compact()
+
+    def _compact(self) -> None:
+        self._entries = [entry for entry in self._entries if entry.valid]
+
+    # ------------------------------------------------------------------ hardware cost
+
+    @staticmethod
+    def entry_bits(with_overlap: bool = False) -> int:
+        """Storage bits per PRB entry (Figure 2 field widths)."""
+        bits = _ADDRESS_BITS + _DEPTH_BITS + _TIMESTAMP_BITS + _FLAG_BITS
+        if with_overlap:
+            bits += _OVERLAP_BITS
+        return bits
+
+    def storage_bits(self, with_overlap: bool = False) -> int:
+        """Total PRB storage in bits for the configured capacity."""
+        capacity = self.capacity if self.capacity is not None else len(self._entries)
+        return capacity * self.entry_bits(with_overlap)

@@ -1,0 +1,14 @@
+"""Out-of-order core model and the event records it produces."""
+
+from repro.cpu.core import CoreProgress, OutOfOrderCore
+from repro.cpu.events import CommitStall, IntervalStats, LoadRecord, StallCause, annotate_overlap
+
+__all__ = [
+    "CoreProgress",
+    "OutOfOrderCore",
+    "CommitStall",
+    "IntervalStats",
+    "LoadRecord",
+    "StallCause",
+    "annotate_overlap",
+]

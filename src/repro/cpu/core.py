@@ -1,0 +1,319 @@
+"""Trace-driven out-of-order core model.
+
+The model is interval-style: every instruction gets a dispatch time, a ready
+time and a commit time with O(1) work, which reproduces the behaviour the
+paper's accounting techniques depend on without cycle-stepping:
+
+* in-order commit at the pipeline width, with commit stalls whenever the
+  instruction at the head of the ROB (modelled through the commit stream) is a
+  load whose data has not returned;
+* memory-level parallelism: independent loads overlap, loads with data
+  dependencies serialise;
+* ROB-occupancy back-pressure: dispatch of instruction *i* cannot overtake the
+  commit of instruction *i - ROB_entries*;
+* MSHR limits via the memory hierarchy.
+
+The core records the event stream (L1-miss loads, commit stalls) that the
+accounting layer replays, and buckets statistics per estimate interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.events import CommitStall, IntervalStats, LoadRecord, StallCause, annotate_overlap
+from repro.errors import SimulationError
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.config import CMPConfig
+from repro.workloads.trace import InstrKind, Trace
+
+__all__ = ["CoreProgress", "OutOfOrderCore"]
+
+# Every LONG_OP_PERIOD-th compute instruction is treated as a long-latency
+# operation (e.g. an FP divide).  The choice is a deterministic function of the
+# instruction index so shared- and private-mode runs stall on the same
+# instructions, as they would in reality.
+_LONG_OP_PERIOD = 24
+_LONG_OP_LATENCY = 12
+
+
+@dataclass(frozen=True)
+class CoreProgress:
+    """Summary of a core's progress, used by the co-simulation scheduler."""
+
+    core: int
+    committed_instructions: int
+    current_time: float
+    finished: bool
+
+
+class OutOfOrderCore:
+    """One processor core executing a trace against a memory hierarchy."""
+
+    def __init__(self, core_id: int, trace: Trace, config: CMPConfig,
+                 hierarchy: MemoryHierarchy, target_instructions: int | None = None,
+                 interval_instructions: int | None = None):
+        if len(trace) == 0:
+            raise SimulationError("cannot run an empty trace")
+        self.core_id = core_id
+        self.trace = trace
+        self.config = config
+        self.hierarchy = hierarchy
+        self.target_instructions = target_instructions or len(trace)
+        self.interval_instructions = (
+            interval_instructions or config.accounting.estimate_interval_instructions
+        )
+        self.epoch_cycles = config.accounting.asm_epoch_cycles
+
+        width = config.core.width
+        self._dispatch_interval = 1.0 / width
+        self._commit_interval = 1.0 / width
+        self._rob_entries = config.core.rob_entries
+        self._compute_latency = float(config.core.compute_latency)
+
+        # Rolling commit-time window used for the ROB-occupancy constraint.
+        self._commit_window = [0.0] * self._rob_entries
+        self._last_dispatch = 0.0
+        self._last_commit = 0.0
+        self._trace_position = 0
+        self._committed = 0
+        # Completion time of each load, indexed by trace position, for
+        # load-to-load dependencies.  Only recent entries are retained.
+        self._load_completion: dict[int, float] = {}
+
+        self.intervals: list[IntervalStats] = []
+        self._interval = self._new_interval(index=0, start_time=0.0)
+        self.finished = False
+
+    # ------------------------------------------------------------------ public API
+
+    def progress(self) -> CoreProgress:
+        return CoreProgress(
+            core=self.core_id,
+            committed_instructions=self._committed,
+            current_time=self._last_commit,
+            finished=self.finished,
+        )
+
+    @property
+    def committed_instructions(self) -> int:
+        return self._committed
+
+    @property
+    def current_time(self) -> float:
+        return self._last_commit
+
+    def next_event_time(self) -> float:
+        """Estimated time of the next instruction's dispatch (for co-sim ordering)."""
+        oldest_commit = self._commit_window[self._trace_position % self._rob_entries]
+        return max(self._last_dispatch + self._dispatch_interval, oldest_commit)
+
+    def step(self) -> None:
+        """Process one instruction."""
+        if self.finished:
+            return
+        position = self._trace_position % len(self.trace)
+        kind = self.trace.kinds[position]
+        address = self.trace.addresses[position]
+        dep = self.trace.deps[position]
+
+        dispatch = self.next_event_time()
+        self._last_dispatch = dispatch
+
+        if kind == InstrKind.COMPUTE:
+            ready, cause, load_record = self._execute_compute(dispatch)
+        elif kind == InstrKind.STORE:
+            ready, cause, load_record = self._execute_store(dispatch, address)
+        else:
+            ready, cause, load_record = self._execute_load(dispatch, address, dep)
+
+        self._commit(ready, cause, load_record)
+        self._trace_position += 1
+        self._committed += 1
+        if self._committed % self.interval_instructions == 0:
+            self._close_interval()
+        if self._committed >= self.target_instructions:
+            self._finish()
+
+    # ------------------------------------------------------------------ execution
+
+    def _execute_compute(self, dispatch: float):
+        latency = self._compute_latency
+        if self._trace_position % _LONG_OP_PERIOD == 0:
+            latency = float(_LONG_OP_LATENCY)
+        return dispatch + latency, StallCause.INDEPENDENT, None
+
+    def _execute_store(self, dispatch: float, address: int):
+        # The store buffer hides store latency from commit; the access still
+        # updates cache state through the hierarchy.
+        self.hierarchy.access(self.core_id, address, dispatch, is_store=True)
+        return dispatch + self._compute_latency, StallCause.OTHER, None
+
+    def _execute_load(self, dispatch: float, address: int, dep: int):
+        issue = dispatch
+        if dep >= 0:
+            dep_completion = self._lookup_dependency(dep)
+            issue = max(issue, dep_completion)
+        result = self.hierarchy.access(self.core_id, address, issue)
+        self._load_completion[self._trace_position] = result.completion_time
+        if len(self._load_completion) > 4 * self._rob_entries:
+            self._prune_dependencies()
+        if result.l1_hit:
+            # L1 hits never enter the PRB and cannot cause visible SMS stalls.
+            return result.completion_time, StallCause.PMS_LOAD, None
+        record = LoadRecord(
+            instr_index=self._trace_position,
+            address=address,
+            issue_time=result.issue_time,
+            completion_time=result.completion_time,
+            is_sms=result.is_sms,
+            latency=result.latency,
+            interference_cycles=result.interference_cycles,
+            llc_hit=result.llc_hit,
+            interference_miss=result.interference_miss,
+        )
+        self._interval.loads.append(record)
+        cause = StallCause.SMS_LOAD if result.is_sms else StallCause.PMS_LOAD
+        return result.completion_time, cause, record
+
+    def _lookup_dependency(self, dep_position: int) -> float:
+        # Dependencies refer to positions in the (possibly repeated) trace; map
+        # them into the current repetition.
+        base = (self._trace_position // len(self.trace)) * len(self.trace)
+        candidates = (base + dep_position, base - len(self.trace) + dep_position)
+        for candidate in candidates:
+            if candidate in self._load_completion:
+                return self._load_completion[candidate]
+        return 0.0
+
+    def _prune_dependencies(self) -> None:
+        horizon = self._trace_position - 2 * self._rob_entries
+        stale = [key for key in self._load_completion if key < horizon]
+        for key in stale:
+            del self._load_completion[key]
+
+    # ------------------------------------------------------------------ commit
+
+    def _commit(self, ready: float, cause: str, load_record: LoadRecord | None) -> None:
+        earliest = self._last_commit + self._commit_interval
+        commit_time = max(earliest, ready)
+        gap = commit_time - earliest
+        if gap > 1e-9:
+            # The portion of the gap beyond the pipelined commit rate is a
+            # stall; attribute it to the instruction that blocked commit.  The
+            # stall starts at the cycle the instruction could have committed.
+            self._record_stall(earliest, commit_time, gap, cause, load_record)
+        self._last_commit = commit_time
+        self._commit_window[self._trace_position % self._rob_entries] = commit_time
+        self._bucket_epoch(commit_time, load_record)
+
+    def _record_stall(self, start: float, end: float, cycles: float, cause: str,
+                      load_record: LoadRecord | None) -> None:
+        interval = self._interval
+        if cause == StallCause.SMS_LOAD:
+            interval.stall_sms += cycles
+        elif cause == StallCause.PMS_LOAD:
+            interval.stall_pms += cycles
+        elif cause == StallCause.INDEPENDENT:
+            interval.stall_independent += cycles
+        else:
+            interval.stall_other += cycles
+        stall = CommitStall(
+            start=start,
+            end=end,
+            cause=cause,
+            load_address=load_record.address if load_record is not None else None,
+            load_is_sms=load_record.is_sms if load_record is not None else False,
+        )
+        interval.stalls.append(stall)
+        epoch = int(start // self.epoch_cycles)
+        interval.epoch_stall_cycles[epoch] = interval.epoch_stall_cycles.get(epoch, 0.0) + cycles
+        if load_record is not None:
+            load_record.caused_stall = True
+            load_record.stall_start = start
+            load_record.stall_end = end
+
+    def _bucket_epoch(self, commit_time: float, load_record: LoadRecord | None) -> None:
+        interval = self._interval
+        epoch = int(commit_time // self.epoch_cycles)
+        interval.epoch_instructions[epoch] = interval.epoch_instructions.get(epoch, 0) + 1
+        if load_record is not None and load_record.is_sms:
+            interval.epoch_sms_accesses[epoch] = interval.epoch_sms_accesses.get(epoch, 0) + 1
+
+    # ------------------------------------------------------------------ intervals
+
+    def _new_interval(self, index: int, start_time: float) -> IntervalStats:
+        self.hierarchy.reset_interval_counters(self.core_id)
+        return IntervalStats(
+            core=self.core_id,
+            index=index,
+            start_time=start_time,
+            end_time=start_time,
+            instructions=0,
+            commit_cycles=0.0,
+            stall_sms=0.0,
+            stall_pms=0.0,
+            stall_independent=0.0,
+            stall_other=0.0,
+        )
+
+    def _close_interval(self) -> None:
+        interval = self._interval
+        interval.end_time = self._last_commit
+        interval.instructions = self.interval_instructions
+        interval.commit_cycles = max(
+            0.0, interval.total_cycles - interval.stall_cycles
+        )
+        counters = self.hierarchy.counters[self.core_id]
+        interval.sms_loads = counters.sms_loads
+        interval.sms_latency_sum = counters.sms_latency_sum
+        interval.pre_llc_latency_sum = counters.pre_llc_latency_sum
+        interval.post_llc_latency_sum = counters.post_llc_latency_sum
+        interval.interference_sum = counters.interference_sum
+        interval.interference_miss_penalty_sum = counters.interference_miss_penalty_sum
+        interval.dram_interference_sum = counters.dram_interference_sum
+        interval.llc_accesses = counters.llc_accesses
+        interval.llc_misses = counters.llc_misses
+        interval.interference_misses = counters.interference_misses
+        interval.sampled_llc_misses = counters.sampled_llc_misses
+        annotate_overlap(interval.loads, interval.stalls)
+        self.intervals.append(interval)
+        self._interval = self._new_interval(index=interval.index + 1, start_time=self._last_commit)
+
+    def _finish(self) -> None:
+        # Close a trailing partial interval if it contains any instructions.
+        remainder = self._committed % self.interval_instructions
+        if remainder:
+            interval = self._interval
+            interval.end_time = self._last_commit
+            interval.instructions = remainder
+            interval.commit_cycles = max(0.0, interval.total_cycles - interval.stall_cycles)
+            counters = self.hierarchy.counters[self.core_id]
+            interval.sms_loads = counters.sms_loads
+            interval.sms_latency_sum = counters.sms_latency_sum
+            interval.pre_llc_latency_sum = counters.pre_llc_latency_sum
+            interval.post_llc_latency_sum = counters.post_llc_latency_sum
+            interval.interference_sum = counters.interference_sum
+            interval.interference_miss_penalty_sum = counters.interference_miss_penalty_sum
+            interval.dram_interference_sum = counters.dram_interference_sum
+            interval.llc_accesses = counters.llc_accesses
+            interval.llc_misses = counters.llc_misses
+            interval.interference_misses = counters.interference_misses
+            interval.sampled_llc_misses = counters.sampled_llc_misses
+            annotate_overlap(interval.loads, interval.stalls)
+            self.intervals.append(interval)
+        self.finished = True
+
+    # ------------------------------------------------------------------ aggregate statistics
+
+    @property
+    def total_cycles(self) -> float:
+        return self._last_commit
+
+    @property
+    def cpi(self) -> float:
+        return self._last_commit / self._committed if self._committed else 0.0
+
+    @property
+    def ipc(self) -> float:
+        return self._committed / self._last_commit if self._last_commit else 0.0

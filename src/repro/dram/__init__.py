@@ -1,0 +1,6 @@
+"""DRAM subsystem: bank/row-buffer model and the FR-FCFS-style memory controller."""
+
+from repro.dram.bank import DRAMBank
+from repro.dram.controller import DRAMAccessResult, MemoryController
+
+__all__ = ["DRAMBank", "DRAMAccessResult", "MemoryController"]

@@ -1,0 +1,61 @@
+"""DRAM bank and row-buffer state.
+
+Each bank keeps its open row (open-page policy) and the time at which it can
+accept the next command.  The memory controller keeps one set of banks for the
+actual shared-mode schedule and, per core, a *shadow* set that emulates the
+schedule the core would have seen alone — the mechanism DIEF uses to estimate
+private-mode latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import DRAMTimingConfig
+
+__all__ = ["DRAMBank"]
+
+
+@dataclass
+class DRAMBank:
+    """State of one DRAM bank."""
+
+    timing: DRAMTimingConfig
+    open_row: int | None = None
+    next_ready: float = 0.0
+    row_hits: int = 0
+    row_misses: int = 0
+
+    def access_latency(self, row: int) -> tuple[int, bool]:
+        """Return (latency, row_hit) for accessing ``row`` given the current open row."""
+        if self.open_row == row:
+            return self.timing.row_hit_latency, True
+        return self.timing.row_miss_latency, False
+
+    def service(self, row: int, start_time: float) -> tuple[float, bool]:
+        """Service one access starting no earlier than ``start_time``.
+
+        Returns (completion_time, row_hit).  The bank becomes ready for the
+        next command once the access completes, and the open row is updated
+        per the open-page policy.
+        """
+        latency, row_hit = self.access_latency(row)
+        begin = max(start_time, self.next_ready)
+        completion = begin + latency
+        self.next_ready = completion
+        self.open_row = row
+        if row_hit:
+            self.row_hits += 1
+        else:
+            self.row_misses += 1
+        return completion, row_hit
+
+    def row_hit_rate(self) -> float:
+        total = self.row_hits + self.row_misses
+        return self.row_hits / total if total else 0.0
+
+    def reset(self) -> None:
+        self.open_row = None
+        self.next_ready = 0.0
+        self.row_hits = 0
+        self.row_misses = 0

@@ -1,0 +1,218 @@
+"""Memory controller model: banks, channels, data bus and FR-FCFS-style scheduling.
+
+The controller resolves each read request into a queueing delay, a bank access
+(row hit or row miss) and a data-bus transfer.  Because the surrounding
+simulation is trace driven and single pass, requests are scheduled in arrival
+order; FR-FCFS behaviour is approximated through the open-page policy (row
+hits are cheap) and bank-level parallelism.  Two features matter for the
+paper's evaluation and are modelled explicitly:
+
+* **interference attribution** — for every request, the controller also
+  advances a per-core *shadow* copy of the bank/bus state that only ever sees
+  that core's own requests.  The difference between the shared-mode completion
+  and the shadow completion is the latency caused by other cores.  This
+  mirrors DIEF's hardware emulation of the private-mode service order.
+* **per-core priority** — the invasive ASM technique periodically gives one
+  core highest priority in the controller.  A prioritised request bypasses the
+  accumulated backlog of other cores (it only waits for physical bank/bus
+  timing), while everyone else queues behind it, recreating the backlog
+  behaviour the paper describes in Figure 1c.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dram.bank import DRAMBank
+from repro.errors import ConfigurationError
+from repro.config import DRAMConfig
+
+__all__ = ["DRAMAccessResult", "MemoryController"]
+
+
+@dataclass(frozen=True)
+class DRAMAccessResult:
+    """Timing of one DRAM read."""
+
+    arrival: float
+    service_start: float
+    completion: float
+    row_hit: bool
+    channel: int
+    bank: int
+    queue_wait: float
+    interference_wait: float
+    private_latency_estimate: float
+
+    @property
+    def latency(self) -> float:
+        return self.completion - self.arrival
+
+
+@dataclass
+class _ShadowChannel:
+    """Per-core emulation of the channel as if the core were alone."""
+
+    banks: list[DRAMBank]
+    bus_next_free: float = 0.0
+
+
+@dataclass
+class _Channel:
+    banks: list[DRAMBank]
+    bus_next_free: float = 0.0
+    shadows: dict[int, _ShadowChannel] = field(default_factory=dict)
+
+
+class MemoryController:
+    """A multi-channel memory controller with open-page banks and priority support."""
+
+    def __init__(self, config: DRAMConfig, line_bytes: int = 64):
+        config.validate()
+        self.config = config
+        self.timing = config.timing
+        self.line_bytes = line_bytes
+        self._channels = [
+            _Channel(banks=[DRAMBank(config.timing) for _ in range(config.banks_per_channel)])
+            for _ in range(config.channels)
+        ]
+        self._priority_core: int | None = None
+        self.reads = 0
+        self.row_hit_reads = 0
+        self.per_core_reads: dict[int, int] = {}
+        self.per_core_queue_cycles: dict[int, float] = {}
+        self.per_core_interference_cycles: dict[int, float] = {}
+
+    # ------------------------------------------------------------------ address mapping
+
+    def map_address(self, address: int) -> tuple[int, int, int]:
+        """Map a byte address to (channel, bank, row)."""
+        line = address // self.line_bytes
+        channel = line % self.config.channels
+        line //= self.config.channels
+        bank = line % self.config.banks_per_channel
+        row = address // self.config.page_bytes
+        return channel, bank, row
+
+    # ------------------------------------------------------------------ priority (ASM)
+
+    def set_priority_core(self, core: int | None) -> None:
+        """Give one core highest scheduling priority (None disables priority)."""
+        if core is not None and core < 0:
+            raise ConfigurationError("priority core id cannot be negative")
+        self._priority_core = core
+
+    @property
+    def priority_core(self) -> int | None:
+        return self._priority_core
+
+    # ------------------------------------------------------------------ access
+
+    def access(self, address: int, core: int, arrival: float) -> DRAMAccessResult:
+        """Service one read request and return its timing and interference breakdown."""
+        channel_index, bank_index, row = self.map_address(address)
+        channel = self._channels[channel_index]
+        bank = channel.banks[bank_index]
+
+        prioritised = self._priority_core is not None and core == self._priority_core
+        latency, row_hit = bank.access_latency(row)
+        if prioritised:
+            # A prioritised request bypasses the queued backlog of other cores
+            # and is scheduled as soon as physical timing allows.  It still
+            # consumes bank and bus capacity, so the backlog of everyone else
+            # grows by its service time (the Figure 1c backlog effect) and no
+            # bandwidth is created out of thin air.
+            service_start = arrival
+            bus_available = arrival
+        else:
+            service_start = max(arrival, bank.next_ready)
+            bus_available = channel.bus_next_free
+        data_ready = service_start + latency - self.timing.data_transfer_latency
+        data_start = max(data_ready, bus_available)
+        completion = data_start + self.timing.data_transfer_latency
+        queue_wait = (service_start - arrival) + (data_start - data_ready)
+
+        # Commit shared resource state: the request's service time is always
+        # appended to the schedule, whether it bypassed the queue or not.
+        if prioritised:
+            bank.next_ready = max(bank.next_ready, arrival) + latency
+            channel.bus_next_free = (
+                max(channel.bus_next_free, arrival) + self.timing.data_transfer_latency
+            )
+        else:
+            bank.next_ready = service_start + latency
+            channel.bus_next_free = completion
+        bank.open_row = row
+        if row_hit:
+            bank.row_hits += 1
+            self.row_hit_reads += 1
+        else:
+            bank.row_misses += 1
+
+        # Shadow (alone-on-the-machine) emulation for interference attribution.
+        shadow_completion = self._shadow_access(channel, core, bank_index, row, arrival)
+        private_latency = shadow_completion - arrival
+        interference_wait = max(0.0, completion - shadow_completion)
+
+        self.reads += 1
+        self.per_core_reads[core] = self.per_core_reads.get(core, 0) + 1
+        self.per_core_queue_cycles[core] = self.per_core_queue_cycles.get(core, 0.0) + queue_wait
+        self.per_core_interference_cycles[core] = (
+            self.per_core_interference_cycles.get(core, 0.0) + interference_wait
+        )
+
+        return DRAMAccessResult(
+            arrival=arrival,
+            service_start=service_start,
+            completion=completion,
+            row_hit=row_hit,
+            channel=channel_index,
+            bank=bank_index,
+            queue_wait=queue_wait,
+            interference_wait=interference_wait,
+            private_latency_estimate=private_latency,
+        )
+
+    def _shadow_access(self, channel: _Channel, core: int, bank_index: int, row: int,
+                       arrival: float) -> float:
+        """Advance the core's private-mode shadow state and return the shadow completion."""
+        shadow = channel.shadows.get(core)
+        if shadow is None:
+            shadow = _ShadowChannel(
+                banks=[DRAMBank(self.timing) for _ in range(self.config.banks_per_channel)]
+            )
+            channel.shadows[core] = shadow
+        bank = shadow.banks[bank_index]
+        latency, _ = bank.access_latency(row)
+        service_start = max(arrival, bank.next_ready)
+        data_ready = service_start + latency - self.timing.data_transfer_latency
+        data_start = max(data_ready, shadow.bus_next_free)
+        completion = data_start + self.timing.data_transfer_latency
+        bank.next_ready = service_start + latency
+        bank.open_row = row
+        shadow.bus_next_free = completion
+        return completion
+
+    # ------------------------------------------------------------------ statistics
+
+    def row_hit_rate(self) -> float:
+        return self.row_hit_reads / self.reads if self.reads else 0.0
+
+    def average_queue_wait(self, core: int) -> float:
+        reads = self.per_core_reads.get(core, 0)
+        if reads == 0:
+            return 0.0
+        return self.per_core_queue_cycles.get(core, 0.0) / reads
+
+    def average_interference_wait(self, core: int) -> float:
+        reads = self.per_core_reads.get(core, 0)
+        if reads == 0:
+            return 0.0
+        return self.per_core_interference_cycles.get(core, 0.0) / reads
+
+    def reset_statistics(self) -> None:
+        self.reads = 0
+        self.row_hit_reads = 0
+        self.per_core_reads.clear()
+        self.per_core_queue_cycles.clear()
+        self.per_core_interference_cycles.clear()

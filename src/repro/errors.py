@@ -1,0 +1,25 @@
+"""Exception types used across the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a simulator or model configuration is invalid."""
+
+
+class SimulationError(ReproError):
+    """Raised when the simulator reaches an inconsistent state."""
+
+
+class TraceError(ReproError):
+    """Raised when a workload trace is malformed."""
+
+
+class AccountingError(ReproError):
+    """Raised when a performance-accounting component is misused."""
+
+
+class PartitioningError(ReproError):
+    """Raised when a cache-partitioning policy produces an invalid allocation."""

@@ -1,0 +1,65 @@
+"""Experiment harnesses: one module per paper figure plus the headline summary.
+
+Every module exposes a ``run_*`` function returning a structured result with a
+``report()`` method, and can also be run directly, e.g.::
+
+    python -m repro.experiments.figure3
+"""
+
+from repro.experiments.accuracy import (
+    TECHNIQUE_NAMES,
+    BenchmarkAccuracy,
+    ComponentAccuracy,
+    WorkloadAccuracy,
+    evaluate_workload_accuracy,
+    summarize_rms,
+)
+from repro.experiments.case_study import (
+    POLICY_NAMES,
+    WorkloadThroughput,
+    average_throughput,
+    build_policy,
+    evaluate_workload_throughput,
+)
+from repro.experiments.common import EXPERIMENT_LLC_KILOBYTES, default_experiment_config
+from repro.experiments.figure3 import Figure3Result, run_figure3
+from repro.experiments.figure4 import Figure4Result, run_figure4
+from repro.experiments.figure5 import Figure5Result, run_figure5
+from repro.experiments.figure6 import Figure6Result, Figure6Settings, run_figure6
+from repro.experiments.figure7 import Figure7Result, Figure7Settings, run_figure7, run_figure7_panel
+from repro.experiments.summary import HeadlineResult, run_headline_summary
+from repro.experiments.sweep import AccuracySweep, SweepSettings, run_accuracy_sweep
+
+__all__ = [
+    "TECHNIQUE_NAMES",
+    "POLICY_NAMES",
+    "BenchmarkAccuracy",
+    "ComponentAccuracy",
+    "WorkloadAccuracy",
+    "WorkloadThroughput",
+    "evaluate_workload_accuracy",
+    "evaluate_workload_throughput",
+    "summarize_rms",
+    "average_throughput",
+    "build_policy",
+    "EXPERIMENT_LLC_KILOBYTES",
+    "default_experiment_config",
+    "Figure3Result",
+    "run_figure3",
+    "Figure4Result",
+    "run_figure4",
+    "Figure5Result",
+    "run_figure5",
+    "Figure6Result",
+    "Figure6Settings",
+    "run_figure6",
+    "Figure7Result",
+    "Figure7Settings",
+    "run_figure7",
+    "run_figure7_panel",
+    "HeadlineResult",
+    "run_headline_summary",
+    "AccuracySweep",
+    "SweepSettings",
+    "run_accuracy_sweep",
+]

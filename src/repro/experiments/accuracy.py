@@ -1,0 +1,223 @@
+"""Accuracy evaluation engine (behind Figures 3, 4 and 5).
+
+For a workload, the engine runs:
+
+* one shared-mode simulation (used by the transparent techniques: ITCA, PTCA,
+  GDP and GDP-O),
+* one shared-mode simulation with ASM's epoch priority rotation installed
+  (used by ASM, since it is invasive and needs the rotation to take place),
+* one private-mode simulation per benchmark (the ground truth).
+
+Intervals are aligned by committed instruction count, so interval *k* in
+shared and private mode covers the same instructions, as the paper's
+methodology requires.  Per-benchmark RMS errors follow Equation 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines import ASMAccounting, ITCAAccounting, PTCAAccounting, install_asm_rotation
+from repro.core.base import AccountingTechnique
+from repro.core.cpl import estimate_interval_cpl
+from repro.core.gdp import GDPAccounting, GDPOAccounting
+from repro.cpu.events import IntervalStats
+from repro.latency.dief import DIEFLatencyEstimator
+from repro.metrics.errors import mean, rms
+from repro.config import CMPConfig
+from repro.sim.runner import build_trace, run_private_mode, run_shared_mode
+from repro.workloads.mixes import Workload
+
+__all__ = [
+    "TECHNIQUE_NAMES",
+    "BenchmarkAccuracy",
+    "WorkloadAccuracy",
+    "ComponentAccuracy",
+    "evaluate_workload_accuracy",
+    "summarize_rms",
+]
+
+TECHNIQUE_NAMES = ("ITCA", "PTCA", "ASM", "GDP", "GDP-O")
+
+DEFAULT_INSTRUCTIONS = 24_000
+DEFAULT_INTERVAL = 6_000
+
+
+@dataclass
+class BenchmarkAccuracy:
+    """Per-benchmark estimation errors for one workload run.
+
+    ``ipc_errors``/``stall_errors`` map technique name to the list of
+    per-interval errors (absolute for stalls and IPC, as in Figure 3);
+    ``*_rms`` aggregates them with Equation 8.
+    """
+
+    benchmark: str
+    core: int
+    ipc_errors: dict[str, list[float]] = field(default_factory=dict)
+    stall_errors: dict[str, list[float]] = field(default_factory=dict)
+
+    def ipc_rms(self, technique: str) -> float:
+        return rms(self.ipc_errors.get(technique, []))
+
+    def stall_rms(self, technique: str) -> float:
+        return rms(self.stall_errors.get(technique, []))
+
+
+@dataclass
+class ComponentAccuracy:
+    """Relative errors of GDP-O's estimate components (Figure 5)."""
+
+    benchmark: str
+    core: int
+    cpl_errors: list[float] = field(default_factory=list)
+    overlap_errors: list[float] = field(default_factory=list)
+    latency_errors: list[float] = field(default_factory=list)
+
+    def cpl_rms(self) -> float:
+        return rms(self.cpl_errors)
+
+    def overlap_rms(self) -> float:
+        return rms(self.overlap_errors)
+
+    def latency_rms(self) -> float:
+        return rms(self.latency_errors)
+
+
+@dataclass
+class WorkloadAccuracy:
+    """Accuracy results for every benchmark in one workload."""
+
+    workload: Workload
+    benchmarks: list[BenchmarkAccuracy] = field(default_factory=list)
+    components: list[ComponentAccuracy] = field(default_factory=list)
+
+    def mean_ipc_rms(self, technique: str) -> float:
+        return mean([benchmark.ipc_rms(technique) for benchmark in self.benchmarks])
+
+    def mean_stall_rms(self, technique: str) -> float:
+        return mean([benchmark.stall_rms(technique) for benchmark in self.benchmarks])
+
+
+def _build_techniques(config: CMPConfig) -> dict[str, AccountingTechnique]:
+    latency = DIEFLatencyEstimator()
+    return {
+        "ITCA": ITCAAccounting(),
+        "PTCA": PTCAAccounting(latency_estimator=latency),
+        "ASM": ASMAccounting(
+            n_cores=config.n_cores, epoch_cycles=config.accounting.asm_epoch_cycles
+        ),
+        "GDP": GDPAccounting(
+            prb_entries=config.accounting.prb_entries, latency_estimator=latency
+        ),
+        "GDP-O": GDPOAccounting(
+            prb_entries=config.accounting.prb_entries, latency_estimator=latency
+        ),
+    }
+
+
+def evaluate_workload_accuracy(
+    workload: Workload,
+    config: CMPConfig,
+    instructions_per_core: int = DEFAULT_INSTRUCTIONS,
+    interval_instructions: int = DEFAULT_INTERVAL,
+    seed: int = 0,
+    techniques: tuple[str, ...] = TECHNIQUE_NAMES,
+    collect_components: bool = False,
+    prb_entries: int | None = None,
+) -> WorkloadAccuracy:
+    """Run one workload and return per-benchmark accuracy for every technique.
+
+    ``prb_entries`` overrides the PRB size used by GDP/GDP-O (Figure 7e).
+    """
+    if prb_entries is not None:
+        config = config.with_prb_entries(prb_entries)
+    traces = {
+        core: build_trace(name, instructions_per_core, seed=seed + core)
+        for core, name in enumerate(workload.benchmarks)
+    }
+    shared = run_shared_mode(
+        traces, config, target_instructions=instructions_per_core,
+        interval_instructions=interval_instructions,
+    )
+    shared_asm = None
+    if "ASM" in techniques:
+        shared_asm = run_shared_mode(
+            traces, config, target_instructions=instructions_per_core,
+            interval_instructions=interval_instructions,
+            configure_system=install_asm_rotation,
+        )
+    private = {
+        core: run_private_mode(trace, config, core_id=core,
+                               interval_instructions=interval_instructions,
+                               target_instructions=instructions_per_core)
+        for core, trace in traces.items()
+    }
+
+    estimators = _build_techniques(config)
+    result = WorkloadAccuracy(workload=workload)
+    for core, trace in traces.items():
+        accuracy = BenchmarkAccuracy(benchmark=trace.name, core=core)
+        components = ComponentAccuracy(benchmark=trace.name, core=core)
+        shared_intervals = shared.cores[core].intervals
+        asm_intervals = shared_asm.cores[core].intervals if shared_asm is not None else []
+        private_intervals = private[core].intervals
+        paired = min(len(shared_intervals), len(private_intervals))
+        for index in range(paired):
+            shared_interval = shared_intervals[index]
+            private_interval = private_intervals[index]
+            for name in techniques:
+                source = shared_interval
+                if name == "ASM":
+                    if index >= len(asm_intervals):
+                        continue
+                    source = asm_intervals[index]
+                estimate = estimators[name].estimate(source)
+                accuracy.ipc_errors.setdefault(name, []).append(
+                    estimate.ipc - private_interval.ipc
+                )
+                accuracy.stall_errors.setdefault(name, []).append(
+                    estimate.sms_stall_cycles - private_interval.stall_sms
+                )
+            if collect_components:
+                _collect_component_errors(
+                    components, shared_interval, private_interval,
+                    prb_entries=config.accounting.prb_entries,
+                )
+        result.benchmarks.append(accuracy)
+        if collect_components:
+            result.components.append(components)
+    return result
+
+
+def _collect_component_errors(components: ComponentAccuracy, shared_interval: IntervalStats,
+                              private_interval: IntervalStats, prb_entries: int) -> None:
+    """Relative errors of the CPL, overlap and latency estimates (Figure 5)."""
+    shared_cpl = estimate_interval_cpl(shared_interval, prb_entries=prb_entries)
+    private_cpl = estimate_interval_cpl(private_interval, prb_entries=None)
+    if private_cpl.cpl > 0:
+        components.cpl_errors.append((shared_cpl.cpl - private_cpl.cpl) / private_cpl.cpl)
+    if private_cpl.average_overlap > 0:
+        components.overlap_errors.append(
+            (shared_cpl.average_overlap - private_cpl.average_overlap) / private_cpl.average_overlap
+        )
+    estimator = DIEFLatencyEstimator()
+    estimated_latency = estimator.private_latency(shared_interval)
+    actual_latency = private_interval.average_sms_latency()
+    if actual_latency > 0:
+        components.latency_errors.append((estimated_latency - actual_latency) / actual_latency)
+
+
+def summarize_rms(results: list[WorkloadAccuracy], technique: str,
+                  metric: str = "ipc") -> float:
+    """Mean per-benchmark RMS error across a list of workload results."""
+    per_benchmark: list[float] = []
+    for result in results:
+        for benchmark in result.benchmarks:
+            if metric == "ipc":
+                per_benchmark.append(benchmark.ipc_rms(technique))
+            elif metric == "stall":
+                per_benchmark.append(benchmark.stall_rms(technique))
+            else:
+                raise ValueError(f"unknown metric '{metric}'")
+    return mean(per_benchmark)

@@ -1,0 +1,122 @@
+"""Shared-cache management case study (behind Figure 6).
+
+For every workload the engine runs one shared-mode simulation per partitioning
+policy (LRU, UCP, ASM-driven, MCP, MCP-O) plus one private-mode run per
+benchmark, and reports System Throughput: the sum over cores of the true
+private-mode CPI divided by the shared-mode CPI achieved under that policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.metrics.errors import mean
+from repro.partitioning import (
+    ASMPartitioningPolicy,
+    LRUSharingPolicy,
+    MCPOPolicy,
+    MCPPolicy,
+    PartitioningPolicy,
+    UCPPolicy,
+)
+from repro.config import CMPConfig
+from repro.sim.runner import build_trace, run_private_mode, run_shared_mode
+from repro.workloads.mixes import Workload
+
+__all__ = [
+    "POLICY_NAMES",
+    "build_policy",
+    "WorkloadThroughput",
+    "evaluate_workload_throughput",
+    "average_throughput",
+]
+
+POLICY_NAMES = ("LRU", "UCP", "ASM", "MCP", "MCP-O")
+
+DEFAULT_INSTRUCTIONS = 24_000
+DEFAULT_INTERVAL = 6_000
+DEFAULT_REPARTITION_CYCLES = 40_000.0
+
+
+def build_policy(name: str, config: CMPConfig,
+                 repartition_interval_cycles: float = DEFAULT_REPARTITION_CYCLES) -> PartitioningPolicy:
+    """Instantiate one of the Figure 6 partitioning policies by name."""
+    prb_entries = config.accounting.prb_entries
+    if name == "LRU":
+        return LRUSharingPolicy(repartition_interval_cycles)
+    if name == "UCP":
+        return UCPPolicy(repartition_interval_cycles)
+    if name == "ASM":
+        return ASMPartitioningPolicy(
+            n_cores=config.n_cores,
+            repartition_interval_cycles=repartition_interval_cycles,
+            epoch_cycles=config.accounting.asm_epoch_cycles,
+        )
+    if name == "MCP":
+        return MCPPolicy(repartition_interval_cycles, prb_entries=prb_entries)
+    if name == "MCP-O":
+        return MCPOPolicy(repartition_interval_cycles, prb_entries=prb_entries)
+    raise ValueError(f"unknown partitioning policy '{name}'")
+
+
+@dataclass
+class WorkloadThroughput:
+    """System throughput of one workload under every evaluated policy."""
+
+    workload: Workload
+    stp: dict[str, float] = field(default_factory=dict)
+    private_cpis: dict[int, float] = field(default_factory=dict)
+    shared_cpis: dict[str, dict[int, float]] = field(default_factory=dict)
+
+    def relative_to(self, baseline: str) -> dict[str, float]:
+        """STP of every policy relative to ``baseline`` (Figure 6b is vs LRU)."""
+        reference = self.stp.get(baseline, 0.0)
+        if reference <= 0:
+            return {name: 0.0 for name in self.stp}
+        return {name: value / reference for name, value in self.stp.items()}
+
+
+def evaluate_workload_throughput(
+    workload: Workload,
+    config: CMPConfig,
+    policies: tuple[str, ...] = POLICY_NAMES,
+    instructions_per_core: int = DEFAULT_INSTRUCTIONS,
+    interval_instructions: int = DEFAULT_INTERVAL,
+    repartition_interval_cycles: float = DEFAULT_REPARTITION_CYCLES,
+    seed: int = 0,
+) -> WorkloadThroughput:
+    """Run one workload under each policy and compute its STP."""
+    traces = {
+        core: build_trace(name, instructions_per_core, seed=seed + core)
+        for core, name in enumerate(workload.benchmarks)
+    }
+    result = WorkloadThroughput(workload=workload)
+    for core, trace in traces.items():
+        private = run_private_mode(
+            trace, config, core_id=core, interval_instructions=interval_instructions,
+            target_instructions=instructions_per_core,
+        )
+        result.private_cpis[core] = private.cpi
+
+    for name in policies:
+        policy = build_policy(name, config, repartition_interval_cycles)
+        shared = run_shared_mode(
+            traces,
+            config,
+            target_instructions=instructions_per_core,
+            interval_instructions=interval_instructions,
+            configure_system=policy.install,
+        )
+        shared_cpis = {core: shared.cores[core].cpi for core in traces}
+        result.shared_cpis[name] = shared_cpis
+        stp = 0.0
+        for core in traces:
+            if shared_cpis[core] > 0:
+                stp += result.private_cpis[core] / shared_cpis[core]
+        result.stp[name] = stp
+    return result
+
+
+def average_throughput(results: list[WorkloadThroughput], policy: str) -> float:
+    """Average STP of one policy over a list of workload results."""
+    return mean([result.stp.get(policy, 0.0) for result in results])

@@ -1,0 +1,63 @@
+"""Figure 3: average private-mode prediction accuracy.
+
+Figure 3a reports, for every (core count, workload category) cell, the average
+per-benchmark absolute RMS error of the private-mode IPC estimates produced by
+ITCA, PTCA, ASM, GDP and GDP-O.  Figure 3b reports the same matrix for the
+SMS-load-related stall-cycle estimates.  The paper's headline observations are
+that GDP and GDP-O have the lowest errors almost everywhere, that ITCA is
+conservative (largest errors under real interference), that PTCA suffers from
+its MLP blind spot and that ASM's IPC errors explode on the 8-core
+L-workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.accuracy import TECHNIQUE_NAMES, summarize_rms
+from repro.experiments.sweep import AccuracySweep, SweepSettings, run_accuracy_sweep
+from repro.experiments.tables import format_cell_table
+
+__all__ = ["Figure3Result", "run_figure3"]
+
+
+@dataclass
+class Figure3Result:
+    """Average RMS errors per (core count, category) cell and technique."""
+
+    ipc_rms: dict[str, dict[str, float]] = field(default_factory=dict)
+    stall_rms: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def cell_label(self, n_cores: int, category: str) -> str:
+        return f"{n_cores}c-{category}"
+
+    def report(self) -> str:
+        lines = ["Figure 3a: IPC estimate (average absolute RMS error)"]
+        lines.append(format_cell_table(self.ipc_rms))
+        lines.append("")
+        lines.append("Figure 3b: SMS-load stall cycles (average absolute RMS error)")
+        lines.append(format_cell_table(self.stall_rms))
+        return "\n".join(lines)
+
+
+def run_figure3(settings: SweepSettings | None = None,
+                sweep: AccuracySweep | None = None) -> Figure3Result:
+    """Run (or reuse) an accuracy sweep and aggregate it into the Figure 3 matrices."""
+    if sweep is None:
+        sweep = run_accuracy_sweep(settings)
+    result = Figure3Result()
+    for (n_cores, category), workload_results in sorted(sweep.cells.items()):
+        label = f"{n_cores}c-{category}"
+        result.ipc_rms[label] = {
+            technique: summarize_rms(workload_results, technique, metric="ipc")
+            for technique in TECHNIQUE_NAMES
+        }
+        result.stall_rms[label] = {
+            technique: summarize_rms(workload_results, technique, metric="stall")
+            for technique in TECHNIQUE_NAMES
+        }
+    return result
+
+
+if __name__ == "__main__":
+    print(run_figure3().report())

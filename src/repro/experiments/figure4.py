@@ -1,0 +1,67 @@
+"""Figure 4: distribution of the SMS-load stall-cycle RMS errors.
+
+For each core count the paper sorts the per-benchmark absolute RMS errors of
+the stall-cycle estimates across all workloads and plots the resulting
+distribution for every technique.  The reproduction returns the sorted error
+series so the same curves can be plotted or compared numerically (lower curves
+are better; GDP and GDP-O should dominate ITCA, PTCA and ASM).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.accuracy import TECHNIQUE_NAMES
+from repro.experiments.sweep import AccuracySweep, SweepSettings, run_accuracy_sweep
+from repro.experiments.tables import format_table
+
+__all__ = ["Figure4Result", "run_figure4"]
+
+
+@dataclass
+class Figure4Result:
+    """Sorted per-benchmark stall-cycle RMS errors, per core count and technique."""
+
+    distributions: dict[int, dict[str, list[float]]] = field(default_factory=dict)
+
+    def median(self, n_cores: int, technique: str) -> float:
+        series = self.distributions.get(n_cores, {}).get(technique, [])
+        if not series:
+            return 0.0
+        middle = len(series) // 2
+        return series[middle]
+
+    def report(self) -> str:
+        lines = ["Figure 4: sorted SMS-load stall-cycle RMS error distributions"]
+        for n_cores, by_technique in sorted(self.distributions.items()):
+            lines.append(f"\n{n_cores}-core CMP (median / maximum per technique)")
+            rows = []
+            for technique in TECHNIQUE_NAMES:
+                series = by_technique.get(technique, [])
+                maximum = series[-1] if series else 0.0
+                rows.append([technique, self.median(n_cores, technique), maximum])
+            lines.append(format_table(["technique", "median RMS", "max RMS"], rows))
+        return "\n".join(lines)
+
+
+def run_figure4(settings: SweepSettings | None = None,
+                sweep: AccuracySweep | None = None) -> Figure4Result:
+    """Aggregate an accuracy sweep into per-core-count sorted error distributions."""
+    if sweep is None:
+        sweep = run_accuracy_sweep(settings)
+    result = Figure4Result()
+    core_counts = sorted({n_cores for n_cores, _category in sweep.cells})
+    for n_cores in core_counts:
+        by_technique: dict[str, list[float]] = {name: [] for name in TECHNIQUE_NAMES}
+        for workload_result in sweep.all_results(n_cores):
+            for benchmark in workload_result.benchmarks:
+                for technique in TECHNIQUE_NAMES:
+                    by_technique[technique].append(benchmark.stall_rms(technique))
+        for technique in TECHNIQUE_NAMES:
+            by_technique[technique].sort()
+        result.distributions[n_cores] = by_technique
+    return result
+
+
+if __name__ == "__main__":
+    print(run_figure4().report())

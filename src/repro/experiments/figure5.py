@@ -1,0 +1,94 @@
+"""Figure 5: accuracy of GDP/GDP-O's estimate components.
+
+The paper decomposes GDP-O's estimate into three components and reports the
+relative RMS error distribution of each:
+
+* Figure 5a — the CPL estimated at runtime (bounded PRB, shared mode) versus
+  the same algorithms with unlimited buffer space in private mode,
+* Figure 5b — GDP-O's overlap estimator versus the private-mode overlap,
+* Figure 5c — DIEF's private-mode latency estimate versus the measured
+  private-mode latency.
+
+The headline observation is that CPL errors are small for most benchmarks and
+that large component errors occur mostly where they do not matter (compute-
+bound benchmarks whose SMS stalls barely affect CPI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.sweep import AccuracySweep, SweepSettings, run_accuracy_sweep
+from repro.experiments.tables import format_table
+from repro.metrics.errors import mean
+
+__all__ = ["Figure5Result", "run_figure5"]
+
+COMPONENTS = ("cpl", "overlap", "latency")
+
+
+@dataclass
+class Figure5Result:
+    """Per-cell relative RMS error distributions for each GDP-O component."""
+
+    distributions: dict[str, dict[str, list[float]]] = field(default_factory=dict)
+
+    def series(self, component: str, cell: str) -> list[float]:
+        return self.distributions.get(component, {}).get(cell, [])
+
+    def median(self, component: str, cell: str) -> float:
+        series = sorted(self.series(component, cell))
+        if not series:
+            return 0.0
+        return series[len(series) // 2]
+
+    def report(self) -> str:
+        lines = ["Figure 5: relative RMS error of GDP-O estimate components (per benchmark)"]
+        for component in COMPONENTS:
+            lines.append(f"\n{component.upper()} estimation accuracy (median / mean / max per cell)")
+            rows = []
+            for cell, series in sorted(self.distributions.get(component, {}).items()):
+                ordered = sorted(series)
+                maximum = ordered[-1] if ordered else 0.0
+                rows.append([cell, self.median(component, cell), mean(ordered), maximum])
+            lines.append(format_table(["cell", "median", "mean", "max"], rows))
+        return "\n".join(lines)
+
+
+def run_figure5(settings: SweepSettings | None = None,
+                sweep: AccuracySweep | None = None) -> Figure5Result:
+    """Collect the per-benchmark component error distributions (Violin plot data)."""
+    if sweep is None:
+        settings = settings or SweepSettings(collect_components=True)
+        if not settings.collect_components:
+            settings = SweepSettings(
+                core_counts=settings.core_counts,
+                categories=settings.categories,
+                workloads_per_category=settings.workloads_per_category,
+                instructions_per_core=settings.instructions_per_core,
+                interval_instructions=settings.interval_instructions,
+                seed=settings.seed,
+                collect_components=True,
+            )
+        sweep = run_accuracy_sweep(settings)
+    result = Figure5Result()
+    for component in COMPONENTS:
+        result.distributions[component] = {}
+    for (n_cores, category), workload_results in sorted(sweep.cells.items()):
+        cell = f"{n_cores}c-{category}"
+        cpl: list[float] = []
+        overlap: list[float] = []
+        latency: list[float] = []
+        for workload_result in workload_results:
+            for component_accuracy in workload_result.components:
+                cpl.append(component_accuracy.cpl_rms())
+                overlap.append(component_accuracy.overlap_rms())
+                latency.append(component_accuracy.latency_rms())
+        result.distributions["cpl"][cell] = cpl
+        result.distributions["overlap"][cell] = overlap
+        result.distributions["latency"][cell] = latency
+    return result
+
+
+if __name__ == "__main__":
+    print(run_figure5().report())

@@ -1,0 +1,112 @@
+"""Figure 6: system throughput with LLC partitioning (the MCP case study).
+
+Figure 6a reports the average System Throughput (STP) achieved by LRU, UCP,
+ASM-driven partitioning, MCP and MCP-O over every (core count, category)
+cell; Figure 6b shows the per-workload STP of the 8-core H-workloads relative
+to LRU.  The paper's headline is that MCP/MCP-O deliver the highest average
+STP on the 4- and 8-core CMPs, with the largest gains on the H-workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.case_study import (
+    POLICY_NAMES,
+    WorkloadThroughput,
+    average_throughput,
+    evaluate_workload_throughput,
+)
+from repro.experiments.common import default_experiment_config
+from repro.experiments.tables import format_cell_table, format_table
+from repro.workloads.mixes import generate_category_workloads
+
+__all__ = ["Figure6Settings", "Figure6Result", "run_figure6"]
+
+
+@dataclass(frozen=True)
+class Figure6Settings:
+    """Size of the partitioning case study."""
+
+    core_counts: tuple[int, ...] = (2, 4, 8)
+    categories: tuple[str, ...] = ("H", "M", "L")
+    workloads_per_category: int = 2
+    instructions_per_core: int = 40_000
+    interval_instructions: int = 6_000
+    repartition_interval_cycles: float = 20_000.0
+    policies: tuple[str, ...] = POLICY_NAMES
+    seed: int = 0
+
+
+@dataclass
+class Figure6Result:
+    """Average STP per cell (6a) and per-workload relative STP for 8-core H (6b)."""
+
+    average_stp: dict[str, dict[str, float]] = field(default_factory=dict)
+    per_workload: dict[tuple[int, str], list[WorkloadThroughput]] = field(default_factory=dict)
+
+    def relative_to_lru(self, n_cores: int = 8, category: str = "H") -> list[dict[str, float]]:
+        """Figure 6b: STP of each policy relative to LRU, per workload."""
+        return [
+            result.relative_to("LRU")
+            for result in self.per_workload.get((n_cores, category), [])
+        ]
+
+    def improvement(self, policy: str, baseline: str, n_cores: int) -> float:
+        """Average STP improvement of ``policy`` over ``baseline`` for one core count."""
+        ratios = []
+        for cell, values in self.average_stp.items():
+            if not cell.startswith(f"{n_cores}c-"):
+                continue
+            if values.get(baseline, 0.0) > 0:
+                ratios.append(values[policy] / values[baseline])
+        if not ratios:
+            return 0.0
+        return sum(ratios) / len(ratios) - 1.0
+
+    def report(self) -> str:
+        lines = ["Figure 6a: average system throughput (STP) per cell"]
+        lines.append(format_cell_table(self.average_stp))
+        relative = self.relative_to_lru()
+        if relative:
+            lines.append("\nFigure 6b: 8-core H-workload STP relative to LRU")
+            rows = []
+            for index, ratios in enumerate(relative):
+                rows.append([index, *[ratios.get(policy, 0.0) for policy in POLICY_NAMES]])
+            lines.append(format_table(["workload", *POLICY_NAMES], rows))
+        return "\n".join(lines)
+
+
+def run_figure6(settings: Figure6Settings | None = None,
+                config_factory=default_experiment_config) -> Figure6Result:
+    """Run the partitioning case study over every (core count, category) cell."""
+    settings = settings or Figure6Settings()
+    result = Figure6Result()
+    for n_cores in settings.core_counts:
+        config = config_factory(n_cores)
+        for category in settings.categories:
+            workloads = generate_category_workloads(
+                n_cores, category, settings.workloads_per_category, seed=settings.seed
+            )
+            cell_results = [
+                evaluate_workload_throughput(
+                    workload,
+                    config,
+                    policies=settings.policies,
+                    instructions_per_core=settings.instructions_per_core,
+                    interval_instructions=settings.interval_instructions,
+                    repartition_interval_cycles=settings.repartition_interval_cycles,
+                    seed=settings.seed,
+                )
+                for workload in workloads
+            ]
+            result.per_workload[(n_cores, category)] = cell_results
+            result.average_stp[f"{n_cores}c-{category}"] = {
+                policy: average_throughput(cell_results, policy)
+                for policy in settings.policies
+            }
+    return result
+
+
+if __name__ == "__main__":
+    print(run_figure6().report())

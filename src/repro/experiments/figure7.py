@@ -1,0 +1,157 @@
+"""Figure 7: sensitivity of GDP-O's accuracy to architecture and configuration.
+
+Each panel sweeps one knob on the 4-core CMP and reports GDP-O's average
+absolute IPC RMS error for the H-, M- and L-workload categories:
+
+* 7a — LLC size (the paper's 4/8/16 MB, scaled here to 64/128/256 KB),
+* 7b — LLC associativity (16/32/64),
+* 7c — number of DDR2 channels (1/2/4),
+* 7d — DDR2-800 versus DDR4-2666,
+* 7e — PRB entries (8/16/32/64/1024),
+* 7f — mixed workloads (HHML, HMML, HMLL) compared with the pure categories.
+
+The paper's observation is that GDP-O stays accurate across almost all
+configurations, with errors shrinking when resources grow (less contention
+makes the estimation problem easier).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.accuracy import evaluate_workload_accuracy, summarize_rms
+from repro.experiments.common import default_experiment_config
+from repro.experiments.tables import format_cell_table
+from repro.config import CMPConfig, DDR2_800, DDR4_2666
+from repro.workloads.mixes import generate_category_workloads, generate_mixed_workloads
+
+__all__ = ["Figure7Settings", "Figure7Result", "run_figure7", "run_figure7_panel"]
+
+KILOBYTE = 1024
+
+PANELS = ("llc_size", "llc_associativity", "dram_channels", "dram_interface", "prb_entries", "mixed_workloads")
+
+# Scaled equivalents of the paper's sweep values.
+LLC_SIZE_KB = (64, 128, 256)
+LLC_ASSOCIATIVITY = (16, 32, 64)
+DDR2_CHANNELS = (1, 2, 4)
+DRAM_INTERFACES = ("DDR2", "DDR4")
+PRB_SIZES = (8, 16, 32, 64, 1024)
+MIXES = ("HHML", "HMML", "HMLL")
+
+
+@dataclass(frozen=True)
+class Figure7Settings:
+    """Size of the sensitivity analysis (always a 4-core CMP, as in the paper)."""
+
+    categories: tuple[str, ...] = ("H", "M", "L")
+    workloads_per_category: int = 2
+    instructions_per_core: int = 24_000
+    interval_instructions: int = 6_000
+    seed: int = 0
+    technique: str = "GDP-O"
+
+
+@dataclass
+class Figure7Result:
+    """GDP-O average IPC RMS error per panel, sweep value and workload category."""
+
+    panels: dict[str, dict[str, dict[str, float]]] = field(default_factory=dict)
+
+    def panel(self, name: str) -> dict[str, dict[str, float]]:
+        return self.panels.get(name, {})
+
+    def report(self) -> str:
+        lines = ["Figure 7: GDP-O IPC estimate sensitivity (average absolute RMS error)"]
+        for panel_name, cells in self.panels.items():
+            lines.append(f"\nFigure 7 ({panel_name})")
+            lines.append(format_cell_table(cells))
+        return "\n".join(lines)
+
+
+def _evaluate_cell(workloads, config: CMPConfig, settings: Figure7Settings,
+                   technique: str, prb_entries: int | None = None) -> float:
+    results = [
+        evaluate_workload_accuracy(
+            workload,
+            config,
+            instructions_per_core=settings.instructions_per_core,
+            interval_instructions=settings.interval_instructions,
+            seed=settings.seed,
+            techniques=(technique,),
+            prb_entries=prb_entries,
+        )
+        for workload in workloads
+    ]
+    return summarize_rms(results, technique, metric="ipc")
+
+
+def run_figure7_panel(panel: str, settings: Figure7Settings | None = None) -> dict[str, dict[str, float]]:
+    """Run one sensitivity panel and return {category or mix: {sweep value: error}}."""
+    settings = settings or Figure7Settings()
+    if panel not in PANELS:
+        raise ValueError(f"unknown Figure 7 panel '{panel}'")
+    technique = settings.technique
+    n_cores = 4
+    base_config = default_experiment_config(n_cores)
+
+    category_workloads = {
+        category: generate_category_workloads(
+            n_cores, category, settings.workloads_per_category, seed=settings.seed
+        )
+        for category in settings.categories
+    }
+
+    cells: dict[str, dict[str, float]] = {}
+    if panel == "mixed_workloads":
+        for category, workloads in category_workloads.items():
+            cells[f"4c-{category}"] = {
+                "error": _evaluate_cell(workloads, base_config, settings, technique)
+            }
+        for mix in MIXES:
+            workloads = generate_mixed_workloads(
+                n_cores, mix, settings.workloads_per_category, seed=settings.seed
+            )
+            cells[mix] = {"error": _evaluate_cell(workloads, base_config, settings, technique)}
+        return cells
+
+    for category, workloads in category_workloads.items():
+        row: dict[str, float] = {}
+        if panel == "llc_size":
+            for size_kb in LLC_SIZE_KB:
+                config = base_config.with_llc(size_bytes=size_kb * KILOBYTE)
+                row[f"{size_kb}KB"] = _evaluate_cell(workloads, config, settings, technique)
+        elif panel == "llc_associativity":
+            for associativity in LLC_ASSOCIATIVITY:
+                config = base_config.with_llc(associativity=associativity)
+                row[str(associativity)] = _evaluate_cell(workloads, config, settings, technique)
+        elif panel == "dram_channels":
+            for channels in DDR2_CHANNELS:
+                config = base_config.with_dram(channels=channels)
+                row[str(channels)] = _evaluate_cell(workloads, config, settings, technique)
+        elif panel == "dram_interface":
+            for interface in DRAM_INTERFACES:
+                timing = DDR2_800 if interface == "DDR2" else DDR4_2666
+                config = base_config.with_dram(timing=timing)
+                row[interface] = _evaluate_cell(workloads, config, settings, technique)
+        elif panel == "prb_entries":
+            for prb in PRB_SIZES:
+                row[str(prb)] = _evaluate_cell(
+                    workloads, base_config, settings, technique, prb_entries=prb
+                )
+        cells[f"4c-{category}"] = row
+    return cells
+
+
+def run_figure7(settings: Figure7Settings | None = None,
+                panels: tuple[str, ...] = PANELS) -> Figure7Result:
+    """Run the requested sensitivity panels (all of them by default)."""
+    settings = settings or Figure7Settings()
+    result = Figure7Result()
+    for panel in panels:
+        result.panels[panel] = run_figure7_panel(panel, settings)
+    return result
+
+
+if __name__ == "__main__":
+    print(run_figure7().report())

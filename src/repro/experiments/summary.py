@@ -1,0 +1,100 @@
+"""Headline numbers of the paper (Sections I and VII).
+
+The paper summarises its evaluation with a handful of headline results:
+
+* GDP's mean IPC estimation error is 3.4% on the 4-core CMP and 9.8% on the
+  8-core CMP;
+* GDP reduces the private-mode performance RMS error by large factors
+  compared with invasive ASM accounting;
+* GDP-O reduces the stall-cycle RMS error by roughly 10-14% compared to GDP;
+* MCP improves average system throughput by 11.9% (4-core) and 20.8%
+  (8-core) compared with ASM-driven cache partitioning.
+
+This module computes the reproduction's equivalents of those aggregates from
+the Figure 3 and Figure 6 machinery so they can be compared side by side in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.accuracy import summarize_rms
+from repro.experiments.figure6 import Figure6Result, Figure6Settings, run_figure6
+from repro.experiments.sweep import AccuracySweep, SweepSettings, run_accuracy_sweep
+from repro.experiments.tables import format_table
+from repro.metrics.errors import mean
+
+__all__ = ["HeadlineResult", "run_headline_summary"]
+
+
+@dataclass
+class HeadlineResult:
+    """The reproduction's headline aggregates."""
+
+    mean_ipc_error: dict[int, dict[str, float]] = field(default_factory=dict)
+    gdp_vs_asm_rms_ratio: dict[int, float] = field(default_factory=dict)
+    gdpo_vs_gdp_stall_improvement: dict[int, float] = field(default_factory=dict)
+    mcp_vs_asm_stp_improvement: dict[int, float] = field(default_factory=dict)
+    mcp_vs_lru_stp_improvement: dict[int, float] = field(default_factory=dict)
+
+    def report(self) -> str:
+        lines = ["Headline summary (paper Section I / VII equivalents)"]
+        rows = []
+        for n_cores, by_technique in sorted(self.mean_ipc_error.items()):
+            for technique, value in by_technique.items():
+                rows.append([f"{n_cores}-core", f"mean {technique} IPC RMS error", value])
+        for n_cores, value in sorted(self.gdp_vs_asm_rms_ratio.items()):
+            rows.append([f"{n_cores}-core", "ASM / GDP IPC RMS error ratio", value])
+        for n_cores, value in sorted(self.gdpo_vs_gdp_stall_improvement.items()):
+            rows.append([f"{n_cores}-core", "GDP-O stall RMS reduction vs GDP", value])
+        for n_cores, value in sorted(self.mcp_vs_asm_stp_improvement.items()):
+            rows.append([f"{n_cores}-core", "MCP STP improvement vs ASM", value])
+        for n_cores, value in sorted(self.mcp_vs_lru_stp_improvement.items()):
+            rows.append([f"{n_cores}-core", "MCP STP improvement vs LRU", value])
+        lines.append(format_table(["CMP", "metric", "value"], rows))
+        return "\n".join(lines)
+
+
+def run_headline_summary(accuracy_sweep: AccuracySweep | None = None,
+                         figure6: Figure6Result | None = None,
+                         sweep_settings: SweepSettings | None = None,
+                         figure6_settings: Figure6Settings | None = None) -> HeadlineResult:
+    """Compute the headline aggregates, reusing sweep results when provided."""
+    if accuracy_sweep is None:
+        accuracy_sweep = run_accuracy_sweep(sweep_settings or SweepSettings(core_counts=(4, 8)))
+    if figure6 is None:
+        figure6 = run_figure6(figure6_settings or Figure6Settings(core_counts=(4, 8)))
+
+    result = HeadlineResult()
+    core_counts = sorted({n_cores for n_cores, _category in accuracy_sweep.cells})
+    for n_cores in core_counts:
+        results = accuracy_sweep.all_results(n_cores)
+        result.mean_ipc_error[n_cores] = {
+            "GDP": summarize_rms(results, "GDP", metric="ipc"),
+            "GDP-O": summarize_rms(results, "GDP-O", metric="ipc"),
+        }
+        gdp_error = result.mean_ipc_error[n_cores]["GDP"]
+        asm_error = summarize_rms(results, "ASM", metric="ipc")
+        result.gdp_vs_asm_rms_ratio[n_cores] = asm_error / gdp_error if gdp_error > 0 else 0.0
+
+        gdp_stall = summarize_rms(results, "GDP", metric="stall")
+        gdpo_stall = summarize_rms(results, "GDP-O", metric="stall")
+        result.gdpo_vs_gdp_stall_improvement[n_cores] = (
+            (gdp_stall - gdpo_stall) / gdp_stall if gdp_stall > 0 else 0.0
+        )
+
+    figure6_core_counts = sorted({n_cores for n_cores, _category in figure6.per_workload})
+    for n_cores in figure6_core_counts:
+        result.mcp_vs_asm_stp_improvement[n_cores] = figure6.improvement("MCP", "ASM", n_cores)
+        result.mcp_vs_lru_stp_improvement[n_cores] = figure6.improvement("MCP", "LRU", n_cores)
+    return result
+
+
+def category_mean(values: dict[str, float]) -> float:
+    """Arithmetic mean over a cell dictionary (helper for reports)."""
+    return mean(list(values.values()))
+
+
+if __name__ == "__main__":
+    print(run_headline_summary().report())

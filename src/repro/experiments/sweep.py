@@ -1,0 +1,82 @@
+"""Workload sweeps shared by the accuracy figures (Figures 3, 4 and 5).
+
+The paper evaluates 30 H-, 15 M- and 5 L-workloads per core count; this
+reproduction exposes the workload count, instruction count and interval length
+as parameters so the same sweep can run laptop-sized (the benchmark defaults)
+or larger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.accuracy import (
+    DEFAULT_INSTRUCTIONS,
+    DEFAULT_INTERVAL,
+    WorkloadAccuracy,
+    evaluate_workload_accuracy,
+)
+from repro.experiments.common import default_experiment_config
+from repro.config import CMPConfig
+from repro.workloads.mixes import generate_category_workloads
+
+__all__ = ["SweepSettings", "AccuracySweep", "run_accuracy_sweep"]
+
+DEFAULT_CATEGORIES = ("H", "M", "L")
+
+
+@dataclass(frozen=True)
+class SweepSettings:
+    """Size of an accuracy sweep."""
+
+    core_counts: tuple[int, ...] = (2, 4, 8)
+    categories: tuple[str, ...] = DEFAULT_CATEGORIES
+    workloads_per_category: int = 2
+    instructions_per_core: int = DEFAULT_INSTRUCTIONS
+    interval_instructions: int = DEFAULT_INTERVAL
+    seed: int = 0
+    collect_components: bool = False
+
+
+@dataclass
+class AccuracySweep:
+    """All workload accuracy results of one sweep, keyed by (core count, category)."""
+
+    settings: SweepSettings
+    cells: dict[tuple[int, str], list[WorkloadAccuracy]] = field(default_factory=dict)
+
+    def results(self, n_cores: int, category: str) -> list[WorkloadAccuracy]:
+        return self.cells.get((n_cores, category), [])
+
+    def all_results(self, n_cores: int | None = None) -> list[WorkloadAccuracy]:
+        selected = []
+        for (cores, _category), results in self.cells.items():
+            if n_cores is None or cores == n_cores:
+                selected.extend(results)
+        return selected
+
+
+def run_accuracy_sweep(settings: SweepSettings | None = None,
+                       config_factory=default_experiment_config) -> AccuracySweep:
+    """Run the accuracy evaluation over every (core count, category) cell."""
+    settings = settings or SweepSettings()
+    sweep = AccuracySweep(settings=settings)
+    for n_cores in settings.core_counts:
+        config: CMPConfig = config_factory(n_cores)
+        for category in settings.categories:
+            workloads = generate_category_workloads(
+                n_cores, category, settings.workloads_per_category, seed=settings.seed
+            )
+            results = [
+                evaluate_workload_accuracy(
+                    workload,
+                    config,
+                    instructions_per_core=settings.instructions_per_core,
+                    interval_instructions=settings.interval_instructions,
+                    seed=settings.seed,
+                    collect_components=settings.collect_components,
+                )
+                for workload in workloads
+            ]
+            sweep.cells[(n_cores, category)] = results
+    return sweep

@@ -1,0 +1,43 @@
+"""Small helpers for printing experiment results as plain-text tables."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+__all__ = ["format_table", "format_cell_table"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a list of rows as an aligned plain-text table."""
+    rendered_rows = [[_render(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for column, value in enumerate(row):
+            widths[column] = max(widths[column], len(value))
+    lines = [
+        "  ".join(header.ljust(widths[column]) for column, header in enumerate(headers)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in rendered_rows:
+        lines.append("  ".join(value.ljust(widths[column]) for column, value in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_cell_table(cells: Mapping[str, Mapping[str, float]], value_format: str = "{:.4g}") -> str:
+    """Render a {row_label: {column_label: value}} mapping as a table."""
+    columns: list[str] = []
+    for row in cells.values():
+        for column in row:
+            if column not in columns:
+                columns.append(column)
+    headers = ["cell", *columns]
+    rows = []
+    for row_label, row in cells.items():
+        rows.append([row_label, *[value_format.format(row.get(column, float("nan"))) for column in columns]])
+    return format_table(headers, rows)
+
+
+def _render(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,5 @@
+"""Ring interconnect between private caches and the shared LLC."""
+
+from repro.interconnect.ring import RingInterconnect, RingTransferResult
+
+__all__ = ["RingInterconnect", "RingTransferResult"]

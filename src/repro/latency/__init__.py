@@ -1,0 +1,5 @@
+"""Private-mode memory latency estimation (DIEF)."""
+
+from repro.latency.dief import DIEFLatencyEstimator, LatencyEstimate
+
+__all__ = ["DIEFLatencyEstimator", "LatencyEstimate"]

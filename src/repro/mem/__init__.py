@@ -1,0 +1,6 @@
+"""Memory hierarchy glue: the end-to-end request path with interference attribution."""
+
+from repro.mem.hierarchy import CoreMemoryCounters, MemoryHierarchy
+from repro.mem.request import MemoryAccessResult
+
+__all__ = ["CoreMemoryCounters", "MemoryHierarchy", "MemoryAccessResult"]

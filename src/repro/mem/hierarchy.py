@@ -1,0 +1,281 @@
+"""End-to-end memory hierarchy: private L1/L2, ring, shared LLC, DRAM.
+
+This is the shared substrate both simulation modes run on.  In shared mode all
+cores issue requests into the same LLC, ring and memory controller; in private
+mode a single core has exclusive access.  Each access returns a
+:class:`MemoryAccessResult` with the latency breakdown and the interference
+attribution the accounting techniques consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.atd import AuxiliaryTagDirectory
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.mshr import MSHRFile
+from repro.dram.controller import MemoryController
+from repro.errors import ConfigurationError
+from repro.interconnect.ring import RingInterconnect
+from repro.mem.request import MemoryAccessResult
+from repro.config import CMPConfig
+
+__all__ = ["CoreMemoryCounters", "MemoryHierarchy"]
+
+
+@dataclass
+class CoreMemoryCounters:
+    """Per-core, per-interval counters maintained by the memory hierarchy.
+
+    These counters are what a hardware implementation would expose to the
+    accounting units; they are reset whenever an estimate interval ends.
+    """
+
+    sms_loads: int = 0
+    pms_loads: int = 0
+    sms_latency_sum: float = 0.0
+    pre_llc_latency_sum: float = 0.0
+    post_llc_latency_sum: float = 0.0
+    interference_sum: float = 0.0
+    interference_miss_penalty_sum: float = 0.0
+    dram_interference_sum: float = 0.0
+    llc_accesses: int = 0
+    llc_misses: int = 0
+    interference_misses: int = 0
+    sampled_llc_accesses: int = 0
+    sampled_llc_misses: int = 0
+    dram_row_hits: int = 0
+
+    def average_sms_latency(self) -> float:
+        return self.sms_latency_sum / self.sms_loads if self.sms_loads else 0.0
+
+    def average_interference(self) -> float:
+        return self.interference_sum / self.sms_loads if self.sms_loads else 0.0
+
+    def average_pre_llc_latency(self) -> float:
+        return self.pre_llc_latency_sum / self.sms_loads if self.sms_loads else 0.0
+
+    def average_post_llc_latency(self) -> float:
+        llc_miss_loads = max(1, self.llc_misses)
+        return self.post_llc_latency_sum / llc_miss_loads if self.post_llc_latency_sum else 0.0
+
+    def reset(self) -> None:
+        self.sms_loads = 0
+        self.pms_loads = 0
+        self.sms_latency_sum = 0.0
+        self.pre_llc_latency_sum = 0.0
+        self.post_llc_latency_sum = 0.0
+        self.interference_sum = 0.0
+        self.interference_miss_penalty_sum = 0.0
+        self.dram_interference_sum = 0.0
+        self.llc_accesses = 0
+        self.llc_misses = 0
+        self.interference_misses = 0
+        self.sampled_llc_accesses = 0
+        self.sampled_llc_misses = 0
+        self.dram_row_hits = 0
+
+
+class MemoryHierarchy:
+    """The CMP memory system shared by all cores.
+
+    Parameters
+    ----------
+    config:
+        The CMP configuration (Table I).
+    active_cores:
+        Core ids that participate; a single-element list models private mode.
+    """
+
+    def __init__(self, config: CMPConfig, active_cores: list[int] | None = None):
+        config.validate()
+        self.config = config
+        self.active_cores = list(active_cores) if active_cores is not None else list(range(config.n_cores))
+        if not self.active_cores:
+            raise ConfigurationError("the memory hierarchy needs at least one active core")
+        self.l1 = {core: SetAssociativeCache(config.l1d, name=f"l1d[{core}]") for core in self.active_cores}
+        self.l2 = {core: SetAssociativeCache(config.l2, name=f"l2[{core}]") for core in self.active_cores}
+        self.l1_mshrs = {core: MSHRFile(config.l1d.mshrs) for core in self.active_cores}
+        self.llc = SetAssociativeCache(config.llc, name="llc", partitioned=True)
+        self.ring = RingInterconnect(config.ring, n_cores=config.n_cores, n_banks=config.llc.banks)
+        self.dram = MemoryController(config.dram, line_bytes=config.llc.line_bytes)
+        self.atds = {
+            core: AuxiliaryTagDirectory(config.llc, config.accounting.atd_sampled_sets, core=core)
+            for core in self.active_cores
+        }
+        self.counters: dict[int, CoreMemoryCounters] = {
+            core: CoreMemoryCounters() for core in self.active_cores
+        }
+
+    # ------------------------------------------------------------------ configuration
+
+    def set_partition(self, allocation: dict[int, int] | None) -> None:
+        """Install an LLC way allocation (None restores unpartitioned LRU)."""
+        self.llc.set_partition(allocation)
+
+    def set_priority_core(self, core: int | None) -> None:
+        """Give one core highest memory-controller priority (used by ASM)."""
+        self.dram.set_priority_core(core)
+
+    # ------------------------------------------------------------------ access path
+
+    def access(self, core: int, address: int, issue_time: float,
+               is_store: bool = False) -> MemoryAccessResult:
+        """Send one memory operation through the hierarchy.
+
+        Stores update cache state but complete with the L1 latency; the store
+        buffer hides their latency from commit (the paper treats store-related
+        stalls as one of the rare "other" stall sources).
+        """
+        if core not in self.l1:
+            raise ConfigurationError(f"core {core} is not active in this hierarchy")
+        l1 = self.l1[core]
+        l1_latency = self.config.l1d.latency
+        l1_outcome = l1.access(address, core, is_store)
+        if l1_outcome.hit or is_store:
+            completion = issue_time + l1_latency
+            if not l1_outcome.hit:
+                # A store miss still allocates in L2/LLC for footprint realism,
+                # but its latency is hidden by the store buffer.
+                self._fill_lower_levels(core, address, is_store=True)
+            self.counters[core].pms_loads += 0 if is_store else 1
+            return MemoryAccessResult(
+                address=address,
+                core=core,
+                issue_time=issue_time,
+                completion_time=completion,
+                is_sms=False,
+                l1_hit=l1_outcome.hit,
+                l2_hit=False,
+                llc_hit=False,
+            )
+
+        # L1 load miss: allocate an MSHR (may stall the request if all in use).
+        mshr = self.l1_mshrs[core]
+        effective_issue = mshr.acquire_time(issue_time)
+
+        l2 = self.l2[core]
+        l2_outcome = l2.access(address, core)
+        l2_latency = self.config.l2.latency
+        if l2_outcome.hit:
+            completion = effective_issue + l1_latency + l2_latency
+            mshr.allocate(completion, address)
+            self.counters[core].pms_loads += 1
+            return MemoryAccessResult(
+                address=address,
+                core=core,
+                issue_time=issue_time,
+                completion_time=completion,
+                is_sms=False,
+                l1_hit=False,
+                l2_hit=True,
+                llc_hit=False,
+            )
+
+        # The request leaves the private memory system: it is an SMS-load.
+        result = self._shared_access(core, address, effective_issue + l1_latency + l2_latency,
+                                     issue_time)
+        mshr.allocate(result.completion_time, address)
+        return result
+
+    def _shared_access(self, core: int, address: int, ready_for_ring: float,
+                       original_issue: float) -> MemoryAccessResult:
+        counters = self.counters[core]
+        bank = self.llc.bank_index(address)
+
+        request_hop = self.ring.transfer(core, bank, ready_for_ring, response=False)
+        llc_ready = request_hop.completion
+        llc_latency = self.config.llc.latency
+
+        atd = self.atds[core]
+        atd_hit = atd.access(address)
+        counters.llc_accesses += 1
+        if atd_hit is not None:
+            counters.sampled_llc_accesses += 1
+
+        llc_outcome = self.llc.access(address, core)
+        interference = request_hop.interference_wait
+        row_hit = False
+        post_llc_latency = 0.0
+
+        if llc_outcome.hit:
+            data_ready = llc_ready + llc_latency
+        else:
+            counters.llc_misses += 1
+            if atd_hit is not None:
+                counters.sampled_llc_misses += 1
+            dram_result = self.dram.access(address, core, llc_ready + llc_latency)
+            data_ready = dram_result.completion
+            row_hit = dram_result.row_hit
+            post_llc_latency = dram_result.completion - dram_result.arrival
+            counters.dram_interference_sum += dram_result.interference_wait
+            if row_hit:
+                counters.dram_row_hits += 1
+            if atd_hit is True:
+                # The private-mode LLC would have hit, so the entire DRAM
+                # round trip (queueing included) is interference caused by
+                # cache contention.  The penalty is tracked separately so
+                # DIEF can extrapolate the sampled rate to unsampled sets.
+                counters.interference_misses += 1
+                counters.interference_miss_penalty_sum += post_llc_latency
+                interference += post_llc_latency
+            else:
+                interference += dram_result.interference_wait
+
+        response_hop = self.ring.transfer(core, bank, data_ready, response=True)
+        interference += response_hop.interference_wait
+        completion = response_hop.completion
+
+        latency = completion - original_issue
+        pre_llc_latency = latency - post_llc_latency
+
+        counters.sms_loads += 1
+        counters.sms_latency_sum += latency
+        counters.pre_llc_latency_sum += pre_llc_latency
+        counters.post_llc_latency_sum += post_llc_latency
+        counters.interference_sum += interference
+
+        return MemoryAccessResult(
+            address=address,
+            core=core,
+            issue_time=original_issue,
+            completion_time=completion,
+            is_sms=True,
+            l1_hit=False,
+            l2_hit=False,
+            llc_hit=llc_outcome.hit,
+            pre_llc_latency=pre_llc_latency,
+            post_llc_latency=post_llc_latency,
+            interference_cycles=interference,
+            interference_miss=atd_hit if not llc_outcome.hit else (False if atd_hit is not None else None),
+            row_hit=row_hit,
+        )
+
+    def _fill_lower_levels(self, core: int, address: int, is_store: bool) -> None:
+        """Install a line in L2 and the LLC without modelling its timing."""
+        self.l2[core].access(address, core, is_store)
+        self.atds[core].access(address)
+        self.llc.access(address, core, is_store)
+
+    # ------------------------------------------------------------------ interval management
+
+    def reset_interval_counters(self, core: int | None = None) -> None:
+        """Reset per-interval counters (for one core or all cores).
+
+        ATD stack-distance histograms are deliberately *not* reset here: they
+        are consumed (and reset) by the cache-partitioning policies on their
+        own repartitioning interval.
+        """
+        cores = [core] if core is not None else self.active_cores
+        for core_id in cores:
+            self.counters[core_id].reset()
+
+    def reset_atd_statistics(self, core: int | None = None) -> None:
+        """Reset ATD stack-distance histograms (done by partitioning policies)."""
+        cores = [core] if core is not None else self.active_cores
+        for core_id in cores:
+            self.atds[core_id].reset_statistics()
+
+    def miss_curve(self, core: int):
+        """The core's private-mode LLC miss curve accumulated since the last ATD reset."""
+        return self.atds[core].miss_curve()

@@ -1,0 +1,59 @@
+"""Memory request descriptors returned by the memory hierarchy."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MemoryAccessResult"]
+
+
+@dataclass(frozen=True)
+class MemoryAccessResult:
+    """Timing and classification of one load's trip through the memory hierarchy.
+
+    Attributes
+    ----------
+    address, core:
+        The request's byte address and issuing core.
+    issue_time, completion_time:
+        When the request left the core and when its data returned.
+    is_sms:
+        True when the request visited the shared memory system (LLC or
+        beyond), i.e. it is an SMS-load in the paper's terminology; False for
+        PMS-loads that were satisfied by the private L1/L2.
+    l1_hit, l2_hit, llc_hit:
+        Where the request hit.
+    pre_llc_latency:
+        Cycles spent on the CPU side of the LLC plus the LLC access itself
+        (ring + LLC); used by MCP's P_PreLLC component.
+    post_llc_latency:
+        Cycles spent in the memory controller and on the memory bus; used by
+        MCP's CPI gradient.
+    interference_cycles:
+        Estimated cycles of the total latency caused by other cores (ring and
+        DRAM queueing plus the penalty of an interference-induced LLC miss).
+    interference_miss:
+        True when the core's ATD indicates the access would have hit in
+        private mode but missed in shared mode; None when the address does
+        not map to a sampled ATD set.
+    row_hit:
+        Whether the DRAM access (if any) hit in the row buffer.
+    """
+
+    address: int
+    core: int
+    issue_time: float
+    completion_time: float
+    is_sms: bool
+    l1_hit: bool
+    l2_hit: bool
+    llc_hit: bool
+    pre_llc_latency: float = 0.0
+    post_llc_latency: float = 0.0
+    interference_cycles: float = 0.0
+    interference_miss: bool | None = None
+    row_hit: bool = False
+
+    @property
+    def latency(self) -> float:
+        return self.completion_time - self.issue_time

@@ -1,0 +1,31 @@
+"""Metrics: estimation-error metrics (RMS) and system-level performance metrics (STP)."""
+
+from repro.metrics.errors import (
+    absolute_error,
+    mean,
+    relative_error,
+    rms,
+    rms_absolute_error,
+    rms_relative_error,
+)
+from repro.metrics.throughput import (
+    cpi,
+    harmonic_mean_speedup,
+    ipc,
+    system_throughput,
+    weighted_speedup,
+)
+
+__all__ = [
+    "absolute_error",
+    "relative_error",
+    "rms",
+    "rms_absolute_error",
+    "rms_relative_error",
+    "mean",
+    "ipc",
+    "cpi",
+    "system_throughput",
+    "weighted_speedup",
+    "harmonic_mean_speedup",
+]

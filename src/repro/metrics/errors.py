@@ -1,0 +1,80 @@
+"""Estimation-error metrics used throughout the paper's evaluation.
+
+The paper quantifies how far a shared-mode estimate of a private-mode value is
+from the actual private-mode value using absolute error, relative error and
+the Root Mean Squared (RMS) aggregate of a series of per-interval errors
+(Equation 8 in the paper).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+__all__ = [
+    "absolute_error",
+    "relative_error",
+    "rms",
+    "rms_absolute_error",
+    "rms_relative_error",
+    "mean",
+]
+
+
+def absolute_error(estimate: float, actual: float) -> float:
+    """Return the absolute error ``estimate - actual`` (paper: E_Abs)."""
+    return estimate - actual
+
+
+def relative_error(estimate: float, actual: float) -> float:
+    """Return the relative error ``(estimate - actual) / actual`` (paper: E_Rel).
+
+    If ``actual`` is zero the error is defined as zero when the estimate is
+    also zero and as ``inf`` (signed) otherwise, which keeps RMS aggregation
+    well defined for degenerate intervals (e.g. an interval with no stalls).
+    """
+    if actual == 0:
+        if estimate == 0:
+            return 0.0
+        return math.copysign(math.inf, estimate)
+    return (estimate - actual) / actual
+
+
+def rms(errors: Sequence[float]) -> float:
+    """Return the Root Mean Squared value of a series of errors (Equation 8).
+
+    Non-finite entries are ignored; an empty (or all-non-finite) series has an
+    RMS of zero.
+    """
+    finite = [e for e in errors if math.isfinite(e)]
+    if not finite:
+        return 0.0
+    return math.sqrt(sum(e * e for e in finite) / len(finite))
+
+
+def rms_absolute_error(estimates: Sequence[float], actuals: Sequence[float]) -> float:
+    """RMS of per-interval absolute errors between two aligned series."""
+    _check_aligned(estimates, actuals)
+    return rms([absolute_error(e, a) for e, a in zip(estimates, actuals)])
+
+
+def rms_relative_error(estimates: Sequence[float], actuals: Sequence[float]) -> float:
+    """RMS of per-interval relative errors between two aligned series."""
+    _check_aligned(estimates, actuals)
+    return rms([relative_error(e, a) for e, a in zip(estimates, actuals)])
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; the paper uses it to aggregate per-benchmark RMS errors."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def _check_aligned(estimates: Sequence[float], actuals: Sequence[float]) -> None:
+    if len(estimates) != len(actuals):
+        raise ValueError(
+            f"estimate series (len {len(estimates)}) and actual series "
+            f"(len {len(actuals)}) must be aligned"
+        )

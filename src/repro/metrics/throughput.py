@@ -1,0 +1,64 @@
+"""System-level performance metrics.
+
+The paper's cache-partitioning case study optimises and reports System
+Throughput (STP) as defined by Eyerman and Eeckhout: the sum over cores of the
+private-mode to shared-mode CPI ratio.  A core running exactly as fast as it
+would alone contributes 1.0; interference pushes its contribution below 1.0.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["ipc", "cpi", "system_throughput", "weighted_speedup", "harmonic_mean_speedup"]
+
+
+def ipc(instructions: float, cycles: float) -> float:
+    """Instructions per cycle; zero cycles yields zero IPC."""
+    if cycles <= 0:
+        return 0.0
+    return instructions / cycles
+
+
+def cpi(instructions: float, cycles: float) -> float:
+    """Cycles per instruction; zero instructions yields zero CPI."""
+    if instructions <= 0:
+        return 0.0
+    return cycles / instructions
+
+
+def system_throughput(private_cpis: Sequence[float], shared_cpis: Sequence[float]) -> float:
+    """System Throughput: sum over cores of ``private_cpi / shared_cpi``.
+
+    Cores whose shared-mode CPI is zero (no committed instructions) contribute
+    zero, which only happens for degenerate, empty intervals.
+    """
+    if len(private_cpis) != len(shared_cpis):
+        raise ValueError("private and shared CPI series must have the same length")
+    total = 0.0
+    for private, shared in zip(private_cpis, shared_cpis):
+        if shared > 0:
+            total += private / shared
+    return total
+
+
+def weighted_speedup(private_cpis: Sequence[float], shared_cpis: Sequence[float]) -> float:
+    """Alias of :func:`system_throughput`; the metric is also known as weighted speedup."""
+    return system_throughput(private_cpis, shared_cpis)
+
+
+def harmonic_mean_speedup(private_cpis: Sequence[float], shared_cpis: Sequence[float]) -> float:
+    """Harmonic mean of per-core speedups; balances throughput and fairness."""
+    if len(private_cpis) != len(shared_cpis):
+        raise ValueError("private and shared CPI series must have the same length")
+    n = len(private_cpis)
+    if n == 0:
+        return 0.0
+    denom = 0.0
+    for private, shared in zip(private_cpis, shared_cpis):
+        if private <= 0:
+            return 0.0
+        denom += shared / private
+    if denom == 0:
+        return 0.0
+    return n / denom

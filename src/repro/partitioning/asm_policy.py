@@ -1,0 +1,57 @@
+"""ASM-driven cache partitioning (the invasive state-of-the-art baseline of Figure 6).
+
+The policy uses the same miss-curve + first-order performance model machinery
+as MCP but takes its private-mode CPI estimates from the invasive ASM
+technique instead of GDP.  Installing the policy also installs ASM's
+epoch-based memory-controller priority rotation, because ASM cannot produce
+estimates without it — which is precisely why it perturbs the workloads it is
+trying to measure.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.asm import ASMAccounting, install_asm_rotation
+from repro.partitioning.base import PartitioningPolicy, PolicyContext
+from repro.partitioning.lookahead import lookahead_allocate
+from repro.partitioning.mcp import PerformanceModel
+from repro.sim.system import CMPSystem
+
+__all__ = ["ASMPartitioningPolicy"]
+
+
+class ASMPartitioningPolicy(PartitioningPolicy):
+    """Throughput-oriented partitioning driven by ASM slowdown estimates."""
+
+    name = "ASM"
+
+    def __init__(self, n_cores: int, repartition_interval_cycles: float | None = None,
+                 epoch_cycles: float = 2_000.0):
+        super().__init__(repartition_interval_cycles)
+        self.accounting = ASMAccounting(n_cores=n_cores, epoch_cycles=epoch_cycles)
+
+    def install(self, system: CMPSystem) -> None:
+        install_asm_rotation(system, epoch_cycles=self.accounting.epoch_cycles)
+        super().install(system)
+
+    def allocate(self, context: PolicyContext) -> dict[int, int] | None:
+        cores = context.cores
+        if not cores:
+            return None
+        models: dict[int, PerformanceModel] = {}
+        for core in cores:
+            interval = context.latest_intervals.get(core)
+            if interval is None or interval.instructions == 0:
+                continue
+            estimate = self.accounting.estimate(interval)
+            models[core] = PerformanceModel.from_interval(interval, private_cpi=estimate.cpi)
+        if len(models) < len(cores):
+            return self.equal_allocation(cores, context.total_ways)
+        utilities = {}
+        for core in cores:
+            curve = context.miss_curves[core]
+            model = models[core]
+            utilities[core] = [
+                model.throughput_contribution(curve.misses_at(ways))
+                for ways in range(context.total_ways + 1)
+            ]
+        return lookahead_allocate(utilities, context.total_ways)

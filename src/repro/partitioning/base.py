@@ -1,0 +1,94 @@
+"""Common machinery of the LLC partitioning policies (the Figure 6 case study).
+
+A policy is installed on a shared-mode :class:`CMPSystem` and re-evaluates the
+per-core way allocation at a fixed cycle interval.  On every repartitioning
+event the policy is handed a :class:`PolicyContext`: the ATD miss curves
+accumulated since the previous repartitioning plus each core's most recent
+estimate interval (which MCP and ASM-driven partitioning turn into
+performance estimates).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.cache.miss_curve import MissCurve
+from repro.cpu.events import IntervalStats
+from repro.errors import PartitioningError
+from repro.sim.system import CMPSystem
+
+__all__ = ["PolicyContext", "PartitioningPolicy"]
+
+
+@dataclass
+class PolicyContext:
+    """Everything a partitioning policy may consult at a repartitioning event."""
+
+    time: float
+    total_ways: int
+    miss_curves: dict[int, MissCurve] = field(default_factory=dict)
+    latest_intervals: dict[int, IntervalStats] = field(default_factory=dict)
+
+    @property
+    def cores(self) -> list[int]:
+        return sorted(self.miss_curves)
+
+
+class PartitioningPolicy(ABC):
+    """Base class for LLC way-partitioning policies."""
+
+    name: str = "abstract"
+
+    def __init__(self, repartition_interval_cycles: float | None = None):
+        self.repartition_interval_cycles = repartition_interval_cycles
+        self.allocations_history: list[dict[int, int]] = []
+
+    # ------------------------------------------------------------------ policy interface
+
+    @abstractmethod
+    def allocate(self, context: PolicyContext) -> dict[int, int] | None:
+        """Return the new way allocation, or None to leave the LLC unpartitioned."""
+
+    # ------------------------------------------------------------------ installation
+
+    def install(self, system: CMPSystem) -> None:
+        """Attach this policy to a shared-mode run (call before ``system.run()``)."""
+        period = self.repartition_interval_cycles or float(
+            system.config.accounting.partitioning_interval_cycles
+        )
+        total_ways = system.config.llc.associativity
+        if total_ways < len(system.cores):
+            raise PartitioningError("the LLC must have at least one way per core")
+
+        def repartition(now: float, sim: CMPSystem) -> None:
+            context = self._build_context(now, total_ways, sim)
+            allocation = self.allocate(context)
+            if allocation is not None:
+                sim.hierarchy.set_partition(allocation)
+                self.allocations_history.append(dict(allocation))
+            sim.hierarchy.reset_atd_statistics()
+
+        system.add_periodic_hook(period, repartition)
+
+    def _build_context(self, now: float, total_ways: int, system: CMPSystem) -> PolicyContext:
+        context = PolicyContext(time=now, total_ways=total_ways)
+        for core_id, core in system.cores.items():
+            context.miss_curves[core_id] = system.hierarchy.miss_curve(core_id)
+            if core.intervals:
+                context.latest_intervals[core_id] = core.intervals[-1]
+        return context
+
+    # ------------------------------------------------------------------ helpers
+
+    @staticmethod
+    def equal_allocation(cores: list[int], total_ways: int) -> dict[int, int]:
+        """Split ways as evenly as possible (fallback before estimates exist)."""
+        if not cores:
+            raise PartitioningError("cannot allocate ways to zero cores")
+        base = total_ways // len(cores)
+        remainder = total_ways - base * len(cores)
+        allocation = {}
+        for position, core in enumerate(sorted(cores)):
+            allocation[core] = base + (1 if position < remainder else 0)
+        return allocation

@@ -1,0 +1,94 @@
+"""The lookahead allocation algorithm (Qureshi and Patt, used by UCP and MCP).
+
+Given a per-core utility curve — the benefit of holding ``w`` ways, for every
+``w`` up to the LLC associativity — the lookahead algorithm greedily hands out
+ways: at every step each core reports the best *marginal* utility it could get
+from any number of additional ways (utility gained divided by ways needed),
+and the core with the highest marginal utility receives that block of ways.
+This handles non-convex utility curves (where the benefit of one more way is
+tiny but the benefit of four more is large), which plain greedy allocation by
+single ways does not.
+
+UCP's utility is the hit count from the ATD miss curves; MCP's utility is each
+core's estimated contribution to system throughput (Equation 7 of the paper).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.errors import PartitioningError
+
+__all__ = ["lookahead_allocate"]
+
+
+def lookahead_allocate(
+    utilities: Mapping[int, Sequence[float]],
+    total_ways: int,
+    minimum_ways: int = 1,
+) -> dict[int, int]:
+    """Allocate ``total_ways`` among cores maximising summed utility greedily.
+
+    Parameters
+    ----------
+    utilities:
+        Maps core id to its utility curve; ``utilities[core][w]`` is the
+        benefit of owning ``w`` ways (index 0 = no ways).  Curves may have
+        fewer entries than ``total_ways`` + 1; the last entry is extended.
+    total_ways:
+        Number of LLC ways to distribute (the cache associativity).
+    minimum_ways:
+        Every core is guaranteed at least this many ways (way partitioning
+        cannot starve a core completely).
+
+    Returns
+    -------
+    dict mapping core id to its way allocation; the values sum to
+    ``total_ways`` exactly.
+    """
+    cores = sorted(utilities)
+    if not cores:
+        raise PartitioningError("lookahead needs at least one core")
+    if total_ways < len(cores) * minimum_ways:
+        raise PartitioningError(
+            f"{total_ways} ways cannot give {len(cores)} cores {minimum_ways} way(s) each"
+        )
+
+    def utility(core: int, ways: int) -> float:
+        curve = utilities[core]
+        if not curve:
+            return 0.0
+        index = min(ways, len(curve) - 1)
+        return float(curve[index])
+
+    allocation = {core: minimum_ways for core in cores}
+    remaining = total_ways - sum(allocation.values())
+
+    while remaining > 0:
+        best_core = None
+        best_block = 0
+        best_marginal = 0.0
+        for core in cores:
+            current = allocation[core]
+            base = utility(core, current)
+            for block in range(1, remaining + 1):
+                gain = utility(core, current + block) - base
+                marginal = gain / block
+                if marginal > best_marginal + 1e-12:
+                    best_marginal = marginal
+                    best_core = core
+                    best_block = block
+        if best_core is None:
+            # Nobody benefits from more ways; hand the remainder out round-
+            # robin so the allocation always sums to the associativity.
+            position = 0
+            while remaining > 0:
+                allocation[cores[position % len(cores)]] += 1
+                position += 1
+                remaining -= 1
+            break
+        allocation[best_core] += best_block
+        remaining -= best_block
+
+    assert sum(allocation.values()) == total_ways
+    return allocation

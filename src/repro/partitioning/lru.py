@@ -1,0 +1,22 @@
+"""The unmanaged baseline: shared LLC with plain LRU replacement.
+
+LRU never installs a partition, so every core competes freely for LLC
+capacity.  The paper uses it as the reference point of Figure 6b and shows
+that on the 8-core H-workloads it can even beat UCP and ASM because way
+partitioning is coarse grained.
+"""
+
+from __future__ import annotations
+
+from repro.partitioning.base import PartitioningPolicy, PolicyContext
+
+__all__ = ["LRUSharingPolicy"]
+
+
+class LRUSharingPolicy(PartitioningPolicy):
+    """No partitioning at all: the LLC stays a free-for-all under LRU."""
+
+    name = "LRU"
+
+    def allocate(self, context: PolicyContext) -> dict[int, int] | None:
+        return None

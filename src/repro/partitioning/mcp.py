@@ -1,0 +1,140 @@
+"""MCP: Model-based Cache Partitioning (Section V of the paper).
+
+MCP combines three ingredients at every repartitioning event:
+
+1. the per-core ATD miss curves (estimated misses for any way allocation),
+2. a first-order performance model that links LLC misses to CPI
+   (Equations 4–6): ``CPI(m) = P_PreLLC + g * m`` where ``P_PreLLC`` is the
+   CPI with an infinite LLC and ``g`` the CPI cost of one additional miss, and
+3. the private-mode CPI estimates pi-hat produced by GDP (MCP) or GDP-O
+   (MCP-O).
+
+Together they give an online estimate of System Throughput for any candidate
+allocation (Equation 7); MCP feeds that utility into the lookahead algorithm
+and installs the allocation that maximises it.  Accurate private-mode
+estimates are what allow MCP to pick the working sets that matter for *system
+performance* rather than just minimising misses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.miss_curve import MissCurve
+from repro.core.base import AccountingTechnique
+from repro.core.gdp import GDPAccounting, GDPOAccounting
+from repro.cpu.events import IntervalStats
+from repro.partitioning.base import PartitioningPolicy, PolicyContext
+from repro.partitioning.lookahead import lookahead_allocate
+
+__all__ = ["PerformanceModel", "MCPPolicy", "MCPOPolicy"]
+
+
+@dataclass(frozen=True)
+class PerformanceModel:
+    """Per-core first-order CPI model: ``CPI(m) = pre_llc_cpi + gradient * m``."""
+
+    core: int
+    pre_llc_cpi: float
+    gradient: float
+    private_cpi: float
+    instructions: int
+
+    def shared_cpi(self, misses: float) -> float:
+        """Estimated shared-mode CPI with ``misses`` SMS-load LLC misses."""
+        return self.pre_llc_cpi + self.gradient * misses
+
+    def throughput_contribution(self, misses: float) -> float:
+        """This core's term of the STP estimate (Equation 7)."""
+        shared = self.shared_cpi(misses)
+        if shared <= 0:
+            return 0.0
+        return self.private_cpi / shared
+
+    @staticmethod
+    def from_interval(interval: IntervalStats, private_cpi: float) -> "PerformanceModel":
+        """Build the model from one estimate interval (Equations 5 and 6).
+
+        The critical path length is approximated locally as the SMS stall
+        cycles divided by the average SMS latency (footnote 4 of the paper),
+        so the model does not need the full CPL estimator.
+        """
+        instructions = max(1, interval.instructions)
+        average_latency = interval.average_sms_latency()
+        cpl_estimate = interval.stall_sms / average_latency if average_latency > 0 else 0.0
+        pre_llc_latency = (
+            interval.pre_llc_latency_sum / interval.sms_loads if interval.sms_loads else 0.0
+        )
+        post_llc_latency = (
+            interval.post_llc_latency_sum / interval.llc_misses if interval.llc_misses else 0.0
+        )
+        non_sms_stalls = interval.stall_independent + interval.stall_other + interval.stall_pms
+        pre_llc_cycles = interval.commit_cycles + non_sms_stalls + cpl_estimate * pre_llc_latency
+        pre_llc_cpi = pre_llc_cycles / instructions
+        # CPI increase per additional SMS-load LLC miss (Equation 6): the miss
+        # pays the memory-controller/bus latency, serialised per unit of MLP.
+        miss_cpl_fraction = cpl_estimate / interval.llc_misses if interval.llc_misses else 0.0
+        gradient = (miss_cpl_fraction * post_llc_latency) / instructions
+        return PerformanceModel(
+            core=interval.core,
+            pre_llc_cpi=pre_llc_cpi,
+            gradient=gradient,
+            private_cpi=private_cpi,
+            instructions=instructions,
+        )
+
+
+class MCPPolicy(PartitioningPolicy):
+    """Model-based Cache Partitioning driven by GDP private-mode estimates."""
+
+    name = "MCP"
+
+    def __init__(self, repartition_interval_cycles: float | None = None,
+                 accounting: AccountingTechnique | None = None,
+                 prb_entries: int | None = 32):
+        super().__init__(repartition_interval_cycles)
+        self.accounting = accounting or GDPAccounting(prb_entries=prb_entries)
+
+    def allocate(self, context: PolicyContext) -> dict[int, int] | None:
+        cores = context.cores
+        if not cores:
+            return None
+        models: dict[int, PerformanceModel] = {}
+        for core in cores:
+            interval = context.latest_intervals.get(core)
+            if interval is None or interval.instructions == 0:
+                continue
+            estimate = self.accounting.estimate(interval)
+            models[core] = PerformanceModel.from_interval(interval, private_cpi=estimate.cpi)
+        if len(models) < len(cores):
+            # Not every core has produced an estimate interval yet.
+            return self.equal_allocation(cores, context.total_ways)
+
+        utilities = {
+            core: self._utility_curve(models[core], context.miss_curves[core], context.total_ways)
+            for core in cores
+        }
+        return lookahead_allocate(utilities, context.total_ways)
+
+    def _utility_curve(self, model: PerformanceModel, miss_curve: MissCurve,
+                       total_ways: int) -> list[float]:
+        """Per-way-count STP contribution of one core (Equation 7)."""
+        curve = []
+        for ways in range(total_ways + 1):
+            misses = miss_curve.misses_at(ways)
+            curve.append(model.throughput_contribution(misses))
+        return curve
+
+
+class MCPOPolicy(MCPPolicy):
+    """MCP using GDP-O (overlap-aware) private-mode estimates."""
+
+    name = "MCP-O"
+
+    def __init__(self, repartition_interval_cycles: float | None = None,
+                 prb_entries: int | None = 32):
+        super().__init__(
+            repartition_interval_cycles,
+            accounting=GDPOAccounting(prb_entries=prb_entries),
+            prb_entries=prb_entries,
+        )

@@ -1,0 +1,35 @@
+"""UCP: Utility-based Cache Partitioning (Qureshi and Patt).
+
+UCP allocates LLC ways to the cores that derive the most *hits* from them:
+the per-core ATD miss curves give the expected hit count for every possible
+way count, and the lookahead algorithm hands out ways by marginal hit gain.
+UCP is miss-minimising — it has no notion of how much a miss actually costs
+each application, which is exactly the gap MCP fills with performance
+estimates.
+"""
+
+from __future__ import annotations
+
+from repro.partitioning.base import PartitioningPolicy, PolicyContext
+from repro.partitioning.lookahead import lookahead_allocate
+
+__all__ = ["UCPPolicy"]
+
+
+class UCPPolicy(PartitioningPolicy):
+    """Miss-minimising way partitioning driven by ATD miss curves."""
+
+    name = "UCP"
+
+    def allocate(self, context: PolicyContext) -> dict[int, int] | None:
+        cores = context.cores
+        if not cores:
+            return None
+        utilities = {}
+        for core in cores:
+            curve = context.miss_curves[core]
+            utilities[core] = [curve.hits_at(ways) for ways in range(context.total_ways + 1)]
+        if all(max(curve) <= 0 for curve in utilities.values()):
+            # No ATD samples yet (start of the run): fall back to an even split.
+            return self.equal_allocation(cores, context.total_ways)
+        return lookahead_allocate(utilities, context.total_ways)

@@ -1,0 +1,44 @@
+"""Simulation layer: configuration, CMP system assembly and experiment runners."""
+
+from repro.config import (
+    DDR2_800,
+    DDR4_2666,
+    AccountingConfig,
+    CacheConfig,
+    CMPConfig,
+    CoreConfig,
+    DRAMConfig,
+    DRAMTimingConfig,
+    RingConfig,
+)
+from repro.sim.system import CMPSystem, CoreResult, PeriodicHook, SystemResult
+from repro.sim.runner import (
+    PrivateModeResult,
+    WorkloadRunResult,
+    build_trace,
+    run_private_mode,
+    run_shared_mode,
+    run_workload,
+)
+
+__all__ = [
+    "CMPConfig",
+    "CoreConfig",
+    "CacheConfig",
+    "RingConfig",
+    "DRAMConfig",
+    "DRAMTimingConfig",
+    "AccountingConfig",
+    "DDR2_800",
+    "DDR4_2666",
+    "CMPSystem",
+    "CoreResult",
+    "SystemResult",
+    "PeriodicHook",
+    "PrivateModeResult",
+    "WorkloadRunResult",
+    "build_trace",
+    "run_private_mode",
+    "run_shared_mode",
+    "run_workload",
+]

@@ -1,0 +1,33 @@
+"""Compatibility shim: the configuration classes live in :mod:`repro.config`.
+
+Importing them through ``repro.sim.config`` continues to work so existing
+code and documentation referring to the simulation layer stay valid.
+"""
+
+from repro.config import (  # noqa: F401
+    DDR2_800,
+    DDR4_2666,
+    AccountingConfig,
+    CacheConfig,
+    CMPConfig,
+    CoreConfig,
+    DRAMConfig,
+    DRAMTimingConfig,
+    RingConfig,
+    KILOBYTE,
+    MEGABYTE,
+)
+
+__all__ = [
+    "CoreConfig",
+    "CacheConfig",
+    "RingConfig",
+    "DRAMTimingConfig",
+    "DRAMConfig",
+    "AccountingConfig",
+    "CMPConfig",
+    "DDR2_800",
+    "DDR4_2666",
+    "KILOBYTE",
+    "MEGABYTE",
+]

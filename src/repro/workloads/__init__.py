@@ -1,0 +1,43 @@
+"""Synthetic workloads: traces, benchmarks, LLC-sensitivity classes and mixes."""
+
+from repro.workloads.trace import InstrKind, Trace, TraceBuilder
+from repro.workloads.synthetic import (
+    SPEC_LIKE_BENCHMARKS,
+    BenchmarkSpec,
+    benchmark_names,
+    generate_trace,
+    get_benchmark,
+)
+from repro.workloads.classification import (
+    SensitivityProfile,
+    classify_benchmark,
+    classify_speedup,
+    classify_suite,
+)
+from repro.workloads.mixes import (
+    PAPER_WORKLOAD_COUNTS,
+    Workload,
+    benchmarks_by_category,
+    generate_category_workloads,
+    generate_mixed_workloads,
+)
+
+__all__ = [
+    "InstrKind",
+    "Trace",
+    "TraceBuilder",
+    "BenchmarkSpec",
+    "SPEC_LIKE_BENCHMARKS",
+    "benchmark_names",
+    "generate_trace",
+    "get_benchmark",
+    "SensitivityProfile",
+    "classify_benchmark",
+    "classify_speedup",
+    "classify_suite",
+    "Workload",
+    "PAPER_WORKLOAD_COUNTS",
+    "benchmarks_by_category",
+    "generate_category_workloads",
+    "generate_mixed_workloads",
+]

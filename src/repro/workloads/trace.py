@@ -1,0 +1,179 @@
+"""Instruction traces consumed by the trace-driven core model.
+
+A trace is a flat sequence of instructions.  Each instruction is either a
+compute instruction, a load or a store.  Loads carry a byte address and an
+optional data dependency on an earlier load (by instruction index), which is
+how pointer-chasing and other serialising access patterns are expressed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import TraceError
+
+__all__ = ["InstrKind", "Trace", "TraceBuilder"]
+
+
+class InstrKind:
+    """Instruction kind encodings used in :class:`Trace` arrays."""
+
+    COMPUTE = 0
+    LOAD = 1
+    STORE = 2
+
+
+@dataclass
+class Trace:
+    """A flat instruction trace.
+
+    Attributes
+    ----------
+    kinds:
+        One entry per instruction, an :class:`InstrKind` value.
+    addresses:
+        Byte address per instruction (0 for compute instructions).
+    deps:
+        For loads, the instruction index of the earlier load whose data this
+        load's address depends on, or -1 when the address is independent.
+    name:
+        Human-readable benchmark name.
+    """
+
+    kinds: list[int] = field(default_factory=list)
+    addresses: list[int] = field(default_factory=list)
+    deps: list[int] = field(default_factory=list)
+    name: str = "anonymous"
+
+    def __post_init__(self) -> None:
+        if not (len(self.kinds) == len(self.addresses) == len(self.deps)):
+            raise TraceError("trace arrays must have identical lengths")
+
+    def __len__(self) -> int:
+        return len(self.kinds)
+
+    @property
+    def num_instructions(self) -> int:
+        return len(self.kinds)
+
+    @property
+    def num_loads(self) -> int:
+        return sum(1 for kind in self.kinds if kind == InstrKind.LOAD)
+
+    @property
+    def num_stores(self) -> int:
+        return sum(1 for kind in self.kinds if kind == InstrKind.STORE)
+
+    def validate(self) -> None:
+        """Check structural invariants; raises :class:`TraceError` on violation."""
+        for index, (kind, dep) in enumerate(zip(self.kinds, self.deps)):
+            if kind not in (InstrKind.COMPUTE, InstrKind.LOAD, InstrKind.STORE):
+                raise TraceError(f"instruction {index} has unknown kind {kind}")
+            if dep >= index:
+                raise TraceError(f"instruction {index} depends on a later instruction {dep}")
+            if dep >= 0 and self.kinds[dep] != InstrKind.LOAD:
+                raise TraceError(f"instruction {index} depends on a non-load instruction {dep}")
+            if kind != InstrKind.LOAD and dep != -1:
+                raise TraceError(f"non-load instruction {index} cannot carry a dependency")
+
+    def slice(self, start: int, stop: int) -> "Trace":
+        """Return a sub-trace covering instructions ``[start, stop)``.
+
+        Load dependencies that point before ``start`` are dropped (turned into
+        independent loads), mirroring what a checkpoint boundary does.
+        """
+        if not (0 <= start <= stop <= len(self)):
+            raise TraceError(f"invalid slice [{start}, {stop}) of trace with {len(self)} instructions")
+        deps = []
+        for index in range(start, stop):
+            dep = self.deps[index]
+            deps.append(dep - start if dep >= start else -1)
+        return Trace(
+            kinds=self.kinds[start:stop],
+            addresses=self.addresses[start:stop],
+            deps=deps,
+            name=self.name,
+        )
+
+    def repeated(self, times: int) -> "Trace":
+        """Return the trace concatenated with itself ``times`` times.
+
+        Used to restart a benchmark when it reaches the end of its
+        instruction sample (as the paper does for multi-programmed runs).
+        """
+        if times <= 0:
+            raise TraceError("repeat count must be positive")
+        result = TraceBuilder(name=self.name)
+        for _ in range(times):
+            offset = len(result)
+            for index in range(len(self)):
+                dep = self.deps[index]
+                result.kinds.append(self.kinds[index])
+                result.addresses.append(self.addresses[index])
+                result.deps.append(dep + offset if dep >= 0 else -1)
+        return result.build()
+
+    def load_addresses(self) -> list[int]:
+        """Return the addresses of all loads, in program order."""
+        return [
+            address
+            for kind, address in zip(self.kinds, self.addresses)
+            if kind == InstrKind.LOAD
+        ]
+
+    def memory_intensity(self) -> float:
+        """Fraction of instructions that are loads or stores."""
+        if not self.kinds:
+            return 0.0
+        memory_ops = sum(1 for kind in self.kinds if kind != InstrKind.COMPUTE)
+        return memory_ops / len(self.kinds)
+
+
+class TraceBuilder:
+    """Incremental construction of a :class:`Trace`."""
+
+    def __init__(self, name: str = "anonymous"):
+        self.name = name
+        self.kinds: list[int] = []
+        self.addresses: list[int] = []
+        self.deps: list[int] = []
+
+    def __len__(self) -> int:
+        return len(self.kinds)
+
+    def add_compute(self, count: int = 1) -> None:
+        """Append ``count`` compute instructions."""
+        if count < 0:
+            raise TraceError("compute count cannot be negative")
+        self.kinds.extend([InstrKind.COMPUTE] * count)
+        self.addresses.extend([0] * count)
+        self.deps.extend([-1] * count)
+
+    def add_load(self, address: int, depends_on: int | None = None) -> int:
+        """Append a load and return its instruction index."""
+        index = len(self.kinds)
+        if depends_on is not None and not (0 <= depends_on < index):
+            raise TraceError(f"load dependency {depends_on} out of range at index {index}")
+        self.kinds.append(InstrKind.LOAD)
+        self.addresses.append(address)
+        self.deps.append(depends_on if depends_on is not None else -1)
+        return index
+
+    def add_store(self, address: int) -> int:
+        """Append a store and return its instruction index."""
+        index = len(self.kinds)
+        self.kinds.append(InstrKind.STORE)
+        self.addresses.append(address)
+        self.deps.append(-1)
+        return index
+
+    def build(self) -> Trace:
+        """Return the built trace after validating it."""
+        trace = Trace(
+            kinds=list(self.kinds),
+            addresses=list(self.addresses),
+            deps=list(self.deps),
+            name=self.name,
+        )
+        trace.validate()
+        return trace

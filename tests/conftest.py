@@ -1,0 +1,139 @@
+"""Shared fixtures for the test suite.
+
+The fixtures build deliberately tiny configurations and traces so individual
+tests stay fast; integration tests that need realistic contention build their
+own, slightly larger setups.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import CacheConfig, CMPConfig
+from repro.cpu.events import CommitStall, IntervalStats, LoadRecord, StallCause, annotate_overlap
+from repro.workloads.synthetic import BenchmarkSpec, generate_trace
+from repro.workloads.trace import TraceBuilder
+
+KILOBYTE = 1024
+
+
+@pytest.fixture
+def tiny_config() -> CMPConfig:
+    """A 4-core CMP with a very small cache hierarchy (fast to simulate)."""
+    return CMPConfig.default(4).scaled(llc_kilobytes=64)
+
+
+@pytest.fixture
+def two_core_config() -> CMPConfig:
+    """A 2-core CMP with a small cache hierarchy."""
+    return CMPConfig.default(2).scaled(llc_kilobytes=64)
+
+
+@pytest.fixture
+def llc_config() -> CacheConfig:
+    """A small shared-LLC geometry used by cache and ATD tests."""
+    return CacheConfig(size_bytes=64 * KILOBYTE, associativity=8, latency=16, mshrs=32, banks=4)
+
+
+@pytest.fixture
+def small_trace():
+    """A short blocked-pattern trace touching a 16 KB working set."""
+    spec = BenchmarkSpec(
+        name="test_blocked",
+        pattern="blocked",
+        footprint_bytes=16 * KILOBYTE,
+        compute_per_load=4,
+        line_reuse=2,
+    )
+    return generate_trace(spec, 4_000, seed=7)
+
+
+@pytest.fixture
+def pointer_chase_trace():
+    """A short pointer-chasing trace (every load depends on the previous one)."""
+    spec = BenchmarkSpec(
+        name="test_chase",
+        pattern="pointer_chase",
+        footprint_bytes=32 * KILOBYTE,
+        compute_per_load=4,
+    )
+    return generate_trace(spec, 4_000, seed=11)
+
+
+def build_interval(loads, stalls, *, core=0, index=0, start=0.0, end=1_000.0,
+                   instructions=1_000, commit_cycles=None, sms_latency=None,
+                   interference=0.0, llc_misses=None, **extra) -> IntervalStats:
+    """Construct an IntervalStats for accounting unit tests from raw events."""
+    annotate_overlap(loads, stalls)
+    stall_sms = sum(s.cycles for s in stalls if s.cause == StallCause.SMS_LOAD)
+    stall_pms = sum(s.cycles for s in stalls if s.cause == StallCause.PMS_LOAD)
+    stall_ind = sum(s.cycles for s in stalls if s.cause == StallCause.INDEPENDENT)
+    stall_other = sum(s.cycles for s in stalls if s.cause == StallCause.OTHER)
+    total = end - start
+    if commit_cycles is None:
+        commit_cycles = max(0.0, total - stall_sms - stall_pms - stall_ind - stall_other)
+    sms_loads = [load for load in loads if load.is_sms]
+    latency_sum = sum(load.latency for load in sms_loads) if sms_latency is None else (
+        sms_latency * len(sms_loads)
+    )
+    interval = IntervalStats(
+        core=core,
+        index=index,
+        start_time=start,
+        end_time=end,
+        instructions=instructions,
+        commit_cycles=commit_cycles,
+        stall_sms=stall_sms,
+        stall_pms=stall_pms,
+        stall_independent=stall_ind,
+        stall_other=stall_other,
+        loads=loads,
+        stalls=stalls,
+        sms_loads=len(sms_loads),
+        sms_latency_sum=latency_sum,
+        interference_sum=interference * len(sms_loads),
+        llc_accesses=len(sms_loads),
+        llc_misses=len(sms_loads) if llc_misses is None else llc_misses,
+    )
+    for key, value in extra.items():
+        setattr(interval, key, value)
+    return interval
+
+
+def make_load(address, issue, completion, *, is_sms=True, caused_stall=False,
+              stall_start=0.0, stall_end=0.0, interference=0.0, llc_hit=False,
+              interference_miss=None, instr_index=0) -> LoadRecord:
+    """Shorthand LoadRecord constructor for accounting unit tests."""
+    record = LoadRecord(
+        instr_index=instr_index,
+        address=address,
+        issue_time=issue,
+        completion_time=completion,
+        is_sms=is_sms,
+        latency=completion - issue,
+        interference_cycles=interference,
+        llc_hit=llc_hit,
+        interference_miss=interference_miss,
+    )
+    if caused_stall:
+        record.caused_stall = True
+        record.stall_start = stall_start
+        record.stall_end = stall_end
+    return record
+
+
+def make_stall(start, end, address, *, cause=StallCause.SMS_LOAD, is_sms=True) -> CommitStall:
+    """Shorthand CommitStall constructor for accounting unit tests."""
+    return CommitStall(start=start, end=end, cause=cause, load_address=address, load_is_sms=is_sms)
+
+
+def simple_trace(num_loads: int = 20, compute_between: int = 3, line_bytes: int = 64,
+                 stride_lines: int = 1, base: int = 0, dependent: bool = False):
+    """Build a tiny synthetic trace directly with the TraceBuilder."""
+    builder = TraceBuilder(name="unit")
+    previous = None
+    for index in range(num_loads):
+        address = base + index * stride_lines * line_bytes
+        previous = builder.add_load(address, depends_on=previous if dependent else None)
+        builder.add_compute(compute_between)
+    return builder.build()

@@ -1,0 +1,128 @@
+"""Unit tests for the Auxiliary Tag Directory with set sampling."""
+
+import pytest
+
+from repro.cache.atd import AuxiliaryTagDirectory
+from repro.config import CacheConfig
+from repro.errors import ConfigurationError
+
+KB = 1024
+
+
+def make_atd(sampled_sets=8, associativity=4, sets=64):
+    config = CacheConfig(
+        size_bytes=associativity * sets * 64,
+        associativity=associativity,
+        latency=16,
+        mshrs=32,
+    )
+    return AuxiliaryTagDirectory(config, sampled_sets=sampled_sets)
+
+
+def sampled_address(atd, ordinal=0, tag=0):
+    """Return an address mapping to the ordinal-th sampled set with a given tag."""
+    index = sorted(atd._sampled_indices)[ordinal]
+    return (tag * atd.num_llc_sets + index) * atd.line_bytes
+
+
+class TestSampling:
+    def test_requires_positive_sample_count(self):
+        config = CacheConfig(size_bytes=64 * KB, associativity=4, latency=16, mshrs=32)
+        with pytest.raises(ConfigurationError):
+            AuxiliaryTagDirectory(config, sampled_sets=0)
+
+    def test_sample_count_capped_at_total_sets(self):
+        atd = make_atd(sampled_sets=1_000, sets=64)
+        assert atd.sampled_sets == 64
+
+    def test_unsampled_addresses_return_none_and_do_not_count(self):
+        atd = make_atd(sampled_sets=2, sets=64)
+        unsampled = None
+        for set_index in range(atd.num_llc_sets):
+            if set_index not in atd._sampled_indices:
+                unsampled = set_index * atd.line_bytes
+                break
+        assert atd.access(unsampled) is None
+        assert atd.sampled_accesses == 0
+
+    def test_sampling_factor(self):
+        atd = make_atd(sampled_sets=8, sets=64)
+        assert atd.sampling_factor == pytest.approx(8.0)
+
+    def test_samples_predicate_matches_access_behaviour(self):
+        atd = make_atd(sampled_sets=4, sets=64)
+        address = sampled_address(atd)
+        assert atd.samples(address)
+        assert atd.access(address) is not None
+
+
+class TestLRUStackBehaviour:
+    def test_first_access_misses_then_hits(self):
+        atd = make_atd()
+        address = sampled_address(atd)
+        assert atd.access(address) is False
+        assert atd.access(address) is True
+
+    def test_hit_position_histogram_records_stack_depth(self):
+        atd = make_atd(associativity=4)
+        a = sampled_address(atd, tag=1)
+        b = sampled_address(atd, tag=2)
+        atd.access(a)
+        atd.access(b)
+        # Re-access a: it sits at stack position 1 (b is MRU).
+        atd.access(a)
+        assert atd.hit_position_histogram[1] == 1
+
+    def test_stack_is_bounded_by_associativity(self):
+        atd = make_atd(associativity=2)
+        first = sampled_address(atd, tag=1)
+        atd.access(first)
+        atd.access(sampled_address(atd, tag=2))
+        atd.access(sampled_address(atd, tag=3))
+        # The first tag was pushed out of the 2-deep stack.
+        assert atd.access(first) is False
+
+    def test_would_hit_is_non_destructive(self):
+        atd = make_atd()
+        address = sampled_address(atd)
+        atd.access(address)
+        assert atd.would_hit(address) is True
+        assert atd.would_hit(sampled_address(atd, tag=9)) is False
+        # Probing did not change hit statistics.
+        assert atd.sampled_accesses == 1
+
+
+class TestMissCurves:
+    def test_miss_curve_scaled_to_full_cache(self):
+        atd = make_atd(sampled_sets=8, sets=64)
+        address = sampled_address(atd)
+        atd.access(address)
+        atd.access(address)
+        curve = atd.miss_curve(scale_to_full_cache=True)
+        assert curve.total_accesses == pytest.approx(2 * atd.sampling_factor)
+
+    def test_miss_curve_reflects_reuse(self):
+        atd = make_atd(associativity=4)
+        addresses = [sampled_address(atd, tag=t) for t in range(2)]
+        for _ in range(3):
+            for address in addresses:
+                atd.access(address)
+        curve = atd.miss_curve(scale_to_full_cache=False)
+        # With 2 ways the working set fits: only the 2 cold misses remain.
+        assert curve.misses_at(2) == pytest.approx(2.0)
+        assert curve.misses_at(4) == pytest.approx(2.0)
+        assert curve.misses_at(0) == pytest.approx(6.0)
+
+    def test_reset_statistics_keeps_tag_state(self):
+        atd = make_atd()
+        address = sampled_address(atd)
+        atd.access(address)
+        atd.reset_statistics()
+        assert atd.sampled_accesses == 0
+        # Tag state survived the reset: the next access is still a hit.
+        assert atd.access(address) is True
+
+    def test_storage_bits_scale_with_sampled_sets(self):
+        small = make_atd(sampled_sets=4)
+        large = make_atd(sampled_sets=16)
+        assert large.storage_bits() == 4 * small.storage_bits()

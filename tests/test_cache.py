@@ -1,0 +1,172 @@
+"""Unit tests for the set-associative cache and way partitioning."""
+
+import pytest
+
+from repro.cache.cache import SetAssociativeCache
+from repro.config import CacheConfig
+from repro.errors import ConfigurationError
+
+KB = 1024
+
+
+def small_cache(associativity=4, sets=8, partitioned=False):
+    config = CacheConfig(
+        size_bytes=associativity * sets * 64,
+        associativity=associativity,
+        latency=3,
+        mshrs=8,
+    )
+    return SetAssociativeCache(config, name="unit", partitioned=partitioned)
+
+
+class TestBasicBehaviour:
+    def test_first_access_misses_second_hits(self):
+        cache = small_cache()
+        assert not cache.access(0x1000).hit
+        assert cache.access(0x1000).hit
+
+    def test_distinct_lines_do_not_alias(self):
+        cache = small_cache()
+        cache.access(0x0)
+        assert not cache.access(0x40).hit
+
+    def test_same_line_different_offsets_hit(self):
+        cache = small_cache()
+        cache.access(0x1000)
+        assert cache.access(0x1008).hit
+        assert cache.access(0x103F).hit
+
+    def test_probe_does_not_modify_state(self):
+        cache = small_cache()
+        assert cache.probe(0x2000) is False
+        assert not cache.access(0x2000).hit
+        assert cache.probe(0x2000) is True
+
+    def test_miss_rate_statistics(self):
+        cache = small_cache()
+        cache.access(0x0)
+        cache.access(0x0)
+        cache.access(0x40)
+        assert cache.hits == 1
+        assert cache.misses == 2
+        assert cache.miss_rate() == pytest.approx(2 / 3)
+
+    def test_reset_statistics(self):
+        cache = small_cache()
+        cache.access(0x0)
+        cache.reset_statistics()
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_flush_invalidates_everything(self):
+        cache = small_cache()
+        cache.access(0x0)
+        cache.flush()
+        assert not cache.access(0x0).hit
+
+    def test_store_marks_line_dirty_and_eviction_reports_it(self):
+        cache = small_cache(associativity=1, sets=1)
+        cache.access(0x0, is_store=True)
+        outcome = cache.access(0x40 * 1)  # same set, evicts the dirty line
+        assert outcome.evicted_dirty
+
+
+class TestLRUReplacement:
+    def test_lru_victim_is_least_recently_used(self):
+        cache = small_cache(associativity=2, sets=1)
+        cache.access(0x0)     # line A
+        cache.access(0x40)    # line B
+        cache.access(0x0)     # touch A so B becomes LRU
+        outcome = cache.access(0x80)  # line C evicts B
+        assert outcome.evicted_tag == cache.tag(0x40)
+        assert cache.probe(0x0)
+        assert not cache.probe(0x40)
+
+    def test_working_set_within_associativity_never_evicts(self):
+        cache = small_cache(associativity=4, sets=1)
+        addresses = [0x0, 0x40, 0x80, 0xC0]
+        for address in addresses:
+            cache.access(address)
+        for _ in range(3):
+            for address in addresses:
+                assert cache.access(address).hit
+
+
+class TestWayPartitioning:
+    def test_partition_requires_partitioned_cache(self):
+        cache = small_cache()
+        with pytest.raises(ConfigurationError):
+            cache.set_partition({0: 2})
+
+    def test_partition_cannot_exceed_associativity(self):
+        cache = small_cache(partitioned=True)
+        with pytest.raises(ConfigurationError):
+            cache.set_partition({0: 3, 1: 3})
+
+    def test_negative_allocation_rejected(self):
+        cache = small_cache(partitioned=True)
+        with pytest.raises(ConfigurationError):
+            cache.set_partition({0: -1, 1: 2})
+
+    def test_core_never_exceeds_its_quota(self):
+        cache = small_cache(associativity=4, sets=2, partitioned=True)
+        cache.set_partition({0: 1, 1: 3})
+        for index in range(8):
+            cache.access(index * 2 * 64, core=0)  # set 0 addresses only
+        for index in range(cache.num_sets):
+            assert cache.set_occupancy(index).get(0, 0) <= 1
+
+    def test_partitioned_core_keeps_quota_under_pressure_from_other_core(self):
+        cache = small_cache(associativity=4, sets=1, partitioned=True)
+        cache.set_partition({0: 2, 1: 2})
+        protected = [0x0, 0x40]
+        for address in protected:
+            cache.access(address, core=0)
+        # Core 1 streams through many lines; it must not displace core 0.
+        for index in range(2, 20):
+            cache.access(index * 0x40, core=1)
+        assert cache.probe(protected[0])
+        assert cache.probe(protected[1])
+
+    def test_unpartitioned_cache_lets_streaming_core_evict_everything(self):
+        cache = small_cache(associativity=4, sets=1, partitioned=True)
+        cache.set_partition(None)
+        cache.access(0x0, core=0)
+        for index in range(1, 10):
+            cache.access(index * 0x40, core=1)
+        assert not cache.probe(0x0)
+
+    def test_repartitioning_shrinks_occupancy_over_time(self):
+        cache = small_cache(associativity=4, sets=1, partitioned=True)
+        cache.set_partition({0: 3, 1: 1})
+        for index in range(3):
+            cache.access(index * 0x40, core=0)
+        cache.set_partition({0: 1, 1: 3})
+        # Core 1 misses now reclaim core 0's over-quota lines.
+        for index in range(10, 13):
+            cache.access(index * 0x40, core=1)
+        assert cache.set_occupancy(0).get(0, 0) <= 1
+
+    def test_partition_property_roundtrip(self):
+        cache = small_cache(partitioned=True)
+        cache.set_partition({0: 2, 1: 2})
+        assert cache.partition == {0: 2, 1: 2}
+        cache.set_partition(None)
+        assert cache.partition is None
+
+    def test_per_core_statistics(self):
+        cache = small_cache(partitioned=True)
+        cache.access(0x0, core=0)
+        cache.access(0x0, core=0)
+        cache.access(0x40, core=1)
+        assert cache.per_core_hits[0] == 1
+        assert cache.per_core_misses[0] == 1
+        assert cache.per_core_misses[1] == 1
+
+    def test_occupancy_counts_lines_per_core(self):
+        cache = small_cache(associativity=4, sets=2, partitioned=True)
+        cache.set_partition({0: 2, 1: 2})
+        cache.access(0x0, core=0)
+        cache.access(0x40 * 2, core=0)  # next set
+        cache.access(0x40, core=1)
+        assert cache.occupancy(0) == 2
+        assert cache.occupancy(1) == 1

@@ -1,0 +1,59 @@
+"""Tests for the LLC-sensitivity classification procedure (Section VI)."""
+
+import pytest
+
+from repro.workloads.classification import (
+    HIGH_SENSITIVITY_THRESHOLD,
+    MEDIUM_SENSITIVITY_THRESHOLD,
+    classify_benchmark,
+    classify_speedup,
+    classify_suite,
+)
+
+
+class TestThresholds:
+    def test_paper_thresholds(self):
+        assert HIGH_SENSITIVITY_THRESHOLD == pytest.approx(1.75)
+        assert MEDIUM_SENSITIVITY_THRESHOLD == pytest.approx(1.2)
+
+    @pytest.mark.parametrize("speedup,expected", [
+        (3.0, "H"),
+        (1.76, "H"),
+        (1.75, "M"),
+        (1.5, "M"),
+        (1.2, "M"),
+        (1.19, "L"),
+        (1.0, "L"),
+        (0.9, "L"),
+    ])
+    def test_classify_speedup_boundaries(self, speedup, expected):
+        assert classify_speedup(speedup) == expected
+
+
+class TestProfilingBasedClassification:
+    def test_cache_sensitive_archetype_is_high(self):
+        # The blocked working set needs a few passes before its reuse shows,
+        # so the profiling sample must be long enough (as in Section VI).
+        profile = classify_benchmark("art_like", num_instructions=20_000)
+        assert profile.category == "H"
+        assert profile.speedup_all_ways > HIGH_SENSITIVITY_THRESHOLD
+        assert profile.cpi_one_way > profile.cpi_all_ways
+
+    def test_compute_bound_archetype_is_low(self):
+        profile = classify_benchmark("namd_like", num_instructions=10_000)
+        assert profile.category == "L"
+        assert profile.speedup_all_ways == pytest.approx(1.0, abs=0.15)
+
+    def test_streaming_archetype_is_low(self):
+        profile = classify_benchmark("libquantum_like", num_instructions=8_000)
+        assert profile.category == "L"
+
+    def test_medium_archetype_lands_between(self):
+        profile = classify_benchmark("hmmer_like", num_instructions=12_000)
+        assert profile.category in ("M", "H")
+        assert profile.speedup_all_ways >= MEDIUM_SENSITIVITY_THRESHOLD
+
+    def test_classify_suite_subset(self):
+        profiles = classify_suite(["wrf_like", "gcc_like"], num_instructions=6_000)
+        assert set(profiles) == {"wrf_like", "gcc_like"}
+        assert all(profile.category == "L" for profile in profiles.values())

@@ -1,0 +1,131 @@
+"""Unit tests for the CMP configuration (Table I)."""
+
+import pytest
+
+from repro.config import (
+    DDR2_800,
+    DDR4_2666,
+    AccountingConfig,
+    CacheConfig,
+    CMPConfig,
+    CoreConfig,
+    DRAMConfig,
+    RingConfig,
+)
+from repro.errors import ConfigurationError
+
+KB = 1024
+MB = 1024 * 1024
+
+
+class TestCacheConfig:
+    def test_geometry(self):
+        cache = CacheConfig(size_bytes=64 * KB, associativity=4, latency=3, mshrs=8)
+        assert cache.num_lines == 1024
+        assert cache.num_sets == 256
+
+    def test_rejects_non_divisible_geometry(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(size_bytes=100, associativity=3, latency=1, mshrs=1).validate()
+
+    def test_rejects_bank_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(size_bytes=64 * KB, associativity=4, latency=3, mshrs=8, banks=7).validate()
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(size_bytes=0, associativity=4, latency=3, mshrs=8).validate()
+
+
+class TestDRAMTiming:
+    def test_ddr2_latencies_in_cpu_cycles(self):
+        assert DDR2_800.cas_latency == 40
+        assert DDR2_800.precharge_latency == 40
+        assert DDR2_800.data_transfer_latency == 40
+        assert DDR2_800.row_hit_latency == 80
+        assert DDR2_800.row_miss_latency == 160
+
+    def test_ddr4_is_faster_per_transfer(self):
+        assert DDR4_2666.data_transfer_latency < DDR2_800.data_transfer_latency
+        assert DDR4_2666.row_hit_latency < DDR2_800.row_hit_latency
+
+    def test_row_miss_exceeds_row_hit(self):
+        for timing in (DDR2_800, DDR4_2666):
+            assert timing.row_miss_latency > timing.row_hit_latency
+
+
+class TestCMPConfig:
+    @pytest.mark.parametrize("n_cores", [2, 4, 8])
+    def test_default_configs_validate(self, n_cores):
+        config = CMPConfig.default(n_cores)
+        config.validate()
+        assert config.n_cores == n_cores
+
+    def test_table1_llc_sizes(self):
+        assert CMPConfig.default(2).llc.size_bytes == 8 * MB
+        assert CMPConfig.default(4).llc.size_bytes == 8 * MB
+        assert CMPConfig.default(8).llc.size_bytes == 16 * MB
+
+    def test_table1_llc_latencies(self):
+        assert CMPConfig.default(4).llc.latency == 16
+        assert CMPConfig.default(8).llc.latency == 12
+
+    def test_table1_request_rings(self):
+        assert CMPConfig.default(4).ring.request_rings == 1
+        assert CMPConfig.default(8).ring.request_rings == 2
+
+    def test_non_standard_core_count_still_validates(self):
+        config = CMPConfig.default(3)
+        assert config.n_cores == 3
+
+    def test_scaled_preserves_llc_associativity(self):
+        config = CMPConfig.default(4).scaled(llc_kilobytes=128)
+        assert config.llc.associativity == 16
+        assert config.llc.size_bytes == 128 * KB
+        assert config.l1d.size_bytes < config.l2.size_bytes < config.llc.size_bytes
+
+    def test_scaled_requires_size(self):
+        with pytest.raises(ConfigurationError):
+            CMPConfig.default(4).scaled()
+
+    def test_with_llc_overrides(self):
+        config = CMPConfig.default(4).with_llc(size_bytes=4 * MB, associativity=32)
+        assert config.llc.size_bytes == 4 * MB
+        assert config.llc.associativity == 32
+
+    def test_with_dram_overrides(self):
+        config = CMPConfig.default(4).with_dram(timing=DDR4_2666, channels=4)
+        assert config.dram.timing.name == "DDR4-2666"
+        assert config.dram.channels == 4
+
+    def test_with_prb_entries(self):
+        config = CMPConfig.default(4).with_prb_entries(8)
+        assert config.accounting.prb_entries == 8
+
+    def test_rejects_fewer_ways_than_cores(self):
+        config = CMPConfig.default(8).with_llc(associativity=16)
+        config.validate()
+        with pytest.raises(ConfigurationError):
+            CMPConfig(n_cores=8, llc=CacheConfig(1 * MB, 4, latency=10, mshrs=8, banks=4)).validate()
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CMPConfig(n_cores=0).validate()
+
+
+class TestSubConfigValidation:
+    def test_core_config_rejects_zero_width(self):
+        with pytest.raises(ConfigurationError):
+            CoreConfig(width=0).validate()
+
+    def test_ring_config_rejects_no_request_rings(self):
+        with pytest.raises(ConfigurationError):
+            RingConfig(request_rings=0).validate()
+
+    def test_dram_config_rejects_zero_channels(self):
+        with pytest.raises(ConfigurationError):
+            DRAMConfig(channels=0).validate()
+
+    def test_accounting_config_rejects_zero_prb(self):
+        with pytest.raises(ConfigurationError):
+            AccountingConfig(prb_entries=0).validate()

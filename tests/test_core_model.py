@@ -1,0 +1,168 @@
+"""Unit tests for the trace-driven out-of-order core model."""
+
+import pytest
+
+from repro.cpu.core import OutOfOrderCore
+from repro.cpu.events import StallCause
+from repro.errors import SimulationError
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.workloads.trace import TraceBuilder
+
+from tests.conftest import simple_trace
+
+
+def run_core(trace, config, interval_instructions=None, target=None):
+    hierarchy = MemoryHierarchy(config, active_cores=[0])
+    core = OutOfOrderCore(
+        0, trace, config, hierarchy,
+        target_instructions=target or len(trace),
+        interval_instructions=interval_instructions or len(trace),
+    )
+    while not core.finished:
+        core.step()
+    return core
+
+
+class TestBasicExecution:
+    def test_empty_trace_rejected(self, tiny_config):
+        hierarchy = MemoryHierarchy(tiny_config, active_cores=[0])
+        with pytest.raises(SimulationError):
+            OutOfOrderCore(0, TraceBuilder().build(), tiny_config, hierarchy)
+
+    def test_compute_only_trace_runs_at_pipeline_width(self, tiny_config):
+        builder = TraceBuilder()
+        builder.add_compute(4_000)
+        core = run_core(builder.build(), tiny_config)
+        # Width-4 commit plus the occasional long-latency op: CPI near 0.25,
+        # certainly below 1.
+        assert core.cpi < 1.0
+        assert core.committed_instructions == 4_000
+
+    def test_memory_bound_trace_is_slower_than_compute_bound(self, tiny_config):
+        compute = TraceBuilder()
+        compute.add_compute(2_000)
+        memory = simple_trace(num_loads=200, compute_between=3, stride_lines=64, base=1 << 22)
+        compute_core = run_core(compute.build(), tiny_config)
+        memory_core = run_core(memory, tiny_config)
+        assert memory_core.cpi > compute_core.cpi
+
+    def test_commit_times_monotonically_increase(self, tiny_config):
+        core = run_core(simple_trace(num_loads=50, stride_lines=32, base=1 << 22), tiny_config)
+        assert core.total_cycles > 0
+        assert core.ipc == pytest.approx(1.0 / core.cpi)
+
+    def test_progress_reporting(self, tiny_config):
+        trace = simple_trace(num_loads=10)
+        hierarchy = MemoryHierarchy(tiny_config, active_cores=[0])
+        core = OutOfOrderCore(0, trace, tiny_config, hierarchy)
+        core.step()
+        progress = core.progress()
+        assert progress.committed_instructions == 1
+        assert not progress.finished
+
+    def test_trace_restarts_when_target_exceeds_length(self, tiny_config):
+        trace = simple_trace(num_loads=20)
+        core = run_core(trace, tiny_config, target=3 * len(trace))
+        assert core.committed_instructions == 3 * len(trace)
+
+
+class TestDependenciesAndMLP:
+    def test_dependent_loads_serialise(self, tiny_config):
+        independent = simple_trace(num_loads=150, compute_between=2, stride_lines=64,
+                                   base=1 << 22, dependent=False)
+        dependent = simple_trace(num_loads=150, compute_between=2, stride_lines=64,
+                                 base=1 << 23, dependent=True)
+        core_independent = run_core(independent, tiny_config)
+        core_dependent = run_core(dependent, tiny_config)
+        assert core_dependent.cpi > core_independent.cpi
+
+    def test_rob_bounds_run_ahead(self, tiny_config):
+        """Dispatch cannot run further ahead of commit than the ROB allows."""
+        trace = simple_trace(num_loads=300, compute_between=0, stride_lines=64, base=1 << 22)
+        core = run_core(trace, tiny_config)
+        interval = core.intervals[0]
+        sms_loads = [load for load in interval.loads if load.is_sms]
+        max_outstanding = 0
+        for load in sms_loads:
+            overlapping = sum(
+                1 for other in sms_loads
+                if other.issue_time <= load.issue_time < other.completion_time
+            )
+            max_outstanding = max(max_outstanding, overlapping)
+        assert max_outstanding <= tiny_config.core.rob_entries
+
+    def test_mshrs_bound_memory_level_parallelism(self, tiny_config):
+        """The memory system never services more misses than the L1 has MSHRs."""
+        hierarchy = MemoryHierarchy(tiny_config, active_cores=[0])
+        windows = []
+        for index in range(64):
+            result = hierarchy.access(0, (1 << 22) + index * 64, float(index))
+            start = result.completion_time - tiny_config.llc.latency
+            windows.append((start, result.completion_time))
+        for start, _completion in windows:
+            concurrent = sum(1 for s, c in windows if s <= start < c)
+            assert concurrent <= tiny_config.l1d.mshrs
+
+
+class TestIntervalsAndEvents:
+    def test_intervals_align_with_instruction_counts(self, tiny_config):
+        trace = simple_trace(num_loads=250, compute_between=3, stride_lines=8, base=1 << 22)
+        core = run_core(trace, tiny_config, interval_instructions=300)
+        assert len(core.intervals) == len(trace) // 300 + (1 if len(trace) % 300 else 0)
+        assert all(interval.instructions > 0 for interval in core.intervals)
+        full_intervals = core.intervals[:-1] if len(trace) % 300 else core.intervals
+        assert all(interval.instructions == 300 for interval in full_intervals)
+
+    def test_interval_cycles_sum_to_total(self, tiny_config):
+        trace = simple_trace(num_loads=200, compute_between=3, stride_lines=16, base=1 << 22)
+        core = run_core(trace, tiny_config, interval_instructions=250)
+        total = sum(interval.total_cycles for interval in core.intervals)
+        assert total == pytest.approx(core.total_cycles, rel=1e-6)
+
+    def test_stall_breakdown_matches_stall_events(self, tiny_config):
+        trace = simple_trace(num_loads=200, compute_between=3, stride_lines=32, base=1 << 22)
+        core = run_core(trace, tiny_config)
+        interval = core.intervals[0]
+        from_events = sum(stall.cycles for stall in interval.stalls)
+        assert from_events == pytest.approx(interval.stall_cycles, rel=1e-6)
+
+    def test_sms_stalls_reference_sms_loads(self, tiny_config):
+        trace = simple_trace(num_loads=200, compute_between=3, stride_lines=64, base=1 << 22)
+        core = run_core(trace, tiny_config)
+        interval = core.intervals[0]
+        for stall in interval.stalls:
+            if stall.cause == StallCause.SMS_LOAD:
+                assert stall.load_address is not None
+                assert stall.load_is_sms
+
+    def test_loads_recorded_only_for_l1_misses(self, tiny_config):
+        builder = TraceBuilder()
+        # Two accesses to the same line: the second hits in the L1 and must
+        # not be recorded as a PRB-visible load.
+        builder.add_load(1 << 22)
+        builder.add_compute(10)
+        builder.add_load((1 << 22) + 8)
+        builder.add_compute(10)
+        core = run_core(builder.build(), tiny_config)
+        assert len(core.intervals[0].loads) == 1
+
+    def test_overlap_annotation_bounded_by_latency(self, tiny_config):
+        trace = simple_trace(num_loads=150, compute_between=4, stride_lines=64, base=1 << 22)
+        core = run_core(trace, tiny_config)
+        for load in core.intervals[0].loads:
+            assert 0.0 <= load.overlap_cycles <= load.latency + 1e-9
+
+    def test_epoch_buckets_cover_all_instructions(self, tiny_config):
+        trace = simple_trace(num_loads=200, compute_between=3, stride_lines=16, base=1 << 22)
+        core = run_core(trace, tiny_config, interval_instructions=500)
+        for interval in core.intervals:
+            assert sum(interval.epoch_instructions.values()) == interval.instructions
+
+
+class TestDeterminism:
+    def test_same_trace_same_config_is_deterministic(self, tiny_config):
+        trace = simple_trace(num_loads=150, compute_between=3, stride_lines=32, base=1 << 22)
+        first = run_core(trace, tiny_config)
+        second = run_core(trace, tiny_config)
+        assert first.total_cycles == pytest.approx(second.total_cycles)
+        assert first.intervals[0].stall_sms == pytest.approx(second.intervals[0].stall_sms)

@@ -1,0 +1,190 @@
+"""Unit tests for the online CPL estimator (Algorithms 1-3) and the offline graph."""
+
+import pytest
+
+from repro.core.cpl import CPLEstimator, estimate_interval_cpl
+from repro.core.dataflow_graph import build_dataflow_graph, commit_periods_from_stalls
+from repro.cpu.events import StallCause, annotate_overlap
+
+from tests.conftest import build_interval, make_load, make_stall
+
+
+def serial_chain(n, latency=100.0, gap=10.0):
+    """n loads, each issued right after the previous one completes (CPL = n)."""
+    loads, stalls = [], []
+    time = 0.0
+    for index in range(n):
+        issue = time
+        completion = issue + latency
+        loads.append(make_load(0x1000 * (index + 1), issue, completion,
+                               caused_stall=True, stall_start=issue + 1, stall_end=completion))
+        stalls.append(make_stall(issue + 1, completion, 0x1000 * (index + 1)))
+        time = completion + gap
+    return loads, stalls
+
+
+def parallel_burst(n, latency=100.0, spread=5.0):
+    """n loads issued back-to-back and serviced in parallel (CPL = 1)."""
+    loads = [
+        make_load(0x2000 * (index + 1), index * spread, index * spread + latency)
+        for index in range(n)
+    ]
+    # Commit stalls once, on the first load; the others complete underneath.
+    stalls = [make_stall(10.0, latency, 0x2000)]
+    loads[0].caused_stall = True
+    loads[0].stall_start, loads[0].stall_end = 10.0, latency
+    return loads, stalls
+
+
+class TestCPLOnSyntheticPatterns:
+    def test_serial_chain_cpl_equals_chain_length(self):
+        loads, stalls = serial_chain(5)
+        estimator = CPLEstimator(prb_entries=32)
+        assert estimator.replay(loads, stalls).cpl == 5
+
+    def test_parallel_burst_cpl_is_one(self):
+        loads, stalls = parallel_burst(6)
+        estimator = CPLEstimator(prb_entries=32)
+        assert estimator.replay(loads, stalls).cpl == 1
+
+    def test_two_parallel_chains_cpl_is_chain_length(self):
+        chain_a, stalls_a = serial_chain(3)
+        # A second, independent chain interleaved in time but never stalling
+        # commit (its loads complete while the first chain stalls).
+        chain_b = [
+            make_load(0x9000 * (index + 1), load.issue_time + 2, load.completion_time - 2)
+            for index, load in enumerate(chain_a)
+        ]
+        loads = chain_a + chain_b
+        estimator = CPLEstimator(prb_entries=32)
+        assert estimator.replay(loads, stalls_a).cpl == 3
+
+    def test_pms_loads_do_not_contribute(self):
+        loads, stalls = parallel_burst(2)
+        loads.append(make_load(0x7777, 1.0, 5.0, is_sms=False))
+        estimator = CPLEstimator(prb_entries=32)
+        assert estimator.replay(loads, stalls).cpl == 1
+
+    def test_stall_on_unknown_address_is_ignored(self):
+        loads, _ = parallel_burst(2)
+        stalls = [make_stall(10.0, 100.0, 0xDEAD)]
+        estimator = CPLEstimator(prb_entries=32)
+        result = estimator.replay(loads, stalls)
+        assert result.cpl == 0
+
+    def test_empty_interval_has_zero_cpl(self):
+        estimator = CPLEstimator(prb_entries=32)
+        assert estimator.replay([], []).cpl == 0
+
+
+class TestCPLEstimatorMechanics:
+    def test_retrieve_resets_state(self):
+        loads, stalls = serial_chain(3)
+        estimator = CPLEstimator(prb_entries=32)
+        first = estimator.replay(loads, stalls)
+        assert first.cpl == 3
+        second = estimator.replay(*parallel_burst(4))
+        assert second.cpl == 1
+
+    def test_overlap_counter_accumulates_only_sms_loads(self):
+        loads, stalls = parallel_burst(3)
+        annotate_overlap(loads, stalls)
+        estimator = CPLEstimator(prb_entries=32)
+        result = estimator.replay(loads, stalls)
+        assert result.sms_loads == 3
+        assert result.overlap_cycles == pytest.approx(sum(l.overlap_cycles for l in loads))
+
+    def test_limited_prb_still_tracks_critical_path(self):
+        loads, stalls = serial_chain(6)
+        bounded = CPLEstimator(prb_entries=2).replay(loads, stalls)
+        unlimited = CPLEstimator(prb_entries=None).replay(loads, stalls)
+        assert bounded.cpl == unlimited.cpl == 6
+
+    def test_eviction_counter_increments_under_pressure(self):
+        loads, stalls = parallel_burst(16)
+        result = CPLEstimator(prb_entries=4).replay(loads, stalls)
+        assert result.evictions > 0
+
+    def test_estimate_interval_cpl_wrapper(self):
+        loads, stalls = serial_chain(4)
+        interval = build_interval(loads, stalls)
+        assert estimate_interval_cpl(interval, prb_entries=32).cpl == 4
+
+
+class TestAgainstOfflineGraph:
+    @pytest.mark.parametrize("builder,expected", [
+        (lambda: serial_chain(4), 4),
+        (lambda: parallel_burst(5), 1),
+    ])
+    def test_online_matches_offline(self, builder, expected):
+        loads, stalls = builder()
+        online = CPLEstimator(prb_entries=None).replay(loads, stalls)
+        graph = build_dataflow_graph(loads, stalls, 0.0, 2_000.0)
+        assert online.cpl == graph.critical_path_length() == expected
+
+    def test_online_matches_offline_on_simulated_interval(self, tiny_config, small_trace):
+        from repro.sim.runner import run_private_mode
+
+        result = run_private_mode(small_trace, tiny_config)
+        interval = result.intervals[0]
+        online = estimate_interval_cpl(interval, prb_entries=None).cpl
+        offline = build_dataflow_graph(
+            interval.loads, interval.stalls, interval.start_time, interval.end_time
+        ).critical_path_length()
+        assert online == pytest.approx(offline, abs=max(2, 0.1 * offline))
+
+
+class TestCommitPeriods:
+    def test_periods_between_stalls(self):
+        stalls = [make_stall(100.0, 200.0, 0x1), make_stall(300.0, 400.0, 0x2)]
+        periods = commit_periods_from_stalls(stalls, 0.0, 500.0)
+        assert len(periods) == 3
+        assert periods[0].start == 0.0 and periods[0].end == 100.0
+        assert periods[1].start == 200.0 and periods[1].end == 300.0
+        assert periods[2].start == 400.0 and periods[2].end == 500.0
+
+    def test_back_to_back_stalls_produce_no_empty_period(self):
+        stalls = [make_stall(100.0, 200.0, 0x1), make_stall(200.0, 300.0, 0x2)]
+        periods = commit_periods_from_stalls(stalls, 0.0, 300.0)
+        assert len(periods) == 1
+
+    def test_invalid_interval_rejected(self):
+        from repro.errors import AccountingError
+
+        with pytest.raises(AccountingError):
+            commit_periods_from_stalls([], 100.0, 0.0)
+
+
+class TestDataflowGraphStructure:
+    def test_parent_is_preceding_commit_period(self):
+        loads, stalls = serial_chain(2)
+        graph = build_dataflow_graph(loads, stalls, 0.0, 500.0)
+        assert graph.load_parent[0] == 0
+        # The second load issues after the first stall ends, during period 1.
+        assert graph.load_parent[1] == 1
+
+    def test_child_is_following_commit_period(self):
+        loads, stalls = serial_chain(2)
+        graph = build_dataflow_graph(loads, stalls, 0.0, 500.0)
+        assert graph.load_child[0] == 1
+        assert graph.load_child[1] == 2
+
+    def test_sms_only_filter(self):
+        loads, stalls = parallel_burst(2)
+        loads.append(make_load(0x9999, 0.0, 10.0, is_sms=False))
+        graph = build_dataflow_graph(loads, stalls, 0.0, 200.0, sms_only=True)
+        assert len(graph.loads) == 2
+        graph_all = build_dataflow_graph(loads, stalls, 0.0, 200.0, sms_only=False)
+        assert len(graph_all.loads) == 3
+
+    def test_networkx_export_is_a_dag(self):
+        import networkx as nx
+
+        loads, stalls = serial_chain(4)
+        graph = build_dataflow_graph(loads, stalls, 0.0, 2_000.0)
+        exported = graph.to_networkx()
+        assert nx.is_directed_acyclic_graph(exported)
+        # Longest path counts edges; loads sit between two commit periods, so
+        # the number of loads on it is half the edge count.
+        longest = nx.dag_longest_path_length(exported)
+        assert longest // 2 == graph.critical_path_length() - 1 or longest // 2 == graph.critical_path_length()

@@ -1,0 +1,113 @@
+"""Unit tests for the DIEF private-mode latency estimator."""
+
+import pytest
+
+from repro.latency.dief import DIEFLatencyEstimator
+
+from tests.conftest import build_interval, make_load, make_stall
+
+
+def interval_with(latency=300.0, interference=100.0, n=5, **extra):
+    loads, stalls = [], []
+    time = 0.0
+    for index in range(n):
+        issue = time
+        completion = issue + latency
+        loads.append(make_load(0x1000 * (index + 1), issue, completion,
+                               interference=interference))
+        stalls.append(make_stall(issue + 5, completion, 0x1000 * (index + 1)))
+        time = completion + 10
+    return build_interval(loads, stalls, end=time, interference=interference, **extra)
+
+
+class TestLatencyEstimate:
+    def test_private_latency_is_shared_minus_interference(self):
+        interval = interval_with(latency=300.0, interference=120.0)
+        estimate = DIEFLatencyEstimator().estimate(interval)
+        assert estimate.shared_latency == pytest.approx(300.0)
+        assert estimate.interference == pytest.approx(120.0)
+        assert estimate.private_latency == pytest.approx(180.0)
+
+    def test_private_latency_never_negative(self):
+        interval = interval_with(latency=100.0, interference=250.0)
+        estimate = DIEFLatencyEstimator().estimate(interval)
+        assert estimate.private_latency == 0.0
+
+    def test_no_sms_loads_gives_zero_estimate(self):
+        interval = build_interval([], [], end=100.0)
+        estimate = DIEFLatencyEstimator().estimate(interval)
+        assert estimate.shared_latency == 0.0
+        assert estimate.private_latency == 0.0
+
+    def test_shortcut_method(self):
+        interval = interval_with()
+        estimator = DIEFLatencyEstimator()
+        assert estimator.private_latency(interval) == estimator.estimate(interval).private_latency
+
+
+class TestInterferenceMissExtrapolation:
+    def test_sampled_interference_misses_extrapolated_to_all_misses(self):
+        interval = interval_with(latency=400.0, interference=50.0, n=8)
+        # 8 LLC misses in total; 1 of the 2 ATD-sampled misses was an
+        # interference miss, so roughly half of all misses are interference
+        # misses.  The average DRAM trip is 200 cycles of which 40 were
+        # already attributed as queueing interference.
+        interval.llc_misses = 8
+        interval.sampled_llc_misses = 2
+        interval.interference_misses = 1
+        interval.post_llc_latency_sum = 200.0 * 8
+        interval.dram_interference_sum = 40.0 * 8
+        base = interval_with(latency=400.0, interference=50.0, n=8)
+        base.llc_misses = 8
+        base.sampled_llc_misses = 2
+        base.interference_misses = 0
+        base.post_llc_latency_sum = 200.0 * 8
+        base.dram_interference_sum = 40.0 * 8
+        estimator = DIEFLatencyEstimator()
+        with_misses = estimator.estimate(interval)
+        without_misses = estimator.estimate(base)
+        assert with_misses.interference > without_misses.interference
+        assert with_misses.private_latency < without_misses.private_latency
+
+    def test_extrapolation_never_exceeds_all_misses(self):
+        interval = interval_with(latency=400.0, interference=0.0, n=4)
+        interval.llc_misses = 4
+        interval.sampled_llc_misses = 1
+        interval.interference_misses = 1  # 100% of sampled misses
+        interval.post_llc_latency_sum = 200.0 * 4
+        interval.dram_interference_sum = 0.0
+        estimate = DIEFLatencyEstimator().estimate(interval)
+        # At most all four misses can be interference misses: 4 * 200 / 4 loads.
+        assert estimate.interference <= 200.0 + interval.average_interference() + 1e-9
+
+    def test_no_sampled_misses_disables_extrapolation(self):
+        interval = interval_with(latency=300.0, interference=75.0)
+        interval.sampled_llc_misses = 0
+        interval.interference_misses = 0
+        estimate = DIEFLatencyEstimator().estimate(interval)
+        assert estimate.interference == pytest.approx(75.0)
+
+
+class TestAgainstSimulation:
+    def test_private_mode_run_has_near_zero_interference_estimate(self, tiny_config, small_trace):
+        from repro.sim.runner import run_private_mode
+
+        result = run_private_mode(small_trace, tiny_config)
+        estimator = DIEFLatencyEstimator()
+        for interval in result.intervals:
+            estimate = estimator.estimate(interval)
+            assert estimate.interference == pytest.approx(0.0, abs=1.0)
+
+    def test_shared_mode_latency_estimate_below_shared_latency(self, two_core_config):
+        from repro.sim.runner import build_trace, run_shared_mode
+
+        traces = {0: build_trace("art_like", 6_000, seed=0),
+                  1: build_trace("lbm_like", 6_000, seed=1)}
+        shared = run_shared_mode(traces, two_core_config, target_instructions=6_000,
+                                 interval_instructions=3_000)
+        estimator = DIEFLatencyEstimator()
+        for interval in shared.cores[0].intervals:
+            if interval.sms_loads == 0:
+                continue
+            estimate = estimator.estimate(interval)
+            assert estimate.private_latency <= estimate.shared_latency + 1e-9

@@ -1,0 +1,192 @@
+"""Unit tests for the DRAM bank model and the memory controller."""
+
+import pytest
+
+from repro.config import DDR2_800, DDR4_2666, DRAMConfig
+from repro.dram.bank import DRAMBank
+from repro.dram.controller import MemoryController
+from repro.errors import ConfigurationError
+
+
+class TestDRAMBank:
+    def test_first_access_is_a_row_miss(self):
+        bank = DRAMBank(DDR2_800)
+        latency, row_hit = bank.access_latency(row=5)
+        assert not row_hit
+        assert latency == DDR2_800.row_miss_latency
+
+    def test_open_page_policy_gives_row_hits(self):
+        bank = DRAMBank(DDR2_800)
+        bank.service(row=5, start_time=0.0)
+        latency, row_hit = bank.access_latency(row=5)
+        assert row_hit
+        assert latency == DDR2_800.row_hit_latency
+
+    def test_row_conflict_after_switch(self):
+        bank = DRAMBank(DDR2_800)
+        bank.service(row=5, start_time=0.0)
+        latency, row_hit = bank.access_latency(row=6)
+        assert not row_hit
+        assert latency == DDR2_800.row_miss_latency
+
+    def test_bank_serialises_back_to_back_accesses(self):
+        bank = DRAMBank(DDR2_800)
+        first, _ = bank.service(row=1, start_time=0.0)
+        second, _ = bank.service(row=1, start_time=0.0)
+        assert second >= first + DDR2_800.row_hit_latency
+
+    def test_row_hit_rate_statistics(self):
+        bank = DRAMBank(DDR2_800)
+        bank.service(row=1, start_time=0.0)
+        bank.service(row=1, start_time=0.0)
+        bank.service(row=2, start_time=0.0)
+        assert bank.row_hit_rate() == pytest.approx(1 / 3)
+
+    def test_reset(self):
+        bank = DRAMBank(DDR2_800)
+        bank.service(row=1, start_time=0.0)
+        bank.reset()
+        assert bank.open_row is None
+        assert bank.next_ready == 0.0
+
+
+class TestMemoryControllerMapping:
+    def test_addresses_spread_across_banks(self):
+        controller = MemoryController(DRAMConfig())
+        banks = {controller.map_address(line * 64)[1] for line in range(16)}
+        assert len(banks) == controller.config.banks_per_channel
+
+    def test_multi_channel_mapping(self):
+        controller = MemoryController(DRAMConfig(channels=2))
+        channels = {controller.map_address(line * 64)[0] for line in range(8)}
+        assert channels == {0, 1}
+
+    def test_row_derived_from_page(self):
+        controller = MemoryController(DRAMConfig())
+        _, _, row_a = controller.map_address(0)
+        _, _, row_b = controller.map_address(controller.config.page_bytes)
+        assert row_b == row_a + 1
+
+
+class TestMemoryControllerTiming:
+    def test_single_access_latency_bounds(self):
+        controller = MemoryController(DRAMConfig())
+        result = controller.access(0x1000, core=0, arrival=100.0)
+        assert result.latency >= DDR2_800.row_miss_latency
+        assert result.completion > result.arrival
+
+    def test_sequential_same_row_accesses_become_row_hits(self):
+        controller = MemoryController(DRAMConfig())
+        first = controller.access(0x0, core=0, arrival=0.0)
+        # 8 banks x 64-byte lines: address 512 is the next line on bank 0 and
+        # lies in the same 1 KB DRAM page, so it must be a row hit.
+        second = controller.access(512, core=0, arrival=first.completion + 1)
+        assert not first.row_hit
+        assert second.row_hit
+
+    def test_bus_serialises_concurrent_requests(self):
+        controller = MemoryController(DRAMConfig())
+        first = controller.access(0x0, core=0, arrival=0.0)
+        # Different bank, same arrival: the data bus is shared.
+        second = controller.access(64, core=1, arrival=0.0)
+        assert second.completion >= first.completion + DDR2_800.data_transfer_latency - 1e-9
+
+    def test_interference_attributed_to_waiting_behind_other_core(self):
+        controller = MemoryController(DRAMConfig(banks_per_channel=1))
+        controller.access(0x0, core=0, arrival=0.0)
+        blocked = controller.access(1 << 20, core=1, arrival=0.0)
+        assert blocked.interference_wait > 0
+
+    def test_own_traffic_is_not_interference(self):
+        controller = MemoryController(DRAMConfig(banks_per_channel=1))
+        controller.access(0x0, core=0, arrival=0.0)
+        queued = controller.access(1 << 20, core=0, arrival=0.0)
+        assert queued.interference_wait == pytest.approx(0.0)
+        assert queued.queue_wait > 0
+
+    def test_private_latency_estimate_excludes_other_cores(self):
+        controller = MemoryController(DRAMConfig(banks_per_channel=1))
+        controller.access(0x0, core=0, arrival=0.0)
+        blocked = controller.access(1 << 20, core=1, arrival=0.0)
+        assert blocked.private_latency_estimate <= blocked.latency
+        assert blocked.latency - blocked.private_latency_estimate == pytest.approx(
+            blocked.interference_wait
+        )
+
+    def test_ddr4_provides_more_bandwidth_than_ddr2(self):
+        """A burst of back-to-back lines finishes sooner on DDR4 (bus is 3.3x faster)."""
+        ddr2 = MemoryController(DRAMConfig(timing=DDR2_800))
+        ddr4 = MemoryController(DRAMConfig(timing=DDR4_2666))
+
+        def burst_completion(controller):
+            return max(controller.access(index * 64, core=0, arrival=0.0).completion for index in range(16))
+
+        assert burst_completion(ddr4) < burst_completion(ddr2)
+        assert DDR4_2666.data_transfer_latency < DDR2_800.data_transfer_latency
+
+    def test_more_channels_reduce_bus_contention(self):
+        single = MemoryController(DRAMConfig(channels=1))
+        quad = MemoryController(DRAMConfig(channels=4))
+
+        def total_latency(controller):
+            total = 0.0
+            for index in range(16):
+                total += controller.access(index * 64, core=index % 4, arrival=0.0).latency
+            return total
+
+        assert total_latency(quad) < total_latency(single)
+
+    def test_statistics_and_reset(self):
+        controller = MemoryController(DRAMConfig())
+        controller.access(0x0, core=0, arrival=0.0)
+        controller.access(64, core=0, arrival=500.0)
+        assert controller.reads == 2
+        assert 0.0 <= controller.row_hit_rate() <= 1.0
+        assert controller.average_queue_wait(0) >= 0.0
+        controller.reset_statistics()
+        assert controller.reads == 0
+
+
+class TestPriorityScheduling:
+    def test_negative_priority_core_rejected(self):
+        controller = MemoryController(DRAMConfig())
+        with pytest.raises(ConfigurationError):
+            controller.set_priority_core(-1)
+
+    def test_prioritised_core_bypasses_backlog(self):
+        controller = MemoryController(DRAMConfig(banks_per_channel=1))
+        # Core 1 builds a backlog on the single bank.
+        for index in range(6):
+            controller.access(index * (1 << 20), core=1, arrival=0.0)
+        baseline = controller.access(7 << 20, core=0, arrival=0.0)
+
+        contended = MemoryController(DRAMConfig(banks_per_channel=1))
+        for index in range(6):
+            contended.access(index * (1 << 20), core=1, arrival=0.0)
+        contended.set_priority_core(0)
+        prioritised = contended.access(7 << 20, core=0, arrival=0.0)
+        assert prioritised.latency < baseline.latency
+
+    def test_priority_pushes_back_other_cores(self):
+        controller = MemoryController(DRAMConfig(banks_per_channel=1))
+        controller.set_priority_core(0)
+        controller.access(0x0, core=0, arrival=0.0)
+        follower = controller.access(1 << 20, core=1, arrival=0.0)
+        assert follower.queue_wait > 0
+
+    def test_priority_conserves_capacity(self):
+        """A prioritised request still consumes bank/bus time (no free bandwidth)."""
+        plain = MemoryController(DRAMConfig(banks_per_channel=1))
+        with_priority = MemoryController(DRAMConfig(banks_per_channel=1))
+        with_priority.set_priority_core(0)
+        arrivals = [(0x0, 0), (1 << 20, 1), (2 << 20, 1), (3 << 20, 0)]
+        plain_last = max(plain.access(a, c, 0.0).completion for a, c in arrivals)
+        priority_last = max(with_priority.access(a, c, 0.0).completion for a, c in arrivals)
+        assert priority_last >= plain_last - DDR2_800.row_miss_latency
+
+    def test_clearing_priority(self):
+        controller = MemoryController(DRAMConfig())
+        controller.set_priority_core(2)
+        assert controller.priority_core == 2
+        controller.set_priority_core(None)
+        assert controller.priority_core is None

@@ -1,0 +1,39 @@
+"""Tests for the package's exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    AccountingError,
+    ConfigurationError,
+    PartitioningError,
+    ReproError,
+    SimulationError,
+    TraceError,
+)
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize("exception_type", [
+        ConfigurationError, SimulationError, TraceError, AccountingError, PartitioningError,
+    ])
+    def test_all_errors_derive_from_repro_error(self, exception_type):
+        assert issubclass(exception_type, ReproError)
+        assert issubclass(exception_type, Exception)
+
+    def test_catching_the_base_class_catches_specific_errors(self):
+        with pytest.raises(ReproError):
+            raise TraceError("bad trace")
+
+    def test_specific_errors_are_distinct(self):
+        with pytest.raises(ConfigurationError):
+            raise ConfigurationError("bad config")
+        assert not issubclass(ConfigurationError, TraceError)
+
+    def test_public_code_raises_repro_errors_not_bare_exceptions(self):
+        from repro.config import CMPConfig
+        from repro.workloads.synthetic import get_benchmark
+
+        with pytest.raises(ReproError):
+            CMPConfig(n_cores=0).validate()
+        with pytest.raises(ReproError):
+            get_benchmark("missing_benchmark")

@@ -1,0 +1,102 @@
+"""Unit tests for the event records and overlap annotation."""
+
+import pytest
+
+from repro.cpu.events import CommitStall, IntervalStats, LoadRecord, StallCause, annotate_overlap
+
+from tests.conftest import make_load, make_stall
+
+
+class TestLoadRecord:
+    def test_stall_cycles_zero_without_stall(self):
+        load = make_load(0x1, 0.0, 100.0)
+        assert load.stall_cycles == 0.0
+
+    def test_stall_cycles_from_window(self):
+        load = make_load(0x1, 0.0, 100.0, caused_stall=True, stall_start=40.0, stall_end=100.0)
+        assert load.stall_cycles == pytest.approx(60.0)
+
+
+class TestCommitStall:
+    def test_cycles(self):
+        stall = make_stall(10.0, 45.0, 0x1)
+        assert stall.cycles == pytest.approx(35.0)
+
+    def test_cause_constants(self):
+        assert {StallCause.SMS_LOAD, StallCause.PMS_LOAD, StallCause.INDEPENDENT,
+                StallCause.OTHER} == {"sms", "pms", "ind", "other"}
+
+
+class TestAnnotateOverlap:
+    def test_no_stalls_full_overlap(self):
+        loads = [make_load(0x1, 0.0, 100.0)]
+        annotate_overlap(loads, [])
+        assert loads[0].overlap_cycles == pytest.approx(100.0)
+
+    def test_fully_stalled_load_has_zero_overlap(self):
+        loads = [make_load(0x1, 0.0, 100.0)]
+        stalls = [make_stall(0.0, 100.0, 0x1)]
+        annotate_overlap(loads, stalls)
+        assert loads[0].overlap_cycles == pytest.approx(0.0)
+
+    def test_partial_overlap(self):
+        loads = [make_load(0x1, 0.0, 100.0)]
+        stalls = [make_stall(60.0, 100.0, 0x1)]
+        annotate_overlap(loads, stalls)
+        assert loads[0].overlap_cycles == pytest.approx(60.0)
+
+    def test_stall_outside_load_window_ignored(self):
+        loads = [make_load(0x1, 0.0, 100.0)]
+        stalls = [make_stall(200.0, 300.0, 0x2)]
+        annotate_overlap(loads, stalls)
+        assert loads[0].overlap_cycles == pytest.approx(100.0)
+
+    def test_multiple_stalls_accumulate(self):
+        loads = [make_load(0x1, 0.0, 100.0)]
+        stalls = [make_stall(10.0, 30.0, 0x2), make_stall(50.0, 70.0, 0x3)]
+        annotate_overlap(loads, stalls)
+        assert loads[0].overlap_cycles == pytest.approx(60.0)
+
+    def test_empty_load_list_is_noop(self):
+        annotate_overlap([], [make_stall(0.0, 10.0, 0x1)])
+
+
+class TestIntervalStats:
+    def _interval(self):
+        return IntervalStats(
+            core=1, index=2, start_time=100.0, end_time=1_100.0, instructions=500,
+            commit_cycles=400.0, stall_sms=450.0, stall_pms=50.0,
+            stall_independent=60.0, stall_other=40.0,
+            loads=[make_load(0x1, 0.0, 10.0), make_load(0x2, 0.0, 10.0, is_sms=False)],
+            stalls=[make_stall(0.0, 10.0, 0x1)],
+            sms_loads=4, sms_latency_sum=1_200.0, interference_sum=400.0,
+        )
+
+    def test_derived_metrics(self):
+        interval = self._interval()
+        assert interval.total_cycles == pytest.approx(1_000.0)
+        assert interval.stall_cycles == pytest.approx(600.0)
+        assert interval.cpi == pytest.approx(2.0)
+        assert interval.ipc == pytest.approx(0.5)
+        assert interval.average_sms_latency() == pytest.approx(300.0)
+        assert interval.average_interference() == pytest.approx(100.0)
+
+    def test_sms_load_records_filters_pms(self):
+        interval = self._interval()
+        assert len(interval.sms_load_records()) == 1
+
+    def test_copy_without_events(self):
+        interval = self._interval()
+        stripped = interval.copy_without_events()
+        assert stripped.loads == [] and stripped.stalls == []
+        assert stripped.cpi == interval.cpi
+
+    def test_zero_duration_interval(self):
+        interval = IntervalStats(
+            core=0, index=0, start_time=5.0, end_time=5.0, instructions=0,
+            commit_cycles=0.0, stall_sms=0.0, stall_pms=0.0,
+            stall_independent=0.0, stall_other=0.0,
+        )
+        assert interval.cpi == 0.0
+        assert interval.ipc == 0.0
+        assert interval.average_sms_latency() == 0.0

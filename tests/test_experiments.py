@@ -1,0 +1,191 @@
+"""Tests for the experiment harnesses (scaled-down figure runs)."""
+
+import pytest
+
+from repro.experiments.accuracy import evaluate_workload_accuracy, summarize_rms
+from repro.experiments.case_study import build_policy, evaluate_workload_throughput
+from repro.experiments.common import EXPERIMENT_LLC_KILOBYTES, default_experiment_config
+from repro.experiments.figure3 import run_figure3
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.figure6 import Figure6Result, Figure6Settings, run_figure6
+from repro.experiments.figure7 import Figure7Settings, run_figure7_panel
+from repro.experiments.summary import run_headline_summary
+from repro.experiments.sweep import SweepSettings, run_accuracy_sweep
+from repro.experiments.tables import format_cell_table, format_table
+from repro.workloads.mixes import Workload
+
+TINY_SWEEP = SweepSettings(
+    core_counts=(2,),
+    categories=("H",),
+    workloads_per_category=1,
+    instructions_per_core=6_000,
+    interval_instructions=3_000,
+    collect_components=True,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_sweep():
+    return run_accuracy_sweep(TINY_SWEEP)
+
+
+@pytest.fixture(scope="module")
+def tiny_figure6():
+    settings = Figure6Settings(
+        core_counts=(2,),
+        categories=("H",),
+        workloads_per_category=1,
+        instructions_per_core=8_000,
+        interval_instructions=4_000,
+        repartition_interval_cycles=8_000.0,
+        policies=("LRU", "UCP", "MCP"),
+    )
+    return run_figure6(settings)
+
+
+class TestCommonConfig:
+    def test_experiment_llc_sizes_follow_table1_ratio(self):
+        assert EXPERIMENT_LLC_KILOBYTES[8] == 2 * EXPERIMENT_LLC_KILOBYTES[4]
+
+    @pytest.mark.parametrize("n_cores", [2, 4, 8])
+    def test_default_experiment_config_valid(self, n_cores):
+        config = default_experiment_config(n_cores)
+        config.validate()
+        assert config.n_cores == n_cores
+
+    def test_llc_override(self):
+        config = default_experiment_config(4, llc_kilobytes=256)
+        assert config.llc.size_bytes == 256 * 1024
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "b"], [[1, 2.5], ["xx", 3]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_format_cell_table(self):
+        text = format_cell_table({"2c-H": {"GDP": 0.1, "ASM": 0.5}})
+        assert "2c-H" in text and "GDP" in text and "ASM" in text
+
+
+class TestAccuracyEngine:
+    def test_workload_accuracy_produces_errors_per_technique(self):
+        config = default_experiment_config(2)
+        workload = Workload(name="w", benchmarks=("art_like", "lbm_like"), category="H")
+        result = evaluate_workload_accuracy(
+            workload, config, instructions_per_core=6_000, interval_instructions=3_000
+        )
+        assert len(result.benchmarks) == 2
+        for benchmark in result.benchmarks:
+            for technique in ("ITCA", "PTCA", "ASM", "GDP", "GDP-O"):
+                assert technique in benchmark.ipc_errors
+                assert benchmark.ipc_errors[technique]
+
+    def test_technique_subset_and_prb_override(self):
+        config = default_experiment_config(2)
+        workload = Workload(name="w", benchmarks=("art_like", "hmmer_like"), category="H")
+        result = evaluate_workload_accuracy(
+            workload, config, instructions_per_core=4_000, interval_instructions=2_000,
+            techniques=("GDP-O",), prb_entries=8,
+        )
+        for benchmark in result.benchmarks:
+            assert list(benchmark.ipc_errors) == ["GDP-O"]
+
+    def test_summarize_rms_unknown_metric(self, tiny_sweep):
+        results = tiny_sweep.all_results()
+        with pytest.raises(ValueError):
+            summarize_rms(results, "GDP", metric="bogus")
+
+
+class TestFigure3to5(object):
+    def test_figure3_cells_and_report(self, tiny_sweep):
+        figure = run_figure3(sweep=tiny_sweep)
+        assert "2c-H" in figure.ipc_rms
+        assert set(figure.ipc_rms["2c-H"]) == {"ITCA", "PTCA", "ASM", "GDP", "GDP-O"}
+        report = figure.report()
+        assert "Figure 3a" in report and "Figure 3b" in report
+
+    def test_figure3_dataflow_techniques_beat_baselines_on_contended_cell(self, tiny_sweep):
+        figure = run_figure3(sweep=tiny_sweep)
+        cell = figure.ipc_rms["2c-H"]
+        assert min(cell["GDP"], cell["GDP-O"]) <= min(cell["ITCA"], cell["PTCA"]) * 1.5
+
+    def test_figure4_distributions_sorted(self, tiny_sweep):
+        figure = run_figure4(sweep=tiny_sweep)
+        for technique, series in figure.distributions[2].items():
+            assert series == sorted(series)
+        assert "Figure 4" in figure.report()
+
+    def test_figure5_component_distributions(self, tiny_sweep):
+        figure = run_figure5(sweep=tiny_sweep)
+        assert set(figure.distributions) == {"cpl", "overlap", "latency"}
+        assert figure.series("cpl", "2c-H")
+        assert "CPL" in figure.report()
+
+
+class TestFigure6:
+    def test_policies_and_stp(self, tiny_figure6):
+        assert "2c-H" in tiny_figure6.average_stp
+        stp = tiny_figure6.average_stp["2c-H"]
+        assert set(stp) == {"LRU", "UCP", "MCP"}
+        for value in stp.values():
+            assert 0.0 < value <= 2.0
+
+    def test_relative_to_lru(self, tiny_figure6):
+        per_workload = tiny_figure6.per_workload[(2, "H")]
+        ratios = per_workload[0].relative_to("LRU")
+        assert ratios["LRU"] == pytest.approx(1.0)
+
+    def test_improvement_helper(self, tiny_figure6):
+        improvement = tiny_figure6.improvement("MCP", "LRU", 2)
+        assert improvement == pytest.approx(
+            tiny_figure6.average_stp["2c-H"]["MCP"] / tiny_figure6.average_stp["2c-H"]["LRU"] - 1.0
+        )
+
+    def test_report_renders(self, tiny_figure6):
+        assert "Figure 6a" in tiny_figure6.report()
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            build_policy("bogus", default_experiment_config(2))
+
+
+class TestFigure7:
+    def test_prb_panel_shape(self):
+        settings = Figure7Settings(categories=("H",), workloads_per_category=1,
+                                   instructions_per_core=5_000, interval_instructions=2_500)
+        panel = run_figure7_panel("prb_entries", settings)
+        assert "4c-H" in panel
+        assert set(panel["4c-H"]) == {"8", "16", "32", "64", "1024"}
+
+    def test_unknown_panel_rejected(self):
+        with pytest.raises(ValueError):
+            run_figure7_panel("bogus")
+
+
+class TestHeadlineSummary:
+    def test_summary_from_existing_results(self, tiny_sweep, tiny_figure6):
+        summary = run_headline_summary(accuracy_sweep=tiny_sweep, figure6=tiny_figure6)
+        assert 2 in summary.mean_ipc_error
+        assert "GDP" in summary.mean_ipc_error[2]
+        assert 2 in summary.mcp_vs_lru_stp_improvement
+        assert "Headline" in summary.report()
+
+
+class TestCaseStudyEngine:
+    def test_single_workload_throughput(self):
+        config = default_experiment_config(2)
+        workload = Workload(name="w", benchmarks=("art_like", "ammp_like"), category="H")
+        result = evaluate_workload_throughput(
+            workload, config, policies=("LRU", "UCP"),
+            instructions_per_core=6_000, interval_instructions=3_000,
+            repartition_interval_cycles=6_000.0,
+        )
+        assert set(result.stp) == {"LRU", "UCP"}
+        assert set(result.private_cpis) == {0, 1}
+        for policy_cpis in result.shared_cpis.values():
+            for core, shared_cpi in policy_cpis.items():
+                assert shared_cpi >= result.private_cpis[core] * 0.8

@@ -1,0 +1,123 @@
+"""Unit tests for GDP and GDP-O accounting."""
+
+import pytest
+
+from repro.core.gdp import GDPAccounting, GDPOAccounting
+
+from tests.conftest import build_interval, make_load, make_stall
+
+
+def contended_interval(latency=400.0, private_latency=150.0, n_chain=4, instructions=2_000):
+    """A synthetic interval: a serial chain of SMS loads with known interference.
+
+    Each load's shared-mode latency is ``latency``; the interference counters
+    are set up so DIEF estimates ``private_latency``.
+    """
+    loads, stalls = [], []
+    time = 0.0
+    for index in range(n_chain):
+        issue = time
+        completion = issue + latency
+        loads.append(make_load(0x1000 * (index + 1), issue, completion,
+                               caused_stall=True, stall_start=issue + 10, stall_end=completion,
+                               interference=latency - private_latency))
+        stalls.append(make_stall(issue + 10, completion, 0x1000 * (index + 1)))
+        time = completion + 20.0
+    interval = build_interval(
+        loads, stalls,
+        end=time,
+        instructions=instructions,
+        interference=latency - private_latency,
+    )
+    return interval
+
+
+class TestGDPEstimates:
+    def test_sms_stall_estimate_is_cpl_times_latency(self):
+        interval = contended_interval(latency=400.0, private_latency=150.0, n_chain=4)
+        estimate = GDPAccounting(prb_entries=32).estimate(interval)
+        assert estimate.cpl == pytest.approx(4.0)
+        assert estimate.private_latency == pytest.approx(150.0)
+        assert estimate.sms_stall_cycles == pytest.approx(4 * 150.0)
+
+    def test_estimated_cpi_below_shared_cpi_under_interference(self):
+        interval = contended_interval()
+        estimate = GDPAccounting().estimate(interval)
+        assert estimate.cpi < interval.cpi
+
+    def test_ipc_is_reciprocal_of_cpi(self):
+        estimate = GDPAccounting().estimate(contended_interval())
+        assert estimate.ipc == pytest.approx(1.0 / estimate.cpi)
+
+    def test_no_interference_returns_shared_like_estimate(self):
+        interval = contended_interval(latency=200.0, private_latency=200.0, n_chain=3)
+        estimate = GDPAccounting().estimate(interval)
+        # With lambda-hat equal to the shared latency the stall estimate is
+        # close to the measured shared stalls.
+        assert estimate.sms_stall_cycles == pytest.approx(3 * 200.0)
+
+    def test_estimate_metadata(self):
+        interval = contended_interval()
+        estimate = GDPAccounting().estimate(interval)
+        assert estimate.core == interval.core
+        assert estimate.interval_index == interval.index
+
+    def test_prb_size_configurable(self):
+        interval = contended_interval(n_chain=6)
+        small = GDPAccounting(prb_entries=2).estimate(interval)
+        large = GDPAccounting(prb_entries=64).estimate(interval)
+        # A serial chain fits in any PRB size, so both agree.
+        assert small.cpl == large.cpl
+
+
+class TestGDPOEstimates:
+    def test_overlap_reduces_stall_estimate(self):
+        interval = contended_interval()
+        gdp = GDPAccounting().estimate(interval)
+        gdp_o = GDPOAccounting().estimate(interval)
+        assert gdp_o.sms_stall_cycles <= gdp.sms_stall_cycles
+        assert gdp_o.cpi <= gdp.cpi
+
+    def test_overlap_field_populated_only_for_gdpo(self):
+        interval = contended_interval()
+        assert GDPAccounting().estimate(interval).overlap is None
+        assert GDPOAccounting().estimate(interval).overlap is not None
+
+    def test_gdpo_overlap_matches_recorded_load_overlap(self):
+        interval = contended_interval()
+        estimate = GDPOAccounting().estimate(interval)
+        sms_loads = interval.sms_load_records()
+        expected = sum(load.overlap_cycles for load in sms_loads) / len(sms_loads)
+        assert estimate.overlap == pytest.approx(expected)
+
+    def test_effective_latency_never_negative(self):
+        # Overlap larger than the private latency must clamp at zero stalls.
+        interval = contended_interval(latency=50.0, private_latency=5.0, n_chain=2)
+        for load in interval.loads:
+            load.overlap_cycles = 40.0
+        estimate = GDPOAccounting().estimate(interval)
+        assert estimate.sms_stall_cycles >= 0.0
+
+
+class TestEndToEndAccuracy:
+    def test_gdp_tracks_private_cpi_on_simulated_workload(self, two_core_config):
+        """GDP's estimate should land much closer to the private CPI than the shared CPI does."""
+        from repro.sim.runner import build_trace, run_private_mode, run_shared_mode
+
+        traces = {0: build_trace("art_like", 8_000, seed=0),
+                  1: build_trace("lbm_like", 8_000, seed=1)}
+        shared = run_shared_mode(traces, two_core_config, target_instructions=8_000,
+                                 interval_instructions=4_000)
+        private = run_private_mode(traces[0], two_core_config, core_id=0,
+                                   interval_instructions=4_000)
+        gdp = GDPAccounting()
+        shared_error = 0.0
+        gdp_error = 0.0
+        paired = min(len(shared.cores[0].intervals), len(private.intervals))
+        for index in range(paired):
+            shared_interval = shared.cores[0].intervals[index]
+            private_interval = private.intervals[index]
+            estimate = gdp.estimate(shared_interval)
+            shared_error += abs(shared_interval.cpi - private_interval.cpi)
+            gdp_error += abs(estimate.cpi - private_interval.cpi)
+        assert gdp_error < shared_error

@@ -1,0 +1,149 @@
+"""Unit tests for the end-to-end memory hierarchy."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mem.hierarchy import MemoryHierarchy
+
+
+class TestAccessPath:
+    def test_first_access_goes_to_dram(self, tiny_config):
+        hierarchy = MemoryHierarchy(tiny_config, active_cores=[0])
+        result = hierarchy.access(0, 0x10000, issue_time=0.0)
+        assert result.is_sms
+        assert not result.l1_hit and not result.l2_hit and not result.llc_hit
+        assert result.latency > tiny_config.llc.latency
+
+    def test_repeated_access_hits_l1(self, tiny_config):
+        hierarchy = MemoryHierarchy(tiny_config, active_cores=[0])
+        first = hierarchy.access(0, 0x10000, issue_time=0.0)
+        second = hierarchy.access(0, 0x10000, issue_time=first.completion_time + 1)
+        assert second.l1_hit
+        assert not second.is_sms
+        assert second.latency == tiny_config.l1d.latency
+
+    def test_l2_hit_after_l1_eviction(self, tiny_config):
+        hierarchy = MemoryHierarchy(tiny_config, active_cores=[0])
+        target = 0x10000
+        result = hierarchy.access(0, target, 0.0)
+        clock = result.completion_time
+        # Stream enough lines mapping to the same L1 set to evict the target
+        # from the tiny L1 while it stays resident in the larger L2.
+        l1_sets = tiny_config.l1d.num_sets
+        for index in range(1, tiny_config.l1d.associativity + 2):
+            conflict = target + index * l1_sets * tiny_config.l1d.line_bytes
+            clock = hierarchy.access(0, conflict, clock + 1).completion_time
+        revisit = hierarchy.access(0, target, clock + 1)
+        assert not revisit.l1_hit
+        assert revisit.l2_hit
+        assert not revisit.is_sms
+
+    def test_llc_hit_latency_below_dram_latency(self, tiny_config):
+        hierarchy = MemoryHierarchy(tiny_config, active_cores=[0])
+        target = 0x40000
+        miss = hierarchy.access(0, target, 0.0)
+        clock = miss.completion_time
+        # Evict from L1 and L2 (stream through a footprint larger than L2 but
+        # much smaller than the LLC) and re-access: should hit in the LLC.
+        line = tiny_config.l1d.line_bytes
+        lines_to_stream = (tiny_config.l2.size_bytes * 2) // line
+        for index in range(lines_to_stream):
+            clock = hierarchy.access(0, 0x200000 + index * line, clock + 1).completion_time
+        revisit = hierarchy.access(0, target, clock + 1)
+        assert revisit.is_sms
+        assert revisit.llc_hit
+        assert revisit.latency < miss.latency
+
+    def test_store_latency_hidden_by_store_buffer(self, tiny_config):
+        hierarchy = MemoryHierarchy(tiny_config, active_cores=[0])
+        result = hierarchy.access(0, 0x30000, 0.0, is_store=True)
+        assert result.latency == tiny_config.l1d.latency
+        assert not result.is_sms
+
+    def test_unknown_core_rejected(self, tiny_config):
+        hierarchy = MemoryHierarchy(tiny_config, active_cores=[0, 1])
+        with pytest.raises(ConfigurationError):
+            hierarchy.access(5, 0x1000, 0.0)
+
+    def test_hierarchy_requires_active_cores(self, tiny_config):
+        with pytest.raises(ConfigurationError):
+            MemoryHierarchy(tiny_config, active_cores=[])
+
+
+class TestCountersAndInterference:
+    def test_sms_counters_accumulate(self, tiny_config):
+        hierarchy = MemoryHierarchy(tiny_config, active_cores=[0])
+        clock = 0.0
+        for index in range(8):
+            clock = hierarchy.access(0, 0x50000 + index * 64, clock + 1).completion_time
+        counters = hierarchy.counters[0]
+        assert counters.sms_loads == 8
+        assert counters.llc_misses == 8
+        assert counters.sms_latency_sum > 0
+        assert counters.average_sms_latency() > tiny_config.llc.latency
+
+    def test_reset_interval_counters_clears_but_keeps_atd(self, tiny_config):
+        hierarchy = MemoryHierarchy(tiny_config, active_cores=[0])
+        hierarchy.access(0, 0x50000, 0.0)
+        hierarchy.reset_interval_counters(0)
+        assert hierarchy.counters[0].sms_loads == 0
+        # ATD histogram is managed separately.
+        assert hierarchy.atds[0].sampled_accesses >= 0
+
+    def test_cross_core_contention_creates_interference(self, tiny_config):
+        hierarchy = MemoryHierarchy(tiny_config, active_cores=[0, 1])
+        # Both cores issue DRAM-bound requests at the same time.
+        for index in range(12):
+            hierarchy.access(0, 0x100000 + index * 64, float(index))
+            hierarchy.access(1, 0x900000 + index * 64, float(index))
+        assert hierarchy.counters[0].interference_sum + hierarchy.counters[1].interference_sum > 0
+
+    def test_private_mode_single_core_sees_no_interference(self, tiny_config):
+        hierarchy = MemoryHierarchy(tiny_config, active_cores=[0])
+        clock = 0.0
+        for index in range(16):
+            clock = hierarchy.access(0, 0x100000 + index * 64, clock + 5).completion_time
+        assert hierarchy.counters[0].interference_sum == pytest.approx(0.0)
+
+    def test_interference_miss_detection_via_atd(self, tiny_config):
+        hierarchy = MemoryHierarchy(tiny_config, active_cores=[0, 1])
+        atd = hierarchy.atds[0]
+        # Pick an address in an ATD-sampled set and make it resident.
+        sampled_index = sorted(atd._sampled_indices)[0]
+        address = sampled_index * tiny_config.llc.line_bytes
+        first = hierarchy.access(0, address, 0.0)
+        clock = first.completion_time
+        # Core 1 streams through the LLC and evicts core 0's line.
+        llc_lines = tiny_config.llc.num_lines
+        for index in range(llc_lines * 2):
+            clock = hierarchy.access(1, 0x800000 + index * 64, clock + 1).completion_time
+        # Evict the line from core 0's private caches as well, so the revisit
+        # reaches the (now polluted) LLC.
+        l2_lines = tiny_config.l2.size_bytes // 64
+        for index in range(l2_lines * 2):
+            clock = hierarchy.access(0, 0x400000 + index * 64, clock + 1).completion_time
+        revisit = hierarchy.access(0, address, clock + 1)
+        assert revisit.is_sms
+        if not revisit.llc_hit:
+            assert revisit.interference_miss is True
+            assert hierarchy.counters[0].interference_misses >= 1
+
+    def test_miss_curve_scaled_to_full_llc(self, tiny_config):
+        hierarchy = MemoryHierarchy(tiny_config, active_cores=[0])
+        clock = 0.0
+        for index in range(64):
+            clock = hierarchy.access(0, index * 64, clock + 1).completion_time
+        curve = hierarchy.miss_curve(0)
+        assert curve.total_accesses >= 0.0
+
+    def test_partition_installation_round_trip(self, tiny_config):
+        hierarchy = MemoryHierarchy(tiny_config, active_cores=[0, 1])
+        hierarchy.set_partition({0: 8, 1: 8})
+        assert hierarchy.llc.partition == {0: 8, 1: 8}
+        hierarchy.set_partition(None)
+        assert hierarchy.llc.partition is None
+
+    def test_priority_core_forwarded_to_controller(self, tiny_config):
+        hierarchy = MemoryHierarchy(tiny_config, active_cores=[0, 1])
+        hierarchy.set_priority_core(1)
+        assert hierarchy.dram.priority_core == 1

@@ -1,0 +1,216 @@
+"""Integration tests: end-to-end behaviour across the whole stack.
+
+These tests exercise the paper's qualitative claims on small but realistic
+simulations: dataflow accounting beats the architecture-centric and invasive
+baselines, GDP-O's components behave as described, and cache partitioning
+driven by performance estimates improves system throughput on contended
+workloads.
+"""
+
+import pytest
+
+from repro.baselines import ASMAccounting, ITCAAccounting, PTCAAccounting, install_asm_rotation
+from repro.core.cpl import estimate_interval_cpl
+from repro.core.gdp import GDPAccounting, GDPOAccounting
+from repro.experiments.common import default_experiment_config
+from repro.metrics.errors import rms
+from repro.sim.runner import build_trace, run_private_mode, run_shared_mode
+from repro.workloads.classification import classify_benchmark
+from repro.workloads.mixes import Workload
+
+
+@pytest.fixture(scope="module")
+def contended_runs():
+    """A 4-core H workload run in shared mode, ASM-rotated shared mode and private mode."""
+    config = default_experiment_config(4)
+    names = ["art_like", "sphinx3_like", "ammp_like", "lbm_like"]
+    instructions, interval = 16_000, 4_000
+    traces = {core: build_trace(name, instructions, seed=core) for core, name in enumerate(names)}
+    shared = run_shared_mode(traces, config, target_instructions=instructions,
+                             interval_instructions=interval)
+    shared_asm = run_shared_mode(traces, config, target_instructions=instructions,
+                                 interval_instructions=interval,
+                                 configure_system=install_asm_rotation)
+    private = {
+        core: run_private_mode(trace, config, core_id=core, interval_instructions=interval,
+                               target_instructions=instructions)
+        for core, trace in traces.items()
+    }
+    return config, names, shared, shared_asm, private
+
+
+def per_technique_errors(config, shared, shared_asm, private, metric="ipc"):
+    techniques = {
+        "ITCA": (ITCAAccounting(), shared),
+        "PTCA": (PTCAAccounting(), shared),
+        "ASM": (ASMAccounting(n_cores=config.n_cores,
+                              epoch_cycles=config.accounting.asm_epoch_cycles), shared_asm),
+        "GDP": (GDPAccounting(), shared),
+        "GDP-O": (GDPOAccounting(), shared),
+    }
+    errors = {name: [] for name in techniques}
+    for core in private:
+        paired = min(len(shared.cores[core].intervals), len(private[core].intervals))
+        for index in range(paired):
+            private_interval = private[core].intervals[index]
+            for name, (technique, run) in techniques.items():
+                if index >= len(run.cores[core].intervals):
+                    continue
+                estimate = technique.estimate(run.cores[core].intervals[index])
+                if metric == "ipc":
+                    errors[name].append(estimate.ipc - private_interval.ipc)
+                else:
+                    errors[name].append(estimate.sms_stall_cycles - private_interval.stall_sms)
+    return {name: rms(values) for name, values in errors.items()}
+
+
+class TestAccountingAccuracyOrdering:
+    def test_dataflow_accounting_beats_architecture_centric_baselines(self, contended_runs):
+        config, _names, shared, shared_asm, private = contended_runs
+        errors = per_technique_errors(config, shared, shared_asm, private, metric="ipc")
+        best_dataflow = min(errors["GDP"], errors["GDP-O"])
+        assert best_dataflow < errors["ITCA"]
+        assert best_dataflow < errors["PTCA"]
+
+    def test_dataflow_accounting_stall_estimates_beat_itca_and_stay_near_ptca(self, contended_runs):
+        config, _names, shared, shared_asm, private = contended_runs
+        errors = per_technique_errors(config, shared, shared_asm, private, metric="stall")
+        best_dataflow = min(errors["GDP"], errors["GDP-O"])
+        assert best_dataflow < errors["ITCA"]
+        # PTCA can be competitive on the stall-cycle metric for individual
+        # workloads (as in some Figure 3b cells); dataflow accounting must at
+        # least stay in the same range while winning clearly on IPC.
+        assert best_dataflow < errors["PTCA"] * 1.5
+
+    def test_gdp_estimates_fall_between_zero_and_shared_cpi(self, contended_runs):
+        _config, _names, shared, _shared_asm, _private = contended_runs
+        gdp = GDPAccounting()
+        for core_result in shared.cores.values():
+            for interval in core_result.intervals:
+                estimate = gdp.estimate(interval)
+                assert 0.0 < estimate.cpi <= interval.cpi * 1.5
+
+    def test_itca_is_conservative(self, contended_runs):
+        """ITCA systematically overestimates the private-mode CPI (conservative estimates)."""
+        _config, _names, shared, _shared_asm, private = contended_runs
+        itca = ITCAAccounting()
+        overestimates = 0
+        total = 0
+        for core in private:
+            paired = min(len(shared.cores[core].intervals), len(private[core].intervals))
+            for index in range(paired):
+                estimate = itca.estimate(shared.cores[core].intervals[index])
+                total += 1
+                if estimate.cpi >= private[core].intervals[index].cpi:
+                    overestimates += 1
+        # ITCA leans towards overestimating the private-mode CPI; it must do so
+        # at least as often as it underestimates.
+        assert overestimates >= total * 0.5
+
+    def test_ptca_underestimates_cpi_under_heavy_interference(self, contended_runs):
+        _config, _names, shared, _shared_asm, private = contended_runs
+        ptca = PTCAAccounting()
+        underestimates = 0
+        total = 0
+        for core in private:
+            paired = min(len(shared.cores[core].intervals), len(private[core].intervals))
+            for index in range(paired):
+                estimate = ptca.estimate(shared.cores[core].intervals[index])
+                total += 1
+                if estimate.cpi < private[core].intervals[index].cpi:
+                    underestimates += 1
+        assert underestimates > total / 2
+
+
+class TestGDPComponents:
+    def test_cpl_similar_between_shared_and_private_mode(self, contended_runs):
+        """The central dataflow-accounting assumption (Section VII-B)."""
+        config, _names, shared, _shared_asm, private = contended_runs
+        ratios = []
+        for core in private:
+            paired = min(len(shared.cores[core].intervals), len(private[core].intervals))
+            for index in range(paired):
+                shared_cpl = estimate_interval_cpl(
+                    shared.cores[core].intervals[index],
+                    prb_entries=config.accounting.prb_entries,
+                ).cpl
+                private_cpl = estimate_interval_cpl(
+                    private[core].intervals[index], prb_entries=None
+                ).cpl
+                if private_cpl > 0:
+                    ratios.append(shared_cpl / private_cpl)
+        assert ratios
+        median = sorted(ratios)[len(ratios) // 2]
+        assert 0.5 <= median <= 2.0
+
+    def test_gdpo_overlap_reduces_or_keeps_stall_estimates(self, contended_runs):
+        _config, _names, shared, _shared_asm, _private = contended_runs
+        gdp, gdp_o = GDPAccounting(), GDPOAccounting()
+        for core_result in shared.cores.values():
+            for interval in core_result.intervals:
+                assert gdp_o.estimate(interval).sms_stall_cycles <= gdp.estimate(
+                    interval
+                ).sms_stall_cycles + 1e-6
+
+    def test_private_latency_estimates_are_positive_under_contention(self, contended_runs):
+        _config, _names, shared, _shared_asm, _private = contended_runs
+        gdp = GDPAccounting()
+        estimates = [
+            gdp.estimate(interval)
+            for core_result in shared.cores.values()
+            for interval in core_result.intervals
+            if interval.sms_loads > 0
+        ]
+        assert any(estimate.private_latency > 0 for estimate in estimates)
+
+
+class TestInvasivenessOfASM:
+    def test_asm_rotation_perturbs_individual_core_performance(self, contended_runs):
+        """The invasive technique changes the schedule it is trying to measure."""
+        _config, _names, shared, shared_asm, _private = contended_runs
+        deltas = [
+            abs(shared_asm.cores[core].cpi - shared.cores[core].cpi) / shared.cores[core].cpi
+            for core in shared.cores
+        ]
+        assert max(deltas) > 0.005
+
+
+class TestClassificationEndToEnd:
+    def test_h_and_l_archetypes_classify_as_designed(self):
+        art = classify_benchmark("art_like", num_instructions=12_000)
+        wrf = classify_benchmark("wrf_like", num_instructions=12_000)
+        assert art.category == "H"
+        assert wrf.category == "L"
+        assert art.speedup_all_ways > wrf.speedup_all_ways
+
+
+class TestPartitioningEndToEnd:
+    def test_partitioning_beats_lru_on_contended_h_workload(self):
+        from repro.experiments.case_study import evaluate_workload_throughput
+
+        config = default_experiment_config(4)
+        workload = Workload(
+            name="int-4c-H",
+            benchmarks=("art_like", "sphinx3_like", "ammp_like", "lbm_like"),
+            category="H",
+        )
+        result = evaluate_workload_throughput(
+            workload, config, policies=("LRU", "UCP", "MCP"),
+            instructions_per_core=24_000, interval_instructions=6_000,
+            repartition_interval_cycles=20_000.0,
+        )
+        assert max(result.stp["UCP"], result.stp["MCP"]) > result.stp["LRU"]
+
+    def test_all_policies_preserve_correct_instruction_counts(self):
+        from repro.experiments.case_study import evaluate_workload_throughput
+
+        config = default_experiment_config(2)
+        workload = Workload(name="int-2c", benchmarks=("art_like", "hmmer_like"), category="mix")
+        result = evaluate_workload_throughput(
+            workload, config, policies=("LRU", "MCP-O", "ASM"),
+            instructions_per_core=6_000, interval_instructions=3_000,
+            repartition_interval_cycles=6_000.0,
+        )
+        for policy, cpis in result.shared_cpis.items():
+            assert set(cpis) == {0, 1}
+            assert all(value > 0 for value in cpis.values())

@@ -1,0 +1,69 @@
+"""Unit tests for the lookahead way-allocation algorithm."""
+
+import pytest
+
+from repro.errors import PartitioningError
+from repro.partitioning.lookahead import lookahead_allocate
+
+
+class TestLookaheadBasics:
+    def test_allocation_sums_to_total_ways(self):
+        utilities = {0: list(range(17)), 1: list(range(17))}
+        allocation = lookahead_allocate(utilities, total_ways=16)
+        assert sum(allocation.values()) == 16
+
+    def test_every_core_gets_minimum(self):
+        utilities = {0: [0] * 17, 1: list(range(17)), 2: [0] * 17}
+        allocation = lookahead_allocate(utilities, total_ways=16, minimum_ways=1)
+        assert all(ways >= 1 for ways in allocation.values())
+
+    def test_empty_utilities_rejected(self):
+        with pytest.raises(PartitioningError):
+            lookahead_allocate({}, total_ways=16)
+
+    def test_insufficient_ways_rejected(self):
+        with pytest.raises(PartitioningError):
+            lookahead_allocate({0: [0, 1], 1: [0, 1]}, total_ways=1)
+
+    def test_flat_utilities_split_evenly(self):
+        utilities = {core: [5.0] * 17 for core in range(4)}
+        allocation = lookahead_allocate(utilities, total_ways=16)
+        assert all(ways == 4 for ways in allocation.values())
+
+    def test_greedy_core_wins_the_ways_it_benefits_from(self):
+        # Core 0 saturates after 12 ways; core 1 never benefits.
+        utilities = {
+            0: [min(w, 12) * 10.0 for w in range(17)],
+            1: [0.0] * 17,
+        }
+        allocation = lookahead_allocate(utilities, total_ways=16)
+        assert allocation[0] >= 12
+        assert allocation[1] >= 1
+
+    def test_non_convex_curve_handled_by_block_allocation(self):
+        # Core 0 only benefits once it owns 8 ways (a step utility curve);
+        # core 1 gains a little for every way.  Plain single-way greedy would
+        # starve core 0; lookahead must consider the 8-way block.
+        step = [0.0] * 8 + [100.0] * 9
+        linear = [w * 1.0 for w in range(17)]
+        allocation = lookahead_allocate({0: step, 1: linear}, total_ways=16)
+        assert allocation[0] >= 8
+
+    def test_short_utility_curves_are_extended(self):
+        utilities = {0: [0.0, 10.0], 1: [0.0, 1.0]}
+        allocation = lookahead_allocate(utilities, total_ways=8)
+        assert sum(allocation.values()) == 8
+
+    def test_deterministic_tie_break(self):
+        utilities = {0: list(range(9)), 1: list(range(9))}
+        first = lookahead_allocate(utilities, total_ways=8)
+        second = lookahead_allocate(utilities, total_ways=8)
+        assert first == second
+
+    def test_higher_marginal_utility_core_gets_more_ways(self):
+        utilities = {
+            0: [w * 10.0 for w in range(17)],
+            1: [w * 1.0 for w in range(17)],
+        }
+        allocation = lookahead_allocate(utilities, total_ways=16)
+        assert allocation[0] > allocation[1]

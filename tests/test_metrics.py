@@ -1,0 +1,109 @@
+"""Unit tests for the error and throughput metrics."""
+
+import math
+
+import pytest
+
+from repro.metrics import (
+    absolute_error,
+    cpi,
+    harmonic_mean_speedup,
+    ipc,
+    mean,
+    relative_error,
+    rms,
+    rms_absolute_error,
+    rms_relative_error,
+    system_throughput,
+    weighted_speedup,
+)
+
+
+class TestErrorMetrics:
+    def test_absolute_error_sign(self):
+        assert absolute_error(12.0, 10.0) == pytest.approx(2.0)
+        assert absolute_error(8.0, 10.0) == pytest.approx(-2.0)
+
+    def test_relative_error_basic(self):
+        assert relative_error(12.0, 10.0) == pytest.approx(0.2)
+        assert relative_error(5.0, 10.0) == pytest.approx(-0.5)
+
+    def test_relative_error_zero_actual_zero_estimate(self):
+        assert relative_error(0.0, 0.0) == 0.0
+
+    def test_relative_error_zero_actual_nonzero_estimate_is_infinite(self):
+        assert math.isinf(relative_error(3.0, 0.0))
+        assert relative_error(3.0, 0.0) > 0
+        assert relative_error(-3.0, 0.0) < 0
+
+    def test_rms_of_constant_series(self):
+        assert rms([2.0, 2.0, 2.0]) == pytest.approx(2.0)
+
+    def test_rms_mixes_bias_and_variability(self):
+        # RMS of [3, -4] is sqrt((9+16)/2)
+        assert rms([3.0, -4.0]) == pytest.approx(math.sqrt(12.5))
+
+    def test_rms_empty_series_is_zero(self):
+        assert rms([]) == 0.0
+
+    def test_rms_ignores_non_finite_entries(self):
+        assert rms([3.0, math.inf, -3.0]) == pytest.approx(3.0)
+
+    def test_rms_absolute_error_alignment_check(self):
+        with pytest.raises(ValueError):
+            rms_absolute_error([1.0, 2.0], [1.0])
+
+    def test_rms_absolute_error_value(self):
+        assert rms_absolute_error([1.0, 2.0], [0.0, 0.0]) == pytest.approx(math.sqrt(2.5))
+
+    def test_rms_relative_error_value(self):
+        assert rms_relative_error([2.0, 2.0], [1.0, 4.0]) == pytest.approx(
+            math.sqrt((1.0 + 0.25) / 2)
+        )
+
+    def test_mean_empty(self):
+        assert mean([]) == 0.0
+
+    def test_mean_values(self):
+        assert mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+
+class TestThroughputMetrics:
+    def test_ipc_and_cpi_are_reciprocal(self):
+        assert ipc(100, 200) == pytest.approx(0.5)
+        assert cpi(100, 200) == pytest.approx(2.0)
+
+    def test_ipc_zero_cycles(self):
+        assert ipc(100, 0) == 0.0
+
+    def test_cpi_zero_instructions(self):
+        assert cpi(0, 100) == 0.0
+
+    def test_stp_no_slowdown_equals_core_count(self):
+        assert system_throughput([1.0, 2.0], [1.0, 2.0]) == pytest.approx(2.0)
+
+    def test_stp_with_slowdown_below_core_count(self):
+        stp = system_throughput([1.0, 1.0], [2.0, 4.0])
+        assert stp == pytest.approx(0.75)
+
+    def test_stp_skips_zero_shared_cpi(self):
+        assert system_throughput([1.0, 1.0], [0.0, 2.0]) == pytest.approx(0.5)
+
+    def test_stp_requires_alignment(self):
+        with pytest.raises(ValueError):
+            system_throughput([1.0], [1.0, 2.0])
+
+    def test_weighted_speedup_alias(self):
+        assert weighted_speedup([1.0, 1.0], [2.0, 2.0]) == system_throughput([1.0, 1.0], [2.0, 2.0])
+
+    def test_harmonic_mean_speedup_equal_slowdowns(self):
+        # Every core runs at half its private-mode speed, so the harmonic mean
+        # of the per-core (private/shared) speedups is 0.5.
+        assert harmonic_mean_speedup([1.0, 1.0], [2.0, 2.0]) == pytest.approx(0.5)
+        assert harmonic_mean_speedup([2.0, 2.0], [2.0, 2.0]) == pytest.approx(1.0)
+
+    def test_harmonic_mean_speedup_zero_private(self):
+        assert harmonic_mean_speedup([0.0, 1.0], [1.0, 1.0]) == 0.0
+
+    def test_harmonic_mean_speedup_empty(self):
+        assert harmonic_mean_speedup([], []) == 0.0

@@ -1,0 +1,70 @@
+"""Unit tests for miss curves."""
+
+import pytest
+
+from repro.cache.miss_curve import MissCurve
+from repro.errors import PartitioningError
+
+
+class TestMissCurveBasics:
+    def test_requires_at_least_two_points(self):
+        with pytest.raises(PartitioningError):
+            MissCurve((10.0,))
+
+    def test_associativity_and_total_accesses(self):
+        curve = MissCurve((100.0, 60.0, 30.0, 20.0, 20.0))
+        assert curve.associativity == 4
+        assert curve.total_accesses == 100.0
+
+    def test_misses_at_clamps_to_range(self):
+        curve = MissCurve((100.0, 50.0, 25.0))
+        assert curve.misses_at(-1) == 100.0
+        assert curve.misses_at(0) == 100.0
+        assert curve.misses_at(2) == 25.0
+        assert curve.misses_at(10) == 25.0
+
+    def test_hits_complement_misses(self):
+        curve = MissCurve((100.0, 50.0, 25.0))
+        assert curve.hits_at(1) == pytest.approx(50.0)
+        assert curve.hits_at(2) == pytest.approx(75.0)
+
+    def test_marginal_utility(self):
+        curve = MissCurve((100.0, 60.0, 30.0, 30.0))
+        assert curve.marginal_utility(0, 1) == pytest.approx(40.0)
+        assert curve.marginal_utility(1, 3) == pytest.approx(15.0)
+
+    def test_marginal_utility_requires_increasing_ways(self):
+        curve = MissCurve((100.0, 50.0))
+        with pytest.raises(PartitioningError):
+            curve.marginal_utility(1, 1)
+
+    def test_monotonicity_check(self):
+        assert MissCurve((10.0, 5.0, 5.0, 1.0)).is_monotone()
+        assert not MissCurve((10.0, 5.0, 7.0)).is_monotone()
+
+    def test_scaling(self):
+        curve = MissCurve((10.0, 5.0)).scaled(8.0)
+        assert curve.misses == (80.0, 40.0)
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(PartitioningError):
+            MissCurve((10.0, 5.0)).scaled(-1.0)
+
+
+class TestFromHitHistogram:
+    def test_curve_from_histogram(self):
+        # 40 hits at MRU, 30 at position 1, 10 at position 2, 20 misses.
+        curve = MissCurve.from_hit_histogram([40.0, 30.0, 10.0], misses=20.0)
+        assert curve.total_accesses == 100.0
+        assert curve.misses_at(0) == 100.0
+        assert curve.misses_at(1) == 60.0
+        assert curve.misses_at(2) == 30.0
+        assert curve.misses_at(3) == 20.0
+
+    def test_histogram_curve_is_monotone(self):
+        curve = MissCurve.from_hit_histogram([5.0, 0.0, 12.0, 3.0], misses=7.0)
+        assert curve.is_monotone()
+
+    def test_all_misses_gives_flat_curve(self):
+        curve = MissCurve.from_hit_histogram([0.0, 0.0], misses=50.0)
+        assert curve.misses == (50.0, 50.0, 50.0)

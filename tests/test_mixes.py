@@ -1,0 +1,103 @@
+"""Unit tests for multi-programmed workload generation."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.workloads.mixes import (
+    PAPER_WORKLOAD_COUNTS,
+    Workload,
+    benchmarks_by_category,
+    generate_category_workloads,
+    generate_mixed_workloads,
+)
+from repro.workloads.synthetic import SPEC_LIKE_BENCHMARKS
+
+
+class TestWorkloadDataclass:
+    def test_core_count_defaults_to_benchmark_count(self):
+        workload = Workload(name="w", benchmarks=("a", "b"), category="H")
+        assert workload.n_cores == 2
+
+    def test_mismatched_core_count_rejected(self):
+        with pytest.raises(TraceError):
+            Workload(name="w", benchmarks=("a", "b"), category="H", n_cores=4)
+
+
+class TestCategoryGrouping:
+    def test_groups_cover_whole_suite(self):
+        grouped = benchmarks_by_category()
+        total = sum(len(names) for names in grouped.values())
+        assert total == len(SPEC_LIKE_BENCHMARKS)
+
+    def test_explicit_categories_override_defaults(self):
+        grouped = benchmarks_by_category({"only_one": "H"})
+        assert grouped["H"] == ["only_one"]
+        assert grouped["M"] == []
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(TraceError):
+            benchmarks_by_category({"x": "Z"})
+
+    def test_paper_workload_counts(self):
+        assert PAPER_WORKLOAD_COUNTS == {"H": 30, "M": 15, "L": 5}
+
+
+class TestCategoryWorkloads:
+    @pytest.mark.parametrize("n_cores", [2, 4, 8])
+    def test_workloads_have_one_benchmark_per_core(self, n_cores):
+        workloads = generate_category_workloads(n_cores, "H", 5, seed=1)
+        assert len(workloads) == 5
+        for workload in workloads:
+            assert len(workload.benchmarks) == n_cores
+
+    def test_workloads_draw_from_requested_category(self):
+        grouped = benchmarks_by_category()
+        for category in ("H", "M", "L"):
+            for workload in generate_category_workloads(4, category, 3, seed=2):
+                assert all(name in grouped[category] for name in workload.benchmarks)
+
+    def test_no_repeats_on_four_cores(self):
+        for workload in generate_category_workloads(4, "H", 10, seed=3):
+            assert len(set(workload.benchmarks)) == 4
+
+    def test_at_most_two_repeats_on_eight_cores(self):
+        for workload in generate_category_workloads(8, "H", 10, seed=4):
+            counts = {}
+            for name in workload.benchmarks:
+                counts[name] = counts.get(name, 0) + 1
+            assert max(counts.values()) <= 2
+
+    def test_deterministic_for_fixed_seed(self):
+        first = generate_category_workloads(4, "M", 4, seed=9)
+        second = generate_category_workloads(4, "M", 4, seed=9)
+        assert [w.benchmarks for w in first] == [w.benchmarks for w in second]
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(TraceError):
+            generate_category_workloads(4, "X", 1)
+
+    def test_too_many_cores_for_pool_rejected(self):
+        with pytest.raises(TraceError):
+            generate_category_workloads(4, "H", 1, categories={"a": "H", "b": "H"})
+
+
+class TestMixedWorkloads:
+    def test_mix_length_must_match_cores(self):
+        with pytest.raises(TraceError):
+            generate_mixed_workloads(4, "HML", 1)
+
+    def test_mix_categories_respected(self):
+        grouped = benchmarks_by_category()
+        for workload in generate_mixed_workloads(4, "HHML", 5, seed=5):
+            letters = list(workload.category)
+            assert letters == list("HHML")
+            for letter, benchmark in zip("HHML", workload.benchmarks):
+                assert benchmark in grouped[letter]
+
+    def test_unknown_letter_rejected(self):
+        with pytest.raises(TraceError):
+            generate_mixed_workloads(4, "HXLL", 1)
+
+    def test_mixed_workload_names_are_unique(self):
+        workloads = generate_mixed_workloads(4, "HMLL", 6, seed=6)
+        assert len({w.name for w in workloads}) == 6

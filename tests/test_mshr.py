@@ -1,0 +1,78 @@
+"""Unit tests for the MSHR file."""
+
+import pytest
+
+from repro.cache.mshr import MSHRFile
+from repro.errors import SimulationError
+
+
+class TestMSHRFile:
+    def test_requires_positive_entries(self):
+        with pytest.raises(SimulationError):
+            MSHRFile(0)
+
+    def test_acquire_is_immediate_when_space_available(self):
+        mshrs = MSHRFile(2)
+        assert mshrs.acquire_time(100.0) == 100.0
+
+    def test_acquire_waits_when_full(self):
+        mshrs = MSHRFile(2)
+        mshrs.allocate(completion_time=200.0, address=0x1)
+        mshrs.allocate(completion_time=300.0, address=0x2)
+        # A request at t=150 must wait for the earliest completion (t=200).
+        assert mshrs.acquire_time(150.0) == 200.0
+
+    def test_acquire_after_completions_is_immediate(self):
+        mshrs = MSHRFile(1)
+        mshrs.allocate(completion_time=120.0, address=0x1)
+        assert mshrs.acquire_time(150.0) == 150.0
+
+    def test_release_completed_retires_entries(self):
+        mshrs = MSHRFile(4)
+        mshrs.allocate(100.0, 0x1)
+        mshrs.allocate(200.0, 0x2)
+        released = mshrs.release_completed(150.0)
+        assert released == 1
+        assert len(mshrs) == 1
+
+    def test_outstanding_at_counts_pending_misses(self):
+        mshrs = MSHRFile(4)
+        mshrs.allocate(100.0, 0x1)
+        mshrs.allocate(200.0, 0x2)
+        assert mshrs.outstanding_at(150.0) == 1
+        assert mshrs.outstanding_at(50.0) == 2
+        assert mshrs.outstanding_at(250.0) == 0
+
+    def test_earliest_completion(self):
+        mshrs = MSHRFile(4)
+        assert mshrs.earliest_completion() is None
+        mshrs.allocate(300.0, 0x1)
+        mshrs.allocate(100.0, 0x2)
+        assert mshrs.earliest_completion() == 100.0
+
+    def test_clear_empties_the_file(self):
+        mshrs = MSHRFile(2)
+        mshrs.allocate(100.0, 0x1)
+        mshrs.clear()
+        assert len(mshrs) == 0
+
+    def test_allocation_beyond_capacity_drops_oldest(self):
+        mshrs = MSHRFile(1)
+        mshrs.allocate(100.0, 0x1)
+        mshrs.allocate(200.0, 0x2)
+        assert len(mshrs) == 1
+
+    def test_bounded_mlp_under_limited_mshrs(self):
+        """With N MSHRs, at most N misses can overlap at any time."""
+        mshrs = MSHRFile(4)
+        time = 0.0
+        completions = []
+        for index in range(16):
+            start = mshrs.acquire_time(time)
+            completion = start + 100.0
+            mshrs.allocate(completion, index)
+            completions.append((start, completion))
+            time += 10.0
+        for _, (start, _completion) in enumerate(completions):
+            overlapping = sum(1 for s, c in completions if s <= start < c)
+            assert overlapping <= 4

@@ -1,0 +1,82 @@
+"""Tests for the hardware-overhead model (Section IV-C)."""
+
+import pytest
+
+from repro.config import CMPConfig
+from repro.core.overheads import (
+    ArithmeticCosts,
+    atd_storage_bits,
+    cpl_estimator_storage_bits,
+    dief_storage_kilobytes,
+    estimate_computation_cycles,
+    gdp_overhead,
+)
+
+
+class TestCPLEstimatorStorage:
+    def test_gdp_storage_close_to_paper_figure(self):
+        assert abs(cpl_estimator_storage_bits(32, with_overlap=False) - 3117) < 150
+
+    def test_gdpo_storage_close_to_paper_figure(self):
+        assert abs(cpl_estimator_storage_bits(32, with_overlap=True) - 3597) < 200
+
+    def test_overlap_variant_is_larger(self):
+        assert cpl_estimator_storage_bits(32, True) > cpl_estimator_storage_bits(32, False)
+
+    def test_storage_grows_with_prb_entries(self):
+        assert cpl_estimator_storage_bits(64) > cpl_estimator_storage_bits(8)
+
+
+class TestATDStorage:
+    def test_full_map_much_larger_than_sampled(self):
+        llc = CMPConfig.default(4).llc
+        full = atd_storage_bits(llc, None)
+        sampled = atd_storage_bits(llc, 32)
+        assert full / sampled == pytest.approx(llc.num_sets / 32, rel=0.01)
+
+    def test_paper_sampled_dief_storage_magnitudes(self):
+        """Paper: sampled DIEF costs 5.0 / 9.9 / 23.8 KB for 2-/4-/8-core CMPs."""
+        for n_cores, expected_kb in ((2, 5.0), (4, 9.9), (8, 23.8)):
+            measured = dief_storage_kilobytes(CMPConfig.default(n_cores), sampled_sets=32)
+            # The exact value depends on assumed tag widths; the order of
+            # magnitude and the scaling across core counts must match.
+            assert measured == pytest.approx(expected_kb, rel=0.8)
+
+    def test_paper_full_map_dief_storage_magnitudes(self):
+        """Paper: full-map DIEF costs 929 / 1859 / 7178 KB for 2-/4-/8-core CMPs."""
+        two = gdp_overhead(CMPConfig.default(2)).dief_full_map_kilobytes
+        four = gdp_overhead(CMPConfig.default(4)).dief_full_map_kilobytes
+        eight = gdp_overhead(CMPConfig.default(8)).dief_full_map_kilobytes
+        assert four == pytest.approx(2 * two, rel=0.01)
+        assert eight == pytest.approx(4 * four, rel=0.01)
+        assert two == pytest.approx(929, rel=0.35)
+
+    def test_sampling_saving_factor(self):
+        overhead = gdp_overhead(CMPConfig.default(4))
+        assert overhead.sampling_saving_factor == pytest.approx(
+            CMPConfig.default(4).llc.num_sets / 32, rel=0.01
+        )
+
+
+class TestTotals:
+    def test_cpl_estimator_small_compared_to_dief(self):
+        """Paper: the CPL estimator (<2 KB for 4 cores) is small next to DIEF (9.9 KB)."""
+        overhead = gdp_overhead(CMPConfig.default(4))
+        assert overhead.cpl_estimator_kilobytes_total < 2.0
+        assert overhead.cpl_estimator_kilobytes_total < overhead.dief_sampled_kilobytes
+
+    def test_total_is_sum_of_components(self):
+        overhead = gdp_overhead(CMPConfig.default(4))
+        assert overhead.total_kilobytes == pytest.approx(
+            overhead.cpl_estimator_kilobytes_total + overhead.dief_sampled_kilobytes
+        )
+
+
+class TestComputationLatency:
+    def test_default_costs_near_paper_quote(self):
+        """Paper: ~71 cycles per estimate with 1/3/25-cycle add/mul/div."""
+        assert 55 <= estimate_computation_cycles() <= 71
+
+    def test_custom_costs(self):
+        fast = ArithmeticCosts(add_cycles=1, multiply_cycles=1, divide_cycles=5)
+        assert estimate_computation_cycles(fast) == 2 * 5 + 2 * 1 + 5 * 1

@@ -1,0 +1,204 @@
+"""Unit tests for the LLC partitioning policies (LRU, UCP, ASM, MCP, MCP-O)."""
+
+import pytest
+
+from repro.cache.miss_curve import MissCurve
+from repro.cpu.events import IntervalStats
+from repro.partitioning import (
+    ASMPartitioningPolicy,
+    LRUSharingPolicy,
+    MCPOPolicy,
+    MCPPolicy,
+    PartitioningPolicy,
+    UCPPolicy,
+)
+from repro.partitioning.base import PolicyContext
+from repro.partitioning.mcp import PerformanceModel
+from repro.sim.system import CMPSystem
+
+from tests.conftest import build_interval, make_load, make_stall, simple_trace
+
+
+def flat_curve(misses=100.0, ways=16):
+    return MissCurve(tuple([misses] * (ways + 1)))
+
+
+def saturating_curve(total=200.0, saturation_ways=4, ways=16):
+    """A miss curve that drops linearly until ``saturation_ways`` and then is flat."""
+    values = []
+    for w in range(ways + 1):
+        captured = min(w, saturation_ways) / saturation_ways
+        values.append(total * (1.0 - 0.9 * captured))
+    return MissCurve(tuple(values))
+
+
+def context_with(curves, intervals=None, total_ways=16):
+    return PolicyContext(
+        time=1_000.0,
+        total_ways=total_ways,
+        miss_curves=curves,
+        latest_intervals=intervals or {},
+    )
+
+
+def synthetic_interval(core, stall=4_000.0, latency=400.0, n_loads=10, misses=10):
+    loads, stalls = [], []
+    time = 0.0
+    for index in range(n_loads):
+        issue = time
+        completion = issue + latency
+        loads.append(make_load(0x1000 * (index + 1) + (core << 24), issue, completion,
+                               caused_stall=True, stall_start=issue + 5, stall_end=completion))
+        stalls.append(make_stall(issue + 5, completion, 0x1000 * (index + 1) + (core << 24)))
+        time = completion + 10
+    interval = build_interval(loads, stalls, core=core, end=time, instructions=2_000,
+                              llc_misses=misses)
+    interval.post_llc_latency_sum = 200.0 * misses
+    interval.pre_llc_latency_sum = 60.0 * n_loads
+    return interval
+
+
+class TestEqualAllocation:
+    def test_even_split(self):
+        allocation = PartitioningPolicy.equal_allocation([0, 1, 2, 3], 16)
+        assert allocation == {0: 4, 1: 4, 2: 4, 3: 4}
+
+    def test_remainder_distributed(self):
+        allocation = PartitioningPolicy.equal_allocation([0, 1, 2], 16)
+        assert sum(allocation.values()) == 16
+        assert max(allocation.values()) - min(allocation.values()) <= 1
+
+    def test_empty_core_list_rejected(self):
+        from repro.errors import PartitioningError
+
+        with pytest.raises(PartitioningError):
+            PartitioningPolicy.equal_allocation([], 8)
+
+
+class TestLRUPolicy:
+    def test_never_partitions(self):
+        policy = LRUSharingPolicy()
+        context = context_with({0: flat_curve(), 1: flat_curve()})
+        assert policy.allocate(context) is None
+
+
+class TestUCPPolicy:
+    def test_allocation_sums_to_total_ways(self):
+        policy = UCPPolicy()
+        context = context_with({0: saturating_curve(), 1: flat_curve()})
+        allocation = policy.allocate(context)
+        assert sum(allocation.values()) == 16
+
+    def test_cache_sensitive_core_gets_more_ways_than_streaming_core(self):
+        policy = UCPPolicy()
+        context = context_with({0: saturating_curve(total=500.0), 1: flat_curve(misses=500.0)})
+        allocation = policy.allocate(context)
+        assert allocation[0] > allocation[1]
+
+    def test_empty_curves_fall_back_to_equal_split(self):
+        policy = UCPPolicy()
+        empty = MissCurve((0.0, 0.0))
+        allocation = policy.allocate(context_with({0: empty, 1: empty}))
+        assert allocation == {0: 8, 1: 8}
+
+    def test_no_cores_returns_none(self):
+        assert UCPPolicy().allocate(context_with({})) is None
+
+
+class TestPerformanceModel:
+    def test_shared_cpi_increases_with_misses(self):
+        interval = synthetic_interval(0)
+        model = PerformanceModel.from_interval(interval, private_cpi=1.0)
+        assert model.shared_cpi(100) > model.shared_cpi(10)
+
+    def test_throughput_contribution_decreases_with_misses(self):
+        interval = synthetic_interval(0)
+        model = PerformanceModel.from_interval(interval, private_cpi=1.0)
+        assert model.throughput_contribution(10) > model.throughput_contribution(100)
+
+    def test_zero_misses_interval_has_zero_gradient(self):
+        interval = synthetic_interval(0, misses=0)
+        interval.post_llc_latency_sum = 0.0
+        model = PerformanceModel.from_interval(interval, private_cpi=1.0)
+        assert model.gradient == 0.0
+
+    def test_contribution_bounded_by_one_when_private_slower(self):
+        interval = synthetic_interval(0)
+        model = PerformanceModel.from_interval(interval, private_cpi=0.5)
+        assert model.throughput_contribution(0) <= 1.5
+
+
+class TestMCPPolicy:
+    def test_allocation_sums_to_total_ways(self):
+        policy = MCPPolicy()
+        curves = {0: saturating_curve(), 1: flat_curve()}
+        intervals = {0: synthetic_interval(0), 1: synthetic_interval(1)}
+        allocation = policy.allocate(context_with(curves, intervals))
+        assert sum(allocation.values()) == 16
+
+    def test_missing_estimates_fall_back_to_equal_split(self):
+        policy = MCPPolicy()
+        curves = {0: saturating_curve(), 1: flat_curve()}
+        allocation = policy.allocate(context_with(curves, {0: synthetic_interval(0)}))
+        assert allocation == {0: 8, 1: 8}
+
+    def test_prefers_core_whose_throughput_improves(self):
+        policy = MCPPolicy()
+        curves = {0: saturating_curve(total=400.0), 1: flat_curve(misses=400.0)}
+        intervals = {0: synthetic_interval(0), 1: synthetic_interval(1)}
+        allocation = policy.allocate(context_with(curves, intervals))
+        assert allocation[0] > allocation[1]
+
+    def test_mcpo_uses_gdpo(self):
+        assert MCPOPolicy().accounting.name == "GDP-O"
+        assert MCPPolicy().accounting.name == "GDP"
+
+
+class TestPolicyInstallation:
+    def _system(self, config):
+        traces = {0: simple_trace(400, base=1 << 22, stride_lines=16),
+                  1: simple_trace(400, base=1 << 23, stride_lines=16)}
+        return CMPSystem(config, traces, target_instructions=1_200,
+                         interval_instructions=400)
+
+    def test_ucp_installs_partitions_during_run(self, two_core_config):
+        system = self._system(two_core_config)
+        policy = UCPPolicy(repartition_interval_cycles=1_000.0)
+        policy.install(system)
+        system.run()
+        assert policy.allocations_history
+        for allocation in policy.allocations_history:
+            assert sum(allocation.values()) == two_core_config.llc.associativity
+
+    def test_lru_never_installs_partition(self, two_core_config):
+        system = self._system(two_core_config)
+        policy = LRUSharingPolicy(repartition_interval_cycles=1_000.0)
+        policy.install(system)
+        system.run()
+        assert policy.allocations_history == []
+        assert system.hierarchy.llc.partition is None
+
+    def test_asm_policy_installs_priority_rotation(self, two_core_config):
+        system = self._system(two_core_config)
+        policy = ASMPartitioningPolicy(n_cores=2, repartition_interval_cycles=1_000.0,
+                                       epoch_cycles=500.0)
+        policy.install(system)
+        assert system.hierarchy.dram.priority_core is not None
+        system.run()
+        assert len(system._hooks) == 2  # rotation + repartitioning
+
+    def test_mcp_policy_runs_end_to_end(self, two_core_config):
+        system = self._system(two_core_config)
+        policy = MCPPolicy(repartition_interval_cycles=1_000.0)
+        policy.install(system)
+        result = system.run()
+        assert all(core.instructions == 1_200 for core in result.cores.values())
+
+    def test_policy_uses_config_default_interval_when_not_overridden(self, two_core_config):
+        system = self._system(two_core_config)
+        policy = UCPPolicy()  # no explicit repartition interval
+        policy.install(system)
+        hook = system._hooks[-1]
+        assert hook.period_cycles == float(
+            two_core_config.accounting.partitioning_interval_cycles
+        )

@@ -1,0 +1,104 @@
+"""Unit tests for the CPI decomposition performance model (Equations 1-2)."""
+
+import pytest
+
+from repro.core.performance_model import (
+    CPIComponents,
+    components_from_interval,
+    estimate_other_stalls,
+    private_mode_cpi,
+)
+from repro.errors import AccountingError
+
+from tests.conftest import build_interval, make_load, make_stall
+
+
+def components(**overrides):
+    defaults = dict(
+        instructions=1_000,
+        commit_cycles=250.0,
+        independent_stall_cycles=50.0,
+        pms_stall_cycles=25.0,
+        sms_stall_cycles=500.0,
+        other_stall_cycles=10.0,
+    )
+    defaults.update(overrides)
+    return CPIComponents(**defaults)
+
+
+class TestCPIComponents:
+    def test_total_cycles_is_sum_of_parts(self):
+        parts = components()
+        assert parts.total_cycles == pytest.approx(835.0)
+
+    def test_cpi(self):
+        assert components().cpi == pytest.approx(0.835)
+
+    def test_cpi_with_zero_instructions(self):
+        assert components(instructions=0).cpi == 0.0
+
+    def test_components_from_interval(self):
+        loads = [make_load(0x1, 0.0, 100.0, caused_stall=True, stall_start=10.0, stall_end=100.0)]
+        stalls = [make_stall(10.0, 100.0, 0x1)]
+        interval = build_interval(loads, stalls, end=400.0, instructions=400)
+        parts = components_from_interval(interval)
+        assert parts.sms_stall_cycles == pytest.approx(90.0)
+        assert parts.instructions == 400
+        assert parts.commit_cycles == pytest.approx(interval.commit_cycles)
+
+
+class TestPrivateModeCPI:
+    def test_paper_figure1_example(self):
+        """190 instructions, 190 commit cycles; GDP estimates 280 SMS stall cycles."""
+        parts = CPIComponents(
+            instructions=190,
+            commit_cycles=190.0,
+            independent_stall_cycles=0.0,
+            pms_stall_cycles=0.0,
+            sms_stall_cycles=305.0,
+            other_stall_cycles=0.0,
+        )
+        assert private_mode_cpi(parts, 280.0, 0.0) == pytest.approx(2.47, abs=0.01)
+        assert private_mode_cpi(parts, 204.0, 0.0) == pytest.approx(2.07, abs=0.01)
+
+    def test_carried_over_components_unchanged(self):
+        parts = components()
+        cpi = private_mode_cpi(parts, sms_stall_estimate=0.0, other_stall_estimate=0.0)
+        assert cpi == pytest.approx((250.0 + 50.0 + 25.0) / 1_000)
+
+    def test_other_stalls_default_carried_over(self):
+        parts = components()
+        cpi = private_mode_cpi(parts, sms_stall_estimate=0.0)
+        assert cpi == pytest.approx((250.0 + 50.0 + 25.0 + 10.0) / 1_000)
+
+    def test_negative_estimate_clamped_to_zero(self):
+        parts = components()
+        assert private_mode_cpi(parts, -100.0, 0.0) == private_mode_cpi(parts, 0.0, 0.0)
+
+    def test_zero_instructions_rejected(self):
+        with pytest.raises(AccountingError):
+            private_mode_cpi(components(instructions=0), 10.0)
+
+    def test_estimate_below_shared_when_interference_removed(self):
+        parts = components()
+        private = private_mode_cpi(parts, sms_stall_estimate=200.0)
+        assert private < parts.cpi
+
+
+class TestOtherStallEstimate:
+    def test_scales_with_latency_ratio(self):
+        parts = components(other_stall_cycles=100.0)
+        estimate = estimate_other_stalls(parts, shared_latency=400.0, private_latency=100.0)
+        assert estimate == pytest.approx(25.0)
+
+    def test_zero_other_stalls(self):
+        parts = components(other_stall_cycles=0.0)
+        assert estimate_other_stalls(parts, 400.0, 100.0) == 0.0
+
+    def test_zero_shared_latency_keeps_other_stalls(self):
+        parts = components(other_stall_cycles=42.0)
+        assert estimate_other_stalls(parts, 0.0, 100.0) == 42.0
+
+    def test_ratio_clamped_to_one(self):
+        parts = components(other_stall_cycles=100.0)
+        assert estimate_other_stalls(parts, shared_latency=100.0, private_latency=400.0) == 100.0

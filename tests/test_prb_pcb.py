@@ -1,0 +1,164 @@
+"""Unit tests for the Pending Request Buffer and Pending Commit Buffer."""
+
+import pytest
+
+from repro.core.pcb import PendingCommitBuffer
+from repro.core.prb import PendingRequestBuffer
+from repro.errors import AccountingError
+
+
+class TestPRBInsertionAndLookup:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(AccountingError):
+            PendingRequestBuffer(capacity=0)
+
+    def test_insert_and_find(self):
+        prb = PendingRequestBuffer(capacity=4)
+        entry = prb.insert(0x100, depth=2)
+        assert prb.find(0x100) is entry
+        assert entry.depth == 2
+        assert not entry.completed
+
+    def test_find_missing_address_returns_none(self):
+        prb = PendingRequestBuffer(capacity=4)
+        assert prb.find(0xDEAD) is None
+
+    def test_find_returns_oldest_duplicate(self):
+        prb = PendingRequestBuffer(capacity=4)
+        first = prb.insert(0x100)
+        prb.insert(0x100)
+        assert prb.find(0x100) is first
+
+    def test_len_counts_valid_entries(self):
+        prb = PendingRequestBuffer(capacity=4)
+        a = prb.insert(0x1)
+        prb.insert(0x2)
+        prb.invalidate(a)
+        assert len(prb) == 1
+
+    def test_unlimited_capacity(self):
+        prb = PendingRequestBuffer(capacity=None)
+        for index in range(1_000):
+            prb.insert(index)
+        assert len(prb) == 1_000
+        assert prb.evictions == 0
+
+
+class TestPRBEviction:
+    def test_oldest_pending_entry_evicted_when_full(self):
+        prb = PendingRequestBuffer(capacity=2)
+        first = prb.insert(0x1)
+        prb.insert(0x2)
+        prb.insert(0x3)
+        assert len(prb) == 2
+        assert prb.evictions == 1
+        assert not first.valid
+        assert prb.find(0x2) is not None and prb.find(0x3) is not None
+
+    def test_completed_entries_survive_eviction_of_pending_ones(self):
+        prb = PendingRequestBuffer(capacity=2)
+        done = prb.insert(0x1)
+        done.completed = True
+        prb.insert(0x2)
+        prb.insert(0x3)
+        assert done.valid
+        assert prb.find(0x2) is None
+
+    def test_eviction_falls_back_to_completed_when_all_completed(self):
+        prb = PendingRequestBuffer(capacity=2)
+        first = prb.insert(0x1)
+        second = prb.insert(0x2)
+        first.completed = True
+        second.completed = True
+        prb.insert(0x3)
+        assert len(prb) == 2
+        assert not first.valid
+
+    def test_insertion_counter(self):
+        prb = PendingRequestBuffer(capacity=8)
+        for index in range(5):
+            prb.insert(index)
+        assert prb.insertions == 5
+
+
+class TestPRBQueries:
+    def test_completed_and_pending_partitions(self):
+        prb = PendingRequestBuffer(capacity=4)
+        a = prb.insert(0x1)
+        b = prb.insert(0x2)
+        a.completed = True
+        assert prb.completed_entries() == [a]
+        assert prb.pending_entries() == [b]
+
+    def test_clear(self):
+        prb = PendingRequestBuffer(capacity=4)
+        prb.insert(0x1)
+        prb.clear()
+        assert len(prb) == 0
+
+
+class TestPRBStorageCost:
+    def test_entry_bits_match_figure2(self):
+        # Address(48) + Depth(15) + Completed-at(28) + Completed/Valid(2) = 93
+        assert PendingRequestBuffer.entry_bits(with_overlap=False) == 93
+        # GDP-O adds the 14-bit Overlap field.
+        assert PendingRequestBuffer.entry_bits(with_overlap=True) == 107
+
+    def test_storage_scales_with_capacity(self):
+        assert PendingRequestBuffer(capacity=32).storage_bits() == 32 * 93
+
+    def test_paper_storage_totals_are_in_the_reported_ballpark(self):
+        """Figure 2 reports 3117 / 3597 bits for GDP / GDP-O with 32 PRB entries."""
+        prb_bits_gdp = PendingRequestBuffer(capacity=32).storage_bits(with_overlap=False)
+        prb_bits_gdpo = PendingRequestBuffer(capacity=32).storage_bits(with_overlap=True)
+        pcb_bits = PendingCommitBuffer.storage_bits(prb_entries=32)
+        counters = 28 + 32  # timestamp counter + overlap counter
+        gdp_total = prb_bits_gdp + pcb_bits + 28
+        gdpo_total = prb_bits_gdpo + pcb_bits + counters
+        assert abs(gdp_total - 3117) < 150
+        assert abs(gdpo_total - 3597) < 150
+
+
+class TestPCB:
+    def test_initial_state(self):
+        pcb = PendingCommitBuffer()
+        assert pcb.depth == 0
+        assert pcb.children == []
+
+    def test_start_new_period_resets_children(self):
+        pcb = PendingCommitBuffer()
+        prb = PendingRequestBuffer(capacity=4)
+        pcb.add_child(prb.insert(0x1))
+        pcb.start_new_period(depth=3, started_at=100.0)
+        assert pcb.depth == 3
+        assert pcb.started_at == 100.0
+        assert pcb.children == []
+
+    def test_valid_children_filters_invalidated_entries(self):
+        pcb = PendingCommitBuffer()
+        prb = PendingRequestBuffer(capacity=4)
+        a = prb.insert(0x1)
+        b = prb.insert(0x2)
+        pcb.add_child(a)
+        pcb.add_child(b)
+        prb.invalidate(a)
+        assert pcb.valid_children() == [b]
+
+    def test_remove_child(self):
+        pcb = PendingCommitBuffer()
+        prb = PendingRequestBuffer(capacity=4)
+        a = prb.insert(0x1)
+        pcb.add_child(a)
+        pcb.remove_child(a)
+        assert pcb.children == []
+
+    def test_mark_stalled_and_reset(self):
+        pcb = PendingCommitBuffer()
+        pcb.mark_stalled(55.0)
+        assert pcb.stalled_at == 55.0
+        pcb.reset(60.0)
+        assert pcb.depth == 0
+        assert pcb.started_at == 60.0
+
+    def test_storage_bits_depend_on_prb_size(self):
+        assert PendingCommitBuffer.storage_bits(32) - PendingCommitBuffer.storage_bits(8) == 24

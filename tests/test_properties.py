@@ -1,0 +1,248 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.miss_curve import MissCurve
+from repro.cache.mshr import MSHRFile
+from repro.config import CacheConfig, DRAMConfig
+from repro.core.cpl import CPLEstimator
+from repro.core.dataflow_graph import build_dataflow_graph
+from repro.core.performance_model import CPIComponents, private_mode_cpi
+from repro.cpu.events import annotate_overlap
+from repro.dram.controller import MemoryController
+from repro.metrics.errors import rms
+from repro.partitioning.lookahead import lookahead_allocate
+
+from tests.conftest import make_load, make_stall
+
+MAX_EXAMPLES = 40
+
+
+# --------------------------------------------------------------------------- metrics
+
+@given(st.lists(st.floats(-1e6, 1e6), max_size=50))
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+def test_rms_is_non_negative_and_bounded_by_max_abs(errors):
+    value = rms(errors)
+    assert value >= 0.0
+    if errors:
+        assert value <= max(abs(e) for e in errors) + 1e-6
+
+
+@given(st.lists(st.floats(-1e3, 1e3), min_size=1, max_size=50), st.floats(-1e3, 1e3))
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+def test_rms_of_constant_shift_dominates_pure_noise(errors, bias):
+    """Adding a constant bias can never reduce the RMS below the bias magnitude."""
+    biased = [bias for _ in errors]
+    assert rms(biased) >= abs(bias) - 1e-9
+
+
+# --------------------------------------------------------------------------- caches
+
+@given(
+    st.lists(st.integers(0, 63), min_size=1, max_size=200),
+    st.sampled_from([1, 2, 4, 8]),
+)
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+def test_cache_occupancy_never_exceeds_associativity(line_indices, associativity):
+    config = CacheConfig(size_bytes=associativity * 8 * 64, associativity=associativity,
+                         latency=1, mshrs=4)
+    cache = SetAssociativeCache(config)
+    for line in line_indices:
+        cache.access(line * 64)
+    for index in range(cache.num_sets):
+        assert len(cache._sets[index]) <= associativity
+
+
+@given(st.lists(st.integers(0, 31), min_size=1, max_size=150))
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+def test_cache_hits_plus_misses_equals_accesses(line_indices):
+    config = CacheConfig(size_bytes=4 * 16 * 64, associativity=4, latency=1, mshrs=4)
+    cache = SetAssociativeCache(config)
+    for line in line_indices:
+        cache.access(line * 64)
+    assert cache.hits + cache.misses == len(line_indices)
+
+
+@given(
+    st.lists(st.tuples(st.integers(0, 31), st.integers(0, 1)), min_size=1, max_size=150),
+    st.integers(1, 7),
+)
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+def test_partitioned_cache_respects_quotas(accesses, core0_ways):
+    config = CacheConfig(size_bytes=8 * 8 * 64, associativity=8, latency=1, mshrs=4)
+    cache = SetAssociativeCache(config, partitioned=True)
+    allocation = {0: core0_ways, 1: 8 - core0_ways}
+    cache.set_partition(allocation)
+    for line, core in accesses:
+        cache.access(line * 64, core=core)
+    for index in range(cache.num_sets):
+        occupancy = cache.set_occupancy(index)
+        for core, ways in allocation.items():
+            assert occupancy.get(core, 0) <= ways
+
+
+# --------------------------------------------------------------------------- miss curves / ATD
+
+@given(
+    st.lists(st.floats(0.0, 1e4), min_size=1, max_size=16),
+    st.floats(0.0, 1e4),
+)
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+def test_miss_curve_from_histogram_is_monotone_non_increasing(hits, misses):
+    curve = MissCurve.from_hit_histogram(hits, misses)
+    assert curve.is_monotone()
+    assert curve.misses_at(curve.associativity) >= misses - 1e-6
+
+
+# --------------------------------------------------------------------------- MSHRs
+
+@given(
+    st.lists(st.floats(0.0, 1e4), min_size=1, max_size=60),
+    st.integers(1, 8),
+    st.floats(1.0, 500.0),
+)
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+def test_mshr_bounded_concurrency(arrival_gaps, entries, service):
+    mshrs = MSHRFile(entries)
+    time = 0.0
+    windows = []
+    for gap in arrival_gaps:
+        time += gap
+        start = mshrs.acquire_time(time)
+        completion = start + service
+        mshrs.allocate(completion, address=int(time))
+        windows.append((start, completion))
+    for start, _ in windows:
+        concurrent = sum(1 for s, c in windows if s <= start < c)
+        assert concurrent <= entries
+
+
+# --------------------------------------------------------------------------- DRAM controller
+
+@given(st.lists(st.tuples(st.integers(0, 1 << 16), st.integers(0, 3), st.floats(0, 1e4)),
+                min_size=1, max_size=60))
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+def test_dram_completion_always_after_arrival_and_interference_bounded(requests):
+    controller = MemoryController(DRAMConfig())
+    row_miss = controller.timing.row_miss_latency
+    for line, core, arrival in sorted(requests, key=lambda item: item[2]):
+        result = controller.access(line * 64, core, arrival)
+        assert result.completion > result.arrival
+        assert 0.0 <= result.interference_wait <= result.latency + 1e-9
+        # The shadow (alone) latency is normally below the shared latency; it
+        # may exceed it by at most one row-miss worth of constructive
+        # interference (another core having opened the row this core needs).
+        assert result.private_latency_estimate <= result.latency + row_miss + 1e-9
+
+
+# --------------------------------------------------------------------------- lookahead
+
+@given(
+    st.integers(2, 6),
+    st.integers(8, 32),
+    st.data(),
+)
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+def test_lookahead_always_distributes_every_way(n_cores, total_ways, data):
+    utilities = {}
+    for core in range(n_cores):
+        values = data.draw(st.lists(st.floats(0.0, 1e6), min_size=total_ways + 1,
+                                    max_size=total_ways + 1))
+        # Utility curves are non-decreasing by construction in the policies.
+        running = 0.0
+        curve = []
+        for value in values:
+            running = max(running, value)
+            curve.append(running)
+        utilities[core] = curve
+    if total_ways < n_cores:
+        return
+    allocation = lookahead_allocate(utilities, total_ways)
+    assert sum(allocation.values()) == total_ways
+    assert all(ways >= 1 for ways in allocation.values())
+
+
+# --------------------------------------------------------------------------- CPL estimation
+
+@st.composite
+def load_and_stall_events(draw):
+    """Random load bursts with stalls derived from the slowest load of each burst."""
+    n_bursts = draw(st.integers(1, 6))
+    loads, stalls = [], []
+    time = 0.0
+    address = 0x1000
+    for _ in range(n_bursts):
+        burst_size = draw(st.integers(1, 5))
+        latency = draw(st.floats(50.0, 400.0))
+        completions = []
+        for index in range(burst_size):
+            issue = time + index * draw(st.floats(0.5, 10.0))
+            completion = issue + latency + draw(st.floats(0.0, 100.0))
+            loads.append(make_load(address, issue, completion))
+            completions.append((completion, address))
+            address += 0x40
+        stall_completion, stall_address = max(completions)
+        stall_start = time + burst_size * 10.0 + 1.0
+        if stall_start < stall_completion:
+            stalls.append(make_stall(stall_start, stall_completion, stall_address))
+        time = stall_completion + draw(st.floats(5.0, 50.0))
+    return loads, stalls
+
+
+@given(load_and_stall_events())
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+def test_cpl_estimator_invariants(events):
+    loads, stalls = events
+    annotate_overlap(loads, stalls)
+    unlimited = CPLEstimator(prb_entries=None).replay(loads, stalls)
+    bounded = CPLEstimator(prb_entries=4).replay(loads, stalls)
+    # CPL can never exceed the number of stalls the core observed, nor the
+    # number of SMS loads, and the bounded PRB can never report more than the
+    # unlimited one.
+    assert 0 <= unlimited.cpl <= min(len(stalls), len(loads))
+    assert bounded.cpl <= unlimited.cpl
+    # The offline graph agrees with the unlimited online estimator.
+    offline = build_dataflow_graph(loads, stalls, 0.0, max(
+        (load.completion_time for load in loads), default=0.0) + 100.0)
+    assert unlimited.cpl <= offline.critical_path_length() + 1
+
+
+@given(load_and_stall_events())
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+def test_overlap_never_exceeds_latency(events):
+    loads, stalls = events
+    annotate_overlap(loads, stalls)
+    for load in loads:
+        assert -1e-9 <= load.overlap_cycles <= load.latency + 1e-9
+
+
+# --------------------------------------------------------------------------- performance model
+
+@given(
+    st.integers(1, 100_000),
+    st.floats(0.0, 1e6),
+    st.floats(0.0, 1e6),
+    st.floats(0.0, 1e6),
+    st.floats(0.0, 1e6),
+    st.floats(0.0, 1e6),
+    st.floats(0.0, 1e6),
+)
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+def test_private_cpi_estimate_is_finite_positive_and_monotone(instructions, commit, s_ind,
+                                                              s_pms, s_sms, s_other, estimate):
+    components = CPIComponents(
+        instructions=instructions,
+        commit_cycles=commit,
+        independent_stall_cycles=s_ind,
+        pms_stall_cycles=s_pms,
+        sms_stall_cycles=s_sms,
+        other_stall_cycles=s_other,
+    )
+    low = private_mode_cpi(components, min(estimate, s_sms), 0.0)
+    high = private_mode_cpi(components, max(estimate, s_sms), 0.0)
+    assert math.isfinite(low) and low >= 0.0
+    assert high >= low

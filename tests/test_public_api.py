@@ -1,0 +1,98 @@
+"""Tests for the package's public API surface.
+
+A downstream user should be able to reach every major capability through
+``import repro`` without knowing the internal module layout; these tests pin
+that surface (and the version/metadata) so refactors cannot silently break it.
+"""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevelExports:
+    def test_version_string(self):
+        major, minor, patch = repro.__version__.split(".")
+        assert major.isdigit() and minor.isdigit() and patch.isdigit()
+
+    @pytest.mark.parametrize("name", [
+        "GDPAccounting", "GDPOAccounting", "CPLEstimator",
+        "PendingRequestBuffer", "PendingCommitBuffer",
+        "ITCAAccounting", "PTCAAccounting", "ASMAccounting",
+        "DIEFLatencyEstimator",
+        "LRUSharingPolicy", "UCPPolicy", "ASMPartitioningPolicy", "MCPPolicy", "MCPOPolicy",
+        "CMPConfig", "CMPSystem", "default_experiment_config",
+        "build_trace", "run_private_mode", "run_shared_mode", "run_workload",
+        "Workload", "benchmark_names", "generate_trace", "get_benchmark",
+        "generate_category_workloads", "generate_mixed_workloads",
+    ])
+    def test_symbol_exported(self, name):
+        assert name in repro.__all__
+        assert getattr(repro, name) is not None
+
+    def test_all_entries_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+
+class TestSubpackageImports:
+    @pytest.mark.parametrize("module", [
+        "repro.core", "repro.baselines", "repro.latency", "repro.partitioning",
+        "repro.cpu", "repro.cache", "repro.dram", "repro.interconnect", "repro.mem",
+        "repro.sim", "repro.workloads", "repro.metrics", "repro.experiments",
+        "repro.core.overheads", "repro.experiments.run_all",
+    ])
+    def test_module_importable(self, module):
+        imported = importlib.import_module(module)
+        assert imported is not None
+
+    def test_every_subpackage_defines_all(self):
+        for module_name in ("repro.core", "repro.baselines", "repro.latency",
+                            "repro.partitioning", "repro.cpu", "repro.cache",
+                            "repro.dram", "repro.interconnect", "repro.mem",
+                            "repro.sim", "repro.workloads", "repro.metrics"):
+            module = importlib.import_module(module_name)
+            assert hasattr(module, "__all__") and module.__all__
+
+    def test_sim_config_shim_matches_repro_config(self):
+        from repro import config as top_level
+        from repro.sim import config as shim
+
+        assert shim.CMPConfig is top_level.CMPConfig
+        assert shim.DDR2_800 is top_level.DDR2_800
+
+
+class TestAccountingPolymorphism:
+    def test_all_techniques_share_the_interface(self):
+        from repro.core.base import AccountingTechnique
+
+        techniques = [
+            repro.GDPAccounting(), repro.GDPOAccounting(), repro.ITCAAccounting(),
+            repro.PTCAAccounting(), repro.ASMAccounting(n_cores=4),
+        ]
+        names = {technique.name for technique in techniques}
+        assert names == {"GDP", "GDP-O", "ITCA", "PTCA", "ASM"}
+        assert all(isinstance(technique, AccountingTechnique) for technique in techniques)
+
+    def test_estimate_all_convenience(self, tiny_config, small_trace):
+        from repro.sim.runner import run_private_mode
+
+        intervals = run_private_mode(small_trace, tiny_config,
+                                     interval_instructions=1_000).intervals
+        estimates = repro.GDPAccounting().estimate_all(intervals)
+        assert len(estimates) == len(intervals)
+        assert [estimate.interval_index for estimate in estimates] == [
+            interval.index for interval in intervals
+        ]
+
+    def test_all_policies_share_the_interface(self):
+        from repro.partitioning.base import PartitioningPolicy
+
+        policies = [
+            repro.LRUSharingPolicy(), repro.UCPPolicy(), repro.MCPPolicy(),
+            repro.MCPOPolicy(), repro.ASMPartitioningPolicy(n_cores=4),
+        ]
+        assert {policy.name for policy in policies} == {"LRU", "UCP", "MCP", "MCP-O", "ASM"}
+        assert all(isinstance(policy, PartitioningPolicy) for policy in policies)

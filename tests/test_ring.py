@@ -1,0 +1,87 @@
+"""Unit tests for the ring interconnect."""
+
+import pytest
+
+from repro.config import RingConfig
+from repro.interconnect.ring import RingInterconnect
+
+
+def make_ring(n_cores=4, n_banks=4, **overrides):
+    config = RingConfig(**overrides) if overrides else RingConfig()
+    return RingInterconnect(config, n_cores=n_cores, n_banks=n_banks)
+
+
+class TestHopCounts:
+    def test_hop_count_is_at_least_one(self):
+        ring = make_ring()
+        for core in range(4):
+            for bank in range(4):
+                assert ring.hop_count(core, bank) >= 1
+
+    def test_hop_count_uses_shortest_direction(self):
+        ring = make_ring(n_cores=4, n_banks=4)
+        stations = 8
+        for core in range(4):
+            for bank in range(4):
+                hops = ring.hop_count(core, bank)
+                assert hops <= stations // 2
+
+    def test_hop_count_symmetry_of_distance(self):
+        ring = make_ring()
+        assert ring.hop_count(0, 0) == ring.hop_count(0, 0)
+
+
+class TestTransfers:
+    def test_latency_proportional_to_hops(self):
+        ring = make_ring()
+        result = ring.transfer(core=0, bank=0, arrival=0.0)
+        assert result.latency == result.hops * ring.config.hop_latency
+
+    def test_uncontended_transfer_has_no_queue_wait(self):
+        ring = make_ring()
+        result = ring.transfer(core=0, bank=1, arrival=10.0)
+        assert result.queue_wait == 0.0
+        assert result.interference_wait == 0.0
+
+    def test_back_to_back_transfers_queue(self):
+        ring = make_ring()
+        first = ring.transfer(core=0, bank=0, arrival=0.0)
+        second = ring.transfer(core=1, bank=0, arrival=0.0)
+        assert second.start >= first.start + ring.config.link_occupancy * ring.config.hop_latency
+
+    def test_waiting_behind_other_core_is_interference(self):
+        ring = make_ring()
+        ring.transfer(core=0, bank=0, arrival=0.0)
+        blocked = ring.transfer(core=1, bank=0, arrival=0.0)
+        assert blocked.interference_wait > 0.0
+
+    def test_waiting_behind_own_traffic_is_not_interference(self):
+        ring = make_ring()
+        ring.transfer(core=0, bank=0, arrival=0.0)
+        queued = ring.transfer(core=0, bank=1, arrival=0.0)
+        assert queued.queue_wait > 0.0
+        assert queued.interference_wait == pytest.approx(0.0)
+
+    def test_request_and_response_paths_are_independent(self):
+        ring = make_ring()
+        ring.transfer(core=0, bank=0, arrival=0.0, response=False)
+        response = ring.transfer(core=0, bank=0, arrival=0.0, response=True)
+        assert response.queue_wait == 0.0
+
+    def test_multiple_request_rings_increase_throughput(self):
+        single = make_ring(request_rings=1)
+        dual = make_ring(request_rings=2)
+
+        def total_wait(ring):
+            return sum(ring.transfer(core=i % 4, bank=0, arrival=0.0).queue_wait for i in range(8))
+
+        assert total_wait(dual) < total_wait(single)
+
+    def test_statistics_reset(self):
+        ring = make_ring()
+        ring.transfer(core=0, bank=0, arrival=0.0)
+        ring.transfer(core=1, bank=0, arrival=0.0)
+        assert ring.transfers == 2
+        ring.reset_statistics()
+        assert ring.transfers == 0
+        assert ring.per_core_interference_cycles == {}

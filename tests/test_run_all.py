@@ -1,0 +1,45 @@
+"""Tests for the consolidated experiment runner CLI (repro.experiments.run_all)."""
+
+import json
+
+import pytest
+
+from repro.experiments import run_all as run_all_module
+from repro.experiments.run_all import SCALES, main, run_all
+
+
+class TestScales:
+    def test_three_scales_defined(self):
+        assert set(SCALES) == {"small", "medium", "large"}
+
+    def test_scales_are_ordered_by_size(self):
+        assert SCALES["small"]["instructions"] < SCALES["medium"]["instructions"] < SCALES["large"]["instructions"]
+        assert SCALES["small"]["workloads"] <= SCALES["medium"]["workloads"] <= SCALES["large"]["workloads"]
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            run_all("enormous")
+
+
+class TestMain:
+    def _tiny_summary(self, scale):
+        assert scale in SCALES
+        return {"scale": scale, "figure3_ipc_rms": {}, "elapsed_seconds": 0.0}
+
+    def test_main_writes_json(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setattr(run_all_module, "run_all", self._tiny_summary)
+        output = tmp_path / "summary.json"
+        main(["--scale", "small", "--json", str(output)])
+        written = json.loads(output.read_text())
+        assert written["scale"] == "small"
+        assert "results written" in capsys.readouterr().out
+
+    def test_main_rejects_unknown_scale(self, monkeypatch):
+        monkeypatch.setattr(run_all_module, "run_all", self._tiny_summary)
+        with pytest.raises(SystemExit):
+            main(["--scale", "galactic"])
+
+    def test_main_without_json_only_prints(self, monkeypatch, capsys):
+        monkeypatch.setattr(run_all_module, "run_all", self._tiny_summary)
+        main(["--scale", "medium"])
+        assert "results written" not in capsys.readouterr().out

@@ -1,0 +1,61 @@
+"""Tests for the sweep machinery and table formatting helpers."""
+
+import pytest
+
+from repro.experiments.sweep import AccuracySweep, SweepSettings, run_accuracy_sweep
+from repro.experiments.tables import format_cell_table, format_table
+
+
+class TestSweepSettings:
+    def test_defaults_cover_paper_matrix(self):
+        settings = SweepSettings()
+        assert settings.core_counts == (2, 4, 8)
+        assert settings.categories == ("H", "M", "L")
+
+    def test_sweep_runs_one_cell(self):
+        settings = SweepSettings(
+            core_counts=(2,),
+            categories=("L",),
+            workloads_per_category=1,
+            instructions_per_core=4_000,
+            interval_instructions=2_000,
+        )
+        sweep = run_accuracy_sweep(settings)
+        assert set(sweep.cells) == {(2, "L")}
+        results = sweep.results(2, "L")
+        assert len(results) == 1
+        assert len(results[0].benchmarks) == 2
+
+    def test_all_results_filters_by_core_count(self):
+        sweep = AccuracySweep(settings=SweepSettings())
+        sweep.cells[(2, "H")] = ["a"]
+        sweep.cells[(4, "H")] = ["b", "c"]
+        assert sweep.all_results(2) == ["a"]
+        assert len(sweep.all_results()) == 3
+
+    def test_results_of_missing_cell_is_empty(self):
+        sweep = AccuracySweep(settings=SweepSettings())
+        assert sweep.results(8, "H") == []
+
+
+class TestTableFormatting:
+    def test_format_table_pads_columns(self):
+        text = format_table(["name", "value"], [["x", 1], ["longer-name", 123.456]])
+        lines = text.splitlines()
+        assert len({line.index("value") == lines[0].index("value") for line in lines[:1]}) == 1
+        assert "longer-name" in lines[3]
+
+    def test_format_table_renders_floats_compactly(self):
+        text = format_table(["v"], [[0.123456789]])
+        assert "0.1235" in text
+
+    def test_format_cell_table_preserves_column_order(self):
+        cells = {"r1": {"beta": 1.0, "alpha": 2.0}, "r2": {"alpha": 3.0, "gamma": 4.0}}
+        text = format_cell_table(cells)
+        header = text.splitlines()[0]
+        assert header.index("beta") < header.index("alpha") < header.index("gamma")
+
+    def test_format_cell_table_fills_missing_cells_with_nan(self):
+        cells = {"r1": {"a": 1.0}, "r2": {"b": 2.0}}
+        text = format_cell_table(cells)
+        assert "nan" in text

@@ -1,0 +1,116 @@
+"""Unit tests for the synthetic benchmark generator."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.workloads.synthetic import (
+    SPEC_LIKE_BENCHMARKS,
+    BenchmarkSpec,
+    benchmark_names,
+    generate_trace,
+    get_benchmark,
+)
+from repro.workloads.trace import InstrKind
+
+KB = 1024
+
+
+class TestBenchmarkSpec:
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(TraceError):
+            BenchmarkSpec("x", "zigzag", 4 * KB).validate()
+
+    def test_tiny_footprint_rejected(self):
+        with pytest.raises(TraceError):
+            BenchmarkSpec("x", "stream", 8).validate()
+
+    def test_bad_fractions_rejected(self):
+        with pytest.raises(TraceError):
+            BenchmarkSpec("x", "stream", 4 * KB, dependency_fraction=1.5).validate()
+        with pytest.raises(TraceError):
+            BenchmarkSpec("x", "stream", 4 * KB, store_fraction=-0.1).validate()
+
+    def test_line_reuse_must_be_positive(self):
+        with pytest.raises(TraceError):
+            BenchmarkSpec("x", "stream", 4 * KB, line_reuse=0).validate()
+
+
+class TestTraceGeneration:
+    @pytest.mark.parametrize("pattern", ["stream", "pointer_chase", "blocked", "random", "compute", "phased"])
+    def test_every_pattern_generates_valid_traces(self, pattern):
+        spec = BenchmarkSpec("unit", pattern, 8 * KB, compute_per_load=3)
+        trace = generate_trace(spec, 2_000, seed=3)
+        trace.validate()
+        assert 2_000 <= len(trace) <= 2_200
+        assert trace.num_loads > 0
+
+    def test_generation_is_deterministic(self):
+        spec = get_benchmark("art_like")
+        first = generate_trace(spec, 3_000, seed=5)
+        second = generate_trace(spec, 3_000, seed=5)
+        assert first.addresses == second.addresses
+        assert first.kinds == second.kinds
+        assert first.deps == second.deps
+
+    def test_different_seeds_differ(self):
+        spec = get_benchmark("omnetpp_like")
+        first = generate_trace(spec, 3_000, seed=1)
+        second = generate_trace(spec, 3_000, seed=2)
+        assert first.addresses != second.addresses
+
+    def test_footprint_is_respected(self):
+        spec = BenchmarkSpec("bounded", "random", 8 * KB, compute_per_load=2)
+        trace = generate_trace(spec, 4_000, seed=1)
+        addresses = trace.load_addresses()
+        assert max(addresses) - min(addresses) <= 8 * KB
+
+    def test_pointer_chase_produces_dependent_loads(self):
+        spec = BenchmarkSpec("chase", "pointer_chase", 16 * KB, compute_per_load=2)
+        trace = generate_trace(spec, 2_000, seed=1)
+        dependent = sum(
+            1 for kind, dep in zip(trace.kinds, trace.deps) if kind == InstrKind.LOAD and dep >= 0
+        )
+        assert dependent > trace.num_loads * 0.4
+
+    def test_stream_produces_independent_loads(self):
+        spec = BenchmarkSpec("stream", "stream", 64 * KB, compute_per_load=2, store_fraction=0.0)
+        trace = generate_trace(spec, 2_000, seed=1)
+        assert all(dep == -1 for kind, dep in zip(trace.kinds, trace.deps) if kind == InstrKind.LOAD)
+
+    def test_compute_pattern_is_compute_heavy(self):
+        spec = BenchmarkSpec("cpu", "compute", 4 * KB, compute_per_load=20)
+        trace = generate_trace(spec, 4_000, seed=1)
+        assert trace.memory_intensity() < 0.1
+
+    def test_store_fraction_produces_stores(self):
+        spec = BenchmarkSpec("stores", "blocked", 8 * KB, compute_per_load=2, store_fraction=0.5)
+        trace = generate_trace(spec, 2_000, seed=1)
+        assert trace.num_stores > 0
+
+    def test_rejects_non_positive_length(self):
+        with pytest.raises(TraceError):
+            generate_trace(get_benchmark("art_like"), 0)
+
+
+class TestBuiltInSuite:
+    def test_suite_has_all_three_categories(self):
+        categories = {spec.expected_category for spec in SPEC_LIKE_BENCHMARKS.values()}
+        assert categories == {"H", "M", "L"}
+
+    def test_every_benchmark_spec_is_valid(self):
+        for spec in SPEC_LIKE_BENCHMARKS.values():
+            spec.validate()
+
+    def test_benchmark_names_sorted_and_complete(self):
+        names = benchmark_names()
+        assert names == sorted(names)
+        assert set(names) == set(SPEC_LIKE_BENCHMARKS)
+
+    def test_get_benchmark_unknown_name(self):
+        with pytest.raises(TraceError):
+            get_benchmark("does_not_exist")
+
+    def test_distinct_benchmarks_use_distinct_address_regions(self):
+        art = generate_trace(get_benchmark("art_like"), 1_000, seed=0)
+        lbm = generate_trace(get_benchmark("lbm_like"), 1_000, seed=0)
+        assert set(art.load_addresses()).isdisjoint(set(lbm.load_addresses()))

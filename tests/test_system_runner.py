@@ -1,0 +1,126 @@
+"""Unit tests for the CMP system co-simulation and the experiment runners."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.runner import build_trace, run_private_mode, run_shared_mode, run_workload
+from repro.sim.system import CMPSystem
+from repro.workloads.mixes import Workload
+
+from tests.conftest import simple_trace
+
+
+class TestCMPSystem:
+    def test_requires_traces(self, tiny_config):
+        with pytest.raises(SimulationError):
+            CMPSystem(tiny_config, {}, target_instructions=100)
+
+    def test_runs_all_cores_to_target(self, tiny_config):
+        traces = {0: simple_trace(100, base=1 << 22), 1: simple_trace(100, base=1 << 23)}
+        system = CMPSystem(tiny_config, traces, target_instructions=200)
+        result = system.run()
+        for core in traces:
+            assert result.cores[core].instructions == 200
+
+    def test_results_expose_benchmark_names(self, tiny_config):
+        traces = {0: simple_trace(50, base=1 << 22)}
+        system = CMPSystem(tiny_config, traces, target_instructions=50)
+        result = system.run()
+        assert result.cores[0].benchmark == "unit"
+
+    def test_periodic_hook_fires_at_expected_times(self, tiny_config):
+        traces = {0: simple_trace(400, compute_between=5, base=1 << 22)}
+        system = CMPSystem(tiny_config, traces, target_instructions=1_200)
+        fired = []
+        system.add_periodic_hook(200.0, lambda now, sim: fired.append(now))
+        system.run()
+        assert fired
+        assert fired == sorted(fired)
+        assert all(abs(time % 200.0) < 1e-9 for time in fired)
+
+    def test_hook_period_must_be_positive(self, tiny_config):
+        traces = {0: simple_trace(10, base=1 << 22)}
+        system = CMPSystem(tiny_config, traces, target_instructions=10)
+        with pytest.raises(SimulationError):
+            system.add_periodic_hook(0.0, lambda now, sim: None)
+
+    def test_global_time_advances(self, tiny_config):
+        traces = {0: simple_trace(100, base=1 << 22), 1: simple_trace(100, base=1 << 23)}
+        system = CMPSystem(tiny_config, traces, target_instructions=100)
+        result = system.run()
+        assert result.total_cycles > 0
+        assert result.total_cycles == pytest.approx(
+            max(core.cycles for core in result.cores.values()), rel=0.01
+        )
+
+    def test_cores_interleave_in_time(self, tiny_config):
+        """Both cores should make progress throughout the run, not one after the other."""
+        traces = {0: simple_trace(300, base=1 << 22), 1: simple_trace(300, base=1 << 23)}
+        system = CMPSystem(tiny_config, traces, target_instructions=300,
+                           interval_instructions=100)
+        result = system.run()
+        first_intervals = [result.cores[c].intervals[0] for c in traces]
+        # The first interval of both cores should overlap in simulated time.
+        starts = [interval.start_time for interval in first_intervals]
+        ends = [interval.end_time for interval in first_intervals]
+        assert max(starts) < min(ends)
+
+
+class TestRunners:
+    def test_private_mode_full_llc_by_default(self, tiny_config, small_trace):
+        result = run_private_mode(small_trace, tiny_config)
+        assert result.benchmark == small_trace.name
+        assert result.cpi > 0
+
+    def test_private_mode_with_restricted_ways_is_slower(self, tiny_config):
+        trace = build_trace("art_like", 10_000, seed=0)
+        full = run_private_mode(trace, tiny_config)
+        one_way = run_private_mode(trace, tiny_config, llc_ways=1)
+        assert one_way.cpi >= full.cpi
+
+    def test_private_mode_rejects_zero_ways(self, tiny_config, small_trace):
+        with pytest.raises(SimulationError):
+            run_private_mode(small_trace, tiny_config, llc_ways=0)
+
+    def test_shared_mode_slower_than_private_under_contention(self, tiny_config):
+        names = ["art_like", "sphinx3_like", "ammp_like", "lbm_like"]
+        traces = {core: build_trace(name, 6_000, seed=core) for core, name in enumerate(names)}
+        shared = run_shared_mode(traces, tiny_config, target_instructions=6_000)
+        for core, trace in traces.items():
+            private = run_private_mode(trace, tiny_config, core_id=core)
+            assert shared.cores[core].cpi >= private.cpi
+
+    def test_configure_system_hook_invoked(self, tiny_config):
+        traces = {0: simple_trace(50, base=1 << 22)}
+        seen = []
+        run_shared_mode(traces, tiny_config, target_instructions=50,
+                        configure_system=lambda system: seen.append(system))
+        assert len(seen) == 1
+        assert isinstance(seen[0], CMPSystem)
+
+    def test_run_workload_returns_stp_components(self, tiny_config):
+        workload = Workload(name="w", benchmarks=("art_like", "hmmer_like"), category="mix")
+        result = run_workload(workload, tiny_config, instructions_per_core=5_000,
+                              interval_instructions=2_500)
+        assert set(result.private) == {0, 1}
+        stp = result.system_throughput()
+        assert 0.0 < stp <= 2.0
+        for core in (0, 1):
+            assert result.slowdown(core) >= 1.0 or result.slowdown(core) == pytest.approx(1.0, rel=0.2)
+
+    def test_run_workload_can_skip_private_runs(self, tiny_config):
+        workload = Workload(name="w", benchmarks=("wrf_like", "gcc_like"), category="L")
+        result = run_workload(workload, tiny_config, instructions_per_core=3_000,
+                              run_private=False)
+        assert result.private == {}
+
+    def test_interval_counts_align_between_modes(self, tiny_config):
+        workload = Workload(name="w", benchmarks=("art_like", "bzip2_like"), category="mix")
+        result = run_workload(workload, tiny_config, instructions_per_core=6_000,
+                              interval_instructions=2_000)
+        for core in (0, 1):
+            shared_intervals = result.shared.cores[core].intervals
+            private_intervals = result.private[core].intervals
+            assert len(shared_intervals) == len(private_intervals)
+            for shared_interval, private_interval in zip(shared_intervals, private_intervals):
+                assert shared_interval.instructions == private_interval.instructions
