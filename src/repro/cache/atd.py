@@ -41,6 +41,15 @@ class AuxiliaryTagDirectory:
         self._sampled_indices = {stride * i for i in range(self.sampled_sets)}
         # Each sampled set is an LRU stack of tags (index 0 = MRU).
         self._stacks: dict[int, list[int]] = {index: [] for index in self._sampled_indices}
+        # Shift/mask address decomposition for power-of-two geometry, with a
+        # divmod fallback (mirrors SetAssociativeCache).
+        self._line_shift = self.line_bytes.bit_length() - 1
+        if self.num_llc_sets & (self.num_llc_sets - 1) == 0:
+            self._set_mask: int | None = self.num_llc_sets - 1
+            self._tag_shift = self._line_shift + (self.num_llc_sets.bit_length() - 1)
+        else:
+            self._set_mask = None
+            self._tag_shift = 0
         self.hit_position_histogram = [0.0] * self.associativity
         self.sampled_misses = 0.0
         self.sampled_accesses = 0.0
@@ -48,9 +57,13 @@ class AuxiliaryTagDirectory:
     # ------------------------------------------------------------------ geometry
 
     def set_index(self, address: int) -> int:
+        if self._set_mask is not None:
+            return (address >> self._line_shift) & self._set_mask
         return (address // self.line_bytes) % self.num_llc_sets
 
     def tag(self, address: int) -> int:
+        if self._set_mask is not None:
+            return address >> self._tag_shift
         return address // (self.line_bytes * self.num_llc_sets)
 
     def samples(self, address: int) -> bool:
@@ -70,23 +83,40 @@ class AuxiliaryTagDirectory:
         Returns True for an ATD hit, False for an ATD miss and None when the
         address does not map to a sampled set (in which case no state changes).
         """
-        index = self.set_index(address)
-        if index not in self._sampled_indices:
+        mask = self._set_mask
+        if mask is not None:
+            index = (address >> self._line_shift) & mask
+        else:
+            index = (address // self.line_bytes) % self.num_llc_sets
+        stack = self._stacks.get(index)
+        if stack is None:
             return None
-        tag = self.tag(address)
-        stack = self._stacks[index]
+        if mask is not None:
+            tag = address >> self._tag_shift
+        else:
+            tag = address // (self.line_bytes * self.num_llc_sets)
+        return self.access_sampled(stack, tag)
+
+    def access_sampled(self, stack: list[int], tag: int) -> bool:
+        """Record one access already known to map to the sampled ``stack``.
+
+        Hot-path entry point: the memory hierarchy computes the set index and
+        tag once (they are shared with the LLC lookup) and calls this only for
+        sampled sets.
+        """
         self.sampled_accesses += 1
-        if tag in stack:
+        try:
             position = stack.index(tag)
-            self.hit_position_histogram[position] += 1
-            stack.remove(tag)
+        except ValueError:
+            self.sampled_misses += 1
             stack.insert(0, tag)
-            return True
-        self.sampled_misses += 1
+            if len(stack) > self.associativity:
+                stack.pop()
+            return False
+        self.hit_position_histogram[position] += 1
+        del stack[position]
         stack.insert(0, tag)
-        if len(stack) > self.associativity:
-            stack.pop()
-        return False
+        return True
 
     def would_hit(self, address: int) -> bool | None:
         """Non-destructive probe: would the private-mode LLC hit this address?"""

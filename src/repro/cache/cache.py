@@ -4,6 +4,16 @@ The same class models the private L1/L2 caches (no partitioning) and the
 shared LLC.  For the shared LLC, lines are tagged with the owning core and the
 replacement policy can enforce per-core way quotas, which is how the paper's
 MCP/UCP/ASM partitioning policies are enforced in hardware.
+
+The line store is kept in flat parallel arrays (``tags``/``owners``/
+``last_use``/``dirty``, indexed by ``set * associativity + way``) rather than
+per-set lists of line objects: the cache sits on the per-instruction hot path
+of the simulation kernel, and flat arrays turn each access into a short slice
+scan with no attribute chasing.  Plain Python lists are used instead of
+``array('q')`` because CPython reads list elements without boxing, which is
+measurably faster for this access pattern.  Occupied ways are always the
+first ``_set_sizes[set]`` slots of a set: fills append to the first free slot
+and evictions overwrite the victim in place, so slots never fragment.
 """
 
 from __future__ import annotations
@@ -18,7 +28,12 @@ __all__ = ["CacheLine", "AccessOutcome", "SetAssociativeCache"]
 
 @dataclass
 class CacheLine:
-    """One cache line: tag, owning core and LRU age bookkeeping."""
+    """One cache line: tag, owning core and LRU age bookkeeping.
+
+    The simulation kernel stores lines in flat arrays; this record is the
+    element type :meth:`SetAssociativeCache.lines` materialises for
+    inspection and tests.
+    """
 
     tag: int
     owner: int
@@ -34,6 +49,12 @@ class AccessOutcome:
     evicted_tag: int | None = None
     evicted_owner: int | None = None
     evicted_dirty: bool = False
+
+
+# Shared immutable outcomes for the two allocation-free cases; the hot path
+# returns these singletons instead of constructing a dataclass per access.
+_HIT = AccessOutcome(hit=True)
+_MISS_NO_EVICTION = AccessOutcome(hit=False)
 
 
 class SetAssociativeCache:
@@ -58,22 +79,49 @@ class SetAssociativeCache:
         self.num_sets = config.num_sets
         self.associativity = config.associativity
         self.line_bytes = config.line_bytes
-        self._sets: list[list[CacheLine]] = [[] for _ in range(self.num_sets)]
+        # Power-of-two geometry gets shift/mask address decomposition
+        # (config.validate guarantees line_bytes is a power of two; the set
+        # count may not be, in which case set_index/tag fall back to divmod).
+        self._line_shift = config.line_bytes.bit_length() - 1
+        if self.num_sets & (self.num_sets - 1) == 0:
+            self._set_mask: int | None = self.num_sets - 1
+            self._tag_shift = self._line_shift + (self.num_sets.bit_length() - 1)
+        else:
+            self._set_mask = None
+            self._tag_shift = 0
+        total_slots = self.num_sets * self.associativity
+        # Flat parallel arrays indexed by set * associativity + way.
+        self._tags: list[int] = [-1] * total_slots
+        self._owners: list[int] = [-1] * total_slots
+        self._last_use: list[int] = [0] * total_slots
+        self._dirty: list[bool] = [False] * total_slots
+        # Number of occupied ways per set (occupied ways are slots [0, size)).
+        self._set_sizes: list[int] = [0] * self.num_sets
+        # Incrementally maintained per-core line counts (whole cache),
+        # indexed by core id and grown on demand.
+        self._core_occupancy: list[int] = []
         self._use_counter = 0
         self._allocation: dict[int, int] | None = None
         self.hits = 0
         self.misses = 0
-        self.per_core_hits: dict[int, int] = {}
-        self.per_core_misses: dict[int, int] = {}
+        # Per-core counters as dense lists indexed by core id (grown on
+        # demand); exposed as dicts through the properties below.
+        self._hits_by_core: list[int] = []
+        self._misses_by_core: list[int] = []
 
     # ------------------------------------------------------------------ geometry
 
     def set_index(self, address: int) -> int:
         """Map a byte address to its set index."""
+        mask = self._set_mask
+        if mask is not None:
+            return (address >> self._line_shift) & mask
         return (address // self.line_bytes) % self.num_sets
 
     def tag(self, address: int) -> int:
         """Map a byte address to its tag."""
+        if self._set_mask is not None:
+            return address >> self._tag_shift
         return address // (self.line_bytes * self.num_sets)
 
     def bank_index(self, address: int) -> int:
@@ -114,97 +162,269 @@ class SetAssociativeCache:
         """Return True when the address currently hits, without updating state."""
         index = self.set_index(address)
         tag = self.tag(address)
-        return any(line.tag == tag for line in self._sets[index])
+        base = index * self.associativity
+        try:
+            self._tags.index(tag, base, base + self._set_sizes[index])
+            return True
+        except ValueError:
+            return False
 
     def access(self, address: int, core: int = 0, is_store: bool = False) -> AccessOutcome:
         """Perform an access: update LRU state, allocate on miss, return the outcome."""
-        self._use_counter += 1
-        index = self.set_index(address)
-        tag = self.tag(address)
-        cache_set = self._sets[index]
-        for line in cache_set:
-            if line.tag == tag:
-                line.last_use = self._use_counter
-                if is_store:
-                    line.dirty = True
-                self.hits += 1
-                self.per_core_hits[core] = self.per_core_hits.get(core, 0) + 1
-                return AccessOutcome(hit=True)
-        self.misses += 1
-        self.per_core_misses[core] = self.per_core_misses.get(core, 0) + 1
-        outcome = self._fill(index, tag, core, is_store)
-        return outcome
+        counter = self._use_counter + 1
+        self._use_counter = counter
+        mask = self._set_mask
+        if mask is not None:
+            index = (address >> self._line_shift) & mask
+            tag = address >> self._tag_shift
+        else:
+            index = (address // self.line_bytes) % self.num_sets
+            tag = address // (self.line_bytes * self.num_sets)
+        base = index * self.associativity
+        # list.index scans at C speed; a tag can appear at most once per set.
+        try:
+            slot = self._tags.index(tag, base, base + self._set_sizes[index])
+        except ValueError:
+            self.misses += 1
+            by_core = self._misses_by_core
+            try:
+                by_core[core] += 1
+            except IndexError:
+                self._grow_core_counters(core)
+                self._misses_by_core[core] += 1
+            return self._fill(index, tag, core, is_store)
+        self._last_use[slot] = counter
+        if is_store:
+            self._dirty[slot] = True
+        self.hits += 1
+        by_core = self._hits_by_core
+        try:
+            by_core[core] += 1
+        except IndexError:
+            self._grow_core_counters(core)
+            self._hits_by_core[core] += 1
+        return _HIT
 
-    def _fill(self, index: int, tag: int, core: int, is_store: bool) -> AccessOutcome:
-        cache_set = self._sets[index]
-        new_line = CacheLine(tag=tag, owner=core, last_use=self._use_counter, dirty=is_store)
+    def access_hit(self, address: int, core: int = 0, is_store: bool = False) -> bool:
+        """Hot-path access: same state update as :meth:`access`, returns only
+        the hit flag and never materialises an :class:`AccessOutcome`.
+
+        Partition-aware fills share :meth:`_fill` (minus the outcome); the
+        unpartitioned case — private L1/L2 and the LLC whenever no allocation
+        is installed — is fully inlined.  Unlike :meth:`access`, only the
+        aggregate hit/miss counters are maintained (no per-core statistics),
+        which nothing on the simulation path consumes.
+        """
+        counter = self._use_counter + 1
+        self._use_counter = counter
+        mask = self._set_mask
+        if mask is not None:
+            index = (address >> self._line_shift) & mask
+            tag = address >> self._tag_shift
+        else:
+            index = (address // self.line_bytes) % self.num_sets
+            tag = address // (self.line_bytes * self.num_sets)
+        assoc = self.associativity
+        base = index * assoc
+        tags = self._tags
+        size = self._set_sizes[index]
+        # Hit scan.  Two-way sets (the L1s) compare both ways directly; wider
+        # sets use a membership test before index — misses dominate in the
+        # scaled-down hierarchy and a failed ``in`` is far cheaper than a
+        # raised ValueError from list.index.
+        slot = -1
+        if assoc == 2:
+            if size != 0:
+                if tags[base] == tag:
+                    slot = base
+                elif size == 2 and tags[base + 1] == tag:
+                    slot = base + 1
+        else:
+            segment = tags[base:base + size]
+            if tag in segment:
+                slot = base + segment.index(tag)
+        if slot >= 0:
+            self._last_use[slot] = counter
+            if is_store:
+                self._dirty[slot] = True
+            self.hits += 1
+            return True
+        self.misses += 1
+        if self._allocation is not None:
+            self._fill(index, tag, core, is_store, want_outcome=False)
+            return False
+        occupancy = self._core_occupancy
+        if size < assoc:
+            slot = base + size
+            self._set_sizes[index] = size + 1
+        else:
+            ages = self._last_use[base:base + assoc]
+            slot = base + ages.index(min(ages))
+            occupancy[self._owners[slot]] -= 1
+        try:
+            occupancy[core] += 1
+        except IndexError:
+            occupancy.extend([0] * (core + 1 - len(occupancy)))
+            occupancy[core] += 1
+        tags[slot] = tag
+        self._owners[slot] = core
+        self._last_use[slot] = counter
+        self._dirty[slot] = is_store
+        return False
+
+    def _grow_core_counters(self, core: int) -> None:
+        if core < 0:
+            raise ConfigurationError("core ids cannot be negative")
+        grow_by = core + 1 - len(self._hits_by_core)
+        self._hits_by_core.extend([0] * grow_by)
+        self._misses_by_core.extend([0] * grow_by)
+
+    def _fill(self, index: int, tag: int, core: int, is_store: bool,
+              want_outcome: bool = True) -> AccessOutcome | None:
+        assoc = self.associativity
+        base = index * assoc
+        size = self._set_sizes[index]
+        occupancy = self._core_occupancy
         quota = None
         if self.partitioned and self._allocation is not None:
-            quota = max(1, self._allocation.get(core, self.associativity))
-        own_lines = sum(1 for line in cache_set if line.owner == core) if quota is not None else 0
-        within_quota = quota is None or own_lines < quota
-        if len(cache_set) < self.associativity and within_quota:
-            cache_set.append(new_line)
-            return AccessOutcome(hit=False)
-        victim = self._select_victim(cache_set, core)
-        evicted = AccessOutcome(
-            hit=False,
-            evicted_tag=victim.tag,
-            evicted_owner=victim.owner,
-            evicted_dirty=victim.dirty,
-        )
-        cache_set.remove(victim)
-        cache_set.append(new_line)
+            quota = self._allocation.get(core, assoc)
+            if quota < 1:
+                quota = 1
+        if size < assoc:
+            within_quota = (
+                quota is None
+                or self._owners[base:base + size].count(core) < quota
+            )
+            if within_quota:
+                slot = base + size
+                self._tags[slot] = tag
+                self._owners[slot] = core
+                self._last_use[slot] = self._use_counter
+                self._dirty[slot] = is_store
+                self._set_sizes[index] = size + 1
+                try:
+                    occupancy[core] += 1
+                except IndexError:
+                    occupancy.extend([0] * (core + 1 - len(occupancy)))
+                    occupancy[core] += 1
+                return _MISS_NO_EVICTION
+        victim = self._select_victim(base, size, core, quota)
+        owners = self._owners
+        evicted = None
+        if want_outcome:
+            evicted = AccessOutcome(
+                hit=False,
+                evicted_tag=self._tags[victim],
+                evicted_owner=owners[victim],
+                evicted_dirty=self._dirty[victim],
+            )
+        occupancy[owners[victim]] -= 1
+        try:
+            occupancy[core] += 1
+        except IndexError:
+            occupancy.extend([0] * (core + 1 - len(occupancy)))
+            occupancy[core] += 1
+        self._tags[victim] = tag
+        owners[victim] = core
+        self._last_use[victim] = self._use_counter
+        self._dirty[victim] = is_store
         return evicted
 
-    def _select_victim(self, cache_set: list[CacheLine], core: int) -> CacheLine:
-        """Pick an eviction victim: plain LRU, or partition-aware LRU."""
-        if not self.partitioned or self._allocation is None:
-            return min(cache_set, key=lambda line: line.last_use)
+    def _select_victim(self, base: int, size: int, core: int, quota: int | None) -> int:
+        """Pick an eviction victim slot: plain LRU, or partition-aware LRU."""
+        last_use = self._last_use
+        end = base + size
+        if quota is None:
+            # Plain LRU over the occupied slots.  ``last_use`` values are
+            # unique (one global counter per access), so the minimum slot is
+            # the unambiguous LRU line.  min + index both scan at C speed.
+            ages = last_use[base:end]
+            return base + ages.index(min(ages))
         allocation = self._allocation
-        quota = max(1, allocation.get(core, self.associativity))
-        occupancy: dict[int, int] = {}
-        for line in cache_set:
-            occupancy[line.owner] = occupancy.get(line.owner, 0) + 1
-        own_lines = [line for line in cache_set if line.owner == core]
-        if len(own_lines) >= quota:
+        owners = self._owners[base:end]
+        ages = last_use[base:end]
+        own_count = owners.count(core)
+        own_victim = -1
+        if own_count:
+            own_best = 0
+            for position, owner in enumerate(owners):
+                if owner == core:
+                    age = ages[position]
+                    if own_victim < 0 or age < own_best:
+                        own_best = age
+                        own_victim = position
+        if own_count >= quota:
             # The requesting core is at (or above) its quota: recycle its own
             # LRU line so it never exceeds the allocation.
-            return min(own_lines, key=lambda line: line.last_use)
+            return base + own_victim
         # The requesting core is below its quota: take a line from a core that
         # exceeds its own quota (preferring the most over-allocated), falling
-        # back to global LRU if nobody is over quota.
-        over_allocated = [
-            line
-            for line in cache_set
-            if line.owner != core
-            and occupancy.get(line.owner, 0) > allocation.get(line.owner, 0)
-        ]
-        if over_allocated:
-            return min(over_allocated, key=lambda line: line.last_use)
-        if len(cache_set) < self.associativity:
+        # back to global LRU if nobody is over quota.  Distinct owners per set
+        # are few, so per-owner occupancy uses C-speed list.count.
+        over_owners = set()
+        checked = {core}
+        for owner in owners:
+            if owner not in checked:
+                checked.add(owner)
+                if owners.count(owner) > allocation.get(owner, 0):
+                    over_owners.add(owner)
+        if over_owners:
+            over_victim = -1
+            over_best = 0
+            for position, owner in enumerate(owners):
+                if owner in over_owners:
+                    age = ages[position]
+                    if over_victim < 0 or age < over_best:
+                        over_best = age
+                        over_victim = position
+            return base + over_victim
+        if size < self.associativity:
             # Nobody is over quota and there is still free space: the caller
             # only reaches this when the requester hit its own quota, so this
             # branch recycles the requester's LRU line.
-            return min(own_lines, key=lambda line: line.last_use) if own_lines else min(
-                cache_set, key=lambda line: line.last_use
-            )
-        return min(cache_set, key=lambda line: line.last_use)
+            if own_victim >= 0:
+                return base + own_victim
+        return base + ages.index(min(ages))
 
     # ------------------------------------------------------------------ statistics
 
+    @property
+    def per_core_hits(self) -> dict[int, int]:
+        """Hits per core (cores that have accessed the cache)."""
+        return {core: count for core, count in enumerate(self._hits_by_core) if count}
+
+    @property
+    def per_core_misses(self) -> dict[int, int]:
+        """Misses per core (cores that have accessed the cache)."""
+        return {core: count for core, count in enumerate(self._misses_by_core) if count}
+
     def occupancy(self, core: int) -> int:
-        """Total number of lines currently owned by ``core``."""
-        return sum(
-            1 for cache_set in self._sets for line in cache_set if line.owner == core
-        )
+        """Total number of lines currently owned by ``core`` (O(1))."""
+        counts = self._core_occupancy
+        return counts[core] if core < len(counts) else 0
 
     def set_occupancy(self, index: int) -> dict[int, int]:
-        """Per-core line counts for one set."""
+        """Per-core line counts for one set (O(associativity))."""
         counts: dict[int, int] = {}
-        for line in self._sets[index]:
-            counts[line.owner] = counts.get(line.owner, 0) + 1
+        owners = self._owners
+        base = index * self.associativity
+        for slot in range(base, base + self._set_sizes[index]):
+            owner = owners[slot]
+            counts[owner] = counts.get(owner, 0) + 1
         return counts
+
+    def lines(self, index: int) -> list[CacheLine]:
+        """Materialise the occupied lines of one set (inspection/testing aid)."""
+        base = index * self.associativity
+        return [
+            CacheLine(
+                tag=self._tags[slot],
+                owner=self._owners[slot],
+                last_use=self._last_use[slot],
+                dirty=self._dirty[slot],
+            )
+            for slot in range(base, base + self._set_sizes[index])
+        ]
 
     def miss_rate(self) -> float:
         total = self.hits + self.misses
@@ -213,9 +433,19 @@ class SetAssociativeCache:
     def reset_statistics(self) -> None:
         self.hits = 0
         self.misses = 0
-        self.per_core_hits.clear()
-        self.per_core_misses.clear()
+        self._hits_by_core = []
+        self._misses_by_core = []
 
     def flush(self) -> None:
-        """Invalidate every line (used between experiments)."""
-        self._sets = [[] for _ in range(self.num_sets)]
+        """Invalidate every line (used between experiments).
+
+        Arrays are cleared in place: the memory hierarchy hoists references
+        to them for its hot path, and those must stay valid across a flush.
+        """
+        total_slots = self.num_sets * self.associativity
+        self._tags[:] = [-1] * total_slots
+        self._owners[:] = [-1] * total_slots
+        self._last_use[:] = [0] * total_slots
+        self._dirty[:] = [False] * total_slots
+        self._set_sizes[:] = [0] * self.num_sets
+        self._core_occupancy[:] = []

@@ -71,6 +71,12 @@ class CacheConfig:
     def validate(self) -> None:
         if self.size_bytes <= 0 or self.associativity <= 0 or self.line_bytes <= 0:
             raise ConfigurationError("cache size, associativity and line size must be positive")
+        if self.line_bytes & (self.line_bytes - 1) != 0:
+            # Hardware line sizes are powers of two; the simulation kernel
+            # additionally relies on this to decompose addresses with
+            # shift/mask operations (the set count may still be arbitrary,
+            # for which the caches keep a divmod fallback).
+            raise ConfigurationError("cache line size must be a power of two")
         if self.num_lines % self.associativity != 0:
             raise ConfigurationError("cache size must be divisible by associativity * line size")
         if self.num_sets <= 0:

@@ -88,34 +88,45 @@ class CPLEstimator:
         If it is not in the PRB the stall is treated as a PMS-stall and the
         CPL is unaffected.
         """
-        stalling_entry = self.prb.find(stalling_address)
+        prb = self.prb
+        stalling_entry = prb.find(stalling_address)
         if stalling_entry is None:
             return
-        self.pcb.mark_stalled(stall_start)
+        pcb = self.pcb
+        pcb.mark_stalled(stall_start)
 
         # Step 1: complete the commit period that just ended.  Requests that
         # completed before the stall are its parents; its depth is the maximum
         # of their depths, and its children (requests issued while it ran)
-        # sit one level deeper.
-        ended_period_depth = self.pcb.depth
-        for entry in self.prb.completed_entries():
-            if entry is stalling_entry:
-                continue
-            if entry.completed_at <= stall_start:
-                ended_period_depth = max(ended_period_depth, entry.depth)
-                self.prb.invalidate(entry)
-        for child in self.pcb.valid_children():
-            child.depth = ended_period_depth + 1
-        self.pcb.depth = ended_period_depth
+        # sit one level deeper.  Entries completing after the stall belong to
+        # step 2; they are collected in the same pass over the buffer.
+        ended_period_depth = pcb.depth
+        invalidate = prb.invalidate
+        late_completions: list = []
+        for entry in prb._entries:
+            if entry.valid and entry.completed and entry is not stalling_entry:
+                if entry.completed_at <= stall_start:
+                    if entry.depth > ended_period_depth:
+                        ended_period_depth = entry.depth
+                    invalidate(entry)
+                else:
+                    late_completions.append(entry)
+        child_depth = ended_period_depth + 1
+        for child in pcb.children:
+            if child.valid:
+                child.depth = child_depth
+        pcb.depth = ended_period_depth
 
         # Step 2: initialise the new commit period that starts at resume time.
         new_depth = stalling_entry.depth
-        self.prb.invalidate(stalling_entry)
-        for entry in self.prb.completed_entries():
-            new_depth = max(new_depth, entry.depth)
-            self.prb.invalidate(entry)
-        self.pcb.start_new_period(depth=new_depth, started_at=resume_time)
-        self._cpl_snapshot = max(self._cpl_snapshot, new_depth)
+        invalidate(stalling_entry)
+        for entry in late_completions:
+            if entry.depth > new_depth:
+                new_depth = entry.depth
+            invalidate(entry)
+        pcb.start_new_period(depth=new_depth, started_at=resume_time)
+        if new_depth > self._cpl_snapshot:
+            self._cpl_snapshot = new_depth
 
     # ------------------------------------------------------------------ retrieval
 
@@ -151,18 +162,25 @@ class CPLEstimator:
         feeds them to the estimator in the order the hardware would have seen
         them (completions before the commit-resume they trigger).
         """
-        events: list[tuple[float, int, object]] = []
+        # Events sort by (time, priority); the running sequence number keeps
+        # the sort stable on full ties without ever comparing the payloads
+        # (records do not define an ordering).  The priority doubles as the
+        # event kind: 0 = completion, 1 = commit resume, 2 = issue.
+        events: list[tuple[float, int, int, object]] = []
+        sequence = 0
         for load in loads:
-            events.append((load.issue_time, 2, ("issue", load)))
-            events.append((load.completion_time, 0, ("complete", load)))
+            events.append((load.issue_time, 2, sequence, load))
+            events.append((load.completion_time, 0, sequence + 1, load))
+            sequence += 2
         for stall in stalls:
             if stall.load_address is not None:
-                events.append((stall.end, 1, ("resume", stall)))
-        events.sort(key=lambda item: (item[0], item[1]))
-        for _, _, (kind, payload) in events:
-            if kind == "issue":
+                events.append((stall.end, 1, sequence, stall))
+                sequence += 1
+        events.sort()
+        for _, kind, _, payload in events:
+            if kind == 2:
                 self.on_load_issued(payload.address, payload.issue_time)
-            elif kind == "complete":
+            elif kind == 0:
                 self.on_load_completed(
                     payload.address,
                     payload.completion_time,
@@ -175,6 +193,20 @@ class CPLEstimator:
 
 
 def estimate_interval_cpl(interval: IntervalStats, prb_entries: int | None = 32) -> CPLResult:
-    """Convenience wrapper: estimate the CPL of one recorded interval."""
-    estimator = CPLEstimator(prb_entries=prb_entries)
-    return estimator.replay(interval.loads, interval.stalls)
+    """Convenience wrapper: estimate the CPL of one recorded interval.
+
+    The replay is a pure function of the interval's (immutable once the
+    interval is closed) event lists and the PRB size, and several consumers —
+    GDP, GDP-O, the Figure 5 component analysis, the MCP policies — replay
+    the same interval.  The result is therefore memoised on the interval.
+    """
+    cache = getattr(interval, "_cpl_cache", None)
+    if cache is None:
+        cache = {}
+        interval._cpl_cache = cache
+    result = cache.get(prb_entries)
+    if result is None:
+        estimator = CPLEstimator(prb_entries=prb_entries)
+        result = estimator.replay(interval.loads, interval.stalls)
+        cache[prb_entries] = result
+    return result

@@ -20,7 +20,7 @@ requests, so they add no performance overhead to the running applications.
 from __future__ import annotations
 
 from repro.core.base import AccountingTechnique, PrivateModeEstimate
-from repro.core.cpl import CPLEstimator
+from repro.core.cpl import estimate_interval_cpl
 from repro.core.performance_model import (
     components_from_interval,
     estimate_other_stalls,
@@ -46,9 +46,7 @@ class GDPAccounting(AccountingTechnique):
     def estimate(self, interval: IntervalStats) -> PrivateModeEstimate:
         """Estimate private-mode performance for one shared-mode interval."""
         components = components_from_interval(interval)
-        cpl_result = CPLEstimator(prb_entries=self.prb_entries).replay(
-            interval.loads, interval.stalls
-        )
+        cpl_result = estimate_interval_cpl(interval, prb_entries=self.prb_entries)
         latency = self.latency_estimator.estimate(interval)
         private_latency = latency.private_latency
 

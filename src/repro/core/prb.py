@@ -29,7 +29,7 @@ _OVERLAP_BITS = 14
 _FLAG_BITS = 2  # Completed + Valid
 
 
-@dataclass
+@dataclass(slots=True)
 class PRBEntry:
     """One PRB entry (one in-flight or recently completed SMS-load)."""
 
@@ -54,11 +54,14 @@ class PendingRequestBuffer:
             raise AccountingError("the PRB needs a positive capacity (or None for unlimited)")
         self.capacity = capacity
         self._entries: list[PRBEntry] = []
+        # Invalidated entries are removed lazily (compacting on every insert
+        # would rebuild the list per request); this tracks the live count.
+        self._valid_count = 0
         self.evictions = 0
         self.insertions = 0
 
     def __len__(self) -> int:
-        return sum(1 for entry in self._entries if entry.valid)
+        return self._valid_count
 
     def __iter__(self):
         return (entry for entry in self._entries if entry.valid)
@@ -67,11 +70,17 @@ class PendingRequestBuffer:
 
     def insert(self, address: int, depth: int = 0) -> PRBEntry:
         """Algorithm 1: add a request, evicting the oldest pending one if full."""
-        self._compact()
-        if self.capacity is not None and len(self._entries) >= self.capacity:
-            self._evict_oldest()
+        capacity = self.capacity
+        if capacity is not None:
+            if self._valid_count >= capacity:
+                self._evict_oldest()
+            if len(self._entries) >= 2 * capacity:
+                self._compact()
+        elif len(self._entries) > 64 and len(self._entries) > 2 * self._valid_count:
+            self._compact()
         entry = PRBEntry(address=address, depth=depth)
         self._entries.append(entry)
+        self._valid_count += 1
         self.insertions += 1
         return entry
 
@@ -83,7 +92,9 @@ class PendingRequestBuffer:
         return None
 
     def invalidate(self, entry: PRBEntry) -> None:
-        entry.valid = False
+        if entry.valid:
+            entry.valid = False
+            self._valid_count -= 1
 
     # ------------------------------------------------------------------ queries used by Algorithm 3
 
@@ -97,23 +108,22 @@ class PendingRequestBuffer:
 
     def clear(self) -> None:
         self._entries.clear()
+        self._valid_count = 0
 
     # ------------------------------------------------------------------ internals
 
     def _evict_oldest(self) -> None:
         for entry in self._entries:
             if entry.valid and not entry.completed:
-                entry.valid = False
+                self.invalidate(entry)
                 self.evictions += 1
-                self._compact()
                 return
         # Everything is completed; drop the oldest completed entry instead.
         for entry in self._entries:
             if entry.valid:
-                entry.valid = False
+                self.invalidate(entry)
                 self.evictions += 1
                 break
-        self._compact()
 
     def _compact(self) -> None:
         self._entries = [entry for entry in self._entries if entry.valid]
@@ -130,5 +140,5 @@ class PendingRequestBuffer:
 
     def storage_bits(self, with_overlap: bool = False) -> int:
         """Total PRB storage in bits for the configured capacity."""
-        capacity = self.capacity if self.capacity is not None else len(self._entries)
+        capacity = self.capacity if self.capacity is not None else self._valid_count
         return capacity * self.entry_bits(with_overlap)

@@ -15,17 +15,22 @@ paper's accounting techniques depend on without cycle-stepping:
 
 The core records the event stream (L1-miss loads, commit stalls) that the
 accounting layer replays, and buckets statistics per estimate interval.
+
+The per-instruction work is done inside :meth:`OutOfOrderCore.step_until`,
+a batched loop that keeps all mutable state in local variables and only
+writes it back when the batch ends (at a co-simulation deadline, a periodic
+hook boundary, or completion).  :meth:`step` is a one-instruction batch.
 """
 
 from __future__ import annotations
-
-from dataclasses import dataclass
 
 from repro.cpu.events import CommitStall, IntervalStats, LoadRecord, StallCause, annotate_overlap
 from repro.errors import SimulationError
 from repro.mem.hierarchy import MemoryHierarchy
 from repro.config import CMPConfig
 from repro.workloads.trace import InstrKind, Trace
+
+from dataclasses import dataclass
 
 __all__ = ["CoreProgress", "OutOfOrderCore"]
 
@@ -35,6 +40,8 @@ __all__ = ["CoreProgress", "OutOfOrderCore"]
 # instructions, as they would in reality.
 _LONG_OP_PERIOD = 24
 _LONG_OP_LATENCY = 12
+
+_INFINITY = float("inf")
 
 
 @dataclass(frozen=True)
@@ -52,10 +59,17 @@ class OutOfOrderCore:
 
     def __init__(self, core_id: int, trace: Trace, config: CMPConfig,
                  hierarchy: MemoryHierarchy, target_instructions: int | None = None,
-                 interval_instructions: int | None = None):
+                 interval_instructions: int | None = None, record_events: bool = True):
         if len(trace) == 0:
             raise SimulationError("cannot run an empty trace")
         self.core_id = core_id
+        # When False, per-event records (LoadRecord / CommitStall lists) are
+        # not materialised: all timing, stall-cycle sums, hierarchy counters
+        # and per-epoch buckets are still maintained, so results that read
+        # only aggregates are bit-identical.  Ground-truth private-mode runs
+        # and policies that act on aggregates use this to skip a large
+        # allocation cost.
+        self.record_events = record_events
         self.trace = trace
         self.config = config
         self.hierarchy = hierarchy
@@ -77,9 +91,13 @@ class OutOfOrderCore:
         self._last_commit = 0.0
         self._trace_position = 0
         self._committed = 0
-        # Completion time of each load, indexed by trace position, for
-        # load-to-load dependencies.  Only recent entries are retained.
-        self._load_completion: dict[int, float] = {}
+        # Completion time of recent loads, for load-to-load dependencies.
+        # A fixed-size ring keyed by ``position % ring_size``; each slot
+        # remembers which absolute trace position it holds so stale entries
+        # are detected on lookup instead of being pruned eagerly.
+        self._dep_ring_size = 4 * self._rob_entries
+        self._dep_ring_position = [-1] * self._dep_ring_size
+        self._dep_ring_completion = [0.0] * self._dep_ring_size
 
         self.intervals: list[IntervalStats] = []
         self._interval = self._new_interval(index=0, start_time=0.0)
@@ -110,135 +128,254 @@ class OutOfOrderCore:
 
     def step(self) -> None:
         """Process one instruction."""
+        self.step_until(max_instructions=1)
+
+    # ------------------------------------------------------------------ simulation kernel
+
+    def step_until(self, time_limit: float = _INFINITY, hook_limit: float = _INFINITY,
+                   max_instructions: int | None = None) -> None:
+        """Process instructions in a tight batch.
+
+        At least one instruction is processed (matching the behaviour of the
+        former one-instruction ``step`` under the co-simulation heap); the
+        batch then continues while the next dispatch estimate stays below
+        ``time_limit`` and the commit time stays below ``hook_limit`` (the
+        next periodic-hook boundary).  All per-instruction state lives in
+        locals and is written back once when the batch ends.
+        """
         if self.finished:
             return
-        position = self._trace_position % len(self.trace)
-        kind = self.trace.kinds[position]
-        address = self.trace.addresses[position]
-        dep = self.trace.deps[position]
+        # ---- hoist instance state into locals (the entire point of batching)
+        trace = self.trace
+        kinds = trace.kinds
+        addresses = trace.addresses
+        deps = trace.deps
+        trace_length = len(kinds)
+        dispatch_interval = self._dispatch_interval
+        commit_interval = self._commit_interval
+        rob_entries = self._rob_entries
+        compute_latency = self._compute_latency
+        long_latency = float(_LONG_OP_LATENCY)
+        commit_window = self._commit_window
+        last_dispatch = self._last_dispatch
+        last_commit = self._last_commit
+        position = self._trace_position
+        committed = self._committed
+        interval_instructions = self.interval_instructions
+        target = self.target_instructions
+        epoch_cycles = self.epoch_cycles
+        core_id = self.core_id
+        hierarchy = self.hierarchy
+        load_fast = hierarchy.load_fast
+        store_fast = hierarchy.store_fast
+        ring_size = self._dep_ring_size
+        ring_position = self._dep_ring_position
+        ring_completion = self._dep_ring_completion
+        recording = self.record_events
+        interval = self._interval
+        interval_loads = interval.loads
+        interval_stalls = interval.stalls
+        cause_sms = StallCause.SMS_LOAD
+        cause_pms = StallCause.PMS_LOAD
+        cause_independent = StallCause.INDEPENDENT
+        cause_other = StallCause.OTHER
+        kind_compute = InstrKind.COMPUTE
+        kind_store = InstrKind.STORE
+        kind_load = InstrKind.LOAD
+        # Epoch bucketing cache: consecutive commits usually land in the same
+        # ASM epoch, so batch the per-epoch instruction count locally and
+        # flush it into the interval dict when the epoch (or batch) ends.
+        epoch_index = -1
+        epoch_count = 0
+        epoch_boundary = 0.0
+        window_index = position % rob_entries
+        trace_offset = position % trace_length
+        # Counters replacing per-instruction modulo arithmetic.  ``committed``
+        # and ``position`` always advance in lockstep, so the loop tracks only
+        # ``position`` and recovers the commit count from the fixed offset.
+        long_op_countdown = (-position) % _LONG_OP_PERIOD
+        interval_countdown = interval_instructions - (committed % interval_instructions)
+        position_offset = position - committed
+        start_position = position
+        stop_position = position_offset + target
+        max_stop = position + max_instructions if max_instructions is not None else -1
+        finished = False
 
-        dispatch = self.next_event_time()
-        self._last_dispatch = dispatch
+        while True:
+            dispatch = last_dispatch + dispatch_interval
+            oldest_commit = commit_window[window_index]
+            if oldest_commit > dispatch:
+                dispatch = oldest_commit
+            if dispatch >= time_limit and position != start_position:
+                break
+            kind = kinds[trace_offset]
+            if kind == kind_compute:
+                if long_op_countdown == 0:
+                    ready = dispatch + long_latency
+                else:
+                    ready = dispatch + compute_latency
+            elif kind == kind_store:
+                # The store buffer hides store latency from commit; the access
+                # still updates cache state through the hierarchy.
+                store_fast(core_id, addresses[trace_offset], dispatch)
+                ready = dispatch + compute_latency
+            else:  # load
+                address = addresses[trace_offset]
+                issue = dispatch
+                dep = deps[trace_offset]
+                if dep >= 0:
+                    # Dependencies refer to positions in the (possibly
+                    # repeated) trace; map them into the current repetition,
+                    # falling back to the previous one around a restart.
+                    candidate = position - trace_offset + dep
+                    slot = candidate % ring_size
+                    if ring_position[slot] == candidate:
+                        dep_completion = ring_completion[slot]
+                        if dep_completion > issue:
+                            issue = dep_completion
+                    else:
+                        candidate -= trace_length
+                        if candidate >= 0:
+                            slot = candidate % ring_size
+                            if ring_position[slot] == candidate:
+                                dep_completion = ring_completion[slot]
+                                if dep_completion > issue:
+                                    issue = dep_completion
+                ready, info = load_fast(core_id, address, issue)
+                slot = position % ring_size
+                ring_position[slot] = position
+                ring_completion[slot] = ready
+                if info is None:
+                    # L1 hits never enter the PRB and cannot cause visible
+                    # SMS stalls.
+                    record = None
+                    sms_load = False
+                else:
+                    sms_load = info[0]
+                    record = None
+                    if recording:
+                        is_sms, latency, interference, llc_hit, interference_miss = info
+                        record = LoadRecord(
+                            instr_index=position,
+                            address=address,
+                            issue_time=issue,
+                            completion_time=ready,
+                            is_sms=is_sms,
+                            latency=latency,
+                            interference_cycles=interference,
+                            llc_hit=llc_hit,
+                            interference_miss=interference_miss,
+                        )
+                        interval_loads.append(record)
 
-        if kind == InstrKind.COMPUTE:
-            ready, cause, load_record = self._execute_compute(dispatch)
-        elif kind == InstrKind.STORE:
-            ready, cause, load_record = self._execute_store(dispatch, address)
-        else:
-            ready, cause, load_record = self._execute_load(dispatch, address, dep)
+            # ---- commit (in-order, at the pipeline width)
+            earliest = last_commit + commit_interval
+            if ready > earliest:
+                commit_time = ready
+                gap = commit_time - earliest
+                if gap > 1e-9:
+                    # The portion of the gap beyond the pipelined commit rate
+                    # is a stall; attribute it to the blocking instruction.
+                    # (Stalls are rare relative to commits, so the cause is
+                    # derived here from the instruction kind instead of being
+                    # tracked on every instruction.)
+                    if kind == kind_compute:
+                        interval.stall_independent += gap
+                        cause = cause_independent
+                        stall_record = None
+                    elif kind == kind_store:
+                        interval.stall_other += gap
+                        cause = cause_other
+                        stall_record = None
+                    elif sms_load:
+                        interval.stall_sms += gap
+                        cause = cause_sms
+                        stall_record = record
+                    else:
+                        interval.stall_pms += gap
+                        cause = cause_pms
+                        stall_record = record
+                    stall_epoch = int(earliest // epoch_cycles)
+                    buckets = interval.epoch_stall_cycles
+                    buckets[stall_epoch] = buckets.get(stall_epoch, 0.0) + gap
+                    if recording:
+                        interval_stalls.append(CommitStall(
+                            start=earliest,
+                            end=commit_time,
+                            cause=cause,
+                            load_address=stall_record.address if stall_record is not None else None,
+                            load_is_sms=stall_record.is_sms if stall_record is not None else False,
+                        ))
+                        if stall_record is not None:
+                            stall_record.caused_stall = True
+                            stall_record.stall_start = earliest
+                            stall_record.stall_end = commit_time
+            else:
+                commit_time = earliest
+            last_dispatch = dispatch
+            last_commit = commit_time
+            commit_window[window_index] = commit_time
+            # Commit times are monotonic, so the epoch only moves forward;
+            # recompute the division only when the cached boundary is crossed.
+            if epoch_index >= 0 and commit_time < epoch_boundary:
+                epoch = epoch_index
+                epoch_count += 1
+            else:
+                epoch = int(commit_time // epoch_cycles)
+                if epoch_count:
+                    buckets = interval.epoch_instructions
+                    buckets[epoch_index] = buckets.get(epoch_index, 0) + epoch_count
+                epoch_index = epoch
+                epoch_boundary = (epoch + 1) * epoch_cycles
+                epoch_count = 1
+            if kind == kind_load and sms_load:
+                buckets = interval.epoch_sms_accesses
+                buckets[epoch] = buckets.get(epoch, 0) + 1
 
-        self._commit(ready, cause, load_record)
-        self._trace_position += 1
-        self._committed += 1
-        if self._committed % self.interval_instructions == 0:
-            self._close_interval()
-        if self._committed >= self.target_instructions:
+            position += 1
+            window_index += 1
+            if window_index == rob_entries:
+                window_index = 0
+            trace_offset += 1
+            if trace_offset == trace_length:
+                trace_offset = 0
+            long_op_countdown -= 1
+            if long_op_countdown < 0:
+                long_op_countdown = _LONG_OP_PERIOD - 1
+            interval_countdown -= 1
+
+            if interval_countdown == 0:
+                interval_countdown = interval_instructions
+                if epoch_count:
+                    buckets = interval.epoch_instructions
+                    buckets[epoch_index] = buckets.get(epoch_index, 0) + epoch_count
+                    epoch_index = -1
+                    epoch_count = 0
+                self._last_commit = last_commit
+                self._trace_position = position
+                self._committed = position - position_offset
+                self._close_interval()
+                interval = self._interval
+                interval_loads = interval.loads
+                interval_stalls = interval.stalls
+            if position == stop_position:
+                finished = True
+                break
+            if last_commit >= hook_limit:
+                break
+            if position == max_stop:
+                break
+
+        # ---- write locals back
+        if epoch_count:
+            buckets = interval.epoch_instructions
+            buckets[epoch_index] = buckets.get(epoch_index, 0) + epoch_count
+        self._last_dispatch = last_dispatch
+        self._last_commit = last_commit
+        self._trace_position = position
+        self._committed = position - position_offset
+        if finished:
             self._finish()
-
-    # ------------------------------------------------------------------ execution
-
-    def _execute_compute(self, dispatch: float):
-        latency = self._compute_latency
-        if self._trace_position % _LONG_OP_PERIOD == 0:
-            latency = float(_LONG_OP_LATENCY)
-        return dispatch + latency, StallCause.INDEPENDENT, None
-
-    def _execute_store(self, dispatch: float, address: int):
-        # The store buffer hides store latency from commit; the access still
-        # updates cache state through the hierarchy.
-        self.hierarchy.access(self.core_id, address, dispatch, is_store=True)
-        return dispatch + self._compute_latency, StallCause.OTHER, None
-
-    def _execute_load(self, dispatch: float, address: int, dep: int):
-        issue = dispatch
-        if dep >= 0:
-            dep_completion = self._lookup_dependency(dep)
-            issue = max(issue, dep_completion)
-        result = self.hierarchy.access(self.core_id, address, issue)
-        self._load_completion[self._trace_position] = result.completion_time
-        if len(self._load_completion) > 4 * self._rob_entries:
-            self._prune_dependencies()
-        if result.l1_hit:
-            # L1 hits never enter the PRB and cannot cause visible SMS stalls.
-            return result.completion_time, StallCause.PMS_LOAD, None
-        record = LoadRecord(
-            instr_index=self._trace_position,
-            address=address,
-            issue_time=result.issue_time,
-            completion_time=result.completion_time,
-            is_sms=result.is_sms,
-            latency=result.latency,
-            interference_cycles=result.interference_cycles,
-            llc_hit=result.llc_hit,
-            interference_miss=result.interference_miss,
-        )
-        self._interval.loads.append(record)
-        cause = StallCause.SMS_LOAD if result.is_sms else StallCause.PMS_LOAD
-        return result.completion_time, cause, record
-
-    def _lookup_dependency(self, dep_position: int) -> float:
-        # Dependencies refer to positions in the (possibly repeated) trace; map
-        # them into the current repetition.
-        base = (self._trace_position // len(self.trace)) * len(self.trace)
-        candidates = (base + dep_position, base - len(self.trace) + dep_position)
-        for candidate in candidates:
-            if candidate in self._load_completion:
-                return self._load_completion[candidate]
-        return 0.0
-
-    def _prune_dependencies(self) -> None:
-        horizon = self._trace_position - 2 * self._rob_entries
-        stale = [key for key in self._load_completion if key < horizon]
-        for key in stale:
-            del self._load_completion[key]
-
-    # ------------------------------------------------------------------ commit
-
-    def _commit(self, ready: float, cause: str, load_record: LoadRecord | None) -> None:
-        earliest = self._last_commit + self._commit_interval
-        commit_time = max(earliest, ready)
-        gap = commit_time - earliest
-        if gap > 1e-9:
-            # The portion of the gap beyond the pipelined commit rate is a
-            # stall; attribute it to the instruction that blocked commit.  The
-            # stall starts at the cycle the instruction could have committed.
-            self._record_stall(earliest, commit_time, gap, cause, load_record)
-        self._last_commit = commit_time
-        self._commit_window[self._trace_position % self._rob_entries] = commit_time
-        self._bucket_epoch(commit_time, load_record)
-
-    def _record_stall(self, start: float, end: float, cycles: float, cause: str,
-                      load_record: LoadRecord | None) -> None:
-        interval = self._interval
-        if cause == StallCause.SMS_LOAD:
-            interval.stall_sms += cycles
-        elif cause == StallCause.PMS_LOAD:
-            interval.stall_pms += cycles
-        elif cause == StallCause.INDEPENDENT:
-            interval.stall_independent += cycles
-        else:
-            interval.stall_other += cycles
-        stall = CommitStall(
-            start=start,
-            end=end,
-            cause=cause,
-            load_address=load_record.address if load_record is not None else None,
-            load_is_sms=load_record.is_sms if load_record is not None else False,
-        )
-        interval.stalls.append(stall)
-        epoch = int(start // self.epoch_cycles)
-        interval.epoch_stall_cycles[epoch] = interval.epoch_stall_cycles.get(epoch, 0.0) + cycles
-        if load_record is not None:
-            load_record.caused_stall = True
-            load_record.stall_start = start
-            load_record.stall_end = end
-
-    def _bucket_epoch(self, commit_time: float, load_record: LoadRecord | None) -> None:
-        interval = self._interval
-        epoch = int(commit_time // self.epoch_cycles)
-        interval.epoch_instructions[epoch] = interval.epoch_instructions.get(epoch, 0) + 1
-        if load_record is not None and load_record.is_sms:
-            interval.epoch_sms_accesses[epoch] = interval.epoch_sms_accesses.get(epoch, 0) + 1
 
     # ------------------------------------------------------------------ intervals
 

@@ -30,7 +30,7 @@ class StallCause:
     OTHER = "other"         # store buffer / blocked L1 / misc. rare events
 
 
-@dataclass
+@dataclass(slots=True)
 class LoadRecord:
     """One load that missed in the L1 data cache."""
 
@@ -53,7 +53,7 @@ class LoadRecord:
         return max(0.0, self.stall_end - self.stall_start) if self.caused_stall else 0.0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CommitStall:
     """A period during which the core committed no instructions."""
 
@@ -147,17 +147,35 @@ def annotate_overlap(loads: list[LoadRecord], stalls: list[CommitStall]) -> None
     """
     if not loads:
         return
+    # Flat local copies: the overlap scan is quadratic in the worst case and
+    # dominated by attribute loads and min/max calls when done on the records
+    # directly.
     stall_starts = [stall.start for stall in stalls]
+    stall_ends = [stall.end for stall in stalls]
+    n_stalls = len(stall_starts)
+    bisect_left = bisect.bisect_left
     for load in loads:
-        lifetime = max(0.0, load.completion_time - load.issue_time)
+        issue = load.issue_time
+        completion = load.completion_time
+        lifetime = completion - issue
+        if lifetime < 0.0:
+            lifetime = 0.0
         stalled = 0.0
         # Only stalls that can overlap [issue, completion) matter; stalls are
         # sorted by start time because commit progresses monotonically.
-        first = bisect.bisect_left(stall_starts, load.issue_time)
+        first = bisect_left(stall_starts, issue)
         if first > 0:
             first -= 1
-        for stall in stalls[first:]:
-            if stall.start >= load.completion_time:
+        for index in range(first, n_stalls):
+            start = stall_starts[index]
+            if start >= completion:
                 break
-            stalled += max(0.0, min(stall.end, load.completion_time) - max(stall.start, load.issue_time))
-        load.overlap_cycles = max(0.0, lifetime - stalled)
+            end = stall_ends[index]
+            if end > completion:
+                end = completion
+            if start < issue:
+                start = issue
+            if end > start:
+                stalled += end - start
+        overlap = lifetime - stalled
+        load.overlap_cycles = overlap if overlap > 0.0 else 0.0

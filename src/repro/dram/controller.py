@@ -61,7 +61,8 @@ class _ShadowChannel:
 class _Channel:
     banks: list[DRAMBank]
     bus_next_free: float = 0.0
-    shadows: dict[int, _ShadowChannel] = field(default_factory=dict)
+    # Indexed by core id, grown on demand (None until a core's first access).
+    shadows: list[_ShadowChannel | None] = field(default_factory=list)
 
 
 class MemoryController:
@@ -79,9 +80,19 @@ class MemoryController:
         self._priority_core: int | None = None
         self.reads = 0
         self.row_hit_reads = 0
-        self.per_core_reads: dict[int, int] = {}
-        self.per_core_queue_cycles: dict[int, float] = {}
-        self.per_core_interference_cycles: dict[int, float] = {}
+        # Per-core statistics as dense lists indexed by core id, grown on
+        # demand (cores are small integers).
+        self.per_core_reads: list[int] = []
+        self.per_core_queue_cycles: list[float] = []
+        self.per_core_interference_cycles: list[float] = []
+        # Address-mapping and timing constants hoisted off the access path.
+        timing = config.timing
+        self._row_hit_latency = timing.row_hit_latency
+        self._row_miss_latency = timing.row_miss_latency
+        self._data_transfer_latency = timing.data_transfer_latency
+        self._n_channels = config.channels
+        self._n_banks = config.banks_per_channel
+        self._page_bytes = config.page_bytes
 
     # ------------------------------------------------------------------ address mapping
 
@@ -110,57 +121,8 @@ class MemoryController:
 
     def access(self, address: int, core: int, arrival: float) -> DRAMAccessResult:
         """Service one read request and return its timing and interference breakdown."""
-        channel_index, bank_index, row = self.map_address(address)
-        channel = self._channels[channel_index]
-        bank = channel.banks[bank_index]
-
-        prioritised = self._priority_core is not None and core == self._priority_core
-        latency, row_hit = bank.access_latency(row)
-        if prioritised:
-            # A prioritised request bypasses the queued backlog of other cores
-            # and is scheduled as soon as physical timing allows.  It still
-            # consumes bank and bus capacity, so the backlog of everyone else
-            # grows by its service time (the Figure 1c backlog effect) and no
-            # bandwidth is created out of thin air.
-            service_start = arrival
-            bus_available = arrival
-        else:
-            service_start = max(arrival, bank.next_ready)
-            bus_available = channel.bus_next_free
-        data_ready = service_start + latency - self.timing.data_transfer_latency
-        data_start = max(data_ready, bus_available)
-        completion = data_start + self.timing.data_transfer_latency
-        queue_wait = (service_start - arrival) + (data_start - data_ready)
-
-        # Commit shared resource state: the request's service time is always
-        # appended to the schedule, whether it bypassed the queue or not.
-        if prioritised:
-            bank.next_ready = max(bank.next_ready, arrival) + latency
-            channel.bus_next_free = (
-                max(channel.bus_next_free, arrival) + self.timing.data_transfer_latency
-            )
-        else:
-            bank.next_ready = service_start + latency
-            channel.bus_next_free = completion
-        bank.open_row = row
-        if row_hit:
-            bank.row_hits += 1
-            self.row_hit_reads += 1
-        else:
-            bank.row_misses += 1
-
-        # Shadow (alone-on-the-machine) emulation for interference attribution.
-        shadow_completion = self._shadow_access(channel, core, bank_index, row, arrival)
-        private_latency = shadow_completion - arrival
-        interference_wait = max(0.0, completion - shadow_completion)
-
-        self.reads += 1
-        self.per_core_reads[core] = self.per_core_reads.get(core, 0) + 1
-        self.per_core_queue_cycles[core] = self.per_core_queue_cycles.get(core, 0.0) + queue_wait
-        self.per_core_interference_cycles[core] = (
-            self.per_core_interference_cycles.get(core, 0.0) + interference_wait
-        )
-
+        (service_start, completion, row_hit, channel_index, bank_index, queue_wait,
+         interference_wait, private_latency) = self._access(address, core, arrival)
         return DRAMAccessResult(
             arrival=arrival,
             service_start=service_start,
@@ -173,25 +135,135 @@ class MemoryController:
             private_latency_estimate=private_latency,
         )
 
-    def _shadow_access(self, channel: _Channel, core: int, bank_index: int, row: int,
-                       arrival: float) -> float:
-        """Advance the core's private-mode shadow state and return the shadow completion."""
-        shadow = channel.shadows.get(core)
+    def access_fast(self, address: int, core: int, arrival: float,
+                    with_shadow: bool = True) -> tuple[float, bool, float]:
+        """Hot-path read: returns ``(completion, row_hit, interference_wait)``.
+
+        Thin projection of :meth:`_access` (the single source of the
+        scheduling logic); the full tuple costs one unpack, which is noise
+        next to the scheduling arithmetic itself.
+        """
+        (_start, completion, row_hit, _channel, _bank, _queue_wait,
+         interference_wait, _private) = self._access(address, core, arrival, with_shadow)
+        return completion, row_hit, interference_wait
+
+    def _grow_per_core(self, core: int) -> None:
+        grow_by = core + 1 - len(self.per_core_reads)
+        self.per_core_reads.extend([0] * grow_by)
+        self.per_core_queue_cycles.extend([0.0] * grow_by)
+        self.per_core_interference_cycles.extend([0.0] * grow_by)
+
+    def _shadow_channel(self, channel: _Channel, core: int) -> _ShadowChannel:
+        shadows = channel.shadows
+        if core >= len(shadows):
+            shadows.extend([None] * (core + 1 - len(shadows)))
+        shadow = shadows[core]
         if shadow is None:
             shadow = _ShadowChannel(
                 banks=[DRAMBank(self.timing) for _ in range(self.config.banks_per_channel)]
             )
-            channel.shadows[core] = shadow
-        bank = shadow.banks[bank_index]
-        latency, _ = bank.access_latency(row)
-        service_start = max(arrival, bank.next_ready)
-        data_ready = service_start + latency - self.timing.data_transfer_latency
-        data_start = max(data_ready, shadow.bus_next_free)
-        completion = data_start + self.timing.data_transfer_latency
-        bank.next_ready = service_start + latency
+            shadows[core] = shadow
+        return shadow
+
+    def _access(self, address: int, core: int, arrival: float, with_shadow: bool = True):
+        line = address // self.line_bytes
+        channel_index = line % self._n_channels
+        bank_index = (line // self._n_channels) % self._n_banks
+        row = address // self._page_bytes
+        channel = self._channels[channel_index]
+        bank = channel.banks[bank_index]
+
+        prioritised = self._priority_core is not None and core == self._priority_core
+        if bank.open_row == row:
+            latency = self._row_hit_latency
+            row_hit = True
+        else:
+            latency = self._row_miss_latency
+            row_hit = False
+        transfer = self._data_transfer_latency
+        bank_ready = bank.next_ready
+        if prioritised:
+            # A prioritised request bypasses the queued backlog of other cores
+            # and is scheduled as soon as physical timing allows.  It still
+            # consumes bank and bus capacity, so the backlog of everyone else
+            # grows by its service time (the Figure 1c backlog effect) and no
+            # bandwidth is created out of thin air.
+            service_start = arrival
+            bus_available = arrival
+        else:
+            service_start = arrival if arrival > bank_ready else bank_ready
+            bus_available = channel.bus_next_free
+        data_ready = service_start + latency - transfer
+        data_start = data_ready if data_ready > bus_available else bus_available
+        completion = data_start + transfer
+        queue_wait = (service_start - arrival) + (data_start - data_ready)
+
+        # Commit shared resource state: the request's service time is always
+        # appended to the schedule, whether it bypassed the queue or not.
+        if prioritised:
+            bank.next_ready = (bank_ready if bank_ready > arrival else arrival) + latency
+            bus_free = channel.bus_next_free
+            channel.bus_next_free = (bus_free if bus_free > arrival else arrival) + transfer
+        else:
+            bank.next_ready = service_start + latency
+            channel.bus_next_free = completion
         bank.open_row = row
-        shadow.bus_next_free = completion
-        return completion
+        if row_hit:
+            bank.row_hits += 1
+            self.row_hit_reads += 1
+        else:
+            bank.row_misses += 1
+
+        # Shadow (alone-on-the-machine) emulation for interference attribution,
+        # inlined: advance the core's private-mode schedule and compare.  With
+        # a single active core the shadow schedule is identical to the real
+        # one by induction (same arrivals, same update rules), so callers in
+        # private mode skip it: the interference is exactly 0.
+        if not with_shadow:
+            self.reads += 1
+            try:
+                self.per_core_reads[core] += 1
+            except IndexError:
+                self._grow_per_core(core)
+                self.per_core_reads[core] += 1
+            self.per_core_queue_cycles[core] += queue_wait
+            return (service_start, completion, row_hit, channel_index, bank_index,
+                    queue_wait, 0.0, completion - arrival)
+        shadows = channel.shadows
+        shadow = shadows[core] if core < len(shadows) else None
+        if shadow is None:
+            shadow = self._shadow_channel(channel, core)
+        shadow_bank = shadow.banks[bank_index]
+        shadow_latency = (
+            self._row_hit_latency if shadow_bank.open_row == row else self._row_miss_latency
+        )
+        shadow_bank_ready = shadow_bank.next_ready
+        shadow_service = arrival if arrival > shadow_bank_ready else shadow_bank_ready
+        shadow_data_ready = shadow_service + shadow_latency - transfer
+        shadow_bus_free = shadow.bus_next_free
+        shadow_data_start = (
+            shadow_data_ready if shadow_data_ready > shadow_bus_free else shadow_bus_free
+        )
+        shadow_completion = shadow_data_start + transfer
+        shadow_bank.next_ready = shadow_service + shadow_latency
+        shadow_bank.open_row = row
+        shadow.bus_next_free = shadow_completion
+
+        private_latency = shadow_completion - arrival
+        interference_wait = completion - shadow_completion
+        if interference_wait < 0.0:
+            interference_wait = 0.0
+
+        self.reads += 1
+        try:
+            self.per_core_reads[core] += 1
+        except IndexError:
+            self._grow_per_core(core)
+            self.per_core_reads[core] += 1
+        self.per_core_queue_cycles[core] += queue_wait
+        self.per_core_interference_cycles[core] += interference_wait
+        return (service_start, completion, row_hit, channel_index, bank_index,
+                queue_wait, interference_wait, private_latency)
 
     # ------------------------------------------------------------------ statistics
 
@@ -199,20 +271,20 @@ class MemoryController:
         return self.row_hit_reads / self.reads if self.reads else 0.0
 
     def average_queue_wait(self, core: int) -> float:
-        reads = self.per_core_reads.get(core, 0)
+        reads = self.per_core_reads[core] if core < len(self.per_core_reads) else 0
         if reads == 0:
             return 0.0
-        return self.per_core_queue_cycles.get(core, 0.0) / reads
+        return self.per_core_queue_cycles[core] / reads
 
     def average_interference_wait(self, core: int) -> float:
-        reads = self.per_core_reads.get(core, 0)
+        reads = self.per_core_reads[core] if core < len(self.per_core_reads) else 0
         if reads == 0:
             return 0.0
-        return self.per_core_interference_cycles.get(core, 0.0) / reads
+        return self.per_core_interference_cycles[core] / reads
 
     def reset_statistics(self) -> None:
         self.reads = 0
         self.row_hit_reads = 0
-        self.per_core_reads.clear()
-        self.per_core_queue_cycles.clear()
-        self.per_core_interference_cycles.clear()
+        self.per_core_reads = []
+        self.per_core_queue_cycles = []
+        self.per_core_interference_cycles = []

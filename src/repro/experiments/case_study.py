@@ -92,9 +92,10 @@ def evaluate_workload_throughput(
     }
     result = WorkloadThroughput(workload=workload)
     for core, trace in traces.items():
+        # Only the private-mode CPI is consumed; skip event materialisation.
         private = run_private_mode(
             trace, config, core_id=core, interval_instructions=interval_instructions,
-            target_instructions=instructions_per_core,
+            target_instructions=instructions_per_core, record_events=False,
         )
         result.private_cpis[core] = private.cpi
 
@@ -106,6 +107,7 @@ def evaluate_workload_throughput(
             target_instructions=instructions_per_core,
             interval_instructions=interval_instructions,
             configure_system=policy.install,
+            record_events=policy.needs_events,
         )
         shared_cpis = {core: shared.cores[core].cpi for core in traces}
         result.shared_cpis[name] = shared_cpis

@@ -1,4 +1,4 @@
-"""Shared experiment configuration helpers.
+"""Shared experiment configuration helpers and the parallel task executor.
 
 The paper's 2-, 4- and 8-core CMPs use 8, 8 and 16 MB LLCs (Table I); this
 reproduction runs much shorter traces, so experiments scale the cache
@@ -7,13 +7,28 @@ keeping latencies, associativities and the DRAM timing at their Table I
 values.  All figure harnesses and benchmarks build their configurations
 through :func:`default_experiment_config` so the scale-down is applied
 consistently.
+
+The figure experiments are embarrassingly parallel across (workload, config)
+cells — every cell is an independent pure function of its arguments.
+:func:`run_parallel` fans cells across a :class:`ProcessPoolExecutor`;
+``REPRO_JOBS`` (or the ``jobs`` argument) selects the worker count, and
+``jobs=1`` (the default on single-CPU machines) runs the exact same cells
+serially in the same order, producing bit-identical results.
 """
 
 from __future__ import annotations
 
+import os
+from collections.abc import Callable, Sequence
+
 from repro.config import CMPConfig
 
-__all__ = ["EXPERIMENT_LLC_KILOBYTES", "default_experiment_config"]
+__all__ = [
+    "EXPERIMENT_LLC_KILOBYTES",
+    "default_experiment_config",
+    "resolve_jobs",
+    "run_parallel",
+]
 
 # Scaled LLC capacity per core count, mirroring Table I's 8/8/16 MB.
 EXPERIMENT_LLC_KILOBYTES = {2: 128, 4: 128, 8: 256}
@@ -24,3 +39,39 @@ def default_experiment_config(n_cores: int, llc_kilobytes: int | None = None) ->
     if llc_kilobytes is None:
         llc_kilobytes = EXPERIMENT_LLC_KILOBYTES.get(n_cores, 128)
     return CMPConfig.default(n_cores).scaled(llc_kilobytes=llc_kilobytes)
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Worker count for parallel sweeps.
+
+    Explicit ``jobs`` wins; otherwise the ``REPRO_JOBS`` environment variable;
+    otherwise the machine's CPU count.  Always at least 1.
+    """
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS")
+        if env is not None and env != "":
+            jobs = int(env)
+        else:
+            jobs = os.cpu_count() or 1
+    return max(1, jobs)
+
+
+def run_parallel(function: Callable, argument_tuples: Sequence[tuple],
+                 jobs: int | None = None) -> list:
+    """Apply ``function`` to every argument tuple, in order, possibly in parallel.
+
+    ``function`` must be a picklable top-level callable and a pure function of
+    its arguments (every experiment cell evaluator is).  Results are returned
+    in submission order, so the output is bit-identical to the serial
+    ``[function(*args) for args in argument_tuples]`` — the serial fallback
+    used when ``jobs`` resolves to 1 or there is only one task.
+    """
+    jobs = resolve_jobs(jobs)
+    tasks = list(argument_tuples)
+    if jobs <= 1 or len(tasks) <= 1:
+        return [function(*args) for args in tasks]
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+        futures = [pool.submit(function, *args) for args in tasks]
+        return [future.result() for future in futures]

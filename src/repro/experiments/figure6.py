@@ -18,6 +18,7 @@ from repro.experiments.case_study import (
     evaluate_workload_throughput,
 )
 from repro.experiments.common import default_experiment_config
+from repro.experiments.sweep import run_workloads_parallel
 from repro.experiments.tables import format_cell_table, format_table
 from repro.workloads.mixes import generate_category_workloads
 
@@ -78,33 +79,43 @@ class Figure6Result:
 
 
 def run_figure6(settings: Figure6Settings | None = None,
-                config_factory=default_experiment_config) -> Figure6Result:
-    """Run the partitioning case study over every (core count, category) cell."""
+                config_factory=default_experiment_config,
+                jobs: int | None = None) -> Figure6Result:
+    """Run the partitioning case study over every (core count, category) cell.
+
+    Cells are independent simulations; they are flattened into one task list
+    and evaluated through the shared parallel executor (serial fallback is
+    bit-identical).
+    """
     settings = settings or Figure6Settings()
     result = Figure6Result()
+    cell_keys: list[tuple[int, str]] = []
+    tasks: list[tuple] = []
     for n_cores in settings.core_counts:
         config = config_factory(n_cores)
         for category in settings.categories:
             workloads = generate_category_workloads(
                 n_cores, category, settings.workloads_per_category, seed=settings.seed
             )
-            cell_results = [
-                evaluate_workload_throughput(
+            for workload in workloads:
+                cell_keys.append((n_cores, category))
+                tasks.append((
                     workload,
                     config,
-                    policies=settings.policies,
-                    instructions_per_core=settings.instructions_per_core,
-                    interval_instructions=settings.interval_instructions,
-                    repartition_interval_cycles=settings.repartition_interval_cycles,
-                    seed=settings.seed,
-                )
-                for workload in workloads
-            ]
-            result.per_workload[(n_cores, category)] = cell_results
-            result.average_stp[f"{n_cores}c-{category}"] = {
-                policy: average_throughput(cell_results, policy)
-                for policy in settings.policies
-            }
+                    settings.policies,
+                    settings.instructions_per_core,
+                    settings.interval_instructions,
+                    settings.repartition_interval_cycles,
+                    settings.seed,
+                ))
+    cell_results_flat = run_workloads_parallel(evaluate_workload_throughput, tasks, jobs=jobs)
+    for key, cell_result in zip(cell_keys, cell_results_flat):
+        result.per_workload.setdefault(key, []).append(cell_result)
+    for (n_cores, category), cell_results in result.per_workload.items():
+        result.average_stp[f"{n_cores}c-{category}"] = {
+            policy: average_throughput(cell_results, policy)
+            for policy in settings.policies
+        }
     return result
 
 

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 from repro.experiments.accuracy import evaluate_workload_accuracy, summarize_rms
 from repro.experiments.common import default_experiment_config
+from repro.experiments.sweep import run_workloads_parallel
 from repro.experiments.tables import format_cell_table
 from repro.config import CMPConfig, DDR2_800, DDR4_2666
 from repro.workloads.mixes import generate_category_workloads, generate_mixed_workloads
@@ -70,23 +71,30 @@ class Figure7Result:
 
 
 def _evaluate_cell(workloads, config: CMPConfig, settings: Figure7Settings,
-                   technique: str, prb_entries: int | None = None) -> float:
-    results = [
-        evaluate_workload_accuracy(
-            workload,
-            config,
-            instructions_per_core=settings.instructions_per_core,
-            interval_instructions=settings.interval_instructions,
-            seed=settings.seed,
-            techniques=(technique,),
-            prb_entries=prb_entries,
-        )
-        for workload in workloads
-    ]
+                   technique: str, prb_entries: int | None = None,
+                   jobs: int | None = None) -> float:
+    results = run_workloads_parallel(
+        evaluate_workload_accuracy,
+        [
+            (
+                workload,
+                config,
+                settings.instructions_per_core,
+                settings.interval_instructions,
+                settings.seed,
+                (technique,),
+                False,
+                prb_entries,
+            )
+            for workload in workloads
+        ],
+        jobs=jobs,
+    )
     return summarize_rms(results, technique, metric="ipc")
 
 
-def run_figure7_panel(panel: str, settings: Figure7Settings | None = None) -> dict[str, dict[str, float]]:
+def run_figure7_panel(panel: str, settings: Figure7Settings | None = None,
+                      jobs: int | None = None) -> dict[str, dict[str, float]]:
     """Run one sensitivity panel and return {category or mix: {sweep value: error}}."""
     settings = settings or Figure7Settings()
     if panel not in PANELS:
@@ -106,13 +114,13 @@ def run_figure7_panel(panel: str, settings: Figure7Settings | None = None) -> di
     if panel == "mixed_workloads":
         for category, workloads in category_workloads.items():
             cells[f"4c-{category}"] = {
-                "error": _evaluate_cell(workloads, base_config, settings, technique)
+                "error": _evaluate_cell(workloads, base_config, settings, technique, jobs=jobs)
             }
         for mix in MIXES:
             workloads = generate_mixed_workloads(
                 n_cores, mix, settings.workloads_per_category, seed=settings.seed
             )
-            cells[mix] = {"error": _evaluate_cell(workloads, base_config, settings, technique)}
+            cells[mix] = {"error": _evaluate_cell(workloads, base_config, settings, technique, jobs=jobs)}
         return cells
 
     for category, workloads in category_workloads.items():
@@ -120,36 +128,38 @@ def run_figure7_panel(panel: str, settings: Figure7Settings | None = None) -> di
         if panel == "llc_size":
             for size_kb in LLC_SIZE_KB:
                 config = base_config.with_llc(size_bytes=size_kb * KILOBYTE)
-                row[f"{size_kb}KB"] = _evaluate_cell(workloads, config, settings, technique)
+                row[f"{size_kb}KB"] = _evaluate_cell(workloads, config, settings, technique, jobs=jobs)
         elif panel == "llc_associativity":
             for associativity in LLC_ASSOCIATIVITY:
                 config = base_config.with_llc(associativity=associativity)
-                row[str(associativity)] = _evaluate_cell(workloads, config, settings, technique)
+                row[str(associativity)] = _evaluate_cell(workloads, config, settings, technique, jobs=jobs)
         elif panel == "dram_channels":
             for channels in DDR2_CHANNELS:
                 config = base_config.with_dram(channels=channels)
-                row[str(channels)] = _evaluate_cell(workloads, config, settings, technique)
+                row[str(channels)] = _evaluate_cell(workloads, config, settings, technique, jobs=jobs)
         elif panel == "dram_interface":
             for interface in DRAM_INTERFACES:
                 timing = DDR2_800 if interface == "DDR2" else DDR4_2666
                 config = base_config.with_dram(timing=timing)
-                row[interface] = _evaluate_cell(workloads, config, settings, technique)
+                row[interface] = _evaluate_cell(workloads, config, settings, technique, jobs=jobs)
         elif panel == "prb_entries":
             for prb in PRB_SIZES:
                 row[str(prb)] = _evaluate_cell(
-                    workloads, base_config, settings, technique, prb_entries=prb
+                    workloads, base_config, settings, technique, prb_entries=prb,
+                    jobs=jobs,
                 )
         cells[f"4c-{category}"] = row
     return cells
 
 
 def run_figure7(settings: Figure7Settings | None = None,
-                panels: tuple[str, ...] = PANELS) -> Figure7Result:
+                panels: tuple[str, ...] = PANELS,
+                jobs: int | None = None) -> Figure7Result:
     """Run the requested sensitivity panels (all of them by default)."""
     settings = settings or Figure7Settings()
     result = Figure7Result()
     for panel in panels:
-        result.panels[panel] = run_figure7_panel(panel, settings)
+        result.panels[panel] = run_figure7_panel(panel, settings, jobs=jobs)
     return result
 
 

@@ -35,8 +35,12 @@ SCALES = {
 }
 
 
-def run_all(scale: str = "small") -> dict:
-    """Run figures 3-7 plus the headline summary; returns a JSON-serialisable dict."""
+def run_all(scale: str = "small", jobs: int | None = None) -> dict:
+    """Run figures 3-7 plus the headline summary; returns a JSON-serialisable dict.
+
+    ``jobs`` sets the process-parallel fan-out for the workload sweeps (None
+    resolves the ``REPRO_JOBS`` environment variable, then the CPU count).
+    """
     if scale not in SCALES:
         raise ValueError(f"unknown scale '{scale}' (choose from {sorted(SCALES)})")
     knobs = SCALES[scale]
@@ -49,7 +53,7 @@ def run_all(scale: str = "small") -> dict:
         instructions_per_core=knobs["instructions"],
         interval_instructions=knobs["interval"],
         collect_components=True,
-    ))
+    ), jobs=jobs)
     figure3 = run_figure3(sweep=sweep)
     figure4 = run_figure4(sweep=sweep)
     figure5 = run_figure5(sweep=sweep)
@@ -59,13 +63,13 @@ def run_all(scale: str = "small") -> dict:
         workloads_per_category=knobs["workloads"],
         instructions_per_core=knobs["case_instructions"],
         interval_instructions=knobs["interval"],
-    ))
+    ), jobs=jobs)
     figure7 = run_figure7(Figure7Settings(
         categories=("H", "M", "L"),
         workloads_per_category=knobs["workloads"],
         instructions_per_core=knobs["instructions"],
         interval_instructions=knobs["interval"],
-    ))
+    ), jobs=jobs)
     headline = run_headline_summary(accuracy_sweep=sweep, figure6=figure6)
 
     for result in (figure3, figure4, figure5, figure6, figure7, headline):
@@ -89,8 +93,10 @@ def main(argv: list[str] | None = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", choices=sorted(SCALES), default="small")
     parser.add_argument("--json", help="write the consolidated results to this path")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="parallel sweep workers (default: REPRO_JOBS or CPU count)")
     arguments = parser.parse_args(argv)
-    summary = run_all(arguments.scale)
+    summary = run_all(arguments.scale, jobs=arguments.jobs)
     if arguments.json:
         with open(arguments.json, "w") as handle:
             json.dump(summary, handle, indent=2, default=str)

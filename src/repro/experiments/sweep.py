@@ -4,30 +4,47 @@ The paper evaluates 30 H-, 15 M- and 5 L-workloads per core count; this
 reproduction exposes the workload count, instruction count and interval length
 as parameters so the same sweep can run laptop-sized (the benchmark defaults)
 or larger.
+
+Every (workload, config) cell is an independent simulation, so the sweep
+flattens all cells into one task list and hands it to
+:func:`run_workloads_parallel`, which fans the cells across worker processes
+(``REPRO_JOBS`` / the ``jobs`` argument) with a serial fallback that produces
+bit-identical results.  Workload generation and per-cell seeds are derived
+from stable hashes, so every cell is deterministic regardless of which
+process evaluates it.
 """
 
 from __future__ import annotations
 
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
 from repro.experiments.accuracy import (
     DEFAULT_INSTRUCTIONS,
     DEFAULT_INTERVAL,
+    TECHNIQUE_NAMES,
     WorkloadAccuracy,
     evaluate_workload_accuracy,
 )
-from repro.experiments.common import default_experiment_config
+from repro.experiments.common import default_experiment_config, run_parallel
 from repro.config import CMPConfig
 from repro.workloads.mixes import generate_category_workloads
 
-__all__ = ["SweepSettings", "AccuracySweep", "run_accuracy_sweep"]
+__all__ = ["SweepSettings", "AccuracySweep", "run_accuracy_sweep", "run_workloads_parallel"]
 
 DEFAULT_CATEGORIES = ("H", "M", "L")
 
 
 @dataclass(frozen=True)
 class SweepSettings:
-    """Size of an accuracy sweep."""
+    """Size of an accuracy sweep.
+
+    ``techniques`` restricts which accounting techniques are evaluated per
+    interval; consumers that only read a subset (e.g. the headline summary)
+    use it to skip estimates nobody reads.  The simulated runs themselves are
+    unaffected, so the errors of the techniques that are evaluated are
+    identical regardless of the restriction.
+    """
 
     core_counts: tuple[int, ...] = (2, 4, 8)
     categories: tuple[str, ...] = DEFAULT_CATEGORIES
@@ -36,6 +53,7 @@ class SweepSettings:
     interval_instructions: int = DEFAULT_INTERVAL
     seed: int = 0
     collect_components: bool = False
+    techniques: tuple[str, ...] = TECHNIQUE_NAMES
 
 
 @dataclass
@@ -56,27 +74,44 @@ class AccuracySweep:
         return selected
 
 
+def run_workloads_parallel(function: Callable, argument_tuples: Sequence[tuple],
+                           jobs: int | None = None) -> list:
+    """Evaluate independent (workload, config) cells, in parallel when possible.
+
+    Thin facade over :func:`repro.experiments.common.run_parallel` shared by
+    all figure experiments: ``function`` must be a picklable pure function of
+    its arguments; results come back in submission order, so ``jobs=1`` (the
+    serial fallback) and any ``jobs>1`` produce identical outputs.
+    """
+    return run_parallel(function, argument_tuples, jobs=jobs)
+
+
 def run_accuracy_sweep(settings: SweepSettings | None = None,
-                       config_factory=default_experiment_config) -> AccuracySweep:
+                       config_factory=default_experiment_config,
+                       jobs: int | None = None) -> AccuracySweep:
     """Run the accuracy evaluation over every (core count, category) cell."""
     settings = settings or SweepSettings()
     sweep = AccuracySweep(settings=settings)
+    cell_keys: list[tuple[int, str]] = []
+    tasks: list[tuple] = []
     for n_cores in settings.core_counts:
         config: CMPConfig = config_factory(n_cores)
         for category in settings.categories:
             workloads = generate_category_workloads(
                 n_cores, category, settings.workloads_per_category, seed=settings.seed
             )
-            results = [
-                evaluate_workload_accuracy(
+            for workload in workloads:
+                cell_keys.append((n_cores, category))
+                tasks.append((
                     workload,
                     config,
-                    instructions_per_core=settings.instructions_per_core,
-                    interval_instructions=settings.interval_instructions,
-                    seed=settings.seed,
-                    collect_components=settings.collect_components,
-                )
-                for workload in workloads
-            ]
-            sweep.cells[(n_cores, category)] = results
+                    settings.instructions_per_core,
+                    settings.interval_instructions,
+                    settings.seed,
+                    settings.techniques,
+                    settings.collect_components,
+                ))
+    results = run_workloads_parallel(evaluate_workload_accuracy, tasks, jobs=jobs)
+    for key, result in zip(cell_keys, results):
+        sweep.cells.setdefault(key, []).append(result)
     return sweep

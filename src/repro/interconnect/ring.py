@@ -34,8 +34,14 @@ class RingTransferResult:
 
 @dataclass
 class _RingLink:
+    """One physical link; ``shadow_next_free`` is indexed by core id."""
+
     next_free: float = 0.0
-    shadow_next_free: dict[int, float] = field(default_factory=dict)
+    shadow_next_free: list[float] = field(default_factory=list)
+
+
+def _link_next_free(link: _RingLink) -> float:
+    return link.next_free
 
 
 class RingInterconnect:
@@ -50,10 +56,26 @@ class RingInterconnect:
         self.config = config
         self.n_cores = n_cores
         self.n_banks = n_banks
-        self._request_links = [_RingLink() for _ in range(config.request_rings)]
-        self._response_links = [_RingLink() for _ in range(config.response_rings)]
+        self._request_links = [
+            _RingLink(shadow_next_free=[0.0] * n_cores) for _ in range(config.request_rings)
+        ]
+        self._response_links = [
+            _RingLink(shadow_next_free=[0.0] * n_cores) for _ in range(config.response_rings)
+        ]
         self.transfers = 0
-        self.per_core_interference_cycles: dict[int, float] = {}
+        # Indexed by core id (cores are dense small integers).
+        self.per_core_interference_cycles: list[float] = [0.0] * n_cores
+        # Hop counts and link timing are pure functions of the (static)
+        # topology; precompute them so the per-transfer path is arithmetic
+        # on locals only.
+        self._hop_table = [
+            [self.hop_count(core, bank) for bank in range(n_banks)]
+            for core in range(n_cores)
+        ]
+        self._latency_table = [
+            [hops * config.hop_latency for hops in row] for row in self._hop_table
+        ]
+        self._occupancy = config.link_occupancy * config.hop_latency
 
     def hop_count(self, core: int, bank: int) -> int:
         """Hops between a core and an LLC bank on the ring.
@@ -69,37 +91,48 @@ class RingInterconnect:
         return max(1, min(clockwise, counter))
 
     def transfer(self, core: int, bank: int, arrival: float, response: bool = False) -> RingTransferResult:
-        """Traverse the ring and return the transfer timing."""
-        links = self._response_links if response else self._request_links
-        link = min(links, key=lambda candidate: candidate.next_free)
-        hops = self.hop_count(core, bank)
-        latency = hops * self.config.hop_latency
-        occupancy = self.config.link_occupancy * self.config.hop_latency
-
-        start = max(arrival, link.next_free)
-        queue_wait = start - arrival
-        link.next_free = start + occupancy
-
-        # Shadow (core-alone) emulation of the same link.
-        shadow_free = link.shadow_next_free.get(core, 0.0)
-        shadow_start = max(arrival, shadow_free)
-        link.shadow_next_free[core] = shadow_start + occupancy
-        interference_wait = max(0.0, start - shadow_start)
-
-        completion = start + latency
-        self.transfers += 1
-        self.per_core_interference_cycles[core] = (
-            self.per_core_interference_cycles.get(core, 0.0) + interference_wait
-        )
+        """Traverse the ring and return the full transfer timing."""
+        start, completion, interference_wait = self._transfer(core, bank, arrival, response)
         return RingTransferResult(
             arrival=arrival,
             start=start,
             completion=completion,
-            hops=hops,
-            queue_wait=queue_wait,
+            hops=self._hop_table[core][bank],
+            queue_wait=start - arrival,
             interference_wait=interference_wait,
         )
 
+    def transfer_fast(self, core: int, bank: int, arrival: float,
+                      response: bool = False) -> tuple[float, float]:
+        """Hot-path traversal: returns ``(completion, interference_wait)``."""
+        _start, completion, interference_wait = self._transfer(core, bank, arrival, response)
+        return completion, interference_wait
+
+    def _transfer(self, core: int, bank: int, arrival: float, response: bool):
+        links = self._response_links if response else self._request_links
+        if len(links) == 1:
+            link = links[0]
+        else:
+            link = min(links, key=_link_next_free)
+        occupancy = self._occupancy
+
+        next_free = link.next_free
+        start = arrival if arrival > next_free else next_free
+        link.next_free = start + occupancy
+
+        # Shadow (core-alone) emulation of the same link.
+        shadow = link.shadow_next_free
+        shadow_free = shadow[core]
+        shadow_start = arrival if arrival > shadow_free else shadow_free
+        shadow[core] = shadow_start + occupancy
+        interference_wait = start - shadow_start
+        if interference_wait < 0.0:
+            interference_wait = 0.0
+
+        self.transfers += 1
+        self.per_core_interference_cycles[core] += interference_wait
+        return start, start + self._latency_table[core][bank], interference_wait
+
     def reset_statistics(self) -> None:
         self.transfers = 0
-        self.per_core_interference_cycles.clear()
+        self.per_core_interference_cycles = [0.0] * self.n_cores

@@ -10,6 +10,7 @@ attribution the accounting techniques consume.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from heapq import heappop as _heappop, heappush as _heappush
 
 from repro.cache.atd import AuxiliaryTagDirectory
 from repro.cache.cache import SetAssociativeCache
@@ -23,12 +24,13 @@ from repro.config import CMPConfig
 __all__ = ["CoreMemoryCounters", "MemoryHierarchy"]
 
 
-@dataclass
+@dataclass(slots=True)
 class CoreMemoryCounters:
     """Per-core, per-interval counters maintained by the memory hierarchy.
 
     These counters are what a hardware implementation would expose to the
     accounting units; they are reset whenever an estimate interval ends.
+    (``slots=True``: the fields are updated on every shared-memory access.)
     """
 
     sms_loads: int = 0
@@ -106,6 +108,58 @@ class MemoryHierarchy:
         self.counters: dict[int, CoreMemoryCounters] = {
             core: CoreMemoryCounters() for core in self.active_cores
         }
+        # Latencies and LLC geometry hoisted out of the per-access path.
+        self._l1_latency = config.l1d.latency
+        self._l2_latency = config.l2.latency
+        self._llc_latency = config.llc.latency
+        self._llc_line_shift = self.llc._line_shift
+        self._llc_set_mask = self.llc._set_mask
+        self._llc_tag_shift = self.llc._tag_shift
+        self._llc_banks = config.llc.banks
+        # With one active core the shadow (core-alone) schedules are provably
+        # identical to the real schedules, so interference is exactly zero
+        # and the shadow emulation can be skipped wholesale.
+        self._multi_core = len(self.active_cores) > 1
+        # LLC flat arrays for the inlined lookup on the SMS path (flush()
+        # clears these in place, so the references stay valid).
+        self._llc_state = (
+            self.llc._tags,
+            self.llc._last_use,
+            self.llc._set_sizes,
+            self.llc._owners,
+            self.llc._core_occupancy,
+            self.llc.associativity,
+        )
+        self._last_shared_access = (0.0, 0.0, False)
+        # Per-core hot-path state bundled into one tuple so load_fast pays a
+        # single dict lookup instead of five.  The private L1/L2 lookups are
+        # inlined at array level (they are never partitioned, so the plain
+        # LRU path below is their complete behaviour — pinned by
+        # tests/test_kernel_equivalence.py); each cache contributes its flat
+        # arrays and geometry.
+        def _kernel_state(cache: SetAssociativeCache):
+            return (
+                cache,
+                cache._tags,
+                cache._last_use,
+                cache._set_sizes,
+                cache._owners,
+                cache._core_occupancy,
+                cache._line_shift,
+                cache._set_mask,
+                cache._tag_shift,
+                cache.associativity,
+            )
+
+        self._fast_state = {
+            core: (
+                _kernel_state(self.l1[core]),
+                _kernel_state(self.l2[core]),
+                self.l1_mshrs[core],
+                self.counters[core],
+            )
+            for core in self.active_cores
+        }
 
     # ------------------------------------------------------------------ configuration
 
@@ -126,41 +180,40 @@ class MemoryHierarchy:
         Stores update cache state but complete with the L1 latency; the store
         buffer hides their latency from commit (the paper treats store-related
         stalls as one of the rare "other" stall sources).
+
+        This is the descriptive API: it always materialises a
+        :class:`MemoryAccessResult`.  The simulation kernel uses the leaner
+        :meth:`load_fast`/:meth:`store_fast` entry points, which share the
+        same underlying logic.
         """
         if core not in self.l1:
             raise ConfigurationError(f"core {core} is not active in this hierarchy")
-        l1 = self.l1[core]
-        l1_latency = self.config.l1d.latency
-        l1_outcome = l1.access(address, core, is_store)
-        if l1_outcome.hit or is_store:
-            completion = issue_time + l1_latency
-            if not l1_outcome.hit:
-                # A store miss still allocates in L2/LLC for footprint realism,
-                # but its latency is hidden by the store buffer.
-                self._fill_lower_levels(core, address, is_store=True)
-            self.counters[core].pms_loads += 0 if is_store else 1
+        if is_store:
+            l1_hit = self.store_fast(core, address, issue_time)
+            return MemoryAccessResult(
+                address=address,
+                core=core,
+                issue_time=issue_time,
+                completion_time=issue_time + self._l1_latency,
+                is_sms=False,
+                l1_hit=l1_hit,
+                l2_hit=False,
+                llc_hit=False,
+            )
+        completion, info = self.load_fast(core, address, issue_time)
+        if info is None:
             return MemoryAccessResult(
                 address=address,
                 core=core,
                 issue_time=issue_time,
                 completion_time=completion,
                 is_sms=False,
-                l1_hit=l1_outcome.hit,
+                l1_hit=True,
                 l2_hit=False,
                 llc_hit=False,
             )
-
-        # L1 load miss: allocate an MSHR (may stall the request if all in use).
-        mshr = self.l1_mshrs[core]
-        effective_issue = mshr.acquire_time(issue_time)
-
-        l2 = self.l2[core]
-        l2_outcome = l2.access(address, core)
-        l2_latency = self.config.l2.latency
-        if l2_outcome.hit:
-            completion = effective_issue + l1_latency + l2_latency
-            mshr.allocate(completion, address)
-            self.counters[core].pms_loads += 1
+        is_sms, _latency, interference, llc_hit, interference_miss = info
+        if not is_sms:
             return MemoryAccessResult(
                 address=address,
                 core=core,
@@ -171,44 +224,277 @@ class MemoryHierarchy:
                 l2_hit=True,
                 llc_hit=False,
             )
+        shared = self._last_shared_access
+        return MemoryAccessResult(
+            address=address,
+            core=core,
+            issue_time=issue_time,
+            completion_time=completion,
+            is_sms=True,
+            l1_hit=False,
+            l2_hit=False,
+            llc_hit=llc_hit,
+            pre_llc_latency=shared[0],
+            post_llc_latency=shared[1],
+            interference_cycles=interference,
+            interference_miss=interference_miss,
+            row_hit=shared[2],
+        )
 
-        # The request leaves the private memory system: it is an SMS-load.
-        result = self._shared_access(core, address, effective_issue + l1_latency + l2_latency,
-                                     issue_time)
-        mshr.allocate(result.completion_time, address)
-        return result
+    def store_fast(self, core: int, address: int, issue_time: float) -> bool:
+        """Hot-path store: update cache state, return the L1 hit flag.
+
+        The store buffer hides store latency from commit, so callers on the
+        simulation hot path need no timing result at all.
+        """
+        if self.l1[core].access_hit(address, core, True):
+            return True
+        # A store miss still allocates in L2/LLC for footprint realism,
+        # but its latency is hidden by the store buffer.
+        self._fill_lower_levels(core, address, is_store=True)
+        return False
+
+    def load_fast(self, core: int, address: int, issue_time: float):
+        """Hot-path load: returns ``(completion_time, info)``.
+
+        ``info`` is None for an L1 hit; otherwise it is the tuple
+        ``(is_sms, latency, interference_cycles, llc_hit, interference_miss)``
+        the core model needs to build its :class:`LoadRecord`.
+        """
+        l1_state, l2_state, mshr, counters = self._fast_state[core]
+        l1_latency = self._l1_latency
+
+        # L1 lookup, inlined at array level (plain LRU, never partitioned).
+        (cache, tags, last_use, set_sizes, owners, occupancy_counts,
+         line_shift, set_mask, tag_shift, assoc) = l1_state
+        counter = cache._use_counter + 1
+        cache._use_counter = counter
+        if set_mask is not None:
+            index = (address >> line_shift) & set_mask
+            tag = address >> tag_shift
+        else:
+            index = cache.set_index(address)
+            tag = cache.tag(address)
+        base = index * assoc
+        size = set_sizes[index]
+        slot = -1
+        if assoc == 2:
+            if size != 0:
+                if tags[base] == tag:
+                    slot = base
+                elif size == 2 and tags[base + 1] == tag:
+                    slot = base + 1
+        else:
+            segment = tags[base:base + size]
+            if tag in segment:
+                slot = base + segment.index(tag)
+        if slot >= 0:
+            last_use[slot] = counter
+            cache.hits += 1
+            counters.pms_loads += 1
+            return issue_time + l1_latency, None
+        cache.misses += 1
+        if size < assoc:
+            slot = base + size
+            set_sizes[index] = size + 1
+        else:
+            if assoc == 2:
+                slot = base if last_use[base] <= last_use[base + 1] else base + 1
+            else:
+                ages = last_use[base:base + assoc]
+                slot = base + ages.index(min(ages))
+            occupancy_counts[owners[slot]] -= 1
+        try:
+            occupancy_counts[core] += 1
+        except IndexError:
+            occupancy_counts.extend([0] * (core + 1 - len(occupancy_counts)))
+            occupancy_counts[core] += 1
+        tags[slot] = tag
+        owners[slot] = core
+        last_use[slot] = counter
+        cache._dirty[slot] = False
+
+        # L1 load miss: allocate an MSHR (may stall the request if all in
+        # use).  The MSHR file's acquire/allocate pair is inlined here — this
+        # runs once per L1 miss and the method-call overhead is measurable.
+        outstanding = mshr._outstanding
+        while outstanding and outstanding[0][0] <= issue_time:
+            _heappop(outstanding)
+        if len(outstanding) < mshr.entries:
+            effective_issue = issue_time
+        else:
+            earliest = outstanding[0][0]
+            effective_issue = earliest if earliest > issue_time else issue_time
+
+        # L2 lookup, same inlined plain-LRU path.
+        (cache, tags, last_use, set_sizes, owners, occupancy_counts,
+         line_shift, set_mask, tag_shift, assoc) = l2_state
+        counter = cache._use_counter + 1
+        cache._use_counter = counter
+        if set_mask is not None:
+            index = (address >> line_shift) & set_mask
+            tag = address >> tag_shift
+        else:
+            index = cache.set_index(address)
+            tag = cache.tag(address)
+        base = index * assoc
+        size = set_sizes[index]
+        slot = -1
+        segment = tags[base:base + size]
+        if tag in segment:
+            slot = base + segment.index(tag)
+        if slot >= 0:
+            last_use[slot] = counter
+            cache.hits += 1
+            l2_hit = True
+        else:
+            cache.misses += 1
+            if size < assoc:
+                slot = base + size
+                set_sizes[index] = size + 1
+            else:
+                ages = last_use[base:base + assoc]
+                slot = base + ages.index(min(ages))
+                occupancy_counts[owners[slot]] -= 1
+            try:
+                occupancy_counts[core] += 1
+            except IndexError:
+                occupancy_counts.extend([0] * (core + 1 - len(occupancy_counts)))
+                occupancy_counts[core] += 1
+            tags[slot] = tag
+            owners[slot] = core
+            last_use[slot] = counter
+            cache._dirty[slot] = False
+            l2_hit = False
+
+        if l2_hit:
+            completion = effective_issue + l1_latency + self._l2_latency
+        else:
+            # The request leaves the private memory system: it is an SMS-load.
+            completion, interference, llc_hit, interference_miss = self._shared_access(
+                core, address, effective_issue + l1_latency + self._l2_latency, issue_time
+            )
+            if len(outstanding) >= mshr.entries:
+                _heappop(outstanding)
+            _heappush(outstanding, (completion, address))
+            return completion, (True, completion - issue_time, interference, llc_hit,
+                                interference_miss)
+        if len(outstanding) >= mshr.entries:
+            _heappop(outstanding)
+        _heappush(outstanding, (completion, address))
+        counters.pms_loads += 1
+        return completion, (False, completion - issue_time, 0.0, False, None)
 
     def _shared_access(self, core: int, address: int, ready_for_ring: float,
-                       original_issue: float) -> MemoryAccessResult:
+                       original_issue: float):
         counters = self.counters[core]
-        bank = self.llc.bank_index(address)
+        ring = self.ring
+        llc = self.llc
+        # The LLC set index is shared between the bank mapping and the ATD
+        # lookup (same geometry); compute it once with the hoisted shift/mask.
+        mask = self._llc_set_mask
+        if mask is not None:
+            set_index = (address >> self._llc_line_shift) & mask
+        else:
+            set_index = llc.set_index(address)
+        bank = set_index % self._llc_banks
 
-        request_hop = self.ring.transfer(core, bank, ready_for_ring, response=False)
-        llc_ready = request_hop.completion
-        llc_latency = self.config.llc.latency
+        # Request hop towards the LLC bank (ring link logic inlined: this and
+        # the response hop below run once per SMS-load each).  With a single
+        # active core the shadow link schedule is identical to the real one,
+        # so the shadow emulation is skipped and interference is exactly 0.
+        multi_core = self._multi_core
+        occupancy = ring._occupancy
+        hop_latency = ring._latency_table[core][bank]
+        links = ring._request_links
+        if len(links) == 1:
+            link = links[0]
+        else:
+            link = links[0]
+            for candidate in links:
+                if candidate.next_free < link.next_free:
+                    link = candidate
+        next_free = link.next_free
+        start = ready_for_ring if ready_for_ring > next_free else next_free
+        link.next_free = start + occupancy
+        interference = 0.0
+        if multi_core:
+            shadow = link.shadow_next_free
+            shadow_free = shadow[core]
+            shadow_start = ready_for_ring if ready_for_ring > shadow_free else shadow_free
+            shadow[core] = shadow_start + occupancy
+            interference = start - shadow_start
+            if interference < 0.0:
+                interference = 0.0
+            ring.per_core_interference_cycles[core] += interference
+        llc_ready = start + hop_latency
 
+        # The ATD shares the LLC's geometry, so the tag is computed once.
+        if mask is not None:
+            tag = address >> self._llc_tag_shift
+        else:
+            tag = llc.tag(address)
         atd = self.atds[core]
-        atd_hit = atd.access(address)
-        counters.llc_accesses += 1
-        if atd_hit is not None:
+        stack = atd._stacks.get(set_index)
+        if stack is None:
+            atd_hit = None
+            counters.llc_accesses += 1
+        else:
+            atd_hit = atd.access_sampled(stack, tag)
+            counters.llc_accesses += 1
             counters.sampled_llc_accesses += 1
 
-        llc_outcome = self.llc.access(address, core)
-        interference = request_hop.interference_wait
+        # LLC lookup, inlined (same flat-array kernel as the private levels;
+        # partition-aware fills go through the shared SetAssociativeCache
+        # machinery).
+        (llc_tags, llc_last_use, llc_sizes, llc_owners, llc_occupancy,
+         llc_assoc) = self._llc_state
+        counter = llc._use_counter + 1
+        llc._use_counter = counter
+        base = set_index * llc_assoc
+        size = llc_sizes[set_index]
+        segment = llc_tags[base:base + size]
+        if tag in segment:
+            llc_last_use[base + segment.index(tag)] = counter
+            llc.hits += 1
+            llc_hit = True
+        else:
+            llc.misses += 1
+            if llc._allocation is not None:
+                llc._fill(set_index, tag, core, False, want_outcome=False)
+            else:
+                if size < llc_assoc:
+                    slot = base + size
+                    llc_sizes[set_index] = size + 1
+                else:
+                    ages = llc_last_use[base:base + llc_assoc]
+                    slot = base + ages.index(min(ages))
+                    llc_occupancy[llc_owners[slot]] -= 1
+                try:
+                    llc_occupancy[core] += 1
+                except IndexError:
+                    llc_occupancy.extend([0] * (core + 1 - len(llc_occupancy)))
+                    llc_occupancy[core] += 1
+                llc_tags[slot] = tag
+                llc_owners[slot] = core
+                llc_last_use[slot] = counter
+                llc._dirty[slot] = False
+            llc_hit = False
         row_hit = False
         post_llc_latency = 0.0
 
-        if llc_outcome.hit:
-            data_ready = llc_ready + llc_latency
+        if llc_hit:
+            data_ready = llc_ready + self._llc_latency
         else:
             counters.llc_misses += 1
             if atd_hit is not None:
                 counters.sampled_llc_misses += 1
-            dram_result = self.dram.access(address, core, llc_ready + llc_latency)
-            data_ready = dram_result.completion
-            row_hit = dram_result.row_hit
-            post_llc_latency = dram_result.completion - dram_result.arrival
-            counters.dram_interference_sum += dram_result.interference_wait
+            arrival = llc_ready + self._llc_latency
+            data_ready, row_hit, dram_interference = self.dram.access_fast(
+                address, core, arrival, multi_core
+            )
+            post_llc_latency = data_ready - arrival
+            counters.dram_interference_sum += dram_interference
             if row_hit:
                 counters.dram_row_hits += 1
             if atd_hit is True:
@@ -220,11 +506,32 @@ class MemoryHierarchy:
                 counters.interference_miss_penalty_sum += post_llc_latency
                 interference += post_llc_latency
             else:
-                interference += dram_result.interference_wait
+                interference += dram_interference
 
-        response_hop = self.ring.transfer(core, bank, data_ready, response=True)
-        interference += response_hop.interference_wait
-        completion = response_hop.completion
+        # Response hop back to the core.
+        links = ring._response_links
+        if len(links) == 1:
+            link = links[0]
+        else:
+            link = links[0]
+            for candidate in links:
+                if candidate.next_free < link.next_free:
+                    link = candidate
+        next_free = link.next_free
+        start = data_ready if data_ready > next_free else next_free
+        link.next_free = start + occupancy
+        if multi_core:
+            shadow = link.shadow_next_free
+            shadow_free = shadow[core]
+            shadow_start = data_ready if data_ready > shadow_free else shadow_free
+            shadow[core] = shadow_start + occupancy
+            response_interference = start - shadow_start
+            if response_interference < 0.0:
+                response_interference = 0.0
+            ring.per_core_interference_cycles[core] += response_interference
+            interference += response_interference
+        ring.transfers += 2
+        completion = start + hop_latency
 
         latency = completion - original_issue
         pre_llc_latency = latency - post_llc_latency
@@ -235,27 +542,18 @@ class MemoryHierarchy:
         counters.post_llc_latency_sum += post_llc_latency
         counters.interference_sum += interference
 
-        return MemoryAccessResult(
-            address=address,
-            core=core,
-            issue_time=original_issue,
-            completion_time=completion,
-            is_sms=True,
-            l1_hit=False,
-            l2_hit=False,
-            llc_hit=llc_outcome.hit,
-            pre_llc_latency=pre_llc_latency,
-            post_llc_latency=post_llc_latency,
-            interference_cycles=interference,
-            interference_miss=atd_hit if not llc_outcome.hit else (False if atd_hit is not None else None),
-            row_hit=row_hit,
+        # Stashed for the descriptive access() wrapper (single-threaded use).
+        self._last_shared_access = (pre_llc_latency, post_llc_latency, row_hit)
+        interference_miss = atd_hit if not llc_hit else (
+            False if atd_hit is not None else None
         )
+        return completion, interference, llc_hit, interference_miss
 
     def _fill_lower_levels(self, core: int, address: int, is_store: bool) -> None:
         """Install a line in L2 and the LLC without modelling its timing."""
-        self.l2[core].access(address, core, is_store)
+        self.l2[core].access_hit(address, core, is_store)
         self.atds[core].access(address)
-        self.llc.access(address, core, is_store)
+        self.llc.access_hit(address, core, is_store)
 
     # ------------------------------------------------------------------ interval management
 

@@ -23,6 +23,8 @@ class ASMPartitioningPolicy(PartitioningPolicy):
     """Throughput-oriented partitioning driven by ASM slowdown estimates."""
 
     name = "ASM"
+    # ASM estimates read aggregate counters and epoch buckets only.
+    needs_events = False
 
     def __init__(self, n_cores: int, repartition_interval_cycles: float | None = None,
                  epoch_cycles: float = 2_000.0):

@@ -39,6 +39,11 @@ class PartitioningPolicy(ABC):
     """Base class for LLC way-partitioning policies."""
 
     name: str = "abstract"
+    # Whether the policy reads per-event records (LoadRecord/CommitStall
+    # lists) from the estimate intervals.  Policies that act only on miss
+    # curves and aggregate counters set this to False so their shared-mode
+    # runs can skip event materialisation entirely.
+    needs_events: bool = True
 
     def __init__(self, repartition_interval_cycles: float | None = None):
         self.repartition_interval_cycles = repartition_interval_cycles

@@ -17,6 +17,8 @@ class LRUSharingPolicy(PartitioningPolicy):
     """No partitioning at all: the LLC stays a free-for-all under LRU."""
 
     name = "LRU"
+    # LRU consults nothing at all.
+    needs_events = False
 
     def allocate(self, context: PolicyContext) -> dict[int, int] | None:
         return None

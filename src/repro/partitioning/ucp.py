@@ -20,6 +20,8 @@ class UCPPolicy(PartitioningPolicy):
     """Miss-minimising way partitioning driven by ATD miss curves."""
 
     name = "UCP"
+    # UCP consults only the ATD miss curves.
+    needs_events = False
 
     def allocate(self, context: PolicyContext) -> dict[int, int] | None:
         cores = context.cores

@@ -10,6 +10,7 @@ runs so experiments and tests only deal with results.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 from repro.errors import SimulationError
 from repro.config import CMPConfig
@@ -78,26 +79,39 @@ class WorkloadRunResult:
         return total
 
 
+@lru_cache(maxsize=128)
 def build_trace(benchmark_name: str, num_instructions: int, seed: int = 0) -> Trace:
-    """Generate the trace for one named benchmark."""
+    """Generate the trace for one named benchmark.
+
+    Trace generation is deterministic and traces are treated as read-only by
+    the simulator, so identical (benchmark, length, seed) requests — which
+    recur across experiments, techniques and partitioning policies — share
+    one cached trace.
+    """
     return generate_trace(get_benchmark(benchmark_name), num_instructions, seed=seed)
 
 
 def run_private_mode(trace: Trace, config: CMPConfig, llc_ways: int | None = None,
                      core_id: int = 0, interval_instructions: int | None = None,
-                     target_instructions: int | None = None) -> PrivateModeResult:
+                     target_instructions: int | None = None,
+                     record_events: bool = True) -> PrivateModeResult:
     """Run one trace alone on the CMP (private mode).
 
     ``llc_ways`` optionally restricts the LLC allocation, which is how the
     LLC-sensitivity profiling of Section VI varies the available ways.
     ``target_instructions`` defaults to the trace length; passing the same
     value as the shared-mode run keeps the two modes' intervals aligned.
+    ``record_events=False`` skips materialising per-event records (timing and
+    aggregate statistics are unaffected); callers that only consume CPI/stall
+    aggregates use it to cut the dominant allocation cost of ground-truth
+    runs.
     """
     system = CMPSystem(
         config,
         {core_id: trace},
         target_instructions=target_instructions or len(trace),
         interval_instructions=interval_instructions,
+        record_events=record_events,
     )
     if llc_ways is not None:
         if llc_ways <= 0:
@@ -110,18 +124,22 @@ def run_private_mode(trace: Trace, config: CMPConfig, llc_ways: int | None = Non
 def run_shared_mode(traces: dict[int, Trace], config: CMPConfig,
                     target_instructions: int,
                     interval_instructions: int | None = None,
-                    configure_system=None) -> SystemResult:
+                    configure_system=None,
+                    record_events: bool = True) -> SystemResult:
     """Run a multi-programmed workload in shared mode.
 
     ``configure_system`` is an optional callable invoked with the constructed
     :class:`CMPSystem` before the run starts; accounting techniques and
-    partitioning policies use it to install their hooks.
+    partitioning policies use it to install their hooks.  ``record_events``
+    mirrors :func:`run_private_mode`: pass False when no consumer reads the
+    per-event lists (only aggregate counters and epoch buckets).
     """
     system = CMPSystem(
         config,
         traces,
         target_instructions=target_instructions,
         interval_instructions=interval_instructions,
+        record_events=record_events,
     )
     if configure_system is not None:
         configure_system(system)

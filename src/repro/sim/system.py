@@ -6,11 +6,22 @@ shared resources observe requests in a realistic interleaving.  Hooks fire at
 fixed-cycle boundaries so invasive accounting (ASM's epoch priority rotation)
 and the cache-partitioning policies can act mid-run, exactly like the hardware
 mechanisms they model.
+
+Cores advance in *batches* (:meth:`OutOfOrderCore.step_until`): the scheduler
+computes the next deadline — the earliest other core's event time plus the
+``batch_cycles`` slack, or the next periodic-hook boundary, whichever comes
+first — and lets the popped core run instructions in a tight loop until it
+reaches that deadline.  ``batch_cycles`` bounds how far one core may run ahead
+of the others between scheduling decisions; ``batch_cycles=0`` reproduces the
+historical one-instruction-per-heap-pop interleaving exactly.  The default is
+``DEFAULT_BATCH_CYCLES`` and can be overridden with the ``REPRO_BATCH_CYCLES``
+environment variable.
 """
 
 from __future__ import annotations
 
 import heapq
+import os
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
@@ -21,7 +32,19 @@ from repro.mem.hierarchy import MemoryHierarchy
 from repro.config import CMPConfig
 from repro.workloads.trace import Trace
 
-__all__ = ["PeriodicHook", "CoreResult", "SystemResult", "CMPSystem"]
+__all__ = ["DEFAULT_BATCH_CYCLES", "PeriodicHook", "CoreResult", "SystemResult", "CMPSystem"]
+
+# How far (in cycles of simulated time) one core may run ahead of the slowest
+# other core between co-simulation scheduling decisions.  The heap ordering is
+# based on dispatch-time estimates, and a single instruction can already slip
+# by a full DRAM round trip (~200+ cycles), so a slack of this size adds
+# skew comparable to the scheduler's inherent disorder while letting cores
+# execute long instruction batches without per-instruction heap traffic.  It
+# stays an order of magnitude below the hook periods (ASM epochs are 2000
+# cycles), which still bound every batch exactly.
+DEFAULT_BATCH_CYCLES = 1024.0
+
+_INFINITY = float("inf")
 
 
 @dataclass
@@ -72,16 +95,29 @@ class SystemResult:
         return self.cores[core].intervals
 
 
+def _default_batch_cycles() -> float:
+    env = os.environ.get("REPRO_BATCH_CYCLES")
+    if env is not None and env != "":
+        return float(env)
+    return DEFAULT_BATCH_CYCLES
+
+
 class CMPSystem:
     """A configured CMP running one trace per active core."""
 
     def __init__(self, config: CMPConfig, traces: dict[int, Trace],
-                 target_instructions: int, interval_instructions: int | None = None):
+                 target_instructions: int, interval_instructions: int | None = None,
+                 batch_cycles: float | None = None, record_events: bool = True):
         if not traces:
             raise SimulationError("at least one core must be given a trace")
         config.validate()
         self.config = config
         self.target_instructions = target_instructions
+        if batch_cycles is None:
+            batch_cycles = _default_batch_cycles()
+        if batch_cycles < 0:
+            raise SimulationError("batch_cycles cannot be negative")
+        self.batch_cycles = batch_cycles
         self.hierarchy = MemoryHierarchy(config, active_cores=sorted(traces))
         self.cores: dict[int, OutOfOrderCore] = {
             core_id: OutOfOrderCore(
@@ -91,11 +127,16 @@ class CMPSystem:
                 self.hierarchy,
                 target_instructions=target_instructions,
                 interval_instructions=interval_instructions,
+                record_events=record_events,
             )
             for core_id, trace in traces.items()
         }
         self.benchmark_names = {core_id: trace.name for core_id, trace in traces.items()}
         self._hooks: list[PeriodicHook] = []
+        # Minimum next_fire across hooks, maintained incrementally so the
+        # common no-hook-due case is one float compare per batch instead of a
+        # loop over all hooks per instruction.
+        self._next_hook_fire = _INFINITY
         self.global_time = 0.0
 
     # ------------------------------------------------------------------ hooks
@@ -105,6 +146,8 @@ class CMPSystem:
         """Register a callback fired every ``period_cycles`` of simulated time."""
         hook = PeriodicHook(period_cycles=period_cycles, callback=callback)
         self._hooks.append(hook)
+        if hook.next_fire < self._next_hook_fire:
+            self._next_hook_fire = hook.next_fire
         return hook
 
     def _fire_hooks(self, now: float) -> None:
@@ -112,6 +155,9 @@ class CMPSystem:
             while now >= hook.next_fire:
                 hook.callback(hook.next_fire, self)
                 hook.next_fire += hook.period_cycles
+        self._next_hook_fire = min(
+            (hook.next_fire for hook in self._hooks), default=_INFINITY
+        )
 
     # ------------------------------------------------------------------ simulation
 
@@ -125,20 +171,42 @@ class CMPSystem:
         finishers still experience interference from nothing but the still-
         running cores, mirroring the paper's stop condition.
         """
+        cores = self.cores
+        if len(cores) == 1:
+            # Private mode: no co-simulation ordering to maintain, so the
+            # single core runs hook-boundary to hook-boundary (or straight to
+            # completion when no hooks are installed) without touching a heap.
+            ((_core_id, core),) = cores.items()
+            while not core.finished:
+                core.step_until(_INFINITY, self._next_hook_fire)
+                now = core.current_time
+                if now > self.global_time:
+                    self.global_time = now
+                if self.global_time >= self._next_hook_fire:
+                    self._fire_hooks(self.global_time)
+            return self._collect_results()
+
+        slack = self.batch_cycles
         heap: list[tuple[float, int]] = [
-            (core.next_event_time(), core_id) for core_id, core in self.cores.items()
+            (core.next_event_time(), core_id) for core_id, core in cores.items()
         ]
         heapq.heapify(heap)
+        heappop = heapq.heappop
+        heappush = heapq.heappush
         while heap:
-            event_time, core_id = heapq.heappop(heap)
-            core = self.cores[core_id]
+            _event_time, core_id = heappop(heap)
+            core = cores[core_id]
             if core.finished:
                 continue
-            core.step()
-            self.global_time = max(self.global_time, core.current_time)
-            self._fire_hooks(self.global_time)
+            time_limit = heap[0][0] + slack if heap else _INFINITY
+            core.step_until(time_limit, self._next_hook_fire)
+            now = core.current_time
+            if now > self.global_time:
+                self.global_time = now
+            if self.global_time >= self._next_hook_fire:
+                self._fire_hooks(self.global_time)
             if not core.finished:
-                heapq.heappush(heap, (core.next_event_time(), core_id))
+                heappush(heap, (core.next_event_time(), core_id))
         return self._collect_results()
 
     def _collect_results(self) -> SystemResult:

@@ -13,6 +13,7 @@ import random
 from dataclasses import dataclass, field
 
 from repro.errors import TraceError
+from repro.workloads.seeding import stable_hash
 from repro.workloads.synthetic import SPEC_LIKE_BENCHMARKS
 
 __all__ = [
@@ -85,7 +86,7 @@ def generate_category_workloads(
         raise TraceError(
             f"category {category} has too few benchmarks ({len(pool)}) for {n_cores} cores"
         )
-    rng = random.Random(seed ^ (n_cores << 8) ^ hash(category))
+    rng = random.Random(seed ^ (n_cores << 8) ^ stable_hash(category))
     workloads = []
     for index in range(count):
         bag = pool * max_repeats
@@ -117,7 +118,7 @@ def generate_mixed_workloads(
     if len(mix) != n_cores:
         raise TraceError(f"mix '{mix}' must name one category per core ({n_cores})")
     grouped = benchmarks_by_category(categories)
-    rng = random.Random(seed ^ (n_cores << 16) ^ hash(mix))
+    rng = random.Random(seed ^ (n_cores << 16) ^ stable_hash(mix))
     workloads = []
     for index in range(count):
         picked: list[str] = []

@@ -1,0 +1,20 @@
+"""Stable seed derivation for workload and trace generation.
+
+Python's built-in ``hash()`` is randomized per process for strings, so
+seeding an RNG with ``hash(name)`` makes "deterministic" generation differ
+between interpreter invocations — and between the serial and process-parallel
+sweep executors.  All generators derive their seeds through
+:func:`stable_hash` instead, which is stable across processes, platforms and
+Python versions.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+__all__ = ["stable_hash"]
+
+
+def stable_hash(text: str) -> int:
+    """A process-stable 32-bit hash of ``text`` (CRC-32)."""
+    return zlib.crc32(text.encode("utf-8"))

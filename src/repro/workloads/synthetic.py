@@ -25,7 +25,8 @@ import random
 from dataclasses import dataclass
 
 from repro.errors import TraceError
-from repro.workloads.trace import Trace, TraceBuilder
+from repro.workloads.seeding import stable_hash
+from repro.workloads.trace import InstrKind, Trace, TraceBuilder, _compute_fillers
 
 __all__ = [
     "BenchmarkSpec",
@@ -103,12 +104,14 @@ def generate_trace(spec: BenchmarkSpec, num_instructions: int, seed: int = 0) ->
     spec.validate()
     if num_instructions <= 0:
         raise TraceError("num_instructions must be positive")
-    rng = random.Random((hash(spec.name) & 0xFFFF_FFFF) ^ seed)
+    rng = random.Random((stable_hash(spec.name) & 0xFFFF_FFFF) ^ seed)
     builder = TraceBuilder(name=spec.name)
-    base_address = (hash(spec.name) & 0xFF) * (1 << 26)
+    base_address = (stable_hash(spec.name) & 0xFF) * (1 << 26)
     generator = _PATTERN_GENERATORS[spec.pattern]
     generator(spec, builder, num_instructions, rng, base_address)
-    return builder.build()
+    # Pattern generators only emit structurally valid instruction streams;
+    # skip the O(n) validation pass on this hot setup path.
+    return builder.build(validate=False)
 
 
 def _lines_in_footprint(spec: BenchmarkSpec) -> int:
@@ -125,18 +128,44 @@ class _Emitter:
         self.previous_load: int | None = None
 
     def touch_line(self, address: int, dependent: bool = False) -> None:
-        """Emit ``line_reuse`` accesses to one line plus the trailing compute block."""
+        """Emit ``line_reuse`` accesses to one line plus the trailing compute block.
+
+        The builder's per-instruction methods are inlined here (plain list
+        appends): this loop emits every instruction of every generated trace
+        and the method-call overhead is measurable in experiment setup time.
+        The RNG call sequence exactly matches the method-based formulation.
+        """
         spec = self.spec
+        rng = self.rng
+        rng_random = rng.random
+        builder = self.builder
+        kinds = builder.kinds
+        addresses = builder.addresses
+        deps = builder.deps
+        store_fraction = spec.store_fraction
+        compute_per_load = spec.compute_per_load
         for repeat in range(spec.line_reuse):
             offset = (repeat * 8) % LINE_BYTES
-            if self.rng.random() < spec.store_fraction:
-                self.builder.add_store(address + offset)
+            if rng_random() < store_fraction:
+                kinds.append(InstrKind.STORE)
+                addresses.append(address + offset)
+                deps.append(-1)
             elif dependent and repeat == 0:
-                self.previous_load = self.builder.add_load(address + offset, depends_on=self.previous_load)
+                previous = self.previous_load
+                self.previous_load = len(kinds)
+                kinds.append(InstrKind.LOAD)
+                addresses.append(address + offset)
+                deps.append(previous if previous is not None else -1)
             else:
-                self.previous_load = self.builder.add_load(address + offset)
-            if spec.compute_per_load:
-                self.builder.add_compute(_jitter(self.rng, spec.compute_per_load))
+                self.previous_load = len(kinds)
+                kinds.append(InstrKind.LOAD)
+                addresses.append(address + offset)
+                deps.append(-1)
+            if compute_per_load:
+                fillers = _compute_fillers(_jitter(rng, compute_per_load))
+                kinds.extend(fillers[0])
+                addresses.extend(fillers[1])
+                deps.extend(fillers[2])
 
 
 def _gen_stream(spec, builder, num_instructions, rng, base_address) -> None:
@@ -219,10 +248,24 @@ def _gen_phased(spec, builder, num_instructions, rng, base_address) -> None:
 
 
 def _jitter(rng: random.Random, mean: int) -> int:
-    """Small random variation around ``mean`` so commit periods vary in length."""
+    """Small random variation around ``mean`` so commit periods vary in length.
+
+    Equivalent to ``mean + rng.randint(-mean // 4, mean // 4)`` but invoking
+    ``Random._randbelow`` directly: ``randint`` resolves to exactly one
+    ``_randbelow(width)`` call internally, so the drawn sequence is identical
+    while skipping two delegation frames on this very hot generation path
+    (with a fallback when the private helper is unavailable).
+    """
     if mean <= 1:
         return max(1, mean)
-    return max(1, mean + rng.randint(-mean // 4, mean // 4))
+    # Note: ``-mean // 4`` floors towards negative infinity, so the range is
+    # [-ceil(mean/4), floor(mean/4)] — preserved exactly.
+    low = -mean // 4
+    width = mean // 4 - low + 1
+    randbelow = getattr(rng, "_randbelow", None)
+    if randbelow is None:
+        return max(1, mean + low + rng.randrange(width))
+    return max(1, mean + low + randbelow(width))
 
 
 _PATTERN_GENERATORS = {

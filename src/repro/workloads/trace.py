@@ -9,6 +9,7 @@ how pointer-chasing and other serialising access patterns are expressed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 from repro.errors import TraceError
 
@@ -129,6 +130,20 @@ class Trace:
         return memory_ops / len(self.kinds)
 
 
+@lru_cache(maxsize=256)
+def _compute_fillers(count: int) -> tuple[tuple[int, ...], tuple[int, ...], tuple[int, ...]]:
+    """Cached (kinds, addresses, deps) filler tuples for compute blocks.
+
+    Generators append millions of short compute runs; reusing immutable
+    filler tuples avoids three throwaway list allocations per block.
+    """
+    return (
+        (InstrKind.COMPUTE,) * count,
+        (0,) * count,
+        (-1,) * count,
+    )
+
+
 class TraceBuilder:
     """Incremental construction of a :class:`Trace`."""
 
@@ -145,9 +160,10 @@ class TraceBuilder:
         """Append ``count`` compute instructions."""
         if count < 0:
             raise TraceError("compute count cannot be negative")
-        self.kinds.extend([InstrKind.COMPUTE] * count)
-        self.addresses.extend([0] * count)
-        self.deps.extend([-1] * count)
+        fillers = _compute_fillers(count)
+        self.kinds.extend(fillers[0])
+        self.addresses.extend(fillers[1])
+        self.deps.extend(fillers[2])
 
     def add_load(self, address: int, depends_on: int | None = None) -> int:
         """Append a load and return its instruction index."""
@@ -167,13 +183,19 @@ class TraceBuilder:
         self.deps.append(-1)
         return index
 
-    def build(self) -> Trace:
-        """Return the built trace after validating it."""
+    def build(self, validate: bool = True) -> Trace:
+        """Return the built trace, validating it unless ``validate`` is False.
+
+        Generators whose output is valid by construction (the synthetic
+        benchmark patterns) pass ``validate=False``: the check is a full
+        O(n) pass per trace and shows up in experiment setup time.
+        """
         trace = Trace(
             kinds=list(self.kinds),
             addresses=list(self.addresses),
             deps=list(self.deps),
             name=self.name,
         )
-        trace.validate()
+        if validate:
+            trace.validate()
         return trace

@@ -54,7 +54,8 @@ def test_cache_occupancy_never_exceeds_associativity(line_indices, associativity
     for line in line_indices:
         cache.access(line * 64)
     for index in range(cache.num_sets):
-        assert len(cache._sets[index]) <= associativity
+        assert sum(cache.set_occupancy(index).values()) <= associativity
+        assert len(cache.lines(index)) <= associativity
 
 
 @given(st.lists(st.integers(0, 31), min_size=1, max_size=150))

@@ -22,7 +22,7 @@ class TestScales:
 
 
 class TestMain:
-    def _tiny_summary(self, scale):
+    def _tiny_summary(self, scale, jobs=None):
         assert scale in SCALES
         return {"scale": scale, "figure3_ipc_rms": {}, "elapsed_seconds": 0.0}
 
