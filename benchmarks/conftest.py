@@ -16,6 +16,11 @@ from __future__ import annotations
 
 import os
 
+# Benchmarks measure figure *regeneration*: a warm content-addressed result
+# cache would reduce them to pickle-load timings, so the cache is off here
+# unless the caller explicitly sets REPRO_CACHE (e.g. to benchmark warm runs).
+os.environ.setdefault("REPRO_CACHE", "0")
+
 import pytest
 
 from repro.experiments.figure6 import Figure6Settings

@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Compare two pytest-benchmark JSON files and fail on wall-clock regressions.
+
+Usage::
+
+    python scripts/compare_bench.py BASELINE.json CURRENT.json \
+        [--max-regression 0.25] [--metric min]
+
+Benchmarks are matched by their pytest node name.  For every benchmark
+present in both files the chosen statistic (default: ``min`` wall-clock,
+which is the most noise-resistant point of a benchmark distribution) is
+compared; the run fails (exit code 1) when any benchmark regressed by more
+than ``--max-regression`` (a fraction: 0.25 means "25% slower than the
+baseline").  Benchmarks that only exist on one side are reported but do not
+fail the comparison, so the suite can grow without invalidating history.
+
+Absolute timings move with the host; compare files recorded on comparable
+machines (CI runners of the same class, or the same laptop).  The committed
+``benchmarks/baseline.json`` is the repo's reference trajectory: regenerate
+it with ``pytest benchmarks/... --benchmark-json=benchmarks/baseline.json``
+whenever a PR intentionally shifts performance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+DEFAULT_MAX_REGRESSION = 0.25
+
+
+def load_benchmarks(path: str) -> dict[str, dict]:
+    """Map benchmark node name -> stats dict for one pytest-benchmark file."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    benchmarks = payload.get("benchmarks", [])
+    if not isinstance(benchmarks, list):
+        raise SystemExit(f"{path}: not a pytest-benchmark JSON file")
+    return {entry["name"]: entry.get("stats", {}) for entry in benchmarks}
+
+
+def compare(baseline: dict[str, dict], current: dict[str, dict],
+            max_regression: float, metric: str) -> tuple[list[str], bool]:
+    """Return (report lines, failed) for the two benchmark maps."""
+    lines: list[str] = []
+    failed = False
+    shared = sorted(set(baseline) & set(current))
+    if not shared:
+        return [f"no common benchmarks between the two files "
+                f"({len(baseline)} baseline, {len(current)} current)"], True
+    width = max(len(name) for name in shared)
+    for name in shared:
+        old = baseline[name].get(metric)
+        new = current[name].get(metric)
+        if not isinstance(old, (int, float)) or not isinstance(new, (int, float)) or old <= 0:
+            lines.append(f"{name:<{width}}  SKIP (missing or invalid '{metric}' stat)")
+            continue
+        change = new / old - 1.0
+        status = "ok"
+        if change > max_regression:
+            status = "REGRESSION"
+            failed = True
+        elif change < -max_regression:
+            status = "improved"
+        lines.append(
+            f"{name:<{width}}  {metric} {old:.4f}s -> {new:.4f}s  "
+            f"({change:+.1%})  {status}"
+        )
+    for name in sorted(set(baseline) - set(current)):
+        lines.append(f"{name:<{width}}  only in baseline (removed?)")
+    for name in sorted(set(current) - set(baseline)):
+        lines.append(f"{name:<{width}}  only in current (new benchmark)")
+    return lines, failed
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("baseline", help="reference BENCH_*.json (e.g. benchmarks/baseline.json)")
+    parser.add_argument("current", help="freshly recorded BENCH_*.json")
+    parser.add_argument("--max-regression", type=float, default=DEFAULT_MAX_REGRESSION,
+                        help="failure threshold as a fraction (default: 0.25 = 25%%)")
+    parser.add_argument("--metric", default="min", choices=("min", "mean", "median"),
+                        help="which wall-clock statistic to compare (default: min)")
+    arguments = parser.parse_args(argv)
+    if arguments.max_regression < 0:
+        parser.error("--max-regression cannot be negative")
+
+    baseline = load_benchmarks(arguments.baseline)
+    current = load_benchmarks(arguments.current)
+    lines, failed = compare(baseline, current, arguments.max_regression, arguments.metric)
+    header = (f"benchmark comparison ({arguments.metric} wall-clock, "
+              f"fail over +{arguments.max_regression:.0%})")
+    print(header)
+    print("-" * len(header))
+    for line in lines:
+        print(line)
+    if failed:
+        print("FAILED: at least one benchmark regressed past the threshold")
+        return 1
+    print("OK: no benchmark regressed past the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

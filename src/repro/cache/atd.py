@@ -36,11 +36,22 @@ class AuxiliaryTagDirectory:
         self.line_bytes = llc_config.line_bytes
         self.sampled_sets = min(sampled_sets, self.num_llc_sets)
         # Sample sets at a regular stride so the sample spans the whole index
-        # space (simple static set sampling).
+        # space (simple static set sampling).  Membership is the pure
+        # arithmetic test ``index % stride == 0 and index // stride <
+        # sampled_sets``; it is materialised once into a dense slot table so
+        # the per-access hot path (here and inlined in
+        # repro.mem.hierarchy._shared_access) is a single branch-free list
+        # index instead of a hash lookup.
         stride = max(1, self.num_llc_sets // self.sampled_sets)
-        self._sampled_indices = {stride * i for i in range(self.sampled_sets)}
-        # Each sampled set is an LRU stack of tags (index 0 = MRU).
-        self._stacks: dict[int, list[int]] = {index: [] for index in self._sampled_indices}
+        self._stride = stride
+        self._slot_by_set = [-1] * self.num_llc_sets
+        for slot in range(self.sampled_sets):
+            self._slot_by_set[stride * slot] = slot
+        # Sampled stacks are stored densely, indexed by ``set_index // stride``
+        # (the "slot").  Each stack is an LRU list of tags (index 0 = MRU).
+        self._stacks: list[list[int]] = [[] for _ in range(self.sampled_sets)]
+        # Kept for introspection and tests; the hot path never consults it.
+        self._sampled_indices = frozenset(stride * i for i in range(self.sampled_sets))
         # Shift/mask address decomposition for power-of-two geometry, with a
         # divmod fallback (mirrors SetAssociativeCache).
         self._line_shift = self.line_bytes.bit_length() - 1
@@ -66,9 +77,16 @@ class AuxiliaryTagDirectory:
             return address >> self._tag_shift
         return address // (self.line_bytes * self.num_llc_sets)
 
+    def stack_for(self, set_index: int) -> list[int] | None:
+        """The LRU stack sampling ``set_index``, or None when it is unsampled."""
+        slot = self._slot_by_set[set_index]
+        if slot < 0:
+            return None
+        return self._stacks[slot]
+
     def samples(self, address: int) -> bool:
         """True when the address maps to a sampled set."""
-        return self.set_index(address) in self._sampled_indices
+        return self.stack_for(self.set_index(address)) is not None
 
     @property
     def sampling_factor(self) -> float:
@@ -88,7 +106,7 @@ class AuxiliaryTagDirectory:
             index = (address >> self._line_shift) & mask
         else:
             index = (address // self.line_bytes) % self.num_llc_sets
-        stack = self._stacks.get(index)
+        stack = self.stack_for(index)
         if stack is None:
             return None
         if mask is not None:
@@ -120,10 +138,10 @@ class AuxiliaryTagDirectory:
 
     def would_hit(self, address: int) -> bool | None:
         """Non-destructive probe: would the private-mode LLC hit this address?"""
-        index = self.set_index(address)
-        if index not in self._sampled_indices:
+        stack = self.stack_for(self.set_index(address))
+        if stack is None:
             return None
-        return self.tag(address) in self._stacks[index]
+        return self.tag(address) in stack
 
     # ------------------------------------------------------------------ miss curves
 

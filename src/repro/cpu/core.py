@@ -147,9 +147,9 @@ class OutOfOrderCore:
             return
         # ---- hoist instance state into locals (the entire point of batching)
         trace = self.trace
-        kinds = trace.kinds
-        addresses = trace.addresses
-        deps = trace.deps
+        # Unboxed column views: indexing the packed arrays directly would
+        # re-box one int per access in this per-instruction loop.
+        kinds, addresses, deps = trace.hot()
         trace_length = len(kinds)
         dispatch_interval = self._dispatch_interval
         commit_interval = self._commit_interval

@@ -23,3 +23,7 @@ class AccountingError(ReproError):
 
 class PartitioningError(ReproError):
     """Raised when a cache-partitioning policy produces an invalid allocation."""
+
+
+class CacheKeyError(ReproError):
+    """Raised when a value cannot be canonicalised into a result-cache key."""

@@ -10,28 +10,50 @@ consistently.
 
 The figure experiments are embarrassingly parallel across (workload, config)
 cells — every cell is an independent pure function of its arguments.
-:func:`run_parallel` fans cells across a :class:`ProcessPoolExecutor`;
-``REPRO_JOBS`` (or the ``jobs`` argument) selects the worker count, and
-``jobs=1`` (the default on single-CPU machines) runs the exact same cells
-serially in the same order, producing bit-identical results.
+:func:`run_parallel` is the one fan-out point they all share:
+
+* **Memoisation** — each cell is first looked up in the content-addressed
+  result cache (:mod:`repro.sim.result_cache`); only misses are computed and
+  the results persisted, so a warm rerun of an identical sweep touches no
+  simulator code at all.  ``REPRO_CACHE=0`` disables this.
+* **Persistent process pool** — misses are fanned across one shared,
+  lazily-created :class:`~concurrent.futures.ProcessPoolExecutor` that is
+  reused for every figure of a run (``REPRO_JOBS`` / the ``jobs`` argument
+  selects the worker count); creating a pool per experiment would pay
+  worker spawn and import cost once per figure.  Call
+  :func:`shutdown_executor` for an explicit teardown (``run_all`` does).
+* **Scheduling** — tasks are submitted in chunks (``map`` with a computed
+  chunksize) and, when the caller provides a ``cost_key``, largest cells
+  first so a long cell cannot strand the pool's tail; results are always
+  returned in submission order, bit-identical to the serial fallback used
+  when ``jobs`` resolves to 1 or only one task is pending.
 """
 
 from __future__ import annotations
 
+import atexit
 import os
 from collections.abc import Callable, Sequence
 
+from repro.errors import CacheKeyError, ConfigurationError
 from repro.config import CMPConfig
+from repro.sim.result_cache import get_result_cache, is_cacheable_function, task_digest
 
 __all__ = [
     "EXPERIMENT_LLC_KILOBYTES",
     "default_experiment_config",
+    "get_executor",
     "resolve_jobs",
     "run_parallel",
+    "shutdown_executor",
 ]
 
 # Scaled LLC capacity per core count, mirroring Table I's 8/8/16 MB.
 EXPERIMENT_LLC_KILOBYTES = {2: 128, 4: 128, 8: 256}
+
+# Target chunks per worker when chunking map submissions: small enough to
+# load-balance, large enough to amortise inter-process transfer.
+_CHUNKS_PER_WORKER = 4
 
 
 def default_experiment_config(n_cores: int, llc_kilobytes: int | None = None) -> CMPConfig:
@@ -45,33 +67,198 @@ def resolve_jobs(jobs: int | None = None) -> int:
     """Worker count for parallel sweeps.
 
     Explicit ``jobs`` wins; otherwise the ``REPRO_JOBS`` environment variable;
-    otherwise the machine's CPU count.  Always at least 1.
+    otherwise the machine's CPU count.  Always at least 1.  A ``REPRO_JOBS``
+    value that is not a positive integer raises
+    :class:`~repro.errors.ConfigurationError` — silently clamping (or the
+    bare ``ValueError`` ``int()`` used to throw) hid typos like
+    ``REPRO_JOBS=all`` or ``REPRO_JOBS=-4`` until deep inside a sweep.
     """
     if jobs is None:
         env = os.environ.get("REPRO_JOBS")
-        if env is not None and env != "":
-            jobs = int(env)
+        if env is not None and env.strip() != "":
+            try:
+                jobs = int(env)
+            except ValueError:
+                raise ConfigurationError(
+                    f"REPRO_JOBS must be a positive integer, got {env!r}"
+                ) from None
+            if jobs <= 0:
+                raise ConfigurationError(
+                    f"REPRO_JOBS must be a positive integer, got {env!r}"
+                )
         else:
             jobs = os.cpu_count() or 1
     return max(1, jobs)
 
 
+# ------------------------------------------------------------------ persistent pool
+
+_EXECUTOR = None
+_EXECUTOR_WORKERS = 0
+_EXECUTOR_ENV_FINGERPRINT = ""
+_SHUTDOWN_REGISTERED = False
+
+
+def _worker_env_fingerprint() -> str:
+    """Ambient knobs that worker processes snapshot when the pool is created.
+
+    Workers read ``REPRO_BATCH_CYCLES`` from their *own* environment (frozen
+    at pool creation), while cache digests use the parent's current value; a
+    pool that outlives an env change would therefore compute with the old
+    knob and persist results under the new knob's digest.  The fingerprint
+    forces a pool rebuild whenever a result-affecting ambient knob changes.
+    """
+    from repro.sim.system import resolved_batch_cycles
+
+    return repr(resolved_batch_cycles())
+
+
+def get_executor(workers: int):
+    """The shared process pool, created lazily and reused across experiments.
+
+    A pool with a different worker count — or a different ambient-knob
+    fingerprint (see :func:`_worker_env_fingerprint`) — replaces the existing
+    one (the old pool is shut down first).  The pool is torn down
+    automatically at interpreter exit; ``run_all`` additionally shuts it down
+    explicitly when a run completes.
+    """
+    global _EXECUTOR, _EXECUTOR_WORKERS, _EXECUTOR_ENV_FINGERPRINT, _SHUTDOWN_REGISTERED
+    if workers <= 0:
+        raise ConfigurationError("the process pool needs at least one worker")
+    fingerprint = _worker_env_fingerprint()
+    if _EXECUTOR is not None and (
+        _EXECUTOR_WORKERS != workers or _EXECUTOR_ENV_FINGERPRINT != fingerprint
+    ):
+        shutdown_executor()
+    if _EXECUTOR is None:
+        from concurrent.futures import ProcessPoolExecutor
+
+        _EXECUTOR = ProcessPoolExecutor(max_workers=workers)
+        _EXECUTOR_WORKERS = workers
+        _EXECUTOR_ENV_FINGERPRINT = fingerprint
+        if not _SHUTDOWN_REGISTERED:
+            atexit.register(shutdown_executor)
+            _SHUTDOWN_REGISTERED = True
+    return _EXECUTOR
+
+
+def shutdown_executor() -> None:
+    """Tear down the shared process pool (no-op when none exists)."""
+    global _EXECUTOR, _EXECUTOR_WORKERS, _EXECUTOR_ENV_FINGERPRINT
+    if _EXECUTOR is not None:
+        _EXECUTOR.shutdown()
+        _EXECUTOR = None
+        _EXECUTOR_WORKERS = 0
+        _EXECUTOR_ENV_FINGERPRINT = ""
+
+
+def _star_call(payload):
+    """Top-level ``map`` adapter: apply a picklable function to one task tuple."""
+    function, args = payload
+    return function(*args)
+
+
+def _map_on_pool(function: Callable, tasks: list[tuple], workers: int,
+                 cost_key: Callable[[tuple], float] | None) -> list:
+    """Fan tasks over the shared pool; results come back in task order.
+
+    With a ``cost_key``, tasks are *submitted* largest-first (stable order
+    for equal costs) so stragglers start early, then the result list is
+    permuted back to submission order — the output is bit-identical to the
+    serial evaluation because every cell is a pure function.
+    """
+    order = list(range(len(tasks)))
+    if cost_key is not None:
+        order.sort(key=lambda index: -cost_key(tasks[index]))
+        # Chunking a cost-sorted sequence would hand the heaviest cells to a
+        # single worker as one sequential chunk — the opposite of straggler
+        # avoidance.  Per-task dispatch keeps the expensive cells spread
+        # across workers; its IPC overhead is noise against simulation cells.
+        chunksize = 1
+    else:
+        chunksize = max(1, -(-len(tasks) // (workers * _CHUNKS_PER_WORKER)))
+    payloads = [(function, tasks[index]) for index in order]
+    pool = get_executor(workers)
+    try:
+        mapped = list(pool.map(_star_call, payloads, chunksize=chunksize))
+    except BaseException:
+        # A broken pool (e.g. a worker killed by the OOM killer) poisons
+        # every later submission; drop it so the next call starts fresh.
+        shutdown_executor()
+        raise
+    results: list = [None] * len(tasks)
+    for position, index in enumerate(order):
+        results[index] = mapped[position]
+    return results
+
+
+# ------------------------------------------------------------------ cached fan-out
+
+
 def run_parallel(function: Callable, argument_tuples: Sequence[tuple],
-                 jobs: int | None = None) -> list:
+                 jobs: int | None = None,
+                 cost_key: Callable[[tuple], float] | None = None,
+                 cache: bool = True) -> list:
     """Apply ``function`` to every argument tuple, in order, possibly in parallel.
 
     ``function`` must be a picklable top-level callable and a pure function of
     its arguments (every experiment cell evaluator is).  Results are returned
     in submission order, so the output is bit-identical to the serial
-    ``[function(*args) for args in argument_tuples]`` — the serial fallback
-    used when ``jobs`` resolves to 1 or there is only one task.
-    """
-    jobs = resolve_jobs(jobs)
-    tasks = list(argument_tuples)
-    if jobs <= 1 or len(tasks) <= 1:
-        return [function(*args) for args in tasks]
-    from concurrent.futures import ProcessPoolExecutor
+    ``[function(*args) for args in argument_tuples]`` fallback regardless of
+    worker count, scheduling order or cache state.
 
-    with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
-        futures = [pool.submit(function, *args) for args in tasks]
-        return [future.result() for future in futures]
+    Results of functions defined in the ``repro`` package are transparently
+    memoised in the content-addressed result cache (see
+    :mod:`repro.sim.result_cache`); pass ``cache=False`` or set
+    ``REPRO_CACHE=0`` to force computation.  ``cost_key`` maps one argument
+    tuple to a relative cost estimate used for largest-first scheduling.
+    """
+    tasks = list(argument_tuples)
+    if not tasks:
+        return []
+    # Validate the jobs knob eagerly: a typo in REPRO_JOBS must surface even
+    # when every cell is served from the cache and no pool is ever built.
+    workers = resolve_jobs(jobs)
+    results: list = [None] * len(tasks)
+    pending = list(range(len(tasks)))
+    digests: list[str] | None = None
+
+    result_cache = get_result_cache() if cache else None
+    use_cache = (
+        result_cache is not None
+        and result_cache.enabled
+        and is_cacheable_function(function)
+    )
+    if use_cache:
+        # Ambient result-affecting knobs read inside the evaluators (not part
+        # of the task tuples) must be folded into the digest: a run with a
+        # different co-simulation batch slack simulates different
+        # interleavings and may not share cache entries.
+        from repro.sim.system import resolved_batch_cycles
+
+        extra = ("batch_cycles", repr(resolved_batch_cycles()))
+        try:
+            digests = [task_digest(function, args, extra=extra) for args in tasks]
+        except CacheKeyError:
+            # Uncacheable argument (e.g. a local callable): compute everything.
+            use_cache = False
+        else:
+            pending = []
+            for index, digest in enumerate(digests):
+                hit, value = result_cache.get(digest)
+                if hit:
+                    results[index] = value
+                else:
+                    pending.append(index)
+
+    if pending:
+        miss_tasks = [tasks[index] for index in pending]
+        if workers <= 1 or len(miss_tasks) <= 1:
+            computed = [function(*args) for args in miss_tasks]
+        else:
+            computed = _map_on_pool(function, miss_tasks, workers, cost_key)
+        for index, value in zip(pending, computed):
+            results[index] = value
+            if use_cache:
+                result_cache.put(digests[index], value)
+    return results

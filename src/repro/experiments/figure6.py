@@ -78,6 +78,13 @@ class Figure6Result:
         return "\n".join(lines)
 
 
+def _throughput_cell_cost(args: tuple) -> float:
+    """Relative cost of one case-study cell: one shared run per policy plus
+    one private run per core, all proportional to the instruction count."""
+    workload, _config, policies, instructions_per_core = args[0], args[1], args[2], args[3]
+    return float(len(workload.benchmarks) * (len(policies) + 1) * instructions_per_core)
+
+
 def run_figure6(settings: Figure6Settings | None = None,
                 config_factory=default_experiment_config,
                 jobs: int | None = None) -> Figure6Result:
@@ -108,7 +115,8 @@ def run_figure6(settings: Figure6Settings | None = None,
                     settings.repartition_interval_cycles,
                     settings.seed,
                 ))
-    cell_results_flat = run_workloads_parallel(evaluate_workload_throughput, tasks, jobs=jobs)
+    cell_results_flat = run_workloads_parallel(evaluate_workload_throughput, tasks, jobs=jobs,
+                                               cost_key=_throughput_cell_cost)
     for key, cell_result in zip(cell_keys, cell_results_flat):
         result.per_workload.setdefault(key, []).append(cell_result)
     for (n_cores, category), cell_results in result.per_workload.items():

@@ -15,6 +15,7 @@ import argparse
 import json
 import time
 
+from repro.experiments.common import shutdown_executor
 from repro.experiments.figure3 import run_figure3
 from repro.experiments.figure4 import run_figure4
 from repro.experiments.figure5 import run_figure5
@@ -22,6 +23,7 @@ from repro.experiments.figure6 import Figure6Settings, run_figure6
 from repro.experiments.figure7 import Figure7Settings, run_figure7
 from repro.experiments.summary import run_headline_summary
 from repro.experiments.sweep import SweepSettings, run_accuracy_sweep
+from repro.sim.result_cache import get_result_cache
 
 __all__ = ["SCALES", "run_all", "main"]
 
@@ -46,35 +48,47 @@ def run_all(scale: str = "small", jobs: int | None = None) -> dict:
     knobs = SCALES[scale]
     start = time.time()
 
-    sweep = run_accuracy_sweep(SweepSettings(
-        core_counts=knobs["core_counts"],
-        categories=("H", "M", "L"),
-        workloads_per_category=knobs["workloads"],
-        instructions_per_core=knobs["instructions"],
-        interval_instructions=knobs["interval"],
-        collect_components=True,
-    ), jobs=jobs)
-    figure3 = run_figure3(sweep=sweep)
-    figure4 = run_figure4(sweep=sweep)
-    figure5 = run_figure5(sweep=sweep)
-    figure6 = run_figure6(Figure6Settings(
-        core_counts=knobs["core_counts"],
-        categories=("H", "M", "L"),
-        workloads_per_category=knobs["workloads"],
-        instructions_per_core=knobs["case_instructions"],
-        interval_instructions=knobs["interval"],
-    ), jobs=jobs)
-    figure7 = run_figure7(Figure7Settings(
-        categories=("H", "M", "L"),
-        workloads_per_category=knobs["workloads"],
-        instructions_per_core=knobs["instructions"],
-        interval_instructions=knobs["interval"],
-    ), jobs=jobs)
-    headline = run_headline_summary(accuracy_sweep=sweep, figure6=figure6)
+    # All figures fan their cells through the shared persistent process pool
+    # and the content-addressed result cache; the pool is shut down when the
+    # run completes (it would otherwise idle until interpreter exit).
+    try:
+        sweep = run_accuracy_sweep(SweepSettings(
+            core_counts=knobs["core_counts"],
+            categories=("H", "M", "L"),
+            workloads_per_category=knobs["workloads"],
+            instructions_per_core=knobs["instructions"],
+            interval_instructions=knobs["interval"],
+            collect_components=True,
+        ), jobs=jobs)
+        figure3 = run_figure3(sweep=sweep)
+        figure4 = run_figure4(sweep=sweep)
+        figure5 = run_figure5(sweep=sweep)
+        figure6 = run_figure6(Figure6Settings(
+            core_counts=knobs["core_counts"],
+            categories=("H", "M", "L"),
+            workloads_per_category=knobs["workloads"],
+            instructions_per_core=knobs["case_instructions"],
+            interval_instructions=knobs["interval"],
+        ), jobs=jobs)
+        figure7 = run_figure7(Figure7Settings(
+            categories=("H", "M", "L"),
+            workloads_per_category=knobs["workloads"],
+            instructions_per_core=knobs["instructions"],
+            interval_instructions=knobs["interval"],
+        ), jobs=jobs)
+        headline = run_headline_summary(accuracy_sweep=sweep, figure6=figure6)
+    finally:
+        shutdown_executor()
 
     for result in (figure3, figure4, figure5, figure6, figure7, headline):
         print(result.report())
         print()
+
+    cache = get_result_cache()
+    if cache.enabled:
+        stats = cache.stats
+        print(f"result cache: {stats.hits} hits, {stats.misses} misses, "
+              f"{stats.stores} stored ({cache.directory})")
 
     return {
         "scale": scale,

@@ -75,15 +75,26 @@ class AccuracySweep:
 
 
 def run_workloads_parallel(function: Callable, argument_tuples: Sequence[tuple],
-                           jobs: int | None = None) -> list:
+                           jobs: int | None = None,
+                           cost_key: Callable[[tuple], float] | None = None,
+                           cache: bool = True) -> list:
     """Evaluate independent (workload, config) cells, in parallel when possible.
 
     Thin facade over :func:`repro.experiments.common.run_parallel` shared by
     all figure experiments: ``function`` must be a picklable pure function of
     its arguments; results come back in submission order, so ``jobs=1`` (the
-    serial fallback) and any ``jobs>1`` produce identical outputs.
+    serial fallback) and any ``jobs>1`` produce identical outputs.  Cells are
+    memoised in the content-addressed result cache unless ``cache=False`` or
+    ``REPRO_CACHE=0``; ``cost_key`` enables largest-cells-first scheduling.
     """
-    return run_parallel(function, argument_tuples, jobs=jobs)
+    return run_parallel(function, argument_tuples, jobs=jobs, cost_key=cost_key,
+                        cache=cache)
+
+
+def _accuracy_cell_cost(args: tuple) -> float:
+    """Relative cost of one accuracy cell: cores x instructions dominates."""
+    workload, _config, instructions_per_core = args[0], args[1], args[2]
+    return float(len(workload.benchmarks) * instructions_per_core)
 
 
 def run_accuracy_sweep(settings: SweepSettings | None = None,
@@ -111,7 +122,8 @@ def run_accuracy_sweep(settings: SweepSettings | None = None,
                     settings.techniques,
                     settings.collect_components,
                 ))
-    results = run_workloads_parallel(evaluate_workload_accuracy, tasks, jobs=jobs)
+    results = run_workloads_parallel(evaluate_workload_accuracy, tasks, jobs=jobs,
+                                     cost_key=_accuracy_cell_cost)
     for key, result in zip(cell_keys, results):
         sweep.cells.setdefault(key, []).append(result)
     return sweep

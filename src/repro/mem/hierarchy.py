@@ -116,6 +116,10 @@ class MemoryHierarchy:
         self._llc_set_mask = self.llc._set_mask
         self._llc_tag_shift = self.llc._tag_shift
         self._llc_banks = config.llc.banks
+        # ATD set-sampling geometry is identical across cores (same LLC
+        # config), so one ATD's precomputed set->slot table serves the
+        # inlined membership lookup in _shared_access.
+        self._atd_slot_by_set = next(iter(self.atds.values()))._slot_by_set
         # With one active core the shadow (core-alone) schedules are provably
         # identical to the real schedules, so interference is exactly zero
         # and the shadow emulation can be skipped wholesale.
@@ -435,14 +439,15 @@ class MemoryHierarchy:
         else:
             tag = llc.tag(address)
         atd = self.atds[core]
-        stack = atd._stacks.get(set_index)
-        if stack is None:
-            atd_hit = None
-            counters.llc_accesses += 1
-        else:
-            atd_hit = atd.access_sampled(stack, tag)
-            counters.llc_accesses += 1
+        counters.llc_accesses += 1
+        # Sampled-set membership is one precomputed table lookup (built from
+        # the stride test in AuxiliaryTagDirectory.__init__): -1 = unsampled.
+        slot = self._atd_slot_by_set[set_index]
+        if slot >= 0:
+            atd_hit = atd.access_sampled(atd._stacks[slot], tag)
             counters.sampled_llc_accesses += 1
+        else:
+            atd_hit = None
 
         # LLC lookup, inlined (same flat-array kernel as the private levels;
         # partition-aware fills go through the shared SetAssociativeCache

@@ -12,6 +12,7 @@ from repro.config import (
     RingConfig,
 )
 from repro.sim.system import CMPSystem, CoreResult, PeriodicHook, SystemResult
+from repro.sim.result_cache import ResultCache, get_result_cache, task_digest
 from repro.sim.runner import (
     PrivateModeResult,
     WorkloadRunResult,
@@ -36,7 +37,10 @@ __all__ = [
     "SystemResult",
     "PeriodicHook",
     "PrivateModeResult",
+    "ResultCache",
     "WorkloadRunResult",
+    "get_result_cache",
+    "task_digest",
     "build_trace",
     "run_private_mode",
     "run_shared_mode",

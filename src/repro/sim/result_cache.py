@@ -1,0 +1,314 @@
+"""Content-addressed, cross-run memoisation of sweep cell results.
+
+Every (workload, config) cell of the paper's evaluation is a pure function of
+its arguments: the workload names the benchmarks, traces are regenerated
+deterministically from stable hashes, and the simulator has no hidden state.
+That makes each cell *content-addressable* — the result is fully determined
+by a canonical digest of
+
+* the evaluator function (module-qualified name),
+* its argument tuple (workloads, ``CMPConfig``, instruction counts, seeds,
+  technique/policy selections, batching knobs — anything reachable from the
+  task tuple), and
+* a *code epoch*: a digest over every source file of the ``repro`` package,
+  so any code change invalidates all previously cached results.
+
+Digests address pickled result payloads under an on-disk store
+(``.repro_cache/`` by default), shared by all processes and runs on the
+machine.  A warm rerun of ``repro.experiments.run_all`` therefore skips every
+simulation and only replays the cheap figure assembly.
+
+Knobs
+-----
+``REPRO_CACHE``
+    Set to ``0``/``false``/``no``/``off`` to disable the cache entirely
+    (default: enabled).
+``REPRO_CACHE_DIR``
+    Store directory (default ``.repro_cache`` under the current working
+    directory).
+
+Robustness
+----------
+Entries are written atomically (temp file + ``os.replace``) so concurrent
+writers can never expose a torn entry.  Corrupted, truncated or
+version-mismatched entries are treated as misses, deleted best-effort and
+recomputed.  Every cache instance keeps hit/miss/store/error counters.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, fields, is_dataclass
+from functools import lru_cache
+from pathlib import Path
+
+from repro.errors import CacheKeyError
+
+__all__ = [
+    "CACHE_FORMAT_VERSION",
+    "DEFAULT_CACHE_DIR",
+    "ResultCache",
+    "cache_enabled_from_env",
+    "canonical_key",
+    "code_epoch",
+    "get_result_cache",
+    "is_cacheable_function",
+    "task_digest",
+]
+
+# Bump when the entry layout (not the keyed inputs) changes; mismatched
+# entries are discarded and recomputed.
+CACHE_FORMAT_VERSION = 1
+
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+_FALSEY = {"0", "false", "no", "off"}
+
+
+# --------------------------------------------------------------------- keying
+
+
+def _canonical(value):
+    """Reduce ``value`` to a nested structure of primitives with a stable repr.
+
+    The reduction must be stable across processes, platforms and Python
+    versions: no ``hash()``, no ``id()``, dict/set iteration normalised by
+    sorting.  Unknown types raise :class:`CacheKeyError` so callers fall back
+    to computing instead of caching under an ambiguous key.
+    """
+    if value is None or value is True or value is False:
+        return value
+    kind = type(value)
+    if kind is int or kind is str or kind is bytes:
+        return value
+    if kind is float:
+        # repr() is the shortest round-tripping form, stable since CPython 3.1.
+        return ("float", repr(value))
+    if kind is tuple or kind is list:
+        return ("seq", tuple(_canonical(item) for item in value))
+    if kind is dict:
+        items = tuple(
+            sorted(
+                ((_canonical(key), _canonical(item)) for key, item in value.items()),
+                key=repr,
+            )
+        )
+        return ("dict", items)
+    if kind is set or kind is frozenset:
+        return ("set", tuple(sorted((_canonical(item) for item in value), key=repr)))
+    if is_dataclass(value) and not isinstance(value, type):
+        payload = tuple(
+            (field.name, _canonical(getattr(value, field.name)))
+            for field in fields(value)
+        )
+        return ("dataclass", f"{kind.__module__}.{kind.__qualname__}", payload)
+    try:
+        from array import array
+
+        if isinstance(value, array):
+            return ("array", value.typecode, value.tobytes())
+    except ImportError:  # pragma: no cover
+        pass
+    if callable(value):
+        module = getattr(value, "__module__", None)
+        qualname = getattr(value, "__qualname__", None)
+        if module and qualname and "<locals>" not in qualname and "<lambda>" not in qualname:
+            return ("callable", f"{module}.{qualname}")
+        raise CacheKeyError(f"cannot canonicalise local/lambda callable {value!r}")
+    raise CacheKeyError(f"cannot canonicalise {kind.__module__}.{kind.__qualname__} for cache keying")
+
+
+def canonical_key(value) -> str:
+    """The canonical string form of ``value`` used for digesting."""
+    return repr(_canonical(value))
+
+
+@lru_cache(maxsize=1)
+def code_epoch() -> str:
+    """Digest of every ``repro`` source file: any code change is a new epoch.
+
+    Computed once per process (a few milliseconds over the package sources);
+    cached results carry the epoch inside their digest, so editing the
+    simulator — or this module — invalidates the whole store without any
+    manual versioning.
+    """
+    import repro
+
+    package_root = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(package_root.rglob("*.py"), key=lambda p: p.relative_to(package_root).as_posix()):
+        digest.update(path.relative_to(package_root).as_posix().encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(path.read_bytes())
+        digest.update(b"\x01")
+    return digest.hexdigest()
+
+
+def is_cacheable_function(function) -> bool:
+    """Only functions defined inside the ``repro`` package are cacheable.
+
+    The code epoch covers exactly the ``repro`` sources, so results of
+    arbitrary user/test callables (whose bodies the epoch cannot see) are
+    never cached — a monkeypatched or edited helper outside the package
+    would otherwise serve stale results under an unchanged key.
+    """
+    module = getattr(function, "__module__", "") or ""
+    return module == "repro" or module.startswith("repro.")
+
+
+def task_digest(function, argument_tuple, extra=()) -> str:
+    """Content digest addressing the result of ``function(*argument_tuple)``."""
+    material = (
+        "repro-result-cache",
+        CACHE_FORMAT_VERSION,
+        code_epoch(),
+        _canonical(function),
+        _canonical(tuple(argument_tuple)),
+        _canonical(extra),
+    )
+    return hashlib.sha256(repr(material).encode("utf-8")).hexdigest()
+
+
+# -------------------------------------------------------------------- storage
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss statistics of one :class:`ResultCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    errors: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "stores": self.stores, "errors": self.errors}
+
+
+class ResultCache:
+    """Content-addressed on-disk store of pickled cell results."""
+
+    def __init__(self, directory: str | os.PathLike = DEFAULT_CACHE_DIR,
+                 enabled: bool = True):
+        self.directory = Path(directory)
+        self.enabled = enabled
+        self.stats = CacheStats()
+
+    def entry_path(self, digest: str) -> Path:
+        # Two-character shard keeps directory listings manageable for sweeps
+        # with tens of thousands of cells.
+        return self.directory / digest[:2] / f"{digest}.pkl"
+
+    def get(self, digest: str) -> tuple[bool, object]:
+        """Look up a digest; returns ``(hit, result)``.
+
+        Anything unexpected on disk — missing shard, truncated pickle, a
+        different format version, a digest collision guard failing — is a
+        miss: the caller recomputes and overwrites.
+        """
+        if not self.enabled:
+            return False, None
+        path = self.entry_path(digest)
+        try:
+            with open(path, "rb") as handle:
+                entry = pickle.load(handle)
+            if (
+                isinstance(entry, dict)
+                and entry.get("version") == CACHE_FORMAT_VERSION
+                and entry.get("digest") == digest
+            ):
+                self.stats.hits += 1
+                return True, entry["result"]
+            # Version or digest mismatch: stale layout, discard.
+            self.stats.errors += 1
+            self._discard(path)
+        except FileNotFoundError:
+            pass
+        except Exception:
+            # Corrupted or unreadable entry: fall back to recompute.
+            self.stats.errors += 1
+            self._discard(path)
+        self.stats.misses += 1
+        return False, None
+
+    def put(self, digest: str, result: object) -> bool:
+        """Persist a result under its digest (atomic, best-effort)."""
+        if not self.enabled:
+            return False
+        path = self.entry_path(digest)
+        entry = {"version": CACHE_FORMAT_VERSION, "digest": digest, "result": result}
+        try:
+            payload = pickle.dumps(entry, protocol=pickle.HIGHEST_PROTOCOL)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            descriptor, temp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(descriptor, "wb") as handle:
+                    handle.write(payload)
+                os.replace(temp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(temp_name)
+                except OSError:
+                    pass
+                raise
+        except Exception:
+            # A full disk or unpicklable payload must never fail the sweep.
+            self.stats.errors += 1
+            return False
+        self.stats.stores += 1
+        return True
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number of entries removed."""
+        removed = 0
+        if not self.directory.is_dir():
+            return removed
+        for path in self.directory.glob("??/*.pkl"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+
+# ------------------------------------------------------------- configuration
+
+
+def cache_enabled_from_env() -> bool:
+    """True unless ``REPRO_CACHE`` is set to a falsey value."""
+    return os.environ.get("REPRO_CACHE", "1").strip().lower() not in _FALSEY
+
+
+_DISABLED = ResultCache(enabled=False)
+_instances: dict[Path, ResultCache] = {}
+
+
+def get_result_cache() -> ResultCache:
+    """The process-wide cache configured by ``REPRO_CACHE``/``REPRO_CACHE_DIR``.
+
+    Instances are memoised per resolved directory so statistics accumulate
+    across sweeps; a disabled cache is a shared no-op instance.  The
+    environment is re-read on every call, so tests (and long-lived services)
+    can flip the knobs without reloading the module.
+    """
+    if not cache_enabled_from_env():
+        return _DISABLED
+    directory = Path(os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR).expanduser()
+    resolved = directory if directory.is_absolute() else Path.cwd() / directory
+    instance = _instances.get(resolved)
+    if instance is None:
+        instance = ResultCache(directory=resolved, enabled=True)
+        _instances[resolved] = instance
+    return instance

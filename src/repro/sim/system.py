@@ -27,12 +27,19 @@ from dataclasses import dataclass, field
 
 from repro.cpu.core import OutOfOrderCore
 from repro.cpu.events import IntervalStats
-from repro.errors import SimulationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.mem.hierarchy import MemoryHierarchy
 from repro.config import CMPConfig
 from repro.workloads.trace import Trace
 
-__all__ = ["DEFAULT_BATCH_CYCLES", "PeriodicHook", "CoreResult", "SystemResult", "CMPSystem"]
+__all__ = [
+    "DEFAULT_BATCH_CYCLES",
+    "PeriodicHook",
+    "CoreResult",
+    "SystemResult",
+    "CMPSystem",
+    "resolved_batch_cycles",
+]
 
 # How far (in cycles of simulated time) one core may run ahead of the slowest
 # other core between co-simulation scheduling decisions.  The heap ordering is
@@ -95,10 +102,26 @@ class SystemResult:
         return self.cores[core].intervals
 
 
-def _default_batch_cycles() -> float:
+def resolved_batch_cycles() -> float:
+    """The effective co-simulation batch slack (``REPRO_BATCH_CYCLES`` or default).
+
+    Public because the slack changes simulated interleavings: the result
+    cache folds this value into every cell digest, so runs with different
+    batching knobs never share cache entries.
+    """
     env = os.environ.get("REPRO_BATCH_CYCLES")
-    if env is not None and env != "":
-        return float(env)
+    if env is not None and env.strip() != "":
+        try:
+            value = float(env)
+        except ValueError:
+            raise ConfigurationError(
+                f"REPRO_BATCH_CYCLES must be a number, got {env!r}"
+            ) from None
+        if value != value:  # NaN would defeat the < 0 guard and poison digests
+            raise ConfigurationError(
+                f"REPRO_BATCH_CYCLES must be a number, got {env!r}"
+            )
+        return value
     return DEFAULT_BATCH_CYCLES
 
 
@@ -114,7 +137,7 @@ class CMPSystem:
         self.config = config
         self.target_instructions = target_instructions
         if batch_cycles is None:
-            batch_cycles = _default_batch_cycles()
+            batch_cycles = resolved_batch_cycles()
         if batch_cycles < 0:
             raise SimulationError("batch_cycles cannot be negative")
         self.batch_cycles = batch_cycles

@@ -4,16 +4,32 @@ A trace is a flat sequence of instructions.  Each instruction is either a
 compute instruction, a load or a store.  Loads carry a byte address and an
 optional data dependency on an earlier load (by instruction index), which is
 how pointer-chasing and other serialising access patterns are expressed.
+
+Storage is packed: the three per-instruction columns live in ``array``
+buffers (one signed byte per kind, one signed 64-bit word per address and
+dependency) instead of Python lists.  That cuts the resident size of a trace
+by roughly 10x (no per-instruction boxed ints) and, because traces are
+pickled into every sweep worker process, cuts the per-task serialisation cost
+by a similar factor: pickling an ``array`` copies its raw buffer instead of
+walking one object per instruction.  The list-like API — ``len``, indexing,
+iteration, slicing and the :class:`TraceBuilder` append protocol — is
+unchanged; ``Trace.packed()`` exposes the frozen wire form explicitly.
 """
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
 from functools import lru_cache
 
 from repro.errors import TraceError
 
-__all__ = ["InstrKind", "Trace", "TraceBuilder"]
+__all__ = ["InstrKind", "PackedTrace", "Trace", "TraceBuilder"]
+
+# Column typecodes: kinds fit a signed byte, addresses and dependency indices
+# use signed 64-bit words (addresses are byte addresses, deps may be -1).
+KIND_TYPECODE = "b"
+WORD_TYPECODE = "q"
 
 
 class InstrKind:
@@ -24,6 +40,54 @@ class InstrKind:
     STORE = 2
 
 
+def _as_kind_array(values) -> array:
+    return values if isinstance(values, array) and values.typecode == KIND_TYPECODE else array(KIND_TYPECODE, values)
+
+
+def _as_word_array(values) -> array:
+    return values if isinstance(values, array) and values.typecode == WORD_TYPECODE else array(WORD_TYPECODE, values)
+
+
+@dataclass(frozen=True)
+class PackedTrace:
+    """The frozen wire form of a :class:`Trace`: name plus three raw buffers.
+
+    The buffers are the native little/big-endian machine encoding of the
+    backing ``array`` columns (``tobytes``), so packing and unpacking are
+    plain memory copies.  This is the form traces travel in when pickled to
+    sweep worker processes.
+    """
+
+    name: str
+    kinds: bytes
+    addresses: bytes
+    deps: bytes
+
+    def unpack(self) -> "Trace":
+        return _trace_from_packed(self.name, self.kinds, self.addresses, self.deps)
+
+    @property
+    def num_instructions(self) -> int:
+        return len(self.kinds)
+
+
+def _trace_from_packed(name: str, kinds: bytes, addresses: bytes, deps: bytes) -> "Trace":
+    """Rebuild a :class:`Trace` from its packed buffers (pickle entry point)."""
+    trace = Trace.__new__(Trace)
+    kind_column = array(KIND_TYPECODE)
+    kind_column.frombytes(kinds)
+    address_column = array(WORD_TYPECODE)
+    address_column.frombytes(addresses)
+    dep_column = array(WORD_TYPECODE)
+    dep_column.frombytes(deps)
+    trace.kinds = kind_column
+    trace.addresses = address_column
+    trace.deps = dep_column
+    trace.name = name
+    trace._hot = None
+    return trace
+
+
 @dataclass
 class Trace:
     """A flat instruction trace.
@@ -31,27 +95,73 @@ class Trace:
     Attributes
     ----------
     kinds:
-        One entry per instruction, an :class:`InstrKind` value.
+        One entry per instruction, an :class:`InstrKind` value
+        (``array('b')``; list/tuple inputs are packed on construction).
     addresses:
-        Byte address per instruction (0 for compute instructions).
+        Byte address per instruction, 0 for compute instructions
+        (``array('q')``).
     deps:
         For loads, the instruction index of the earlier load whose data this
-        load's address depends on, or -1 when the address is independent.
+        load's address depends on, or -1 when the address is independent
+        (``array('q')``).
     name:
         Human-readable benchmark name.
     """
 
-    kinds: list[int] = field(default_factory=list)
-    addresses: list[int] = field(default_factory=list)
-    deps: list[int] = field(default_factory=list)
+    kinds: array = field(default_factory=lambda: array(KIND_TYPECODE))
+    addresses: array = field(default_factory=lambda: array(WORD_TYPECODE))
+    deps: array = field(default_factory=lambda: array(WORD_TYPECODE))
     name: str = "anonymous"
 
     def __post_init__(self) -> None:
+        self.kinds = _as_kind_array(self.kinds)
+        self.addresses = _as_word_array(self.addresses)
+        self.deps = _as_word_array(self.deps)
         if not (len(self.kinds) == len(self.addresses) == len(self.deps)):
             raise TraceError("trace arrays must have identical lengths")
+        self._hot: tuple[bytes, list[int], list[int]] | None = None
 
     def __len__(self) -> int:
         return len(self.kinds)
+
+    def __reduce__(self):
+        # Pickle through the packed wire form: three buffer copies instead of
+        # one object per instruction (the dominant cost of shipping tasks to
+        # sweep workers before traces were packed).
+        return (
+            _trace_from_packed,
+            (self.name, self.kinds.tobytes(), self.addresses.tobytes(), self.deps.tobytes()),
+        )
+
+    def hot(self) -> tuple[bytes, list[int], list[int]]:
+        """Unboxed (kinds, addresses, deps) columns for the simulation kernel.
+
+        Indexing an ``array`` re-boxes the value on every access, which is
+        measurable in the per-instruction loop; the kernel instead reads a
+        ``bytes`` view of the kinds and plain-list views of the addresses and
+        dependencies, built once per trace per process and cached (traces are
+        read-only once built).  Everything else — storage, pickling, the
+        public columns — stays packed.
+        """
+        hot = self._hot
+        if hot is None:
+            hot = (self.kinds.tobytes(), self.addresses.tolist(), self.deps.tolist())
+            self._hot = hot
+        return hot
+
+    def packed(self) -> PackedTrace:
+        """Return the frozen wire form of this trace."""
+        return PackedTrace(
+            name=self.name,
+            kinds=self.kinds.tobytes(),
+            addresses=self.addresses.tobytes(),
+            deps=self.deps.tobytes(),
+        )
+
+    @staticmethod
+    def from_packed(packed: PackedTrace) -> "Trace":
+        """Rebuild a trace from :meth:`packed` output."""
+        return packed.unpack()
 
     @property
     def num_instructions(self) -> int:
@@ -59,11 +169,11 @@ class Trace:
 
     @property
     def num_loads(self) -> int:
-        return sum(1 for kind in self.kinds if kind == InstrKind.LOAD)
+        return self.kinds.count(InstrKind.LOAD)
 
     @property
     def num_stores(self) -> int:
-        return sum(1 for kind in self.kinds if kind == InstrKind.STORE)
+        return self.kinds.count(InstrKind.STORE)
 
     def validate(self) -> None:
         """Check structural invariants; raises :class:`TraceError` on violation."""
@@ -85,7 +195,7 @@ class Trace:
         """
         if not (0 <= start <= stop <= len(self)):
             raise TraceError(f"invalid slice [{start}, {stop}) of trace with {len(self)} instructions")
-        deps = []
+        deps = array(WORD_TYPECODE)
         for index in range(start, stop):
             dep = self.deps[index]
             deps.append(dep - start if dep >= start else -1)
@@ -126,7 +236,7 @@ class Trace:
         """Fraction of instructions that are loads or stores."""
         if not self.kinds:
             return 0.0
-        memory_ops = sum(1 for kind in self.kinds if kind != InstrKind.COMPUTE)
+        memory_ops = len(self.kinds) - self.kinds.count(InstrKind.COMPUTE)
         return memory_ops / len(self.kinds)
 
 
@@ -135,7 +245,7 @@ def _compute_fillers(count: int) -> tuple[tuple[int, ...], tuple[int, ...], tupl
     """Cached (kinds, addresses, deps) filler tuples for compute blocks.
 
     Generators append millions of short compute runs; reusing immutable
-    filler tuples avoids three throwaway list allocations per block.
+    filler tuples avoids three throwaway allocations per block.
     """
     return (
         (InstrKind.COMPUTE,) * count,
@@ -145,13 +255,19 @@ def _compute_fillers(count: int) -> tuple[tuple[int, ...], tuple[int, ...], tupl
 
 
 class TraceBuilder:
-    """Incremental construction of a :class:`Trace`."""
+    """Incremental construction of a :class:`Trace`.
+
+    The builder appends straight into packed ``array`` columns, so building a
+    trace never materialises per-instruction Python objects; generators that
+    inline the appends (``repro.workloads.synthetic``) get the same
+    ``append``/``extend`` protocol lists offered.
+    """
 
     def __init__(self, name: str = "anonymous"):
         self.name = name
-        self.kinds: list[int] = []
-        self.addresses: list[int] = []
-        self.deps: list[int] = []
+        self.kinds: array = array(KIND_TYPECODE)
+        self.addresses: array = array(WORD_TYPECODE)
+        self.deps: array = array(WORD_TYPECODE)
 
     def __len__(self) -> int:
         return len(self.kinds)
@@ -191,9 +307,9 @@ class TraceBuilder:
         O(n) pass per trace and shows up in experiment setup time.
         """
         trace = Trace(
-            kinds=list(self.kinds),
-            addresses=list(self.addresses),
-            deps=list(self.deps),
+            kinds=array(KIND_TYPECODE, self.kinds),
+            addresses=array(WORD_TYPECODE, self.addresses),
+            deps=array(WORD_TYPECODE, self.deps),
             name=self.name,
         )
         if validate:

@@ -7,6 +7,15 @@ own, slightly larger setups.
 
 from __future__ import annotations
 
+import os
+
+# The tier-1 suite must exercise the simulator, not replay pickles: without
+# this guard the first `pytest tests/` run would populate the repo-level
+# `.repro_cache` and every later run would serve integration-test sweeps from
+# disk (mirrors the same default in benchmarks/conftest.py).  Cache tests
+# opt back in explicitly with monkeypatch.
+os.environ.setdefault("REPRO_CACHE", "0")
+
 import pytest
 
 from repro.config import CacheConfig, CMPConfig

@@ -1,5 +1,7 @@
 """Unit tests for the Auxiliary Tag Directory with set sampling."""
 
+import random
+
 import pytest
 
 from repro.cache.atd import AuxiliaryTagDirectory
@@ -7,6 +9,47 @@ from repro.config import CacheConfig
 from repro.errors import ConfigurationError
 
 KB = 1024
+
+
+class _ReferenceATD:
+    """The seed's sampled-set membership machinery (set + dict lookups).
+
+    Kept as an executable specification: the stride shift/mask test in
+    AuxiliaryTagDirectory (and its inlined copy in repro.mem.hierarchy) must
+    be behaviourally identical to this implementation.
+    """
+
+    def __init__(self, llc_config: CacheConfig, sampled_sets: int = 32):
+        self.num_llc_sets = llc_config.num_sets
+        self.associativity = llc_config.associativity
+        self.line_bytes = llc_config.line_bytes
+        self.sampled_sets = min(sampled_sets, self.num_llc_sets)
+        stride = max(1, self.num_llc_sets // self.sampled_sets)
+        self._sampled_indices = {stride * i for i in range(self.sampled_sets)}
+        self._stacks = {index: [] for index in self._sampled_indices}
+        self.hit_position_histogram = [0.0] * self.associativity
+        self.sampled_misses = 0.0
+        self.sampled_accesses = 0.0
+
+    def access(self, address):
+        index = (address // self.line_bytes) % self.num_llc_sets
+        stack = self._stacks.get(index)
+        if stack is None:
+            return None
+        tag = address // (self.line_bytes * self.num_llc_sets)
+        self.sampled_accesses += 1
+        try:
+            position = stack.index(tag)
+        except ValueError:
+            self.sampled_misses += 1
+            stack.insert(0, tag)
+            if len(stack) > self.associativity:
+                stack.pop()
+            return False
+        self.hit_position_histogram[position] += 1
+        del stack[position]
+        stack.insert(0, tag)
+        return True
 
 
 def make_atd(sampled_sets=8, associativity=4, sets=64):
@@ -126,3 +169,46 @@ class TestMissCurves:
         small = make_atd(sampled_sets=4)
         large = make_atd(sampled_sets=16)
         assert large.storage_bits() == 4 * small.storage_bits()
+
+
+class TestStrideEquivalence:
+    """The stride shift/mask membership test must match the seed's set lookups."""
+
+    @pytest.mark.parametrize("sets,sampled,assoc", [
+        (64, 8, 4),      # power-of-two stride (mask/shift fast path)
+        (64, 64, 4),     # every set sampled, stride 1
+        (64, 24, 2),     # 24 does not divide 64: stride 2, slots 24..31 unsampled
+        (96, 7, 4),      # non-power-of-two set count and stride (divmod fallback)
+        (128, 3, 8),     # stride 42, non-power-of-two
+    ])
+    def test_randomized_stream_identical_to_reference(self, sets, sampled, assoc):
+        config = CacheConfig(
+            size_bytes=assoc * sets * 64,
+            associativity=assoc,
+            latency=16,
+            mshrs=32,
+        )
+        new = AuxiliaryTagDirectory(config, sampled_sets=sampled)
+        ref = _ReferenceATD(config, sampled_sets=sampled)
+        assert new.sampled_sets == ref.sampled_sets
+        rng = random.Random(sets * 1_000 + sampled)
+        for _ in range(5_000):
+            address = rng.randrange(0, sets * 64 * assoc * 8)
+            assert new.access(address) == ref.access(address), address
+        assert new.sampled_accesses == ref.sampled_accesses
+        assert new.sampled_misses == ref.sampled_misses
+        assert new.hit_position_histogram == ref.hit_position_histogram
+        # The dense slot-indexed stacks hold the same tags as the reference's
+        # per-set dict, and the membership predicate agrees on every index.
+        for set_index in range(sets):
+            stack = new.stack_for(set_index)
+            if set_index in ref._sampled_indices:
+                assert stack == ref._stacks[set_index]
+            else:
+                assert stack is None
+
+    def test_samples_agrees_with_membership_set(self):
+        atd = make_atd(sampled_sets=8, sets=64)
+        for set_index in range(atd.num_llc_sets):
+            address = set_index * atd.line_bytes
+            assert atd.samples(address) == (set_index in atd._sampled_indices)

@@ -1,0 +1,86 @@
+"""Tests for scripts/compare_bench.py (the benchmark regression gate)."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "scripts"))
+
+import compare_bench  # noqa: E402
+
+
+def _write(path: Path, minimums: dict[str, float]) -> Path:
+    payload = {
+        "benchmarks": [
+            {"name": name, "fullname": f"benchmarks/test_x.py::{name}",
+             "stats": {"min": value, "mean": value * 1.1, "median": value}}
+            for name, value in minimums.items()
+        ]
+    }
+    path.write_text(json.dumps(payload))
+    return path
+
+
+class TestCompare:
+    def test_within_threshold_passes(self):
+        lines, failed = compare_bench.compare(
+            {"bench": {"min": 1.0}}, {"bench": {"min": 1.2}}, 0.25, "min")
+        assert not failed
+        assert "ok" in lines[0]
+
+    def test_regression_past_threshold_fails(self):
+        lines, failed = compare_bench.compare(
+            {"bench": {"min": 1.0}}, {"bench": {"min": 1.3}}, 0.25, "min")
+        assert failed
+        assert "REGRESSION" in lines[0]
+
+    def test_improvement_reported(self):
+        lines, failed = compare_bench.compare(
+            {"bench": {"min": 2.0}}, {"bench": {"min": 1.0}}, 0.25, "min")
+        assert not failed
+        assert "improved" in lines[0]
+
+    def test_disjoint_benchmarks_fail(self):
+        _, failed = compare_bench.compare(
+            {"old": {"min": 1.0}}, {"new": {"min": 1.0}}, 0.25, "min")
+        assert failed
+
+    def test_one_sided_benchmarks_reported_not_failed(self):
+        lines, failed = compare_bench.compare(
+            {"bench": {"min": 1.0}, "gone": {"min": 1.0}},
+            {"bench": {"min": 1.0}, "added": {"min": 1.0}},
+            0.25, "min")
+        assert not failed
+        text = "\n".join(lines)
+        assert "only in baseline" in text and "only in current" in text
+
+    def test_missing_stat_skipped(self):
+        lines, failed = compare_bench.compare(
+            {"bench": {}}, {"bench": {"min": 1.0}}, 0.25, "min")
+        assert not failed
+        assert "SKIP" in lines[0]
+
+
+class TestMain:
+    def test_exit_codes(self, tmp_path, capsys):
+        baseline = _write(tmp_path / "baseline.json", {"bench": 1.0})
+        same = _write(tmp_path / "same.json", {"bench": 1.05})
+        regressed = _write(tmp_path / "regressed.json", {"bench": 2.0})
+        assert compare_bench.main([str(baseline), str(same)]) == 0
+        assert compare_bench.main([str(baseline), str(regressed)]) == 1
+        assert compare_bench.main(
+            [str(baseline), str(regressed), "--max-regression", "1.5"]) == 0
+        capsys.readouterr()
+
+    def test_negative_threshold_rejected(self, tmp_path):
+        baseline = _write(tmp_path / "baseline.json", {"bench": 1.0})
+        with pytest.raises(SystemExit):
+            compare_bench.main([str(baseline), str(baseline), "--max-regression", "-1"])
+
+    def test_committed_baseline_is_loadable(self):
+        baseline = Path(__file__).resolve().parents[1] / "benchmarks" / "baseline.json"
+        loaded = compare_bench.load_benchmarks(str(baseline))
+        assert "test_bench_headline_summary" in loaded
+        assert loaded["test_bench_headline_summary"]["min"] > 0

@@ -269,6 +269,14 @@ def _sweep_digest(sweep):
 
 
 class TestParallelSweepEquivalence:
+    @pytest.fixture(scope="class", autouse=True)
+    def _no_result_cache(self):
+        # The point of these tests is that the *computation* is identical
+        # serially and in parallel; a warm result cache would trivialise them.
+        with pytest.MonkeyPatch.context() as patcher:
+            patcher.setenv("REPRO_CACHE", "0")
+            yield
+
     @pytest.fixture(scope="class")
     def tiny_settings(self):
         return SweepSettings(
