@@ -51,6 +51,13 @@ from repro.partitioning import (
 )
 from repro.experiments.common import default_experiment_config
 from repro.config import CMPConfig
+from repro.registry import (
+    accounting_techniques,
+    latency_estimators,
+    partitioning_policies,
+    workload_generators,
+)
+from repro.scenarios import ScenarioSpec, load_spec, run_scenario
 from repro.sim import CMPSystem, build_trace, run_private_mode, run_shared_mode, run_workload
 from repro.workloads import (
     Workload,
@@ -61,7 +68,7 @@ from repro.workloads import (
     get_benchmark,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -83,6 +90,13 @@ __all__ = [
     "MCPOPolicy",
     "default_experiment_config",
     "CMPConfig",
+    "accounting_techniques",
+    "partitioning_policies",
+    "latency_estimators",
+    "workload_generators",
+    "ScenarioSpec",
+    "load_spec",
+    "run_scenario",
     "CMPSystem",
     "build_trace",
     "run_private_mode",

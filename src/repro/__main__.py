@@ -1,0 +1,184 @@
+"""Command-line interface for the scenario engine.
+
+Usage::
+
+    python -m repro list                          # catalogue + registries
+    python -m repro show figure7 [--scale medium] # print a builtin's spec JSON
+    python -m repro run figure3 [--scale small] [--jobs N] [--json OUT]
+    python -m repro run path/to/scenario.json [--jobs N] [--json OUT]
+    python -m repro run-all [--scale small] [--jobs N] [--json OUT]
+
+``run`` accepts either a built-in scenario name (see ``list``) or a path to a
+JSON scenario spec — arbitrary machine/workload/estimator/sweep combinations
+run without writing any Python.  Configuration mistakes (unknown scenario,
+scale, technique, policy or axis names, malformed spec files) exit with
+status 2 and a one-line message instead of a traceback.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import os
+import sys
+
+from repro.errors import ConfigurationError
+
+__all__ = ["main"]
+
+DEFAULT_SCALE = "small"
+
+
+def _jsonify(value):
+    """Best-effort conversion of result objects to JSON-serialisable data."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {f.name: _jsonify(getattr(value, f.name)) for f in dataclasses.fields(value)}
+    if isinstance(value, dict):
+        return {str(key): _jsonify(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def _write_json(path: str, payload: dict) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, default=str)
+    print(f"results written to {path}")
+
+
+def _cmd_list() -> int:
+    from repro import registry
+    from repro.scenarios import AXIS_NAMES, builtin_scenarios
+
+    print("Built-in scenarios (python -m repro run <name>):")
+    for scenario in builtin_scenarios():
+        print(f"  {scenario.name:<20} {scenario.description}")
+    print("\nRegistered accounting techniques:",
+          ", ".join(registry.accounting_techniques.names()))
+    print("Registered partitioning policies:",
+          ", ".join(registry.partitioning_policies.names()))
+    print("Registered latency estimators:  ",
+          ", ".join(registry.latency_estimators.names()))
+    print("Registered workload generators: ",
+          ", ".join(registry.workload_generators.names()))
+    print("Sweep axes:                     ", ", ".join(AXIS_NAMES))
+    print("\nCustom scenarios: python -m repro run path/to/scenario.json "
+          "(see examples/scenario_spec.json)")
+    return 0
+
+
+def _cmd_show(name: str, scale: str) -> int:
+    from repro.scenarios import get_builtin
+
+    scenario = get_builtin(name)
+    specs = scenario.build_specs(scale)
+    payload = [spec.to_dict() for spec in specs]
+    print(json.dumps(payload[0] if len(payload) == 1 else payload, indent=2))
+    return 0
+
+
+def _is_spec_path(scenario: str) -> bool:
+    # Only an explicit .json suffix or a path separator selects the spec-file
+    # route: probing the filesystem here would let a stray file named like a
+    # builtin (e.g. ./figure3) silently shadow that scenario.
+    return scenario.endswith(".json") or os.path.sep in scenario
+
+
+def _cmd_run(scenario: str, scale: str | None, jobs: int | None,
+             json_path: str | None) -> int:
+    from repro.experiments.common import shutdown_executor
+    from repro.scenarios import get_builtin, load_spec, run_scenario
+
+    try:
+        if _is_spec_path(scenario):
+            if scale is not None:
+                raise ConfigurationError(
+                    "--scale applies only to built-in scenarios; a JSON spec "
+                    "carries its own budgets"
+                )
+            spec = load_spec(scenario)
+            result = run_scenario(spec, jobs=jobs)
+            payload = result.to_dict()
+        else:
+            builtin = get_builtin(scenario)
+            result = builtin.run(scale or DEFAULT_SCALE, jobs)
+            payload = {"scenario": scenario, "scale": scale or DEFAULT_SCALE,
+                       "result": _jsonify(result)}
+    finally:
+        # The persistent pool would otherwise idle until interpreter exit.
+        shutdown_executor()
+    print(result.report())
+    _print_cache_stats()
+    if json_path:
+        _write_json(json_path, payload)
+    return 0
+
+
+def _cmd_run_all(scale: str | None, jobs: int | None, json_path: str | None) -> int:
+    from repro.experiments.run_all import run_all
+
+    summary = run_all(scale or DEFAULT_SCALE, jobs=jobs)
+    if json_path:
+        _write_json(json_path, summary)
+    return 0
+
+
+def _print_cache_stats() -> None:
+    from repro.sim.result_cache import get_result_cache
+
+    cache = get_result_cache()
+    if cache.enabled:
+        stats = cache.stats
+        print(f"\nresult cache: {stats.hits} hits, {stats.misses} misses, "
+              f"{stats.stores} stored ({cache.directory})")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Run GDP-reproduction scenarios (built-in figures or JSON specs).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list built-in scenarios and registries")
+
+    show = subparsers.add_parser("show", help="print a built-in scenario's spec as JSON")
+    show.add_argument("scenario")
+    show.add_argument("--scale", default=DEFAULT_SCALE,
+                      help="size the spec for this scale (default: small)")
+
+    run = subparsers.add_parser("run", help="run one scenario (built-in name or JSON spec path)")
+    run.add_argument("scenario", help="built-in scenario name or path to a JSON spec file")
+    run.add_argument("--scale", default=None,
+                     help="built-in scenario size: small, medium or large (default: small)")
+    run.add_argument("--jobs", type=int, default=None,
+                     help="parallel sweep workers (default: REPRO_JOBS or CPU count)")
+    run.add_argument("--json", dest="json_path", metavar="OUT",
+                     help="write a JSON summary to this path")
+
+    run_all = subparsers.add_parser("run-all", help="run every figure plus the headline summary")
+    run_all.add_argument("--scale", default=None,
+                         help="small, medium or large (default: small)")
+    run_all.add_argument("--jobs", type=int, default=None)
+    run_all.add_argument("--json", dest="json_path", metavar="OUT")
+
+    arguments = parser.parse_args(argv)
+    try:
+        if arguments.command == "list":
+            return _cmd_list()
+        if arguments.command == "show":
+            return _cmd_show(arguments.scenario, arguments.scale)
+        if arguments.command == "run":
+            return _cmd_run(arguments.scenario, arguments.scale, arguments.jobs,
+                            arguments.json_path)
+        return _cmd_run_all(arguments.scale, arguments.jobs, arguments.json_path)
+    except ConfigurationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,14 +17,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.baselines import ASMAccounting, ITCAAccounting, PTCAAccounting, install_asm_rotation
+from repro.baselines import install_asm_rotation
 from repro.core.base import AccountingTechnique
 from repro.core.cpl import estimate_interval_cpl
-from repro.core.gdp import GDPAccounting, GDPOAccounting
 from repro.cpu.events import IntervalStats
 from repro.latency.dief import DIEFLatencyEstimator
 from repro.metrics.errors import mean, rms
 from repro.config import CMPConfig
+from repro.registry import accounting_techniques, latency_estimators
 from repro.sim.runner import build_trace, run_private_mode, run_shared_mode
 from repro.workloads.mixes import Workload
 
@@ -37,7 +37,8 @@ __all__ = [
     "summarize_rms",
 ]
 
-TECHNIQUE_NAMES = ("ITCA", "PTCA", "ASM", "GDP", "GDP-O")
+# Paper column order = registration order; single-sourced from the registry.
+TECHNIQUE_NAMES = accounting_techniques.names()
 
 DEFAULT_INSTRUCTIONS = 24_000
 DEFAULT_INTERVAL = 6_000
@@ -99,21 +100,15 @@ class WorkloadAccuracy:
         return mean([benchmark.stall_rms(technique) for benchmark in self.benchmarks])
 
 
-def _build_techniques(config: CMPConfig) -> dict[str, AccountingTechnique]:
-    latency = DIEFLatencyEstimator()
-    return {
-        "ITCA": ITCAAccounting(),
-        "PTCA": PTCAAccounting(latency_estimator=latency),
-        "ASM": ASMAccounting(
-            n_cores=config.n_cores, epoch_cycles=config.accounting.asm_epoch_cycles
-        ),
-        "GDP": GDPAccounting(
-            prb_entries=config.accounting.prb_entries, latency_estimator=latency
-        ),
-        "GDP-O": GDPOAccounting(
-            prb_entries=config.accounting.prb_entries, latency_estimator=latency
-        ),
-    }
+def _build_techniques(config: CMPConfig,
+                      names: tuple[str, ...] = TECHNIQUE_NAMES) -> dict[str, AccountingTechnique]:
+    """Instantiate the named accounting techniques from the registry.
+
+    All techniques share one latency-estimator instance, mirroring how a real
+    deployment would feed several estimators from the same DIEF counters.
+    """
+    latency = latency_estimators.create("DIEF")
+    return {name: accounting_techniques.create(name, config, latency) for name in names}
 
 
 def evaluate_workload_accuracy(
@@ -161,7 +156,7 @@ def evaluate_workload_accuracy(
         for core, trace in traces.items()
     }
 
-    estimators = _build_techniques(config)
+    estimators = _build_techniques(config, techniques)
     result = WorkloadAccuracy(workload=workload)
     for core, trace in traces.items():
         accuracy = BenchmarkAccuracy(benchmark=trace.name, core=core)

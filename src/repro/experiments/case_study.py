@@ -11,15 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.metrics.errors import mean
-from repro.partitioning import (
-    ASMPartitioningPolicy,
-    LRUSharingPolicy,
-    MCPOPolicy,
-    MCPPolicy,
-    PartitioningPolicy,
-    UCPPolicy,
-)
+from repro.partitioning import PartitioningPolicy
 from repro.config import CMPConfig
+from repro.registry import partitioning_policies
 from repro.sim.runner import build_trace, run_private_mode, run_shared_mode
 from repro.workloads.mixes import Workload
 
@@ -31,7 +25,8 @@ __all__ = [
     "average_throughput",
 ]
 
-POLICY_NAMES = ("LRU", "UCP", "ASM", "MCP", "MCP-O")
+# Paper column order = registration order; single-sourced from the registry.
+POLICY_NAMES = partitioning_policies.names()
 
 DEFAULT_INSTRUCTIONS = 24_000
 DEFAULT_INTERVAL = 6_000
@@ -40,23 +35,12 @@ DEFAULT_REPARTITION_CYCLES = 40_000.0
 
 def build_policy(name: str, config: CMPConfig,
                  repartition_interval_cycles: float = DEFAULT_REPARTITION_CYCLES) -> PartitioningPolicy:
-    """Instantiate one of the Figure 6 partitioning policies by name."""
-    prb_entries = config.accounting.prb_entries
-    if name == "LRU":
-        return LRUSharingPolicy(repartition_interval_cycles)
-    if name == "UCP":
-        return UCPPolicy(repartition_interval_cycles)
-    if name == "ASM":
-        return ASMPartitioningPolicy(
-            n_cores=config.n_cores,
-            repartition_interval_cycles=repartition_interval_cycles,
-            epoch_cycles=config.accounting.asm_epoch_cycles,
-        )
-    if name == "MCP":
-        return MCPPolicy(repartition_interval_cycles, prb_entries=prb_entries)
-    if name == "MCP-O":
-        return MCPOPolicy(repartition_interval_cycles, prb_entries=prb_entries)
-    raise ValueError(f"unknown partitioning policy '{name}'")
+    """Instantiate a partitioning policy by registry name.
+
+    Unknown names raise :class:`~repro.errors.ConfigurationError` listing the
+    registered policies.
+    """
+    return partitioning_policies.create(name, config, repartition_interval_cycles)
 
 
 @dataclass

@@ -15,14 +15,11 @@ from repro.experiments.case_study import (
     POLICY_NAMES,
     WorkloadThroughput,
     average_throughput,
-    evaluate_workload_throughput,
 )
 from repro.experiments.common import default_experiment_config
-from repro.experiments.sweep import run_workloads_parallel
 from repro.experiments.tables import format_cell_table, format_table
-from repro.workloads.mixes import generate_category_workloads
 
-__all__ = ["Figure6Settings", "Figure6Result", "run_figure6"]
+__all__ = ["Figure6Settings", "Figure6Result", "figure6_spec", "run_figure6"]
 
 
 @dataclass(frozen=True)
@@ -78,11 +75,29 @@ class Figure6Result:
         return "\n".join(lines)
 
 
-def _throughput_cell_cost(args: tuple) -> float:
-    """Relative cost of one case-study cell: one shared run per policy plus
-    one private run per core, all proportional to the instruction count."""
-    workload, _config, policies, instructions_per_core = args[0], args[1], args[2], args[3]
-    return float(len(workload.benchmarks) * (len(policies) + 1) * instructions_per_core)
+def figure6_spec(settings: Figure6Settings | None = None, name: str = "figure6"):
+    """The :class:`~repro.scenarios.spec.ScenarioSpec` equivalent of ``settings``."""
+    # Lazy import: the scenario engine consumes this package's evaluators, so
+    # a module-level import of repro.scenarios would be circular.
+    from repro.scenarios.spec import MachineSpec, ScenarioSpec, WorkloadMixSpec
+
+    settings = settings or Figure6Settings()
+    return ScenarioSpec(
+        name=name,
+        kind="throughput",
+        machine=MachineSpec(core_counts=tuple(settings.core_counts)),
+        workloads=WorkloadMixSpec(
+            generator="auto",
+            groups=tuple(settings.categories),
+            per_group=settings.workloads_per_category,
+            seed=settings.seed,
+        ),
+        policies=tuple(settings.policies),
+        instructions_per_core=settings.instructions_per_core,
+        interval_instructions=settings.interval_instructions,
+        repartition_interval_cycles=settings.repartition_interval_cycles,
+        description="System throughput with LLC partitioning (the MCP case study)",
+    )
 
 
 def run_figure6(settings: Figure6Settings | None = None,
@@ -90,35 +105,18 @@ def run_figure6(settings: Figure6Settings | None = None,
                 jobs: int | None = None) -> Figure6Result:
     """Run the partitioning case study over every (core count, category) cell.
 
-    Cells are independent simulations; they are flattened into one task list
-    and evaluated through the shared parallel executor (serial fallback is
-    bit-identical).
+    The settings are translated into a declarative scenario spec and executed
+    by the generic engine — same cells, same shared parallel executor, results
+    bit-identical to the pre-engine harness.
     """
+    from repro.scenarios.runner import run_scenario
+
     settings = settings or Figure6Settings()
+    scenario = run_scenario(figure6_spec(settings), jobs=jobs,
+                            config_factory=config_factory)
     result = Figure6Result()
-    cell_keys: list[tuple[int, str]] = []
-    tasks: list[tuple] = []
-    for n_cores in settings.core_counts:
-        config = config_factory(n_cores)
-        for category in settings.categories:
-            workloads = generate_category_workloads(
-                n_cores, category, settings.workloads_per_category, seed=settings.seed
-            )
-            for workload in workloads:
-                cell_keys.append((n_cores, category))
-                tasks.append((
-                    workload,
-                    config,
-                    settings.policies,
-                    settings.instructions_per_core,
-                    settings.interval_instructions,
-                    settings.repartition_interval_cycles,
-                    settings.seed,
-                ))
-    cell_results_flat = run_workloads_parallel(evaluate_workload_throughput, tasks, jobs=jobs,
-                                               cost_key=_throughput_cell_cost)
-    for key, cell_result in zip(cell_keys, cell_results_flat):
-        result.per_workload.setdefault(key, []).append(cell_result)
+    for (n_cores, category, _axis_label), cell_results in scenario.cells.items():
+        result.per_workload[(n_cores, category)] = list(cell_results)
     for (n_cores, category), cell_results in result.per_workload.items():
         result.average_stp[f"{n_cores}c-{category}"] = {
             policy: average_throughput(cell_results, policy)

@@ -19,16 +19,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.experiments.accuracy import evaluate_workload_accuracy, summarize_rms
-from repro.experiments.common import default_experiment_config
-from repro.experiments.sweep import run_workloads_parallel
+from repro.errors import ConfigurationError
+from repro.experiments.accuracy import summarize_rms
 from repro.experiments.tables import format_cell_table
-from repro.config import CMPConfig, DDR2_800, DDR4_2666
-from repro.workloads.mixes import generate_category_workloads, generate_mixed_workloads
 
-__all__ = ["Figure7Settings", "Figure7Result", "run_figure7", "run_figure7_panel"]
-
-KILOBYTE = 1024
+__all__ = ["Figure7Settings", "Figure7Result", "figure7_panel_spec",
+           "run_figure7", "run_figure7_panel"]
 
 PANELS = ("llc_size", "llc_associativity", "dram_channels", "dram_interface", "prb_entries", "mixed_workloads")
 
@@ -39,6 +35,16 @@ DDR2_CHANNELS = (1, 2, 4)
 DRAM_INTERFACES = ("DDR2", "DDR4")
 PRB_SIZES = (8, 16, 32, 64, 1024)
 MIXES = ("HHML", "HMML", "HMLL")
+
+# Panel name -> the scenario sweep axis it varies (mixed_workloads varies the
+# workload groups instead of a machine knob).
+PANEL_AXES = {
+    "llc_size": ("llc_size_kb", LLC_SIZE_KB),
+    "llc_associativity": ("llc_associativity", LLC_ASSOCIATIVITY),
+    "dram_channels": ("dram_channels", DDR2_CHANNELS),
+    "dram_interface": ("dram_interface", DRAM_INTERFACES),
+    "prb_entries": ("prb_entries", PRB_SIZES),
+}
 
 
 @dataclass(frozen=True)
@@ -70,85 +76,75 @@ class Figure7Result:
         return "\n".join(lines)
 
 
-def _evaluate_cell(workloads, config: CMPConfig, settings: Figure7Settings,
-                   technique: str, prb_entries: int | None = None,
-                   jobs: int | None = None) -> float:
-    results = run_workloads_parallel(
-        evaluate_workload_accuracy,
-        [
-            (
-                workload,
-                config,
-                settings.instructions_per_core,
-                settings.interval_instructions,
-                settings.seed,
-                (technique,),
-                False,
-                prb_entries,
-            )
-            for workload in workloads
-        ],
-        jobs=jobs,
+def figure7_panel_spec(panel: str, settings: Figure7Settings | None = None):
+    """The :class:`~repro.scenarios.spec.ScenarioSpec` for one sensitivity panel."""
+    # Lazy import: the scenario engine consumes this package's evaluators, so
+    # a module-level import of repro.scenarios would be circular.
+    from repro.scenarios.spec import (
+        MachineSpec,
+        ScenarioSpec,
+        SweepAxis,
+        WorkloadMixSpec,
     )
-    return summarize_rms(results, technique, metric="ipc")
+
+    settings = settings or Figure7Settings()
+    if panel not in PANELS:
+        raise ConfigurationError(
+            f"unknown Figure 7 panel '{panel}' (panels: {', '.join(PANELS)})"
+        )
+    if panel == "mixed_workloads":
+        groups: tuple[str, ...] = (*settings.categories, *MIXES)
+        axes: tuple[SweepAxis, ...] = ()
+    else:
+        groups = tuple(settings.categories)
+        axis_name, values = PANEL_AXES[panel]
+        axes = (SweepAxis(name=axis_name, values=values),)
+    return ScenarioSpec(
+        name=f"figure7-{panel}",
+        kind="accuracy",
+        machine=MachineSpec(core_counts=(4,)),
+        workloads=WorkloadMixSpec(
+            generator="auto",
+            groups=groups,
+            per_group=settings.workloads_per_category,
+            seed=settings.seed,
+        ),
+        techniques=(settings.technique,),
+        axes=axes,
+        instructions_per_core=settings.instructions_per_core,
+        interval_instructions=settings.interval_instructions,
+        description=f"GDP-O sensitivity panel '{panel}' on the 4-core CMP",
+    )
 
 
 def run_figure7_panel(panel: str, settings: Figure7Settings | None = None,
                       jobs: int | None = None) -> dict[str, dict[str, float]]:
     """Run one sensitivity panel and return {category or mix: {sweep value: error}}."""
-    settings = settings or Figure7Settings()
-    if panel not in PANELS:
-        raise ValueError(f"unknown Figure 7 panel '{panel}'")
-    technique = settings.technique
-    n_cores = 4
-    base_config = default_experiment_config(n_cores)
+    from repro.scenarios.runner import axis_value_label, run_scenario
 
-    category_workloads = {
-        category: generate_category_workloads(
-            n_cores, category, settings.workloads_per_category, seed=settings.seed
-        )
-        for category in settings.categories
-    }
+    settings = settings or Figure7Settings()
+    spec = figure7_panel_spec(panel, settings)
+    scenario = run_scenario(spec, jobs=jobs)
+    technique = settings.technique
+
+    def cell_error(group: str, axis_label: str = "") -> float:
+        return summarize_rms(scenario.results(4, group, axis_label), technique,
+                             metric="ipc")
 
     cells: dict[str, dict[str, float]] = {}
     if panel == "mixed_workloads":
-        for category, workloads in category_workloads.items():
-            cells[f"4c-{category}"] = {
-                "error": _evaluate_cell(workloads, base_config, settings, technique, jobs=jobs)
-            }
+        for category in settings.categories:
+            cells[f"4c-{category}"] = {"error": cell_error(category)}
         for mix in MIXES:
-            workloads = generate_mixed_workloads(
-                n_cores, mix, settings.workloads_per_category, seed=settings.seed
-            )
-            cells[mix] = {"error": _evaluate_cell(workloads, base_config, settings, technique, jobs=jobs)}
+            cells[mix] = {"error": cell_error(mix)}
         return cells
 
-    for category, workloads in category_workloads.items():
-        row: dict[str, float] = {}
-        if panel == "llc_size":
-            for size_kb in LLC_SIZE_KB:
-                config = base_config.with_llc(size_bytes=size_kb * KILOBYTE)
-                row[f"{size_kb}KB"] = _evaluate_cell(workloads, config, settings, technique, jobs=jobs)
-        elif panel == "llc_associativity":
-            for associativity in LLC_ASSOCIATIVITY:
-                config = base_config.with_llc(associativity=associativity)
-                row[str(associativity)] = _evaluate_cell(workloads, config, settings, technique, jobs=jobs)
-        elif panel == "dram_channels":
-            for channels in DDR2_CHANNELS:
-                config = base_config.with_dram(channels=channels)
-                row[str(channels)] = _evaluate_cell(workloads, config, settings, technique, jobs=jobs)
-        elif panel == "dram_interface":
-            for interface in DRAM_INTERFACES:
-                timing = DDR2_800 if interface == "DDR2" else DDR4_2666
-                config = base_config.with_dram(timing=timing)
-                row[interface] = _evaluate_cell(workloads, config, settings, technique, jobs=jobs)
-        elif panel == "prb_entries":
-            for prb in PRB_SIZES:
-                row[str(prb)] = _evaluate_cell(
-                    workloads, base_config, settings, technique, prb_entries=prb,
-                    jobs=jobs,
-                )
-        cells[f"4c-{category}"] = row
+    (axis,) = spec.axes
+    for category in settings.categories:
+        cells[f"4c-{category}"] = {
+            axis_value_label(axis, value): cell_error(category, axis_value_label(axis, value))
+            for value in axis.values
+        }
     return cells
 
 

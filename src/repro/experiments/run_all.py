@@ -23,18 +23,10 @@ from repro.experiments.figure6 import Figure6Settings, run_figure6
 from repro.experiments.figure7 import Figure7Settings, run_figure7
 from repro.experiments.summary import run_headline_summary
 from repro.experiments.sweep import SweepSettings, run_accuracy_sweep
+from repro.scenarios.builtin import SCALES, resolve_scale
 from repro.sim.result_cache import get_result_cache
 
 __all__ = ["SCALES", "run_all", "main"]
-
-SCALES = {
-    "small": {"workloads": 1, "instructions": 10_000, "interval": 2_500,
-              "case_instructions": 16_000, "core_counts": (2, 4)},
-    "medium": {"workloads": 2, "instructions": 16_000, "interval": 4_000,
-               "case_instructions": 24_000, "core_counts": (2, 4, 8)},
-    "large": {"workloads": 5, "instructions": 40_000, "interval": 8_000,
-              "case_instructions": 60_000, "core_counts": (2, 4, 8)},
-}
 
 
 def run_all(scale: str = "small", jobs: int | None = None) -> dict:
@@ -42,10 +34,9 @@ def run_all(scale: str = "small", jobs: int | None = None) -> dict:
 
     ``jobs`` sets the process-parallel fan-out for the workload sweeps (None
     resolves the ``REPRO_JOBS`` environment variable, then the CPU count).
+    An unknown ``scale`` raises :class:`~repro.errors.ConfigurationError`.
     """
-    if scale not in SCALES:
-        raise ValueError(f"unknown scale '{scale}' (choose from {sorted(SCALES)})")
-    knobs = SCALES[scale]
+    knobs = resolve_scale(scale)
     start = time.time()
 
     # All figures fan their cells through the shared persistent process pool

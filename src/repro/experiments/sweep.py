@@ -5,13 +5,13 @@ reproduction exposes the workload count, instruction count and interval length
 as parameters so the same sweep can run laptop-sized (the benchmark defaults)
 or larger.
 
-Every (workload, config) cell is an independent simulation, so the sweep
-flattens all cells into one task list and hands it to
-:func:`run_workloads_parallel`, which fans the cells across worker processes
-(``REPRO_JOBS`` / the ``jobs`` argument) with a serial fallback that produces
-bit-identical results.  Workload generation and per-cell seeds are derived
-from stable hashes, so every cell is deterministic regardless of which
-process evaluates it.
+Since the scenario-engine refactor this module is a thin adapter:
+:func:`accuracy_sweep_spec` translates a :class:`SweepSettings` into a
+declarative :class:`~repro.scenarios.spec.ScenarioSpec` and
+:func:`run_accuracy_sweep` executes it through the generic
+:func:`~repro.scenarios.runner.run_scenario` runner — same cell tuples, same
+ordering, same process-pool fan-out and result-cache memoisation, so the
+results are bit-identical to the pre-engine harness.
 """
 
 from __future__ import annotations
@@ -24,13 +24,11 @@ from repro.experiments.accuracy import (
     DEFAULT_INTERVAL,
     TECHNIQUE_NAMES,
     WorkloadAccuracy,
-    evaluate_workload_accuracy,
 )
 from repro.experiments.common import default_experiment_config, run_parallel
-from repro.config import CMPConfig
-from repro.workloads.mixes import generate_category_workloads
 
-__all__ = ["SweepSettings", "AccuracySweep", "run_accuracy_sweep", "run_workloads_parallel"]
+__all__ = ["SweepSettings", "AccuracySweep", "accuracy_sweep_spec",
+           "run_accuracy_sweep", "run_workloads_parallel"]
 
 DEFAULT_CATEGORIES = ("H", "M", "L")
 
@@ -91,39 +89,43 @@ def run_workloads_parallel(function: Callable, argument_tuples: Sequence[tuple],
                         cache=cache)
 
 
-def _accuracy_cell_cost(args: tuple) -> float:
-    """Relative cost of one accuracy cell: cores x instructions dominates."""
-    workload, _config, instructions_per_core = args[0], args[1], args[2]
-    return float(len(workload.benchmarks) * instructions_per_core)
+def accuracy_sweep_spec(settings: SweepSettings | None = None,
+                        name: str = "accuracy-sweep"):
+    """The :class:`~repro.scenarios.spec.ScenarioSpec` equivalent of ``settings``."""
+    # Imported lazily: repro.scenarios sits architecturally above the
+    # experiments package (its runner consumes the evaluators defined here),
+    # so a module-level import would be circular.
+    from repro.scenarios.spec import MachineSpec, ScenarioSpec, WorkloadMixSpec
+
+    settings = settings or SweepSettings()
+    return ScenarioSpec(
+        name=name,
+        kind="accuracy",
+        machine=MachineSpec(core_counts=tuple(settings.core_counts)),
+        workloads=WorkloadMixSpec(
+            generator="auto",
+            groups=tuple(settings.categories),
+            per_group=settings.workloads_per_category,
+            seed=settings.seed,
+        ),
+        techniques=tuple(settings.techniques),
+        instructions_per_core=settings.instructions_per_core,
+        interval_instructions=settings.interval_instructions,
+        collect_components=settings.collect_components,
+        description="Accuracy sweep shared by Figures 3, 4 and 5",
+    )
 
 
 def run_accuracy_sweep(settings: SweepSettings | None = None,
                        config_factory=default_experiment_config,
                        jobs: int | None = None) -> AccuracySweep:
     """Run the accuracy evaluation over every (core count, category) cell."""
+    from repro.scenarios.runner import run_scenario
+
     settings = settings or SweepSettings()
+    scenario = run_scenario(accuracy_sweep_spec(settings), jobs=jobs,
+                            config_factory=config_factory)
     sweep = AccuracySweep(settings=settings)
-    cell_keys: list[tuple[int, str]] = []
-    tasks: list[tuple] = []
-    for n_cores in settings.core_counts:
-        config: CMPConfig = config_factory(n_cores)
-        for category in settings.categories:
-            workloads = generate_category_workloads(
-                n_cores, category, settings.workloads_per_category, seed=settings.seed
-            )
-            for workload in workloads:
-                cell_keys.append((n_cores, category))
-                tasks.append((
-                    workload,
-                    config,
-                    settings.instructions_per_core,
-                    settings.interval_instructions,
-                    settings.seed,
-                    settings.techniques,
-                    settings.collect_components,
-                ))
-    results = run_workloads_parallel(evaluate_workload_accuracy, tasks, jobs=jobs,
-                                     cost_key=_accuracy_cell_cost)
-    for key, result in zip(cell_keys, results):
-        sweep.cells.setdefault(key, []).append(result)
+    for (n_cores, group, _axis_label), results in scenario.cells.items():
+        sweep.cells[(n_cores, group)] = list(results)
     return sweep

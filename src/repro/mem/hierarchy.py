@@ -9,7 +9,7 @@ attribution the accounting techniques consume.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from heapq import heappop as _heappop, heappush as _heappush
 
 from repro.cache.atd import AuxiliaryTagDirectory

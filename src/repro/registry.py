@@ -1,0 +1,193 @@
+"""Named factory registries for the scenario engine.
+
+Scenarios describe *which* accounting techniques, partitioning policies,
+latency estimators and workload generators to run as plain strings; the
+registries in this module map those names to the concrete classes implemented
+in :mod:`repro.core`, :mod:`repro.baselines`, :mod:`repro.partitioning`,
+:mod:`repro.latency` and :mod:`repro.workloads`.  Keeping the lookup in data
+(rather than ``if name == ...`` chains inside the experiment harnesses) means
+a new technique or policy becomes runnable from a JSON scenario file the
+moment it is registered — no experiment code has to change.
+
+Factory signatures are uniform per registry so a generic runner can
+instantiate any entry:
+
+* accounting techniques — ``factory(config, latency_estimator)``
+* partitioning policies — ``factory(config, repartition_interval_cycles)``
+* latency estimators — ``factory()``
+* workload generators — ``factory(n_cores, group, count, seed)`` returning a
+  list of :class:`~repro.workloads.mixes.Workload`
+
+Two caveats for factories registered from *outside* the ``repro`` package:
+
+* **Worker processes** — sweep cells execute in pool workers that must also
+  see the registration.  On Linux (fork start method, the default) workers
+  inherit the parent's registrations; on spawn-start platforms
+  (macOS/Windows) put the ``register`` call in an importable module that the
+  evaluating code imports, or run with ``jobs=1``.
+* **Result cache** — cache digests cover the registry *names* plus a code
+  epoch over the ``repro`` sources, not the bodies of external factories.
+  When iterating on an externally registered factory under the same name,
+  disable the cache (``REPRO_CACHE=0``) or clear it, otherwise stale results
+  replay.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.baselines import ASMAccounting, ITCAAccounting, PTCAAccounting
+from repro.core.gdp import GDPAccounting, GDPOAccounting
+from repro.errors import ConfigurationError
+from repro.latency.dief import DIEFLatencyEstimator
+from repro.partitioning import (
+    ASMPartitioningPolicy,
+    LRUSharingPolicy,
+    MCPOPolicy,
+    MCPPolicy,
+    UCPPolicy,
+)
+from repro.workloads.mixes import generate_category_workloads, generate_mixed_workloads
+
+__all__ = [
+    "Registry",
+    "accounting_techniques",
+    "partitioning_policies",
+    "latency_estimators",
+    "workload_generators",
+]
+
+
+class Registry:
+    """A small name -> factory mapping with informative failure modes."""
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self._factories: dict[str, Callable] = {}
+
+    def register(self, name: str, factory: Callable | None = None):
+        """Register ``factory`` under ``name``; usable as a decorator.
+
+        Re-registering an existing name raises
+        :class:`~repro.errors.ConfigurationError` — silently shadowing an
+        entry would make scenario results depend on import order.
+        """
+        if factory is None:
+            return lambda wrapped: self.register(name, wrapped)
+        if name in self._factories:
+            raise ConfigurationError(
+                f"{self.kind} '{name}' is already registered; unregister it first"
+            )
+        self._factories[name] = factory
+        return factory
+
+    def unregister(self, name: str) -> None:
+        """Remove an entry (primarily for tests and experimentation)."""
+        if name not in self._factories:
+            raise ConfigurationError(f"unknown {self.kind} '{name}'")
+        del self._factories[name]
+
+    def get(self, name: str) -> Callable:
+        """The factory registered under ``name``."""
+        try:
+            return self._factories[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown {self.kind} '{name}' (registered: {', '.join(self.names()) or 'none'})"
+            ) from None
+
+    def create(self, name: str, *args, **kwargs):
+        """Instantiate the entry registered under ``name``."""
+        return self.get(name)(*args, **kwargs)
+
+    def names(self) -> tuple[str, ...]:
+        """Registered names, in registration order."""
+        return tuple(self._factories)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._factories
+
+    def __repr__(self) -> str:
+        return f"Registry({self.kind!r}, names={list(self._factories)})"
+
+
+accounting_techniques = Registry("accounting technique")
+partitioning_policies = Registry("partitioning policy")
+latency_estimators = Registry("latency estimator")
+workload_generators = Registry("workload generator")
+
+
+# ----------------------------------------------------------- built-in entries
+
+latency_estimators.register("DIEF", DIEFLatencyEstimator)
+
+accounting_techniques.register("ITCA", lambda config, latency: ITCAAccounting())
+accounting_techniques.register(
+    "PTCA", lambda config, latency: PTCAAccounting(latency_estimator=latency)
+)
+accounting_techniques.register(
+    "ASM",
+    lambda config, latency: ASMAccounting(
+        n_cores=config.n_cores, epoch_cycles=config.accounting.asm_epoch_cycles
+    ),
+)
+accounting_techniques.register(
+    "GDP",
+    lambda config, latency: GDPAccounting(
+        prb_entries=config.accounting.prb_entries, latency_estimator=latency
+    ),
+)
+accounting_techniques.register(
+    "GDP-O",
+    lambda config, latency: GDPOAccounting(
+        prb_entries=config.accounting.prb_entries, latency_estimator=latency
+    ),
+)
+
+partitioning_policies.register(
+    "LRU", lambda config, repartition_cycles: LRUSharingPolicy(repartition_cycles)
+)
+partitioning_policies.register(
+    "UCP", lambda config, repartition_cycles: UCPPolicy(repartition_cycles)
+)
+partitioning_policies.register(
+    "ASM",
+    lambda config, repartition_cycles: ASMPartitioningPolicy(
+        n_cores=config.n_cores,
+        repartition_interval_cycles=repartition_cycles,
+        epoch_cycles=config.accounting.asm_epoch_cycles,
+    ),
+)
+partitioning_policies.register(
+    "MCP",
+    lambda config, repartition_cycles: MCPPolicy(
+        repartition_cycles, prb_entries=config.accounting.prb_entries
+    ),
+)
+partitioning_policies.register(
+    "MCP-O",
+    lambda config, repartition_cycles: MCPOPolicy(
+        repartition_cycles, prb_entries=config.accounting.prb_entries
+    ),
+)
+
+
+def _generate_category(n_cores: int, group: str, count: int, seed: int):
+    return generate_category_workloads(n_cores, group, count, seed=seed)
+
+
+def _generate_mixed(n_cores: int, group: str, count: int, seed: int):
+    return generate_mixed_workloads(n_cores, group, count, seed=seed)
+
+
+def _generate_auto(n_cores: int, group: str, count: int, seed: int):
+    """Dispatch on the group name: "H"/"M"/"L" are categories, longer strings
+    such as "HMLL" are per-core category mixes (Figure 7f)."""
+    if len(group) == 1:
+        return _generate_category(n_cores, group, count, seed)
+    return _generate_mixed(n_cores, group, count, seed)
+
+
+workload_generators.register("category", _generate_category)
+workload_generators.register("mixed", _generate_mixed)
+workload_generators.register("auto", _generate_auto)

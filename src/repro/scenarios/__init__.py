@@ -1,0 +1,47 @@
+"""Declarative scenario engine.
+
+A scenario — which estimators or policies, which machine, which workloads,
+which sweep axes, which budgets — is described by a plain
+:class:`~repro.scenarios.spec.ScenarioSpec` value that round-trips through
+JSON, and executed by the generic :func:`~repro.scenarios.runner.run_scenario`
+runner on top of the shared process pool and content-addressed result cache.
+The paper's figures are thin adapters over this engine (see
+:mod:`repro.scenarios.builtin`), and arbitrary user scenarios run from JSON
+files via ``python -m repro run``.
+"""
+
+from repro.scenarios.builtin import (
+    SCALES,
+    BuiltinScenario,
+    builtin_scenarios,
+    get_builtin,
+    resolve_scale,
+)
+from repro.scenarios.runner import ScenarioResult, expand_cells, run_scenario
+from repro.scenarios.spec import (
+    AXIS_NAMES,
+    SCENARIO_KINDS,
+    MachineSpec,
+    ScenarioSpec,
+    SweepAxis,
+    WorkloadMixSpec,
+    load_spec,
+)
+
+__all__ = [
+    "AXIS_NAMES",
+    "SCENARIO_KINDS",
+    "SCALES",
+    "MachineSpec",
+    "WorkloadMixSpec",
+    "SweepAxis",
+    "ScenarioSpec",
+    "load_spec",
+    "ScenarioResult",
+    "expand_cells",
+    "run_scenario",
+    "BuiltinScenario",
+    "builtin_scenarios",
+    "get_builtin",
+    "resolve_scale",
+]

@@ -1,0 +1,226 @@
+"""Built-in scenarios: the paper's figures expressed as scenario specs.
+
+Each entry maps a name (``figure3`` ... ``figure7``, ``headline``, plus two
+generic sweeps) to the :class:`~repro.scenarios.spec.ScenarioSpec` values it
+executes and a runner that aggregates the engine's raw results into the
+paper's figure form.  ``SCALES`` — shared with ``run_all`` — sizes the specs
+for laptop (``small``) through overnight (``large``) runs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.experiments.figure3 import run_figure3
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.figure6 import Figure6Settings, figure6_spec, run_figure6
+from repro.experiments.figure7 import (
+    PANELS,
+    Figure7Settings,
+    figure7_panel_spec,
+    run_figure7,
+)
+from repro.experiments.summary import run_headline_summary
+from repro.experiments.sweep import SweepSettings, accuracy_sweep_spec, run_accuracy_sweep
+from repro.scenarios.runner import run_scenario
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = [
+    "SCALES",
+    "resolve_scale",
+    "BuiltinScenario",
+    "builtin_scenarios",
+    "get_builtin",
+]
+
+SCALES = {
+    "small": {"workloads": 1, "instructions": 10_000, "interval": 2_500,
+              "case_instructions": 16_000, "core_counts": (2, 4)},
+    "medium": {"workloads": 2, "instructions": 16_000, "interval": 4_000,
+               "case_instructions": 24_000, "core_counts": (2, 4, 8)},
+    "large": {"workloads": 5, "instructions": 40_000, "interval": 8_000,
+              "case_instructions": 60_000, "core_counts": (2, 4, 8)},
+}
+
+def resolve_scale(scale: str) -> dict:
+    """The size knobs for one scale name; unknown names raise
+    :class:`~repro.errors.ConfigurationError` (not a bare ``ValueError``, so
+    CLI and API callers get the package's uniform configuration failure)."""
+    try:
+        return SCALES[scale]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scale '{scale}' (choose from {', '.join(sorted(SCALES))})"
+        ) from None
+
+
+def _sweep_settings(scale: str) -> SweepSettings:
+    knobs = resolve_scale(scale)
+    return SweepSettings(
+        core_counts=knobs["core_counts"],
+        categories=("H", "M", "L"),
+        workloads_per_category=knobs["workloads"],
+        instructions_per_core=knobs["instructions"],
+        interval_instructions=knobs["interval"],
+        collect_components=True,
+    )
+
+
+def _figure6_settings(scale: str) -> Figure6Settings:
+    knobs = resolve_scale(scale)
+    return Figure6Settings(
+        core_counts=knobs["core_counts"],
+        categories=("H", "M", "L"),
+        workloads_per_category=knobs["workloads"],
+        instructions_per_core=knobs["case_instructions"],
+        interval_instructions=knobs["interval"],
+    )
+
+
+def _figure7_settings(scale: str) -> Figure7Settings:
+    knobs = resolve_scale(scale)
+    return Figure7Settings(
+        categories=("H", "M", "L"),
+        workloads_per_category=knobs["workloads"],
+        instructions_per_core=knobs["instructions"],
+        interval_instructions=knobs["interval"],
+    )
+
+
+@dataclass(frozen=True)
+class BuiltinScenario:
+    """One named, runnable scenario: its spec(s) plus a result aggregator."""
+
+    name: str
+    description: str
+    build_specs: Callable[[str], tuple[ScenarioSpec, ...]]
+    run: Callable[[str, int | None], object]  # returns a result with .report()
+
+
+def _accuracy_specs(scale: str) -> tuple[ScenarioSpec, ...]:
+    return (accuracy_sweep_spec(_sweep_settings(scale)),)
+
+
+def _figure6_specs(scale: str) -> tuple[ScenarioSpec, ...]:
+    return (figure6_spec(_figure6_settings(scale)),)
+
+
+def _figure7_specs(scale: str) -> tuple[ScenarioSpec, ...]:
+    settings = _figure7_settings(scale)
+    return tuple(figure7_panel_spec(panel, settings) for panel in PANELS)
+
+
+def _headline_sweep_settings(scale: str) -> SweepSettings:
+    knobs = resolve_scale(scale)
+    return SweepSettings(
+        core_counts=tuple(n for n in (4, 8) if n in knobs["core_counts"]) or (4,),
+        categories=("H", "M", "L"),
+        workloads_per_category=knobs["workloads"],
+        instructions_per_core=knobs["instructions"],
+        interval_instructions=knobs["interval"],
+        techniques=("ASM", "GDP", "GDP-O"),
+    )
+
+
+def _headline_figure6_settings(scale: str) -> Figure6Settings:
+    settings = _figure6_settings(scale)
+    core_counts = tuple(n for n in (4, 8) if n in settings.core_counts) or (4,)
+    return Figure6Settings(
+        core_counts=core_counts,
+        categories=settings.categories,
+        workloads_per_category=settings.workloads_per_category,
+        instructions_per_core=settings.instructions_per_core,
+        interval_instructions=settings.interval_instructions,
+    )
+
+
+def _headline_specs(scale: str) -> tuple[ScenarioSpec, ...]:
+    return (
+        accuracy_sweep_spec(_headline_sweep_settings(scale), name="headline-accuracy"),
+        figure6_spec(_headline_figure6_settings(scale), name="headline-throughput"),
+    )
+
+
+def _run_figure3(scale: str, jobs: int | None):
+    return run_figure3(sweep=run_accuracy_sweep(_sweep_settings(scale), jobs=jobs))
+
+
+def _run_figure4(scale: str, jobs: int | None):
+    return run_figure4(sweep=run_accuracy_sweep(_sweep_settings(scale), jobs=jobs))
+
+
+def _run_figure5(scale: str, jobs: int | None):
+    return run_figure5(sweep=run_accuracy_sweep(_sweep_settings(scale), jobs=jobs))
+
+
+def _run_figure6(scale: str, jobs: int | None):
+    return run_figure6(_figure6_settings(scale), jobs=jobs)
+
+
+def _run_figure7(scale: str, jobs: int | None):
+    return run_figure7(_figure7_settings(scale), jobs=jobs)
+
+
+def _run_headline(scale: str, jobs: int | None):
+    sweep = run_accuracy_sweep(_headline_sweep_settings(scale), jobs=jobs)
+    figure6 = run_figure6(_headline_figure6_settings(scale), jobs=jobs)
+    return run_headline_summary(accuracy_sweep=sweep, figure6=figure6)
+
+
+def _run_generic(specs: Callable[[str], tuple[ScenarioSpec, ...]]):
+    def run(scale: str, jobs: int | None):
+        (spec,) = specs(scale)
+        return run_scenario(spec, jobs=jobs)
+    return run
+
+
+BUILTINS: dict[str, BuiltinScenario] = {}
+
+
+def _add(scenario: BuiltinScenario) -> None:
+    BUILTINS[scenario.name] = scenario
+
+
+_add(BuiltinScenario(
+    "figure3", "Average private-mode IPC/stall prediction accuracy per cell",
+    _accuracy_specs, _run_figure3))
+_add(BuiltinScenario(
+    "figure4", "Sorted distributions of the stall-cycle RMS errors",
+    _accuracy_specs, _run_figure4))
+_add(BuiltinScenario(
+    "figure5", "Accuracy of GDP-O's CPL/overlap/latency estimate components",
+    _accuracy_specs, _run_figure5))
+_add(BuiltinScenario(
+    "figure6", "System throughput under LLC partitioning (the MCP case study)",
+    _figure6_specs, _run_figure6))
+_add(BuiltinScenario(
+    "figure7", "Sensitivity of GDP-O's accuracy to architecture knobs",
+    _figure7_specs, _run_figure7))
+_add(BuiltinScenario(
+    "headline", "The paper's Section I/VII headline aggregates",
+    _headline_specs, _run_headline))
+_add(BuiltinScenario(
+    "accuracy-sweep", "Generic accuracy sweep reported as raw engine tables",
+    _accuracy_specs, _run_generic(_accuracy_specs)))
+_add(BuiltinScenario(
+    "partitioning-sweep", "Generic partitioning sweep reported as raw engine tables",
+    _figure6_specs, _run_generic(_figure6_specs)))
+
+
+def builtin_scenarios() -> tuple[BuiltinScenario, ...]:
+    """All built-in scenarios, in catalogue order."""
+    return tuple(BUILTINS.values())
+
+
+def get_builtin(name: str) -> BuiltinScenario:
+    """Look up a built-in scenario by name."""
+    try:
+        return BUILTINS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scenario '{name}' (built-ins: {', '.join(BUILTINS)}; "
+            f"or pass a path to a JSON scenario spec)"
+        ) from None

@@ -1,0 +1,140 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.__main__ import main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+TINY_SPEC = {
+    "name": "cli-tiny",
+    "kind": "accuracy",
+    "machine": {"core_counts": [2], "llc_kilobytes": 64},
+    "workloads": {"groups": ["H"], "per_group": 1},
+    "techniques": ["GDP"],
+    "instructions_per_core": 4000,
+    "interval_instructions": 2000,
+}
+
+
+@pytest.fixture
+def tiny_spec_path(tmp_path):
+    path = tmp_path / "tiny.json"
+    path.write_text(json.dumps(TINY_SPEC))
+    return str(path)
+
+
+class TestList:
+    def test_lists_builtins_and_registries(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for name in ("figure3", "figure7", "headline"):
+            assert name in output
+        assert "GDP-O" in output
+        assert "MCP-O" in output
+        assert "llc_size_kb" in output
+
+
+class TestShow:
+    def test_show_prints_spec_json(self, capsys):
+        assert main(["show", "figure6"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "throughput"
+        assert payload["policies"] == ["LRU", "UCP", "ASM", "MCP", "MCP-O"]
+
+    def test_show_unknown_scenario(self, capsys):
+        assert main(["show", "figure99"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_show_unknown_scale(self, capsys):
+        assert main(["show", "figure3", "--scale", "galactic"]) == 2
+        assert "unknown scale" in capsys.readouterr().err
+
+
+class TestRun:
+    def test_run_json_spec(self, capsys, tiny_spec_path):
+        assert main(["run", tiny_spec_path, "--jobs", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "cli-tiny" in output
+        assert "ipc_rms" in output
+
+    def test_run_json_spec_writes_summary(self, capsys, tmp_path, tiny_spec_path):
+        out_path = tmp_path / "summary.json"
+        assert main(["run", tiny_spec_path, "--jobs", "1", "--json", str(out_path)]) == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["scenario"]["name"] == "cli-tiny"
+        assert "2c-H" in payload["tables"]["ipc_rms"]
+
+    def test_run_rejects_scale_with_spec_file(self, capsys, tiny_spec_path):
+        assert main(["run", tiny_spec_path, "--scale", "small"]) == 2
+        assert "built-in scenarios" in capsys.readouterr().err
+
+    def test_run_unknown_scenario(self, capsys):
+        assert main(["run", "figure99"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_run_invalid_spec_file(self, capsys, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text('{"name": "x", "kind": "accuracy", "bogus_knob": 1}')
+        assert main(["run", str(path)]) == 2
+        assert "bogus_knob" in capsys.readouterr().err
+
+    def test_run_builtin_with_unknown_scale(self, capsys):
+        assert main(["run", "figure3", "--scale", "galactic"]) == 2
+        assert "unknown scale" in capsys.readouterr().err
+
+    def test_stray_file_does_not_shadow_builtin(self, capsys, tmp_path, monkeypatch):
+        """A file or directory named like a builtin must not hijack it."""
+        (tmp_path / "figure3").mkdir()
+        monkeypatch.chdir(tmp_path)
+        # Unknown-scale error proves the builtin route was taken (and nothing
+        # was simulated), not the spec-file route.
+        assert main(["run", "figure3", "--scale", "galactic"]) == 2
+        assert "unknown scale" in capsys.readouterr().err
+
+    def test_spec_with_wrong_value_type_fails_cleanly(self, capsys, tmp_path):
+        path = tmp_path / "typed.json"
+        spec = dict(TINY_SPEC, instructions_per_core="4000")
+        path.write_text(json.dumps(spec))
+        assert main(["run", str(path)]) == 2
+        assert "instructions_per_core" in capsys.readouterr().err
+
+
+class TestRunAll:
+    def test_run_all_monkeypatched(self, capsys, tmp_path, monkeypatch):
+        import repro.experiments.run_all as run_all_module
+
+        calls = {}
+
+        def fake_run_all(scale, jobs=None):
+            calls["scale"], calls["jobs"] = scale, jobs
+            return {"scale": scale, "elapsed_seconds": 0.0}
+
+        monkeypatch.setattr(run_all_module, "run_all", fake_run_all)
+        out_path = tmp_path / "all.json"
+        assert main(["run-all", "--scale", "medium", "--jobs", "2",
+                     "--json", str(out_path)]) == 0
+        assert calls == {"scale": "medium", "jobs": 2}
+        assert json.loads(out_path.read_text())["scale"] == "medium"
+
+
+class TestModuleEntry:
+    def test_python_dash_m_repro_list(self):
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "list"],
+            capture_output=True, text=True, timeout=120,
+            cwd=REPO_ROOT, env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "figure3" in completed.stdout
+
+    def test_example_spec_file_is_valid(self):
+        from repro.scenarios import load_spec
+
+        spec = load_spec(str(REPO_ROOT / "examples" / "scenario_spec.json"))
+        assert spec.kind == "accuracy"

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.cpl import CPLEstimator, estimate_interval_cpl
 from repro.core.dataflow_graph import build_dataflow_graph, commit_periods_from_stalls
-from repro.cpu.events import StallCause, annotate_overlap
+from repro.cpu.events import annotate_overlap
 
 from tests.conftest import build_interval, make_load, make_stall
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cpu.events import CommitStall, IntervalStats, LoadRecord, StallCause, annotate_overlap
+from repro.cpu.events import IntervalStats, StallCause, annotate_overlap
 
 from tests.conftest import make_load, make_stall
 

@@ -2,13 +2,14 @@
 
 import pytest
 
+from repro.errors import ConfigurationError
 from repro.experiments.accuracy import evaluate_workload_accuracy, summarize_rms
 from repro.experiments.case_study import build_policy, evaluate_workload_throughput
 from repro.experiments.common import EXPERIMENT_LLC_KILOBYTES, default_experiment_config
 from repro.experiments.figure3 import run_figure3
 from repro.experiments.figure4 import run_figure4
 from repro.experiments.figure5 import run_figure5
-from repro.experiments.figure6 import Figure6Result, Figure6Settings, run_figure6
+from repro.experiments.figure6 import Figure6Settings, run_figure6
 from repro.experiments.figure7 import Figure7Settings, run_figure7_panel
 from repro.experiments.summary import run_headline_summary
 from repro.experiments.sweep import SweepSettings, run_accuracy_sweep
@@ -149,7 +150,7 @@ class TestFigure6:
         assert "Figure 6a" in tiny_figure6.report()
 
     def test_unknown_policy_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             build_policy("bogus", default_experiment_config(2))
 
 
@@ -162,7 +163,7 @@ class TestFigure7:
         assert set(panel["4c-H"]) == {"8", "16", "32", "64", "1024"}
 
     def test_unknown_panel_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             run_figure7_panel("bogus")
 
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.cache.miss_curve import MissCurve
-from repro.cpu.events import IntervalStats
 from repro.partitioning import (
     ASMPartitioningPolicy,
     LRUSharingPolicy,

@@ -27,6 +27,9 @@ class TestTopLevelExports:
         "build_trace", "run_private_mode", "run_shared_mode", "run_workload",
         "Workload", "benchmark_names", "generate_trace", "get_benchmark",
         "generate_category_workloads", "generate_mixed_workloads",
+        "ScenarioSpec", "load_spec", "run_scenario",
+        "accounting_techniques", "partitioning_policies",
+        "latency_estimators", "workload_generators",
     ])
     def test_symbol_exported(self, name):
         assert name in repro.__all__
@@ -43,6 +46,7 @@ class TestSubpackageImports:
         "repro.cpu", "repro.cache", "repro.dram", "repro.interconnect", "repro.mem",
         "repro.sim", "repro.workloads", "repro.metrics", "repro.experiments",
         "repro.core.overheads", "repro.experiments.run_all",
+        "repro.registry", "repro.scenarios", "repro.__main__",
     ])
     def test_module_importable(self, module):
         imported = importlib.import_module(module)

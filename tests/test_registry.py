@@ -1,0 +1,102 @@
+"""Tests for the named factory registries behind the scenario engine."""
+
+import pytest
+
+from repro import registry
+from repro.baselines import ASMAccounting, ITCAAccounting
+from repro.core.gdp import GDPAccounting, GDPOAccounting
+from repro.errors import ConfigurationError
+from repro.experiments.common import default_experiment_config
+from repro.latency.dief import DIEFLatencyEstimator
+from repro.partitioning import MCPPolicy
+from repro.registry import Registry
+
+
+class TestRegistryMechanics:
+    def test_register_and_create(self):
+        entries = Registry("widget")
+        entries.register("box", lambda size: ("box", size))
+        assert entries.create("box", 3) == ("box", 3)
+        assert entries.names() == ("box",)
+        assert "box" in entries and "bag" not in entries
+
+    def test_register_as_decorator(self):
+        entries = Registry("widget")
+
+        @entries.register("bag")
+        def make_bag():
+            return "bag"
+
+        assert entries.create("bag") == "bag"
+
+    def test_unknown_name_raises_configuration_error(self):
+        entries = Registry("widget")
+        entries.register("box", lambda: None)
+        with pytest.raises(ConfigurationError, match="unknown widget 'bag'"):
+            entries.create("bag")
+        with pytest.raises(ConfigurationError, match="box"):
+            # The error names the registered entries to help typo hunting.
+            entries.get("bag")
+
+    def test_duplicate_registration_rejected(self):
+        entries = Registry("widget")
+        entries.register("box", lambda: 1)
+        with pytest.raises(ConfigurationError, match="already registered"):
+            entries.register("box", lambda: 2)
+
+    def test_unregister(self):
+        entries = Registry("widget")
+        entries.register("box", lambda: 1)
+        entries.unregister("box")
+        assert "box" not in entries
+        with pytest.raises(ConfigurationError):
+            entries.unregister("box")
+
+    def test_names_preserve_registration_order(self):
+        entries = Registry("widget")
+        for name in ("zeta", "alpha", "mid"):
+            entries.register(name, lambda: None)
+        assert entries.names() == ("zeta", "alpha", "mid")
+
+
+class TestBuiltinEntries:
+    def test_expected_names_registered(self):
+        assert set(registry.accounting_techniques.names()) == {
+            "ITCA", "PTCA", "ASM", "GDP", "GDP-O"
+        }
+        assert set(registry.partitioning_policies.names()) == {
+            "LRU", "UCP", "ASM", "MCP", "MCP-O"
+        }
+        assert registry.latency_estimators.names() == ("DIEF",)
+        assert set(registry.workload_generators.names()) == {"category", "mixed", "auto"}
+
+    def test_accounting_factories_build_configured_instances(self):
+        config = default_experiment_config(4)
+        latency = registry.latency_estimators.create("DIEF")
+        assert isinstance(latency, DIEFLatencyEstimator)
+        assert isinstance(
+            registry.accounting_techniques.create("ITCA", config, latency), ITCAAccounting
+        )
+        gdp = registry.accounting_techniques.create("GDP", config, latency)
+        assert isinstance(gdp, GDPAccounting) and not isinstance(gdp, GDPOAccounting)
+        assert isinstance(
+            registry.accounting_techniques.create("GDP-O", config, latency), GDPOAccounting
+        )
+        asm = registry.accounting_techniques.create("ASM", config, latency)
+        assert isinstance(asm, ASMAccounting)
+
+    def test_policy_factory_builds_policy(self):
+        config = default_experiment_config(2)
+        policy = registry.partitioning_policies.create("MCP", config, 10_000.0)
+        assert isinstance(policy, MCPPolicy)
+
+    def test_workload_generators_dispatch(self):
+        categories = registry.workload_generators.create("category", 2, "H", 2, 0)
+        assert len(categories) == 2
+        assert all(workload.category == "H" for workload in categories)
+        mixed = registry.workload_generators.create("mixed", 4, "HMLL", 1, 0)
+        assert mixed[0].category == "HMLL"
+        # "auto" routes single letters to the category generator and longer
+        # strings to the mix generator, producing identical workloads.
+        assert registry.workload_generators.create("auto", 2, "H", 2, 0) == categories
+        assert registry.workload_generators.create("auto", 4, "HMLL", 1, 0) == mixed

@@ -4,6 +4,7 @@ import json
 
 import pytest
 
+from repro.errors import ConfigurationError
 from repro.experiments import run_all as run_all_module
 from repro.experiments.run_all import SCALES, main, run_all
 
@@ -17,7 +18,7 @@ class TestScales:
         assert SCALES["small"]["workloads"] <= SCALES["medium"]["workloads"] <= SCALES["large"]["workloads"]
 
     def test_unknown_scale_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             run_all("enormous")
 
 

@@ -1,7 +1,5 @@
 """Tests for the sweep machinery and table formatting helpers."""
 
-import pytest
-
 from repro.experiments.sweep import AccuracySweep, SweepSettings, run_accuracy_sweep
 from repro.experiments.tables import format_cell_table, format_table
 
