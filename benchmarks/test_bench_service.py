@@ -1,0 +1,57 @@
+"""Service-submit latency probe for the scenario service.
+
+Measures the full HTTP round trip of submitting a scenario whose result is
+already in the scenario-level artifact cache and fetching the result:
+request parsing, spec validation, whole-spec digesting, artifact-store load
+and two JSON responses.  The simulation itself runs exactly once, *outside*
+the measured region — the probe tracks the service's serving overhead, which
+is what a regression in the HTTP/job-manager/artifact layers would move.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from benchmarks.conftest import INSTRUCTIONS, INTERVAL
+
+SPEC = {
+    "name": "bench-service-submit",
+    "kind": "accuracy",
+    "machine": {"core_counts": [2], "llc_kilobytes": 64},
+    "workloads": {"groups": ["H"], "per_group": 1},
+    "techniques": ["GDP"],
+    "instructions_per_core": min(INSTRUCTIONS, 4000),
+    "interval_instructions": min(INTERVAL, 2000),
+}
+
+
+def test_bench_service_submit_latency(benchmark, tmp_path):
+    from repro.experiments.common import shutdown_executor
+    from repro.service import ArtifactStore, ServiceClient, create_server
+
+    server = create_server(
+        port=0, sweep_jobs=1,
+        artifacts=ArtifactStore(tmp_path / "artifacts", max_bytes=1 << 22),
+    )
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    client = ServiceClient(f"http://127.0.0.1:{server.port}")
+    try:
+        # Populate the scenario-level cache once (the only simulation).
+        first = client.submit(SPEC)
+        assert client.wait(first["id"], timeout=600)["state"] == "done"
+
+        def submit_round_trip():
+            job = client.submit(SPEC)
+            return client.result(job["id"])
+
+        result = benchmark(submit_round_trip)
+        assert "tables" in result
+        stats = client.stats()
+        assert stats["scenario_cache"]["hits"] >= 1
+        benchmark.extra_info["scenario_cache_hits"] = stats["scenario_cache"]["hits"]
+    finally:
+        server.shutdown()
+        server.server_close()
+        server.manager.shutdown()
+        shutdown_executor()

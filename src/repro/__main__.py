@@ -7,6 +7,7 @@ Usage::
     python -m repro run figure3 [--scale small] [--jobs N] [--json OUT]
     python -m repro run path/to/scenario.json [--jobs N] [--json OUT]
     python -m repro run-all [--scale small] [--jobs N] [--json OUT]
+    python -m repro serve [--port P] [--jobs N]   # long-lived scenario service
 
 ``run`` accepts either a built-in scenario name (see ``list``) or a path to a
 JSON scenario spec — arbitrary machine/workload/estimator/sweep combinations
@@ -51,7 +52,7 @@ def _write_json(path: str, payload: dict) -> None:
 
 def _cmd_list() -> int:
     from repro import registry
-    from repro.scenarios import AXIS_NAMES, builtin_scenarios
+    from repro.scenarios import AXIS_NAMES, SCENARIO_KINDS, builtin_scenarios
 
     print("Built-in scenarios (python -m repro run <name>):")
     for scenario in builtin_scenarios():
@@ -65,8 +66,11 @@ def _cmd_list() -> int:
     print("Registered workload generators: ",
           ", ".join(registry.workload_generators.names()))
     print("Sweep axes:                     ", ", ".join(AXIS_NAMES))
+    print("Scenario kinds:                 ", ", ".join(SCENARIO_KINDS))
     print("\nCustom scenarios: python -m repro run path/to/scenario.json "
           "(see examples/scenario_spec.json)")
+    print("Scenario service: python -m repro serve (HTTP job server; "
+          "see README.md)")
     return 0
 
 
@@ -126,6 +130,12 @@ def _cmd_run_all(scale: str | None, jobs: int | None, json_path: str | None) -> 
     return 0
 
 
+def _cmd_serve(port: int | None, host: str, jobs: int | None) -> int:
+    from repro.service.http import serve
+
+    return serve(port=port, host=host, sweep_jobs=jobs)
+
+
 def _print_cache_stats() -> None:
     from repro.sim.result_cache import get_result_cache
 
@@ -165,6 +175,15 @@ def main(argv: list[str] | None = None) -> int:
     run_all.add_argument("--jobs", type=int, default=None)
     run_all.add_argument("--json", dest="json_path", metavar="OUT")
 
+    serve = subparsers.add_parser(
+        "serve", help="run the long-lived scenario service (HTTP job server)")
+    serve.add_argument("--port", type=int, default=None,
+                       help="listen port (default: REPRO_SERVICE_PORT or 8642)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--jobs", type=int, default=None,
+                       help="sweep workers per job (default: REPRO_JOBS or CPU count)")
+
     arguments = parser.parse_args(argv)
     try:
         if arguments.command == "list":
@@ -174,6 +193,8 @@ def main(argv: list[str] | None = None) -> int:
         if arguments.command == "run":
             return _cmd_run(arguments.scenario, arguments.scale, arguments.jobs,
                             arguments.json_path)
+        if arguments.command == "serve":
+            return _cmd_serve(arguments.port, arguments.host, arguments.jobs)
         return _cmd_run_all(arguments.scale, arguments.jobs, arguments.json_path)
     except ConfigurationError as error:
         print(f"error: {error}", file=sys.stderr)

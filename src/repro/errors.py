@@ -27,3 +27,15 @@ class PartitioningError(ReproError):
 
 class CacheKeyError(ReproError):
     """Raised when a value cannot be canonicalised into a result-cache key."""
+
+
+class ServiceError(ReproError):
+    """Raised when a scenario-service request cannot be satisfied."""
+
+
+class JobConflictError(ServiceError):
+    """Raised when a job operation is invalid in the job's current state.
+
+    The HTTP layer maps this to 409 Conflict — e.g. cancelling a job that
+    already started running.
+    """

@@ -1,0 +1,171 @@
+"""Interference attribution: where did each application's slowdown come from?
+
+GDP's accounting infrastructure already measures, per shared-memory-system
+load, how many cycles of its latency were caused by co-runners — split by the
+resource that caused them.  This engine turns those measurements into a
+per-application attribution: the shared-mode slowdown of every benchmark in a
+workload, decomposed into the cycles lost to
+
+* **cache** interference — extra DRAM round trips paid because a co-runner
+  evicted a line the application would have kept alone (interference misses,
+  detected with the per-core auxiliary tag directories),
+* **dram** interference — queueing and row-conflict delays at the shared
+  memory controller, and
+* **ring** interference — queueing on the shared interconnect (computed as
+  the residual of the total attributed interference after the cache and DRAM
+  components; the simulator folds interference-miss DRAM queueing into the
+  cache penalty, so the residual is clamped at zero).
+
+The ground truth for the slowdown itself is one private-mode rerun per
+benchmark over the same instructions, exactly like the accuracy methodology.
+Only aggregate interval counters are consumed, so both simulation modes skip
+per-event record materialisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.metrics.errors import mean
+from repro.config import CMPConfig
+from repro.sim.runner import build_trace, run_private_mode, run_shared_mode
+from repro.workloads.mixes import Workload
+
+__all__ = [
+    "ATTRIBUTION_COMPONENTS",
+    "BenchmarkAttribution",
+    "WorkloadAttribution",
+    "evaluate_workload_attribution",
+    "summarize_attribution",
+]
+
+DEFAULT_INSTRUCTIONS = 24_000
+DEFAULT_INTERVAL = 6_000
+
+# Metric names reported by attribution scenarios (table columns).
+ATTRIBUTION_COMPONENTS = (
+    "slowdown", "cache_share", "ring_share", "dram_share", "interference_cpi"
+)
+
+
+@dataclass
+class BenchmarkAttribution:
+    """Slowdown decomposition for one benchmark of a shared-mode run."""
+
+    benchmark: str
+    core: int
+    shared_cpi: float
+    private_cpi: float
+    shared_cycles: float
+    instructions: int
+    total_interference_cycles: float
+    cache_interference_cycles: float
+    ring_interference_cycles: float
+    dram_interference_cycles: float
+    interference_misses: int
+    sms_loads: int
+
+    @property
+    def slowdown(self) -> float:
+        """Shared-mode CPI over private-mode CPI (>= 1 when interference hurts)."""
+        return self.shared_cpi / self.private_cpi if self.private_cpi > 0 else 1.0
+
+    @property
+    def interference_cpi(self) -> float:
+        """Attributed interference cycles per committed instruction."""
+        if not self.instructions:
+            return 0.0
+        return self.total_interference_cycles / self.instructions
+
+    def component_share(self, component: str) -> float:
+        """Fraction of the attributed interference caused by one resource."""
+        total = self.total_interference_cycles
+        if total <= 0:
+            return 0.0
+        cycles = {
+            "cache": self.cache_interference_cycles,
+            "ring": self.ring_interference_cycles,
+            "dram": self.dram_interference_cycles,
+        }[component]
+        return cycles / total
+
+    def metric(self, name: str) -> float:
+        if name == "slowdown":
+            return self.slowdown
+        if name == "interference_cpi":
+            return self.interference_cpi
+        if name.endswith("_share"):
+            return self.component_share(name[: -len("_share")])
+        raise ValueError(f"unknown attribution metric '{name}'")
+
+
+@dataclass
+class WorkloadAttribution:
+    """Attribution results for every benchmark in one workload."""
+
+    workload: Workload
+    benchmarks: list[BenchmarkAttribution] = field(default_factory=list)
+
+    def mean_metric(self, name: str) -> float:
+        return mean([benchmark.metric(name) for benchmark in self.benchmarks])
+
+
+def evaluate_workload_attribution(
+    workload: Workload,
+    config: CMPConfig,
+    instructions_per_core: int = DEFAULT_INSTRUCTIONS,
+    interval_instructions: int = DEFAULT_INTERVAL,
+    seed: int = 0,
+) -> WorkloadAttribution:
+    """Run one workload shared + private and attribute each core's slowdown."""
+    traces = {
+        core: build_trace(name, instructions_per_core, seed=seed + core)
+        for core, name in enumerate(workload.benchmarks)
+    }
+    shared = run_shared_mode(
+        traces, config, target_instructions=instructions_per_core,
+        interval_instructions=interval_instructions, record_events=False,
+    )
+    result = WorkloadAttribution(workload=workload)
+    for core, trace in traces.items():
+        private = run_private_mode(
+            trace, config, core_id=core, interval_instructions=interval_instructions,
+            target_instructions=instructions_per_core, record_events=False,
+        )
+        shared_core = shared.cores[core]
+        total = cache = dram = 0.0
+        interference_misses = sms_loads = 0
+        for interval in shared_core.intervals:
+            total += interval.interference_sum
+            cache += interval.interference_miss_penalty_sum
+            dram += interval.dram_interference_sum
+            interference_misses += interval.interference_misses
+            sms_loads += interval.sms_loads
+        # The interference sum counts an interference miss's whole DRAM round
+        # trip as cache interference instead of its DRAM queueing share, so
+        # the ring residual can only under-count; never let it go negative.
+        ring = max(0.0, total - cache - dram)
+        result.benchmarks.append(BenchmarkAttribution(
+            benchmark=trace.name,
+            core=core,
+            shared_cpi=shared_core.cpi,
+            private_cpi=private.cpi,
+            shared_cycles=shared_core.cycles,
+            instructions=shared_core.instructions,
+            total_interference_cycles=total,
+            cache_interference_cycles=cache,
+            ring_interference_cycles=ring,
+            dram_interference_cycles=dram,
+            interference_misses=interference_misses,
+            sms_loads=sms_loads,
+        ))
+    return result
+
+
+def summarize_attribution(results: list[WorkloadAttribution], metric: str) -> float:
+    """Mean per-benchmark value of one attribution metric across workloads."""
+    values: list[float] = []
+    for result in results:
+        for benchmark in result.benchmarks:
+            values.append(benchmark.metric(metric))
+    return mean(values)

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import atexit
 import os
+import threading
 from collections.abc import Callable, Sequence
 
 from repro.errors import CacheKeyError, ConfigurationError
@@ -97,6 +98,9 @@ _EXECUTOR = None
 _EXECUTOR_WORKERS = 0
 _EXECUTOR_ENV_FINGERPRINT = ""
 _SHUTDOWN_REGISTERED = False
+# Reentrant: shutdown_executor() may be reached from get_executor() while the
+# lock is already held (worker-count/fingerprint change rebuilds the pool).
+_EXECUTOR_LOCK = threading.RLock()
 
 
 def _worker_env_fingerprint() -> str:
@@ -120,36 +124,49 @@ def get_executor(workers: int):
     fingerprint (see :func:`_worker_env_fingerprint`) — replaces the existing
     one (the old pool is shut down first).  The pool is torn down
     automatically at interpreter exit; ``run_all`` additionally shuts it down
-    explicitly when a run completes.
+    explicitly when a run completes.  Creation and teardown are serialised by
+    a lock so long-lived multi-threaded callers (the scenario service) can
+    interleave sweeps with ``run_all``-style explicit shutdowns: the next
+    sweep after a shutdown simply builds a fresh pool.
     """
     global _EXECUTOR, _EXECUTOR_WORKERS, _EXECUTOR_ENV_FINGERPRINT, _SHUTDOWN_REGISTERED
     if workers <= 0:
         raise ConfigurationError("the process pool needs at least one worker")
     fingerprint = _worker_env_fingerprint()
-    if _EXECUTOR is not None and (
-        _EXECUTOR_WORKERS != workers or _EXECUTOR_ENV_FINGERPRINT != fingerprint
-    ):
-        shutdown_executor()
-    if _EXECUTOR is None:
-        from concurrent.futures import ProcessPoolExecutor
+    with _EXECUTOR_LOCK:
+        if _EXECUTOR is not None and (
+            _EXECUTOR_WORKERS != workers or _EXECUTOR_ENV_FINGERPRINT != fingerprint
+        ):
+            shutdown_executor()
+        if _EXECUTOR is None:
+            from concurrent.futures import ProcessPoolExecutor
 
-        _EXECUTOR = ProcessPoolExecutor(max_workers=workers)
-        _EXECUTOR_WORKERS = workers
-        _EXECUTOR_ENV_FINGERPRINT = fingerprint
-        if not _SHUTDOWN_REGISTERED:
-            atexit.register(shutdown_executor)
-            _SHUTDOWN_REGISTERED = True
-    return _EXECUTOR
+            _EXECUTOR = ProcessPoolExecutor(max_workers=workers)
+            _EXECUTOR_WORKERS = workers
+            _EXECUTOR_ENV_FINGERPRINT = fingerprint
+            if not _SHUTDOWN_REGISTERED:
+                atexit.register(shutdown_executor)
+                _SHUTDOWN_REGISTERED = True
+        return _EXECUTOR
 
 
 def shutdown_executor() -> None:
-    """Tear down the shared process pool (no-op when none exists)."""
+    """Tear down the shared process pool (idempotent; safe from any thread).
+
+    Calling it twice, concurrently, or while another thread is about to fan
+    out work is allowed: the pool reference is swapped out under the lock and
+    the next :func:`get_executor` call lazily builds a replacement, so a
+    long-lived service can run ``run_all``-style scenarios (which shut the
+    pool down when they finish) back to back without ever observing a closed
+    pool.
+    """
     global _EXECUTOR, _EXECUTOR_WORKERS, _EXECUTOR_ENV_FINGERPRINT
-    if _EXECUTOR is not None:
-        _EXECUTOR.shutdown()
-        _EXECUTOR = None
+    with _EXECUTOR_LOCK:
+        executor, _EXECUTOR = _EXECUTOR, None
         _EXECUTOR_WORKERS = 0
         _EXECUTOR_ENV_FINGERPRINT = ""
+    if executor is not None:
+        executor.shutdown()
 
 
 def _star_call(payload):
@@ -159,13 +176,16 @@ def _star_call(payload):
 
 
 def _map_on_pool(function: Callable, tasks: list[tuple], workers: int,
-                 cost_key: Callable[[tuple], float] | None) -> list:
+                 cost_key: Callable[[tuple], float] | None,
+                 on_result: Callable[[], None] | None = None) -> list:
     """Fan tasks over the shared pool; results come back in task order.
 
     With a ``cost_key``, tasks are *submitted* largest-first (stable order
     for equal costs) so stragglers start early, then the result list is
     permuted back to submission order — the output is bit-identical to the
-    serial evaluation because every cell is a pure function.
+    serial evaluation because every cell is a pure function.  ``on_result``
+    is invoked (on the calling thread) once per completed task, in completion
+    order, for progress reporting.
     """
     order = list(range(len(tasks)))
     if cost_key is not None:
@@ -178,14 +198,32 @@ def _map_on_pool(function: Callable, tasks: list[tuple], workers: int,
     else:
         chunksize = max(1, -(-len(tasks) // (workers * _CHUNKS_PER_WORKER)))
     payloads = [(function, tasks[index]) for index in order]
-    pool = get_executor(workers)
-    try:
-        mapped = list(pool.map(_star_call, payloads, chunksize=chunksize))
-    except BaseException:
-        # A broken pool (e.g. a worker killed by the OOM killer) poisons
-        # every later submission; drop it so the next call starts fresh.
-        shutdown_executor()
-        raise
+    mapped: list = []
+    for attempt in (0, 1):
+        pool = get_executor(workers)
+        try:
+            for value in pool.map(_star_call, payloads, chunksize=chunksize):
+                mapped.append(value)
+                if on_result is not None:
+                    on_result()
+            break
+        except RuntimeError as error:
+            # Another thread shut the shared pool down between our lookup and
+            # the submission (a concurrent run_all finishing does exactly
+            # that).  Nothing ran yet in that case, so rebuild the pool once
+            # and resubmit.  Only that specific failure retries: broken pools
+            # (BrokenProcessPool subclasses RuntimeError) and evaluator
+            # errors that happen to be RuntimeErrors must surface, not
+            # silently re-run the whole sweep.
+            shutdown_executor()
+            if (attempt or mapped
+                    or "cannot schedule new futures" not in str(error)):
+                raise
+        except BaseException:
+            # A broken pool (e.g. a worker killed by the OOM killer) poisons
+            # every later submission; drop it so the next call starts fresh.
+            shutdown_executor()
+            raise
     results: list = [None] * len(tasks)
     for position, index in enumerate(order):
         results[index] = mapped[position]
@@ -198,7 +236,8 @@ def _map_on_pool(function: Callable, tasks: list[tuple], workers: int,
 def run_parallel(function: Callable, argument_tuples: Sequence[tuple],
                  jobs: int | None = None,
                  cost_key: Callable[[tuple], float] | None = None,
-                 cache: bool = True) -> list:
+                 cache: bool = True,
+                 progress: Callable[[int, int], None] | None = None) -> list:
     """Apply ``function`` to every argument tuple, in order, possibly in parallel.
 
     ``function`` must be a picklable top-level callable and a pure function of
@@ -212,9 +251,16 @@ def run_parallel(function: Callable, argument_tuples: Sequence[tuple],
     :mod:`repro.sim.result_cache`); pass ``cache=False`` or set
     ``REPRO_CACHE=0`` to force computation.  ``cost_key`` maps one argument
     tuple to a relative cost estimate used for largest-first scheduling.
+
+    ``progress``, when given, is called as ``progress(completed, total)`` on
+    the calling thread — once up front (cache hits count as completed) and
+    once per task as results arrive — so long-running sweeps can report
+    per-cell progress (the scenario service's job status does).
     """
     tasks = list(argument_tuples)
     if not tasks:
+        if progress is not None:
+            progress(0, 0)
         return []
     # Validate the jobs knob eagerly: a typo in REPRO_JOBS must surface even
     # when every cell is served from the cache and no pool is ever built.
@@ -251,12 +297,29 @@ def run_parallel(function: Callable, argument_tuples: Sequence[tuple],
                 else:
                     pending.append(index)
 
+    total = len(tasks)
+    completed = total - len(pending)
+    if progress is not None:
+        progress(completed, total)
+
     if pending:
         miss_tasks = [tasks[index] for index in pending]
+
+        def _one_done() -> None:
+            nonlocal completed
+            completed += 1
+            progress(completed, total)
+
+        on_result = None if progress is None else _one_done
         if workers <= 1 or len(miss_tasks) <= 1:
-            computed = [function(*args) for args in miss_tasks]
+            computed = []
+            for args in miss_tasks:
+                computed.append(function(*args))
+                if on_result is not None:
+                    on_result()
         else:
-            computed = _map_on_pool(function, miss_tasks, workers, cost_key)
+            computed = _map_on_pool(function, miss_tasks, workers, cost_key,
+                                    on_result=on_result)
         for index, value in zip(pending, computed):
             results[index] = value
             if use_cache:

@@ -1,0 +1,201 @@
+"""Policy-switching traces: estimated IPC under a mid-run policy change.
+
+The paper's runtime story is an estimator feeding a resource manager *while
+the manager's policy evolves*.  This engine runs one shared-mode simulation
+in which the active LLC partitioning policy rotates through a configured
+sequence at a fixed cycle period, and records a time series of
+
+* which policy was active and the way allocation it chose, and
+* each core's shared-mode IPC plus the private-mode IPC estimated by the
+  configured accounting techniques from the most recent estimate interval
+
+at every repartitioning event.  The result shows how the estimates track the
+partitioning decisions across the switch boundaries — the runtime trace a
+deployed GDP would expose to an operator dashboard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.base import AccountingTechnique
+from repro.metrics.errors import mean
+from repro.partitioning.base import PartitioningPolicy, PolicyContext
+from repro.config import CMPConfig
+from repro.registry import accounting_techniques, latency_estimators, partitioning_policies
+from repro.sim.runner import build_trace, run_shared_mode
+from repro.workloads.mixes import Workload
+
+__all__ = [
+    "PolicySample",
+    "SwitchingPolicy",
+    "WorkloadPolicyTrace",
+    "evaluate_workload_policy_switch",
+    "summarize_estimated_ipc",
+    "summarize_switches",
+]
+
+DEFAULT_INSTRUCTIONS = 24_000
+DEFAULT_INTERVAL = 6_000
+DEFAULT_REPARTITION_CYCLES = 40_000.0
+
+# With no explicit switch period, the active policy advances every
+# DEFAULT_SWITCH_REPARTITIONS repartitioning events: long enough for a policy
+# to act on its own allocations, short enough that small runs still switch.
+DEFAULT_SWITCH_REPARTITIONS = 2
+
+
+@dataclass
+class PolicySample:
+    """One point of the policy-switching time series (a repartition event)."""
+
+    time: float
+    policy: str
+    switched: bool
+    allocation: dict[int, int] | None
+    shared_ipc: dict[int, float] = field(default_factory=dict)
+    # technique name -> core -> estimated private-mode IPC
+    estimated_ipc: dict[str, dict[int, float]] = field(default_factory=dict)
+
+
+@dataclass
+class WorkloadPolicyTrace:
+    """The recorded trace of one workload under a switching policy schedule."""
+
+    workload: Workload
+    policy_sequence: tuple[str, ...]
+    switch_interval_cycles: float
+    samples: list[PolicySample] = field(default_factory=list)
+
+    @property
+    def switch_count(self) -> int:
+        return sum(1 for sample in self.samples if sample.switched)
+
+    def mean_estimated_ipc(self, technique: str) -> float:
+        values = [
+            ipc
+            for sample in self.samples
+            for ipc in sample.estimated_ipc.get(technique, {}).values()
+        ]
+        return mean(values)
+
+    def mean_shared_ipc(self) -> float:
+        values = [ipc for sample in self.samples for ipc in sample.shared_ipc.values()]
+        return mean(values)
+
+
+class SwitchingPolicy(PartitioningPolicy):
+    """A meta-policy that rotates through a sequence of real policies.
+
+    At every repartitioning event the active policy is the sequence entry for
+    the current switch period (``floor(now / switch_interval_cycles)``, modulo
+    the sequence length); the event is delegated to it unchanged, so each
+    policy behaves exactly as it would standalone while it is active.  The
+    meta-policy also snapshots the sample the trace records.
+    """
+
+    name = "switching"
+
+    def __init__(self, policies: dict[str, PartitioningPolicy],
+                 techniques: dict[str, AccountingTechnique],
+                 switch_interval_cycles: float,
+                 repartition_interval_cycles: float | None = None):
+        super().__init__(repartition_interval_cycles)
+        if not policies:
+            raise ValueError("a switching schedule needs at least one policy")
+        if switch_interval_cycles <= 0:
+            raise ValueError("switch_interval_cycles must be positive")
+        self.policies = policies
+        self.techniques = techniques
+        self.switch_interval_cycles = float(switch_interval_cycles)
+        self.needs_events = bool(techniques) or any(
+            policy.needs_events for policy in policies.values()
+        )
+        self.samples: list[PolicySample] = []
+        self._sequence = tuple(policies)
+        self._previous: str | None = None
+
+    def active_policy(self, now: float) -> str:
+        period = int(now // self.switch_interval_cycles)
+        return self._sequence[period % len(self._sequence)]
+
+    def allocate(self, context: PolicyContext) -> dict[int, int] | None:
+        active = self.active_policy(context.time)
+        switched = self._previous is not None and active != self._previous
+        self._previous = active
+        allocation = self.policies[active].allocate(context)
+        sample = PolicySample(
+            time=context.time,
+            policy=active,
+            switched=switched,
+            allocation=dict(allocation) if allocation is not None else None,
+        )
+        for core, interval in context.latest_intervals.items():
+            sample.shared_ipc[core] = interval.ipc
+            for name, technique in self.techniques.items():
+                estimate = technique.estimate(interval)
+                sample.estimated_ipc.setdefault(name, {})[core] = estimate.ipc
+        self.samples.append(sample)
+        return allocation
+
+
+def evaluate_workload_policy_switch(
+    workload: Workload,
+    config: CMPConfig,
+    policies: tuple[str, ...],
+    techniques: tuple[str, ...],
+    instructions_per_core: int = DEFAULT_INSTRUCTIONS,
+    interval_instructions: int = DEFAULT_INTERVAL,
+    repartition_interval_cycles: float = DEFAULT_REPARTITION_CYCLES,
+    seed: int = 0,
+    switch_interval_cycles: float | None = None,
+) -> WorkloadPolicyTrace:
+    """Run one workload under a rotating policy schedule and record the trace.
+
+    ``switch_interval_cycles`` defaults to
+    ``DEFAULT_SWITCH_REPARTITIONS * repartition_interval_cycles`` so the
+    schedule advances every couple of repartitioning events.
+    """
+    if switch_interval_cycles is None:
+        switch_interval_cycles = (
+            DEFAULT_SWITCH_REPARTITIONS * repartition_interval_cycles
+        )
+    traces = {
+        core: build_trace(name, instructions_per_core, seed=seed + core)
+        for core, name in enumerate(workload.benchmarks)
+    }
+    latency = latency_estimators.create("DIEF")
+    technique_instances = {
+        name: accounting_techniques.create(name, config, latency)
+        for name in techniques
+    }
+    policy_instances = {
+        name: partitioning_policies.create(name, config, repartition_interval_cycles)
+        for name in policies
+    }
+    switching = SwitchingPolicy(
+        policy_instances, technique_instances, switch_interval_cycles,
+        repartition_interval_cycles=repartition_interval_cycles,
+    )
+    run_shared_mode(
+        traces, config, target_instructions=instructions_per_core,
+        interval_instructions=interval_instructions,
+        configure_system=switching.install,
+        record_events=switching.needs_events,
+    )
+    return WorkloadPolicyTrace(
+        workload=workload,
+        policy_sequence=tuple(policies),
+        switch_interval_cycles=switch_interval_cycles,
+        samples=switching.samples,
+    )
+
+
+def summarize_estimated_ipc(results: list[WorkloadPolicyTrace], technique: str) -> float:
+    """Mean estimated private-mode IPC of one technique across traces."""
+    return mean([trace.mean_estimated_ipc(technique) for trace in results])
+
+
+def summarize_switches(results: list[WorkloadPolicyTrace]) -> float:
+    """Mean number of policy switches observed per trace."""
+    return mean([float(trace.switch_count) for trace in results])

@@ -34,6 +34,7 @@ Two caveats for factories registered from *outside* the ``repro`` package:
 
 from __future__ import annotations
 
+import difflib
 from collections.abc import Callable
 
 from repro.baselines import ASMAccounting, ITCAAccounting, PTCAAccounting
@@ -55,7 +56,22 @@ __all__ = [
     "partitioning_policies",
     "latency_estimators",
     "workload_generators",
+    "suggest_name",
 ]
+
+
+def suggest_name(name: str, candidates) -> str:
+    """A `` — did you mean 'X'?`` suffix for unknown-name errors, or ``""``.
+
+    Matching is case-insensitive so the common slip of typing ``gdp-o`` for
+    ``GDP-O`` still gets a suggestion.
+    """
+    candidates = list(candidates)
+    by_folded = {candidate.lower(): candidate for candidate in candidates}
+    matches = difflib.get_close_matches(str(name).lower(), list(by_folded), n=1)
+    if not matches:
+        return ""
+    return f" — did you mean '{by_folded[matches[0]]}'?"
 
 
 class Registry:
@@ -93,7 +109,9 @@ class Registry:
             return self._factories[name]
         except KeyError:
             raise ConfigurationError(
-                f"unknown {self.kind} '{name}' (registered: {', '.join(self.names()) or 'none'})"
+                f"unknown {self.kind} '{name}' "
+                f"(registered: {', '.join(self.names()) or 'none'})"
+                f"{suggest_name(name, self.names())}"
             ) from None
 
     def create(self, name: str, *args, **kwargs):

@@ -19,8 +19,18 @@ from itertools import product
 from repro.config import DDR2_800, DDR4_2666, KILOBYTE, CMPConfig
 from repro.errors import ConfigurationError
 from repro.experiments.accuracy import evaluate_workload_accuracy, summarize_rms
+from repro.experiments.attribution import (
+    ATTRIBUTION_COMPONENTS,
+    evaluate_workload_attribution,
+    summarize_attribution,
+)
 from repro.experiments.case_study import average_throughput, evaluate_workload_throughput
 from repro.experiments.common import default_experiment_config, run_parallel
+from repro.experiments.policy_switch import (
+    evaluate_workload_policy_switch,
+    summarize_estimated_ipc,
+    summarize_switches,
+)
 from repro.experiments.tables import format_cell_table
 from repro.registry import workload_generators
 from repro.scenarios.spec import ScenarioSpec, SweepAxis
@@ -71,6 +81,22 @@ class ScenarioResult:
                 lambda results, policy: average_throughput(results, policy),
                 self.spec.policies,
             )}
+        if self.spec.kind == "interference_attribution":
+            return {"interference_attribution": self._metric_table(
+                lambda results, metric: summarize_attribution(results, metric),
+                ATTRIBUTION_COMPONENTS,
+            )}
+        if self.spec.kind == "policy_switching":
+            return {
+                "mean_estimated_ipc": self._metric_table(
+                    lambda results, technique: summarize_estimated_ipc(results, technique),
+                    self.spec.techniques,
+                ),
+                "policy_switches": self._metric_table(
+                    lambda results, _column: summarize_switches(results),
+                    ("switches",),
+                ),
+            }
         tables: dict[str, dict[str, dict[str, float]]] = {}
         for metric in ("ipc", "stall"):
             table = self._metric_table(
@@ -111,8 +137,81 @@ class ScenarioResult:
         return "\n".join(lines)
 
     def to_dict(self) -> dict:
-        """JSON-serialisable summary (spec + aggregate tables)."""
-        return {"scenario": self.spec.to_dict(), "tables": self.tables()}
+        """JSON-serialisable summary (spec + aggregate tables + any details).
+
+        For the time-series kinds the aggregate tables alone would discard
+        the scenario's actual product, so ``details`` carries the per-cell
+        raw payloads: the per-benchmark slowdown decomposition for
+        ``interference_attribution`` and the sampled policy/IPC traces for
+        ``policy_switching``.
+        """
+        payload = {"scenario": self.spec.to_dict(), "tables": self.tables()}
+        details = self.details()
+        if details:
+            payload["details"] = details
+        return payload
+
+    def details(self) -> dict:
+        """Per-cell detail payloads (JSON-serialisable; empty for kinds whose
+        tables already carry everything)."""
+        if self.spec.kind == "interference_attribution":
+            return {
+                self.cell_label(key): [
+                    {
+                        "benchmark": benchmark.benchmark,
+                        "core": benchmark.core,
+                        "shared_cpi": benchmark.shared_cpi,
+                        "private_cpi": benchmark.private_cpi,
+                        "slowdown": benchmark.slowdown,
+                        "total_interference_cycles": benchmark.total_interference_cycles,
+                        "cache_interference_cycles": benchmark.cache_interference_cycles,
+                        "ring_interference_cycles": benchmark.ring_interference_cycles,
+                        "dram_interference_cycles": benchmark.dram_interference_cycles,
+                        "interference_misses": benchmark.interference_misses,
+                        "sms_loads": benchmark.sms_loads,
+                    }
+                    for result in results
+                    for benchmark in result.benchmarks
+                ]
+                for key, results in self.cells.items()
+            }
+        if self.spec.kind == "policy_switching":
+            return {
+                self.cell_label(key): [
+                    {
+                        "workload": "+".join(trace.workload.benchmarks),
+                        "policy_sequence": list(trace.policy_sequence),
+                        "switch_interval_cycles": trace.switch_interval_cycles,
+                        "switch_count": trace.switch_count,
+                        "samples": [
+                            {
+                                "time": sample.time,
+                                "policy": sample.policy,
+                                "switched": sample.switched,
+                                "allocation": (
+                                    {str(core): ways for core, ways
+                                     in sample.allocation.items()}
+                                    if sample.allocation is not None else None
+                                ),
+                                "shared_ipc": {
+                                    str(core): ipc for core, ipc
+                                    in sample.shared_ipc.items()
+                                },
+                                "estimated_ipc": {
+                                    technique: {str(core): ipc for core, ipc
+                                                in per_core.items()}
+                                    for technique, per_core
+                                    in sample.estimated_ipc.items()
+                                },
+                            }
+                            for sample in trace.samples
+                        ],
+                    }
+                    for trace in results
+                ]
+                for key, results in self.cells.items()
+            }
+        return {}
 
 
 # ------------------------------------------------------------------ expansion
@@ -215,9 +314,62 @@ def _throughput_cell_cost(args: tuple) -> float:
     return float(len(workload.benchmarks) * (len(policies) + 1) * instructions_per_core)
 
 
+def _attribution_task(spec: ScenarioSpec, workload, config: CMPConfig,
+                      prb_override: int | None) -> tuple:
+    if prb_override is not None:
+        config = config.with_prb_entries(prb_override)
+    return (
+        workload,
+        config,
+        spec.instructions_per_core,
+        spec.interval_instructions,
+        spec.workloads.seed,
+    )
+
+
+def _attribution_cell_cost(args: tuple) -> float:
+    """One shared run plus one private run per core."""
+    workload, _config, instructions_per_core = args[0], args[1], args[2]
+    return float(len(workload.benchmarks) * 2 * instructions_per_core)
+
+
+def _policy_switch_task(spec: ScenarioSpec, workload, config: CMPConfig,
+                        prb_override: int | None) -> tuple:
+    if prb_override is not None:
+        config = config.with_prb_entries(prb_override)
+    return (
+        workload,
+        config,
+        spec.policies,
+        spec.techniques,
+        spec.instructions_per_core,
+        spec.interval_instructions,
+        spec.repartition_interval_cycles,
+        spec.workloads.seed,
+        spec.policy_switch_cycles,
+    )
+
+
+def _policy_switch_cell_cost(args: tuple) -> float:
+    """A single shared run, proportional to cores times instructions."""
+    workload, _config, _policies, _techniques, instructions_per_core = (
+        args[0], args[1], args[2], args[3], args[4]
+    )
+    return float(len(workload.benchmarks) * instructions_per_core)
+
+
 EVALUATORS: dict[str, tuple[Callable, Callable[[tuple], float]]] = {
     "accuracy": (evaluate_workload_accuracy, _accuracy_cell_cost),
     "throughput": (evaluate_workload_throughput, _throughput_cell_cost),
+    "interference_attribution": (evaluate_workload_attribution, _attribution_cell_cost),
+    "policy_switching": (evaluate_workload_policy_switch, _policy_switch_cell_cost),
+}
+
+TASK_BUILDERS: dict[str, Callable] = {
+    "accuracy": _accuracy_task,
+    "throughput": _throughput_task,
+    "interference_attribution": _attribution_task,
+    "policy_switching": _policy_switch_task,
 }
 
 
@@ -253,17 +405,16 @@ def expand_cells(spec: ScenarioSpec,
             )
             for axis_label, config, prb_override in _axis_variants(spec, base_config):
                 for workload in workloads:
-                    if spec.kind == "accuracy":
-                        task = _accuracy_task(spec, workload, config, prb_override)
-                    else:
-                        task = _throughput_task(spec, workload, config, prb_override)
+                    builder = TASK_BUILDERS[spec.kind]
+                    task = builder(spec, workload, config, prb_override)
                     cells.append(ScenarioCell(key=(n_cores, group, axis_label), task=task))
     return cells
 
 
 def run_scenario(spec: ScenarioSpec, jobs: int | None = None,
                  config_factory=default_experiment_config,
-                 cache: bool = True) -> ScenarioResult:
+                 cache: bool = True,
+                 progress: Callable[[int, int], None] | None = None) -> ScenarioResult:
     """Execute every cell of a scenario and group the raw results.
 
     All cells — across groups, core counts and axis values — are flattened
@@ -271,14 +422,15 @@ def run_scenario(spec: ScenarioSpec, jobs: int | None = None,
     :func:`repro.experiments.common.run_parallel`, so they share the
     persistent process pool, largest-cells-first scheduling and the
     content-addressed result cache.  Results are deterministic and
-    independent of the worker count.
+    independent of the worker count.  ``progress`` is forwarded to
+    :func:`run_parallel` and reports completed/total sweep cells.
     """
     spec.validate()
     evaluator, cost_key = EVALUATORS[spec.kind]
     cells = expand_cells(spec, config_factory=config_factory)
     outcomes = run_parallel(
         evaluator, [cell.task for cell in cells], jobs=jobs, cost_key=cost_key,
-        cache=cache,
+        cache=cache, progress=progress,
     )
     result = ScenarioResult(spec=spec)
     for cell, outcome in zip(cells, outcomes):

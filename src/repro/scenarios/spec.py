@@ -28,8 +28,16 @@ __all__ = [
 ]
 
 # ``accuracy`` runs private-mode estimation error evaluation (Figures 3-5 and
-# 7); ``throughput`` runs the partitioning case study (Figure 6).
-SCENARIO_KINDS = ("accuracy", "throughput")
+# 7); ``throughput`` runs the partitioning case study (Figure 6);
+# ``interference_attribution`` decomposes each application's slowdown into
+# cache/ring/DRAM interference; ``policy_switching`` records a time series of
+# estimated IPC and partition decisions while the policy rotates mid-run.
+SCENARIO_KINDS = (
+    "accuracy",
+    "throughput",
+    "interference_attribution",
+    "policy_switching",
+)
 
 # Sweep axes understood by the runner; each varies one machine knob of
 # Section VII-D across the listed values.
@@ -130,11 +138,9 @@ class WorkloadMixSpec:
     seed: int = 0
 
     def validate(self) -> None:
-        if self.generator not in registry.workload_generators:
-            raise ConfigurationError(
-                f"unknown workload generator '{self.generator}' "
-                f"(registered: {', '.join(registry.workload_generators.names())})"
-            )
+        # Registry.get raises the uniform unknown-name ConfigurationError
+        # (registered list + did-you-mean suggestion).
+        registry.workload_generators.get(self.generator)
         if not self.groups:
             raise ConfigurationError("workloads.groups must name at least one group")
         if len(set(self.groups)) != len(self.groups):
@@ -220,6 +226,9 @@ class ScenarioSpec:
     instructions_per_core: int = 24_000
     interval_instructions: int = 6_000
     repartition_interval_cycles: float = 40_000.0
+    # Cycle period at which a policy_switching scenario advances to the next
+    # policy of the sequence; None derives it from the repartition interval.
+    policy_switch_cycles: float | None = None
     collect_components: bool = False
     description: str = ""
 
@@ -231,28 +240,33 @@ class ScenarioSpec:
             raise ConfigurationError(
                 f"unknown scenario kind '{self.kind}' "
                 f"(expected one of: {', '.join(SCENARIO_KINDS)})"
+                f"{registry.suggest_name(self.kind, SCENARIO_KINDS)}"
             )
         self.machine.validate()
         self.workloads.validate()
         self._validate_groups()
         # Both name lists are checked regardless of kind: a typo'd entry in
         # the list the kind ignores would otherwise pass silently.
+        # Registry.get raises the uniform unknown-name ConfigurationError
+        # (registered list + did-you-mean suggestion).
         for technique in self.techniques:
-            if technique not in registry.accounting_techniques:
-                raise ConfigurationError(
-                    f"unknown accounting technique '{technique}' (registered: "
-                    f"{', '.join(registry.accounting_techniques.names())})"
-                )
+            registry.accounting_techniques.get(technique)
         for policy in self.policies:
-            if policy not in registry.partitioning_policies:
-                raise ConfigurationError(
-                    f"unknown partitioning policy '{policy}' (registered: "
-                    f"{', '.join(registry.partitioning_policies.names())})"
-                )
+            registry.partitioning_policies.get(policy)
         if self.kind == "accuracy" and not self.techniques:
             raise ConfigurationError("an accuracy scenario needs at least one technique")
         if self.kind == "throughput" and not self.policies:
             raise ConfigurationError("a throughput scenario needs at least one policy")
+        if self.kind == "policy_switching":
+            if not self.policies:
+                raise ConfigurationError(
+                    "a policy_switching scenario needs at least one policy to rotate"
+                )
+            if not self.techniques:
+                raise ConfigurationError(
+                    "a policy_switching scenario needs at least one technique "
+                    "to produce the estimated-IPC time series"
+                )
         seen_axes = set()
         for axis in self.axes:
             axis.validate()
@@ -267,6 +281,13 @@ class ScenarioSpec:
                 or isinstance(self.repartition_interval_cycles, bool)
                 or self.repartition_interval_cycles <= 0):
             raise ConfigurationError("repartition_interval_cycles must be a positive number")
+        if self.policy_switch_cycles is not None and (
+                not isinstance(self.policy_switch_cycles, (int, float))
+                or isinstance(self.policy_switch_cycles, bool)
+                or self.policy_switch_cycles <= 0):
+            raise ConfigurationError(
+                "policy_switch_cycles must be a positive number when set"
+            )
         if not isinstance(self.collect_components, bool):
             raise ConfigurationError(
                 "collect_components must be a JSON boolean (true/false)"
@@ -330,6 +351,7 @@ class ScenarioSpec:
             "instructions_per_core": self.instructions_per_core,
             "interval_instructions": self.interval_instructions,
             "repartition_interval_cycles": self.repartition_interval_cycles,
+            "policy_switch_cycles": self.policy_switch_cycles,
             "collect_components": self.collect_components,
             "description": self.description,
         }
@@ -361,7 +383,8 @@ class ScenarioSpec:
         if "axes" in data:
             overrides["axes"] = tuple(SweepAxis.from_dict(axis) for axis in data["axes"])
         for scalar in ("instructions_per_core", "interval_instructions",
-                       "repartition_interval_cycles", "collect_components", "description"):
+                       "repartition_interval_cycles", "policy_switch_cycles",
+                       "collect_components", "description"):
             if scalar in data:
                 overrides[scalar] = data[scalar]
         if overrides:

@@ -1,0 +1,30 @@
+"""Scenario service: a long-lived, multi-client job server over the engine.
+
+The batch CLI runs one spec and exits; this package keeps the engine
+resident — shared process pool warm, caches populated — and serves scenario
+requests over HTTP (``python -m repro serve``):
+
+* :mod:`repro.service.jobs` — priority queue, per-job state machine and the
+  dispatcher thread that executes specs through the scenario engine,
+* :mod:`repro.service.artifacts` — LRU-bounded disk store of whole-scenario
+  result payloads (the scenario-level cache above the cell-level one),
+* :mod:`repro.service.http` — the stdlib ``ThreadingHTTPServer`` API,
+* :mod:`repro.service.client` — the urllib client used by tests and tools.
+"""
+
+from repro.service.artifacts import ArtifactStore
+from repro.service.client import ServiceClient
+from repro.service.http import ScenarioServer, create_server, serve
+from repro.service.jobs import Job, JobManager, JobState, scenario_digest
+
+__all__ = [
+    "ArtifactStore",
+    "ServiceClient",
+    "ScenarioServer",
+    "create_server",
+    "serve",
+    "Job",
+    "JobManager",
+    "JobState",
+    "scenario_digest",
+]

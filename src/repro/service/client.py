@@ -1,0 +1,101 @@
+"""Minimal urllib-based client for the scenario service.
+
+Used by the tests, the CI smoke job and the benchmark probe; also a
+convenient programmatic entry point::
+
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient("http://127.0.0.1:8642")
+    job = client.submit(spec)                 # ScenarioSpec or plain dict
+    status = client.wait(job["id"], timeout=600)
+    result = client.result(job["id"])
+
+Transport failures surface as :class:`~repro.errors.ServiceError` carrying
+the server's JSON error message when one was returned.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+from repro.errors import ServiceError
+from repro.scenarios.spec import ScenarioSpec
+from repro.service.jobs import JobState
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """A tiny JSON-over-HTTP client bound to one service base URL."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------ transport
+
+    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        url = f"{self.base_url}{path}"
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=body, headers=headers, method=method)
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            try:
+                detail = json.loads(error.read().decode("utf-8")).get("error", "")
+            except Exception:
+                detail = ""
+            message = f"{method} {path} failed with HTTP {error.code}"
+            if detail:
+                message = f"{message}: {detail}"
+            raise ServiceError(message) from None
+        except urllib.error.URLError as error:
+            raise ServiceError(f"cannot reach scenario service at {url}: {error.reason}") from None
+
+    # ------------------------------------------------------------------ endpoints
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/stats")
+
+    def submit(self, spec: ScenarioSpec | dict, priority: int = 0) -> dict:
+        """Submit a spec; returns the job summary (``{"id": ..., ...}``)."""
+        data = spec.to_dict() if isinstance(spec, ScenarioSpec) else spec
+        return self._request("POST", "/scenarios", {"spec": data, "priority": priority})
+
+    def list_jobs(self) -> list[dict]:
+        return self._request("GET", "/scenarios")["jobs"]
+
+    def status(self, job_id: str) -> dict:
+        return self._request("GET", f"/scenarios/{job_id}")
+
+    def result(self, job_id: str) -> dict:
+        """The finished job's result payload (raises while still pending)."""
+        return self._request("GET", f"/scenarios/{job_id}/result")
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("DELETE", f"/scenarios/{job_id}")
+
+    def wait(self, job_id: str, timeout: float = 600.0,
+             poll_seconds: float = 0.1) -> dict:
+        """Poll until the job reaches a terminal state; returns its status."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status["state"] in JobState.TERMINAL:
+                return status
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job '{job_id}' still {status['state']} after {timeout:.0f}s"
+                )
+            time.sleep(poll_seconds)

@@ -1,0 +1,254 @@
+"""HTTP API of the scenario service (stdlib-only).
+
+A :class:`ScenarioServer` is a ``ThreadingHTTPServer`` bound to a
+:class:`~repro.service.jobs.JobManager`; each request thread only touches the
+manager's thread-safe API, while the manager's single dispatcher executes
+jobs through the shared process pool.
+
+Routes
+------
+=======  =======================  ===========================================
+POST     /scenarios               submit a ScenarioSpec JSON (optionally
+                                  wrapped as ``{"spec": ..., "priority": N}``)
+GET      /scenarios               list all jobs (most recent last)
+GET      /scenarios/{id}          job status + per-cell progress
+GET      /scenarios/{id}/result   the result payload (202 while pending)
+DELETE   /scenarios/{id}          cancel a queued job (409 once running)
+GET      /healthz                 liveness probe
+GET      /stats                   queue depth, cache hit rates, utilisation
+=======  =======================  ===========================================
+
+Malformed bodies and invalid specs answer 400 with the configuration error
+message; unknown jobs 404; invalid state transitions 409.  Everything is
+JSON, including errors (``{"error": ...}``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.errors import ConfigurationError, JobConflictError, ServiceError
+from repro.scenarios.spec import ScenarioSpec
+from repro.service.artifacts import ArtifactStore
+from repro.service.jobs import JobManager, JobState
+
+__all__ = [
+    "DEFAULT_PORT",
+    "ScenarioServer",
+    "create_server",
+    "serve",
+    "service_port_from_env",
+]
+
+DEFAULT_PORT = 8642
+
+# Submissions larger than this are rejected outright: a spec is a few KB of
+# JSON, so anything bigger is a client bug (or not a spec at all).
+MAX_BODY_BYTES = 1 << 20
+
+
+def service_port_from_env() -> int:
+    """The port selected by ``REPRO_SERVICE_PORT`` (default 8642)."""
+    env = os.environ.get("REPRO_SERVICE_PORT")
+    if env is None or env.strip() == "":
+        return DEFAULT_PORT
+    try:
+        port = int(env)
+    except ValueError:
+        raise ConfigurationError(
+            f"REPRO_SERVICE_PORT must be an integer port, got {env!r}"
+        ) from None
+    if not 0 <= port <= 65535:
+        raise ConfigurationError(
+            f"REPRO_SERVICE_PORT must be between 0 and 65535, got {env!r}"
+        )
+    return port
+
+
+class ScenarioServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that owns the job manager it serves."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], manager: JobManager,
+                 verbose: bool = False):
+        super().__init__(address, ScenarioRequestHandler)
+        self.manager = manager
+        self.verbose = verbose
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+
+class ScenarioRequestHandler(BaseHTTPRequestHandler):
+    server_version = "repro-scenario-service/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------ plumbing
+
+    @property
+    def manager(self) -> JobManager:
+        return self.server.manager
+
+    def log_message(self, format, *args):  # noqa: A002 — stdlib signature
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload) -> None:
+        body = json.dumps(payload, indent=2, default=str).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message})
+
+    def _read_body(self) -> bytes | None:
+        length = self.headers.get("Content-Length")
+        try:
+            length = int(length or 0)
+        except ValueError:
+            # The body was not consumed, so a keep-alive connection would
+            # desync: close it instead of answering the next request with
+            # the middle of this one's stale payload.
+            self.close_connection = True
+            self._send_error_json(400, "invalid Content-Length header")
+            return None
+        if length <= 0:
+            self._send_error_json(400, "a JSON request body is required")
+            return None
+        if length > MAX_BODY_BYTES:
+            self.close_connection = True
+            self._send_error_json(413, "request body too large for a scenario spec")
+            return None
+        return self.rfile.read(length)
+
+    def _job_id_from_path(self, parts: list[str]) -> str:
+        return parts[1]
+
+    # ------------------------------------------------------------------ routes
+
+    def do_GET(self) -> None:  # noqa: N802 — stdlib naming
+        parts = [part for part in self.path.split("?")[0].split("/") if part]
+        try:
+            if parts == ["healthz"]:
+                self._send_json(200, {"status": "ok"})
+            elif parts == ["stats"]:
+                self._send_json(200, self.manager.stats())
+            elif parts == ["scenarios"]:
+                self._send_json(
+                    200, {"jobs": [job.summary() for job in self.manager.jobs()]}
+                )
+            elif len(parts) == 2 and parts[0] == "scenarios":
+                job = self.manager.get(self._job_id_from_path(parts))
+                self._send_json(200, job.summary())
+            elif len(parts) == 3 and parts[0] == "scenarios" and parts[2] == "result":
+                self._send_result(self._job_id_from_path(parts))
+            else:
+                self._send_error_json(404, f"no such route: GET {self.path}")
+        except ServiceError as error:
+            self._send_error_json(404, str(error))
+
+    def _send_result(self, job_id: str) -> None:
+        job = self.manager.get(job_id)
+        if job.state == JobState.DONE:
+            self._send_json(200, job.result)
+        elif job.state == JobState.FAILED:
+            self._send_error_json(500, job.error or "scenario failed")
+        elif job.state == JobState.CANCELLED:
+            self._send_error_json(409, f"job '{job_id}' was cancelled")
+        else:
+            # Still queued or running: tell the client to poll again.
+            self._send_json(202, job.summary())
+
+    def do_POST(self) -> None:  # noqa: N802 — stdlib naming
+        parts = [part for part in self.path.split("?")[0].split("/") if part]
+        if parts != ["scenarios"]:
+            self._send_error_json(404, f"no such route: POST {self.path}")
+            return
+        body = self._read_body()
+        if body is None:
+            return
+        try:
+            data = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            self._send_error_json(400, f"request body is not valid JSON: {error}")
+            return
+        priority = 0
+        if isinstance(data, dict) and "spec" in data:
+            priority = data.get("priority", 0)
+            data = data["spec"]
+        if not isinstance(priority, int) or isinstance(priority, bool):
+            self._send_error_json(400, "priority must be an integer")
+            return
+        try:
+            spec = ScenarioSpec.from_dict(data)
+            job = self.manager.submit(spec, priority=priority)
+        except ConfigurationError as error:
+            self._send_error_json(400, str(error))
+            return
+        except ServiceError as error:
+            self._send_error_json(503, str(error))
+            return
+        self._send_json(201, job.summary())
+
+    def do_DELETE(self) -> None:  # noqa: N802 — stdlib naming
+        parts = [part for part in self.path.split("?")[0].split("/") if part]
+        if len(parts) != 2 or parts[0] != "scenarios":
+            self._send_error_json(404, f"no such route: DELETE {self.path}")
+            return
+        try:
+            job = self.manager.cancel(self._job_id_from_path(parts))
+        except JobConflictError as error:
+            self._send_error_json(409, str(error))
+            return
+        except ServiceError as error:
+            self._send_error_json(404, str(error))
+            return
+        self._send_json(200, job.summary())
+
+
+def create_server(port: int = 0, host: str = "127.0.0.1",
+                  manager: JobManager | None = None,
+                  sweep_jobs: int | None = None,
+                  artifacts: ArtifactStore | None = None,
+                  verbose: bool = False) -> ScenarioServer:
+    """Build a scenario server (``port=0`` binds an ephemeral port).
+
+    The caller drives the serving loop (``serve_forever`` — typically on a
+    background thread in tests) and owns shutdown:
+    ``server.shutdown(); server.manager.shutdown()``.
+    """
+    if manager is None:
+        manager = JobManager(sweep_jobs=sweep_jobs, artifacts=artifacts)
+    return ScenarioServer((host, port), manager, verbose=verbose)
+
+
+def serve(port: int | None = None, host: str = "127.0.0.1",
+          sweep_jobs: int | None = None, verbose: bool = True) -> int:
+    """Run the scenario service until interrupted (the CLI entry point)."""
+    from repro.experiments.common import shutdown_executor
+
+    if port is None:
+        port = service_port_from_env()
+    server = create_server(port=port, host=host, sweep_jobs=sweep_jobs,
+                           verbose=verbose)
+    artifacts = server.manager.artifacts
+    print(f"scenario service listening on http://{host}:{server.port}")
+    print(f"artifact store: {artifacts.directory} "
+          f"(bound {artifacts.max_bytes // (1024 * 1024)} MB)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.shutdown()
+        server.server_close()
+        server.manager.shutdown()
+        shutdown_executor()
+    return 0

@@ -1,0 +1,338 @@
+"""Job manager: the scenario service's queue, state machine and dispatcher.
+
+Submitted specs become :class:`Job` records that move through a small state
+machine::
+
+    queued -> running -> done | failed
+    queued -> cancelled
+
+Jobs wait in a priority queue (higher ``priority`` first, FIFO within a
+priority) and are executed one at a time by a background dispatcher thread —
+the *sweep cells* of the running job still fan out across the shared process
+pool, so a single dispatcher saturates the machine while keeping job
+semantics simple (cancellation only applies to queued jobs; see
+:meth:`JobManager.cancel`).
+
+Results are cached at the scenario level: a whole-spec digest (spec JSON +
+code epoch + ambient batching knob, via
+:func:`repro.sim.result_cache.content_digest`) addresses the complete result
+payload in the :class:`~repro.service.artifacts.ArtifactStore`, so submitting
+an identical spec again completes instantly without touching the engine.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import time
+import uuid
+from dataclasses import dataclass
+
+from repro.errors import JobConflictError, ServiceError
+from repro.scenarios.runner import run_scenario
+from repro.scenarios.spec import ScenarioSpec
+from repro.service.artifacts import ArtifactStore
+from repro.sim.result_cache import content_digest, get_result_cache
+
+__all__ = ["JobState", "Job", "JobManager", "scenario_digest"]
+
+
+class JobState:
+    """The per-job state machine's states."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    TERMINAL = (DONE, FAILED, CANCELLED)
+
+
+def scenario_digest(spec: ScenarioSpec) -> str:
+    """Content digest addressing the complete result of one scenario spec.
+
+    Folds in the same ambient knob the cell cache folds into task digests:
+    a different co-simulation batch slack simulates different interleavings,
+    so it must address different scenario artifacts too.
+    """
+    from repro.sim.system import resolved_batch_cycles
+
+    return content_digest(
+        "scenario-result", spec.to_dict(),
+        extra=("batch_cycles", repr(resolved_batch_cycles())),
+    )
+
+
+@dataclass
+class Job:
+    """One submitted scenario and everything the API reports about it."""
+
+    id: str
+    spec: ScenarioSpec
+    digest: str
+    priority: int
+    state: str = JobState.QUEUED
+    submitted_at: float = 0.0
+    started_at: float | None = None
+    finished_at: float | None = None
+    cells_done: int = 0
+    cells_total: int | None = None
+    cached: bool = False
+    error: str | None = None
+    result: dict | None = None
+
+    @property
+    def finished(self) -> bool:
+        return self.state in JobState.TERMINAL
+
+    def summary(self) -> dict:
+        """The JSON status payload (everything but the result body)."""
+        return {
+            "id": self.id,
+            "name": self.spec.name,
+            "kind": self.spec.kind,
+            "state": self.state,
+            "priority": self.priority,
+            "cached": self.cached,
+            "progress": {"done": self.cells_done, "total": self.cells_total},
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "error": self.error,
+        }
+
+
+def _default_runner(spec: ScenarioSpec, jobs: int | None, progress) -> dict:
+    """Execute a spec through the scenario engine; returns the result payload."""
+    return run_scenario(spec, jobs=jobs, progress=progress).to_dict()
+
+
+class JobManager:
+    """Priority queue + dispatcher thread + scenario-level result cache.
+
+    ``sweep_jobs`` is forwarded to the engine as the process-pool worker
+    count; ``artifacts=None`` builds the environment-configured store;
+    ``scenario_cache=False`` disables the scenario-level (artifact) cache
+    while leaving cell-level caching to ``REPRO_CACHE`` as usual.  ``runner``
+    is injectable for tests: a callable ``(spec, jobs, progress) -> dict``.
+
+    Terminal job records (and their in-memory result payloads) are bounded:
+    once more than ``max_finished_jobs`` jobs have finished, the oldest are
+    dropped — their ids answer 404 afterwards, as a long-lived server must
+    not grow without bound.  Whole-scenario payloads stay available through
+    the (disk-backed, LRU-bounded) artifact store regardless: resubmitting
+    the same spec is a cache hit.
+    """
+
+    def __init__(self, sweep_jobs: int | None = None,
+                 artifacts: ArtifactStore | None = None,
+                 scenario_cache: bool = True,
+                 runner=None,
+                 max_finished_jobs: int = 256):
+        self.sweep_jobs = sweep_jobs
+        self.artifacts = artifacts if artifacts is not None else ArtifactStore()
+        self.scenario_cache = scenario_cache
+        self.max_finished_jobs = max(1, max_finished_jobs)
+        self.scenario_hits = 0
+        self.scenario_misses = 0
+        self.started_at = time.time()
+        self.busy_seconds = 0.0
+        self._runner = runner if runner is not None else _default_runner
+        self._lock = threading.Lock()
+        self._condition = threading.Condition(self._lock)
+        self._jobs: dict[str, Job] = {}
+        self._queue: list[tuple[int, int, str]] = []
+        self._sequence = 0
+        self._running_id: str | None = None
+        self._stop = False
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="scenario-dispatcher", daemon=True
+        )
+        self._dispatcher.start()
+
+    # ------------------------------------------------------------------ client API
+
+    def submit(self, spec: ScenarioSpec, priority: int = 0) -> Job:
+        """Validate and enqueue a spec; returns the (possibly finished) job.
+
+        An identical spec whose result is already in the artifact store
+        completes instantly: the job is born ``done`` with ``cached=True``.
+        """
+        spec.validate()
+        digest = scenario_digest(spec)
+        job = Job(
+            id=uuid.uuid4().hex[:12],
+            spec=spec,
+            digest=digest,
+            priority=priority,
+            submitted_at=time.time(),
+        )
+        cached = self.artifacts.get(digest) if self.scenario_cache else None
+        with self._condition:
+            if self._stop:
+                raise ServiceError("the job manager is shut down")
+            self._jobs[job.id] = job
+            if cached is not None:
+                self.scenario_hits += 1
+                job.result = cached
+                job.cached = True
+                job.state = JobState.DONE
+                job.finished_at = job.submitted_at
+                self._prune_finished_locked()
+                self._condition.notify_all()
+            else:
+                self.scenario_misses += 1
+                self._sequence += 1
+                heapq.heappush(self._queue, (-priority, self._sequence, job.id))
+                self._condition.notify_all()
+        return job
+
+    def get(self, job_id: str) -> Job:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise ServiceError(f"unknown job '{job_id}'")
+        return job
+
+    def jobs(self) -> list[Job]:
+        """All known jobs, in submission order."""
+        with self._lock:
+            return list(self._jobs.values())
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a queued job.
+
+        The check-and-transition happens under the same lock the dispatcher
+        uses to move a job to ``running``, so a job that just started cannot
+        be half-cancelled: the caller gets :class:`JobConflictError` (HTTP
+        409) and the job runs to completion untouched.
+        """
+        with self._condition:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise ServiceError(f"unknown job '{job_id}'")
+            if job.state != JobState.QUEUED:
+                raise JobConflictError(
+                    f"job '{job_id}' is {job.state}; only queued jobs can be cancelled"
+                )
+            job.state = JobState.CANCELLED
+            job.finished_at = time.time()
+            # The queue entry stays; the dispatcher skips cancelled jobs.
+            self._prune_finished_locked()
+            self._condition.notify_all()
+        return job
+
+    def wait(self, job_id: str, timeout: float | None = None) -> Job:
+        """Block until a job reaches a terminal state (or the timeout)."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._condition:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise ServiceError(f"unknown job '{job_id}'")
+            while not job.finished:
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    break
+                self._condition.wait(timeout=remaining)
+        return job
+
+    def stats(self) -> dict:
+        """Queue depth, per-state counts, cache hit rates, utilisation."""
+        with self._lock:
+            by_state: dict[str, int] = {}
+            for job in self._jobs.values():
+                by_state[job.state] = by_state.get(job.state, 0) + 1
+            queue_depth = by_state.get(JobState.QUEUED, 0)
+            running_id = self._running_id
+            busy = self.busy_seconds
+            if running_id is not None:
+                running = self._jobs.get(running_id)
+                if running is not None and running.started_at is not None:
+                    busy += time.time() - running.started_at
+            total = len(self._jobs)
+        uptime = max(time.time() - self.started_at, 1e-9)
+        cell_cache = get_result_cache()
+        return {
+            "uptime_seconds": uptime,
+            "queue_depth": queue_depth,
+            "running": running_id,
+            "jobs_total": total,
+            "jobs_by_state": by_state,
+            "scenario_cache": {
+                "hits": self.scenario_hits,
+                "misses": self.scenario_misses,
+                **self.artifacts.stats.as_dict(),
+            },
+            "cell_cache": {
+                "enabled": cell_cache.enabled,
+                **cell_cache.stats.as_dict(),
+            },
+            "worker_utilisation": min(1.0, busy / uptime),
+            "busy_seconds": busy,
+        }
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        """Stop the dispatcher; queued jobs stay queued (service is ending)."""
+        with self._condition:
+            self._stop = True
+            self._condition.notify_all()
+        self._dispatcher.join(timeout=timeout)
+
+    # ------------------------------------------------------------------ dispatcher
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._condition:
+                while not self._stop and not self._queue:
+                    self._condition.wait()
+                if self._stop:
+                    return
+                _neg_priority, _sequence, job_id = heapq.heappop(self._queue)
+                job = self._jobs[job_id]
+                if job.state != JobState.QUEUED:
+                    continue  # cancelled while waiting
+                job.state = JobState.RUNNING
+                job.started_at = time.time()
+                self._running_id = job.id
+            self._execute(job)
+
+    def _execute(self, job: Job) -> None:
+        def progress(done: int, total: int) -> None:
+            job.cells_done = done
+            job.cells_total = total
+
+        try:
+            payload = self._runner(job.spec, self.sweep_jobs, progress)
+        except Exception as error:  # noqa: BLE001 — a job must never kill the dispatcher
+            with self._condition:
+                job.state = JobState.FAILED
+                job.error = f"{type(error).__name__}: {error}"
+                job.finished_at = time.time()
+                self.busy_seconds += job.finished_at - (job.started_at or job.finished_at)
+                self._running_id = None
+                self._prune_finished_locked()
+                self._condition.notify_all()
+            return
+        if self.scenario_cache:
+            self.artifacts.put(job.digest, payload)
+        with self._condition:
+            job.result = payload
+            job.state = JobState.DONE
+            job.finished_at = time.time()
+            self.busy_seconds += job.finished_at - (job.started_at or job.finished_at)
+            self._running_id = None
+            self._prune_finished_locked()
+            self._condition.notify_all()
+
+    def _prune_finished_locked(self) -> None:
+        """Drop the oldest terminal job records beyond ``max_finished_jobs``.
+
+        Called with the lock held.  ``self._jobs`` preserves submission
+        order, so the oldest finished jobs go first; queued and running jobs
+        are never touched.
+        """
+        finished = [job_id for job_id, job in self._jobs.items() if job.finished]
+        excess = len(finished) - self.max_finished_jobs
+        for job_id in finished[:excess] if excess > 0 else ():
+            del self._jobs[job_id]

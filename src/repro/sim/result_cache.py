@@ -54,6 +54,7 @@ __all__ = [
     "cache_enabled_from_env",
     "canonical_key",
     "code_epoch",
+    "content_digest",
     "get_result_cache",
     "is_cacheable_function",
     "task_digest",
@@ -170,6 +171,27 @@ def task_digest(function, argument_tuple, extra=()) -> str:
         _canonical(extra),
     )
     return hashlib.sha256(repr(material).encode("utf-8")).hexdigest()
+
+
+def content_digest(namespace: str, material, extra=()) -> str:
+    """Content digest of an arbitrary canonicalisable value.
+
+    Like :func:`task_digest` but for payloads that are not a function call —
+    e.g. the scenario service digests a whole :class:`ScenarioSpec` dict to
+    address a complete scenario result.  The digest folds in the code epoch,
+    so any change to the ``repro`` sources invalidates derived artifacts the
+    same way it invalidates cell results.  ``namespace`` keeps digests of
+    different payload families from colliding.
+    """
+    payload = (
+        "repro-content",
+        CACHE_FORMAT_VERSION,
+        code_epoch(),
+        str(namespace),
+        _canonical(material),
+        _canonical(extra),
+    )
+    return hashlib.sha256(repr(payload).encode("utf-8")).hexdigest()
 
 
 # -------------------------------------------------------------------- storage

@@ -1,0 +1,125 @@
+"""Tests for the LRU-bounded scenario artifact store."""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.artifacts import (
+    DEFAULT_MAX_MEGABYTES,
+    ArtifactStore,
+    artifact_dir_from_env,
+    artifact_limit_from_env,
+)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "artifacts", max_bytes=4096)
+
+
+class TestRoundTrip:
+    def test_put_get(self, store):
+        payload = {"tables": {"ipc_rms": {"2c-H": {"GDP": 0.25}}}}
+        assert store.put("a" * 64, payload)
+        assert store.get("a" * 64) == payload
+        assert store.stats.hits == 1 and store.stats.stores == 1
+
+    def test_miss_on_absent_digest(self, store):
+        assert store.get("b" * 64) is None
+        assert store.stats.misses == 1
+
+    def test_floats_round_trip_exactly(self, store):
+        payload = {"value": 0.1 + 0.2, "nested": [1.0 / 3.0]}
+        store.put("c" * 64, payload)
+        assert store.get("c" * 64) == payload
+
+    def test_corrupted_artifact_is_a_miss_and_deleted(self, store):
+        store.put("d" * 64, {"ok": True})
+        path = store.entry_path("d" * 64)
+        path.write_text("{not json")
+        assert store.get("d" * 64) is None
+        assert not path.exists()
+        assert store.stats.errors == 1
+
+    def test_non_object_artifact_rejected(self, store):
+        path = store.entry_path("e" * 64)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps([1, 2, 3]))
+        assert store.get("e" * 64) is None
+
+
+class TestLRUBound:
+    def _filler(self, index: int) -> dict:
+        return {"index": index, "padding": "x" * 900}
+
+    def test_eviction_drops_least_recently_used(self, tmp_path):
+        store = ArtifactStore(tmp_path / "lru", max_bytes=2500)
+        for index in range(3):
+            digest = f"{index:064d}"
+            store.put(digest, self._filler(index))
+            # mtime granularity: make the LRU order unambiguous.
+            past = time.time() - (10 - index)
+            os.utime(store.entry_path(digest), (past, past))
+        store.put("f" * 64, self._filler(99))
+        assert store.total_bytes() <= 2500
+        # Oldest entries were evicted, the newest survives.
+        assert store.get("f" * 64) is not None
+        assert store.get(f"{0:064d}") is None
+        assert store.stats.evictions >= 1
+
+    def test_get_refreshes_recency(self, tmp_path):
+        store = ArtifactStore(tmp_path / "touch", max_bytes=2500)
+        for index in range(2):
+            digest = f"{index:064d}"
+            store.put(digest, self._filler(index))
+            past = time.time() - (10 - index)
+            os.utime(store.entry_path(digest), (past, past))
+        # Touch the older entry: the *other* one should now be evicted first.
+        assert store.get(f"{0:064d}") is not None
+        store.put("f" * 64, self._filler(99))
+        assert store.get(f"{0:064d}") is not None
+        assert store.get(f"{1:064d}") is None
+
+    def test_fresh_write_never_self_evicts(self, tmp_path):
+        store = ArtifactStore(tmp_path / "self", max_bytes=100)
+        digest = "a" * 64
+        store.put(digest, self._filler(0))  # bigger than the whole bound
+        assert store.get(digest) is not None
+
+    def test_clear(self, store):
+        store.put("a" * 64, {"x": 1})
+        store.put("b" * 64, {"x": 2})
+        assert store.clear() == 2
+        assert store.entries() == []
+
+
+class TestEnvironmentKnobs:
+    def test_default_directory(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_ARTIFACT_DIR", raising=False)
+        monkeypatch.chdir(tmp_path)
+        assert artifact_dir_from_env() == tmp_path / ".repro_artifacts"
+
+    def test_directory_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_ARTIFACT_DIR", str(tmp_path / "elsewhere"))
+        assert artifact_dir_from_env() == tmp_path / "elsewhere"
+
+    def test_default_limit(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ARTIFACT_MAX_MB", raising=False)
+        assert artifact_limit_from_env() == DEFAULT_MAX_MEGABYTES * 1024 * 1024
+
+    def test_limit_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ARTIFACT_MAX_MB", "3")
+        assert artifact_limit_from_env() == 3 * 1024 * 1024
+
+    @pytest.mark.parametrize("value", ["lots", "0", "-5", "2.5"])
+    def test_invalid_limit_rejected(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_ARTIFACT_MAX_MB", value)
+        with pytest.raises(ConfigurationError, match="REPRO_ARTIFACT_MAX_MB"):
+            artifact_limit_from_env()
+
+    def test_store_rejects_non_positive_bound(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="positive"):
+            ArtifactStore(tmp_path, max_bytes=0)

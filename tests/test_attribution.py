@@ -1,0 +1,123 @@
+"""Tests for the interference-attribution scenario kind."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.attribution import (
+    ATTRIBUTION_COMPONENTS,
+    evaluate_workload_attribution,
+    summarize_attribution,
+)
+from repro.experiments.common import default_experiment_config
+from repro.scenarios import MachineSpec, ScenarioSpec, WorkloadMixSpec, load_spec, run_scenario
+from repro.workloads.mixes import generate_category_workloads
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def attribution_result():
+    config = default_experiment_config(2)
+    (workload,) = generate_category_workloads(2, "H", 1, seed=0)
+    return evaluate_workload_attribution(
+        workload, config, instructions_per_core=4000, interval_instructions=2000
+    )
+
+
+def attribution_spec(**overrides) -> ScenarioSpec:
+    values = dict(
+        name="attr",
+        kind="interference_attribution",
+        machine=MachineSpec(core_counts=(2,), llc_kilobytes=64),
+        workloads=WorkloadMixSpec(groups=("H",), per_group=1),
+        instructions_per_core=4000,
+        interval_instructions=2000,
+    )
+    values.update(overrides)
+    return ScenarioSpec(**values)
+
+
+class TestEvaluator:
+    def test_one_record_per_core(self, attribution_result):
+        assert [benchmark.core for benchmark in attribution_result.benchmarks] == [0, 1]
+
+    def test_components_are_non_negative_and_bounded(self, attribution_result):
+        for benchmark in attribution_result.benchmarks:
+            assert benchmark.total_interference_cycles >= 0
+            assert benchmark.cache_interference_cycles >= 0
+            assert benchmark.ring_interference_cycles >= 0
+            assert benchmark.dram_interference_cycles >= 0
+            # Ring is the residual clamped at zero, so the decomposition
+            # covers at least the attributed total.
+            covered = (benchmark.cache_interference_cycles
+                       + benchmark.ring_interference_cycles
+                       + benchmark.dram_interference_cycles)
+            assert covered >= benchmark.total_interference_cycles - 1e-9
+
+    def test_shares_sum_to_one_when_interference_exists(self, attribution_result):
+        for benchmark in attribution_result.benchmarks:
+            if benchmark.total_interference_cycles <= 0:
+                continue
+            shares = sum(
+                benchmark.component_share(component)
+                for component in ("cache", "ring", "dram")
+            )
+            assert shares >= 1.0 - 1e-9
+
+    def test_sharing_slows_the_cores_down(self, attribution_result):
+        # Two H benchmarks hammering one small LLC must interfere.
+        assert any(benchmark.slowdown > 1.0 for benchmark in attribution_result.benchmarks)
+        assert any(
+            benchmark.total_interference_cycles > 0
+            for benchmark in attribution_result.benchmarks
+        )
+
+    def test_private_cpi_matches_private_mode_semantics(self, attribution_result):
+        for benchmark in attribution_result.benchmarks:
+            assert benchmark.private_cpi > 0
+            assert benchmark.shared_cpi >= benchmark.private_cpi * 0.5
+
+    def test_summarize_mean(self, attribution_result):
+        mean_slowdown = summarize_attribution([attribution_result], "slowdown")
+        values = [benchmark.slowdown for benchmark in attribution_result.benchmarks]
+        assert mean_slowdown == pytest.approx(sum(values) / len(values))
+
+    def test_unknown_metric_rejected(self, attribution_result):
+        with pytest.raises(ValueError, match="unknown attribution metric"):
+            attribution_result.benchmarks[0].metric("latency")
+
+
+class TestScenarioIntegration:
+    def test_run_scenario_tables_and_details(self):
+        result = run_scenario(attribution_spec(), jobs=1)
+        tables = result.tables()
+        assert set(tables) == {"interference_attribution"}
+        assert set(tables["interference_attribution"]["2c-H"]) == set(
+            ATTRIBUTION_COMPONENTS
+        )
+        payload = result.to_dict()
+        rows = payload["details"]["2c-H"]
+        assert len(rows) == 2
+        assert {row["core"] for row in rows} == {0, 1}
+        assert all(row["slowdown"] > 0 for row in rows)
+
+    def test_spec_requires_no_techniques_or_policies(self):
+        attribution_spec(techniques=(), policies=()).validate()
+
+    def test_example_spec_file_is_valid(self):
+        spec = load_spec(str(REPO_ROOT / "examples" / "attribution_spec.json"))
+        assert spec.kind == "interference_attribution"
+
+    def test_report_renders(self):
+        result = run_scenario(attribution_spec(), jobs=1)
+        report = result.report()
+        assert "interference_attribution" in report
+        assert "slowdown" in report
+
+
+class TestKindSuggestion:
+    def test_unknown_kind_suggests_attribution(self):
+        with pytest.raises(ConfigurationError, match="did you mean 'interference_attribution'"):
+            attribution_spec(kind="interference_atribution").validate()

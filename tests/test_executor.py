@@ -16,6 +16,12 @@ def _double(value):
     return 2 * value
 
 
+def _log_then_raise(marker_path):
+    with open(marker_path, "a") as handle:
+        handle.write("ran\n")
+    raise RuntimeError("evaluator exploded")
+
+
 def _task_cost(args):
     return args[0]
 
@@ -156,3 +162,81 @@ class TestPersistentExecutor:
     def test_single_task_uses_serial_fallback(self):
         assert run_parallel(_double, [(21,)], jobs=4, cache=False) == [42]
         assert common._EXECUTOR is None
+
+    def test_shutdown_is_idempotent(self):
+        get_executor(2)
+        shutdown_executor()
+        shutdown_executor()  # second call must be a harmless no-op
+        assert common._EXECUTOR is None
+
+    def test_repeated_run_all_style_cycles(self):
+        """A long-lived service interleaves sweeps with explicit shutdowns
+        (run_all does one per job); every cycle must get a working pool."""
+        for _cycle in range(3):
+            results = run_parallel(_double, [(i,) for i in range(4)], jobs=2,
+                                   cache=False)
+            assert results == [0, 2, 4, 6]
+            shutdown_executor()
+
+    def test_map_survives_pool_closed_by_concurrent_shutdown(self):
+        """Simulate the race where another thread shuts the shared pool down
+        between our executor lookup and the map submission: the stale pool
+        raises RuntimeError, and run_parallel must rebuild and retry."""
+        pool = get_executor(2)
+        pool.shutdown()  # close the underlying pool; module state still points at it
+        results = run_parallel(_double, [(i,) for i in range(4)], jobs=2,
+                               cache=False)
+        assert results == [0, 2, 4, 6]
+
+    def test_evaluator_runtime_error_is_not_retried(self, tmp_path):
+        """Only the closed-pool race retries; a RuntimeError raised by the
+        evaluated function itself must surface immediately, not silently
+        re-run the whole sweep."""
+        marker = tmp_path / "executions.log"
+        with pytest.raises(RuntimeError, match="evaluator exploded"):
+            run_parallel(_log_then_raise, [(str(marker),), (str(marker),)],
+                         jobs=2, cache=False)
+        # Each task ran at most once: a blanket RuntimeError retry would have
+        # resubmitted the whole batch and doubled the count.
+        executions = marker.read_text().count("ran\n")
+        assert executions <= 2
+
+
+class TestProgressReporting:
+    @pytest.fixture(autouse=True)
+    def _fresh_pool(self):
+        shutdown_executor()
+        yield
+        shutdown_executor()
+
+    def test_serial_progress_counts_every_task(self):
+        seen = []
+        run_parallel(_double, [(i,) for i in range(3)], jobs=1, cache=False,
+                     progress=lambda done, total: seen.append((done, total)))
+        assert seen == [(0, 3), (1, 3), (2, 3), (3, 3)]
+
+    def test_parallel_progress_reaches_total(self):
+        seen = []
+        run_parallel(_double, [(i,) for i in range(5)], jobs=2, cache=False,
+                     cost_key=_task_cost,
+                     progress=lambda done, total: seen.append((done, total)))
+        assert seen[0] == (0, 5)
+        assert seen[-1] == (5, 5)
+        assert [done for done, _total in seen] == sorted(done for done, _ in seen)
+
+    def test_cache_hits_count_as_completed(self, tmp_path, monkeypatch):
+        from repro.metrics.errors import mean
+
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        run_parallel(mean, [([1.0, 3.0],)], jobs=1)
+        seen = []
+        run_parallel(mean, [([1.0, 3.0],)], jobs=1,
+                     progress=lambda done, total: seen.append((done, total)))
+        assert seen == [(1, 1)]
+
+    def test_empty_task_list_reports_zero(self):
+        seen = []
+        run_parallel(_double, [], jobs=1, cache=False,
+                     progress=lambda done, total: seen.append((done, total)))
+        assert seen == [(0, 0)]

@@ -1,0 +1,146 @@
+"""Tests for the policy-switching trace scenario kind."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.common import default_experiment_config
+from repro.experiments.policy_switch import (
+    evaluate_workload_policy_switch,
+    summarize_estimated_ipc,
+    summarize_switches,
+)
+from repro.scenarios import MachineSpec, ScenarioSpec, WorkloadMixSpec, load_spec, run_scenario
+from repro.workloads.mixes import generate_category_workloads
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def trace():
+    config = default_experiment_config(2)
+    (workload,) = generate_category_workloads(2, "H", 1, seed=0)
+    return evaluate_workload_policy_switch(
+        workload, config,
+        policies=("LRU", "MCP"),
+        techniques=("GDP", "GDP-O"),
+        instructions_per_core=6000,
+        interval_instructions=2000,
+        repartition_interval_cycles=4000.0,
+    )
+
+
+def switching_spec(**overrides) -> ScenarioSpec:
+    values = dict(
+        name="switch",
+        kind="policy_switching",
+        machine=MachineSpec(core_counts=(2,), llc_kilobytes=64),
+        workloads=WorkloadMixSpec(groups=("H",), per_group=1),
+        techniques=("GDP-O",),
+        policies=("LRU", "MCP"),
+        instructions_per_core=6000,
+        interval_instructions=2000,
+        repartition_interval_cycles=4000.0,
+    )
+    values.update(overrides)
+    return ScenarioSpec(**values)
+
+
+class TestEvaluator:
+    def test_samples_are_recorded_in_time_order(self, trace):
+        assert trace.samples
+        times = [sample.time for sample in trace.samples]
+        assert times == sorted(times)
+
+    def test_policies_rotate(self, trace):
+        observed = {sample.policy for sample in trace.samples}
+        assert observed == {"LRU", "MCP"}
+        assert trace.switch_count >= 1
+
+    def test_active_policy_follows_the_schedule(self, trace):
+        for sample in trace.samples:
+            period = int(sample.time // trace.switch_interval_cycles)
+            expected = trace.policy_sequence[period % len(trace.policy_sequence)]
+            assert sample.policy == expected
+
+    def test_estimates_present_for_each_technique(self, trace):
+        sampled = [sample for sample in trace.samples if sample.estimated_ipc]
+        assert sampled, "no sample carried estimates"
+        for sample in sampled:
+            assert set(sample.estimated_ipc) == {"GDP", "GDP-O"}
+            for per_core in sample.estimated_ipc.values():
+                for ipc in per_core.values():
+                    assert ipc >= 0.0
+
+    def test_shared_ipc_sampled_per_core(self, trace):
+        sampled = [sample for sample in trace.samples if sample.shared_ipc]
+        assert sampled
+        for sample in sampled:
+            assert set(sample.shared_ipc) <= {0, 1}
+
+    def test_summaries(self, trace):
+        assert summarize_estimated_ipc([trace], "GDP-O") == pytest.approx(
+            trace.mean_estimated_ipc("GDP-O")
+        )
+        assert summarize_switches([trace]) == float(trace.switch_count)
+
+    def test_explicit_switch_interval_respected(self):
+        config = default_experiment_config(2)
+        (workload,) = generate_category_workloads(2, "H", 1, seed=0)
+        result = evaluate_workload_policy_switch(
+            workload, config, policies=("LRU", "UCP"), techniques=("GDP",),
+            instructions_per_core=6000, interval_instructions=2000,
+            repartition_interval_cycles=4000.0, switch_interval_cycles=4000.0,
+        )
+        assert result.switch_interval_cycles == 4000.0
+
+
+class TestScenarioIntegration:
+    def test_run_scenario_tables_and_details(self):
+        result = run_scenario(switching_spec(), jobs=1)
+        tables = result.tables()
+        assert set(tables) == {"mean_estimated_ipc", "policy_switches"}
+        assert set(tables["mean_estimated_ipc"]["2c-H"]) == {"GDP-O"}
+        assert tables["policy_switches"]["2c-H"]["switches"] >= 1
+        payload = result.to_dict()
+        (detail,) = payload["details"]["2c-H"]
+        assert detail["policy_sequence"] == ["LRU", "MCP"]
+        assert detail["samples"]
+        sample = detail["samples"][0]
+        assert set(sample) == {"time", "policy", "switched", "allocation",
+                               "shared_ipc", "estimated_ipc"}
+
+    def test_policy_switch_cycles_flows_from_the_spec(self):
+        result = run_scenario(switching_spec(policy_switch_cycles=4000.0), jobs=1)
+        (detail,) = result.to_dict()["details"]["2c-H"]
+        assert detail["switch_interval_cycles"] == 4000.0
+
+    def test_spec_round_trip_preserves_switch_cycles(self):
+        spec = switching_spec(policy_switch_cycles=12_345.0)
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_example_spec_file_is_valid(self):
+        spec = load_spec(str(REPO_ROOT / "examples" / "policy_switch_spec.json"))
+        assert spec.kind == "policy_switching"
+        assert spec.policy_switch_cycles == 8000.0
+
+
+class TestValidation:
+    def test_needs_at_least_one_policy(self):
+        with pytest.raises(ConfigurationError, match="at least one policy"):
+            switching_spec(policies=()).validate()
+
+    def test_needs_at_least_one_technique(self):
+        with pytest.raises(ConfigurationError, match="at least one technique"):
+            switching_spec(techniques=()).validate()
+
+    def test_switch_cycles_must_be_positive(self):
+        with pytest.raises(ConfigurationError, match="policy_switch_cycles"):
+            switching_spec(policy_switch_cycles=0).validate()
+        with pytest.raises(ConfigurationError, match="policy_switch_cycles"):
+            switching_spec(policy_switch_cycles="fast").validate()
+
+    def test_kind_suggestion(self):
+        with pytest.raises(ConfigurationError, match="did you mean 'policy_switching'"):
+            switching_spec(kind="policy_switchng").validate()

@@ -59,6 +59,31 @@ class TestRegistryMechanics:
         assert entries.names() == ("zeta", "alpha", "mid")
 
 
+class TestDidYouMean:
+    def test_close_typo_gets_a_suggestion(self):
+        with pytest.raises(ConfigurationError, match="did you mean 'GDP-O'"):
+            registry.accounting_techniques.get("GDPO")
+        with pytest.raises(ConfigurationError, match="did you mean 'MCP'"):
+            registry.partitioning_policies.get("MPC")
+
+    def test_suggestion_is_case_insensitive(self):
+        with pytest.raises(ConfigurationError, match="did you mean 'GDP'"):
+            registry.accounting_techniques.get("gdp")
+
+    def test_distant_name_gets_no_suggestion(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            registry.accounting_techniques.get("Clairvoyant")
+        assert "did you mean" not in str(excinfo.value)
+        # The registered names are still listed for manual typo hunting.
+        assert "GDP" in str(excinfo.value)
+
+    def test_suggest_name_helper(self):
+        from repro.registry import suggest_name
+
+        assert "accuracy" in suggest_name("acuracy", ("accuracy", "throughput"))
+        assert suggest_name("zzzzzz", ("accuracy", "throughput")) == ""
+
+
 class TestBuiltinEntries:
     def test_expected_names_registered(self):
         assert set(registry.accounting_techniques.names()) == {

@@ -1,0 +1,419 @@
+"""Tests for the scenario service: job manager, HTTP API, end-to-end runs."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError, JobConflictError, ServiceError
+from repro.scenarios import ScenarioSpec, run_scenario
+from repro.service import (
+    ArtifactStore,
+    JobManager,
+    JobState,
+    ServiceClient,
+    create_server,
+    scenario_digest,
+)
+from repro.service.http import service_port_from_env
+
+TINY_SPEC = {
+    "name": "service-tiny",
+    "kind": "accuracy",
+    "machine": {"core_counts": [2], "llc_kilobytes": 64},
+    "workloads": {"groups": ["H"], "per_group": 1},
+    "techniques": ["GDP"],
+    "instructions_per_core": 4000,
+    "interval_instructions": 2000,
+}
+
+
+def tiny_spec(**overrides) -> ScenarioSpec:
+    return ScenarioSpec.from_dict(dict(TINY_SPEC, **overrides))
+
+
+class GatedRunner:
+    """A fake spec runner the tests can hold mid-flight and release."""
+
+    def __init__(self):
+        self.started = threading.Semaphore(0)
+        self.release = threading.Semaphore(0)
+        self.calls = []
+
+    def __call__(self, spec, jobs, progress):
+        self.calls.append(spec.name)
+        self.started.release()
+        if not self.release.acquire(timeout=30):
+            raise RuntimeError("runner was never released")
+        progress(1, 1)
+        return {"scenario": spec.to_dict(), "tables": {"fake": {"cell": {"v": 1.0}}}}
+
+
+@pytest.fixture
+def manager(tmp_path):
+    managers = []
+
+    def build(**kwargs):
+        kwargs.setdefault(
+            "artifacts", ArtifactStore(tmp_path / "artifacts", max_bytes=1 << 20)
+        )
+        built = JobManager(**kwargs)
+        managers.append(built)
+        return built
+
+    yield build
+    for built in managers:
+        built.shutdown()
+
+
+class TestScenarioDigest:
+    def test_digest_is_stable_for_equal_specs(self):
+        assert scenario_digest(tiny_spec()) == scenario_digest(tiny_spec())
+
+    def test_digest_changes_with_the_spec(self):
+        assert scenario_digest(tiny_spec()) != scenario_digest(
+            tiny_spec(instructions_per_core=8000)
+        )
+
+    def test_digest_changes_with_batching_knob(self, monkeypatch):
+        baseline = scenario_digest(tiny_spec())
+        monkeypatch.setenv("REPRO_BATCH_CYCLES", "0")
+        assert scenario_digest(tiny_spec()) != baseline
+
+
+class TestJobManager:
+    def test_submit_validates_spec(self, manager):
+        jobs = manager(runner=GatedRunner())
+        with pytest.raises(ConfigurationError, match="unknown accounting technique"):
+            jobs.submit(tiny_spec(techniques=("Nope",)))
+
+    def test_job_runs_to_done(self, manager):
+        runner = GatedRunner()
+        jobs = manager(runner=runner)
+        job = jobs.submit(tiny_spec())
+        assert job.state == JobState.QUEUED
+        assert runner.started.acquire(timeout=10)
+        runner.release.release()
+        done = jobs.wait(job.id, timeout=10)
+        assert done.state == JobState.DONE
+        assert done.result["tables"] == {"fake": {"cell": {"v": 1.0}}}
+        assert done.cells_done == 1 and done.cells_total == 1
+
+    def test_cancel_queued_job(self, manager):
+        runner = GatedRunner()
+        jobs = manager(runner=runner)
+        blocker = jobs.submit(tiny_spec(name="blocker"))
+        assert runner.started.acquire(timeout=10)  # blocker is now running
+        queued = jobs.submit(tiny_spec(name="victim"))
+        cancelled = jobs.cancel(queued.id)
+        assert cancelled.state == JobState.CANCELLED
+        runner.release.release()
+        assert jobs.wait(blocker.id, timeout=10).state == JobState.DONE
+        # The cancelled job must never have executed.
+        assert "victim" not in runner.calls
+
+    def test_cancel_running_job_conflicts(self, manager):
+        """The DELETE/cancel race: a job that just started cannot be cancelled."""
+        runner = GatedRunner()
+        jobs = manager(runner=runner)
+        job = jobs.submit(tiny_spec())
+        assert runner.started.acquire(timeout=10)  # queued -> running happened
+        with pytest.raises(JobConflictError, match="is running"):
+            jobs.cancel(job.id)
+        # The conflict must not have corrupted the job: it still completes.
+        assert job.state == JobState.RUNNING
+        runner.release.release()
+        assert jobs.wait(job.id, timeout=10).state == JobState.DONE
+
+    def test_cancel_finished_job_conflicts(self, manager):
+        runner = GatedRunner()
+        jobs = manager(runner=runner)
+        job = jobs.submit(tiny_spec())
+        assert runner.started.acquire(timeout=10)
+        runner.release.release()
+        jobs.wait(job.id, timeout=10)
+        with pytest.raises(JobConflictError, match="is done"):
+            jobs.cancel(job.id)
+
+    def test_cancel_unknown_job(self, manager):
+        jobs = manager(runner=GatedRunner())
+        with pytest.raises(ServiceError, match="unknown job"):
+            jobs.cancel("bogus")
+
+    def test_priority_orders_the_queue(self, manager):
+        runner = GatedRunner()
+        jobs = manager(runner=runner)
+        blocker = jobs.submit(tiny_spec(name="blocker"))
+        assert runner.started.acquire(timeout=10)
+        low = jobs.submit(tiny_spec(name="low"), priority=-1)
+        high = jobs.submit(tiny_spec(name="high"), priority=5)
+        for _ in range(3):
+            runner.release.release()
+        jobs.wait(low.id, timeout=10)
+        jobs.wait(high.id, timeout=10)
+        assert runner.calls == ["blocker", "high", "low"]
+
+    def test_failed_job_records_error_and_dispatcher_survives(self, manager):
+        def exploding(spec, jobs, progress):
+            if spec.name == "bad":
+                raise ValueError("boom")
+            return {"scenario": spec.to_dict(), "tables": {}}
+
+        jobs = manager(runner=exploding, scenario_cache=False)
+        failed = jobs.wait(jobs.submit(tiny_spec(name="bad")).id, timeout=10)
+        assert failed.state == JobState.FAILED
+        assert "ValueError: boom" in failed.error
+        # The dispatcher survives a failing job and runs the next one.
+        ok = jobs.wait(jobs.submit(tiny_spec(name="good")).id, timeout=10)
+        assert ok.state == JobState.DONE
+
+    def test_scenario_cache_serves_repeat_submission(self, manager):
+        runner = GatedRunner()
+        jobs = manager(runner=runner)
+        first = jobs.submit(tiny_spec())
+        assert runner.started.acquire(timeout=10)
+        runner.release.release()
+        jobs.wait(first.id, timeout=10)
+        second = jobs.submit(tiny_spec())
+        assert second.state == JobState.DONE
+        assert second.cached is True
+        assert second.result == first.result
+        assert runner.calls == ["service-tiny"]  # engine ran exactly once
+        assert jobs.scenario_hits == 1 and jobs.scenario_misses == 1
+
+    def test_finished_jobs_are_pruned_beyond_the_bound(self, manager):
+        runner = GatedRunner()
+        jobs = manager(runner=runner, scenario_cache=False, max_finished_jobs=2)
+        ids = []
+        for index in range(4):
+            job = jobs.submit(tiny_spec(name=f"pruned-{index}"))
+            assert runner.started.acquire(timeout=10)
+            runner.release.release()
+            jobs.wait(job.id, timeout=10)
+            ids.append(job.id)
+        remaining = {job.id for job in jobs.jobs()}
+        assert remaining == set(ids[-2:])
+        with pytest.raises(ServiceError, match="unknown job"):
+            jobs.get(ids[0])
+
+    def test_pruning_never_touches_queued_or_running_jobs(self, manager):
+        runner = GatedRunner()
+        jobs = manager(runner=runner, scenario_cache=False, max_finished_jobs=1)
+        running = jobs.submit(tiny_spec(name="running"))
+        assert runner.started.acquire(timeout=10)
+        queued = jobs.submit(tiny_spec(name="queued"))
+        # Finish two more... they cannot run until released, so finish the
+        # first two instead and check the live ones survive the pruning.
+        runner.release.release()
+        jobs.wait(running.id, timeout=10)
+        assert runner.started.acquire(timeout=10)  # "queued" is now running
+        runner.release.release()
+        jobs.wait(queued.id, timeout=10)
+        assert queued.id in {job.id for job in jobs.jobs()}
+
+    def test_stats_shape(self, manager):
+        jobs = manager(runner=GatedRunner())
+        stats = jobs.stats()
+        assert stats["queue_depth"] == 0
+        assert stats["jobs_total"] == 0
+        assert set(stats["scenario_cache"]) >= {"hits", "misses", "stores"}
+        assert set(stats["cell_cache"]) >= {"enabled", "hits", "misses"}
+        assert 0.0 <= stats["worker_utilisation"] <= 1.0
+
+
+@pytest.fixture
+def service(tmp_path, monkeypatch):
+    """A live server on an ephemeral port, with isolated caches."""
+    monkeypatch.setenv("REPRO_CACHE", "1")
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cells"))
+    server = create_server(
+        port=0, sweep_jobs=1,
+        artifacts=ArtifactStore(tmp_path / "artifacts", max_bytes=1 << 22),
+    )
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield ServiceClient(f"http://127.0.0.1:{server.port}")
+    finally:
+        server.shutdown()
+        server.server_close()
+        server.manager.shutdown()
+
+
+class TestServiceEndToEnd:
+    def test_healthz(self, service):
+        assert service.healthz() == {"status": "ok"}
+
+    def test_submit_poll_result_and_scenario_cache_hit(self, service):
+        """The headline acceptance flow: HTTP result == direct engine result,
+        bit-identically, and an identical resubmission is a cache hit."""
+        job = service.submit(TINY_SPEC)
+        assert job["state"] in (JobState.QUEUED, JobState.RUNNING, JobState.DONE)
+        status = service.wait(job["id"], timeout=120)
+        assert status["state"] == JobState.DONE
+        assert status["cached"] is False
+        result = service.result(job["id"])
+        direct = run_scenario(ScenarioSpec.from_dict(TINY_SPEC), jobs=1).to_dict()
+        assert result == direct
+        assert json.dumps(result, sort_keys=True) == json.dumps(direct, sort_keys=True)
+        # Second submission: served from the scenario-level artifact cache.
+        second = service.submit(TINY_SPEC)
+        assert second["state"] == JobState.DONE
+        assert second["cached"] is True
+        assert service.result(second["id"]) == result
+        stats = service.stats()
+        assert stats["scenario_cache"]["hits"] == 1
+
+    def test_concurrent_submissions_all_complete(self, service):
+        specs = [dict(TINY_SPEC, name=f"concurrent-{index}") for index in range(4)]
+        ids = []
+        threads = []
+        lock = threading.Lock()
+
+        def submit(payload):
+            job = service.submit(payload)
+            with lock:
+                ids.append(job["id"])
+
+        for payload in specs:
+            thread = threading.Thread(target=submit, args=(payload,))
+            thread.start()
+            threads.append(thread)
+        for thread in threads:
+            thread.join(timeout=30)
+        assert len(ids) == 4
+        for job_id in ids:
+            assert service.wait(job_id, timeout=180)["state"] == JobState.DONE
+
+    def test_new_scenario_kinds_run_over_http(self, service):
+        attribution = {
+            "name": "svc-attribution", "kind": "interference_attribution",
+            "machine": {"core_counts": [2], "llc_kilobytes": 64},
+            "workloads": {"groups": ["H"], "per_group": 1},
+            "instructions_per_core": 4000, "interval_instructions": 2000,
+        }
+        switching = {
+            "name": "svc-switching", "kind": "policy_switching",
+            "machine": {"core_counts": [2], "llc_kilobytes": 64},
+            "workloads": {"groups": ["H"], "per_group": 1},
+            "techniques": ["GDP-O"], "policies": ["LRU", "MCP"],
+            "instructions_per_core": 6000, "interval_instructions": 2000,
+            "repartition_interval_cycles": 4000.0,
+        }
+        jobs = [service.submit(attribution), service.submit(switching)]
+        for job in jobs:
+            assert service.wait(job["id"], timeout=180)["state"] == JobState.DONE
+        attribution_result = service.result(jobs[0]["id"])
+        assert "interference_attribution" in attribution_result["tables"]
+        switching_result = service.result(jobs[1]["id"])
+        assert "mean_estimated_ipc" in switching_result["tables"]
+        assert switching_result["details"]["2c-H"][0]["samples"]
+
+    def test_invalid_spec_rejected_with_400(self, service):
+        with pytest.raises(ServiceError, match="HTTP 400"):
+            service.submit(dict(TINY_SPEC, kind="acuracy"))
+        with pytest.raises(ServiceError, match="did you mean 'accuracy'"):
+            service.submit(dict(TINY_SPEC, kind="acuracy"))
+
+    def test_unknown_job_and_route_are_404(self, service):
+        with pytest.raises(ServiceError, match="HTTP 404"):
+            service.status("missing")
+        with pytest.raises(ServiceError, match="HTTP 404"):
+            service._request("GET", "/nope")
+
+    def test_result_of_pending_job_is_202(self, tmp_path):
+        runner = GatedRunner()
+        manager = JobManager(
+            runner=runner,
+            artifacts=ArtifactStore(tmp_path / "gated-artifacts", max_bytes=1 << 20),
+        )
+        server = create_server(port=0, manager=manager)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        client = ServiceClient(f"http://127.0.0.1:{server.port}")
+        try:
+            job = client.submit(TINY_SPEC)
+            assert runner.started.acquire(timeout=10)
+            # 202 responses carry the status payload, not an error.
+            pending = client.result(job["id"])
+            assert pending["state"] == JobState.RUNNING
+            with pytest.raises(ServiceError, match="HTTP 409"):
+                client.cancel(job["id"])
+            runner.release.release()
+            assert client.wait(job["id"], timeout=10)["state"] == JobState.DONE
+        finally:
+            server.shutdown()
+            server.server_close()
+            manager.shutdown()
+
+    def test_listing_reports_all_jobs(self, service):
+        job = service.submit(dict(TINY_SPEC, name="listed"))
+        service.wait(job["id"], timeout=120)
+        names = [entry["name"] for entry in service.list_jobs()]
+        assert "listed" in names
+
+
+class TestServicePortKnob:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SERVICE_PORT", raising=False)
+        assert service_port_from_env() == 8642
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVICE_PORT", "9000")
+        assert service_port_from_env() == 9000
+
+    @pytest.mark.parametrize("value", ["http", "-1", "70000"])
+    def test_invalid_values_rejected(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_SERVICE_PORT", value)
+        with pytest.raises(ConfigurationError, match="REPRO_SERVICE_PORT"):
+            service_port_from_env()
+
+
+class TestRepeatedRunAllStyleJobs:
+    def test_explicit_pool_shutdown_between_jobs_is_survivable(self, tmp_path):
+        """A long-lived manager must tolerate specs that shut the shared pool
+        down when they finish (run_all does), job after job."""
+        from repro.experiments.common import run_parallel, shutdown_executor
+
+        def run_all_style(spec, jobs, progress):
+            try:
+                values = run_parallel(
+                    _scale, [(index,) for index in range(4)], jobs=2, cache=False,
+                    progress=progress,
+                )
+            finally:
+                shutdown_executor()
+            return {"scenario": spec.to_dict(), "tables": {}, "values": values}
+
+        manager = JobManager(
+            runner=run_all_style,
+            artifacts=ArtifactStore(tmp_path / "artifacts", max_bytes=1 << 20),
+            scenario_cache=False,
+        )
+        try:
+            for index in range(3):
+                job = manager.submit(tiny_spec(name=f"run-all-{index}"))
+                finished = manager.wait(job.id, timeout=60)
+                assert finished.state == JobState.DONE, finished.error
+                assert finished.result["values"] == [0, 2, 4, 6]
+        finally:
+            manager.shutdown()
+
+
+def _scale(value):
+    return 2 * value
+
+
+class TestWaitSemantics:
+    def test_wait_times_out_without_terminal_state(self, manager):
+        runner = GatedRunner()
+        jobs = manager(runner=runner)
+        job = jobs.submit(tiny_spec())
+        assert runner.started.acquire(timeout=10)
+        start = time.monotonic()
+        still_running = jobs.wait(job.id, timeout=0.2)
+        assert time.monotonic() - start < 5
+        assert still_running.state == JobState.RUNNING
+        runner.release.release()
+        assert jobs.wait(job.id, timeout=10).state == JobState.DONE
