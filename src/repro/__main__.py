@@ -6,6 +6,7 @@ Usage::
     python -m repro show figure7 [--scale medium] # print a builtin's spec JSON
     python -m repro run figure3 [--scale small] [--jobs N] [--json OUT]
     python -m repro run path/to/scenario.json [--jobs N] [--json OUT]
+    python -m repro run-composite path/to/composite.json [--jobs N] [--json OUT]
     python -m repro run-all [--scale small] [--jobs N] [--json OUT]
     python -m repro serve [--port P] [--jobs N]   # long-lived scenario service
 
@@ -69,6 +70,8 @@ def _cmd_list() -> int:
     print("Scenario kinds:                 ", ", ".join(SCENARIO_KINDS))
     print("\nCustom scenarios: python -m repro run path/to/scenario.json "
           "(see examples/scenario_spec.json)")
+    print("Composite DAGs:   python -m repro run-composite path/to/composite.json "
+          "(see examples/composite_spec.json)")
     print("Scenario service: python -m repro serve (HTTP job server; "
           "see README.md)")
     return 0
@@ -121,6 +124,42 @@ def _cmd_run(scenario: str, scale: str | None, jobs: int | None,
     return 0
 
 
+def _cmd_run_composite(path: str, jobs: int | None, json_path: str | None) -> int:
+    from repro.errors import CompositeExecutionError
+    from repro.experiments.common import shutdown_executor
+    from repro.scenarios import load_composite, run_composite
+
+    composite = load_composite(path)
+
+    def observer(event: dict) -> None:
+        node = event.get("node", "")
+        if event["event"] == "node_progress":
+            print(f"  [{node}] {event['done']}/{event['total']} cells", flush=True)
+        elif event["event"] == "node_failed":
+            print(f"  [{node}] FAILED: {event.get('error', '')}", flush=True)
+        else:
+            print(f"  [{node}] {event['event'].removeprefix('node_')}", flush=True)
+
+    print(f"running composite '{composite.name}' "
+          f"({len(composite.nodes)} nodes)")
+    try:
+        result = run_composite(composite, jobs=jobs, observer=observer)
+    except CompositeExecutionError as error:
+        print(f"error: {error}", file=sys.stderr)
+        if error.result is not None:
+            print(error.result.report())
+            if json_path:
+                _write_json(json_path, error.result.to_dict())
+        return 1
+    finally:
+        shutdown_executor()
+    print(result.report())
+    _print_cache_stats()
+    if json_path:
+        _write_json(json_path, result.to_dict())
+    return 0
+
+
 def _cmd_run_all(scale: str | None, jobs: int | None, json_path: str | None) -> int:
     from repro.experiments.run_all import run_all
 
@@ -169,6 +208,16 @@ def main(argv: list[str] | None = None) -> int:
     run.add_argument("--json", dest="json_path", metavar="OUT",
                      help="write a JSON summary to this path")
 
+    run_composite = subparsers.add_parser(
+        "run-composite",
+        help="run a composite-scenario DAG from a JSON spec file")
+    run_composite.add_argument(
+        "composite", help="path to a JSON composite spec (see examples/composite_spec.json)")
+    run_composite.add_argument("--jobs", type=int, default=None,
+                               help="parallel sweep workers (default: REPRO_JOBS or CPU count)")
+    run_composite.add_argument("--json", dest="json_path", metavar="OUT",
+                               help="write a JSON summary to this path")
+
     run_all = subparsers.add_parser("run-all", help="run every figure plus the headline summary")
     run_all.add_argument("--scale", default=None,
                          help="small, medium or large (default: small)")
@@ -193,6 +242,9 @@ def main(argv: list[str] | None = None) -> int:
         if arguments.command == "run":
             return _cmd_run(arguments.scenario, arguments.scale, arguments.jobs,
                             arguments.json_path)
+        if arguments.command == "run-composite":
+            return _cmd_run_composite(arguments.composite, arguments.jobs,
+                                      arguments.json_path)
         if arguments.command == "serve":
             return _cmd_serve(arguments.port, arguments.host, arguments.jobs)
         return _cmd_run_all(arguments.scale, arguments.jobs, arguments.json_path)

@@ -39,3 +39,17 @@ class JobConflictError(ServiceError):
     The HTTP layer maps this to 409 Conflict — e.g. cancelling a job that
     already started running.
     """
+
+
+class CompositeExecutionError(ReproError):
+    """Raised when a composite scenario fails partway through its DAG.
+
+    ``result`` carries the partial
+    :class:`~repro.scenarios.composite.CompositeResult` — every member that
+    completed before the failure, plus the per-node error messages — so
+    callers can report what *did* finish instead of discarding it.
+    """
+
+    def __init__(self, message: str, result=None):
+        super().__init__(message)
+        self.result = result

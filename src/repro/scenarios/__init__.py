@@ -7,7 +7,10 @@ JSON, and executed by the generic :func:`~repro.scenarios.runner.run_scenario`
 runner on top of the shared process pool and content-addressed result cache.
 The paper's figures are thin adapters over this engine (see
 :mod:`repro.scenarios.builtin`), and arbitrary user scenarios run from JSON
-files via ``python -m repro run``.
+files via ``python -m repro run``.  Scenarios compose into dependency DAGs —
+:class:`~repro.scenarios.composite.CompositeSpec`, executed by the
+topological scheduler in :mod:`repro.scenarios.composite` via
+``python -m repro run-composite`` or the service's ``POST /composites``.
 """
 
 from repro.scenarios.builtin import (
@@ -16,6 +19,15 @@ from repro.scenarios.builtin import (
     builtin_scenarios,
     get_builtin,
     resolve_scale,
+)
+from repro.scenarios.composite import (
+    CompositeNode,
+    CompositeResult,
+    CompositeSpec,
+    ParamRef,
+    composite_digest,
+    load_composite,
+    run_composite,
 )
 from repro.scenarios.runner import ScenarioResult, expand_cells, run_scenario
 from repro.scenarios.spec import (
@@ -37,6 +49,13 @@ __all__ = [
     "SweepAxis",
     "ScenarioSpec",
     "load_spec",
+    "CompositeNode",
+    "CompositeResult",
+    "CompositeSpec",
+    "ParamRef",
+    "composite_digest",
+    "load_composite",
+    "run_composite",
     "ScenarioResult",
     "expand_cells",
     "run_scenario",

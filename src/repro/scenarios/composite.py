@@ -1,0 +1,570 @@
+"""Composite scenarios: a DAG of member scenarios with dependency-aware scheduling.
+
+A :class:`CompositeSpec` names a set of member scenarios (each a full
+:class:`~repro.scenarios.spec.ScenarioSpec`) connected by ``depends_on``
+edges, optionally with *parameter references* that feed an upstream member's
+output into a downstream member's spec — e.g. a ``policy_switching`` node
+rotating exactly the policies a ``throughput`` node ranked best, estimated
+with the technique an ``accuracy`` node found most accurate.  That is the
+shape of the GDP paper's own evaluation: the accuracy sweeps feed the
+attribution and policy case studies.
+
+Like :class:`~repro.scenarios.spec.ScenarioSpec`, a composite is a frozen
+value that round-trips losslessly through ``to_dict``/``from_dict`` (and JSON
+files) and validates eagerly: duplicate or unknown node names, cycles,
+references to nodes outside ``depends_on``, unknown selectors and
+kind-incompatible selectors all raise
+:class:`~repro.errors.ConfigurationError` before any simulation starts.
+Member specs must be valid *standalone* — a referenced field (``techniques``
+or ``policies``) carries its normal default until the reference overwrites it
+at schedule time, so there are no placeholder values to invent.
+
+:func:`run_composite` is the in-process topological scheduler: every node
+whose dependencies are satisfied runs concurrently (one coordinating thread
+per ready node; the sweep cells inside still fan out across the shared
+process pool and content-addressed result cache), nodes whose whole-spec
+digest hits an :class:`~repro.service.artifacts.ArtifactStore` are
+short-circuited without touching the engine, and a member failure fails the
+composite fast — no new nodes start, in-flight nodes drain, and the partial
+results are reported via :class:`~repro.errors.CompositeExecutionError`.
+The scenario service schedules the same plan through its job queue instead
+(see :meth:`repro.service.jobs.JobManager.submit_composite`); both paths
+assemble the result payload with :func:`assemble_payload` so they are
+bit-identical.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections.abc import Callable
+from dataclasses import dataclass, field, replace
+from statistics import mean
+
+from repro.errors import CompositeExecutionError, ConfigurationError
+from repro.experiments.common import default_experiment_config
+from repro.scenarios.runner import run_scenario, scenario_digest
+from repro.scenarios.spec import ScenarioSpec, _as_tuple, _reject_unknown_keys, _require_object
+
+__all__ = [
+    "PARAM_SELECTORS",
+    "ParamRef",
+    "CompositeNode",
+    "CompositeSpec",
+    "CompositeResult",
+    "load_composite",
+    "composite_digest",
+    "resolve_node_spec",
+    "assemble_payload",
+    "run_composite",
+]
+
+
+# ------------------------------------------------------------------ selectors
+
+def _column_scores(payload: dict, table_name: str, node: str) -> dict[str, float]:
+    """Mean value per column of one summary table of a member payload."""
+    tables = payload.get("tables") if isinstance(payload, dict) else None
+    table = tables.get(table_name) if isinstance(tables, dict) else None
+    if not isinstance(table, dict) or not table:
+        raise ConfigurationError(
+            f"composite node '{node}' produced no '{table_name}' table to "
+            f"select a parameter from"
+        )
+    scores: dict[str, list[float]] = {}
+    for row in table.values():
+        for column, value in row.items():
+            scores.setdefault(column, []).append(float(value))
+    return {column: mean(values) for column, values in scores.items()}
+
+
+def _ranked_techniques(payload: dict, node: str) -> tuple[str, ...]:
+    """Accuracy-node techniques, most accurate (lowest mean IPC RMS) first."""
+    scores = _column_scores(payload, "ipc_rms", node)
+    return tuple(sorted(scores, key=lambda name: (scores[name], name)))
+
+
+def _best_technique(payload: dict, node: str) -> tuple[str, ...]:
+    return _ranked_techniques(payload, node)[:1]
+
+
+def _ranked_policies(payload: dict, node: str) -> tuple[str, ...]:
+    """Throughput-node policies, best (highest mean STP) first."""
+    scores = _column_scores(payload, "average_stp", node)
+    return tuple(sorted(scores, key=lambda name: (-scores[name], name)))
+
+
+def _best_policy(payload: dict, node: str) -> tuple[str, ...]:
+    return _ranked_policies(payload, node)[:1]
+
+
+# name -> (extractor, required upstream kind, spec field the result may feed)
+PARAM_SELECTORS: dict[str, tuple[Callable[[dict, str], tuple[str, ...]], str, str]] = {
+    "best_technique": (_best_technique, "accuracy", "techniques"),
+    "ranked_techniques": (_ranked_techniques, "accuracy", "techniques"),
+    "best_policy": (_best_policy, "throughput", "policies"),
+    "ranked_policies": (_ranked_policies, "throughput", "policies"),
+}
+
+
+# ------------------------------------------------------------------ the spec
+
+@dataclass(frozen=True)
+class ParamRef:
+    """One upstream-result reference: ``into`` <- ``select`` (``source``)."""
+
+    into: str
+    source: str
+    select: str
+
+    def to_dict(self) -> dict:
+        return {"into": self.into, "from": self.source, "select": self.select}
+
+    @staticmethod
+    def from_dict(data: dict) -> "ParamRef":
+        _require_object(data, "parameter reference")
+        _reject_unknown_keys(data, ("into", "from", "select"), "parameter reference")
+        for key in ("into", "from", "select"):
+            if key not in data:
+                raise ConfigurationError(
+                    f"a parameter reference needs 'into', 'from' and 'select'; "
+                    f"missing {key!r}"
+                )
+        return ParamRef(into=str(data["into"]), source=str(data["from"]),
+                        select=str(data["select"]))
+
+
+@dataclass(frozen=True)
+class CompositeNode:
+    """One member scenario of a composite, plus its dependency edges."""
+
+    name: str
+    spec: ScenarioSpec
+    depends_on: tuple[str, ...] = ()
+    params: tuple[ParamRef, ...] = ()
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "spec": self.spec.to_dict(),
+            "depends_on": list(self.depends_on),
+            "params": [ref.to_dict() for ref in self.params],
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "CompositeNode":
+        _require_object(data, "composite node")
+        _reject_unknown_keys(data, ("name", "spec", "depends_on", "params"),
+                             "composite node")
+        if "name" not in data or "spec" not in data:
+            raise ConfigurationError("each composite node needs 'name' and 'spec'")
+        return CompositeNode(
+            name=str(data["name"]),
+            spec=ScenarioSpec.from_dict(data["spec"]),
+            depends_on=_as_tuple(data.get("depends_on", ()), coerce=str),
+            params=tuple(ParamRef.from_dict(ref) for ref in data.get("params", ())),
+        )
+
+
+@dataclass(frozen=True)
+class CompositeSpec:
+    """A complete, declarative description of one composite-scenario DAG."""
+
+    name: str
+    nodes: tuple[CompositeNode, ...]
+    description: str = ""
+
+    def node(self, name: str) -> CompositeNode:
+        for node in self.nodes:
+            if node.name == name:
+                return node
+        raise ConfigurationError(f"composite '{self.name}' has no node '{name}'")
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on the first invalid field."""
+        if not self.name:
+            raise ConfigurationError("a composite scenario needs a non-empty name")
+        if not isinstance(self.description, str):
+            raise ConfigurationError("description must be a string")
+        if not self.nodes:
+            raise ConfigurationError("a composite scenario needs at least one node")
+        names = [node.name for node in self.nodes]
+        if len(set(names)) != len(names):
+            duplicate = next(name for name in names if names.count(name) > 1)
+            raise ConfigurationError(
+                f"composite node name '{duplicate}' appears twice — node names "
+                f"address results and must be unique"
+            )
+        by_name = {node.name: node for node in self.nodes}
+        for node in self.nodes:
+            if not node.name:
+                raise ConfigurationError("every composite node needs a non-empty name")
+            node.spec.validate()
+            for dependency in node.depends_on:
+                if dependency == node.name:
+                    raise ConfigurationError(
+                        f"composite node '{node.name}' depends on itself"
+                    )
+                if dependency not in by_name:
+                    raise ConfigurationError(
+                        f"composite node '{node.name}' depends on unknown node "
+                        f"'{dependency}' (known: {', '.join(sorted(by_name))})"
+                    )
+            if len(set(node.depends_on)) != len(node.depends_on):
+                raise ConfigurationError(
+                    f"composite node '{node.name}' lists a dependency twice"
+                )
+            seen_targets = set()
+            for ref in node.params:
+                if ref.select not in PARAM_SELECTORS:
+                    raise ConfigurationError(
+                        f"composite node '{node.name}': unknown selector "
+                        f"'{ref.select}' (expected one of: "
+                        f"{', '.join(sorted(PARAM_SELECTORS))})"
+                    )
+                _extract, required_kind, allowed_field = PARAM_SELECTORS[ref.select]
+                if ref.into != allowed_field:
+                    raise ConfigurationError(
+                        f"composite node '{node.name}': selector '{ref.select}' "
+                        f"produces {allowed_field}, not '{ref.into}'"
+                    )
+                if ref.source not in node.depends_on:
+                    raise ConfigurationError(
+                        f"composite node '{node.name}' references '{ref.source}' "
+                        f"but does not list it in depends_on — parameter sources "
+                        f"must be explicit dependencies"
+                    )
+                source_kind = by_name[ref.source].spec.kind
+                if source_kind != required_kind:
+                    raise ConfigurationError(
+                        f"composite node '{node.name}': selector '{ref.select}' "
+                        f"needs an upstream '{required_kind}' node, but "
+                        f"'{ref.source}' is a '{source_kind}' scenario"
+                    )
+                if ref.into in seen_targets:
+                    raise ConfigurationError(
+                        f"composite node '{node.name}' assigns '{ref.into}' twice"
+                    )
+                seen_targets.add(ref.into)
+        self.topological_order()
+
+    def topological_order(self) -> list[str]:
+        """Node names in a dependency-respecting order (Kahn's algorithm).
+
+        Ready nodes are emitted in declaration order so the result is
+        deterministic; a cycle raises :class:`ConfigurationError` naming the
+        nodes involved.
+        """
+        remaining = {node.name: set(node.depends_on) for node in self.nodes}
+        declared = [node.name for node in self.nodes]
+        order: list[str] = []
+        while remaining:
+            ready = [name for name in declared
+                     if name in remaining and not remaining[name]]
+            if not ready:
+                cycle = ", ".join(sorted(remaining))
+                raise ConfigurationError(
+                    f"composite '{self.name}' has a dependency cycle involving: {cycle}"
+                )
+            for name in ready:
+                order.append(name)
+                del remaining[name]
+            for pending in remaining.values():
+                pending.difference_update(ready)
+        return order
+
+    # ------------------------------------------------------------- round-trip
+
+    def to_dict(self) -> dict:
+        """A JSON-serialisable dict that :meth:`from_dict` restores exactly."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "nodes": [node.to_dict() for node in self.nodes],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @staticmethod
+    def from_dict(data: dict) -> "CompositeSpec":
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                f"a composite spec must be a JSON object, got {type(data).__name__}"
+            )
+        _reject_unknown_keys(data, ("name", "description", "nodes"), "composite")
+        if "name" not in data or "nodes" not in data:
+            raise ConfigurationError("a composite spec needs 'name' and 'nodes'")
+        if not isinstance(data["nodes"], (list, tuple)):
+            raise ConfigurationError("composite 'nodes' must be a JSON array")
+        composite = CompositeSpec(
+            name=str(data["name"]),
+            description=data.get("description", ""),
+            nodes=tuple(CompositeNode.from_dict(node) for node in data["nodes"]),
+        )
+        composite.validate()
+        return composite
+
+    @staticmethod
+    def from_json(text: str) -> "CompositeSpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ConfigurationError(
+                f"composite spec is not valid JSON: {error}"
+            ) from None
+        return CompositeSpec.from_dict(data)
+
+
+def load_composite(path: str) -> CompositeSpec:
+    """Load and validate a composite spec from a JSON file."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as error:
+        raise ConfigurationError(f"cannot read composite file {path}: {error}") from None
+    return CompositeSpec.from_json(text)
+
+
+def composite_digest(composite: CompositeSpec) -> str:
+    """Content digest addressing the complete result of one composite spec.
+
+    Folds in the same ambient batching knob the per-scenario digest folds in
+    (see :func:`repro.scenarios.runner.scenario_digest`): member results
+    depend on it, so the composite artifact must too.
+    """
+    from repro.sim.result_cache import content_digest
+    from repro.sim.system import resolved_batch_cycles
+
+    return content_digest(
+        "composite-result", composite.to_dict(),
+        extra=("batch_cycles", repr(resolved_batch_cycles())),
+    )
+
+
+# ------------------------------------------------------------------ resolution
+
+def resolve_node_spec(node: CompositeNode,
+                      upstream: dict[str, dict]) -> ScenarioSpec:
+    """The member spec with every parameter reference applied and re-validated.
+
+    ``upstream`` maps node names to finished member payloads
+    (``run_scenario(...).to_dict()`` shape).  Selector failures and specs made
+    invalid by the injected values raise :class:`ConfigurationError`.
+    """
+    if not node.params:
+        return node.spec
+    overrides: dict = {}
+    for ref in node.params:
+        if ref.source not in upstream:
+            raise ConfigurationError(
+                f"composite node '{node.name}' resolved before its dependency "
+                f"'{ref.source}' finished — scheduler bug"
+            )
+        extract, _required_kind, _field = PARAM_SELECTORS[ref.select]
+        overrides[ref.into] = extract(upstream[ref.source], ref.source)
+    spec = replace(node.spec, **overrides)
+    spec.validate()
+    return spec
+
+
+def assemble_payload(composite: CompositeSpec,
+                     node_payloads: dict[str, dict],
+                     resolved_specs: dict[str, ScenarioSpec],
+                     node_cached: dict[str, bool]) -> dict:
+    """The composite's JSON result payload (shared by CLI and service paths).
+
+    ``nodes`` carries each member's complete result payload, bit-identical to
+    running the member's resolved spec directly; ``resolved_specs`` records
+    what each member actually ran after parameter injection.
+    """
+    order = [name for name in composite.topological_order() if name in node_payloads]
+    return {
+        "composite": composite.to_dict(),
+        "nodes": {name: node_payloads[name] for name in order},
+        "resolved_specs": {name: resolved_specs[name].to_dict() for name in order},
+        "node_cached": {name: bool(node_cached.get(name, False)) for name in order},
+    }
+
+
+# ------------------------------------------------------------------ scheduler
+
+NODE_PENDING = "pending"
+NODE_RUNNING = "running"
+NODE_DONE = "done"
+NODE_FAILED = "failed"
+NODE_SKIPPED = "skipped"
+
+
+@dataclass
+class CompositeResult:
+    """The (possibly partial) outcome of executing one composite scenario."""
+
+    composite: CompositeSpec
+    node_payloads: dict[str, dict] = field(default_factory=dict)
+    resolved_specs: dict[str, ScenarioSpec] = field(default_factory=dict)
+    node_states: dict[str, str] = field(default_factory=dict)
+    node_errors: dict[str, str] = field(default_factory=dict)
+    node_cached: dict[str, bool] = field(default_factory=dict)
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.node_errors)
+
+    def to_dict(self) -> dict:
+        payload = assemble_payload(self.composite, self.node_payloads,
+                                   self.resolved_specs, self.node_cached)
+        if self.failed:
+            payload["node_states"] = dict(self.node_states)
+            payload["node_errors"] = dict(self.node_errors)
+        return payload
+
+    def report(self) -> str:
+        from repro.experiments.tables import format_cell_table
+
+        lines = [f"Composite '{self.composite.name}' "
+                 f"({len(self.composite.nodes)} nodes)"]
+        if self.composite.description:
+            lines.append(self.composite.description)
+        for name in self.composite.topological_order():
+            state = self.node_states.get(name, NODE_PENDING)
+            suffix = " (cached)" if self.node_cached.get(name) else ""
+            lines.append(f"\n== node '{name}': {state}{suffix}")
+            if name in self.node_errors:
+                lines.append(f"   {self.node_errors[name]}")
+                continue
+            payload = self.node_payloads.get(name)
+            if not payload:
+                continue
+            for table_name, cells in payload.get("tables", {}).items():
+                lines.append(f"{table_name}")
+                lines.append(format_cell_table(cells))
+        return "\n".join(lines)
+
+
+def _default_node_runner(spec: ScenarioSpec, jobs, cache, config_factory,
+                         progress) -> dict:
+    return run_scenario(spec, jobs=jobs, cache=cache,
+                        config_factory=config_factory, progress=progress).to_dict()
+
+
+def run_composite(composite: CompositeSpec, jobs: int | None = None,
+                  cache: bool = True,
+                  artifacts=None,
+                  config_factory=default_experiment_config,
+                  observer: Callable[[dict], None] | None = None,
+                  node_runner=None) -> CompositeResult:
+    """Execute a composite DAG, running every ready node concurrently.
+
+    Each ready node gets a coordinating thread that resolves its parameter
+    references against the finished upstream payloads and executes the member
+    through the normal scenario runner — sweep cells fan out across the shared
+    process pool and the content-addressed result cache exactly as a direct
+    ``run_scenario`` call would, so member results are bit-identical to
+    standalone runs.  When ``artifacts`` (an
+    :class:`~repro.service.artifacts.ArtifactStore`) is given, a node whose
+    whole-spec digest is already stored is short-circuited without touching
+    the engine.
+
+    On a member failure the composite fails fast: no new nodes start,
+    in-flight nodes drain, downstream nodes are marked skipped, and a
+    :class:`~repro.errors.CompositeExecutionError` carrying the partial
+    :class:`CompositeResult` is raised.
+
+    ``observer`` (optional) receives one dict per node transition —
+    ``{"event": "node_start" | "node_cached" | "node_done" | "node_failed" |
+    "node_skipped", "node": name, ...}`` — on whichever thread produced it.
+    ``node_runner`` is injectable for tests: a callable
+    ``(spec, jobs, cache, config_factory, progress) -> dict``.
+    """
+    composite.validate()
+    runner = node_runner if node_runner is not None else _default_node_runner
+    result = CompositeResult(composite=composite)
+    result.node_states = {node.name: NODE_PENDING for node in composite.nodes}
+    by_name = {node.name: node for node in composite.nodes}
+    condition = threading.Condition()
+    threads: list[threading.Thread] = []
+
+    def notify(event: str, name: str, **extra) -> None:
+        if observer is not None:
+            observer({"event": event, "node": name, **extra})
+
+    def run_node(name: str) -> None:
+        node = by_name[name]
+        try:
+            with condition:
+                spec = resolve_node_spec(node, result.node_payloads)
+                result.resolved_specs[name] = spec
+            payload = None
+            if artifacts is not None:
+                digest = scenario_digest(spec)
+                payload = artifacts.get(digest)
+            if payload is not None:
+                cached = True
+            else:
+                cached = False
+
+                def progress(done: int, total: int) -> None:
+                    notify("node_progress", name, done=done, total=total)
+
+                payload = runner(spec, jobs, cache, config_factory, progress)
+                if artifacts is not None:
+                    artifacts.put(digest, payload)
+        except Exception as error:  # noqa: BLE001 — a node must never kill the scheduler
+            with condition:
+                result.node_states[name] = NODE_FAILED
+                result.node_errors[name] = f"{type(error).__name__}: {error}"
+                condition.notify_all()
+            notify("node_failed", name, error=result.node_errors[name])
+            return
+        with condition:
+            result.node_payloads[name] = payload
+            result.node_cached[name] = cached
+            result.node_states[name] = NODE_DONE
+            condition.notify_all()
+        notify("node_cached" if cached else "node_done", name)
+
+    with condition:
+        while True:
+            if not result.node_errors:
+                for node in composite.nodes:
+                    if result.node_states[node.name] != NODE_PENDING:
+                        continue
+                    if all(result.node_states[dep] == NODE_DONE
+                           for dep in node.depends_on):
+                        result.node_states[node.name] = NODE_RUNNING
+                        notify("node_start", node.name)
+                        thread = threading.Thread(
+                            target=run_node, args=(node.name,),
+                            name=f"composite-{composite.name}-{node.name}",
+                            daemon=True,
+                        )
+                        threads.append(thread)
+                        thread.start()
+            if not any(state == NODE_RUNNING for state in result.node_states.values()):
+                if result.node_errors or all(
+                    state == NODE_DONE for state in result.node_states.values()
+                ):
+                    break
+                if not result.node_errors:
+                    # Pending nodes but nothing running and nothing failed:
+                    # unreachable for a validated (acyclic) DAG.
+                    raise CompositeExecutionError(
+                        f"composite '{composite.name}' stalled with pending nodes",
+                        result=result,
+                    )
+            condition.wait()
+    for thread in threads:
+        thread.join()
+    if result.node_errors:
+        for name, state in result.node_states.items():
+            if state == NODE_PENDING:
+                result.node_states[name] = NODE_SKIPPED
+                notify("node_skipped", name)
+        failed = ", ".join(sorted(result.node_errors))
+        first_error = result.node_errors[sorted(result.node_errors)[0]]
+        raise CompositeExecutionError(
+            f"composite '{composite.name}' failed at node(s) {failed}: {first_error}",
+            result=result,
+        )
+    return result

@@ -35,7 +35,31 @@ from repro.experiments.tables import format_cell_table
 from repro.registry import workload_generators
 from repro.scenarios.spec import ScenarioSpec, SweepAxis
 
-__all__ = ["ScenarioCell", "ScenarioResult", "axis_value_label", "expand_cells", "run_scenario"]
+__all__ = [
+    "ScenarioCell",
+    "ScenarioResult",
+    "axis_value_label",
+    "expand_cells",
+    "run_scenario",
+    "scenario_digest",
+]
+
+
+def scenario_digest(spec: ScenarioSpec) -> str:
+    """Content digest addressing the complete result of one scenario spec.
+
+    Folds in the same ambient knob the cell cache folds into task digests:
+    a different co-simulation batch slack simulates different interleavings,
+    so it must address different scenario artifacts too.  The scenario
+    service's artifact store keys whole-scenario payloads by this digest.
+    """
+    from repro.sim.result_cache import content_digest
+    from repro.sim.system import resolved_batch_cycles
+
+    return content_digest(
+        "scenario-result", spec.to_dict(),
+        extra=("batch_cycles", repr(resolved_batch_cycles())),
+    )
 
 
 @dataclass(frozen=True)

@@ -16,12 +16,14 @@ the server's JSON error message when one was returned.
 
 from __future__ import annotations
 
+import http.client
 import json
 import time
 import urllib.error
 import urllib.request
 
 from repro.errors import ServiceError
+from repro.scenarios.composite import CompositeSpec
 from repro.scenarios.spec import ScenarioSpec
 from repro.service.jobs import JobState
 
@@ -37,17 +39,12 @@ class ServiceClient:
 
     # ------------------------------------------------------------------ transport
 
-    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
-        url = f"{self.base_url}{path}"
-        body = None
-        headers = {"Accept": "application/json"}
-        if payload is not None:
-            body = json.dumps(payload).encode("utf-8")
-            headers["Content-Type"] = "application/json"
-        request = urllib.request.Request(url, data=body, headers=headers, method=method)
+    def _open(self, method: str, path: str, request: urllib.request.Request,
+              timeout: float | None = None):
+        """Open a request, translating transport failures to ServiceError."""
         try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                return json.loads(response.read().decode("utf-8"))
+            return urllib.request.urlopen(
+                request, timeout=self.timeout if timeout is None else timeout)
         except urllib.error.HTTPError as error:
             try:
                 detail = json.loads(error.read().decode("utf-8")).get("error", "")
@@ -58,7 +55,21 @@ class ServiceClient:
                 message = f"{message}: {detail}"
             raise ServiceError(message) from None
         except urllib.error.URLError as error:
-            raise ServiceError(f"cannot reach scenario service at {url}: {error.reason}") from None
+            raise ServiceError(
+                f"cannot reach scenario service at {self.base_url}{path}: "
+                f"{error.reason}"
+            ) from None
+
+    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        url = f"{self.base_url}{path}"
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=body, headers=headers, method=method)
+        with self._open(method, path, request) as response:
+            return json.loads(response.read().decode("utf-8"))
 
     # ------------------------------------------------------------------ endpoints
 
@@ -72,6 +83,70 @@ class ServiceClient:
         """Submit a spec; returns the job summary (``{"id": ..., ...}``)."""
         data = spec.to_dict() if isinstance(spec, ScenarioSpec) else spec
         return self._request("POST", "/scenarios", {"spec": data, "priority": priority})
+
+    def submit_composite(self, composite: CompositeSpec | dict,
+                         priority: int = 0) -> dict:
+        """Submit a composite DAG; returns the parent-job summary.
+
+        The summary's ``children`` maps node names to member job ids as they
+        fan out, and ``nodes`` tracks per-node states.
+        """
+        data = composite.to_dict() if isinstance(composite, CompositeSpec) else composite
+        return self._request("POST", "/composites", {"spec": data, "priority": priority})
+
+    def iter_events(self, job_id: str, timeout: float | None = None):
+        """Yield a job's Server-Sent Events as dicts until the terminal event.
+
+        Connects to ``GET /scenarios/{id}/events`` and parses the stream;
+        each yielded dict carries at least ``{"event": ...}``
+        (``queued``/``running``/``progress``/``heartbeat``/``node_*``/
+        terminal states).  Returns after a terminal event.  ``timeout``
+        bounds each socket read; the server heartbeats every ~10 seconds, so
+        keep it above that (the 30 s default is) — a read that times out, or
+        a connection dying mid-stream, raises :class:`ServiceError` like
+        every other transport failure of this client.
+        """
+        path = f"/scenarios/{job_id}/events"
+        request = urllib.request.Request(
+            f"{self.base_url}{path}", headers={"Accept": "text/event-stream"},
+            method="GET"
+        )
+        response = self._open("GET", path, request, timeout=timeout)
+        with response:
+            data_lines: list[str] = []
+            while True:
+                try:
+                    raw_line = response.readline()
+                except (TimeoutError, OSError, http.client.HTTPException) as error:
+                    raise ServiceError(
+                        f"event stream for job '{job_id}' interrupted: {error}"
+                    ) from None
+                if not raw_line:
+                    # The stream always ends with a terminal event; reaching
+                    # EOF without one means the server (or connection) died
+                    # mid-job, which must not read as normal completion.
+                    raise ServiceError(
+                        f"event stream for job '{job_id}' ended without a "
+                        f"terminal event"
+                    )
+                line = raw_line.decode("utf-8").rstrip("\r\n")
+                if line.startswith(":"):
+                    continue  # SSE comment
+                if line.startswith("data:"):
+                    data_lines.append(line[5:].lstrip())
+                    continue
+                if line:
+                    continue  # event:/id: framing lines — the data carries the type
+                if not data_lines:
+                    continue
+                try:
+                    event = json.loads("\n".join(data_lines))
+                except json.JSONDecodeError:
+                    event = {"event": "message", "data": "\n".join(data_lines)}
+                data_lines = []
+                yield event
+                if event.get("event") in JobState.TERMINAL:
+                    return
 
     def list_jobs(self) -> list[dict]:
         return self._request("GET", "/scenarios")["jobs"]

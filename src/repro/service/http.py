@@ -10,17 +10,28 @@ Routes
 =======  =======================  ===========================================
 POST     /scenarios               submit a ScenarioSpec JSON (optionally
                                   wrapped as ``{"spec": ..., "priority": N}``)
+POST     /composites              submit a CompositeSpec JSON (same optional
+                                  ``{"spec": ..., "priority": N}`` wrapper);
+                                  member jobs fan out as dependencies finish
 GET      /scenarios               list all jobs (most recent last)
-GET      /scenarios/{id}          job status + per-cell progress
+GET      /scenarios/{id}          job status + per-cell progress (+ children
+                                  and per-node states for composites)
 GET      /scenarios/{id}/result   the result payload (202 while pending)
-DELETE   /scenarios/{id}          cancel a queued job (409 once running)
+GET      /scenarios/{id}/events   Server-Sent Events stream of the job's
+                                  progress (per-cell and, for composites,
+                                  per-node events; heartbeats while idle;
+                                  closes after the terminal event)
+DELETE   /scenarios/{id}          cancel a queued job (409 once running);
+                                  composite cancellation propagates to
+                                  queued descendants
 GET      /healthz                 liveness probe
 GET      /stats                   queue depth, cache hit rates, utilisation
 =======  =======================  ===========================================
 
 Malformed bodies and invalid specs answer 400 with the configuration error
 message; unknown jobs 404; invalid state transitions 409.  Everything is
-JSON, including errors (``{"error": ...}``).
+JSON, including errors (``{"error": ...}``) — except the ``/events`` stream,
+which is ``text/event-stream`` with JSON ``data:`` payloads.
 """
 
 from __future__ import annotations
@@ -30,6 +41,7 @@ import os
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.errors import ConfigurationError, JobConflictError, ServiceError
+from repro.scenarios.composite import CompositeSpec
 from repro.scenarios.spec import ScenarioSpec
 from repro.service.artifacts import ArtifactStore
 from repro.service.jobs import JobManager, JobState
@@ -47,6 +59,10 @@ DEFAULT_PORT = 8642
 # Submissions larger than this are rejected outright: a spec is a few KB of
 # JSON, so anything bigger is a client bug (or not a spec at all).
 MAX_BODY_BYTES = 1 << 20
+
+# Idle gap after which the /events stream emits a heartbeat event so clients
+# (and intermediaries) can tell a quiet job from a dead connection.
+EVENT_HEARTBEAT_SECONDS = 10.0
 
 
 def service_port_from_env() -> int:
@@ -149,6 +165,8 @@ class ScenarioRequestHandler(BaseHTTPRequestHandler):
                 self._send_json(200, job.summary())
             elif len(parts) == 3 and parts[0] == "scenarios" and parts[2] == "result":
                 self._send_result(self._job_id_from_path(parts))
+            elif len(parts) == 3 and parts[0] == "scenarios" and parts[2] == "events":
+                self._send_events(self._job_id_from_path(parts))
             else:
                 self._send_error_json(404, f"no such route: GET {self.path}")
         except ServiceError as error:
@@ -159,36 +177,82 @@ class ScenarioRequestHandler(BaseHTTPRequestHandler):
         if job.state == JobState.DONE:
             self._send_json(200, job.result)
         elif job.state == JobState.FAILED:
-            self._send_error_json(500, job.error or "scenario failed")
+            payload = {"error": job.error or "scenario failed"}
+            if job.result is not None:
+                # A failed composite keeps whatever members finished.
+                payload["partial_result"] = job.result
+            self._send_json(500, payload)
         elif job.state == JobState.CANCELLED:
             self._send_error_json(409, f"job '{job_id}' was cancelled")
         else:
             # Still queued or running: tell the client to poll again.
             self._send_json(202, job.summary())
 
-    def do_POST(self) -> None:  # noqa: N802 — stdlib naming
-        parts = [part for part in self.path.split("?")[0].split("/") if part]
-        if parts != ["scenarios"]:
-            self._send_error_json(404, f"no such route: POST {self.path}")
+    def _send_events(self, job_id: str) -> None:
+        """Stream a job's event log as Server-Sent Events until it finishes.
+
+        The response is unframed (no Content-Length), so the connection is
+        marked close; heartbeat events keep intermediaries from timing the
+        stream out while a long sweep is quiet.  A disconnecting client
+        simply ends the generator — the job is unaffected.
+        """
+        self.manager.get(job_id)  # 404 before committing to a stream
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        self.send_header("Connection", "close")
+        self.close_connection = True
+        self.end_headers()
+        try:
+            for event in self.manager.iter_events(
+                job_id, heartbeat_seconds=EVENT_HEARTBEAT_SECONDS
+            ):
+                name = event.get("event", "message")
+                data = json.dumps(event, default=str)
+                self.wfile.write(f"event: {name}\ndata: {data}\n\n".encode("utf-8"))
+                self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError, ServiceError):
             return
+
+    def _read_json_submission(self):
+        """Parse a POST body into ``(payload_dict, priority)`` (None on error).
+
+        Accepts either the bare spec object or the ``{"spec": ...,
+        "priority": N}`` wrapper; error responses are already sent when this
+        returns None.
+        """
         body = self._read_body()
         if body is None:
-            return
+            return None
         try:
             data = json.loads(body.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as error:
             self._send_error_json(400, f"request body is not valid JSON: {error}")
-            return
+            return None
         priority = 0
         if isinstance(data, dict) and "spec" in data:
             priority = data.get("priority", 0)
             data = data["spec"]
         if not isinstance(priority, int) or isinstance(priority, bool):
             self._send_error_json(400, "priority must be an integer")
+            return None
+        return data, priority
+
+    def do_POST(self) -> None:  # noqa: N802 — stdlib naming
+        parts = [part for part in self.path.split("?")[0].split("/") if part]
+        if parts == ["scenarios"]:
+            parse, submit = ScenarioSpec.from_dict, self.manager.submit
+        elif parts == ["composites"]:
+            parse, submit = CompositeSpec.from_dict, self.manager.submit_composite
+        else:
+            self._send_error_json(404, f"no such route: POST {self.path}")
             return
+        submission = self._read_json_submission()
+        if submission is None:
+            return
+        data, priority = submission
         try:
-            spec = ScenarioSpec.from_dict(data)
-            job = self.manager.submit(spec, priority=priority)
+            job = submit(parse(data), priority=priority)
         except ConfigurationError as error:
             self._send_error_json(400, str(error))
             return

@@ -18,6 +18,20 @@ code epoch + ambient batching knob, via
 :func:`repro.sim.result_cache.content_digest`) addresses the complete result
 payload in the :class:`~repro.service.artifacts.ArtifactStore`, so submitting
 an identical spec again completes instantly without touching the engine.
+
+Composite scenarios (:mod:`repro.scenarios.composite`) extend the manager
+with DAG-aware dispatch: :meth:`JobManager.submit_composite` creates a
+*parent* job that fans out one child job per member node as the node's
+dependencies finish, resolving parameter references against the upstream
+results at readiness time.  Children ride the normal priority queue (and the
+scenario-level cache — a member whose whole-spec digest is stored completes
+instantly), parent cancellation propagates to queued descendants, a member
+failure fails the composite fast with the partial results attached, and the
+assembled composite payload is itself cached under a whole-composite digest.
+
+Every job also carries an append-only *event log* — queued/running/progress/
+terminal transitions, plus per-node events on composite parents — consumed by
+the HTTP layer's SSE endpoint through :meth:`JobManager.iter_events`.
 """
 
 from __future__ import annotations
@@ -26,15 +40,31 @@ import heapq
 import threading
 import time
 import uuid
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import JobConflictError, ServiceError
-from repro.scenarios.runner import run_scenario
+from repro.scenarios.composite import (
+    NODE_DONE,
+    NODE_FAILED,
+    NODE_PENDING,
+    NODE_RUNNING,
+    NODE_SKIPPED,
+    CompositeSpec,
+    assemble_payload,
+    composite_digest,
+    resolve_node_spec,
+)
+from repro.scenarios.runner import run_scenario, scenario_digest
 from repro.scenarios.spec import ScenarioSpec
 from repro.service.artifacts import ArtifactStore
-from repro.sim.result_cache import content_digest, get_result_cache
+from repro.sim.result_cache import get_result_cache
 
 __all__ = ["JobState", "Job", "JobManager", "scenario_digest"]
+
+# A job's event log is bounded; once full, the oldest events are dropped and
+# late subscribers simply start further into the stream.  Terminal events are
+# appended last, so they are never the ones dropped.
+EVENT_BUFFER_LIMIT = 4096
 
 
 class JobState:
@@ -49,29 +79,20 @@ class JobState:
     TERMINAL = (DONE, FAILED, CANCELLED)
 
 
-def scenario_digest(spec: ScenarioSpec) -> str:
-    """Content digest addressing the complete result of one scenario spec.
-
-    Folds in the same ambient knob the cell cache folds into task digests:
-    a different co-simulation batch slack simulates different interleavings,
-    so it must address different scenario artifacts too.
-    """
-    from repro.sim.system import resolved_batch_cycles
-
-    return content_digest(
-        "scenario-result", spec.to_dict(),
-        extra=("batch_cycles", repr(resolved_batch_cycles())),
-    )
-
-
 @dataclass
 class Job:
-    """One submitted scenario and everything the API reports about it."""
+    """One submitted scenario (or composite) and everything the API reports.
+
+    Plain jobs carry a ``spec``; composite parents carry a ``composite`` and
+    track their member jobs through ``children`` (node name -> child job id)
+    and ``node_states``.  Children point back via ``parent_id``/``node``.
+    """
 
     id: str
-    spec: ScenarioSpec
     digest: str
     priority: int
+    spec: ScenarioSpec | None = None
+    composite: CompositeSpec | None = None
     state: str = JobState.QUEUED
     submitted_at: float = 0.0
     started_at: float | None = None
@@ -81,17 +102,36 @@ class Job:
     cached: bool = False
     error: str | None = None
     result: dict | None = None
+    parent_id: str | None = None
+    node: str | None = None
+    children: dict[str, str] = field(default_factory=dict)
+    node_states: dict[str, str] = field(default_factory=dict)
+    events: list[dict] = field(default_factory=list)
+    events_base: int = 0
 
     @property
     def finished(self) -> bool:
         return self.state in JobState.TERMINAL
 
+    @property
+    def name(self) -> str:
+        return self.composite.name if self.composite is not None else self.spec.name
+
+    @property
+    def kind(self) -> str:
+        return "composite" if self.composite is not None else self.spec.kind
+
+    def events_after(self, index: int) -> tuple[list[dict], int]:
+        """Buffered events with absolute index >= ``index``, plus the next index."""
+        start = max(0, index - self.events_base)
+        return self.events[start:], self.events_base + len(self.events)
+
     def summary(self) -> dict:
         """The JSON status payload (everything but the result body)."""
-        return {
+        payload = {
             "id": self.id,
-            "name": self.spec.name,
-            "kind": self.spec.kind,
+            "name": self.name,
+            "kind": self.kind,
             "state": self.state,
             "priority": self.priority,
             "cached": self.cached,
@@ -101,6 +141,13 @@ class Job:
             "finished_at": self.finished_at,
             "error": self.error,
         }
+        if self.composite is not None:
+            payload["children"] = dict(self.children)
+            payload["nodes"] = dict(self.node_states)
+        if self.parent_id is not None:
+            payload["parent"] = self.parent_id
+            payload["node"] = self.node
+        return payload
 
 
 def _default_runner(spec: ScenarioSpec, jobs: int | None, progress) -> dict:
@@ -118,11 +165,13 @@ class JobManager:
     is injectable for tests: a callable ``(spec, jobs, progress) -> dict``.
 
     Terminal job records (and their in-memory result payloads) are bounded:
-    once more than ``max_finished_jobs`` jobs have finished, the oldest are
-    dropped — their ids answer 404 afterwards, as a long-lived server must
-    not grow without bound.  Whole-scenario payloads stay available through
-    the (disk-backed, LRU-bounded) artifact store regardless: resubmitting
-    the same spec is a cache hit.
+    once more than ``max_finished_jobs`` *parentless* jobs have finished, the
+    oldest are dropped — their ids answer 404 afterwards, as a long-lived
+    server must not grow without bound.  A finished composite *child* is kept
+    as long as its parent record lives (clients navigate parent -> children)
+    and is evicted together with the parent.  Whole-scenario payloads stay
+    available through the (disk-backed, LRU-bounded) artifact store
+    regardless: resubmitting the same spec is a cache hit.
     """
 
     def __init__(self, sweep_jobs: int | None = None,
@@ -151,6 +200,58 @@ class JobManager:
         )
         self._dispatcher.start()
 
+    # ------------------------------------------------------------------ events
+
+    def _emit_locked(self, job: Job, event: str, **payload) -> None:
+        """Append one event to a job's log (lock held) and wake subscribers."""
+        record = {"event": event, "job": job.id, "time": time.time(), **payload}
+        job.events.append(record)
+        overflow = len(job.events) - EVENT_BUFFER_LIMIT
+        if overflow > 0:
+            del job.events[:overflow]
+            job.events_base += overflow
+        self._condition.notify_all()
+
+    def _emit_terminal_locked(self, job: Job) -> None:
+        self._emit_locked(job, job.state, cached=job.cached, error=job.error)
+
+    def iter_events(self, job_id: str, heartbeat_seconds: float = 10.0):
+        """Yield a job's events as they happen; a generator that ends after
+        the terminal event.
+
+        Events already buffered are replayed first, so subscribing after
+        completion yields the full (bounded) history immediately.  When no
+        event arrives within ``heartbeat_seconds`` a synthetic
+        ``{"event": "heartbeat"}`` is yielded so SSE consumers can detect a
+        dead connection.  An unknown (or already pruned) job id raises
+        :class:`ServiceError` up front; the job record is then *held* for the
+        stream's lifetime, so a subscriber always receives the terminal event
+        even if retention prunes the job mid-stream (pruning happens after
+        the terminal emission, in the same locked transition).
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise ServiceError(f"unknown job '{job_id}'")
+        index = 0
+        while True:
+            with self._condition:
+                events, index = job.events_after(index)
+                if not events and not job.finished and not self._stop:
+                    self._condition.wait(timeout=heartbeat_seconds)
+                    events, index = job.events_after(index)
+                finished = job.finished
+                stopping = self._stop
+            yield from events
+            if events and events[-1]["event"] in JobState.TERMINAL:
+                return
+            if not events:
+                if finished or stopping:
+                    # Terminal event already replayed to this subscriber (or
+                    # the manager is shutting down): end the stream.
+                    return
+                yield {"event": "heartbeat", "job": job_id, "time": time.time()}
+
     # ------------------------------------------------------------------ client API
 
     def submit(self, spec: ScenarioSpec, priority: int = 0) -> Job:
@@ -161,32 +262,102 @@ class JobManager:
         """
         spec.validate()
         digest = scenario_digest(spec)
+        # The artifact read is disk I/O — do it before taking the lock that
+        # the dispatcher, status queries and SSE emitters all share.
+        cached = self.artifacts.get(digest) if self.scenario_cache else None
+        with self._condition:
+            if self._stop:
+                raise ServiceError("the job manager is shut down")
+            return self._submit_spec_locked(spec, digest, priority, cached=cached)
+
+    def _submit_spec_locked(self, spec: ScenarioSpec, digest: str, priority: int,
+                            cached: dict | None,
+                            parent: Job | None = None,
+                            node: str | None = None) -> Job:
+        """Create and enqueue one spec job (lock held).
+
+        ``cached`` is the pre-fetched artifact payload (or None); a cached
+        job is born done.  Parent bookkeeping for an instantly-done child is
+        the *caller's* job — :meth:`_launch_ready_nodes_locked` drives its
+        worklist with it — so this method never re-enters composite code.
+        """
         job = Job(
             id=uuid.uuid4().hex[:12],
             spec=spec,
             digest=digest,
             priority=priority,
             submitted_at=time.time(),
+            parent_id=parent.id if parent is not None else None,
+            node=node,
         )
+        self._jobs[job.id] = job
+        if parent is not None:
+            parent.children[node] = job.id
+            parent.node_states[node] = NODE_RUNNING
+            self._emit_locked(parent, "node_start", node=node, child=job.id)
+        if cached is not None:
+            self.scenario_hits += 1
+            job.result = cached
+            job.cached = True
+            job.state = JobState.DONE
+            job.finished_at = job.submitted_at
+            self._emit_terminal_locked(job)
+            self._prune_finished_locked()
+            self._condition.notify_all()
+        else:
+            self.scenario_misses += 1
+            self._sequence += 1
+            heapq.heappush(self._queue, (-priority, self._sequence, job.id))
+            self._emit_locked(job, JobState.QUEUED)
+            self._condition.notify_all()
+        return job
+
+    def submit_composite(self, composite: CompositeSpec, priority: int = 0) -> Job:
+        """Validate a composite DAG and fan out its ready member jobs.
+
+        The returned parent job coordinates the DAG: members are submitted as
+        child jobs the moment their dependencies finish (parameter references
+        resolved against the upstream results), and the parent completes when
+        every node has.  An identical composite whose assembled payload is
+        already in the artifact store completes instantly with
+        ``cached=True``, without touching any member.
+        """
+        composite.validate()
+        digest = composite_digest(composite)
         cached = self.artifacts.get(digest) if self.scenario_cache else None
         with self._condition:
             if self._stop:
                 raise ServiceError("the job manager is shut down")
-            self._jobs[job.id] = job
+            parent = Job(
+                id=uuid.uuid4().hex[:12],
+                composite=composite,
+                digest=digest,
+                priority=priority,
+                submitted_at=time.time(),
+                cells_total=len(composite.nodes),
+                node_states={node.name: NODE_PENDING for node in composite.nodes},
+            )
+            self._jobs[parent.id] = parent
             if cached is not None:
                 self.scenario_hits += 1
-                job.result = cached
-                job.cached = True
-                job.state = JobState.DONE
-                job.finished_at = job.submitted_at
+                parent.result = cached
+                parent.cached = True
+                parent.state = JobState.DONE
+                parent.cells_done = len(composite.nodes)
+                parent.finished_at = parent.submitted_at
+                parent.node_states = {
+                    node.name: NODE_DONE for node in composite.nodes
+                }
+                self._emit_terminal_locked(parent)
                 self._prune_finished_locked()
                 self._condition.notify_all()
-            else:
-                self.scenario_misses += 1
-                self._sequence += 1
-                heapq.heappush(self._queue, (-priority, self._sequence, job.id))
-                self._condition.notify_all()
-        return job
+                return parent
+            self.scenario_misses += 1
+            parent.state = JobState.RUNNING
+            parent.started_at = parent.submitted_at
+            self._emit_locked(parent, JobState.RUNNING)
+            self._launch_ready_nodes_locked(parent)
+            return parent
 
     def get(self, job_id: str) -> Job:
         with self._lock:
@@ -201,17 +372,28 @@ class JobManager:
             return list(self._jobs.values())
 
     def cancel(self, job_id: str) -> Job:
-        """Cancel a queued job.
+        """Cancel a queued job, or a composite parent and its queued children.
 
         The check-and-transition happens under the same lock the dispatcher
         uses to move a job to ``running``, so a job that just started cannot
         be half-cancelled: the caller gets :class:`JobConflictError` (HTTP
-        409) and the job runs to completion untouched.
+        409) and the job runs to completion untouched.  Cancelling a
+        composite parent propagates to its descendants: queued children are
+        cancelled, unlaunched nodes are skipped, and an already-running child
+        drains without spawning further nodes.
         """
         with self._condition:
             job = self._jobs.get(job_id)
             if job is None:
                 raise ServiceError(f"unknown job '{job_id}'")
+            if job.composite is not None:
+                if job.finished:
+                    raise JobConflictError(
+                        f"job '{job_id}' is {job.state}; a finished composite "
+                        f"cannot be cancelled"
+                    )
+                self._cancel_composite_locked(job)
+                return job
             if job.state != JobState.QUEUED:
                 raise JobConflictError(
                     f"job '{job_id}' is {job.state}; only queued jobs can be cancelled"
@@ -219,9 +401,44 @@ class JobManager:
             job.state = JobState.CANCELLED
             job.finished_at = time.time()
             # The queue entry stays; the dispatcher skips cancelled jobs.
+            self._emit_terminal_locked(job)
+            if job.parent_id is not None:
+                self._on_child_terminal_locked(job)
             self._prune_finished_locked()
             self._condition.notify_all()
         return job
+
+    def _cancel_composite_locked(self, parent: Job) -> None:
+        """Cancel a composite parent and propagate to its descendants."""
+        parent.state = JobState.CANCELLED
+        parent.finished_at = time.time()
+        self._skip_descendants_locked(parent)
+        self._emit_terminal_locked(parent)
+        self._prune_finished_locked()
+        self._condition.notify_all()
+
+    def _skip_descendants_locked(self, parent: Job) -> None:
+        """Cancel queued children and mark unlaunched nodes skipped (lock held).
+
+        Shared by composite cancellation and fail-fast: running members are
+        left to drain (their outcome is mirrored into the node table when
+        they finish), queued members are cancelled, never-launched nodes are
+        skipped.
+        """
+        now = time.time()
+        for node, child_id in parent.children.items():
+            child = self._jobs.get(child_id)
+            if child is None or child.state != JobState.QUEUED:
+                continue
+            child.state = JobState.CANCELLED
+            child.finished_at = now
+            parent.node_states[node] = NODE_SKIPPED
+            self._emit_terminal_locked(child)
+            self._emit_locked(parent, "node_skipped", node=node)
+        for node, state in parent.node_states.items():
+            if state == NODE_PENDING:
+                parent.node_states[node] = NODE_SKIPPED
+                self._emit_locked(parent, "node_skipped", node=node)
 
     def wait(self, job_id: str, timeout: float | None = None) -> Job:
         """Block until a job reaches a terminal state (or the timeout)."""
@@ -241,8 +458,11 @@ class JobManager:
         """Queue depth, per-state counts, cache hit rates, utilisation."""
         with self._lock:
             by_state: dict[str, int] = {}
+            composites = 0
             for job in self._jobs.values():
                 by_state[job.state] = by_state.get(job.state, 0) + 1
+                if job.composite is not None:
+                    composites += 1
             queue_depth = by_state.get(JobState.QUEUED, 0)
             running_id = self._running_id
             busy = self.busy_seconds
@@ -259,6 +479,7 @@ class JobManager:
             "running": running_id,
             "jobs_total": total,
             "jobs_by_state": by_state,
+            "composites_total": composites,
             "scenario_cache": {
                 "hits": self.scenario_hits,
                 "misses": self.scenario_misses,
@@ -279,6 +500,142 @@ class JobManager:
             self._condition.notify_all()
         self._dispatcher.join(timeout=timeout)
 
+    # ------------------------------------------------------------------ composites
+
+    def _launch_ready_nodes_locked(self, parent: Job) -> None:
+        """Submit every pending node whose dependencies are done (lock held).
+
+        Parameter references resolve against the finished children's result
+        payloads.  A resolution failure (bad selector output, spec made
+        invalid by the injected values) fails the composite like a member
+        failure would.  A ready child may complete instantly (artifact-store
+        hit), unblocking its dependents in turn — the worklist loop rescans
+        until a pass launches nothing, iteratively rather than recursively,
+        so an arbitrarily deep all-cached chain cannot exhaust the stack.
+        Finishes the parent when the last node completes.
+        """
+        progressed = True
+        while progressed and not parent.finished:
+            progressed = False
+            upstream: dict[str, dict] = {}
+            for node_name, child_id in parent.children.items():
+                child = self._jobs.get(child_id)
+                if child is not None and child.state == JobState.DONE:
+                    upstream[node_name] = child.result
+            for node in parent.composite.nodes:
+                if parent.node_states.get(node.name) != NODE_PENDING:
+                    continue
+                if not all(parent.node_states.get(dep) == NODE_DONE
+                           for dep in node.depends_on):
+                    continue
+                try:
+                    spec = resolve_node_spec(node, upstream)
+                    digest = scenario_digest(spec)
+                except Exception as error:  # noqa: BLE001 — resolution must fail the composite, not the caller
+                    reason = f"{type(error).__name__}: {error}"
+                    parent.node_states[node.name] = NODE_FAILED
+                    self._emit_locked(parent, "node_failed", node=node.name,
+                                      error=reason)
+                    self._fail_composite_locked(
+                        parent,
+                        f"node '{node.name}' failed to resolve: {reason}",
+                        failed_node=node.name, reason=reason,
+                    )
+                    return
+                # Member artifacts are small summary payloads; reading one
+                # under the lock is bounded by the node count per pass.
+                cached = (self.artifacts.get(digest)
+                          if self.scenario_cache else None)
+                child = self._submit_spec_locked(spec, digest, parent.priority,
+                                                 cached, parent=parent,
+                                                 node=node.name)
+                if child.state == JobState.DONE:
+                    parent.node_states[node.name] = NODE_DONE
+                    parent.cells_done += 1
+                    self._emit_locked(parent, "node_cached", node=node.name,
+                                      child=child.id)
+                    progressed = True  # dependents may have become ready
+        if not parent.finished and all(
+            state == NODE_DONE for state in parent.node_states.values()
+        ):
+            self._finish_composite_locked(parent)
+
+    def _on_child_terminal_locked(self, child: Job) -> None:
+        """Advance (or fail) the parent composite after a child finishes."""
+        parent = self._jobs.get(child.parent_id or "")
+        if parent is None:
+            return
+        node = child.node
+        if parent.finished:
+            # The parent reached a terminal state (cancellation, fail-fast)
+            # while this member drained: mirror the member's real outcome in
+            # the node table so the two never contradict, but emit nothing —
+            # the parent's terminal event must stay last in its log.
+            parent.node_states[node] = {
+                JobState.DONE: NODE_DONE,
+                JobState.FAILED: NODE_FAILED,
+            }.get(child.state, NODE_SKIPPED)
+            return
+        if child.state == JobState.DONE:
+            parent.node_states[node] = NODE_DONE
+            parent.cells_done += 1
+            self._emit_locked(parent, "node_cached" if child.cached else "node_done",
+                              node=node, child=child.id)
+            self._launch_ready_nodes_locked(parent)
+            return
+        parent.node_states[node] = NODE_FAILED
+        reason = child.error or f"member job was {child.state}"
+        self._emit_locked(parent, "node_failed", node=node, child=child.id,
+                          error=reason)
+        self._fail_composite_locked(parent, f"node '{node}' failed: {reason}",
+                                    failed_node=node, reason=reason)
+
+    def _partial_payload_locked(self, parent: Job) -> dict:
+        """The assembled payload of whatever members finished (lock held)."""
+        payloads: dict[str, dict] = {}
+        resolved: dict[str, ScenarioSpec] = {}
+        cached: dict[str, bool] = {}
+        for node, child_id in parent.children.items():
+            child = self._jobs.get(child_id)
+            if child is None or child.state != JobState.DONE:
+                continue
+            payloads[node] = child.result
+            resolved[node] = child.spec
+            cached[node] = child.cached
+        return assemble_payload(parent.composite, payloads, resolved, cached)
+
+    def _finish_composite_locked(self, parent: Job) -> None:
+        parent.result = self._partial_payload_locked(parent)
+        if self.scenario_cache:
+            # One bounded write at composite completion; member payloads were
+            # each persisted outside the lock when their jobs executed.
+            self.artifacts.put(parent.digest, parent.result)
+        parent.state = JobState.DONE
+        parent.finished_at = time.time()
+        self._emit_terminal_locked(parent)
+        self._prune_finished_locked()
+        self._condition.notify_all()
+
+    def _fail_composite_locked(self, parent: Job, message: str,
+                               failed_node: str, reason: str) -> None:
+        """Fail fast: cancel queued descendants, keep the partial results.
+
+        The partial payload mirrors :meth:`CompositeResult.to_dict`'s failure
+        shape — ``node_states`` plus per-node ``node_errors`` — so service
+        and CLI clients see the same structure.
+        """
+        self._skip_descendants_locked(parent)
+        partial = self._partial_payload_locked(parent)
+        partial["node_states"] = dict(parent.node_states)
+        partial["node_errors"] = {failed_node: reason}
+        parent.result = partial
+        parent.state = JobState.FAILED
+        parent.error = message
+        parent.finished_at = time.time()
+        self._emit_terminal_locked(parent)
+        self._prune_finished_locked()
+        self._condition.notify_all()
+
     # ------------------------------------------------------------------ dispatcher
 
     def _dispatch_loop(self) -> None:
@@ -289,18 +646,29 @@ class JobManager:
                 if self._stop:
                     return
                 _neg_priority, _sequence, job_id = heapq.heappop(self._queue)
-                job = self._jobs[job_id]
-                if job.state != JobState.QUEUED:
-                    continue  # cancelled while waiting
+                job = self._jobs.get(job_id)
+                if job is None or job.state != JobState.QUEUED:
+                    continue  # cancelled (or pruned with its parent) while waiting
                 job.state = JobState.RUNNING
                 job.started_at = time.time()
                 self._running_id = job.id
+                self._emit_locked(job, JobState.RUNNING)
             self._execute(job)
 
     def _execute(self, job: Job) -> None:
         def progress(done: int, total: int) -> None:
             job.cells_done = done
             job.cells_total = total
+            with self._condition:
+                self._emit_locked(job, "progress", done=done, total=total)
+                if job.parent_id is not None:
+                    parent = self._jobs.get(job.parent_id)
+                    # A parent that went terminal (cancelled / failed fast)
+                    # while this member drains must not receive events after
+                    # its terminal event.
+                    if parent is not None and not parent.finished:
+                        self._emit_locked(parent, "node_progress", node=job.node,
+                                          done=done, total=total)
 
         try:
             payload = self._runner(job.spec, self.sweep_jobs, progress)
@@ -311,6 +679,9 @@ class JobManager:
                 job.finished_at = time.time()
                 self.busy_seconds += job.finished_at - (job.started_at or job.finished_at)
                 self._running_id = None
+                self._emit_terminal_locked(job)
+                if job.parent_id is not None:
+                    self._on_child_terminal_locked(job)
                 self._prune_finished_locked()
                 self._condition.notify_all()
             return
@@ -322,17 +693,32 @@ class JobManager:
             job.finished_at = time.time()
             self.busy_seconds += job.finished_at - (job.started_at or job.finished_at)
             self._running_id = None
+            self._emit_terminal_locked(job)
+            if job.parent_id is not None:
+                self._on_child_terminal_locked(job)
             self._prune_finished_locked()
             self._condition.notify_all()
 
     def _prune_finished_locked(self) -> None:
-        """Drop the oldest terminal job records beyond ``max_finished_jobs``.
+        """Drop the oldest *parentless* terminal job records beyond the bound.
 
         Called with the lock held.  ``self._jobs`` preserves submission
         order, so the oldest finished jobs go first; queued and running jobs
-        are never touched.
+        are never touched.  A composite child with a live parent record does
+        not count against the bound and is never evicted on its own — clients
+        reach children through the parent summary, so evicting a child while
+        its parent is still queryable would 404 a referenced id.  Evicting a
+        parent evicts its (terminal) children with it.
         """
-        finished = [job_id for job_id, job in self._jobs.items() if job.finished]
+        finished = [
+            job_id for job_id, job in self._jobs.items()
+            if job.finished and (job.parent_id is None
+                                 or job.parent_id not in self._jobs)
+        ]
         excess = len(finished) - self.max_finished_jobs
         for job_id in finished[:excess] if excess > 0 else ():
-            del self._jobs[job_id]
+            job = self._jobs.pop(job_id)
+            for child_id in job.children.values():
+                child = self._jobs.get(child_id)
+                if child is not None and child.finished:
+                    del self._jobs[child_id]

@@ -95,6 +95,78 @@ class TestLRUBound:
         assert store.clear() == 2
         assert store.entries() == []
 
+    def test_exact_budget_fit_evicts_nothing(self, tmp_path):
+        """Entries summing to exactly the bound must all survive: eviction
+        only triggers when the total *exceeds* the budget."""
+        sizing = ArtifactStore(tmp_path / "sizing", max_bytes=1 << 20)
+        for index in range(3):
+            sizing.put(f"{index:064d}", self._filler(index))
+        exact_total = sizing.total_bytes()
+        store = ArtifactStore(tmp_path / "exact", max_bytes=exact_total)
+        for index in range(3):
+            store.put(f"{index:064d}", self._filler(index))
+        assert store.total_bytes() == exact_total == store.max_bytes
+        assert store.stats.evictions == 0
+        for index in range(3):
+            assert store.get(f"{index:064d}") is not None
+
+    def test_oversized_artifact_evicts_everything_else_but_survives(self, tmp_path):
+        store = ArtifactStore(tmp_path / "oversized", max_bytes=1200)
+        store.put("a" * 64, self._filler(0))
+        assert store.get("a" * 64) is not None
+        huge = {"padding": "y" * 5000}
+        assert store.put("b" * 64, huge)
+        # The bound cannot hold both; the oversized newcomer is kept (never
+        # self-evicted) and the older entry paid for it.
+        assert store.get("b" * 64) == huge
+        assert store.get("a" * 64) is None
+        assert store.stats.evictions == 1
+
+
+class TestCorruptStoreRecovery:
+    """The store's on-disk index is the directory itself: every survivable
+    corruption — torn temp files, hand-made subdirectories, unreadable
+    artifacts — must degrade to a miss (and recompute), never an exception."""
+
+    def test_stray_temp_files_are_ignored_by_the_index(self, store):
+        store.put("a" * 64, {"x": 1})
+        (store.directory / "leftover.tmp").write_text("torn write survivor")
+        assert [path.name for path in store.entries()] == ["a" * 64 + ".json"]
+        assert store.total_bytes() > 0
+        assert store.get("a" * 64) == {"x": 1}
+
+    def test_directory_masquerading_as_artifact_is_a_miss(self, store):
+        store.put("a" * 64, {"x": 1})
+        (store.directory / ("d" * 64 + ".json")).mkdir()
+        assert store.get("d" * 64) is None
+        assert store.stats.errors >= 1
+        # The healthy neighbour is unaffected.
+        assert store.get("a" * 64) == {"x": 1}
+
+    def test_put_over_a_directory_degrades_to_no_artifact(self, store):
+        (store.directory / ("e" * 64 + ".json")).mkdir(parents=True)
+        assert store.put("e" * 64, {"x": 2}) is False
+        assert store.stats.errors >= 1
+
+    def test_eviction_survives_concurrent_deletion(self, tmp_path):
+        """An entry vanishing between listing and unlink is skipped."""
+        store = ArtifactStore(tmp_path / "race", max_bytes=1500)
+        store.put("a" * 64, {"padding": "x" * 900})
+        store.entry_path("a" * 64).unlink()  # someone else cleaned up
+        assert store.put("b" * 64, {"padding": "y" * 900})
+        assert store.get("b" * 64) is not None
+
+    def test_every_artifact_corrupt_recovers_to_empty(self, store):
+        for index in range(3):
+            store.put(f"{index:064d}", {"index": index})
+            store.entry_path(f"{index:064d}").write_text("{torn")
+        for index in range(3):
+            assert store.get(f"{index:064d}") is None
+        assert store.entries() == []
+        # The store still works after a full wipe.
+        assert store.put("a" * 64, {"x": 1})
+        assert store.get("a" * 64) == {"x": 1}
+
 
 class TestEnvironmentKnobs:
     def test_default_directory(self, monkeypatch, tmp_path):

@@ -1,0 +1,415 @@
+"""Tests for composite scenario DAGs: spec, selectors, and the scheduler."""
+
+import json
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.errors import CompositeExecutionError, ConfigurationError
+from repro.scenarios import (
+    CompositeSpec,
+    load_composite,
+    run_composite,
+    run_scenario,
+)
+from repro.scenarios.composite import (
+    PARAM_SELECTORS,
+    assemble_payload,
+    composite_digest,
+    resolve_node_spec,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+TINY_ACCURACY = {
+    "name": "member-accuracy",
+    "kind": "accuracy",
+    "machine": {"core_counts": [2], "llc_kilobytes": 64},
+    "workloads": {"groups": ["H"], "per_group": 1},
+    "techniques": ["GDP", "PTCA"],
+    "instructions_per_core": 4000,
+    "interval_instructions": 2000,
+}
+
+TINY_THROUGHPUT = {
+    "name": "member-throughput",
+    "kind": "throughput",
+    "machine": {"core_counts": [2], "llc_kilobytes": 64},
+    "workloads": {"groups": ["H"], "per_group": 1},
+    "policies": ["LRU", "MCP"],
+    "instructions_per_core": 4000,
+    "interval_instructions": 2000,
+    "repartition_interval_cycles": 4000.0,
+}
+
+TINY_SWITCHING = {
+    "name": "member-switching",
+    "kind": "policy_switching",
+    "machine": {"core_counts": [2], "llc_kilobytes": 64},
+    "workloads": {"groups": ["H"], "per_group": 1},
+    "techniques": ["GDP-O"],
+    "policies": ["LRU", "MCP"],
+    "instructions_per_core": 4000,
+    "interval_instructions": 2000,
+    "repartition_interval_cycles": 4000.0,
+}
+
+
+def chain_dict(**node_overrides) -> dict:
+    """A 3-node accuracy -> throughput -> policy_switching chain as a dict."""
+    nodes = [
+        {"name": "acc", "spec": dict(TINY_ACCURACY)},
+        {"name": "thr", "spec": dict(TINY_THROUGHPUT)},
+        {
+            "name": "switch",
+            "spec": dict(TINY_SWITCHING),
+            "depends_on": ["acc", "thr"],
+            "params": [
+                {"into": "techniques", "from": "acc", "select": "best_technique"},
+                {"into": "policies", "from": "thr", "select": "ranked_policies"},
+            ],
+        },
+    ]
+    data = {"name": "chain", "description": "test chain", "nodes": nodes}
+    data.update(node_overrides)
+    return data
+
+
+def fake_runner(tables_by_name):
+    """A node runner returning canned payloads instead of simulating."""
+
+    def run(spec, jobs, cache, config_factory, progress):
+        progress(1, 1)
+        return {
+            "scenario": spec.to_dict(),
+            "tables": tables_by_name[spec.name],
+        }
+
+    return run
+
+
+ACC_TABLES = {"ipc_rms": {"2c-H": {"GDP": 0.1, "PTCA": 0.9}},
+              "stall_rms": {"2c-H": {"GDP": 1.0, "PTCA": 2.0}}}
+THR_TABLES = {"average_stp": {"2c-H": {"LRU": 1.0, "MCP": 1.5}}}
+SWITCH_TABLES = {"mean_estimated_ipc": {"2c-H": {"GDP": 0.3}}}
+
+
+class TestCompositeSpecValidation:
+    def test_round_trip_is_stable(self):
+        composite = CompositeSpec.from_dict(chain_dict())
+        encoded = composite.to_dict()
+        again = CompositeSpec.from_dict(json.loads(json.dumps(encoded)))
+        assert again == composite
+        assert again.to_dict() == encoded
+
+    def test_duplicate_node_names_rejected(self):
+        data = chain_dict()
+        data["nodes"][1]["name"] = "acc"
+        with pytest.raises(ConfigurationError, match="appears twice"):
+            CompositeSpec.from_dict(data)
+
+    def test_unknown_dependency_rejected(self):
+        data = chain_dict()
+        data["nodes"][2]["depends_on"] = ["acc", "nope"]
+        with pytest.raises(ConfigurationError, match="unknown node 'nope'"):
+            CompositeSpec.from_dict(data)
+
+    def test_self_dependency_rejected(self):
+        data = chain_dict()
+        data["nodes"][0]["depends_on"] = ["acc"]
+        with pytest.raises(ConfigurationError, match="depends on itself"):
+            CompositeSpec.from_dict(data)
+
+    def test_cycle_rejected(self):
+        data = chain_dict()
+        data["nodes"][0]["depends_on"] = ["switch"]
+        with pytest.raises(ConfigurationError, match="dependency cycle"):
+            CompositeSpec.from_dict(data)
+
+    def test_unknown_selector_rejected(self):
+        data = chain_dict()
+        data["nodes"][2]["params"][0]["select"] = "worst_technique"
+        with pytest.raises(ConfigurationError, match="unknown selector"):
+            CompositeSpec.from_dict(data)
+
+    def test_reference_outside_depends_on_rejected(self):
+        data = chain_dict()
+        data["nodes"][2]["depends_on"] = ["thr"]
+        with pytest.raises(ConfigurationError, match="explicit dependencies"):
+            CompositeSpec.from_dict(data)
+
+    def test_selector_kind_mismatch_rejected(self):
+        data = chain_dict()
+        # best_technique needs an accuracy upstream, thr is throughput.
+        data["nodes"][2]["params"][0]["from"] = "thr"
+        with pytest.raises(ConfigurationError, match="needs an upstream 'accuracy'"):
+            CompositeSpec.from_dict(data)
+
+    def test_selector_into_field_mismatch_rejected(self):
+        data = chain_dict()
+        data["nodes"][2]["params"][0]["into"] = "policies"
+        with pytest.raises(ConfigurationError, match="produces techniques"):
+            CompositeSpec.from_dict(data)
+
+    def test_duplicate_into_rejected(self):
+        data = chain_dict()
+        data["nodes"][2]["params"].append(
+            {"into": "techniques", "from": "acc", "select": "ranked_techniques"})
+        with pytest.raises(ConfigurationError, match="assigns 'techniques' twice"):
+            CompositeSpec.from_dict(data)
+
+    def test_empty_composite_rejected(self):
+        with pytest.raises(ConfigurationError, match="at least one node"):
+            CompositeSpec.from_dict({"name": "empty", "nodes": []})
+
+    def test_unknown_top_level_key_rejected(self):
+        data = chain_dict()
+        data["bogus"] = 1
+        with pytest.raises(ConfigurationError, match="bogus"):
+            CompositeSpec.from_dict(data)
+
+    def test_member_specs_validate(self):
+        data = chain_dict()
+        data["nodes"][0]["spec"]["techniques"] = ["Nope"]
+        with pytest.raises(ConfigurationError, match="unknown accounting technique"):
+            CompositeSpec.from_dict(data)
+
+    def test_topological_order_respects_dependencies(self):
+        composite = CompositeSpec.from_dict(chain_dict())
+        order = composite.topological_order()
+        assert order.index("switch") > order.index("acc")
+        assert order.index("switch") > order.index("thr")
+
+    def test_example_composite_file_is_valid(self):
+        composite = load_composite(str(REPO_ROOT / "examples" / "composite_spec.json"))
+        assert {node.name for node in composite.nodes} >= {"accuracy", "throughput"}
+        assert composite.to_dict() == CompositeSpec.from_dict(composite.to_dict()).to_dict()
+
+
+class TestSelectorsAndResolution:
+    def test_best_and_ranked_selectors(self):
+        acc_payload = {"tables": ACC_TABLES}
+        thr_payload = {"tables": THR_TABLES}
+        assert PARAM_SELECTORS["best_technique"][0](acc_payload, "acc") == ("GDP",)
+        assert PARAM_SELECTORS["ranked_techniques"][0](acc_payload, "acc") == ("GDP", "PTCA")
+        assert PARAM_SELECTORS["best_policy"][0](thr_payload, "thr") == ("MCP",)
+        assert PARAM_SELECTORS["ranked_policies"][0](thr_payload, "thr") == ("MCP", "LRU")
+
+    def test_selector_on_missing_table_raises(self):
+        with pytest.raises(ConfigurationError, match="no 'ipc_rms' table"):
+            PARAM_SELECTORS["best_technique"][0]({"tables": {}}, "acc")
+
+    def test_resolve_injects_upstream_choices(self):
+        composite = CompositeSpec.from_dict(chain_dict())
+        node = composite.node("switch")
+        upstream = {"acc": {"tables": ACC_TABLES}, "thr": {"tables": THR_TABLES}}
+        resolved = resolve_node_spec(node, upstream)
+        assert resolved.techniques == ("GDP",)
+        assert resolved.policies == ("MCP", "LRU")
+        # Everything else is untouched.
+        assert resolved.instructions_per_core == node.spec.instructions_per_core
+
+    def test_resolve_without_params_returns_spec_unchanged(self):
+        composite = CompositeSpec.from_dict(chain_dict())
+        assert resolve_node_spec(composite.node("acc"), {}) is composite.node("acc").spec
+
+    def test_resolve_before_dependency_finished_raises(self):
+        composite = CompositeSpec.from_dict(chain_dict())
+        with pytest.raises(ConfigurationError, match="scheduler bug"):
+            resolve_node_spec(composite.node("switch"), {})
+
+
+class TestCompositeDigest:
+    def test_digest_is_stable_and_spec_sensitive(self):
+        first = CompositeSpec.from_dict(chain_dict())
+        second = CompositeSpec.from_dict(chain_dict())
+        assert composite_digest(first) == composite_digest(second)
+        changed = chain_dict()
+        changed["nodes"][0]["spec"]["instructions_per_core"] = 8000
+        assert composite_digest(CompositeSpec.from_dict(changed)) != composite_digest(first)
+
+
+class TestRunComposite:
+    TABLES = {
+        "member-accuracy": ACC_TABLES,
+        "member-throughput": THR_TABLES,
+        "member-switching": SWITCH_TABLES,
+    }
+
+    def test_chain_runs_in_dependency_order_with_param_injection(self):
+        composite = CompositeSpec.from_dict(chain_dict())
+        events = []
+        result = run_composite(composite, node_runner=fake_runner(self.TABLES),
+                               observer=events.append)
+        assert set(result.node_payloads) == {"acc", "thr", "switch"}
+        assert result.resolved_specs["switch"].techniques == ("GDP",)
+        assert result.resolved_specs["switch"].policies == ("MCP", "LRU")
+        started = [event["node"] for event in events if event["event"] == "node_start"]
+        assert started.index("switch") > started.index("acc")
+        assert started.index("switch") > started.index("thr")
+        payload = result.to_dict()
+        assert list(payload["nodes"]) == composite.topological_order()
+        assert payload["resolved_specs"]["switch"]["techniques"] == ["GDP"]
+
+    def test_independent_nodes_run_concurrently(self):
+        """Both rootless nodes must be in flight at once, not serialised."""
+        composite = CompositeSpec.from_dict(chain_dict())
+        barrier = threading.Barrier(2, timeout=30)
+
+        def runner(spec, jobs, cache, config_factory, progress):
+            if spec.name in ("member-accuracy", "member-throughput"):
+                barrier.wait()  # deadlocks (and times out) if serialised
+            return {"scenario": spec.to_dict(), "tables": self.TABLES[spec.name]}
+
+        result = run_composite(composite, node_runner=runner)
+        assert set(result.node_payloads) == {"acc", "thr", "switch"}
+
+    def test_member_failure_fails_fast_with_partial_results(self):
+        composite = CompositeSpec.from_dict(chain_dict())
+
+        def runner(spec, jobs, cache, config_factory, progress):
+            if spec.name == "member-throughput":
+                raise ValueError("boom")
+            return {"scenario": spec.to_dict(), "tables": self.TABLES[spec.name]}
+
+        with pytest.raises(CompositeExecutionError, match="node\\(s\\) thr") as excinfo:
+            run_composite(composite, node_runner=runner)
+        partial = excinfo.value.result
+        assert partial.node_states["thr"] == "failed"
+        assert partial.node_states["switch"] == "skipped"
+        assert "ValueError: boom" in partial.node_errors["thr"]
+        # The accuracy member completed and its payload is reported.
+        assert partial.node_payloads["acc"]["tables"] == ACC_TABLES
+        payload = partial.to_dict()
+        assert payload["node_states"]["switch"] == "skipped"
+        assert "acc" in payload["nodes"] and "thr" not in payload["nodes"]
+
+    def test_bad_selector_output_fails_fast(self):
+        """An upstream payload without the needed table fails resolution."""
+        composite = CompositeSpec.from_dict(chain_dict())
+
+        def runner(spec, jobs, cache, config_factory, progress):
+            return {"scenario": spec.to_dict(), "tables": {}}
+
+        with pytest.raises(CompositeExecutionError) as excinfo:
+            run_composite(composite, node_runner=runner)
+        assert excinfo.value.result.node_states["switch"] == "failed"
+
+    def test_artifact_store_short_circuits_members(self, tmp_path):
+        from repro.service import ArtifactStore
+
+        composite = CompositeSpec.from_dict(chain_dict())
+        store = ArtifactStore(tmp_path / "arts", max_bytes=1 << 20)
+        calls = []
+
+        def runner(spec, jobs, cache, config_factory, progress):
+            calls.append(spec.name)
+            return {"scenario": spec.to_dict(), "tables": self.TABLES[spec.name]}
+
+        first = run_composite(composite, node_runner=runner, artifacts=store)
+        assert sorted(calls) == sorted(self.TABLES)
+        assert not any(first.node_cached.values())
+        second = run_composite(composite, node_runner=runner, artifacts=store)
+        # No member ran again; every node was served from the store.
+        assert sorted(calls) == sorted(self.TABLES)
+        assert all(second.node_cached.values())
+        assert second.node_payloads == first.node_payloads
+
+    def test_assemble_payload_orders_topologically(self):
+        composite = CompositeSpec.from_dict(chain_dict())
+        spec = composite.node("acc").spec
+        payload = assemble_payload(
+            composite, {"acc": {"tables": {}}}, {"acc": spec}, {"acc": True})
+        assert list(payload["nodes"]) == ["acc"]
+        assert payload["node_cached"] == {"acc": True}
+
+    def test_report_renders_member_tables(self):
+        composite = CompositeSpec.from_dict(chain_dict())
+        result = run_composite(composite, node_runner=fake_runner(self.TABLES))
+        report = result.report()
+        assert "node 'acc': done" in report
+        assert "average_stp" in report
+
+
+class TestRunCompositeEndToEnd:
+    def test_members_bit_identical_to_direct_runs(self, monkeypatch, tmp_path):
+        """The acceptance pin: composite member payloads equal direct runs."""
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cells"))
+        composite = CompositeSpec.from_dict({
+            "name": "e2e", "nodes": [
+                {"name": "acc", "spec": dict(TINY_ACCURACY, techniques=["GDP"])},
+                {"name": "att", "depends_on": ["acc"], "spec": {
+                    "name": "member-attribution", "kind": "interference_attribution",
+                    "machine": {"core_counts": [2], "llc_kilobytes": 64},
+                    "workloads": {"groups": ["H"], "per_group": 1},
+                    "instructions_per_core": 4000, "interval_instructions": 2000,
+                }},
+            ],
+        })
+        result = run_composite(composite, jobs=1)
+        for name in ("acc", "att"):
+            direct = run_scenario(result.resolved_specs[name], jobs=1).to_dict()
+            assert result.node_payloads[name] == direct
+            assert json.dumps(result.node_payloads[name], sort_keys=True) == \
+                json.dumps(direct, sort_keys=True)
+
+
+class TestCompositeCLI:
+    def test_run_composite_cli(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cells"))
+        from repro.__main__ import main
+
+        composite_path = tmp_path / "composite.json"
+        composite_path.write_text(json.dumps({
+            "name": "cli-chain", "nodes": [
+                {"name": "only", "spec": dict(TINY_ACCURACY, techniques=["GDP"])},
+            ],
+        }))
+        out_path = tmp_path / "out.json"
+        assert main(["run-composite", str(composite_path), "--jobs", "1",
+                     "--json", str(out_path)]) == 0
+        output = capsys.readouterr().out
+        assert "cli-chain" in output
+        assert "node 'only': done" in output
+        payload = json.loads(out_path.read_text())
+        assert payload["composite"]["name"] == "cli-chain"
+        assert "ipc_rms" in payload["nodes"]["only"]["tables"]
+
+    def test_run_composite_cli_reports_partial_failure(self, capsys, tmp_path,
+                                                       monkeypatch):
+        import repro.scenarios as scenarios_package
+        from repro.__main__ import main
+        from repro.scenarios.composite import CompositeResult
+
+        composite = CompositeSpec.from_dict(chain_dict())
+        partial = CompositeResult(composite=composite)
+        partial.node_states = {"acc": "done", "thr": "failed", "switch": "skipped"}
+        partial.node_errors = {"thr": "ValueError: boom"}
+        partial.node_payloads = {"acc": {"tables": ACC_TABLES}}
+        partial.resolved_specs = {"acc": composite.node("acc").spec}
+
+        def exploding(composite, **kwargs):
+            raise CompositeExecutionError("composite 'chain' failed", result=partial)
+
+        monkeypatch.setattr(scenarios_package, "run_composite", exploding)
+        composite_path = tmp_path / "chain.json"
+        composite_path.write_text(json.dumps(chain_dict()))
+        out_path = tmp_path / "partial.json"
+        assert main(["run-composite", str(composite_path),
+                     "--json", str(out_path)]) == 1
+        captured = capsys.readouterr()
+        assert "composite 'chain' failed" in captured.err
+        assert "node 'thr': failed" in captured.out
+        payload = json.loads(out_path.read_text())
+        assert payload["node_states"]["switch"] == "skipped"
+
+    def test_run_composite_cli_invalid_file(self, capsys, tmp_path):
+        from repro.__main__ import main
+
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        assert main(["run-composite", str(path)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err

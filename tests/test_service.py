@@ -7,7 +7,7 @@ import time
 import pytest
 
 from repro.errors import ConfigurationError, JobConflictError, ServiceError
-from repro.scenarios import ScenarioSpec, run_scenario
+from repro.scenarios import CompositeSpec, ScenarioSpec, run_scenario
 from repro.service import (
     ArtifactStore,
     JobManager,
@@ -31,6 +31,24 @@ TINY_SPEC = {
 
 def tiny_spec(**overrides) -> ScenarioSpec:
     return ScenarioSpec.from_dict(dict(TINY_SPEC, **overrides))
+
+
+def tiny_composite(*chain_names: str, name: str = "svc-composite",
+                   member_prefix: str | None = None) -> CompositeSpec:
+    """A linear composite whose members are tiny accuracy specs.
+
+    ``member_prefix`` names the member specs independently of the composite
+    name, so two differently-named composites can share identical members.
+    """
+    prefix = member_prefix if member_prefix is not None else name
+    nodes = []
+    for index, node_name in enumerate(chain_names):
+        nodes.append({
+            "name": node_name,
+            "spec": dict(TINY_SPEC, name=f"{prefix}-{node_name}"),
+            "depends_on": [chain_names[index - 1]] if index else [],
+        })
+    return CompositeSpec.from_dict({"name": name, "nodes": nodes})
 
 
 class GatedRunner:
@@ -222,6 +240,388 @@ class TestJobManager:
         assert 0.0 <= stats["worker_utilisation"] <= 1.0
 
 
+class TestJobEvents:
+    def test_event_log_records_the_full_lifecycle(self, manager):
+        runner = GatedRunner()
+        jobs = manager(runner=runner)
+        job = jobs.submit(tiny_spec())
+        assert runner.started.acquire(timeout=10)
+        runner.release.release()
+        jobs.wait(job.id, timeout=10)
+        kinds = [event["event"] for event in jobs.iter_events(job.id)]
+        assert kinds[0] == "queued"
+        assert "running" in kinds
+        assert {"done": 1, "total": 1} == next(
+            {"done": e["done"], "total": e["total"]}
+            for e in jobs.iter_events(job.id) if e["event"] == "progress"
+        )
+        assert kinds[-1] == "done"
+
+    def test_iter_events_streams_live_and_ends_on_terminal(self, manager):
+        runner = GatedRunner()
+        jobs = manager(runner=runner)
+        job = jobs.submit(tiny_spec())
+        seen = []
+        done = threading.Event()
+
+        def consume():
+            for event in jobs.iter_events(job.id, heartbeat_seconds=0.05):
+                if event["event"] != "heartbeat":
+                    seen.append(event["event"])
+            done.set()
+
+        thread = threading.Thread(target=consume, daemon=True)
+        thread.start()
+        assert runner.started.acquire(timeout=10)
+        runner.release.release()
+        assert done.wait(timeout=10), "event stream never reached the terminal event"
+        assert seen[0] == "queued" and seen[-1] == "done"
+
+    def test_heartbeats_are_emitted_while_idle(self, manager):
+        runner = GatedRunner()
+        jobs = manager(runner=runner)
+        job = jobs.submit(tiny_spec())
+        assert runner.started.acquire(timeout=10)
+        stream = jobs.iter_events(job.id, heartbeat_seconds=0.05)
+        kinds = [next(stream)["event"] for _ in range(4)]
+        assert "heartbeat" in kinds
+        runner.release.release()
+        jobs.wait(job.id, timeout=10)
+
+    def test_unknown_job_raises(self, manager):
+        jobs = manager(runner=GatedRunner())
+        with pytest.raises(ServiceError, match="unknown job"):
+            next(jobs.iter_events("bogus"))
+
+    def test_stream_survives_job_pruning_mid_stream(self, manager):
+        """Regression: a subscriber must receive the terminal event even if
+        retention prunes the job while the stream is open."""
+        runner = GatedRunner()
+        jobs = manager(runner=runner, scenario_cache=False, max_finished_jobs=1)
+        job = jobs.submit(tiny_spec(name="pruned"))
+        stream = jobs.iter_events(job.id, heartbeat_seconds=0.05)
+        assert next(stream)["event"] == "queued"
+        assert runner.started.acquire(timeout=10)
+        runner.release.release()
+        jobs.wait(job.id, timeout=10)
+        # Evict the finished job while the subscriber is mid-stream.
+        evictor = jobs.submit(tiny_spec(name="evictor"))
+        assert runner.started.acquire(timeout=10)
+        runner.release.release()
+        jobs.wait(evictor.id, timeout=10)
+        with pytest.raises(ServiceError, match="unknown job"):
+            jobs.get(job.id)
+        kinds = [event["event"] for event in stream
+                 if event["event"] != "heartbeat"]
+        assert kinds[-1] == "done"
+
+    def test_cached_job_stream_is_immediately_terminal(self, manager):
+        runner = GatedRunner()
+        jobs = manager(runner=runner)
+        first = jobs.submit(tiny_spec())
+        assert runner.started.acquire(timeout=10)
+        runner.release.release()
+        jobs.wait(first.id, timeout=10)
+        second = jobs.submit(tiny_spec())
+        kinds = [event["event"] for event in jobs.iter_events(second.id)]
+        assert kinds == ["done"]
+
+
+class TestCompositeJobs:
+    def test_composite_fans_out_children_in_dependency_order(self, manager):
+        runner = GatedRunner()
+        jobs = manager(runner=runner, scenario_cache=False)
+        parent = jobs.submit_composite(tiny_composite("a", "b"))
+        assert parent.kind == "composite"
+        assert runner.started.acquire(timeout=10)
+        # Only the root has been submitted; b waits for a.
+        assert set(parent.children) == {"a"}
+        runner.release.release()
+        assert runner.started.acquire(timeout=10)
+        assert set(parent.children) == {"a", "b"}
+        runner.release.release()
+        finished = jobs.wait(parent.id, timeout=10)
+        assert finished.state == JobState.DONE
+        assert finished.node_states == {"a": "done", "b": "done"}
+        assert runner.calls == ["svc-composite-a", "svc-composite-b"]
+        assert list(finished.result["nodes"]) == ["a", "b"]
+        child = jobs.get(parent.children["a"])
+        assert child.parent_id == parent.id and child.node == "a"
+        assert finished.result["nodes"]["a"] == child.result
+
+    def test_composite_member_failure_fails_parent_with_partial_results(
+            self, manager):
+        def exploding(spec, jobs, progress):
+            if spec.name.endswith("-b"):
+                raise ValueError("boom")
+            return {"scenario": spec.to_dict(), "tables": {"fake": {}}}
+
+        jobs = manager(runner=exploding, scenario_cache=False)
+        parent = jobs.submit_composite(tiny_composite("a", "b", "c"))
+        finished = jobs.wait(parent.id, timeout=10)
+        assert finished.state == JobState.FAILED
+        assert "node 'b' failed" in finished.error
+        assert finished.node_states == {"a": "done", "b": "failed", "c": "skipped"}
+        # Partial results keep the finished member and mirror the CLI path's
+        # failure shape: node_states plus per-node node_errors.
+        assert list(finished.result["nodes"]) == ["a"]
+        assert finished.result["node_states"]["c"] == "skipped"
+        assert "ValueError: boom" in finished.result["node_errors"]["b"]
+
+    def test_cancel_composite_propagates_to_descendants(self, manager):
+        runner = GatedRunner()
+        jobs = manager(runner=runner, scenario_cache=False)
+        parent = jobs.submit_composite(tiny_composite("a", "b", "c"))
+        assert runner.started.acquire(timeout=10)  # a is running
+        cancelled = jobs.cancel(parent.id)
+        assert cancelled.state == JobState.CANCELLED
+        assert cancelled.node_states["b"] == "skipped"
+        assert cancelled.node_states["c"] == "skipped"
+        runner.release.release()  # let a drain
+        time.sleep(0.2)
+        # The drained member must not have spawned its dependents.
+        assert set(parent.children) == {"a"}
+        assert runner.calls == ["svc-composite-a"]
+        with pytest.raises(JobConflictError, match="finished composite"):
+            jobs.cancel(parent.id)
+
+    def test_composite_resubmission_is_a_cache_hit(self, manager):
+        runner = GatedRunner()
+        jobs = manager(runner=runner)
+        parent = jobs.submit_composite(tiny_composite("a", "b"))
+        for _ in range(2):
+            assert runner.started.acquire(timeout=10)
+            runner.release.release()
+        first = jobs.wait(parent.id, timeout=10)
+        assert first.state == JobState.DONE
+        second = jobs.submit_composite(tiny_composite("a", "b"))
+        assert second.state == JobState.DONE
+        assert second.cached is True
+        assert second.result == first.result
+        assert second.children == {}  # no members ran
+        assert len(runner.calls) == 2
+
+    def test_member_level_cache_short_circuits_nodes(self, manager):
+        """A composite sharing a member with an earlier plain job reuses it."""
+        runner = GatedRunner()
+        jobs = manager(runner=runner)
+        plain = jobs.submit(tiny_spec(name="svc-composite-a"))
+        assert runner.started.acquire(timeout=10)
+        runner.release.release()
+        jobs.wait(plain.id, timeout=10)
+        parent = jobs.submit_composite(tiny_composite("a", "b"))
+        assert runner.started.acquire(timeout=10)  # only b simulates
+        runner.release.release()
+        finished = jobs.wait(parent.id, timeout=10)
+        assert finished.state == JobState.DONE
+        assert finished.result["node_cached"] == {"a": True, "b": False}
+        assert runner.calls == ["svc-composite-a", "svc-composite-b"]
+
+    def test_deep_all_cached_chain_fans_out_iteratively(self, manager):
+        """Regression: a long chain of artifact-cached members must cascade
+        through the worklist loop, not the call stack — the old recursive
+        fan-out blew the recursion limit around ~250 nodes and stranded the
+        parent job in 'running'."""
+        def instant(spec, jobs, progress):
+            return {"scenario": spec.to_dict(), "tables": {}}
+
+        jobs = manager(runner=instant, max_finished_jobs=10_000)
+        names = [f"n{index}" for index in range(300)]
+        first = jobs.submit_composite(
+            tiny_composite(*names, name="deep-1", member_prefix="deep"))
+        assert jobs.wait(first.id, timeout=120).state == JobState.DONE
+        # Identical members under a different composite name: every node is
+        # an artifact hit, so the entire 300-node fan-out happens inside this
+        # one submit_composite call.
+        second = jobs.submit_composite(
+            tiny_composite(*names, name="deep-2", member_prefix="deep"))
+        assert second.state == JobState.DONE
+        assert second.cached is False  # composite-level digest differs
+        assert all(state == "done" for state in second.node_states.values())
+        assert second.result["node_cached"] == {name: True for name in names}
+
+    def test_drained_member_outcome_is_mirrored_after_parent_cancel(
+            self, manager):
+        """Regression: a member still running when its parent is cancelled
+        must have its real outcome mirrored into the parent's node table once
+        it drains (not stay 'running' forever), without appending events
+        after the parent's terminal event."""
+        runner = GatedRunner()
+        jobs = manager(runner=runner, scenario_cache=False)
+        parent = jobs.submit_composite(tiny_composite("a", "b"))
+        assert runner.started.acquire(timeout=10)  # a is running
+        jobs.cancel(parent.id)
+        runner.release.release()
+        child = jobs.get(parent.children["a"])
+        assert jobs.wait(child.id, timeout=10).state == JobState.DONE
+        assert parent.node_states["a"] == "done"
+        assert parent.node_states["b"] == "skipped"
+        events = list(jobs.iter_events(parent.id))
+        assert events[-1]["event"] == "cancelled"
+
+    def test_composite_events_carry_node_lifecycle(self, manager):
+        runner = GatedRunner()
+        jobs = manager(runner=runner, scenario_cache=False)
+        parent = jobs.submit_composite(tiny_composite("a", "b"))
+        for _ in range(2):
+            assert runner.started.acquire(timeout=10)
+            runner.release.release()
+        jobs.wait(parent.id, timeout=10)
+        events = list(jobs.iter_events(parent.id))
+        kinds = [event["event"] for event in events]
+        assert kinds[-1] == "done"
+        node_starts = [e["node"] for e in events if e["event"] == "node_start"]
+        node_dones = [e["node"] for e in events if e["event"] == "node_done"]
+        assert node_starts == ["a", "b"]
+        assert node_dones == ["a", "b"]
+        assert any(e["event"] == "node_progress" for e in events)
+
+
+class TestTerminalRetention:
+    def test_children_with_live_parent_are_never_evicted(self, manager):
+        """Regression: retention must evict only parentless terminal jobs.
+
+        The composite's children finish first, making them the oldest
+        terminal records; a flood of later singleton jobs must evict those
+        singletons, never the children a live parent still references.
+        """
+        runner = GatedRunner()
+        jobs = manager(runner=runner, scenario_cache=False, max_finished_jobs=3)
+        parent = jobs.submit_composite(tiny_composite("a", "b"))
+        for _ in range(2):
+            assert runner.started.acquire(timeout=10)
+            runner.release.release()
+        assert jobs.wait(parent.id, timeout=10).state == JobState.DONE
+        child_ids = set(parent.children.values())
+        flood_ids = []
+        for index in range(2):
+            job = jobs.submit(tiny_spec(name=f"flood-{index}"))
+            assert runner.started.acquire(timeout=10)
+            runner.release.release()
+            jobs.wait(job.id, timeout=10)
+            flood_ids.append(job.id)
+        remaining = {job.id for job in jobs.jobs()}
+        # Only 3 parentless terminal jobs exist (parent + 2 flood), exactly
+        # the bound: nothing may be evicted.  Insertion-order eviction would
+        # have counted the 2 children too (5 > 3) and dropped the oldest
+        # records — the still-referenced children — first.
+        assert parent.id in remaining
+        assert child_ids <= remaining
+        assert set(flood_ids) <= remaining
+        for child_id in child_ids:
+            assert jobs.get(child_id).state == JobState.DONE
+
+    def test_evicting_a_parent_evicts_its_children(self, manager):
+        runner = GatedRunner()
+        jobs = manager(runner=runner, scenario_cache=False, max_finished_jobs=1)
+        parent = jobs.submit_composite(tiny_composite("a"))
+        assert runner.started.acquire(timeout=10)
+        runner.release.release()
+        assert jobs.wait(parent.id, timeout=10).state == JobState.DONE
+        child_ids = set(parent.children.values())
+        later = jobs.submit(tiny_spec(name="later"))
+        assert runner.started.acquire(timeout=10)
+        runner.release.release()
+        jobs.wait(later.id, timeout=10)
+        remaining = {job.id for job in jobs.jobs()}
+        assert parent.id not in remaining
+        assert not (child_ids & remaining)
+        assert later.id in remaining
+
+
+class TestJobManagerStress:
+    def test_submitters_and_canceller_race_the_dispatcher(self, manager):
+        """Concurrency stress: no job lost, no illegal transition, 409 intact.
+
+        Eight submitter threads race a canceller against the dispatcher; the
+        event log of every job must afterwards describe a legal path through
+        the state machine, every cancelled job must never have executed, and
+        every JobConflictError must correspond to a job that had left the
+        queued state.
+        """
+        executed = []
+        executed_lock = threading.Lock()
+
+        def runner(spec, jobs, progress):
+            with executed_lock:
+                executed.append(spec.name)
+            progress(1, 1)
+            return {"scenario": spec.to_dict(), "tables": {}}
+
+        jobs = manager(runner=runner, scenario_cache=False,
+                       max_finished_jobs=10_000)
+        submitted: dict[str, str] = {}
+        submitted_lock = threading.Lock()
+        conflicts: list[str] = []
+        stop_cancelling = threading.Event()
+
+        def submitter(worker: int) -> None:
+            for index in range(10):
+                job = jobs.submit(tiny_spec(name=f"stress-{worker}-{index}"),
+                                  priority=index % 3)
+                with submitted_lock:
+                    submitted[job.id] = job.spec.name
+
+        cancelled_by_us: set[str] = set()
+
+        def canceller() -> None:
+            while not stop_cancelling.is_set():
+                with submitted_lock:
+                    ids = list(submitted)
+                for job_id in ids[-5:]:
+                    if job_id in cancelled_by_us:
+                        continue
+                    try:
+                        jobs.cancel(job_id)
+                        cancelled_by_us.add(job_id)
+                    except JobConflictError:
+                        conflicts.append(job_id)
+                    except ServiceError:
+                        pass
+                time.sleep(0.001)
+
+        threads = [threading.Thread(target=submitter, args=(worker,))
+                   for worker in range(8)]
+        cancel_thread = threading.Thread(target=canceller, daemon=True)
+        cancel_thread.start()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        for job_id in list(submitted):
+            assert jobs.wait(job_id, timeout=60).finished
+        stop_cancelling.set()
+        cancel_thread.join(timeout=10)
+
+        assert len(submitted) == 80  # no submission lost
+        valid_paths = (
+            ("queued", "running", "done"),
+            ("queued", "cancelled"),
+        )
+        cancelled_names = set()
+        for job_id, name in submitted.items():
+            job = jobs.get(job_id)
+            assert job.finished
+            transitions = tuple(
+                event["event"] for event in jobs.iter_events(job_id)
+                if event["event"] in ("queued", "running", "done", "failed",
+                                      "cancelled")
+            )
+            assert transitions in valid_paths, (name, transitions)
+            if job.state == JobState.CANCELLED:
+                cancelled_names.add(name)
+        # Cancelled jobs never reached the runner; completed jobs all did.
+        with executed_lock:
+            executed_names = set(executed)
+        assert not (cancelled_names & executed_names)
+        assert executed_names == set(submitted.values()) - cancelled_names
+        # Every 409 was raised for a job that had genuinely left the queue:
+        # the canceller never retries its own cancellations, so a conflicted
+        # job must have been running (and by now completed) at cancel time.
+        for job_id in conflicts:
+            assert jobs.get(job_id).state == JobState.DONE
+
+
 @pytest.fixture
 def service(tmp_path, monkeypatch):
     """A live server on an ephemeral port, with isolated caches."""
@@ -352,6 +752,171 @@ class TestServiceEndToEnd:
         service.wait(job["id"], timeout=120)
         names = [entry["name"] for entry in service.list_jobs()]
         assert "listed" in names
+
+
+class TestCompositeOverHTTP:
+    def test_composite_end_to_end_with_cache_hit(self, service):
+        """The acceptance flow: POST /composites runs the DAG, member results
+        are bit-identical to direct engine runs, and resubmission is served
+        from the scenario-level cache."""
+        composite = tiny_composite("first", "second", name="http-chain")
+        job = service.submit_composite(composite)
+        assert job["kind"] == "composite"
+        status = service.wait(job["id"], timeout=180)
+        assert status["state"] == JobState.DONE, status
+        assert status["nodes"] == {"first": "done", "second": "done"}
+        result = service.result(job["id"])
+        assert list(result["nodes"]) == ["first", "second"]
+        for node in ("first", "second"):
+            resolved = ScenarioSpec.from_dict(result["resolved_specs"][node])
+            direct = run_scenario(resolved, jobs=1).to_dict()
+            assert result["nodes"][node] == direct
+            assert json.dumps(result["nodes"][node], sort_keys=True) == \
+                json.dumps(direct, sort_keys=True)
+        # Member jobs are addressable through the parent summary.
+        for child_id in status["children"].values():
+            assert service.status(child_id)["parent"] == job["id"]
+        second = service.submit_composite(composite)
+        assert second["state"] == JobState.DONE
+        assert second["cached"] is True
+        assert service.result(second["id"]) == result
+
+    def test_invalid_composite_rejected_with_400(self, service):
+        bad = tiny_composite("a", "b").to_dict()
+        bad["nodes"][1]["depends_on"] = ["missing"]
+        with pytest.raises(ServiceError, match="HTTP 400.*unknown node"):
+            service.submit_composite(bad)
+
+
+class TestEventStreamOverHTTP:
+    def test_sse_stream_reports_progress_and_closes_on_terminal(self, service):
+        job = service.submit(dict(TINY_SPEC, name="sse-plain"))
+        events = list(service.iter_events(job["id"]))
+        kinds = [event["event"] for event in events]
+        assert kinds[-1] == "done"
+        assert any(kind == "progress" for kind in kinds)
+        # The stream replays history, so the terminal state is also queryable.
+        assert service.status(job["id"])["state"] == JobState.DONE
+
+    def test_sse_stream_for_composite_carries_node_events(self, service):
+        job = service.submit_composite(tiny_composite("x", "y", name="sse-chain"))
+        events = list(service.iter_events(job["id"]))
+        kinds = {event["event"] for event in events}
+        assert {"node_start", "node_done", "node_progress"} <= kinds
+        assert events[-1]["event"] == "done"
+        nodes_started = [e["node"] for e in events if e["event"] == "node_start"]
+        assert nodes_started == ["x", "y"]
+
+    def test_sse_stream_of_finished_job_replays_and_closes(self, service):
+        job = service.submit(dict(TINY_SPEC, name="sse-replay"))
+        service.wait(job["id"], timeout=120)
+        events = list(service.iter_events(job["id"]))
+        assert events and events[-1]["event"] == "done"
+
+    def test_sse_stream_for_unknown_job_is_404(self, service):
+        with pytest.raises(ServiceError, match="HTTP 404"):
+            list(service.iter_events("missing"))
+
+    def test_sse_stream_cut_off_midjob_raises_not_completes(self, tmp_path):
+        """Regression: a stream ending without a terminal event (server shut
+        down mid-job) must raise ServiceError, not read as completion."""
+        runner = GatedRunner()
+        manager = JobManager(
+            runner=runner,
+            artifacts=ArtifactStore(tmp_path / "cut-artifacts", max_bytes=1 << 20),
+        )
+        server = create_server(port=0, manager=manager)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        client = ServiceClient(f"http://127.0.0.1:{server.port}")
+        try:
+            job = client.submit(TINY_SPEC)
+            assert runner.started.acquire(timeout=10)
+            stream = client.iter_events(job["id"])
+            assert next(stream)["event"] == "queued"
+            # Shut the manager down while the member still runs: the server
+            # side ends the stream without a terminal event.
+            manager.shutdown()
+            with pytest.raises(ServiceError, match="without a terminal event"):
+                for _ in stream:
+                    pass
+        finally:
+            runner.release.release()
+            server.shutdown()
+            server.server_close()
+            manager.shutdown()
+
+    def test_sse_heartbeats_keep_an_idle_stream_alive(self, tmp_path):
+        runner = GatedRunner()
+        manager = JobManager(
+            runner=runner,
+            artifacts=ArtifactStore(tmp_path / "sse-artifacts", max_bytes=1 << 20),
+        )
+        server = create_server(port=0, manager=manager)
+        # Shrink the heartbeat so the test observes one quickly.
+        import repro.service.http as http_module
+        original = http_module.EVENT_HEARTBEAT_SECONDS
+        http_module.EVENT_HEARTBEAT_SECONDS = 0.05
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        client = ServiceClient(f"http://127.0.0.1:{server.port}")
+        try:
+            job = client.submit(TINY_SPEC)
+            assert runner.started.acquire(timeout=10)
+            stream = client.iter_events(job["id"])
+            seen = [next(stream)["event"] for _ in range(4)]
+            assert "heartbeat" in seen
+            runner.release.release()
+            remaining = [event["event"] for event in stream]
+            assert remaining[-1] == "done"
+        finally:
+            http_module.EVENT_HEARTBEAT_SECONDS = original
+            server.shutdown()
+            server.server_close()
+            manager.shutdown()
+
+
+class TestEphemeralPortBinding:
+    """The service tests must never race over a fixed port: port=0 binding
+    exposes the kernel-chosen port on the server object, and two servers can
+    coexist in one process (as parallel test runs effectively do)."""
+
+    def test_port_zero_binds_an_ephemeral_port(self, tmp_path):
+        runner = GatedRunner()
+        manager = JobManager(
+            runner=runner,
+            artifacts=ArtifactStore(tmp_path / "a", max_bytes=1 << 20),
+        )
+        server = create_server(port=0, manager=manager)
+        try:
+            assert server.port != 0
+            assert server.server_address[1] == server.port
+        finally:
+            server.server_close()
+            manager.shutdown()
+
+    def test_two_servers_bind_distinct_ports_concurrently(self, tmp_path):
+        managers, servers = [], []
+        try:
+            for index in range(2):
+                manager = JobManager(
+                    runner=GatedRunner(),
+                    artifacts=ArtifactStore(tmp_path / str(index), max_bytes=1 << 20),
+                )
+                managers.append(manager)
+                server = create_server(port=0, manager=manager)
+                servers.append(server)
+                threading.Thread(target=server.serve_forever, daemon=True).start()
+            assert servers[0].port != servers[1].port
+            for server in servers:
+                client = ServiceClient(f"http://127.0.0.1:{server.port}")
+                assert client.healthz() == {"status": "ok"}
+        finally:
+            for server in servers:
+                server.shutdown()
+                server.server_close()
+            for manager in managers:
+                manager.shutdown()
 
 
 class TestServicePortKnob:

@@ -1,0 +1,150 @@
+"""Seeded-random round-trip tests for ScenarioSpec and CompositeSpec.
+
+Property-based in spirit but dependency-free: a deterministic
+``random.Random`` seed drives generators that build random *valid* specs, and
+every generated spec must survive encode -> decode -> encode bit-stably (the
+dict forms equal, the dataclass values equal, and the JSON text stable).
+A failure prints the offending seed so the case replays exactly.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro import registry
+from repro.scenarios import CompositeSpec, ScenarioSpec
+from repro.scenarios.spec import AXIS_NAMES, DRAM_INTERFACE_NAMES, SCENARIO_KINDS
+
+N_CASES = 60
+
+
+def random_scenario_dict(rng: random.Random, name: str = "fuzz") -> dict:
+    """One random, always-valid scenario spec as a plain dict."""
+    kind = rng.choice(SCENARIO_KINDS)
+    techniques = rng.sample(registry.accounting_techniques.names(),
+                            rng.randint(1, len(registry.accounting_techniques.names())))
+    policies = rng.sample(registry.partitioning_policies.names(),
+                          rng.randint(1, len(registry.partitioning_policies.names())))
+    core_counts = rng.sample([1, 2, 3, 4, 6, 8], rng.randint(1, 3))
+    groups = rng.sample(["H", "M", "L"], rng.randint(1, 3))
+    data = {
+        "name": f"{name}-{rng.randrange(1 << 30)}",
+        "kind": kind,
+        "machine": {
+            "core_counts": core_counts,
+            "llc_kilobytes": rng.choice([None, 32, 64, 128]),
+        },
+        "workloads": {
+            "generator": "category",
+            "groups": groups,
+            "per_group": rng.randint(1, 3),
+            "seed": rng.randint(-5, 1000),
+        },
+        "techniques": techniques,
+        "policies": policies,
+        "instructions_per_core": rng.randint(1000, 50_000),
+        "interval_instructions": rng.randint(500, 5000),
+        "repartition_interval_cycles": rng.choice(
+            [rng.randint(1000, 100_000), rng.uniform(1000.0, 100_000.0)]),
+        "collect_components": rng.choice([True, False]),
+        "description": "".join(rng.choice("abc xyz-_.,") for _ in range(rng.randint(0, 40))),
+    }
+    if rng.random() < 0.5:
+        data["policy_switch_cycles"] = rng.uniform(1000.0, 50_000.0)
+    if rng.random() < 0.6:
+        axes = []
+        for axis_name in rng.sample(AXIS_NAMES, rng.randint(1, len(AXIS_NAMES))):
+            if axis_name == "dram_interface":
+                values = rng.sample(DRAM_INTERFACE_NAMES,
+                                    rng.randint(1, len(DRAM_INTERFACE_NAMES)))
+            else:
+                values = rng.sample(range(1, 512), rng.randint(1, 3))
+            axes.append({"name": axis_name, "values": values})
+        data["axes"] = axes
+    return data
+
+
+def random_composite_dict(rng: random.Random) -> dict:
+    """One random, always-valid composite DAG (edges only point backwards)."""
+    n_nodes = rng.randint(1, 5)
+    nodes = []
+    for index in range(n_nodes):
+        spec = random_scenario_dict(rng, name=f"node{index}")
+        depends_on = [nodes[i]["name"] for i in range(index) if rng.random() < 0.4]
+        params = []
+        accuracy_deps = [dep for dep in depends_on
+                         if by_name(nodes, dep)["spec"]["kind"] == "accuracy"]
+        throughput_deps = [dep for dep in depends_on
+                           if by_name(nodes, dep)["spec"]["kind"] == "throughput"]
+        if accuracy_deps and rng.random() < 0.7:
+            params.append({
+                "into": "techniques",
+                "from": rng.choice(accuracy_deps),
+                "select": rng.choice(["best_technique", "ranked_techniques"]),
+            })
+        if throughput_deps and rng.random() < 0.7:
+            params.append({
+                "into": "policies",
+                "from": rng.choice(throughput_deps),
+                "select": rng.choice(["best_policy", "ranked_policies"]),
+            })
+        nodes.append({
+            "name": f"n{index}",
+            "spec": spec,
+            "depends_on": depends_on,
+            "params": params,
+        })
+    return {
+        "name": f"composite-{rng.randrange(1 << 30)}",
+        "description": "fuzzed composite",
+        "nodes": nodes,
+    }
+
+
+def by_name(nodes: list[dict], name: str) -> dict:
+    return next(node for node in nodes if node["name"] == name)
+
+
+@pytest.mark.parametrize("seed", range(N_CASES))
+def test_scenario_spec_round_trip_is_stable(seed):
+    rng = random.Random(seed)
+    data = random_scenario_dict(rng)
+    spec = ScenarioSpec.from_dict(data)
+    encoded = spec.to_dict()
+    again = ScenarioSpec.from_dict(json.loads(json.dumps(encoded)))
+    assert again == spec, f"seed {seed}: decode(encode(spec)) != spec"
+    assert again.to_dict() == encoded, f"seed {seed}: encode not stable"
+    assert json.dumps(again.to_dict(), sort_keys=True) == \
+        json.dumps(encoded, sort_keys=True), f"seed {seed}: JSON text drifted"
+
+
+@pytest.mark.parametrize("seed", range(N_CASES))
+def test_composite_spec_round_trip_is_stable(seed):
+    rng = random.Random(1_000_000 + seed)
+    data = random_composite_dict(rng)
+    composite = CompositeSpec.from_dict(data)
+    encoded = composite.to_dict()
+    again = CompositeSpec.from_dict(json.loads(json.dumps(encoded)))
+    assert again == composite, f"seed {seed}: decode(encode(composite)) != composite"
+    assert again.to_dict() == encoded, f"seed {seed}: encode not stable"
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_scenario_json_text_round_trip(seed):
+    """from_json(to_json(spec)) is the identity, through actual JSON text."""
+    rng = random.Random(2_000_000 + seed)
+    spec = ScenarioSpec.from_dict(random_scenario_dict(rng))
+    assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_composite_json_text_round_trip(seed):
+    rng = random.Random(3_000_000 + seed)
+    composite = CompositeSpec.from_dict(random_composite_dict(rng))
+    assert CompositeSpec.from_json(composite.to_json()) == composite
+    # The digest is a pure function of the value, so it round-trips too.
+    from repro.scenarios import composite_digest
+
+    assert composite_digest(CompositeSpec.from_json(composite.to_json())) == \
+        composite_digest(composite)
