@@ -29,6 +29,41 @@ class CacheKeyError(ReproError):
     """Raised when a value cannot be canonicalised into a result-cache key."""
 
 
+class TransientFaultError(ReproError):
+    """Raised for failures that are expected to succeed on retry.
+
+    The cell supervisor (:mod:`repro.experiments.supervisor`) retries
+    transient failures with exponential backoff; any other exception from an
+    evaluator is treated as permanent and surfaces immediately.
+    """
+
+
+class InjectedFaultError(TransientFaultError):
+    """A transient failure injected by a fault plan (:mod:`repro.faults`).
+
+    Defined here (not in ``faults.py``) so instances raised inside worker
+    processes pickle cleanly back across the process boundary.
+    """
+
+
+class CellTimeoutError(TransientFaultError):
+    """Raised when one sweep cell exceeds its wall-clock timeout budget.
+
+    Transient by classification: a timeout usually means a hung or starved
+    worker, so the supervisor kills the pool and retries the cell until its
+    attempt budget runs out.
+    """
+
+
+class JobCancelledError(ReproError):
+    """Raised inside a sweep when its cooperative cancel token is set.
+
+    ``run_parallel`` checks the token at cell boundaries; the scenario
+    service's dispatcher catches this to move a ``cancelling`` job to
+    ``cancelled`` without tearing anything down.
+    """
+
+
 class ServiceError(ReproError):
     """Raised when a scenario-service request cannot be satisfied."""
 

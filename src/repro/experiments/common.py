@@ -22,11 +22,19 @@ cells — every cell is an independent pure function of its arguments.
   selects the worker count); creating a pool per experiment would pay
   worker spawn and import cost once per figure.  Call
   :func:`shutdown_executor` for an explicit teardown (``run_all`` does).
-* **Scheduling** — tasks are submitted in chunks (``map`` with a computed
-  chunksize) and, when the caller provides a ``cost_key``, largest cells
-  first so a long cell cannot strand the pool's tail; results are always
-  returned in submission order, bit-identical to the serial fallback used
-  when ``jobs`` resolves to 1 or only one task is pending.
+* **Supervision** — each miss is submitted as its own future under a
+  supervisor that classifies failures (see
+  :mod:`repro.experiments.supervisor`): transient ones — injected faults,
+  cell timeouts, a broken pool — are retried with exponential backoff and
+  deterministic jitter, a broken pool is rebuilt and only still-unanswered
+  cells resubmitted, and evaluator bugs surface unretried.  A cooperative
+  cancel token stops the sweep at the next cell boundary.  Completed cells
+  are persisted to the result cache *as they finish*, so recovery after a
+  crash never recomputes a cell the cache can already answer.
+* **Scheduling** — when the caller provides a ``cost_key``, largest cells
+  are submitted first so a long cell cannot strand the pool's tail; results
+  are always returned in submission order, bit-identical to the serial
+  fallback used when ``jobs`` resolves to 1 or only one task is pending.
 """
 
 from __future__ import annotations
@@ -34,10 +42,24 @@ from __future__ import annotations
 import atexit
 import os
 import threading
+import time
 from collections.abc import Callable, Sequence
 
-from repro.errors import CacheKeyError, ConfigurationError
+from repro.errors import (
+    CacheKeyError,
+    CellTimeoutError,
+    ConfigurationError,
+    JobCancelledError,
+)
 from repro.config import CMPConfig
+from repro.experiments.supervisor import (
+    CancelToken,
+    RetryPolicy,
+    cell_timeout_from_env,
+    is_transient,
+    record,
+    retry_policy_from_env,
+)
 from repro.sim.result_cache import get_result_cache, is_cacheable_function, task_digest
 
 __all__ = [
@@ -52,9 +74,15 @@ __all__ = [
 # Scaled LLC capacity per core count, mirroring Table I's 8/8/16 MB.
 EXPERIMENT_LLC_KILOBYTES = {2: 128, 4: 128, 8: 256}
 
-# Target chunks per worker when chunking map submissions: small enough to
-# load-balance, large enough to amortise inter-process transfer.
-_CHUNKS_PER_WORKER = 4
+# How long the supervisor's completion wait sleeps between bookkeeping passes
+# (cancel checks, timeout scans, backoff expiry).  Pure overhead bound: a
+# fault-free sweep wakes up this often and finds nothing to do.
+_SUPERVISOR_TICK_SECONDS = 0.05
+
+# Consecutive pool rebuilds without a single completed cell before the
+# supervisor gives up — distinguishes "one worker died" (recoverable) from
+# "workers die on startup" (hopeless, e.g. an import crash in every child).
+_MAX_CONSECUTIVE_REBUILDS = 5
 
 
 def default_experiment_config(n_cores: int, llc_kilobytes: int | None = None) -> CMPConfig:
@@ -169,65 +197,271 @@ def shutdown_executor() -> None:
         executor.shutdown()
 
 
-def _star_call(payload):
-    """Top-level ``map`` adapter: apply a picklable function to one task tuple."""
-    function, args = payload
+def _terminate_executor() -> None:
+    """Kill the shared pool's workers and drop the pool (for hung cells).
+
+    :func:`shutdown_executor` waits for running tasks — useless against a
+    worker stuck inside a cell.  This variant SIGTERMs the worker processes
+    first, then discards the executor without waiting; the next
+    :func:`get_executor` call builds a fresh pool.
+    """
+    global _EXECUTOR, _EXECUTOR_WORKERS, _EXECUTOR_ENV_FINGERPRINT
+    with _EXECUTOR_LOCK:
+        executor, _EXECUTOR = _EXECUTOR, None
+        _EXECUTOR_WORKERS = 0
+        _EXECUTOR_ENV_FINGERPRINT = ""
+    if executor is None:
+        return
+    # _processes is an instance attribute of ProcessPoolExecutor (stable
+    # across supported CPythons, but reach for it defensively).
+    processes = getattr(executor, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except Exception:
+            pass
+    executor.shutdown(wait=False, cancel_futures=True)
+
+
+def _supervised_call(payload):
+    """Top-level worker adapter: run one cell, firing any scripted fault first.
+
+    ``payload`` is ``(function, args, cell, attempt, plan_dict)``.  The fault
+    plan travels *inside* the pickled payload — not via environment
+    inheritance — so injection is deterministic regardless of when the pool's
+    workers were spawned.  ``in_worker`` is detected from the process tree:
+    in the serial fallback this same adapter runs in the parent, where a
+    scripted worker crash must degrade to a transient error instead of
+    killing the caller.
+    """
+    function, args, cell, attempt, plan_dict = payload
+    if plan_dict is not None:
+        import multiprocessing
+
+        from repro.faults import FaultPlan
+
+        plan = FaultPlan.from_dict(plan_dict)
+        plan.inject(cell, attempt, in_worker=multiprocessing.parent_process() is not None)
     return function(*args)
 
 
-def _map_on_pool(function: Callable, tasks: list[tuple], workers: int,
-                 cost_key: Callable[[tuple], float] | None,
-                 on_result: Callable[[], None] | None = None) -> list:
-    """Fan tasks over the shared pool; results come back in task order.
+def _supervised_map(function: Callable, tasks: list[tuple], pending: list[int],
+                    workers: int, cost_key: Callable[[tuple], float] | None,
+                    policy: RetryPolicy, timeout: float | None,
+                    cancel: CancelToken | None, plan,
+                    on_value: Callable[[int, object], None],
+                    recheck: Callable[[int], tuple[bool, object]]) -> None:
+    """Supervised fan-out of the cells in ``pending`` over the shared pool.
 
-    With a ``cost_key``, tasks are *submitted* largest-first (stable order
-    for equal costs) so stragglers start early, then the result list is
-    permuted back to submission order — the output is bit-identical to the
-    serial evaluation because every cell is a pure function.  ``on_result``
-    is invoked (on the calling thread) once per completed task, in completion
-    order, for progress reporting.
+    Every cell is submitted as its own future (largest first under
+    ``cost_key``) and watched until answered:
+
+    * a completed future reports through ``on_value`` immediately — the
+      caller persists it to the result cache, so work done before a later
+      crash is never redone;
+    * a transient failure (injected fault, broken pool, timeout) charges the
+      cell one attempt and reschedules it after deterministic backoff,
+      re-checking the cache first via ``recheck``;
+    * a permanent evaluator failure — or a transient one out of attempt
+      budget — tears the pool down and surfaces;
+    * a set cancel token stops submissions, lets in-flight cells finish (and
+      be persisted), then raises :class:`JobCancelledError`;
+    * a cell running past ``timeout`` kills the pool's workers; the hung
+      cell is charged an attempt, innocent casualties are resubmitted free.
     """
-    order = list(range(len(tasks)))
+    plan_dict = plan.to_dict() if plan is not None else None
+    order = sorted(pending)
     if cost_key is not None:
+        # Stable sort: equal costs keep submission order deterministic.
         order.sort(key=lambda index: -cost_key(tasks[index]))
-        # Chunking a cost-sorted sequence would hand the heaviest cells to a
-        # single worker as one sequential chunk — the opposite of straggler
-        # avoidance.  Per-task dispatch keeps the expensive cells spread
-        # across workers; its IPC overhead is noise against simulation cells.
-        chunksize = 1
-    else:
-        chunksize = max(1, -(-len(tasks) // (workers * _CHUNKS_PER_WORKER)))
-    payloads = [(function, tasks[index]) for index in order]
-    mapped: list = []
-    for attempt in (0, 1):
-        pool = get_executor(workers)
-        try:
-            for value in pool.map(_star_call, payloads, chunksize=chunksize):
-                mapped.append(value)
-                if on_result is not None:
-                    on_result()
-            break
-        except RuntimeError as error:
-            # Another thread shut the shared pool down between our lookup and
-            # the submission (a concurrent run_all finishing does exactly
-            # that).  Nothing ran yet in that case, so rebuild the pool once
-            # and resubmit.  Only that specific failure retries: broken pools
-            # (BrokenProcessPool subclasses RuntimeError) and evaluator
-            # errors that happen to be RuntimeErrors must surface, not
-            # silently re-run the whole sweep.
-            shutdown_executor()
-            if (attempt or mapped
-                    or "cannot schedule new futures" not in str(error)):
-                raise
-        except BaseException:
-            # A broken pool (e.g. a worker killed by the OOM killer) poisons
-            # every later submission; drop it so the next call starts fresh.
-            shutdown_executor()
-            raise
-    results: list = [None] * len(tasks)
-    for position, index in enumerate(order):
-        results[index] = mapped[position]
-    return results
+
+    unanswered = set(pending)
+    attempts = dict.fromkeys(pending, 0)
+    ready = list(order)                 # cells to (re)submit, in order
+    delayed: list[tuple[float, int]] = []  # (monotonic ready time, cell)
+    active: dict = {}                   # future -> cell
+    started: dict = {}                  # future -> monotonic start time
+    rebuilds_without_progress = 0
+
+    from concurrent.futures import FIRST_COMPLETED, wait as wait_futures
+    from concurrent.futures.process import BrokenProcessPool
+
+    def _answer(cell: int, value) -> None:
+        nonlocal rebuilds_without_progress
+        unanswered.discard(cell)
+        rebuilds_without_progress = 0
+        on_value(cell, value)
+
+    def _reschedule(cell: int, error: BaseException) -> None:
+        """Charge one attempt for a transient failure; requeue or give up."""
+        attempt = attempts[cell]
+        if not policy.allows_retry(attempt):
+            raise error
+        attempts[cell] = attempt + 1
+        record(retries=1)
+        hit, value = recheck(cell)
+        if hit:
+            _answer(cell, value)
+            return
+        delay = policy.backoff_seconds(cell, attempt)
+        delayed.append((time.monotonic() + delay, cell))
+
+    def _rebuild_pool() -> None:
+        nonlocal rebuilds_without_progress
+        rebuilds_without_progress += 1
+        record(pool_rebuilds=1)
+        if rebuilds_without_progress > _MAX_CONSECUTIVE_REBUILDS:
+            raise RuntimeError(
+                "process pool kept breaking without completing a single cell "
+                f"({_MAX_CONSECUTIVE_REBUILDS} consecutive rebuilds); giving up"
+            )
+
+    def _requeue_active(casualties: dict, culprit: int | None,
+                        culprit_error: BaseException | None) -> None:
+        """Resubmit in-flight cells after a pool teardown.
+
+        Completed-but-uncollected futures keep their results; the culprit
+        (if named) is charged an attempt; everyone else requeues for free.
+        """
+        for future, cell in casualties.items():
+            if future.done() and not future.cancelled() and future.exception() is None:
+                _answer(cell, future.result())
+            elif cell == culprit and culprit_error is not None:
+                _reschedule(cell, culprit_error)
+            elif cell in unanswered:
+                hit, value = recheck(cell)
+                if hit:
+                    _answer(cell, value)
+                else:
+                    ready.append(cell)
+
+    try:
+        while unanswered:
+            if cancel is not None and cancel.cancelled:
+                # Cooperative stop: no new submissions, but in-flight cells
+                # run to completion so their results reach the cache.
+                for future in active:
+                    future.cancel()
+                for future, cell in active.items():
+                    if future.cancelled():
+                        continue
+                    try:
+                        _answer(cell, future.result())
+                    except BaseException:
+                        pass  # a failing cell cannot matter: we're cancelling
+                record(cancelled=1)
+                raise JobCancelledError("sweep cancelled at cell boundary")
+
+            now = time.monotonic()
+            if delayed:
+                due = sorted(entry for entry in delayed if entry[0] <= now)
+                delayed = [entry for entry in delayed if entry[0] > now]
+                ready.extend(cell for _when, cell in due)
+
+            while ready:
+                cell = ready.pop(0)
+                if cell not in unanswered:
+                    continue
+                payload = (function, tasks[cell], cell, attempts[cell], plan_dict)
+                pool = get_executor(workers)
+                try:
+                    future = pool.submit(_supervised_call, payload)
+                except RuntimeError as error:
+                    if "cannot schedule new futures" not in str(error):
+                        raise
+                    # Another thread shut the shared pool down between our
+                    # lookup and the submission (a concurrent run_all
+                    # finishing does exactly that): rebuild and resubmit.
+                    shutdown_executor()
+                    _rebuild_pool()
+                    ready.insert(0, cell)
+                    continue
+                active[future] = cell
+                if future.running():
+                    started[future] = time.monotonic()
+
+            if not active:
+                if not (delayed or ready):
+                    # Nothing in flight, nothing scheduled, yet cells remain:
+                    # cannot happen unless the bookkeeping above is wrong.
+                    raise RuntimeError("supervisor stalled with unanswered cells")
+                time.sleep(_SUPERVISOR_TICK_SECONDS)
+                continue
+
+            done, _running = wait_futures(
+                list(active), timeout=_SUPERVISOR_TICK_SECONDS,
+                return_when=FIRST_COMPLETED,
+            )
+
+            pool_broke = False
+            for future in done:
+                cell = active.pop(future)
+                started.pop(future, None)
+                if future.cancelled():
+                    if cell in unanswered:
+                        ready.append(cell)
+                    continue
+                error = future.exception()
+                if error is None:
+                    _answer(cell, future.result())
+                elif isinstance(error, BrokenProcessPool):
+                    # The pool is dead; every other in-flight future is about
+                    # to fail the same way.  Handle them all at once below.
+                    pool_broke = True
+                    _reschedule(cell, error)
+                elif is_transient(error):
+                    _reschedule(cell, error)
+                else:
+                    record(permanent_failures=1)
+                    raise error
+
+            if pool_broke:
+                casualties, active, started = dict(active), {}, {}
+                shutdown_executor()
+                _rebuild_pool()
+                for future, cell in casualties.items():
+                    error = None if not future.done() or future.cancelled() \
+                        else future.exception()
+                    if future.done() and not future.cancelled() and error is None:
+                        _answer(cell, future.result())
+                    elif isinstance(error, BrokenProcessPool):
+                        _reschedule(cell, error)
+                    elif cell in unanswered:
+                        ready.append(cell)
+                continue
+
+            if timeout is not None and active:
+                now = time.monotonic()
+                hung: int | None = None
+                for future, cell in active.items():
+                    if future not in started:
+                        if future.running():
+                            started[future] = now
+                    elif now - started[future] > timeout:
+                        hung = cell
+                        break
+                if hung is not None:
+                    record(timeouts=1)
+                    casualties, active, started = dict(active), {}, {}
+                    _terminate_executor()
+                    _rebuild_pool()
+                    _requeue_active(
+                        casualties, culprit=hung,
+                        culprit_error=CellTimeoutError(
+                            f"cell {hung} exceeded its {timeout:g}s budget"
+                        ),
+                    )
+    except JobCancelledError:
+        # The workers are healthy, the job just isn't wanted any more; keep
+        # the pool warm for the next sweep.
+        raise
+    except BaseException:
+        # A broken or abandoned pool poisons every later submission; drop it
+        # so the next call starts fresh.
+        for future in active:
+            future.cancel()
+        shutdown_executor()
+        raise
 
 
 # ------------------------------------------------------------------ cached fan-out
@@ -237,14 +471,16 @@ def run_parallel(function: Callable, argument_tuples: Sequence[tuple],
                  jobs: int | None = None,
                  cost_key: Callable[[tuple], float] | None = None,
                  cache: bool = True,
-                 progress: Callable[[int, int], None] | None = None) -> list:
+                 progress: Callable[[int, int], None] | None = None,
+                 cancel: CancelToken | None = None,
+                 fault_plan=None) -> list:
     """Apply ``function`` to every argument tuple, in order, possibly in parallel.
 
     ``function`` must be a picklable top-level callable and a pure function of
     its arguments (every experiment cell evaluator is).  Results are returned
     in submission order, so the output is bit-identical to the serial
     ``[function(*args) for args in argument_tuples]`` fallback regardless of
-    worker count, scheduling order or cache state.
+    worker count, scheduling order, cache state or injected faults.
 
     Results of functions defined in the ``repro`` package are transparently
     memoised in the content-addressed result cache (see
@@ -256,7 +492,24 @@ def run_parallel(function: Callable, argument_tuples: Sequence[tuple],
     the calling thread — once up front (cache hits count as completed) and
     once per task as results arrive — so long-running sweeps can report
     per-cell progress (the scenario service's job status does).
+
+    Execution is *supervised*: transient failures retry with backoff
+    (``REPRO_CELL_RETRIES``), cells may carry a wall-clock budget
+    (``REPRO_CELL_TIMEOUT``, parallel path only — a hung in-process cell
+    cannot be preempted), a broken pool is rebuilt and only unanswered cells
+    resubmitted, and completed cells are persisted as they finish.
+    ``cancel``, when given, is checked at cell boundaries and raises
+    :class:`~repro.errors.JobCancelledError`.  ``fault_plan`` (default: the
+    ``REPRO_FAULT_PLAN`` environment plan, if any) injects deterministic
+    faults at chosen cell indices — indices count positions in
+    ``argument_tuples``.
     """
+    if cancel is not None:
+        cancel.raise_if_cancelled()
+    if fault_plan is None:
+        from repro.faults import plan_from_env
+
+        fault_plan = plan_from_env()
     tasks = list(argument_tuples)
     if not tasks:
         if progress is not None:
@@ -303,25 +556,58 @@ def run_parallel(function: Callable, argument_tuples: Sequence[tuple],
         progress(completed, total)
 
     if pending:
-        miss_tasks = [tasks[index] for index in pending]
+        policy = retry_policy_from_env()
 
-        def _one_done() -> None:
+        def _deliver(index: int, value) -> None:
+            """Record one answered cell: result slot, cache persist, progress.
+
+            Persisting *here* — as each cell completes, not after the whole
+            sweep — is what makes recovery cheap: a crash mid-sweep leaves
+            every finished cell answerable from the cache.
+            """
             nonlocal completed
-            completed += 1
-            progress(completed, total)
-
-        on_result = None if progress is None else _one_done
-        if workers <= 1 or len(miss_tasks) <= 1:
-            computed = []
-            for args in miss_tasks:
-                computed.append(function(*args))
-                if on_result is not None:
-                    on_result()
-        else:
-            computed = _map_on_pool(function, miss_tasks, workers, cost_key,
-                                    on_result=on_result)
-        for index, value in zip(pending, computed):
             results[index] = value
             if use_cache:
                 result_cache.put(digests[index], value)
+                if fault_plan is not None:
+                    fault_plan.corrupt_cache_entry(result_cache, digests[index], index)
+            completed += 1
+            if progress is not None:
+                progress(completed, total)
+
+        def _recheck(index: int) -> tuple[bool, object]:
+            if not use_cache:
+                return False, None
+            return result_cache.get(digests[index])
+
+        if workers <= 1 or len(pending) <= 1:
+            # Serial fallback: same supervision minus the timeout (an
+            # in-process cell cannot be preempted) and minus the pool.
+            plan_dict = fault_plan.to_dict() if fault_plan is not None else None
+            for index in pending:
+                if cancel is not None and cancel.cancelled:
+                    record(cancelled=1)
+                    raise JobCancelledError("sweep cancelled at cell boundary")
+                attempt = 0
+                while True:
+                    try:
+                        value = _supervised_call(
+                            (function, tasks[index], index, attempt, plan_dict)
+                        )
+                        break
+                    except BaseException as error:
+                        if not is_transient(error):
+                            record(permanent_failures=1)
+                            raise
+                        if not policy.allows_retry(attempt):
+                            raise
+                        record(retries=1)
+                        time.sleep(policy.backoff_seconds(index, attempt))
+                        attempt += 1
+                _deliver(index, value)
+        else:
+            _supervised_map(function, tasks, pending, workers, cost_key,
+                            policy=policy, timeout=cell_timeout_from_env(),
+                            cancel=cancel, plan=fault_plan,
+                            on_value=_deliver, recheck=_recheck)
     return results

@@ -1,0 +1,243 @@
+"""Supervision primitives for fault-tolerant cell execution.
+
+:func:`repro.experiments.common.run_parallel` fans sweep cells over a shared
+process pool; this module supplies the pieces that keep that fan-out alive
+when cells misbehave:
+
+* :class:`CancelToken` — a thread-safe flag checked at cell boundaries, so a
+  running sweep can be cancelled cooperatively (the scenario service's
+  ``DELETE`` on a running job sets it).
+* :class:`RetryPolicy` — attempt budget plus exponential backoff with
+  *deterministic* jitter (derived from the (cell, attempt) pair, never from
+  ``random``), so two runs of the same faulted sweep behave identically.
+* :func:`is_transient` — the failure taxonomy: subclasses of
+  :class:`~repro.errors.TransientFaultError` (injected faults, cell
+  timeouts) and broken-pool failures retry; anything else an evaluator
+  raises is a genuine bug in the cell and surfaces immediately.
+* :class:`SupervisorStats` — process-wide counters (retries, timeouts, pool
+  rebuilds, cancelled sweeps) surfaced by the service's ``GET /stats``.
+
+Knobs
+-----
+``REPRO_CELL_RETRIES``
+    Maximum *additional* attempts per cell after the first (default 3;
+    0 disables retry entirely).
+``REPRO_CELL_TIMEOUT``
+    Per-cell wall-clock budget in seconds, measured from the moment the cell
+    actually starts running in a worker (default: no timeout).  On expiry
+    the worker is presumed hung: the pool is torn down and every unanswered
+    cell is resubmitted, with the timed-out cell charged one attempt.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, JobCancelledError, TransientFaultError
+
+__all__ = [
+    "CancelToken",
+    "DEFAULT_CELL_RETRIES",
+    "RetryPolicy",
+    "SupervisorStats",
+    "cell_timeout_from_env",
+    "is_transient",
+    "reset_supervisor_stats",
+    "retry_policy_from_env",
+    "supervisor_stats",
+]
+
+DEFAULT_CELL_RETRIES = 3
+
+# Backoff shape: base * 2^(attempt-1), capped, plus up to `jitter` fraction.
+DEFAULT_BACKOFF_BASE_SECONDS = 0.05
+DEFAULT_BACKOFF_CAP_SECONDS = 2.0
+DEFAULT_JITTER_FRACTION = 0.25
+
+
+class CancelToken:
+    """A cooperative cancellation flag shared between threads.
+
+    The service's dispatcher hands one to ``run_parallel`` via
+    ``run_scenario``; the HTTP ``DELETE`` handler sets it.  The sweep checks
+    it at cell boundaries (never mid-simulation) and raises
+    :class:`~repro.errors.JobCancelledError`, so cancellation is prompt —
+    within one cell — but never leaves a half-written cache entry behind.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self):
+        self._event = threading.Event()
+
+    def cancel(self) -> None:
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+    def raise_if_cancelled(self) -> None:
+        if self._event.is_set():
+            raise JobCancelledError("sweep cancelled at cell boundary")
+
+
+def is_transient(error: BaseException) -> bool:
+    """Whether ``error`` should be retried by the cell supervisor.
+
+    Transient: the explicit :class:`TransientFaultError` taxonomy (injected
+    faults, cell timeouts) and process-pool breakage
+    (:class:`concurrent.futures.process.BrokenProcessPool` — a dead worker
+    says nothing about the cell it happened to be running).  Everything else
+    is the evaluator's own fault and must surface unretried — retrying a
+    deterministic ``ZeroDivisionError`` three times just triples the time to
+    the same traceback.
+    """
+    from concurrent.futures.process import BrokenProcessPool
+
+    return isinstance(error, (TransientFaultError, BrokenProcessPool))
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Attempt budget and deterministic backoff for one sweep's cells."""
+
+    max_retries: int = DEFAULT_CELL_RETRIES
+    backoff_base_seconds: float = DEFAULT_BACKOFF_BASE_SECONDS
+    backoff_cap_seconds: float = DEFAULT_BACKOFF_CAP_SECONDS
+    jitter_fraction: float = DEFAULT_JITTER_FRACTION
+
+    @property
+    def max_attempts(self) -> int:
+        return self.max_retries + 1
+
+    def allows_retry(self, attempt: int) -> bool:
+        """Whether a failure on ``attempt`` (0-based) leaves budget for another."""
+        return attempt + 1 < self.max_attempts
+
+    def backoff_seconds(self, cell: int, attempt: int) -> float:
+        """Delay before re-running ``cell`` after a failure on ``attempt``.
+
+        Exponential in the attempt number, capped, with jitter derived from
+        a hash of (cell, attempt) rather than a PRNG: concurrent retries of
+        different cells still spread out, while the schedule of any given
+        faulted run is exactly reproducible.
+        """
+        if attempt < 0:
+            return 0.0
+        base = min(
+            self.backoff_base_seconds * (2.0 ** attempt),
+            self.backoff_cap_seconds,
+        )
+        if self.jitter_fraction <= 0:
+            return base
+        material = f"repro-backoff:{cell}:{attempt}".encode("ascii")
+        bucket = int.from_bytes(hashlib.sha256(material).digest()[:4], "big")
+        fraction = bucket / 0xFFFFFFFF
+        return base * (1.0 + self.jitter_fraction * fraction)
+
+
+def retry_policy_from_env() -> RetryPolicy:
+    """The retry policy selected by ``REPRO_CELL_RETRIES`` (default 3)."""
+    env = os.environ.get("REPRO_CELL_RETRIES")
+    if env is None or env.strip() == "":
+        return RetryPolicy()
+    try:
+        retries = int(env)
+    except ValueError:
+        raise ConfigurationError(
+            f"REPRO_CELL_RETRIES must be a non-negative integer, got {env!r}"
+        ) from None
+    if retries < 0:
+        raise ConfigurationError(
+            f"REPRO_CELL_RETRIES must be a non-negative integer, got {env!r}"
+        )
+    return RetryPolicy(max_retries=retries)
+
+
+def cell_timeout_from_env() -> float | None:
+    """The per-cell wall-clock budget from ``REPRO_CELL_TIMEOUT`` (seconds).
+
+    Unset/empty means no timeout — the historical behaviour, and the right
+    default for interactive runs where a long cell is usually just a big
+    simulation, not a hang.
+    """
+    env = os.environ.get("REPRO_CELL_TIMEOUT")
+    if env is None or env.strip() == "":
+        return None
+    try:
+        seconds = float(env)
+    except ValueError:
+        raise ConfigurationError(
+            f"REPRO_CELL_TIMEOUT must be a positive number of seconds, got {env!r}"
+        ) from None
+    if seconds <= 0:
+        raise ConfigurationError(
+            f"REPRO_CELL_TIMEOUT must be a positive number of seconds, got {env!r}"
+        )
+    return seconds
+
+
+# ------------------------------------------------------------------- counters
+
+
+@dataclass
+class SupervisorStats:
+    """Process-wide counters of supervised-execution events.
+
+    ``retries``
+        Cell attempts re-run after a transient failure.
+    ``timeouts``
+        Cells whose wall-clock budget expired (each also counts a retry when
+        budget remained).
+    ``pool_rebuilds``
+        Process pools torn down and rebuilt after breakage or a timeout kill.
+    ``permanent_failures``
+        Evaluator exceptions classified permanent and surfaced to the caller.
+    ``cancelled``
+        Sweeps stopped at a cell boundary by a cancel token.
+    """
+
+    retries: int = 0
+    timeouts: int = 0
+    pool_rebuilds: int = 0
+    permanent_failures: int = 0
+    cancelled: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "pool_rebuilds": self.pool_rebuilds,
+            "permanent_failures": self.permanent_failures,
+            "cancelled": self.cancelled,
+        }
+
+
+_stats = SupervisorStats()
+_stats_lock = threading.Lock()
+
+
+def supervisor_stats() -> SupervisorStats:
+    """The process-wide supervisor counters (shared, mutated under a lock)."""
+    return _stats
+
+
+def reset_supervisor_stats() -> None:
+    """Zero the counters (tests)."""
+    with _stats_lock:
+        _stats.retries = 0
+        _stats.timeouts = 0
+        _stats.pool_rebuilds = 0
+        _stats.permanent_failures = 0
+        _stats.cancelled = 0
+
+
+def record(**deltas: int) -> None:
+    """Bump supervisor counters atomically: ``record(retries=1, timeouts=1)``."""
+    with _stats_lock:
+        for name, delta in deltas.items():
+            setattr(_stats, name, getattr(_stats, name) + delta)

@@ -1,0 +1,282 @@
+"""Deterministic fault injection for the supervised execution layer.
+
+A :class:`FaultPlan` is a seeded, JSON-round-trippable description of
+failures to inject at chosen sweep-cell indices — the chaos tests (and the CI
+chaos smoke job) drive the retry/timeout/journal machinery with *scripted*
+faults instead of hoping a race shows up.  Because every fault names the cell
+index and the attempt window it fires in, a faulted run is exactly
+reproducible: same plan, same failures, same recovery path.
+
+Fault kinds
+-----------
+``worker_crash``
+    The worker process evaluating the cell hard-exits (``os._exit``), which
+    breaks the whole process pool — the supervisor must rebuild it and
+    resubmit every unanswered cell.  Degrades to a transient error when the
+    cell is evaluated in-process (serial fallback), where killing the worker
+    would kill the caller.
+``transient_error``
+    The evaluator raises :class:`~repro.errors.InjectedFaultError`, the
+    canonical retryable failure.
+``slow_cell``
+    The evaluator sleeps ``delay_seconds`` before computing, so a per-cell
+    wall-clock timeout can be driven deterministically.
+``corrupt_cache_entry``
+    After the cell's result is persisted, its content-addressed cache shard
+    is overwritten with garbage — exercising the quarantine path on the next
+    read.  Applied by the supervisor in the parent process.
+
+Activation
+----------
+Plans reach the supervisor two ways: the ``fault_plan`` field of a
+:class:`~repro.scenarios.spec.ScenarioSpec` (travels with the spec through
+the service), or the ``REPRO_FAULT_PLAN`` environment variable holding either
+inline JSON or a path to a JSON file (``@path`` also accepted).  A spec-level
+plan wins over the environment.  Cell indices refer to positions in the
+sweep's expanded task order; a cell already answered by the cache never
+executes, so faults aimed at it simply never fire.
+
+Faults never change *results*: retries converge on the same payload a
+fault-free run produces, cache digests ignore the plan entirely, and
+injection happens outside the evaluator's arguments.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, InjectedFaultError
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "plan_from_env",
+]
+
+FAULT_KINDS = (
+    "worker_crash",
+    "transient_error",
+    "slow_cell",
+    "corrupt_cache_entry",
+)
+
+# Exit status used by injected worker crashes; distinctive enough to spot in
+# logs, irrelevant to the parent (a dead worker is a BrokenProcessPool either
+# way).
+WORKER_CRASH_EXIT_CODE = 70
+
+
+def _is_positive_int(value) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool) and value > 0
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scripted fault: ``kind`` fired at ``cell`` for the first
+    ``attempts`` attempts (attempt numbers 0..attempts-1)."""
+
+    kind: str
+    cell: int
+    attempts: int = 1
+    delay_seconds: float = 0.0
+
+    def validate(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind '{self.kind}' "
+                f"(expected one of: {', '.join(FAULT_KINDS)})"
+            )
+        if not isinstance(self.cell, int) or isinstance(self.cell, bool) or self.cell < 0:
+            raise ConfigurationError(
+                f"fault cell must be a non-negative integer, got {self.cell!r}"
+            )
+        if not _is_positive_int(self.attempts):
+            raise ConfigurationError(
+                f"fault attempts must be a positive integer, got {self.attempts!r}"
+            )
+        if (not isinstance(self.delay_seconds, (int, float))
+                or isinstance(self.delay_seconds, bool) or self.delay_seconds < 0):
+            raise ConfigurationError(
+                f"fault delay_seconds must be a non-negative number, "
+                f"got {self.delay_seconds!r}"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "cell": self.cell,
+            "attempts": self.attempts,
+            "delay_seconds": self.delay_seconds,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "FaultSpec":
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                f"each fault must be a JSON object, got {type(data).__name__}"
+            )
+        unknown = sorted(set(data) - {"kind", "cell", "attempts", "delay_seconds"})
+        if unknown:
+            raise ConfigurationError(
+                f"unknown fault field(s): {', '.join(str(k) for k in unknown)}"
+            )
+        if "kind" not in data or "cell" not in data:
+            raise ConfigurationError("each fault needs 'kind' and 'cell'")
+        spec = FaultSpec(
+            kind=data["kind"],
+            cell=data["cell"],
+            attempts=data.get("attempts", 1),
+            delay_seconds=data.get("delay_seconds", 0.0),
+        )
+        spec.validate()
+        return spec
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded set of scripted faults, addressable by (cell, attempt)."""
+
+    faults: tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    def validate(self) -> None:
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise ConfigurationError("fault plan seed must be an integer")
+        for fault in self.faults:
+            fault.validate()
+
+    def fault_for(self, cell: int, attempt: int,
+                  kinds: tuple[str, ...] | None = None) -> FaultSpec | None:
+        """The first fault scripted for this (cell, attempt), if any."""
+        for fault in self.faults:
+            if fault.cell != cell or attempt >= fault.attempts:
+                continue
+            if kinds is not None and fault.kind not in kinds:
+                continue
+            return fault
+        return None
+
+    # ------------------------------------------------------------- injection
+
+    def inject(self, cell: int, attempt: int, in_worker: bool) -> None:
+        """Fire any evaluator-side fault scripted for this cell attempt.
+
+        Called immediately before the cell's evaluator runs — inside the
+        worker process on the parallel path (``in_worker=True``), on the
+        calling thread for the serial fallback.  ``worker_crash`` hard-exits
+        only when genuinely inside a worker; in-process it degrades to the
+        same retryable :class:`InjectedFaultError` a ``transient_error``
+        raises, so serial chaos runs still exercise the retry path instead of
+        killing the test process.
+        """
+        fault = self.fault_for(
+            cell, attempt, kinds=("worker_crash", "transient_error", "slow_cell")
+        )
+        if fault is None:
+            return
+        if fault.kind == "slow_cell":
+            time.sleep(fault.delay_seconds)
+            return
+        if fault.kind == "worker_crash" and in_worker:
+            os._exit(WORKER_CRASH_EXIT_CODE)
+        raise InjectedFaultError(
+            f"injected {fault.kind} at cell {cell} attempt {attempt} "
+            f"(plan seed {self.seed})"
+        )
+
+    def corrupt_cache_entry(self, cache, digest: str, cell: int) -> bool:
+        """Overwrite the cell's just-persisted cache shard with garbage.
+
+        Parent-side injection for the ``corrupt_cache_entry`` kind; returns
+        True when a corruption was applied.  The garbage is derived from the
+        plan seed so two runs of the same plan corrupt identically.
+        """
+        fault = self.fault_for(cell, 0, kinds=("corrupt_cache_entry",))
+        if fault is None:
+            return False
+        path = cache.entry_path(digest)
+        try:
+            path.write_bytes(b"\x80repro-injected-corruption:"
+                             + str(self.seed).encode("ascii"))
+        except OSError:
+            return False
+        return True
+
+    # ------------------------------------------------------------ round-trip
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "faults": [fault.to_dict() for fault in self.faults],
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "FaultPlan":
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                f"a fault plan must be a JSON object, got {type(data).__name__}"
+            )
+        unknown = sorted(set(data) - {"seed", "faults"})
+        if unknown:
+            raise ConfigurationError(
+                f"unknown fault plan field(s): {', '.join(str(k) for k in unknown)}"
+            )
+        faults = data.get("faults", ())
+        if not isinstance(faults, (list, tuple)):
+            raise ConfigurationError("fault plan 'faults' must be a JSON array")
+        plan = FaultPlan(
+            faults=tuple(FaultSpec.from_dict(fault) for fault in faults),
+            seed=data.get("seed", 0),
+        )
+        plan.validate()
+        return plan
+
+    @staticmethod
+    def from_json(text: str) -> "FaultPlan":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ConfigurationError(
+                f"fault plan is not valid JSON: {error}"
+            ) from None
+        return FaultPlan.from_dict(data)
+
+
+# ------------------------------------------------------------- environment
+
+# (raw env value, parsed plan) — plans are tiny, but run_parallel consults the
+# environment once per sweep and tests flip the knob repeatedly.
+_cached_env_plan: tuple[str, FaultPlan | None] | None = None
+
+
+def plan_from_env() -> FaultPlan | None:
+    """The plan selected by ``REPRO_FAULT_PLAN`` (inline JSON or a file path).
+
+    Unset/empty means no injection (the production default).  A value
+    starting with ``{`` is parsed inline; anything else — optionally prefixed
+    with ``@`` — is read as a path to a JSON plan file.
+    """
+    global _cached_env_plan
+    raw = os.environ.get("REPRO_FAULT_PLAN", "").strip()
+    if _cached_env_plan is not None and _cached_env_plan[0] == raw:
+        return _cached_env_plan[1]
+    if not raw:
+        plan = None
+    elif raw.startswith("{"):
+        plan = FaultPlan.from_json(raw)
+    else:
+        path = raw[1:] if raw.startswith("@") else raw
+        try:
+            with open(path, encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as error:
+            raise ConfigurationError(
+                f"cannot read REPRO_FAULT_PLAN file {path}: {error}"
+            ) from None
+        plan = FaultPlan.from_json(text)
+    _cached_env_plan = (raw, plan)
+    return plan

@@ -56,8 +56,13 @@ def scenario_digest(spec: ScenarioSpec) -> str:
     from repro.sim.result_cache import content_digest
     from repro.sim.system import resolved_batch_cycles
 
+    material = spec.to_dict()
+    # Fault plans script the execution path, never the result: a faulted run
+    # must address the same artifact as its fault-free twin (the chaos tests
+    # assert bit-identical payloads across the two).
+    material.pop("fault_plan", None)
     return content_digest(
-        "scenario-result", spec.to_dict(),
+        "scenario-result", material,
         extra=("batch_cycles", repr(resolved_batch_cycles())),
     )
 
@@ -169,7 +174,13 @@ class ScenarioResult:
         ``interference_attribution`` and the sampled policy/IPC traces for
         ``policy_switching``.
         """
-        payload = {"scenario": self.spec.to_dict(), "tables": self.tables()}
+        # An injected fault plan never changes what a scenario computes (the
+        # contract in :mod:`repro.faults`), so it must not change the
+        # serialised payload either: faulted and fault-free runs of the same
+        # scenario stay bit-identical and share one artifact-cache entry.
+        spec_payload = self.spec.to_dict()
+        spec_payload.pop("fault_plan", None)
+        payload = {"scenario": spec_payload, "tables": self.tables()}
         details = self.details()
         if details:
             payload["details"] = details
@@ -438,23 +449,31 @@ def expand_cells(spec: ScenarioSpec,
 def run_scenario(spec: ScenarioSpec, jobs: int | None = None,
                  config_factory=default_experiment_config,
                  cache: bool = True,
-                 progress: Callable[[int, int], None] | None = None) -> ScenarioResult:
+                 progress: Callable[[int, int], None] | None = None,
+                 cancel=None) -> ScenarioResult:
     """Execute every cell of a scenario and group the raw results.
 
     All cells — across groups, core counts and axis values — are flattened
     into one task list and fanned through
     :func:`repro.experiments.common.run_parallel`, so they share the
-    persistent process pool, largest-cells-first scheduling and the
-    content-addressed result cache.  Results are deterministic and
-    independent of the worker count.  ``progress`` is forwarded to
-    :func:`run_parallel` and reports completed/total sweep cells.
+    persistent process pool, largest-cells-first scheduling, the
+    content-addressed result cache and the cell supervisor's retry/timeout
+    machinery.  Results are deterministic and independent of the worker
+    count.  ``progress`` is forwarded to :func:`run_parallel` and reports
+    completed/total sweep cells; ``cancel`` (a
+    :class:`~repro.experiments.supervisor.CancelToken`) stops the sweep at
+    the next cell boundary with :class:`~repro.errors.JobCancelledError`.
+
+    A ``spec.fault_plan`` wins over any ``REPRO_FAULT_PLAN`` environment
+    plan; its cell indices address positions in :func:`expand_cells` order.
     """
     spec.validate()
     evaluator, cost_key = EVALUATORS[spec.kind]
     cells = expand_cells(spec, config_factory=config_factory)
     outcomes = run_parallel(
         evaluator, [cell.task for cell in cells], jobs=jobs, cost_key=cost_key,
-        cache=cache, progress=progress,
+        cache=cache, progress=progress, cancel=cancel,
+        fault_plan=spec.fault_plan,
     )
     result = ScenarioResult(spec=spec)
     for cell, outcome in zip(cells, outcomes):

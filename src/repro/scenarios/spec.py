@@ -15,6 +15,7 @@ import json
 from dataclasses import dataclass, field, fields, replace
 
 from repro.errors import ConfigurationError
+from repro.faults import FaultPlan
 from repro import registry
 
 __all__ = [
@@ -231,6 +232,11 @@ class ScenarioSpec:
     policy_switch_cycles: float | None = None
     collect_components: bool = False
     description: str = ""
+    # Deterministic fault injection for chaos testing (:mod:`repro.faults`).
+    # Deliberately excluded from :func:`~repro.scenarios.runner.scenario_digest`:
+    # faults change the execution path, never the result, so a faulted run
+    # must share cache entries and artifacts with its fault-free twin.
+    fault_plan: FaultPlan | None = None
 
     def validate(self) -> None:
         """Raise :class:`ConfigurationError` on the first invalid field."""
@@ -294,6 +300,13 @@ class ScenarioSpec:
             )
         if not isinstance(self.description, str):
             raise ConfigurationError("description must be a string")
+        if self.fault_plan is not None:
+            if not isinstance(self.fault_plan, FaultPlan):
+                raise ConfigurationError(
+                    "fault_plan must be a FaultPlan (build one with "
+                    "FaultPlan.from_dict)"
+                )
+            self.fault_plan.validate()
 
     def _validate_groups(self) -> None:
         """Check group names against the *built-in* workload generators.
@@ -330,7 +343,7 @@ class ScenarioSpec:
 
     def to_dict(self) -> dict:
         """A JSON-serialisable dict that :meth:`from_dict` restores exactly."""
-        return {
+        payload = {
             "name": self.name,
             "kind": self.kind,
             "machine": {
@@ -355,6 +368,10 @@ class ScenarioSpec:
             "collect_components": self.collect_components,
             "description": self.description,
         }
+        # Omitted when unset so pre-existing specs round-trip byte-identically.
+        if self.fault_plan is not None:
+            payload["fault_plan"] = self.fault_plan.to_dict()
+        return payload
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent)
@@ -382,6 +399,8 @@ class ScenarioSpec:
             overrides["policies"] = _as_tuple(data["policies"], coerce=str)
         if "axes" in data:
             overrides["axes"] = tuple(SweepAxis.from_dict(axis) for axis in data["axes"])
+        if data.get("fault_plan") is not None:
+            overrides["fault_plan"] = FaultPlan.from_dict(data["fault_plan"])
         for scalar in ("instructions_per_core", "interval_instructions",
                        "repartition_interval_cycles", "policy_switch_cycles",
                        "collect_components", "description"):

@@ -9,13 +9,16 @@ requests over HTTP (``python -m repro serve``):
 * :mod:`repro.service.artifacts` — LRU-bounded disk store of whole-scenario
   result payloads (the scenario-level cache above the cell-level one),
 * :mod:`repro.service.http` — the stdlib ``ThreadingHTTPServer`` API,
-* :mod:`repro.service.client` — the urllib client used by tests and tools.
+* :mod:`repro.service.client` — the urllib client used by tests and tools,
+* :mod:`repro.service.journal` — the crash-safe job journal behind
+  ``serve``'s restart recovery and graceful SIGTERM drain.
 """
 
 from repro.service.artifacts import ArtifactStore
 from repro.service.client import ServiceClient
 from repro.service.http import ScenarioServer, create_server, serve
 from repro.service.jobs import Job, JobManager, JobState, scenario_digest
+from repro.service.journal import JobJournal, journal_path_from_env
 
 __all__ = [
     "ArtifactStore",
@@ -24,7 +27,9 @@ __all__ = [
     "create_server",
     "serve",
     "Job",
+    "JobJournal",
     "JobManager",
     "JobState",
+    "journal_path_from_env",
     "scenario_digest",
 ]

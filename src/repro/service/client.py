@@ -12,10 +12,18 @@ convenient programmatic entry point::
 
 Transport failures surface as :class:`~repro.errors.ServiceError` carrying
 the server's JSON error message when one was returned.
+
+Robustness: idempotent GETs retry transient connection failures (a server
+mid-restart, a dropped socket) a few times with capped exponential backoff;
+:meth:`ServiceClient.wait` polls with a growing, jittered interval; and
+:meth:`ServiceClient.iter_events` reconnects a cut SSE stream once, resuming
+from the last received ``id:`` via ``Last-Event-ID``.  All jitter is
+deterministic (hash-derived), keeping client behaviour reproducible.
 """
 
 from __future__ import annotations
 
+import hashlib
 import http.client
 import json
 import time
@@ -28,6 +36,27 @@ from repro.scenarios.spec import ScenarioSpec
 from repro.service.jobs import JobState
 
 __all__ = ["ServiceClient"]
+
+# Transient connection failures on idempotent GETs are retried this many
+# times before surfacing; POST/DELETE are never retried (not idempotent).
+GET_RETRIES = 3
+_RETRY_BACKOFF_SECONDS = 0.1
+_RETRY_BACKOFF_CAP_SECONDS = 1.0
+
+_WAIT_POLL_GROWTH = 1.5
+_WAIT_POLL_CAP_SECONDS = 2.0
+
+
+def _jitter_fraction(key: str, attempt: int) -> float:
+    """A deterministic pseudo-random fraction in [0, 1) — no PRNG state."""
+    digest = hashlib.sha256(f"repro-client:{key}:{attempt}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+def _retry_backoff_seconds(attempt: int, key: str) -> float:
+    base = min(_RETRY_BACKOFF_SECONDS * (2 ** attempt),
+               _RETRY_BACKOFF_CAP_SECONDS)
+    return base * (1.0 + 0.25 * _jitter_fraction(key, attempt))
 
 
 class ServiceClient:
@@ -55,10 +84,15 @@ class ServiceClient:
                 message = f"{message}: {detail}"
             raise ServiceError(message) from None
         except urllib.error.URLError as error:
-            raise ServiceError(
+            # The server never answered: the failure is transient from the
+            # client's point of view (mid-restart, dropped socket), unlike an
+            # HTTP error response, which is authoritative.
+            failure = ServiceError(
                 f"cannot reach scenario service at {self.base_url}{path}: "
                 f"{error.reason}"
-            ) from None
+            )
+            failure.transient = True
+            raise failure from None
 
     def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
         url = f"{self.base_url}{path}"
@@ -67,9 +101,19 @@ class ServiceClient:
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        request = urllib.request.Request(url, data=body, headers=headers, method=method)
-        with self._open(method, path, request) as response:
-            return json.loads(response.read().decode("utf-8"))
+        attempts = GET_RETRIES + 1 if method == "GET" else 1
+        for attempt in range(attempts):
+            request = urllib.request.Request(url, data=body, headers=headers,
+                                             method=method)
+            try:
+                with self._open(method, path, request) as response:
+                    return json.loads(response.read().decode("utf-8"))
+            except ServiceError as error:
+                if (attempt + 1 >= attempts
+                        or not getattr(error, "transient", False)):
+                    raise
+                time.sleep(_retry_backoff_seconds(attempt, path))
+        raise AssertionError("unreachable")  # pragma: no cover
 
     # ------------------------------------------------------------------ endpoints
 
@@ -102,51 +146,77 @@ class ServiceClient:
         (``queued``/``running``/``progress``/``heartbeat``/``node_*``/
         terminal states).  Returns after a terminal event.  ``timeout``
         bounds each socket read; the server heartbeats every ~10 seconds, so
-        keep it above that (the 30 s default is) — a read that times out, or
-        a connection dying mid-stream, raises :class:`ServiceError` like
-        every other transport failure of this client.
+        keep it above that (the 30 s default is).
+
+        A stream cut mid-job — EOF without a terminal event, a read timing
+        out, a reset connection — is reconnected *once*, resuming just past
+        the last received ``id:`` via the ``Last-Event-ID`` header so no
+        event is replayed or lost.  A second cut raises
+        :class:`ServiceError` like every other transport failure.
         """
         path = f"/scenarios/{job_id}/events"
-        request = urllib.request.Request(
-            f"{self.base_url}{path}", headers={"Accept": "text/event-stream"},
-            method="GET"
-        )
-        response = self._open("GET", path, request, timeout=timeout)
-        with response:
-            data_lines: list[str] = []
-            while True:
-                try:
-                    raw_line = response.readline()
-                except (TimeoutError, OSError, http.client.HTTPException) as error:
-                    raise ServiceError(
-                        f"event stream for job '{job_id}' interrupted: {error}"
-                    ) from None
-                if not raw_line:
-                    # The stream always ends with a terminal event; reaching
-                    # EOF without one means the server (or connection) died
-                    # mid-job, which must not read as normal completion.
-                    raise ServiceError(
-                        f"event stream for job '{job_id}' ended without a "
-                        f"terminal event"
-                    )
-                line = raw_line.decode("utf-8").rstrip("\r\n")
-                if line.startswith(":"):
-                    continue  # SSE comment
-                if line.startswith("data:"):
-                    data_lines.append(line[5:].lstrip())
-                    continue
-                if line:
-                    continue  # event:/id: framing lines — the data carries the type
-                if not data_lines:
-                    continue
-                try:
-                    event = json.loads("\n".join(data_lines))
-                except json.JSONDecodeError:
-                    event = {"event": "message", "data": "\n".join(data_lines)}
-                data_lines = []
-                yield event
-                if event.get("event") in JobState.TERMINAL:
-                    return
+        last_id: int | None = None
+        reconnected = False
+        while True:
+            headers = {"Accept": "text/event-stream"}
+            if last_id is not None:
+                headers["Last-Event-ID"] = str(last_id)
+            request = urllib.request.Request(
+                f"{self.base_url}{path}", headers=headers, method="GET"
+            )
+            response = self._open("GET", path, request, timeout=timeout)
+            failure: ServiceError | None = None
+            with response:
+                data_lines: list[str] = []
+                while True:
+                    try:
+                        raw_line = response.readline()
+                    except (TimeoutError, OSError,
+                            http.client.HTTPException) as error:
+                        failure = ServiceError(
+                            f"event stream for job '{job_id}' interrupted: "
+                            f"{error}"
+                        )
+                        break
+                    if not raw_line:
+                        # The stream always ends with a terminal event;
+                        # reaching EOF without one means the server (or
+                        # connection) died mid-job, which must not read as
+                        # normal completion.
+                        failure = ServiceError(
+                            f"event stream for job '{job_id}' ended without "
+                            f"a terminal event"
+                        )
+                        break
+                    line = raw_line.decode("utf-8").rstrip("\r\n")
+                    if line.startswith(":"):
+                        continue  # SSE comment
+                    if line.startswith("id:"):
+                        try:
+                            last_id = int(line[3:].strip())
+                        except ValueError:
+                            pass
+                        continue
+                    if line.startswith("data:"):
+                        data_lines.append(line[5:].lstrip())
+                        continue
+                    if line:
+                        continue  # event: framing — the data carries the type
+                    if not data_lines:
+                        continue
+                    try:
+                        event = json.loads("\n".join(data_lines))
+                    except json.JSONDecodeError:
+                        event = {"event": "message",
+                                 "data": "\n".join(data_lines)}
+                    data_lines = []
+                    yield event
+                    if event.get("event") in JobState.TERMINAL:
+                        return
+            if reconnected:
+                raise failure
+            reconnected = True
+            time.sleep(_retry_backoff_seconds(0, path))
 
     def list_jobs(self) -> list[dict]:
         return self._request("GET", "/scenarios")["jobs"]
@@ -163,14 +233,26 @@ class ServiceClient:
 
     def wait(self, job_id: str, timeout: float = 600.0,
              poll_seconds: float = 0.1) -> dict:
-        """Poll until the job reaches a terminal state; returns its status."""
+        """Poll until the job reaches a terminal state; returns its status.
+
+        The poll interval starts at ``poll_seconds`` and grows 1.5x per poll
+        (capped at 2 s) with deterministic jitter, so short jobs answer fast
+        while long sweeps aren't hammered — and a fleet of waiters never
+        beats the server in lockstep.
+        """
         deadline = time.monotonic() + timeout
+        interval = max(poll_seconds, 1e-3)
+        poll = 0
         while True:
             status = self.status(job_id)
             if status["state"] in JobState.TERMINAL:
                 return status
-            if time.monotonic() >= deadline:
+            now = time.monotonic()
+            if now >= deadline:
                 raise ServiceError(
                     f"job '{job_id}' still {status['state']} after {timeout:.0f}s"
                 )
-            time.sleep(poll_seconds)
+            pause = interval * (1.0 + 0.25 * _jitter_fraction(job_id, poll))
+            time.sleep(min(pause, max(0.0, deadline - now)))
+            interval = min(interval * _WAIT_POLL_GROWTH, _WAIT_POLL_CAP_SECONDS)
+            poll += 1

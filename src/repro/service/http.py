@@ -20,24 +20,38 @@ GET      /scenarios/{id}/result   the result payload (202 while pending)
 GET      /scenarios/{id}/events   Server-Sent Events stream of the job's
                                   progress (per-cell and, for composites,
                                   per-node events; heartbeats while idle;
-                                  closes after the terminal event)
-DELETE   /scenarios/{id}          cancel a queued job (409 once running);
-                                  composite cancellation propagates to
-                                  queued descendants
+                                  closes after the terminal event).  Events
+                                  carry ``id:`` lines; a reconnecting client
+                                  sends ``Last-Event-ID`` to resume where
+                                  its cut stream left off
+DELETE   /scenarios/{id}          cancel a job: 200 when it went terminal
+                                  immediately (queued), 202 while a running
+                                  job drains cooperatively (``cancelling``),
+                                  409 only for finished jobs; composite
+                                  cancellation propagates to descendants
 GET      /healthz                 liveness probe
-GET      /stats                   queue depth, cache hit rates, utilisation
+GET      /stats                   queue depth, cache hit rates, utilisation,
+                                  supervisor retry/timeout counters, journal
 =======  =======================  ===========================================
 
 Malformed bodies and invalid specs answer 400 with the configuration error
 message; unknown jobs 404; invalid state transitions 409.  Everything is
 JSON, including errors (``{"error": ...}``) — except the ``/events`` stream,
 which is ``text/event-stream`` with JSON ``data:`` payloads.
+
+The CLI entry point (:func:`serve`) additionally journals submissions to a
+crash-safe log (``REPRO_JOB_JOURNAL``), replays unfinished jobs at startup,
+and drains gracefully on SIGTERM: no new jobs, the running job gets
+``REPRO_DRAIN_SECONDS`` to finish (default 30) before being parked for the
+next life, and the journal is flushed and compacted.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import signal
+import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.errors import ConfigurationError, JobConflictError, ServiceError
@@ -45,11 +59,13 @@ from repro.scenarios.composite import CompositeSpec
 from repro.scenarios.spec import ScenarioSpec
 from repro.service.artifacts import ArtifactStore
 from repro.service.jobs import JobManager, JobState
+from repro.service.journal import JobJournal, journal_path_from_env
 
 __all__ = [
     "DEFAULT_PORT",
     "ScenarioServer",
     "create_server",
+    "drain_seconds_from_env",
     "serve",
     "service_port_from_env",
 ]
@@ -194,9 +210,19 @@ class ScenarioRequestHandler(BaseHTTPRequestHandler):
         The response is unframed (no Content-Length), so the connection is
         marked close; heartbeat events keep intermediaries from timing the
         stream out while a long sweep is quiet.  A disconnecting client
-        simply ends the generator — the job is unaffected.
+        simply ends the generator — the job is unaffected.  Every buffered
+        event carries an ``id:`` line (its absolute log index); a client
+        reconnecting with ``Last-Event-ID`` resumes just past it instead of
+        replaying the whole history.
         """
         self.manager.get(job_id)  # 404 before committing to a stream
+        start_index = 0
+        last_id = self.headers.get("Last-Event-ID")
+        if last_id is not None:
+            try:
+                start_index = int(last_id) + 1
+            except ValueError:
+                start_index = 0
         self.send_response(200)
         self.send_header("Content-Type", "text/event-stream")
         self.send_header("Cache-Control", "no-cache")
@@ -205,11 +231,16 @@ class ScenarioRequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         try:
             for event in self.manager.iter_events(
-                job_id, heartbeat_seconds=EVENT_HEARTBEAT_SECONDS
+                job_id, heartbeat_seconds=EVENT_HEARTBEAT_SECONDS,
+                start_index=start_index,
             ):
                 name = event.get("event", "message")
                 data = json.dumps(event, default=str)
-                self.wfile.write(f"event: {name}\ndata: {data}\n\n".encode("utf-8"))
+                frame = f"event: {name}\n"
+                if "seq" in event:  # synthetic heartbeats carry no id
+                    frame += f"id: {event['seq']}\n"
+                frame += f"data: {data}\n\n"
+                self.wfile.write(frame.encode("utf-8"))
                 self.wfile.flush()
         except (BrokenPipeError, ConnectionResetError, ServiceError):
             return
@@ -274,7 +305,10 @@ class ScenarioRequestHandler(BaseHTTPRequestHandler):
         except ServiceError as error:
             self._send_error_json(404, str(error))
             return
-        self._send_json(200, job.summary())
+        # 200 when the cancel completed synchronously (queued job, or a
+        # composite with nothing in flight); 202 while a running job drains
+        # cooperatively towards 'cancelled'.
+        self._send_json(200 if job.finished else 202, job.summary())
 
 
 def create_server(port: int = 0, host: str = "127.0.0.1",
@@ -293,26 +327,82 @@ def create_server(port: int = 0, host: str = "127.0.0.1",
     return ScenarioServer((host, port), manager, verbose=verbose)
 
 
+def drain_seconds_from_env() -> float:
+    """The SIGTERM grace period selected by ``REPRO_DRAIN_SECONDS`` (default 30)."""
+    env = os.environ.get("REPRO_DRAIN_SECONDS")
+    if env is None or env.strip() == "":
+        return 30.0
+    try:
+        seconds = float(env)
+    except ValueError:
+        raise ConfigurationError(
+            f"REPRO_DRAIN_SECONDS must be a number of seconds, got {env!r}"
+        ) from None
+    if seconds < 0:
+        raise ConfigurationError(
+            f"REPRO_DRAIN_SECONDS must be non-negative, got {env!r}"
+        )
+    return seconds
+
+
 def serve(port: int | None = None, host: str = "127.0.0.1",
           sweep_jobs: int | None = None, verbose: bool = True) -> int:
-    """Run the scenario service until interrupted (the CLI entry point)."""
+    """Run the scenario service until interrupted (the CLI entry point).
+
+    Durable by default: submissions are journaled under the artifact
+    directory (``REPRO_JOB_JOURNAL``), unfinished jobs from a previous —
+    possibly SIGKILLed — life are replayed before the socket opens, and
+    SIGTERM triggers a graceful drain (stop accepting, give the running job
+    ``REPRO_DRAIN_SECONDS``, park the rest for the next life).
+    """
     from repro.experiments.common import shutdown_executor
 
     if port is None:
         port = service_port_from_env()
-    server = create_server(port=port, host=host, sweep_jobs=sweep_jobs,
+    drain_grace = drain_seconds_from_env()
+    journal_path = journal_path_from_env()
+    journal = JobJournal(journal_path) if journal_path is not None else None
+    manager = JobManager(sweep_jobs=sweep_jobs, journal=journal)
+    server = create_server(port=port, host=host, manager=manager,
                            verbose=verbose)
+    replayed = manager.replay_journal()
+    if replayed:
+        print(f"replayed {len(replayed)} unfinished job(s) from "
+              f"{journal.path}")
     artifacts = server.manager.artifacts
     print(f"scenario service listening on http://{host}:{server.port}")
     print(f"artifact store: {artifacts.directory} "
           f"(bound {artifacts.max_bytes // (1024 * 1024)} MB)")
+    if journal is not None:
+        print(f"job journal: {journal.path}")
+
+    draining = threading.Event()
+
+    def _on_sigterm(signum, frame):  # noqa: ARG001 — signal signature
+        draining.set()
+        # serve_forever must be stopped from another thread: shutdown()
+        # blocks until the serving loop exits, so calling it from a signal
+        # handler interrupting that very loop would deadlock.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    installed_sigterm = False
+    if threading.current_thread() is threading.main_thread():
+        signal.signal(signal.SIGTERM, _on_sigterm)
+        installed_sigterm = True
     try:
         server.serve_forever()
+        if draining.is_set():
+            print("SIGTERM: draining (no new jobs, finishing the running one)")
     except KeyboardInterrupt:
         print("\nshutting down")
     finally:
-        server.shutdown()
+        if installed_sigterm:
+            signal.signal(signal.SIGTERM, signal.SIG_DFL)
         server.server_close()
-        server.manager.shutdown()
+        if draining.is_set():
+            manager.drain(timeout=drain_grace)
+        else:
+            server.shutdown()
+            manager.shutdown()
         shutdown_executor()
     return 0

@@ -5,13 +5,16 @@ machine::
 
     queued -> running -> done | failed
     queued -> cancelled
+    running -> cancelling -> cancelled | done | failed
 
 Jobs wait in a priority queue (higher ``priority`` first, FIFO within a
 priority) and are executed one at a time by a background dispatcher thread —
 the *sweep cells* of the running job still fan out across the shared process
 pool, so a single dispatcher saturates the machine while keeping job
-semantics simple (cancellation only applies to queued jobs; see
-:meth:`JobManager.cancel`).
+semantics simple.  Cancelling a queued job is immediate; cancelling a
+*running* job is cooperative: the job enters ``cancelling``, its
+:class:`~repro.experiments.supervisor.CancelToken` is set, and the engine
+observes it at the next cell boundary (see :meth:`JobManager.cancel`).
 
 Results are cached at the scenario level: a whole-spec digest (spec JSON +
 code epoch + ambient batching knob, via
@@ -42,7 +45,8 @@ import time
 import uuid
 from dataclasses import dataclass, field
 
-from repro.errors import JobConflictError, ServiceError
+from repro.errors import JobCancelledError, JobConflictError, ServiceError
+from repro.experiments.supervisor import CancelToken, supervisor_stats
 from repro.scenarios.composite import (
     NODE_DONE,
     NODE_FAILED,
@@ -57,6 +61,7 @@ from repro.scenarios.composite import (
 from repro.scenarios.runner import run_scenario, scenario_digest
 from repro.scenarios.spec import ScenarioSpec
 from repro.service.artifacts import ArtifactStore
+from repro.service.journal import JobJournal
 from repro.sim.result_cache import get_result_cache
 
 __all__ = ["JobState", "Job", "JobManager", "scenario_digest"]
@@ -72,6 +77,7 @@ class JobState:
 
     QUEUED = "queued"
     RUNNING = "running"
+    CANCELLING = "cancelling"
     DONE = "done"
     FAILED = "failed"
     CANCELLED = "cancelled"
@@ -108,6 +114,11 @@ class Job:
     node_states: dict[str, str] = field(default_factory=dict)
     events: list[dict] = field(default_factory=list)
     events_base: int = 0
+    # Cooperative-cancellation token; assigned when the job starts running.
+    cancel: CancelToken | None = field(default=None, repr=False)
+    # A parked job was interrupted by a graceful drain: its terminal record
+    # is withheld from the journal so a restarted server replays it.
+    parked: bool = False
 
     @property
     def finished(self) -> bool:
@@ -150,9 +161,9 @@ class Job:
         return payload
 
 
-def _default_runner(spec: ScenarioSpec, jobs: int | None, progress) -> dict:
+def _default_runner(spec: ScenarioSpec, jobs: int | None, progress, cancel) -> dict:
     """Execute a spec through the scenario engine; returns the result payload."""
-    return run_scenario(spec, jobs=jobs, progress=progress).to_dict()
+    return run_scenario(spec, jobs=jobs, progress=progress, cancel=cancel).to_dict()
 
 
 class JobManager:
@@ -162,7 +173,11 @@ class JobManager:
     count; ``artifacts=None`` builds the environment-configured store;
     ``scenario_cache=False`` disables the scenario-level (artifact) cache
     while leaving cell-level caching to ``REPRO_CACHE`` as usual.  ``runner``
-    is injectable for tests: a callable ``(spec, jobs, progress) -> dict``.
+    is injectable for tests: a callable ``(spec, jobs, progress, cancel) ->
+    dict`` that should raise :class:`JobCancelledError` when the cancel token
+    fires.  ``journal`` is an optional :class:`JobJournal`: parentless
+    submissions are recorded durably and :meth:`replay_journal` resubmits
+    whatever a killed server never finished.
 
     Terminal job records (and their in-memory result payloads) are bounded:
     once more than ``max_finished_jobs`` *parentless* jobs have finished, the
@@ -178,11 +193,13 @@ class JobManager:
                  artifacts: ArtifactStore | None = None,
                  scenario_cache: bool = True,
                  runner=None,
-                 max_finished_jobs: int = 256):
+                 max_finished_jobs: int = 256,
+                 journal: JobJournal | None = None):
         self.sweep_jobs = sweep_jobs
         self.artifacts = artifacts if artifacts is not None else ArtifactStore()
         self.scenario_cache = scenario_cache
         self.max_finished_jobs = max(1, max_finished_jobs)
+        self.journal = journal
         self.scenario_hits = 0
         self.scenario_misses = 0
         self.started_at = time.time()
@@ -195,6 +212,7 @@ class JobManager:
         self._sequence = 0
         self._running_id: str | None = None
         self._stop = False
+        self._draining = False
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop, name="scenario-dispatcher", daemon=True
         )
@@ -203,8 +221,15 @@ class JobManager:
     # ------------------------------------------------------------------ events
 
     def _emit_locked(self, job: Job, event: str, **payload) -> None:
-        """Append one event to a job's log (lock held) and wake subscribers."""
-        record = {"event": event, "job": job.id, "time": time.time(), **payload}
+        """Append one event to a job's log (lock held) and wake subscribers.
+
+        ``seq`` is the event's absolute position in the job's log (stable
+        across buffer overflow), so SSE clients can resume a cut stream with
+        ``Last-Event-ID`` without replaying what they already saw.
+        """
+        record = {"event": event, "job": job.id,
+                  "seq": job.events_base + len(job.events),
+                  "time": time.time(), **payload}
         job.events.append(record)
         overflow = len(job.events) - EVENT_BUFFER_LIMIT
         if overflow > 0:
@@ -214,14 +239,21 @@ class JobManager:
 
     def _emit_terminal_locked(self, job: Job) -> None:
         self._emit_locked(job, job.state, cached=job.cached, error=job.error)
+        # Parked jobs keep their submit record live so a restart replays them.
+        if (self.journal is not None and job.parent_id is None
+                and not job.parked):
+            self.journal.record_terminal(job.id, job.state)
 
-    def iter_events(self, job_id: str, heartbeat_seconds: float = 10.0):
+    def iter_events(self, job_id: str, heartbeat_seconds: float = 10.0,
+                    start_index: int = 0):
         """Yield a job's events as they happen; a generator that ends after
         the terminal event.
 
         Events already buffered are replayed first, so subscribing after
-        completion yields the full (bounded) history immediately.  When no
-        event arrives within ``heartbeat_seconds`` a synthetic
+        completion yields the full (bounded) history immediately.
+        ``start_index`` skips events whose absolute index (the ``seq`` field)
+        is below it — the server side of SSE ``Last-Event-ID`` resumption.
+        When no event arrives within ``heartbeat_seconds`` a synthetic
         ``{"event": "heartbeat"}`` is yielded so SSE consumers can detect a
         dead connection.  An unknown (or already pruned) job id raises
         :class:`ServiceError` up front; the job record is then *held* for the
@@ -233,7 +265,7 @@ class JobManager:
             job = self._jobs.get(job_id)
         if job is None:
             raise ServiceError(f"unknown job '{job_id}'")
-        index = 0
+        index = max(0, start_index)
         while True:
             with self._condition:
                 events, index = job.events_after(index)
@@ -254,26 +286,44 @@ class JobManager:
 
     # ------------------------------------------------------------------ client API
 
-    def submit(self, spec: ScenarioSpec, priority: int = 0) -> Job:
+    def submit(self, spec: ScenarioSpec, priority: int = 0,
+               job_id: str | None = None) -> Job:
         """Validate and enqueue a spec; returns the (possibly finished) job.
 
         An identical spec whose result is already in the artifact store
         completes instantly: the job is born ``done`` with ``cached=True``.
+        ``job_id`` preserves a replayed job's original id so clients polling
+        across a server restart keep working.
         """
         spec.validate()
+        self._reject_if_unavailable()
         digest = scenario_digest(spec)
         # The artifact read is disk I/O — do it before taking the lock that
         # the dispatcher, status queries and SSE emitters all share.
         cached = self.artifacts.get(digest) if self.scenario_cache else None
+        if self.journal is not None and cached is None:
+            # Journal *before* enqueueing: a crash in between replays an
+            # accepted-but-lost job, never loses an acknowledged one.
+            job_id = job_id or uuid.uuid4().hex[:12]
+            self.journal.record_submit(job_id, "scenario", spec.to_dict(),
+                                       priority)
         with self._condition:
             if self._stop:
                 raise ServiceError("the job manager is shut down")
-            return self._submit_spec_locked(spec, digest, priority, cached=cached)
+            return self._submit_spec_locked(spec, digest, priority,
+                                            cached=cached, job_id=job_id)
+
+    def _reject_if_unavailable(self) -> None:
+        if self._stop:
+            raise ServiceError("the job manager is shut down")
+        if self._draining:
+            raise ServiceError("the job manager is draining")
 
     def _submit_spec_locked(self, spec: ScenarioSpec, digest: str, priority: int,
                             cached: dict | None,
                             parent: Job | None = None,
-                            node: str | None = None) -> Job:
+                            node: str | None = None,
+                            job_id: str | None = None) -> Job:
         """Create and enqueue one spec job (lock held).
 
         ``cached`` is the pre-fetched artifact payload (or None); a cached
@@ -282,7 +332,7 @@ class JobManager:
         worklist with it — so this method never re-enters composite code.
         """
         job = Job(
-            id=uuid.uuid4().hex[:12],
+            id=job_id or uuid.uuid4().hex[:12],
             spec=spec,
             digest=digest,
             priority=priority,
@@ -312,7 +362,8 @@ class JobManager:
             self._condition.notify_all()
         return job
 
-    def submit_composite(self, composite: CompositeSpec, priority: int = 0) -> Job:
+    def submit_composite(self, composite: CompositeSpec, priority: int = 0,
+                         job_id: str | None = None) -> Job:
         """Validate a composite DAG and fan out its ready member jobs.
 
         The returned parent job coordinates the DAG: members are submitted as
@@ -320,16 +371,23 @@ class JobManager:
         resolved against the upstream results), and the parent completes when
         every node has.  An identical composite whose assembled payload is
         already in the artifact store completes instantly with
-        ``cached=True``, without touching any member.
+        ``cached=True``, without touching any member.  Only the *parent* is
+        journaled: replaying it re-fans-out the members, and those already
+        completed are answered by the artifact store.
         """
         composite.validate()
+        self._reject_if_unavailable()
         digest = composite_digest(composite)
         cached = self.artifacts.get(digest) if self.scenario_cache else None
+        if self.journal is not None and cached is None:
+            job_id = job_id or uuid.uuid4().hex[:12]
+            self.journal.record_submit(job_id, "composite", composite.to_dict(),
+                                       priority)
         with self._condition:
             if self._stop:
                 raise ServiceError("the job manager is shut down")
             parent = Job(
-                id=uuid.uuid4().hex[:12],
+                id=job_id or uuid.uuid4().hex[:12],
                 composite=composite,
                 digest=digest,
                 priority=priority,
@@ -359,6 +417,40 @@ class JobManager:
             self._launch_ready_nodes_locked(parent)
             return parent
 
+    def replay_journal(self) -> list[Job]:
+        """Resubmit every journaled job the previous server life never
+        finished, preserving the original job ids.
+
+        Called once at ``serve`` startup.  The journal is compacted first so
+        the dead life's terminal records don't accumulate.  A record that no
+        longer parses (the spec schema moved underneath it) is skipped — the
+        journal is a recovery aid, not a suicide pact.
+        """
+        if self.journal is None:
+            return []
+        pending = self.journal.pending()
+        self.journal.compact()
+        replayed: list[Job] = []
+        for record in pending:
+            try:
+                priority = int(record.get("priority", 0))
+                if record.get("kind") == "composite":
+                    composite = CompositeSpec.from_dict(record["spec"])
+                    job = self.submit_composite(composite, priority=priority,
+                                                job_id=record["job"])
+                else:
+                    spec = ScenarioSpec.from_dict(record["spec"])
+                    job = self.submit(spec, priority=priority,
+                                      job_id=record["job"])
+            except Exception:  # noqa: BLE001 — one bad record must not kill recovery
+                # Retire the record: a spec that no longer parses would
+                # otherwise be re-attempted (and re-skipped) on every restart.
+                if record.get("job"):
+                    self.journal.record_terminal(record["job"], JobState.FAILED)
+                continue
+            replayed.append(job)
+        return replayed
+
     def get(self, job_id: str) -> Job:
         with self._lock:
             job = self._jobs.get(job_id)
@@ -372,15 +464,20 @@ class JobManager:
             return list(self._jobs.values())
 
     def cancel(self, job_id: str) -> Job:
-        """Cancel a queued job, or a composite parent and its queued children.
+        """Cancel a job: queued jobs immediately, running jobs cooperatively.
 
         The check-and-transition happens under the same lock the dispatcher
-        uses to move a job to ``running``, so a job that just started cannot
-        be half-cancelled: the caller gets :class:`JobConflictError` (HTTP
-        409) and the job runs to completion untouched.  Cancelling a
-        composite parent propagates to its descendants: queued children are
-        cancelled, unlaunched nodes are skipped, and an already-running child
-        drains without spawning further nodes.
+        uses to move a job to ``running``, so the two can never half-cancel a
+        job between them.  A queued job goes straight to ``cancelled``.  A
+        *running* job enters ``cancelling``: its cancel token is set and the
+        engine raises :class:`JobCancelledError` at the next cell boundary
+        (a run that completes before noticing still finishes ``done`` — the
+        work was already paid for).  Cancelling again while ``cancelling`` is
+        idempotent; only a finished job raises :class:`JobConflictError`
+        (HTTP 409).  Cancelling a composite parent propagates to its
+        descendants: queued children are cancelled, unlaunched nodes are
+        skipped, and running children get their tokens set — the parent stays
+        ``cancelling`` until the last one drains.
         """
         with self._condition:
             job = self._jobs.get(job_id)
@@ -392,11 +489,22 @@ class JobManager:
                         f"job '{job_id}' is {job.state}; a finished composite "
                         f"cannot be cancelled"
                     )
-                self._cancel_composite_locked(job)
+                if job.state != JobState.CANCELLING:
+                    self._cancel_composite_locked(job)
+                return job
+            if job.state == JobState.CANCELLING:
+                return job  # idempotent: already being cancelled
+            if job.state == JobState.RUNNING:
+                job.state = JobState.CANCELLING
+                if job.cancel is not None:
+                    job.cancel.cancel()
+                self._emit_locked(job, JobState.CANCELLING)
+                self._condition.notify_all()
                 return job
             if job.state != JobState.QUEUED:
                 raise JobConflictError(
-                    f"job '{job_id}' is {job.state}; only queued jobs can be cancelled"
+                    f"job '{job_id}' is {job.state}; a finished job "
+                    f"cannot be cancelled"
                 )
             job.state = JobState.CANCELLED
             job.finished_at = time.time()
@@ -409,10 +517,35 @@ class JobManager:
         return job
 
     def _cancel_composite_locked(self, parent: Job) -> None:
-        """Cancel a composite parent and propagate to its descendants."""
+        """Cancel a composite parent and propagate to its descendants.
+
+        Queued children are cancelled and unlaunched nodes skipped outright;
+        running children are switched to ``cancelling`` with their tokens
+        set.  The parent goes terminal immediately when nothing is in
+        flight, otherwise it waits in ``cancelling`` for the last member to
+        drain (:meth:`_on_child_terminal_locked` finalises it).
+        """
+        self._skip_descendants_locked(parent)
+        draining = False
+        for child_id in parent.children.values():
+            child = self._jobs.get(child_id)
+            if child is None:
+                continue
+            if child.state == JobState.RUNNING:
+                child.state = JobState.CANCELLING
+                if child.cancel is not None:
+                    child.cancel.cancel()
+                self._emit_locked(child, JobState.CANCELLING)
+                draining = True
+            elif child.state == JobState.CANCELLING:
+                draining = True
+        if draining:
+            parent.state = JobState.CANCELLING
+            self._emit_locked(parent, JobState.CANCELLING)
+            self._condition.notify_all()
+            return
         parent.state = JobState.CANCELLED
         parent.finished_at = time.time()
-        self._skip_descendants_locked(parent)
         self._emit_terminal_locked(parent)
         self._prune_finished_locked()
         self._condition.notify_all()
@@ -491,6 +624,8 @@ class JobManager:
             },
             "worker_utilisation": min(1.0, busy / uptime),
             "busy_seconds": busy,
+            "supervisor": supervisor_stats().as_dict(),
+            "journal": self.journal.stats() if self.journal is not None else None,
         }
 
     def shutdown(self, timeout: float = 5.0) -> None:
@@ -499,6 +634,47 @@ class JobManager:
             self._stop = True
             self._condition.notify_all()
         self._dispatcher.join(timeout=timeout)
+
+    def drain(self, timeout: float = 30.0) -> None:
+        """Graceful SIGTERM path: stop accepting, finish or park, flush.
+
+        New submissions are rejected and the dispatcher launches nothing
+        further.  The running job gets up to ``timeout`` seconds to finish
+        normally; past that it is *parked* — its cancel token fires, every
+        completed cell already persisted in the result cache, and its journal
+        submit record stays live so the next server life replays it and the
+        cache answers the cells it finished.  Queued jobs simply stay in the
+        journal.  Ends with a journal compaction.
+        """
+        deadline = time.monotonic() + max(0.0, timeout)
+        with self._condition:
+            self._draining = True
+            self._condition.notify_all()
+        self._await_idle(deadline)
+        with self._condition:
+            running = (self._jobs.get(self._running_id)
+                       if self._running_id is not None else None)
+            if running is not None and not running.finished:
+                running.parked = True
+                if running.parent_id is not None:
+                    parent = self._jobs.get(running.parent_id)
+                    if parent is not None:
+                        parent.parked = True
+                if running.cancel is not None:
+                    running.cancel.cancel()
+        # Give a parked job one cell boundary to unwind before stopping.
+        self._await_idle(time.monotonic() + 5.0)
+        self.shutdown()
+        if self.journal is not None:
+            self.journal.compact()
+
+    def _await_idle(self, deadline: float) -> None:
+        with self._condition:
+            while self._running_id is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return
+                self._condition.wait(timeout=min(remaining, 0.25))
 
     # ------------------------------------------------------------------ composites
 
@@ -576,6 +752,29 @@ class JobManager:
                 JobState.FAILED: NODE_FAILED,
             }.get(child.state, NODE_SKIPPED)
             return
+        if parent.state == JobState.CANCELLING:
+            # A cancelled parent drains its in-flight members: mirror each
+            # outcome, never launch dependents, and go terminal when the
+            # last one lands.
+            parent.node_states[node] = {
+                JobState.DONE: NODE_DONE,
+                JobState.FAILED: NODE_FAILED,
+            }.get(child.state, NODE_SKIPPED)
+            if child.state == JobState.DONE:
+                parent.cells_done += 1
+                self._emit_locked(parent, "node_done", node=node, child=child.id)
+            active = any(
+                (sibling := self._jobs.get(child_id)) is not None
+                and not sibling.finished
+                for child_id in parent.children.values()
+            )
+            if not active:
+                parent.state = JobState.CANCELLED
+                parent.finished_at = time.time()
+                self._emit_terminal_locked(parent)
+                self._prune_finished_locked()
+                self._condition.notify_all()
+            return
         if child.state == JobState.DONE:
             parent.node_states[node] = NODE_DONE
             parent.cells_done += 1
@@ -641,7 +840,9 @@ class JobManager:
     def _dispatch_loop(self) -> None:
         while True:
             with self._condition:
-                while not self._stop and not self._queue:
+                # A draining manager launches nothing further: queued jobs
+                # stay queued (and journaled) for the next server life.
+                while not self._stop and (self._draining or not self._queue):
                     self._condition.wait()
                 if self._stop:
                     return
@@ -651,6 +852,7 @@ class JobManager:
                     continue  # cancelled (or pruned with its parent) while waiting
                 job.state = JobState.RUNNING
                 job.started_at = time.time()
+                job.cancel = CancelToken()
                 self._running_id = job.id
                 self._emit_locked(job, JobState.RUNNING)
             self._execute(job)
@@ -671,7 +873,20 @@ class JobManager:
                                           done=done, total=total)
 
         try:
-            payload = self._runner(job.spec, self.sweep_jobs, progress)
+            payload = self._runner(job.spec, self.sweep_jobs, progress, job.cancel)
+        except JobCancelledError:
+            # The engine honoured the cancel token at a cell boundary.
+            with self._condition:
+                job.state = JobState.CANCELLED
+                job.finished_at = time.time()
+                self.busy_seconds += job.finished_at - (job.started_at or job.finished_at)
+                self._running_id = None
+                self._emit_terminal_locked(job)
+                if job.parent_id is not None:
+                    self._on_child_terminal_locked(job)
+                self._prune_finished_locked()
+                self._condition.notify_all()
+            return
         except Exception as error:  # noqa: BLE001 — a job must never kill the dispatcher
             with self._condition:
                 job.state = JobState.FAILED

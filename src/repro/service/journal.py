@@ -1,0 +1,182 @@
+"""Crash-safe job journal: the scenario service's durable queue.
+
+The :class:`~repro.service.jobs.JobManager` keeps its queue in memory; a
+killed server would silently forget every queued and running job.  The
+journal closes that hole with an append-only JSONL file under the artifact
+directory: one ``submit`` record when a (parentless) job is accepted, one
+``terminal`` record when it finishes.  On startup, :func:`JobJournal.pending`
+replays the file — any job submitted but never terminal is resubmitted with
+its *original id*, so clients polling across the restart keep working.
+
+Durability over elegance: every append is flushed and fsynced (a job
+submission is rare and precious next to sweep cells), records are one JSON
+object per line so a torn final line — the kill arriving mid-write — is
+detected and ignored rather than poisoning the replay, and compaction
+rewrites the file atomically (temp + ``os.replace``) keeping only live
+records.
+
+Composite *children* are never journaled: the parent record carries the
+whole DAG, and replaying the parent re-fans-out its members — those already
+completed are answered instantly by the artifact store and result cache.
+
+``REPRO_JOB_JOURNAL`` selects the journal file (default:
+``jobs.journal`` inside the artifact directory when serving; ``0``/``off``
+disables journaling entirely).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.service.artifacts import artifact_dir_from_env
+
+__all__ = ["JobJournal", "journal_path_from_env"]
+
+_DISABLED = {"0", "false", "no", "off"}
+
+
+def journal_path_from_env() -> Path | None:
+    """The journal file selected by ``REPRO_JOB_JOURNAL``.
+
+    Unset/empty means the default location under the artifact directory; a
+    falsey value (``0``/``false``/``no``/``off``) disables journaling.
+    """
+    raw = os.environ.get("REPRO_JOB_JOURNAL", "").strip()
+    if raw.lower() in _DISABLED and raw != "":
+        return None
+    if not raw:
+        return artifact_dir_from_env() / "jobs.journal"
+    path = Path(raw).expanduser()
+    return path if path.is_absolute() else Path.cwd() / path
+
+
+class JobJournal:
+    """An append-only JSONL record of submitted and finished jobs."""
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self.appends = 0
+        self.append_errors = 0
+
+    # ------------------------------------------------------------------ writes
+
+    def record_submit(self, job_id: str, kind: str, spec: dict,
+                      priority: int = 0) -> None:
+        """Journal one accepted job (``kind`` is ``scenario`` or ``composite``)."""
+        self._append({
+            "type": "submit", "job": job_id, "kind": kind,
+            "priority": priority, "spec": spec, "time": time.time(),
+        })
+
+    def record_terminal(self, job_id: str, state: str) -> None:
+        """Journal one finished job; replay will skip it from now on."""
+        self._append({
+            "type": "terminal", "job": job_id, "state": state,
+            "time": time.time(),
+        })
+
+    def _append(self, record: dict) -> None:
+        """Append one record, flushed and fsynced (best-effort on failure).
+
+        A journal write must never fail the submission it records — a full
+        disk degrades to "no durability", counted in ``append_errors``.
+        """
+        line = json.dumps(record, separators=(",", ":"), default=str) + "\n"
+        with self._lock:
+            try:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                with open(self.path, "a", encoding="utf-8") as handle:
+                    handle.write(line)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                self.appends += 1
+            except OSError:
+                self.append_errors += 1
+
+    # ------------------------------------------------------------------- reads
+
+    def records(self) -> list[dict]:
+        """Every parseable record, in append order.
+
+        A torn trailing line (the server was killed mid-append) and any other
+        unparseable line are skipped: the journal is a recovery aid, and one
+        bad line must not discard the rest.
+        """
+        try:
+            with open(self.path, encoding="utf-8") as handle:
+                lines = handle.readlines()
+        except OSError:
+            return []
+        records = []
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict) and "type" in record:
+                records.append(record)
+        return records
+
+    def pending(self) -> list[dict]:
+        """Submit records with no matching terminal record, in submit order."""
+        finished = set()
+        submits: dict[str, dict] = {}
+        for record in self.records():
+            if record.get("type") == "terminal":
+                finished.add(record.get("job"))
+            elif record.get("type") == "submit" and record.get("job"):
+                submits[record["job"]] = record
+        return [record for job_id, record in submits.items()
+                if job_id not in finished]
+
+    # -------------------------------------------------------------- compaction
+
+    def compact(self) -> int:
+        """Atomically rewrite the journal keeping only pending submits.
+
+        Returns the number of live records kept.  Called at replay time (the
+        terminal records of the previous life are dead weight) and after a
+        graceful drain.
+        """
+        live = self.pending()
+        with self._lock:
+            try:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                descriptor, temp_name = tempfile.mkstemp(
+                    dir=self.path.parent, suffix=".tmp"
+                )
+                try:
+                    with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                        for record in live:
+                            handle.write(json.dumps(
+                                record, separators=(",", ":"), default=str
+                            ) + "\n")
+                        handle.flush()
+                        os.fsync(handle.fileno())
+                    os.replace(temp_name, self.path)
+                except BaseException:
+                    try:
+                        os.unlink(temp_name)
+                    except OSError:
+                        pass
+                    raise
+            except OSError:
+                self.append_errors += 1
+        return len(live)
+
+    def stats(self) -> dict:
+        return {
+            "path": str(self.path),
+            "appends": self.appends,
+            "append_errors": self.append_errors,
+            "pending": len(self.pending()),
+        }

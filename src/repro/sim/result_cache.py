@@ -31,8 +31,12 @@ Robustness
 ----------
 Entries are written atomically (temp file + ``os.replace``) so concurrent
 writers can never expose a torn entry.  Corrupted, truncated or
-version-mismatched entries are treated as misses, deleted best-effort and
-recomputed.  Every cache instance keeps hit/miss/store/error counters.
+version-mismatched entries are treated as misses and *quarantined*: moved
+aside into ``<cache dir>/quarantine/`` (best-effort) rather than silently
+deleted, so repeated corruption — a flaky disk, a torn writer, an injected
+fault — leaves evidence instead of a mystery of eternal recomputes.  The
+recompute then overwrites the original entry path.  Every cache instance
+keeps hit/miss/store/error/quarantine counters.
 """
 
 from __future__ import annotations
@@ -205,10 +209,12 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     errors: int = 0
+    quarantined: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {"hits": self.hits, "misses": self.misses,
-                "stores": self.stores, "errors": self.errors}
+                "stores": self.stores, "errors": self.errors,
+                "quarantined": self.quarantined}
 
 
 class ResultCache:
@@ -245,15 +251,15 @@ class ResultCache:
             ):
                 self.stats.hits += 1
                 return True, entry["result"]
-            # Version or digest mismatch: stale layout, discard.
+            # Version or digest mismatch: stale layout, quarantine.
             self.stats.errors += 1
-            self._discard(path)
+            self._quarantine(path)
         except FileNotFoundError:
             pass
         except Exception:
             # Corrupted or unreadable entry: fall back to recompute.
             self.stats.errors += 1
-            self._discard(path)
+            self._quarantine(path)
         self.stats.misses += 1
         return False, None
 
@@ -297,12 +303,26 @@ class ResultCache:
                 pass
         return removed
 
-    @staticmethod
-    def _discard(path: Path) -> None:
+    def quarantine_dir(self) -> Path:
+        return self.directory / "quarantine"
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a bad entry aside (best-effort; falls back to deletion).
+
+        The entry keeps its filename, so the quarantine holds at most one
+        specimen per digest — later corruption of the same digest overwrites
+        the old specimen rather than accumulating unboundedly.
+        """
         try:
-            path.unlink()
+            quarantine = self.quarantine_dir()
+            quarantine.mkdir(parents=True, exist_ok=True)
+            os.replace(path, quarantine / path.name)
+            self.stats.quarantined += 1
         except OSError:
-            pass
+            try:
+                path.unlink()
+            except OSError:
+                pass
 
 
 # ------------------------------------------------------------- configuration

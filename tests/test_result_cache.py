@@ -112,9 +112,10 @@ class TestResultCacheStore:
         assert cache.get(digest) == (False, None)
         assert cache.put(digest, 3.0)
         assert cache.get(digest) == (True, 3.0)
-        assert cache.stats.as_dict() == {"hits": 1, "misses": 1, "stores": 1, "errors": 0}
+        assert cache.stats.as_dict() == {"hits": 1, "misses": 1, "stores": 1,
+                                         "errors": 0, "quarantined": 0}
 
-    def test_corrupted_entry_is_a_miss_and_discarded(self, tmp_path):
+    def test_corrupted_entry_is_a_miss_and_quarantined(self, tmp_path):
         cache = ResultCache(tmp_path)
         digest = task_digest(mean, ([1.0],))
         cache.put(digest, 1.0)
@@ -122,7 +123,23 @@ class TestResultCacheStore:
         hit, _ = cache.get(digest)
         assert hit is False
         assert cache.stats.errors == 1
+        assert cache.stats.quarantined == 1
         assert not cache.entry_path(digest).exists()
+        # The bad entry is evidence, not garbage: moved aside, not deleted.
+        specimen = cache.quarantine_dir() / cache.entry_path(digest).name
+        assert specimen.read_bytes() == b"\x80garbage-not-a-pickle"
+
+    def test_requarantined_digest_keeps_one_specimen(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        digest = task_digest(mean, ([1.0],))
+        for marker in (b"\x80bad-one", b"\x80bad-two"):
+            cache.put(digest, 1.0)
+            cache.entry_path(digest).write_bytes(marker)
+            assert cache.get(digest)[0] is False
+        assert cache.stats.quarantined == 2
+        specimens = list(cache.quarantine_dir().iterdir())
+        assert len(specimens) == 1
+        assert specimens[0].read_bytes() == b"\x80bad-two"
 
     def test_truncated_entry_is_a_miss(self, tmp_path):
         cache = ResultCache(tmp_path)
@@ -132,7 +149,7 @@ class TestResultCacheStore:
         path.write_bytes(path.read_bytes()[:10])
         assert cache.get(digest)[0] is False
 
-    def test_version_mismatch_is_discarded(self, tmp_path):
+    def test_version_mismatch_is_quarantined(self, tmp_path):
         cache = ResultCache(tmp_path)
         digest = task_digest(mean, ([9.0],))
         path = cache.entry_path(digest)
@@ -143,7 +160,9 @@ class TestResultCacheStore:
         hit, _ = cache.get(digest)
         assert hit is False
         assert cache.stats.errors == 1
+        assert cache.stats.quarantined == 1
         assert not path.exists()
+        assert (cache.quarantine_dir() / path.name).exists()
 
     def test_digest_guard_rejects_renamed_entry(self, tmp_path):
         cache = ResultCache(tmp_path)
@@ -168,7 +187,8 @@ class TestResultCacheStore:
         assert not cache.put(digest, 1.0)
         assert cache.get(digest) == (False, None)
         assert _cache_files(tmp_path) == []
-        assert cache.stats.as_dict() == {"hits": 0, "misses": 0, "stores": 0, "errors": 0}
+        assert cache.stats.as_dict() == {"hits": 0, "misses": 0, "stores": 0,
+                                         "errors": 0, "quarantined": 0}
 
 
 class TestEnvironmentKnobs:

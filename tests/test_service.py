@@ -59,11 +59,27 @@ class GatedRunner:
         self.release = threading.Semaphore(0)
         self.calls = []
 
-    def __call__(self, spec, jobs, progress):
+    def __call__(self, spec, jobs, progress, cancel=None):
+        # Deliberately ignores the cancel token: models an engine run that
+        # drains to completion despite a cancellation request.
         self.calls.append(spec.name)
         self.started.release()
         if not self.release.acquire(timeout=30):
             raise RuntimeError("runner was never released")
+        progress(1, 1)
+        return {"scenario": spec.to_dict(), "tables": {"fake": {"cell": {"v": 1.0}}}}
+
+
+class CancellableRunner(GatedRunner):
+    """A gated runner that honours the cancel token at its one cell boundary."""
+
+    def __call__(self, spec, jobs, progress, cancel=None):
+        self.calls.append(spec.name)
+        self.started.release()
+        if not self.release.acquire(timeout=30):
+            raise RuntimeError("runner was never released")
+        if cancel is not None:
+            cancel.raise_if_cancelled()
         progress(1, 1)
         return {"scenario": spec.to_dict(), "tables": {"fake": {"cell": {"v": 1.0}}}}
 
@@ -131,16 +147,34 @@ class TestJobManager:
         # The cancelled job must never have executed.
         assert "victim" not in runner.calls
 
-    def test_cancel_running_job_conflicts(self, manager):
-        """The DELETE/cancel race: a job that just started cannot be cancelled."""
-        runner = GatedRunner()
+    def test_cancel_running_job_drains_cooperatively(self, manager):
+        """Cancelling a running job enters 'cancelling'; the engine honours
+        the token at the next cell boundary and the job lands 'cancelled'."""
+        runner = CancellableRunner()
         jobs = manager(runner=runner)
         job = jobs.submit(tiny_spec())
         assert runner.started.acquire(timeout=10)  # queued -> running happened
-        with pytest.raises(JobConflictError, match="is running"):
-            jobs.cancel(job.id)
-        # The conflict must not have corrupted the job: it still completes.
-        assert job.state == JobState.RUNNING
+        cancelling = jobs.cancel(job.id)
+        assert cancelling.state == JobState.CANCELLING
+        assert job.cancel is not None and job.cancel.cancelled
+        # Cancelling again is idempotent, not a conflict.
+        assert jobs.cancel(job.id).state == JobState.CANCELLING
+        runner.release.release()
+        done = jobs.wait(job.id, timeout=10)
+        assert done.state == JobState.CANCELLED
+        kinds = [event["event"] for event in jobs.iter_events(job.id)]
+        assert kinds[-2:] == ["cancelling", "cancelled"]
+        # The runner was entered (the work had started) exactly once.
+        assert runner.calls == ["service-tiny"]
+
+    def test_cancel_running_job_that_completes_anyway_is_done(self, manager):
+        """A run that finishes before noticing the token still lands 'done' —
+        the work was already paid for and the result is valid."""
+        runner = GatedRunner()  # ignores the token
+        jobs = manager(runner=runner)
+        job = jobs.submit(tiny_spec())
+        assert runner.started.acquire(timeout=10)
+        assert jobs.cancel(job.id).state == JobState.CANCELLING
         runner.release.release()
         assert jobs.wait(job.id, timeout=10).state == JobState.DONE
 
@@ -173,7 +207,7 @@ class TestJobManager:
         assert runner.calls == ["blocker", "high", "low"]
 
     def test_failed_job_records_error_and_dispatcher_survives(self, manager):
-        def exploding(spec, jobs, progress):
+        def exploding(spec, jobs, progress, cancel=None):
             if spec.name == "bad":
                 raise ValueError("boom")
             return {"scenario": spec.to_dict(), "tables": {}}
@@ -238,6 +272,9 @@ class TestJobManager:
         assert set(stats["scenario_cache"]) >= {"hits", "misses", "stores"}
         assert set(stats["cell_cache"]) >= {"enabled", "hits", "misses"}
         assert 0.0 <= stats["worker_utilisation"] <= 1.0
+        assert set(stats["supervisor"]) >= {"retries", "timeouts",
+                                            "pool_rebuilds", "cancelled"}
+        assert stats["journal"] is None  # no journal configured here
 
 
 class TestJobEvents:
@@ -351,7 +388,7 @@ class TestCompositeJobs:
 
     def test_composite_member_failure_fails_parent_with_partial_results(
             self, manager):
-        def exploding(spec, jobs, progress):
+        def exploding(spec, jobs, progress, cancel=None):
             if spec.name.endswith("-b"):
                 raise ValueError("boom")
             return {"scenario": spec.to_dict(), "tables": {"fake": {}}}
@@ -369,19 +406,25 @@ class TestCompositeJobs:
         assert "ValueError: boom" in finished.result["node_errors"]["b"]
 
     def test_cancel_composite_propagates_to_descendants(self, manager):
-        runner = GatedRunner()
+        runner = CancellableRunner()
         jobs = manager(runner=runner, scenario_cache=False)
         parent = jobs.submit_composite(tiny_composite("a", "b", "c"))
         assert runner.started.acquire(timeout=10)  # a is running
-        cancelled = jobs.cancel(parent.id)
+        cancelling = jobs.cancel(parent.id)
+        # The running member drains cooperatively; the parent waits for it.
+        assert cancelling.state == JobState.CANCELLING
+        assert cancelling.node_states["b"] == "skipped"
+        assert cancelling.node_states["c"] == "skipped"
+        # Cancelling again while draining is idempotent.
+        assert jobs.cancel(parent.id).state == JobState.CANCELLING
+        runner.release.release()  # let a hit its cell boundary
+        cancelled = jobs.wait(parent.id, timeout=10)
         assert cancelled.state == JobState.CANCELLED
-        assert cancelled.node_states["b"] == "skipped"
-        assert cancelled.node_states["c"] == "skipped"
-        runner.release.release()  # let a drain
-        time.sleep(0.2)
         # The drained member must not have spawned its dependents.
         assert set(parent.children) == {"a"}
         assert runner.calls == ["svc-composite-a"]
+        child = jobs.get(parent.children["a"])
+        assert child.state == JobState.CANCELLED
         with pytest.raises(JobConflictError, match="finished composite"):
             jobs.cancel(parent.id)
 
@@ -422,7 +465,7 @@ class TestCompositeJobs:
         through the worklist loop, not the call stack — the old recursive
         fan-out blew the recursion limit around ~250 nodes and stranded the
         parent job in 'running'."""
-        def instant(spec, jobs, progress):
+        def instant(spec, jobs, progress, cancel=None):
             return {"scenario": spec.to_dict(), "tables": {}}
 
         jobs = manager(runner=instant, max_finished_jobs=10_000)
@@ -542,7 +585,7 @@ class TestJobManagerStress:
         executed = []
         executed_lock = threading.Lock()
 
-        def runner(spec, jobs, progress):
+        def runner(spec, jobs, progress, cancel=None):
             with executed_lock:
                 executed.append(spec.name)
             progress(1, 1)
@@ -738,10 +781,14 @@ class TestServiceEndToEnd:
             # 202 responses carry the status payload, not an error.
             pending = client.result(job["id"])
             assert pending["state"] == JobState.RUNNING
+            # DELETE on a running job answers 202 with the draining status.
+            cancelling = client.cancel(job["id"])
+            assert cancelling["state"] == JobState.CANCELLING
+            runner.release.release()
+            # This runner ignores the token, so the drain completes the job.
+            assert client.wait(job["id"], timeout=10)["state"] == JobState.DONE
             with pytest.raises(ServiceError, match="HTTP 409"):
                 client.cancel(job["id"])
-            runner.release.release()
-            assert client.wait(job["id"], timeout=10)["state"] == JobState.DONE
         finally:
             server.shutdown()
             server.server_close()
@@ -941,7 +988,7 @@ class TestRepeatedRunAllStyleJobs:
         down when they finish (run_all does), job after job."""
         from repro.experiments.common import run_parallel, shutdown_executor
 
-        def run_all_style(spec, jobs, progress):
+        def run_all_style(spec, jobs, progress, cancel=None):
             try:
                 values = run_parallel(
                     _scale, [(index,) for index in range(4)], jobs=2, cache=False,
