@@ -1,0 +1,100 @@
+"""Benchmark the cross-cell vectorised sweep kernel (cells per second).
+
+Sweep-dominated scenarios replay many independent per-cell cache and ATD
+states over long access streams.  This benchmark stacks ``LANES`` such cells
+and replays them through :class:`~repro.cache.batch.BatchedCacheReplay` and
+:class:`~repro.cache.batch.BatchedATDReplay` with the resolved kernel
+(numpy when available), then measures the pure-Python per-cell kernel once
+outside the timed region so the reported ``speedup`` row compares the two on
+identical inputs.  ``cells_per_second`` is the headline number pinned in
+``baseline.json``.
+
+Scale knobs:
+
+* ``REPRO_BENCH_BATCH_LANES``    — sweep cells per batch (default 128),
+* ``REPRO_BENCH_BATCH_ACCESSES`` — accesses per cell (default 10000).
+
+The defaults keep the stacked arrays cache-resident (the kernel's sweet
+spot); past roughly 3M total accesses the numpy kernel turns bandwidth-bound
+and the advantage narrows to ~2x.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+from repro.cache.batch import BatchedATDReplay, BatchedCacheReplay, resolve_vec_kernel
+from repro.config import CacheConfig
+
+from benchmarks.conftest import run_once
+
+LANES = int(os.environ.get("REPRO_BENCH_BATCH_LANES", "128"))
+ACCESSES = int(os.environ.get("REPRO_BENCH_BATCH_ACCESSES", "10000"))
+
+CONFIG = CacheConfig(
+    size_bytes=128 * 1024,
+    associativity=16,
+    latency=30,
+    mshrs=16,
+    line_bytes=64,
+)
+
+
+def _streams(lanes: int, accesses: int):
+    rng = random.Random(1234)
+    addresses, stores = [], []
+    for _ in range(lanes):
+        base = rng.randrange(0, 1 << 20) & ~63
+        lane_addresses = []
+        for _ in range(accesses):
+            # A mix of streaming and reuse, the shape sweep cells see.
+            if rng.random() < 0.7:
+                base = (base + 64) & ((1 << 26) - 1)
+                lane_addresses.append(base)
+            else:
+                lane_addresses.append(rng.randrange(0, 1 << 22) & ~63)
+        addresses.append(lane_addresses)
+        stores.append([a % 256 == 0 for a in lane_addresses])
+    return addresses, stores
+
+
+def _replay_all(kernel: str, addresses, stores):
+    cache = BatchedCacheReplay(CONFIG, len(addresses), kernel=kernel)
+    cache.run(addresses, stores)
+    atd = BatchedATDReplay(CONFIG, len(addresses), sampled_sets=32, kernel=kernel)
+    atd.run(addresses)
+    return cache, atd
+
+
+def test_bench_sweep_batch_kernel(benchmark):
+    kernel = resolve_vec_kernel()
+    addresses, stores = _streams(LANES, ACCESSES)
+
+    cache, atd = run_once(benchmark, _replay_all, kernel, addresses, stores)
+    elapsed = benchmark.stats.stats.min
+    benchmark.extra_info["kernel"] = kernel
+    benchmark.extra_info["lanes"] = LANES
+    benchmark.extra_info["accesses_per_lane"] = ACCESSES
+    benchmark.extra_info["cells_per_second"] = LANES / elapsed
+
+    # One untimed per-cell (pure Python) replay of the same inputs for the
+    # speedup row; skipped when the resolved kernel already is python.
+    if kernel != "python":
+        started = time.perf_counter()
+        reference, reference_atd = _replay_all("python", addresses, stores)
+        per_cell_elapsed = time.perf_counter() - started
+        benchmark.extra_info["per_cell_seconds"] = per_cell_elapsed
+        benchmark.extra_info["speedup_vs_per_cell"] = per_cell_elapsed / elapsed
+        print(f"\nbatched {kernel}: {elapsed:.3f}s  per-cell python: "
+              f"{per_cell_elapsed:.3f}s  speedup: {per_cell_elapsed / elapsed:.2f}x  "
+              f"({LANES / elapsed:.1f} cells/s)")
+        # The batched kernel must agree with the per-cell replay exactly.
+        assert cache.hits == reference.hits and cache.misses == reference.misses
+        for lane in (0, LANES // 2, LANES - 1):
+            assert atd.hit_position_histogram(lane) == \
+                reference_atd.hit_position_histogram(lane)
+    else:
+        print(f"\nbatched python fallback: {elapsed:.3f}s "
+              f"({LANES / elapsed:.1f} cells/s)")

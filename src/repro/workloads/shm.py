@@ -1,0 +1,226 @@
+"""Zero-copy trace transport over POSIX shared memory.
+
+Sweep workers need the same handful of traces over and over, yet every pool
+submission used to re-pickle the ``PackedTrace`` buffers into the task
+payload.  :class:`SharedTraceStore` publishes each unique trace **once** per
+sweep as a named ``multiprocessing.shared_memory`` segment (the three packed
+columns concatenated: kinds ‖ addresses ‖ deps); submissions then carry only
+a small *directory* of ``{trace key: segment entry}`` and workers attach by
+name, turning per-task trace transfer into a constant-size dict.
+
+Lifecycle contract (the part that matters under PR 6's fault tolerance):
+
+* The parent owns every segment: create on :meth:`publish`, destroy in
+  :meth:`unlink_all` — ``run_parallel`` calls it in a ``finally`` so retries,
+  cancellation and permanent failures all clean up.
+* A module-level registry plus an ``atexit`` hook unlinks anything a crashed
+  caller left behind, so pool rebuilds and interpreter exits leak nothing.
+* Pool workers share the parent's ``resource_tracker`` process (both fork
+  and spawn children inherit the tracker fd), so a worker's attach-time
+  registration is an idempotent set-add of a name the parent already
+  registered at create — workers must **not** unregister after attaching,
+  or they would strip the parent's registration and every later
+  ``unlink()`` would raise a ``KeyError`` inside the tracker.  Column bytes
+  are copied out during attach, so the parent may unlink while worker
+  traces live on.
+
+Keys are ``(benchmark_name, num_instructions, seed)`` — the argument tuple of
+:func:`repro.sim.runner.build_trace`, which consults
+:func:`lookup_shared_trace` before falling back to generation.  Trace
+generation is deterministic, so a shared-memory trace and a locally generated
+one are byte-identical and results cannot depend on the transport.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+import threading
+import weakref
+
+from repro.workloads.trace import PackedTrace, Trace
+
+__all__ = [
+    "SharedTraceStore",
+    "TraceKey",
+    "active_segment_names",
+    "attach_trace",
+    "clear_shared_traces",
+    "install_shared_traces",
+    "lookup_shared_trace",
+    "shared_trace_count",
+]
+
+TraceKey = tuple  # (benchmark_name, num_instructions, seed)
+
+_SEGMENT_COUNTER = itertools.count()
+_STORES: "weakref.WeakSet[SharedTraceStore]" = weakref.WeakSet()
+_STORES_LOCK = threading.Lock()
+_ATEXIT_REGISTERED = False
+
+
+def _cleanup_stores() -> None:
+    """Unlink every live store's segments (interpreter-exit backstop)."""
+    with _STORES_LOCK:
+        stores = list(_STORES)
+    for store in stores:
+        store.unlink_all()
+
+
+def _register_store(store: "SharedTraceStore") -> None:
+    global _ATEXIT_REGISTERED
+    with _STORES_LOCK:
+        _STORES.add(store)
+        if not _ATEXIT_REGISTERED:
+            atexit.register(_cleanup_stores)
+            _ATEXIT_REGISTERED = True
+
+
+class SharedTraceStore:
+    """Parent-side owner of one sweep's shared-memory trace segments."""
+
+    def __init__(self) -> None:
+        self._segments: dict = {}   # key -> SharedMemory
+        self._entries: dict = {}    # key -> directory entry dict
+        self._lock = threading.Lock()
+        _register_store(self)
+
+    def __enter__(self) -> "SharedTraceStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.unlink_all()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def publish(self, key: TraceKey, trace: Trace) -> dict:
+        """Publish one trace under ``key``; idempotent per store."""
+        from multiprocessing import shared_memory
+
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                return entry
+            packed = trace.packed()
+            payload = packed.kinds + packed.addresses + packed.deps
+            segment = None
+            while segment is None:
+                name = f"repro-trace-{os.getpid()}-{next(_SEGMENT_COUNTER)}"
+                try:
+                    segment = shared_memory.SharedMemory(
+                        name=name, create=True, size=max(1, len(payload))
+                    )
+                except FileExistsError:
+                    continue  # stale leftover from a recycled pid; next name
+            segment.buf[: len(payload)] = payload
+            entry = {
+                "segment": segment.name,
+                "trace_name": packed.name,
+                "kinds_len": len(packed.kinds),
+                "addresses_len": len(packed.addresses),
+                "deps_len": len(packed.deps),
+            }
+            self._segments[key] = segment
+            self._entries[key] = entry
+            return entry
+
+    def directory(self) -> dict:
+        """The ``{key: entry}`` mapping shipped inside batch payloads."""
+        with self._lock:
+            return dict(self._entries)
+
+    def segment_names(self) -> list:
+        with self._lock:
+            return [segment.name for segment in self._segments.values()]
+
+    def unlink_all(self) -> None:
+        """Destroy every published segment; safe to call repeatedly."""
+        with self._lock:
+            segments = list(self._segments.values())
+            self._segments.clear()
+            self._entries.clear()
+        for segment in segments:
+            try:
+                segment.close()
+                segment.unlink()
+            except FileNotFoundError:
+                pass  # already gone (e.g. the atexit backstop raced us)
+
+
+def active_segment_names() -> list:
+    """Names of all segments currently owned by live stores (tests)."""
+    with _STORES_LOCK:
+        stores = list(_STORES)
+    names: list = []
+    for store in stores:
+        names.extend(store.segment_names())
+    return names
+
+
+# ------------------------------------------------------------------ worker side
+
+_SHARED_DIRECTORY: dict = {}
+
+
+def attach_trace(entry: dict) -> Trace:
+    """Rebuild a :class:`Trace` from one directory entry.
+
+    Copies the column bytes out of the segment and detaches immediately; the
+    attach-time resource-tracker registration is deliberately left in place
+    (see the module docstring — the tracker is shared with the parent, and
+    the registration is an idempotent no-op the parent's ``unlink`` clears).
+    """
+    from multiprocessing import shared_memory
+
+    segment = shared_memory.SharedMemory(name=entry["segment"])
+    try:
+        kinds_len = entry["kinds_len"]
+        addresses_len = entry["addresses_len"]
+        view = segment.buf
+        kinds = bytes(view[:kinds_len])
+        addresses = bytes(view[kinds_len : kinds_len + addresses_len])
+        deps = bytes(
+            view[
+                kinds_len + addresses_len : kinds_len
+                + addresses_len
+                + entry["deps_len"]
+            ]
+        )
+    finally:
+        segment.close()
+    return PackedTrace(
+        name=entry["trace_name"], kinds=kinds, addresses=addresses, deps=deps
+    ).unpack()
+
+
+def install_shared_traces(directory: dict) -> None:
+    """Install a batch payload's trace directory in this worker process."""
+    _SHARED_DIRECTORY.update(directory)
+
+
+def clear_shared_traces() -> None:
+    _SHARED_DIRECTORY.clear()
+
+
+def shared_trace_count() -> int:
+    return len(_SHARED_DIRECTORY)
+
+
+def lookup_shared_trace(key: TraceKey) -> "Trace | None":
+    """The shared trace for ``key``, or None (fall back to generation).
+
+    A directory entry whose segment has already been unlinked (the parent
+    finished the sweep while this worker still held the directory) degrades
+    to generation rather than failing the cell.
+    """
+    entry = _SHARED_DIRECTORY.get(key)
+    if entry is None:
+        return None
+    try:
+        return attach_trace(entry)
+    except FileNotFoundError:
+        _SHARED_DIRECTORY.pop(key, None)
+        return None

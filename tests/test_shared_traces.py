@@ -1,0 +1,208 @@
+"""Lifecycle tests for the shared-memory trace transport.
+
+The contract under test (see :mod:`repro.workloads.shm`): segments are
+created once per sweep, attachable by name from workers, byte-identical to
+locally generated traces, unlinked after every sweep outcome — normal
+completion, permanent failure, and fault-injected pool rebuilds — and the
+interpreter-exit backstop reclaims anything a crashed caller left behind,
+all without ``resource_tracker`` warnings.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.experiments.common import run_parallel, shutdown_executor
+from repro.faults import FaultPlan, FaultSpec
+from repro.sim.runner import build_trace
+from repro.workloads.shm import (
+    SharedTraceStore,
+    active_segment_names,
+    attach_trace,
+    clear_shared_traces,
+    install_shared_traces,
+    lookup_shared_trace,
+    shared_trace_count,
+)
+
+KEY = ("art_like", 2000, 3)
+
+
+@pytest.fixture(autouse=True)
+def _clean_worker_directory():
+    clear_shared_traces()
+    yield
+    clear_shared_traces()
+
+
+def _segment_exists(name: str) -> bool:
+    from multiprocessing import shared_memory
+
+    try:
+        segment = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    segment.close()
+    return True
+
+
+class TestSharedTraceStore:
+    def test_attach_reproduces_the_published_trace(self):
+        trace = build_trace(*KEY)
+        with SharedTraceStore() as store:
+            entry = store.publish(KEY, trace)
+            rebuilt = attach_trace(entry)
+            assert rebuilt.name == trace.name
+            assert len(rebuilt) == len(trace)
+            assert rebuilt.packed() == trace.packed()
+
+    def test_publish_is_idempotent_per_key(self):
+        trace = build_trace(*KEY)
+        with SharedTraceStore() as store:
+            first = store.publish(KEY, trace)
+            second = store.publish(KEY, trace)
+            assert first == second
+            assert len(store) == 1
+            assert len(store.segment_names()) == 1
+
+    def test_unlink_all_destroys_segments_and_is_idempotent(self):
+        store = SharedTraceStore()
+        entry = store.publish(KEY, build_trace(*KEY))
+        name = entry["segment"]
+        assert _segment_exists(name)
+        store.unlink_all()
+        assert not _segment_exists(name)
+        assert store.segment_names() == []
+        store.unlink_all()  # second call must be a no-op
+
+    def test_active_segment_names_tracks_live_stores(self):
+        store = SharedTraceStore()
+        entry = store.publish(KEY, build_trace(*KEY))
+        assert entry["segment"] in active_segment_names()
+        store.unlink_all()
+        assert entry["segment"] not in active_segment_names()
+
+
+class TestWorkerSideDirectory:
+    def test_lookup_unknown_key_returns_none(self):
+        assert lookup_shared_trace(("nope", 1, 2)) is None
+
+    def test_install_and_lookup_round_trip(self):
+        with SharedTraceStore() as store:
+            store.publish(KEY, build_trace(*KEY))
+            install_shared_traces(store.directory())
+            assert shared_trace_count() == 1
+            found = lookup_shared_trace(KEY)
+            assert found is not None and found.name == "art_like"
+
+    def test_stale_entry_degrades_to_generation(self):
+        store = SharedTraceStore()
+        store.publish(KEY, build_trace(*KEY))
+        install_shared_traces(store.directory())
+        store.unlink_all()  # parent finished while the directory lives on
+        assert lookup_shared_trace(KEY) is None
+        assert shared_trace_count() == 0  # the dead entry was dropped
+        # build_trace falls back to generation and still answers.
+        assert build_trace(*KEY).name == "art_like"
+
+
+def _trace_cell(benchmark: str, instructions: int, seed: int):
+    trace = build_trace(benchmark, instructions, seed)
+    return (trace.name, len(trace), shared_trace_count())
+
+
+def _cell_trace_keys(args: tuple) -> list[tuple]:
+    return [args]
+
+
+class TestSweepLifecycle:
+    TASKS = [("art_like", 2000, 3), ("applu_like", 2000, 4), ("omnetpp_like", 2000, 5)]
+
+    def _run(self, fault_plan=None):
+        try:
+            return run_parallel(_trace_cell, self.TASKS, jobs=2, cache=False,
+                                trace_keys=_cell_trace_keys,
+                                fault_plan=fault_plan)
+        finally:
+            shutdown_executor()
+
+    def test_batched_sweep_unlinks_after_normal_completion(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VEC_BATCH", "2")
+        results = self._run()
+        assert [r[0] for r in results] == [name for name, _n, _seed in self.TASKS]
+        # Every worker saw the shared directory...
+        assert all(r[2] > 0 for r in results)
+        # ...and nothing survived the sweep.
+        assert active_segment_names() == []
+
+    def test_pool_rebuild_after_worker_crash_leaks_nothing(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VEC_BATCH", "2")
+        plan = FaultPlan(faults=(FaultSpec(kind="worker_crash", cell=1),))
+        results = self._run(fault_plan=plan)
+        assert [r[0] for r in results] == [name for name, _n, _seed in self.TASKS]
+        assert active_segment_names() == []
+
+    def test_permanent_failure_still_unlinks(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VEC_BATCH", "2")
+        with pytest.raises(Exception):
+            try:
+                run_parallel(_trace_cell, [("no_such_benchmark", 100, 0)] * 2,
+                             jobs=2, cache=False, trace_keys=_cell_trace_keys)
+            finally:
+                shutdown_executor()
+        assert active_segment_names() == []
+
+
+class TestProcessHygiene:
+    def test_no_resource_tracker_warnings(self):
+        """A batched sweep must not trip the resource tracker: no KeyErrors
+        from double-unregistration, no leaked-object warnings at exit."""
+        script = textwrap.dedent("""
+            from repro.experiments.common import run_parallel, shutdown_executor
+            from tests.test_shared_traces import _cell_trace_keys, _trace_cell
+
+            tasks = [("art_like", 1500, 1), ("applu_like", 1500, 2)]
+            results = run_parallel(_trace_cell, tasks, jobs=2, cache=False,
+                                   trace_keys=_cell_trace_keys)
+            shutdown_executor()
+            assert [r[0] for r in results] == ["art_like", "applu_like"]
+        """)
+        env = dict(os.environ, REPRO_VEC_BATCH="2", REPRO_CACHE="0",
+                   PYTHONPATH=os.pathsep.join(
+                       ["src", "."] + os.environ.get("PYTHONPATH", "").split(os.pathsep)
+                   ))
+        proc = subprocess.run([sys.executable, "-c", script], env=env,
+                              capture_output=True, text=True, timeout=240,
+                              cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+        assert proc.returncode == 0, proc.stderr
+        assert "resource_tracker" not in proc.stderr, proc.stderr
+        assert "leaked" not in proc.stderr, proc.stderr
+
+    def test_atexit_backstop_unlinks_abandoned_segments(self):
+        """A caller that never reaches unlink_all (crash path) must still be
+        cleaned up when the interpreter exits."""
+        script = textwrap.dedent("""
+            from repro.sim.runner import build_trace
+            from repro.workloads.shm import SharedTraceStore
+
+            store = SharedTraceStore()
+            entry = store.publish(("art_like", 1000, 0), build_trace("art_like", 1000, 0))
+            print(entry["segment"])
+            # no unlink_all: the atexit hook must reclaim the segment
+        """)
+        env = dict(os.environ, PYTHONPATH=os.pathsep.join(
+            ["src"] + os.environ.get("PYTHONPATH", "").split(os.pathsep)
+        ))
+        proc = subprocess.run([sys.executable, "-c", script], env=env,
+                              capture_output=True, text=True, timeout=120,
+                              cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+        assert proc.returncode == 0, proc.stderr
+        name = proc.stdout.strip().splitlines()[-1]
+        assert name.startswith("repro-trace-")
+        assert not _segment_exists(name)
+        assert "resource_tracker" not in proc.stderr, proc.stderr

@@ -1,0 +1,147 @@
+"""Tests for the vectorised-batch knobs and batched submission behaviour.
+
+``REPRO_VEC_BATCH`` (cells per pool submission) and ``REPRO_VEC_KERNEL``
+(numpy vs pure-Python batched kernel) follow the strict ``REPRO_JOBS``
+validation contract: malformed values raise :class:`ConfigurationError` with
+"did you mean" hints, and validation is eager — a typo surfaces even when
+every cell would be served from the result cache.  Batched submissions must
+also keep the service's per-cell progress granularity.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache import batch as batch_module
+from repro.cache.batch import (
+    numpy_available,
+    resolve_vec_batch,
+    resolve_vec_kernel,
+)
+from repro.errors import ConfigurationError
+
+
+class TestResolveVecBatch:
+    def test_default_is_off(self, monkeypatch):
+        monkeypatch.delenv("REPRO_VEC_BATCH", raising=False)
+        assert resolve_vec_batch() == 0
+
+    def test_blank_env_is_off(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VEC_BATCH", "   ")
+        assert resolve_vec_batch() == 0
+
+    def test_env_value_parsed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VEC_BATCH", " 16 ")
+        assert resolve_vec_batch() == 16
+
+    def test_explicit_value_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VEC_BATCH", "16")
+        assert resolve_vec_batch(4) == 4
+        assert resolve_vec_batch("8") == 8
+
+    @pytest.mark.parametrize("value", ["-1", "1.5", "16 cells"])
+    def test_malformed_values_rejected(self, value):
+        with pytest.raises(ConfigurationError, match="REPRO_VEC_BATCH"):
+            resolve_vec_batch(value)
+
+    def test_bool_rejected(self):
+        with pytest.raises(ConfigurationError, match="REPRO_VEC_BATCH"):
+            resolve_vec_batch(True)
+
+    @pytest.mark.parametrize("word", ["off", "fales", "disabled", "NO"])
+    def test_off_words_hint_at_zero(self, word):
+        with pytest.raises(ConfigurationError, match="did you mean '0'"):
+            resolve_vec_batch(word)
+
+    @pytest.mark.parametrize("word", ["on", "ture", "enabled", "auto"])
+    def test_on_words_hint_at_a_batch_size(self, word):
+        with pytest.raises(ConfigurationError, match="positive batch size"):
+            resolve_vec_batch(word)
+
+
+class TestResolveVecKernel:
+    def test_auto_resolves_to_an_available_kernel(self, monkeypatch):
+        monkeypatch.delenv("REPRO_VEC_KERNEL", raising=False)
+        resolved = resolve_vec_kernel()
+        assert resolved == ("numpy" if numpy_available() else "python")
+
+    def test_python_always_allowed(self):
+        assert resolve_vec_kernel("python") == "python"
+
+    def test_env_value_used(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VEC_KERNEL", "python")
+        assert resolve_vec_kernel() == "python"
+
+    def test_unknown_kernel_gets_a_hint(self):
+        with pytest.raises(ConfigurationError, match="did you mean 'numpy'"):
+            resolve_vec_kernel("numpyy")
+
+    def test_numpy_requested_but_missing_is_rejected(self, monkeypatch):
+        monkeypatch.setattr(batch_module, "numpy_available", lambda: False)
+        with pytest.raises(ConfigurationError, match="numpy is not importable"):
+            resolve_vec_kernel("numpy")
+
+    def test_auto_degrades_to_python_without_numpy(self, monkeypatch):
+        monkeypatch.setattr(batch_module, "numpy_available", lambda: False)
+        assert resolve_vec_kernel("auto") == "python"
+
+    @pytest.mark.skipif(not numpy_available(), reason="needs numpy")
+    def test_numpy_honoured_when_available(self):
+        assert resolve_vec_kernel("numpy") == "numpy"
+
+
+def _double(value):
+    return value * 2
+
+
+class TestEagerValidation:
+    def test_run_parallel_rejects_bad_vec_batch_eagerly(self, monkeypatch):
+        """A broken REPRO_VEC_BATCH surfaces before any cell runs or is served
+        from the cache — the same contract as REPRO_JOBS."""
+        from repro.experiments.common import run_parallel
+
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        monkeypatch.setenv("REPRO_VEC_BATCH", "bogus")
+        with pytest.raises(ConfigurationError, match="REPRO_VEC_BATCH"):
+            run_parallel(_double, [(1,), (2,)], jobs=1)
+
+
+class TestServicePerCellProgress:
+    def test_batched_job_emits_per_cell_progress_events(self, tmp_path, monkeypatch):
+        """The SSE event log must report every cell even when the supervisor
+        groups all of them into one batched submission."""
+        from repro.scenarios import ScenarioSpec
+        from repro.service import ArtifactStore, JobManager, JobState
+
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        monkeypatch.setenv("REPRO_VEC_BATCH", "8")
+        spec = ScenarioSpec.from_dict({
+            "name": "vec-batch-progress",
+            "kind": "accuracy",
+            "machine": {"core_counts": [2], "llc_kilobytes": 64},
+            "workloads": {"groups": ["H", "M"], "per_group": 1},
+            "techniques": ["GDP"],
+            "instructions_per_core": 1500,
+            "interval_instructions": 750,
+        })
+        jobs = JobManager(
+            sweep_jobs=2,
+            artifacts=ArtifactStore(tmp_path / "artifacts", max_bytes=1 << 20),
+        )
+        try:
+            job = jobs.submit(spec)
+            done = jobs.wait(job.id, timeout=120)
+            assert done.state == JobState.DONE
+            progress = [
+                (event["done"], event["total"])
+                for event in jobs.iter_events(job.id)
+                if event["event"] == "progress"
+            ]
+        finally:
+            jobs.shutdown()
+            from repro.experiments.common import shutdown_executor
+
+            shutdown_executor()
+        # Both cells land in a single batch of 8; the log must still show
+        # the intermediate (1, 2) step, not jump straight to (2, 2).
+        assert progress == [(0, 2), (1, 2), (2, 2)]
