@@ -8,7 +8,8 @@ Usage::
     python -m repro run path/to/scenario.json [--jobs N] [--json OUT]
     python -m repro run-composite path/to/composite.json [--jobs N] [--json OUT]
     python -m repro run-all [--scale small] [--jobs N] [--json OUT]
-    python -m repro serve [--port P] [--jobs N]   # long-lived scenario service
+    python -m repro serve [--port P] [--jobs N] [--local-workers N]
+    python -m repro worker --broker http://HOST:PORT [--jobs N] [--lease-cells N]
 
 ``run`` accepts either a built-in scenario name (see ``list``) or a path to a
 JSON scenario spec — arbitrary machine/workload/estimator/sweep combinations
@@ -169,10 +170,49 @@ def _cmd_run_all(scale: str | None, jobs: int | None, json_path: str | None) -> 
     return 0
 
 
-def _cmd_serve(port: int | None, host: str, jobs: int | None) -> int:
+def _cmd_serve(port: int | None, host: str, jobs: int | None,
+               local_workers: int) -> int:
     from repro.service.http import serve
 
-    return serve(port=port, host=host, sweep_jobs=jobs)
+    if local_workers < 0:
+        raise ConfigurationError(
+            f"--local-workers must be non-negative, got {local_workers}")
+    return serve(port=port, host=host, sweep_jobs=jobs,
+                 local_workers=local_workers)
+
+
+def _cmd_worker(broker: str, worker_id: str | None, jobs: int | None,
+                lease_cells: int | None, poll: float | None,
+                max_leases: int | None) -> int:
+    from repro.experiments.common import shutdown_executor
+
+    broker = broker.rstrip("/")
+    if not broker.startswith(("http://", "https://")):
+        raise ConfigurationError(
+            f"--broker must be an http(s) base URL such as "
+            f"'http://127.0.0.1:8642', got {broker!r}"
+        )
+    # Unless the operator chose otherwise, a remote worker reads and writes
+    # the *broker's* content-addressed caches, so no cell in the fleet is
+    # ever computed twice.
+    os.environ.setdefault("REPRO_ARTIFACT_BACKEND", "http")
+    os.environ.setdefault("REPRO_ARTIFACT_URL", broker)
+
+    from repro.service.workers.remote import RemoteWorker
+
+    worker = RemoteWorker(broker, worker_id=worker_id, jobs=jobs,
+                          lease_cells=lease_cells, poll=poll)
+    print(f"worker '{worker.worker_id}' leasing from {broker} "
+          f"(poll {worker.poll:g}s, up to {worker.lease_cells} cells/lease)")
+    try:
+        worker.run(max_leases=max_leases)
+    except KeyboardInterrupt:
+        print("\nworker stopping")
+    finally:
+        shutdown_executor()
+    print(f"worker '{worker.worker_id}' ran {worker.leases_run} lease(s), "
+          f"{worker.cells_run} cell(s)")
+    return 0
 
 
 def _print_cache_stats() -> None:
@@ -232,6 +272,27 @@ def main(argv: list[str] | None = None) -> int:
                        help="bind address (default: 127.0.0.1)")
     serve.add_argument("--jobs", type=int, default=None,
                        help="sweep workers per job (default: REPRO_JOBS or CPU count)")
+    serve.add_argument("--local-workers", type=int, default=1,
+                       help="in-process lease workers (0 = broker-only: all "
+                            "cells run on remote workers; default: 1)")
+
+    worker = subparsers.add_parser(
+        "worker", help="attach a remote worker to a scenario broker")
+    worker.add_argument("--broker", required=True,
+                        help="broker base URL, e.g. http://127.0.0.1:8642")
+    worker.add_argument("--id", dest="worker_id", default=None,
+                        help="worker name shown in /stats (default: host-pid)")
+    worker.add_argument("--jobs", type=int, default=None,
+                        help="local process-pool width (default: REPRO_JOBS "
+                             "or CPU count)")
+    worker.add_argument("--lease-cells", type=int, default=None,
+                        help="max cells per lease (default: the pool width)")
+    worker.add_argument("--poll", type=float, default=None,
+                        help="long-poll seconds per lease request (default: "
+                             "REPRO_WORKER_POLL or 2)")
+    worker.add_argument("--max-leases", type=int, default=None,
+                        help="exit after this many leases (default: run "
+                             "until interrupted)")
 
     arguments = parser.parse_args(argv)
     try:
@@ -246,7 +307,12 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_run_composite(arguments.composite, arguments.jobs,
                                       arguments.json_path)
         if arguments.command == "serve":
-            return _cmd_serve(arguments.port, arguments.host, arguments.jobs)
+            return _cmd_serve(arguments.port, arguments.host, arguments.jobs,
+                              arguments.local_workers)
+        if arguments.command == "worker":
+            return _cmd_worker(arguments.broker, arguments.worker_id,
+                               arguments.jobs, arguments.lease_cells,
+                               arguments.poll, arguments.max_leases)
         return _cmd_run_all(arguments.scale, arguments.jobs, arguments.json_path)
     except ConfigurationError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -76,6 +76,18 @@ class JobConflictError(ServiceError):
     """
 
 
+class LeaseLostError(ServiceError):
+    """Raised when a worker acts on a lease the broker no longer honours.
+
+    A lease dies when its heartbeat deadline passes (the cells were requeued
+    for another worker), when its job finished without it, or when the id was
+    never granted.  The HTTP layer maps this to 410 Gone; the worker's only
+    correct move is to discard its in-flight work and acquire a fresh lease —
+    the broker ignores results posted against a lost lease, which is what
+    keeps duplicate results out of requeued jobs.
+    """
+
+
 class CompositeExecutionError(ReproError):
     """Raised when a composite scenario fails partway through its DAG.
 

@@ -188,6 +188,27 @@ class FaultPlan:
             f"(plan seed {self.seed})"
         )
 
+    def for_cells(self, indices) -> "FaultPlan":
+        """The plan restricted to ``indices``, renumbered to subset positions.
+
+        A worker holding a *lease* over a slice of a sweep evaluates only the
+        leased cells, locally numbered 0..n-1; plan indices, however, address
+        positions in the full :func:`~repro.scenarios.runner.expand_cells`
+        order.  This remaps each retained fault's ``cell`` to its position in
+        ``indices`` (faults aimed outside the slice are dropped — another
+        lease will fire them), so a plan split across workers injects exactly
+        the faults a single-node run would.
+        """
+        position = {int(index): local for local, index in enumerate(indices)}
+        remapped = tuple(
+            FaultSpec(kind=fault.kind, cell=position[fault.cell],
+                      attempts=fault.attempts,
+                      delay_seconds=fault.delay_seconds)
+            for fault in self.faults
+            if fault.cell in position
+        )
+        return FaultPlan(faults=remapped, seed=self.seed)
+
     def corrupt_cache_entry(self, cache, digest: str, cell: int) -> bool:
         """Overwrite the cell's just-persisted cache shard with garbage.
 

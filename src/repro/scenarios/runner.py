@@ -38,6 +38,7 @@ from repro.scenarios.spec import ScenarioSpec, SweepAxis
 __all__ = [
     "ScenarioCell",
     "ScenarioResult",
+    "assemble_result",
     "axis_value_label",
     "expand_cells",
     "run_scenario",
@@ -484,6 +485,21 @@ def expand_cells(spec: ScenarioSpec,
     return cells
 
 
+def assemble_result(spec: ScenarioSpec, cells: list[ScenarioCell],
+                    outcomes: list) -> ScenarioResult:
+    """Group per-cell outcomes (in :func:`expand_cells` order) into a result.
+
+    The single place scenario results are assembled: the in-process
+    :func:`run_scenario` path and the lease broker — which collects outcomes
+    cell-by-cell from a fleet of workers — both call it, so a distributed
+    run's payload is bit-identical to a single-node run's by construction.
+    """
+    result = ScenarioResult(spec=spec)
+    for cell, outcome in zip(cells, outcomes):
+        result.cells.setdefault(cell.key, []).append(outcome)
+    return result
+
+
 def run_scenario(spec: ScenarioSpec, jobs: int | None = None,
                  config_factory=default_experiment_config,
                  cache: bool = True,
@@ -514,7 +530,4 @@ def run_scenario(spec: ScenarioSpec, jobs: int | None = None,
         fault_plan=spec.fault_plan,
         trace_keys=TRACE_KEY_BUILDERS[spec.kind],
     )
-    result = ScenarioResult(spec=spec)
-    for cell, outcome in zip(cells, outcomes):
-        result.cells.setdefault(cell.key, []).append(outcome)
-    return result
+    return assemble_result(spec, cells, outcomes)

@@ -5,10 +5,16 @@ resident — shared process pool warm, caches populated — and serves scenario
 requests over HTTP (``python -m repro serve``):
 
 * :mod:`repro.service.jobs` — priority queue, per-job state machine and the
-  dispatcher thread that executes specs through the scenario engine,
-* :mod:`repro.service.artifacts` — LRU-bounded disk store of whole-scenario
-  result payloads (the scenario-level cache above the cell-level one),
+  lease broker handing sweep cells to whoever will run them,
+* :mod:`repro.service.workers` — the lease holders: the in-process
+  :class:`~repro.service.workers.local.LocalPool` (the single-node default)
+  and the :class:`~repro.service.workers.remote.RemoteWorker` behind
+  ``python -m repro worker``,
+* :mod:`repro.service.artifacts` — LRU-bounded store of whole-scenario
+  result payloads over a pluggable :mod:`repro.backends` backend (the
+  scenario-level cache above the cell-level one),
 * :mod:`repro.service.http` — the stdlib ``ThreadingHTTPServer`` API,
+  including the lease and artifact routes remote workers speak,
 * :mod:`repro.service.client` — the urllib client used by tests and tools,
 * :mod:`repro.service.journal` — the crash-safe job journal behind
   ``serve``'s restart recovery and graceful SIGTERM drain.
@@ -17,8 +23,16 @@ requests over HTTP (``python -m repro serve``):
 from repro.service.artifacts import ArtifactStore
 from repro.service.client import ServiceClient
 from repro.service.http import ScenarioServer, create_server, serve
-from repro.service.jobs import Job, JobManager, JobState, scenario_digest
+from repro.service.jobs import (
+    Job,
+    JobManager,
+    JobState,
+    Lease,
+    LeaseGrant,
+    scenario_digest,
+)
 from repro.service.journal import JobJournal, journal_path_from_env
+from repro.service.workers import LocalPool
 
 __all__ = [
     "ArtifactStore",
@@ -30,6 +44,9 @@ __all__ = [
     "JobJournal",
     "JobManager",
     "JobState",
+    "Lease",
+    "LeaseGrant",
+    "LocalPool",
     "journal_path_from_env",
     "scenario_digest",
 ]

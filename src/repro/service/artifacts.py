@@ -1,4 +1,4 @@
-"""Disk-backed artifact store for whole-scenario results.
+"""Artifact store for whole-scenario results, over a pluggable backend.
 
 The scenario service caches at two levels: individual sweep cells hit the
 content-addressed result cache (:mod:`repro.sim.result_cache`), and complete
@@ -6,24 +6,28 @@ scenario results — the JSON payload a client downloads, including the figure
 tables — are persisted here under a whole-spec digest.  A repeated submission
 of an identical spec is then served without touching the engine at all.
 
-Artifacts are JSON files named ``<digest>.json`` under one directory
-(``REPRO_ARTIFACT_DIR``, default ``.repro_artifacts``), written atomically
-(temp file + ``os.replace``).  The store is LRU-bounded by total size:
-``REPRO_ARTIFACT_MAX_MB`` (default 256) caps the directory, and reads touch
-the file's mtime so eviction drops the least recently *used* artifact, not
-merely the oldest.  Corrupted or unreadable artifacts are treated as misses
-and deleted best-effort — the scenario is simply recomputed.
+Where the bytes live is delegated to an :class:`~repro.backends.ArtifactBackend`
+selected by ``REPRO_ARTIFACT_BACKEND``: the default ``directory`` backend
+keeps the historical layout — JSON files named ``<digest>.json`` under one
+directory (``REPRO_ARTIFACT_DIR``, default ``.repro_artifacts``), written
+atomically — ``sharded`` fans entries out by digest prefix, and ``http``
+proxies a remote broker's store.  The store is LRU-bounded by total size on
+the listable (local) backends: ``REPRO_ARTIFACT_MAX_MB`` (default 256) caps
+the directory, and reads touch the file's mtime so eviction drops the least
+recently *used* artifact, not merely the oldest.  Corrupted or unreadable
+artifacts are treated as misses and deleted best-effort — the scenario is
+simply recomputed.
 """
 
 from __future__ import annotations
 
 import json
 import os
-import tempfile
 import time
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.backends import ArtifactBackend, backend_from_env
 from repro.errors import ConfigurationError
 
 __all__ = [
@@ -80,81 +84,66 @@ class ArtifactStats:
 
 
 class ArtifactStore:
-    """An LRU-bounded directory of JSON artifacts addressed by digest."""
+    """An LRU-bounded store of JSON artifacts addressed by digest."""
 
     def __init__(self, directory: str | os.PathLike | None = None,
-                 max_bytes: int | None = None):
+                 max_bytes: int | None = None,
+                 backend: ArtifactBackend | None = None):
         self.directory = Path(directory) if directory is not None else artifact_dir_from_env()
         self.max_bytes = max_bytes if max_bytes is not None else artifact_limit_from_env()
         if self.max_bytes <= 0:
             raise ConfigurationError("the artifact store needs a positive size bound")
+        self.backend = backend if backend is not None else backend_from_env(
+            self.directory, ".json", "scenarios"
+        )
         self.stats = ArtifactStats()
 
     def entry_path(self, digest: str) -> Path:
-        return self.directory / f"{digest}.json"
+        return self.backend.path_for(digest)
 
     def get(self, digest: str) -> dict | None:
         """The stored payload for ``digest``, or None on a miss."""
-        path = self.entry_path(digest)
-        try:
-            with open(path, encoding="utf-8") as handle:
-                payload = json.load(handle)
-        except FileNotFoundError:
+        errors_before = self.backend.read_errors
+        data = self.backend.get(digest)
+        if data is None:
+            if self.backend.read_errors > errors_before:
+                # Unreadable entry (not merely absent): count the corruption.
+                self.stats.errors += 1
             self.stats.misses += 1
             return None
-        except (OSError, ValueError):
+        try:
+            payload = json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            payload = None
+        if not isinstance(payload, dict):
             # Torn write survivor or hand-edited file: recompute.
             self.stats.errors += 1
-            self._discard(path)
+            self.backend.delete(digest)
             self.stats.misses += 1
             return None
-        if not isinstance(payload, dict):
-            self.stats.errors += 1
-            self._discard(path)
-            self.stats.misses += 1
-            return None
-        self._touch(path)
+        self.backend.touch(digest)
         self.stats.hits += 1
         return payload
 
     def put(self, digest: str, payload: dict) -> bool:
         """Persist ``payload`` under ``digest`` (atomic, best-effort)."""
-        path = self.entry_path(digest)
         try:
-            text = json.dumps(payload, indent=2, default=str)
-            self.directory.mkdir(parents=True, exist_ok=True)
-            descriptor, temp_name = tempfile.mkstemp(
-                dir=self.directory, suffix=".tmp"
-            )
-            try:
-                with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
-                    handle.write(text)
-                os.replace(temp_name, path)
-            except BaseException:
-                try:
-                    os.unlink(temp_name)
-                except OSError:
-                    pass
-                raise
+            data = json.dumps(payload, indent=2, default=str).encode("utf-8")
         except Exception:
-            # A full disk must degrade to "no artifact", never fail the job.
+            self.stats.errors += 1
+            return False
+        if not self.backend.put(digest, data):
+            # A full disk (or unreachable remote) must degrade to "no
+            # artifact", never fail the job.
             self.stats.errors += 1
             return False
         self.stats.stores += 1
-        self._evict(keep=path)
+        self._evict(keep=digest)
         return True
 
     def entries(self) -> list[Path]:
-        """All artifact files, least recently used first."""
-        if not self.directory.is_dir():
-            return []
-        paths = []
-        for path in self.directory.glob("*.json"):
-            try:
-                paths.append((path.stat().st_mtime, path))
-            except OSError:
-                continue
-        return [path for _mtime, path in sorted(paths, key=lambda item: item[0])]
+        """All local artifact files, least recently used first."""
+        return self.backend.entry_paths()
 
     def total_bytes(self) -> int:
         total = 0
@@ -176,14 +165,18 @@ class ArtifactStore:
                 pass
         return removed
 
-    def _evict(self, keep: Path) -> None:
+    def _evict(self, keep: str) -> None:
         """Drop least-recently-used artifacts until the store fits the bound.
 
         The just-written artifact is never evicted, even when it alone
         exceeds the bound — a cache that silently discarded the result it was
         asked to keep would turn every oversized scenario into a permanent
-        recompute.
+        recompute.  Remote (non-listable) backends skip eviction entirely:
+        the broker owns its own store's bound.
         """
+        if not self.backend.listable:
+            return
+        keep_path = self.backend.path_for(keep)
         budget = self.max_bytes
         entries = []
         for path in self.entries():
@@ -195,7 +188,7 @@ class ArtifactStore:
         for path, size in entries:
             if total <= budget:
                 break
-            if path == keep:
+            if path == keep_path:
                 continue
             try:
                 path.unlink()
@@ -205,15 +198,9 @@ class ArtifactStore:
             self.stats.evictions += 1
 
     def _touch(self, path: Path) -> None:
+        # Kept for backwards compatibility with callers that touch by path.
         try:
             now = time.time()
             os.utime(path, (now, now))
-        except OSError:
-            pass
-
-    @staticmethod
-    def _discard(path: Path) -> None:
-        try:
-            path.unlink()
         except OSError:
             pass

@@ -23,9 +23,11 @@ deterministic (hash-derived), keeping client behaviour reproducible.
 
 from __future__ import annotations
 
+import base64
 import hashlib
 import http.client
 import json
+import pickle
 import time
 import urllib.error
 import urllib.request
@@ -82,7 +84,12 @@ class ServiceClient:
             message = f"{method} {path} failed with HTTP {error.code}"
             if detail:
                 message = f"{message}: {detail}"
-            raise ServiceError(message) from None
+            failure = ServiceError(message)
+            # The numeric status lets callers branch on authoritative
+            # responses — a worker treats 410 (lease lost) very differently
+            # from a 400 or a 500.
+            failure.status = error.code
+            raise failure from None
         except urllib.error.URLError as error:
             # The server never answered: the failure is transient from the
             # client's point of view (mid-restart, dropped socket), unlike an
@@ -94,7 +101,8 @@ class ServiceClient:
             failure.transient = True
             raise failure from None
 
-    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+    def _request(self, method: str, path: str, payload: dict | None = None,
+                 timeout: float | None = None) -> dict | None:
         url = f"{self.base_url}{path}"
         body = None
         headers = {"Accept": "application/json"}
@@ -106,7 +114,10 @@ class ServiceClient:
             request = urllib.request.Request(url, data=body, headers=headers,
                                              method=method)
             try:
-                with self._open(method, path, request) as response:
+                with self._open(method, path, request,
+                                timeout=timeout) as response:
+                    if getattr(response, "status", 200) == 204:
+                        return None  # e.g. a lease long-poll finding no work
                     return json.loads(response.read().decode("utf-8"))
             except ServiceError as error:
                 if (attempt + 1 >= attempts
@@ -122,6 +133,52 @@ class ServiceClient:
 
     def stats(self) -> dict:
         return self._request("GET", "/stats")
+
+    # ------------------------------------------------------------------ leases
+
+    def acquire_lease(self, worker: str, max_cells: int | None = None,
+                      wait: float = 0.0) -> dict | None:
+        """Long-poll ``POST /leases`` for a chunk of work; None when idle.
+
+        The socket timeout stretches to cover the server-side long-poll plus
+        the normal margin, so a patient wait is not misread as a dead broker.
+        """
+        payload: dict = {"worker": worker, "wait": wait}
+        if max_cells is not None:
+            payload["max_cells"] = max_cells
+        return self._request("POST", "/leases", payload,
+                             timeout=self.timeout + max(0.0, wait))
+
+    def lease_heartbeat(self, lease_id: str, done: int | None = None) -> dict:
+        """Refresh a lease; the reply's ``cancel`` flag must be honoured.
+
+        Raises :class:`ServiceError` with ``status == 410`` when the broker
+        no longer honours the lease (expired, job finished elsewhere).
+        """
+        payload = {} if done is None else {"done": done}
+        return self._request("POST", f"/leases/{lease_id}/heartbeat", payload)
+
+    def lease_result(self, lease_id: str, cells: dict | None = None,
+                     error: str | None = None,
+                     cancelled: bool = False) -> dict:
+        """Post a lease's outcome: per-cell results, an error, or a cancel.
+
+        ``cells`` maps cell index to the evaluator's outcome object; each is
+        pickled and base64-wrapped for the JSON body (the service is a
+        trusted-cluster tool — the broker unpickles what its own workers
+        post, exactly as the process pool always has).
+        """
+        payload: dict = {"cancelled": cancelled}
+        if error is not None:
+            payload["error"] = error
+        if cells is not None:
+            payload["cells"] = {
+                str(index): base64.b64encode(pickle.dumps(value)).decode("ascii")
+                for index, value in cells.items()
+            }
+        return self._request("POST", f"/leases/{lease_id}/result", payload)
+
+    # ------------------------------------------------------------------ jobs
 
     def submit(self, spec: ScenarioSpec | dict, priority: int = 0) -> dict:
         """Submit a spec; returns the job summary (``{"id": ..., ...}``)."""

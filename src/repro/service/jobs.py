@@ -1,4 +1,4 @@
-"""Job manager: the scenario service's queue, state machine and dispatcher.
+"""Job manager: the scenario service's queue, lease broker and state machine.
 
 Submitted specs become :class:`Job` records that move through a small state
 machine::
@@ -8,33 +8,48 @@ machine::
     running -> cancelling -> cancelled | done | failed
 
 Jobs wait in a priority queue (higher ``priority`` first, FIFO within a
-priority) and are executed one at a time by a background dispatcher thread —
-the *sweep cells* of the running job still fan out across the shared process
-pool, so a single dispatcher saturates the machine while keeping job
-semantics simple.  Cancelling a queued job is immediate; cancelling a
-*running* job is cooperative: the job enters ``cancelling``, its
-:class:`~repro.experiments.supervisor.CancelToken` is set, and the engine
-observes it at the next cell boundary (see :meth:`JobManager.cancel`).
+priority).  Execution is pull-based: *workers* — the in-process
+:class:`~repro.service.workers.local.LocalPool` threads and any number of
+remote ``python -m repro worker`` processes — call :meth:`JobManager.
+acquire_lease` to check work out.  In the default cell-granular mode the
+broker expands the job's spec into its deterministic
+:func:`~repro.scenarios.runner.expand_cells` order once, answers what it can
+from the content-addressed result cache, and hands out *leases* over chunks
+of the remaining cell indices.  A lease carries a deadline: the worker must
+heartbeat (:meth:`JobManager.heartbeat_lease`) within ``REPRO_LEASE_TTL``
+seconds or the lease expires and its unanswered cells requeue for the next
+worker — a dead worker is harmless.  Completed outcomes flow back through
+:meth:`JobManager.complete_lease` (first write per cell wins, so a zombie
+worker can never corrupt a result) and the broker assembles the final
+payload with the same :func:`~repro.scenarios.runner.assemble_result` the
+in-process runner uses — a distributed run is bit-identical to a
+single-node run by construction.
 
-Results are cached at the scenario level: a whole-spec digest (spec JSON +
-code epoch + ambient batching knob, via
-:func:`repro.sim.result_cache.content_digest`) addresses the complete result
-payload in the :class:`~repro.service.artifacts.ArtifactStore`, so submitting
-an identical spec again completes instantly without touching the engine.
+Cancelling a queued job is immediate; cancelling a *running* job is
+cooperative: the job enters ``cancelling``, its
+:class:`~repro.experiments.supervisor.CancelToken` is set (local workers
+share the object; remote workers learn of it through the heartbeat reply)
+and in-flight leases drain at the next cell boundary.
 
-Composite scenarios (:mod:`repro.scenarios.composite`) extend the manager
-with DAG-aware dispatch: :meth:`JobManager.submit_composite` creates a
-*parent* job that fans out one child job per member node as the node's
-dependencies finish, resolving parameter references against the upstream
-results at readiness time.  Children ride the normal priority queue (and the
-scenario-level cache — a member whose whole-spec digest is stored completes
-instantly), parent cancellation propagates to queued descendants, a member
-failure fails the composite fast with the partial results attached, and the
-assembled composite payload is itself cached under a whole-composite digest.
+Results are cached at the scenario level: a whole-spec digest addresses the
+complete result payload in the :class:`~repro.service.artifacts.
+ArtifactStore`, so submitting an identical spec again completes instantly
+without touching the engine.  Composite scenarios
+(:mod:`repro.scenarios.composite`) extend the manager with DAG-aware
+dispatch exactly as before: member jobs ride the normal priority queue (and
+therefore the lease machinery), parent cancellation propagates, a member
+failure fails the composite fast, and the assembled payload is cached under
+a whole-composite digest.
 
 Every job also carries an append-only *event log* — queued/running/progress/
-terminal transitions, plus per-node events on composite parents — consumed by
-the HTTP layer's SSE endpoint through :meth:`JobManager.iter_events`.
+lease/terminal transitions, plus per-node events on composite parents —
+consumed by the HTTP layer's SSE endpoint through
+:meth:`JobManager.iter_events`.
+
+With an injected test ``runner`` the manager degrades to *whole-job* leases:
+the spec is never expanded and a single (local) lease covers the entire job,
+driven through the injected callable exactly as the old dispatcher thread
+did.
 """
 
 from __future__ import annotations
@@ -45,7 +60,13 @@ import time
 import uuid
 from dataclasses import dataclass, field
 
-from repro.errors import JobCancelledError, JobConflictError, ServiceError
+from repro.errors import (
+    CacheKeyError,
+    ConfigurationError,
+    JobConflictError,
+    LeaseLostError,
+    ServiceError,
+)
 from repro.experiments.supervisor import CancelToken, supervisor_stats
 from repro.scenarios.composite import (
     NODE_DONE,
@@ -58,13 +79,26 @@ from repro.scenarios.composite import (
     composite_digest,
     resolve_node_spec,
 )
-from repro.scenarios.runner import run_scenario, scenario_digest
+from repro.scenarios.runner import (
+    EVALUATORS,
+    ScenarioCell,
+    assemble_result,
+    expand_cells,
+    run_scenario,
+    scenario_digest,
+)
 from repro.scenarios.spec import ScenarioSpec
 from repro.service.artifacts import ArtifactStore
 from repro.service.journal import JobJournal
-from repro.sim.result_cache import get_result_cache
+from repro.service.workers.config import lease_ttl_from_env
+from repro.sim.result_cache import (
+    get_result_cache,
+    is_cacheable_function,
+    task_digest,
+)
 
-__all__ = ["JobState", "Job", "JobManager", "scenario_digest"]
+__all__ = ["JobState", "Job", "JobManager", "Lease", "LeaseGrant",
+           "scenario_digest"]
 
 # A job's event log is bounded; once full, the oldest events are dropped and
 # late subscribers simply start further into the stream.  Terminal events are
@@ -114,11 +148,19 @@ class Job:
     node_states: dict[str, str] = field(default_factory=dict)
     events: list[dict] = field(default_factory=list)
     events_base: int = 0
-    # Cooperative-cancellation token; assigned when the job starts running.
+    # Cooperative-cancellation token; assigned when the job starts running
+    # and shared by every lease of the job.
     cancel: CancelToken | None = field(default=None, repr=False)
     # A parked job was interrupted by a graceful drain: its terminal record
     # is withheld from the journal so a restarted server replays it.
     parked: bool = False
+    # Ids of the job's unresolved leases.
+    leases: set[str] = field(default_factory=set, repr=False)
+    # True while a completion thread assembles the result outside the lock;
+    # guards against a concurrent cancel/expiry finalising the job twice.
+    finalizing: bool = False
+    # FIFO tiebreaker for the open-cells heap (assigned at plan adoption).
+    sequence: int = 0
 
     @property
     def finished(self) -> bool:
@@ -161,13 +203,75 @@ class Job:
         return payload
 
 
+@dataclass
+class Lease:
+    """One worker's claim on a chunk of a job's sweep cells.
+
+    ``cells`` is the list of cell indices (positions in the job's
+    :func:`expand_cells` order) the worker must evaluate; ``None`` means a
+    whole-job lease (injected-runner mode).  ``deadline`` is a monotonic
+    timestamp refreshed by every heartbeat; the reaper expires remote leases
+    past it.  Local leases never expire — an in-process worker cannot vanish
+    without the whole broker vanishing with it.
+    """
+
+    id: str
+    job_id: str
+    worker: str
+    cells: list[int] | None
+    granted_at: float
+    deadline: float
+    local: bool
+    done: int = 0
+    resolved: bool = False
+
+
+@dataclass
+class LeaseGrant:
+    """Everything a worker needs to execute a lease.
+
+    The HTTP layer serialises the JSON-safe subset (spec dict, cell indices,
+    ttl) for remote workers; the in-process pool additionally receives the
+    live ``token``, the expanded ``tasks`` and — for whole-job leases — the
+    injected ``runner``.
+    """
+
+    lease_id: str
+    job_id: str
+    kind: str  # "cells" | "job"
+    spec: ScenarioSpec
+    cells: list[int] | None
+    tasks: list | None
+    total_cells: int | None
+    ttl: float
+    token: CancelToken | None
+    runner: object | None = None
+
+
+@dataclass
+class _JobPlan:
+    """Broker-side expansion of one cell-mode job (guarded by the manager lock).
+
+    ``pending`` holds the not-yet-leased cell indices, ``outcomes`` the
+    answered ones (first write wins).  ``digests`` aligns with ``cells`` when
+    the cell cache applies, so remotely-computed outcomes can be persisted
+    into the broker's cache as they arrive.
+    """
+
+    cells: list[ScenarioCell]
+    pending: list[int]
+    outcomes: dict[int, object]
+    digests: list[str] | None
+    use_cache: bool
+
+
 def _default_runner(spec: ScenarioSpec, jobs: int | None, progress, cancel) -> dict:
     """Execute a spec through the scenario engine; returns the result payload."""
     return run_scenario(spec, jobs=jobs, progress=progress, cancel=cancel).to_dict()
 
 
 class JobManager:
-    """Priority queue + dispatcher thread + scenario-level result cache.
+    """Priority queue + lease broker + scenario-level result cache.
 
     ``sweep_jobs`` is forwarded to the engine as the process-pool worker
     count; ``artifacts=None`` builds the environment-configured store;
@@ -175,9 +279,15 @@ class JobManager:
     while leaving cell-level caching to ``REPRO_CACHE`` as usual.  ``runner``
     is injectable for tests: a callable ``(spec, jobs, progress, cancel) ->
     dict`` that should raise :class:`JobCancelledError` when the cancel token
-    fires.  ``journal`` is an optional :class:`JobJournal`: parentless
-    submissions are recorded durably and :meth:`replay_journal` resubmits
-    whatever a killed server never finished.
+    fires — injecting one switches the manager to whole-job leases executed
+    by the local pool only.  ``journal`` is an optional :class:`JobJournal`:
+    parentless submissions are recorded durably and :meth:`replay_journal`
+    resubmits whatever a killed server never finished.
+
+    ``local_workers`` sizes the in-process worker pool (default 1, matching
+    the historical single-dispatcher semantics; 0 runs a broker that only
+    remote workers drain).  ``lease_ttl`` overrides ``REPRO_LEASE_TTL``;
+    both are validated eagerly so a typo fails at startup.
 
     Terminal job records (and their in-memory result payloads) are bounded:
     once more than ``max_finished_jobs`` *parentless* jobs have finished, the
@@ -194,29 +304,59 @@ class JobManager:
                  scenario_cache: bool = True,
                  runner=None,
                  max_finished_jobs: int = 256,
-                 journal: JobJournal | None = None):
+                 journal: JobJournal | None = None,
+                 local_workers: int = 1,
+                 lease_ttl: float | str | None = None):
+        if (not isinstance(local_workers, int) or isinstance(local_workers, bool)
+                or local_workers < 0):
+            raise ConfigurationError(
+                f"local_workers must be a non-negative integer, "
+                f"got {local_workers!r}"
+            )
         self.sweep_jobs = sweep_jobs
         self.artifacts = artifacts if artifacts is not None else ArtifactStore()
         self.scenario_cache = scenario_cache
         self.max_finished_jobs = max(1, max_finished_jobs)
         self.journal = journal
+        self.lease_ttl = lease_ttl_from_env(lease_ttl)
         self.scenario_hits = 0
         self.scenario_misses = 0
         self.started_at = time.time()
         self.busy_seconds = 0.0
-        self._runner = runner if runner is not None else _default_runner
+        self._runner = runner
+        # With an injected runner the broker cannot expand specs into cells
+        # (the runner may not even read the spec); it hands out whole-job
+        # leases to the local pool instead.
+        self._cell_mode = runner is None
         self._lock = threading.Lock()
         self._condition = threading.Condition(self._lock)
         self._jobs: dict[str, Job] = {}
         self._queue: list[tuple[int, int, str]] = []
         self._sequence = 0
-        self._running_id: str | None = None
         self._stop = False
         self._draining = False
-        self._dispatcher = threading.Thread(
-            target=self._dispatch_loop, name="scenario-dispatcher", daemon=True
+        # Lease-broker state, all guarded by the manager lock.
+        self._leases: dict[str, Lease] = {}
+        self._plans: dict[str, _JobPlan] = {}
+        self._workers: dict[str, dict] = {}
+        self._open_cells: list[tuple[int, int, str]] = []
+        self._lease_stats = {"granted_total": 0, "expired_total": 0,
+                             "requeued_cells_total": 0}
+        self._reaper = threading.Thread(
+            target=self._reap_loop, name="lease-reaper", daemon=True
         )
-        self._dispatcher.start()
+        self._reaper.start()
+        self._pool = None
+        if local_workers > 0:
+            # Imported lazily: the workers package is layered on top of this
+            # module (LocalPool drives the manager through its public lease
+            # API), so a module-level import would be circular in spirit even
+            # though LocalPool only duck-types the manager.
+            from repro.service.workers.local import LocalPool
+
+            self._pool = LocalPool(self, count=local_workers,
+                                   sweep_jobs=sweep_jobs)
+            self._pool.start()
 
     # ------------------------------------------------------------------ events
 
@@ -243,6 +383,19 @@ class JobManager:
         if (self.journal is not None and job.parent_id is None
                 and not job.parked):
             self.journal.record_terminal(job.id, job.state)
+
+    def _emit_progress_locked(self, job: Job) -> None:
+        """Emit a progress event (and mirror it onto a composite parent)."""
+        self._emit_locked(job, "progress", done=job.cells_done,
+                          total=job.cells_total)
+        if job.parent_id is not None:
+            parent = self._jobs.get(job.parent_id)
+            # A parent that went terminal (cancelled / failed fast) while
+            # this member drains must not receive events after its terminal
+            # event.
+            if parent is not None and not parent.finished:
+                self._emit_locked(parent, "node_progress", node=job.node,
+                                  done=job.cells_done, total=job.cells_total)
 
     def iter_events(self, job_id: str, heartbeat_seconds: float = 10.0,
                     start_index: int = 0):
@@ -299,7 +452,7 @@ class JobManager:
         self._reject_if_unavailable()
         digest = scenario_digest(spec)
         # The artifact read is disk I/O — do it before taking the lock that
-        # the dispatcher, status queries and SSE emitters all share.
+        # the workers, status queries and SSE emitters all share.
         cached = self.artifacts.get(digest) if self.scenario_cache else None
         if self.journal is not None and cached is None:
             # Journal *before* enqueueing: a crash in between replays an
@@ -463,21 +616,537 @@ class JobManager:
         with self._lock:
             return list(self._jobs.values())
 
+    def wait(self, job_id: str, timeout: float | None = None) -> Job:
+        """Block until a job reaches a terminal state (or the timeout)."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._condition:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise ServiceError(f"unknown job '{job_id}'")
+            while not job.finished:
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    break
+                self._condition.wait(timeout=remaining)
+        return job
+
+    # ------------------------------------------------------------------ leases
+
+    def acquire_lease(self, worker: str, max_cells: int | None = None,
+                      wait: float = 0.0, remote: bool = True) -> LeaseGrant | None:
+        """Check out up to ``max_cells`` sweep cells (or a whole job) to run.
+
+        The worker's pull loop: open cells of already-running jobs are
+        granted first (so a started job finishes before a new one starts),
+        then the head of the priority queue is promoted to ``running`` and
+        planned.  Blocks up to ``wait`` seconds for work to appear before
+        returning None — the long-poll the HTTP ``POST /leases`` endpoint
+        exposes.  ``max_cells=None`` takes everything pending (the local
+        pool's default, preserving single-node scheduling exactly);
+        ``remote=False`` marks the lease as in-process, exempt from TTL
+        expiry and eligible for whole-job (injected-runner) grants.
+        """
+        if max_cells is not None and (not isinstance(max_cells, int)
+                                      or isinstance(max_cells, bool)
+                                      or max_cells <= 0):
+            raise ConfigurationError(
+                f"max_cells must be a positive integer, got {max_cells!r}"
+            )
+        deadline = time.monotonic() + max(0.0, wait)
+        while True:
+            with self._condition:
+                if self._stop:
+                    return None
+                self._register_worker_locked(worker, remote)
+                action = self._next_action_locked(worker, max_cells, remote)
+                if action is None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return None
+                    self._condition.wait(timeout=min(remaining, 0.25))
+                    continue
+                kind, payload = action
+                if kind == "grant":
+                    return payload
+            # kind == "plan": expand the spec and pre-answer cached cells
+            # outside the lock (disk I/O), then loop back for a grant.
+            self._plan_and_adopt(payload)
+
+    def _register_worker_locked(self, worker: str, remote: bool) -> dict:
+        info = self._workers.get(worker)
+        if info is None:
+            info = {"remote": remote, "leases_held": 0, "leases_total": 0,
+                    "leases_lost": 0, "cells_done": 0, "cells_failed": 0,
+                    "last_seen": time.time()}
+            self._workers[worker] = info
+        else:
+            info["last_seen"] = time.time()
+            info["remote"] = remote
+        return info
+
+    def _next_action_locked(self, worker: str, max_cells: int | None,
+                            remote: bool):
+        """One scheduling decision: a lease grant, a job to plan, or None.
+
+        Open cells first — a running job's remaining cells outrank starting
+        the next queued job, matching the historical one-job-at-a-time
+        dispatcher when a single worker drains the queue.  A draining
+        manager grants open cells (finish what started) but never pops the
+        queue.
+        """
+        while self._open_cells:
+            _neg_priority, _sequence, job_id = self._open_cells[0]
+            job = self._jobs.get(job_id)
+            plan = self._plans.get(job_id)
+            if (job is None or job.state != JobState.RUNNING or job.parked
+                    or plan is None or not plan.pending):
+                heapq.heappop(self._open_cells)
+                continue
+            chunk = list(plan.pending if max_cells is None
+                         else plan.pending[:max_cells])
+            plan.pending = plan.pending[len(chunk):]
+            if not plan.pending:
+                heapq.heappop(self._open_cells)
+            lease = self._grant_lease_locked(job, chunk, worker, remote)
+            return ("grant", LeaseGrant(
+                lease_id=lease.id,
+                job_id=job.id,
+                kind="cells",
+                spec=job.spec,
+                cells=chunk,
+                tasks=[plan.cells[index].task for index in chunk],
+                total_cells=len(plan.cells),
+                ttl=self.lease_ttl,
+                token=job.cancel,
+            ))
+        if self._draining:
+            return None
+        while self._queue:
+            _neg_priority, _sequence, job_id = self._queue[0]
+            job = self._jobs.get(job_id)
+            if job is None or job.state != JobState.QUEUED:
+                heapq.heappop(self._queue)
+                continue  # cancelled (or pruned with its parent) while waiting
+            if not self._cell_mode and remote:
+                # Injected runners are process-local callables; only the
+                # in-process pool can execute them.
+                return None
+            heapq.heappop(self._queue)
+            job.state = JobState.RUNNING
+            job.started_at = time.time()
+            job.cancel = CancelToken()
+            self._emit_locked(job, JobState.RUNNING)
+            if self._cell_mode:
+                return ("plan", job)
+            lease = self._grant_lease_locked(job, None, worker, remote)
+            return ("grant", LeaseGrant(
+                lease_id=lease.id,
+                job_id=job.id,
+                kind="job",
+                spec=job.spec,
+                cells=None,
+                tasks=None,
+                total_cells=None,
+                ttl=self.lease_ttl,
+                token=job.cancel,
+                runner=self._runner,
+            ))
+        return None
+
+    def _grant_lease_locked(self, job: Job, cells: list[int] | None,
+                            worker: str, remote: bool) -> Lease:
+        lease = Lease(
+            id=uuid.uuid4().hex[:12],
+            job_id=job.id,
+            worker=worker,
+            cells=cells,
+            granted_at=time.time(),
+            deadline=time.monotonic() + self.lease_ttl,
+            local=not remote,
+        )
+        self._leases[lease.id] = lease
+        job.leases.add(lease.id)
+        info = self._register_worker_locked(worker, remote)
+        info["leases_held"] += 1
+        info["leases_total"] += 1
+        self._lease_stats["granted_total"] += 1
+        self._emit_locked(job, "lease_granted", lease=lease.id, worker=worker,
+                          cells=len(cells) if cells is not None else None)
+        return lease
+
+    def _resolve_lease_locked(self, lease: Lease) -> None:
+        lease.resolved = True
+        self._leases.pop(lease.id, None)
+        job = self._jobs.get(lease.job_id)
+        if job is not None:
+            job.leases.discard(lease.id)
+        info = self._workers.get(lease.worker)
+        if info is not None:
+            info["leases_held"] = max(0, info["leases_held"] - 1)
+
+    # ---------------------------------------------------------------- planning
+
+    def _plan_and_adopt(self, job: Job) -> None:
+        """Expand a freshly-promoted job into cells and adopt the plan.
+
+        Runs on the acquiring worker's thread with the lock *released* for
+        the expensive parts: cell expansion and the cache precheck are pure
+        CPU/disk work.  A job whose every cell is already cached completes
+        here without any lease ever existing.
+        """
+        try:
+            plan = self._plan_job(job.spec)
+        except Exception as error:  # noqa: BLE001 — a bad spec must fail the job, not the worker
+            with self._condition:
+                if not job.finished:
+                    self._finalize_locked(job, JobState.FAILED,
+                                          f"{type(error).__name__}: {error}")
+            return
+        with self._condition:
+            if job.finished:
+                return
+            if job.state == JobState.CANCELLING:
+                self._finalize_locked(job, JobState.CANCELLED)
+                return
+            self._plans[job.id] = plan
+            job.cells_total = len(plan.cells)
+            job.cells_done = len(plan.outcomes)
+            self._emit_progress_locked(job)
+            if plan.pending:
+                self._sequence += 1
+                job.sequence = self._sequence
+                heapq.heappush(self._open_cells,
+                               (-job.priority, job.sequence, job.id))
+                self._condition.notify_all()
+                return
+            job.finalizing = True
+            spec, cells = job.spec, plan.cells
+            ordered = [plan.outcomes[index] for index in range(len(cells))]
+        self._assemble_and_finish(job, spec, cells, ordered)
+
+    def _plan_job(self, spec: ScenarioSpec) -> _JobPlan:
+        """Expand the spec and answer whatever the cell cache already holds.
+
+        Mirrors :func:`repro.experiments.common.run_parallel`'s cache
+        precheck exactly (same digesting, same ambient batch-cycles extra),
+        so the broker and a single-node run agree cell for cell on what is
+        cached.
+        """
+        evaluator, _cost_key = EVALUATORS[spec.kind]
+        cells = expand_cells(spec)
+        tasks = [cell.task for cell in cells]
+        outcomes: dict[int, object] = {}
+        digests: list[str] | None = None
+        cache = get_result_cache()
+        use_cache = cache.enabled and is_cacheable_function(evaluator)
+        if use_cache:
+            from repro.sim.system import resolved_batch_cycles
+
+            extra = ("batch_cycles", repr(resolved_batch_cycles()))
+            try:
+                digests = [task_digest(evaluator, args, extra=extra)
+                           for args in tasks]
+            except CacheKeyError:
+                use_cache = False
+                digests = None
+            else:
+                for index, digest in enumerate(digests):
+                    hit, value = cache.get(digest)
+                    if hit:
+                        outcomes[index] = value
+        pending = [index for index in range(len(cells)) if index not in outcomes]
+        return _JobPlan(cells=cells, pending=pending, outcomes=outcomes,
+                        digests=digests, use_cache=use_cache)
+
+    def _assemble_and_finish(self, job: Job, spec: ScenarioSpec,
+                             cells: list[ScenarioCell], ordered: list) -> None:
+        """Assemble the final payload outside the lock and finalise ``done``.
+
+        The caller must have set ``job.finalizing`` under the lock; nothing
+        else finalises a job while that flag is up.
+        """
+        try:
+            payload = assemble_result(spec, cells, ordered).to_dict()
+        except Exception as error:  # noqa: BLE001 — assembly failure must fail the job
+            with self._condition:
+                self._finalize_locked(job, JobState.FAILED,
+                                      f"{type(error).__name__}: {error}")
+            return
+        if self.scenario_cache:
+            self.artifacts.put(job.digest, payload)
+        with self._condition:
+            job.result = payload
+            self._finalize_locked(job, JobState.DONE)
+
+    # -------------------------------------------------------------- heartbeats
+
+    def heartbeat_lease(self, lease_id: str, done: int | None = None,
+                        total: int | None = None) -> dict:
+        """Refresh a lease's deadline and report progress; returns directives.
+
+        ``done`` counts the lease's completed cells (whole-job leases pass
+        ``done``/``total`` over the entire job instead).  The reply carries
+        the job's state and a ``cancel`` flag the worker must honour — how a
+        remote worker, which cannot share the broker's
+        :class:`CancelToken` object, learns of cooperative cancellation.
+        Heartbeating a lease the broker no longer honours (expired, job
+        finished elsewhere) raises :class:`LeaseLostError` — HTTP 410 — and
+        the worker abandons the work.
+        """
+        with self._condition:
+            lease = self._leases.get(lease_id)
+            if lease is None or lease.resolved:
+                raise LeaseLostError(f"lease '{lease_id}' is no longer held")
+            lease.deadline = time.monotonic() + self.lease_ttl
+            info = self._workers.get(lease.worker)
+            if info is not None:
+                info["last_seen"] = time.time()
+            job = self._jobs.get(lease.job_id)
+            if job is None or job.finished:
+                # The job went terminal while the lease was in flight (e.g.
+                # another lease's error failed it); stop working.
+                self._resolve_lease_locked(lease)
+                state = job.state if job is not None else "unknown"
+                return {"state": state, "cancel": True}
+            if lease.cells is None:
+                if done is not None and total is not None:
+                    job.cells_done = int(done)
+                    job.cells_total = int(total)
+                    self._emit_progress_locked(job)
+            elif done is not None:
+                clamped = max(0, min(int(done), len(lease.cells)))
+                if clamped != lease.done:
+                    lease.done = clamped
+                    self._refresh_cell_progress_locked(job)
+            cancel = job.state == JobState.CANCELLING or job.parked
+            return {"state": job.state, "cancel": cancel}
+
+    def _refresh_cell_progress_locked(self, job: Job) -> None:
+        """Recompute a cell-mode job's progress from outcomes + live leases."""
+        plan = self._plans.get(job.id)
+        if plan is None:
+            return
+        done = len(plan.outcomes)
+        for lease_id in job.leases:
+            lease = self._leases.get(lease_id)
+            if lease is not None and lease.cells is not None:
+                done += lease.done
+        done = min(done, len(plan.cells))
+        if done == job.cells_done:
+            return
+        job.cells_done = done
+        self._emit_progress_locked(job)
+
+    # -------------------------------------------------------------- completion
+
+    def complete_lease(self, lease_id: str, outcomes=None,
+                       error: str | None = None,
+                       cancelled: bool = False) -> Job | None:
+        """Resolve a lease with its results, an error, or a cancellation.
+
+        Cell leases pass ``outcomes`` as ``{cell_index: outcome}``; a
+        whole-job lease passes the runner's complete result payload.  The
+        first write per cell wins — a zombie worker whose lease expired and
+        requeued can still post, but can never overwrite what another worker
+        already answered (and an expired lease raises
+        :class:`LeaseLostError` here anyway).  A worker that *cancelled*
+        (its own shutdown, or honouring the broker's cancel directive)
+        requeues its unanswered cells unless the job itself is being
+        cancelled.  When the last cell lands, the broker persists remotely
+        computed outcomes into the cell cache, assembles the payload and
+        finishes the job ``done``.
+        """
+        to_persist: list[tuple[str, object]] = []
+        finish: tuple | None = None
+        with self._condition:
+            lease = self._leases.get(lease_id)
+            if lease is None or lease.resolved:
+                raise LeaseLostError(f"lease '{lease_id}' is no longer held")
+            self._resolve_lease_locked(lease)
+            info = self._workers.get(lease.worker)
+            if info is not None:
+                info["last_seen"] = time.time()
+            job = self._jobs.get(lease.job_id)
+            if job is None or job.finished:
+                return job  # late completion of a job decided elsewhere
+            if error is not None:
+                if info is not None:
+                    info["cells_failed"] += (len(lease.cells)
+                                             if lease.cells is not None else 1)
+                self._finalize_locked(job, JobState.FAILED, error)
+                return job
+            if lease.cells is None:
+                # Whole-job lease (injected runner).
+                if cancelled:
+                    self._finalize_locked(job, JobState.CANCELLED)
+                    return job
+                if info is not None:
+                    info["cells_done"] += job.cells_done
+                job.finalizing = True
+                finish = ("payload", outcomes)
+            elif cancelled:
+                plan = self._plans.get(job.id)
+                if job.state == JobState.CANCELLING or job.parked:
+                    if not job.leases and not job.finalizing:
+                        self._finalize_locked(job, JobState.CANCELLED)
+                    return job
+                # The worker gave the lease back (its own shutdown, a lost
+                # broker connection): requeue so another worker picks it up.
+                if plan is not None:
+                    missing = [index for index in lease.cells
+                               if index not in plan.outcomes]
+                    if missing:
+                        self._requeue_cells_locked(job, plan, missing)
+                return job
+            else:
+                plan = self._plans.get(job.id)
+                if plan is None:
+                    return job
+                fresh: dict[int, object] = {}
+                for key, value in (outcomes or {}).items():
+                    index = int(key)
+                    if index in plan.outcomes or index not in lease.cells:
+                        continue
+                    fresh[index] = value
+                plan.outcomes.update(fresh)
+                if info is not None:
+                    info["cells_done"] += len(fresh)
+                missing = [index for index in lease.cells
+                           if index not in plan.outcomes]
+                if missing and job.state == JobState.RUNNING and not job.parked:
+                    self._requeue_cells_locked(job, plan, missing)
+                self._refresh_cell_progress_locked(job)
+                if (plan.use_cache and plan.digests is not None
+                        and not lease.local):
+                    # Local leases already persisted cell-by-cell inside
+                    # run_parallel; remote outcomes are persisted here so the
+                    # broker's cache answers future runs (and other workers
+                    # via the HTTP artifact backend).
+                    to_persist = [(plan.digests[index], value)
+                                  for index, value in fresh.items()]
+                if len(plan.outcomes) == len(plan.cells):
+                    job.finalizing = True
+                    ordered = [plan.outcomes[index]
+                               for index in range(len(plan.cells))]
+                    finish = ("cells", job.spec, plan.cells, ordered)
+                elif (job.state == JobState.CANCELLING or job.parked) \
+                        and not job.leases:
+                    self._finalize_locked(job, JobState.CANCELLED)
+                    return job
+                else:
+                    self._condition.notify_all()
+        if to_persist:
+            cache = get_result_cache()
+            for digest, value in to_persist:
+                cache.put(digest, value)
+        if finish is None:
+            return job
+        if finish[0] == "payload":
+            payload = finish[1]
+            if self.scenario_cache and isinstance(payload, dict):
+                self.artifacts.put(job.digest, payload)
+            with self._condition:
+                job.result = payload
+                self._finalize_locked(job, JobState.DONE)
+            return job
+        _kind, spec, cells, ordered = finish
+        self._assemble_and_finish(job, spec, cells, ordered)
+        return job
+
+    def _requeue_cells_locked(self, job: Job, plan: _JobPlan,
+                              indices: list[int]) -> None:
+        plan.pending.extend(indices)
+        self._lease_stats["requeued_cells_total"] += len(indices)
+        if job.sequence == 0:
+            self._sequence += 1
+            job.sequence = self._sequence
+        heapq.heappush(self._open_cells, (-job.priority, job.sequence, job.id))
+        self._condition.notify_all()
+
+    def _finalize_locked(self, job: Job, state: str,
+                         error: str | None = None) -> None:
+        """Take a spec job to a terminal state (lock held): revoke leases,
+        drop the plan, emit the terminal event, advance any parent."""
+        job.state = state
+        if error is not None:
+            job.error = error
+        job.finished_at = time.time()
+        if job.started_at is not None:
+            self.busy_seconds += job.finished_at - job.started_at
+        job.finalizing = False
+        for lease_id in list(job.leases):
+            lease = self._leases.get(lease_id)
+            if lease is not None:
+                self._resolve_lease_locked(lease)
+        if job.cancel is not None and state in (JobState.FAILED,
+                                                JobState.CANCELLED):
+            # Sibling leases of a failed/cancelled job must stop working;
+            # their eventual posts answer 410 and are discarded.
+            job.cancel.cancel()
+        self._plans.pop(job.id, None)
+        self._emit_terminal_locked(job)
+        if job.parent_id is not None:
+            self._on_child_terminal_locked(job)
+        self._prune_finished_locked()
+        self._condition.notify_all()
+
+    # ------------------------------------------------------------------ expiry
+
+    def _reap_loop(self) -> None:
+        interval = max(0.05, min(self.lease_ttl / 4.0, 5.0))
+        with self._condition:
+            while not self._stop:
+                self._condition.wait(timeout=interval)
+                if self._stop:
+                    return
+                now = time.monotonic()
+                expired = [lease for lease in self._leases.values()
+                           if not lease.local and now > lease.deadline]
+                for lease in expired:
+                    self._expire_lease_locked(lease)
+
+    def _expire_lease_locked(self, lease: Lease) -> None:
+        """A remote worker missed its heartbeat: revoke and requeue."""
+        self._resolve_lease_locked(lease)
+        self._lease_stats["expired_total"] += 1
+        info = self._workers.get(lease.worker)
+        if info is not None:
+            info["leases_lost"] += 1
+        job = self._jobs.get(lease.job_id)
+        if job is None or job.finished:
+            return
+        self._emit_locked(job, "lease_expired", lease=lease.id,
+                          worker=lease.worker)
+        plan = self._plans.get(job.id)
+        if lease.cells is not None and plan is not None:
+            if job.state == JobState.RUNNING and not job.parked:
+                missing = [index for index in lease.cells
+                           if index not in plan.outcomes]
+                if missing:
+                    self._requeue_cells_locked(job, plan, missing)
+        if ((job.state == JobState.CANCELLING or job.parked)
+                and not job.leases and not job.finalizing):
+            self._finalize_locked(job, JobState.CANCELLED)
+
+    # ------------------------------------------------------------ cancellation
+
     def cancel(self, job_id: str) -> Job:
         """Cancel a job: queued jobs immediately, running jobs cooperatively.
 
-        The check-and-transition happens under the same lock the dispatcher
-        uses to move a job to ``running``, so the two can never half-cancel a
-        job between them.  A queued job goes straight to ``cancelled``.  A
-        *running* job enters ``cancelling``: its cancel token is set and the
-        engine raises :class:`JobCancelledError` at the next cell boundary
-        (a run that completes before noticing still finishes ``done`` — the
-        work was already paid for).  Cancelling again while ``cancelling`` is
+        The check-and-transition happens under the same lock the lease
+        broker uses to move a job to ``running``, so the two can never
+        half-cancel a job between them.  A queued job goes straight to
+        ``cancelled``.  A *running* job enters ``cancelling``: its cancel
+        token is set (remote workers learn through the heartbeat reply) and
+        every lease drains at the next cell boundary — a lease that
+        completes before noticing still lands its outcomes; a job whose
+        every cell completed anyway still finishes ``done`` (the work was
+        already paid for).  Cancelling again while ``cancelling`` is
         idempotent; only a finished job raises :class:`JobConflictError`
         (HTTP 409).  Cancelling a composite parent propagates to its
         descendants: queued children are cancelled, unlaunched nodes are
-        skipped, and running children get their tokens set — the parent stays
-        ``cancelling`` until the last one drains.
+        skipped, and running children get their tokens set — the parent
+        stays ``cancelling`` until the last one drains.
         """
         with self._condition:
             job = self._jobs.get(job_id)
@@ -499,6 +1168,7 @@ class JobManager:
                 if job.cancel is not None:
                     job.cancel.cancel()
                 self._emit_locked(job, JobState.CANCELLING)
+                self._maybe_finish_cancel_locked(job)
                 self._condition.notify_all()
                 return job
             if job.state != JobState.QUEUED:
@@ -508,7 +1178,7 @@ class JobManager:
                 )
             job.state = JobState.CANCELLED
             job.finished_at = time.time()
-            # The queue entry stays; the dispatcher skips cancelled jobs.
+            # The queue entry stays; the broker skips cancelled jobs.
             self._emit_terminal_locked(job)
             if job.parent_id is not None:
                 self._on_child_terminal_locked(job)
@@ -516,38 +1186,52 @@ class JobManager:
             self._condition.notify_all()
         return job
 
+    def _maybe_finish_cancel_locked(self, job: Job) -> None:
+        """Finalise a cancelling cell-mode job with nothing in flight.
+
+        No leases and no finalisation thread means nobody will ever report
+        back — the pending cells would wait forever.  A job still being
+        planned (no plan adopted yet) is finalised by the planner's re-check
+        instead.
+        """
+        if (job.spec is not None and not job.leases and not job.finalizing
+                and job.id in self._plans):
+            self._finalize_locked(job, JobState.CANCELLED)
+
     def _cancel_composite_locked(self, parent: Job) -> None:
         """Cancel a composite parent and propagate to its descendants.
 
         Queued children are cancelled and unlaunched nodes skipped outright;
         running children are switched to ``cancelling`` with their tokens
         set.  The parent goes terminal immediately when nothing is in
-        flight, otherwise it waits in ``cancelling`` for the last member to
-        drain (:meth:`_on_child_terminal_locked` finalises it).
+        flight, otherwise it enters ``cancelling`` *first* (so each child's
+        terminal transition sees a cancelling parent and mirrors correctly)
+        and waits for the last member to drain
+        (:meth:`_on_child_terminal_locked` finalises it).
         """
         self._skip_descendants_locked(parent)
-        draining = False
-        for child_id in parent.children.values():
-            child = self._jobs.get(child_id)
-            if child is None:
-                continue
-            if child.state == JobState.RUNNING:
-                child.state = JobState.CANCELLING
-                if child.cancel is not None:
-                    child.cancel.cancel()
-                self._emit_locked(child, JobState.CANCELLING)
-                draining = True
-            elif child.state == JobState.CANCELLING:
-                draining = True
-        if draining:
-            parent.state = JobState.CANCELLING
-            self._emit_locked(parent, JobState.CANCELLING)
+        active = [
+            child for child_id in parent.children.values()
+            if (child := self._jobs.get(child_id)) is not None
+            and child.state in (JobState.RUNNING, JobState.CANCELLING)
+        ]
+        if not active:
+            parent.state = JobState.CANCELLED
+            parent.finished_at = time.time()
+            self._emit_terminal_locked(parent)
+            self._prune_finished_locked()
             self._condition.notify_all()
             return
-        parent.state = JobState.CANCELLED
-        parent.finished_at = time.time()
-        self._emit_terminal_locked(parent)
-        self._prune_finished_locked()
+        parent.state = JobState.CANCELLING
+        self._emit_locked(parent, JobState.CANCELLING)
+        for child in active:
+            if child.state != JobState.RUNNING:
+                continue
+            child.state = JobState.CANCELLING
+            if child.cancel is not None:
+                child.cancel.cancel()
+            self._emit_locked(child, JobState.CANCELLING)
+            self._maybe_finish_cancel_locked(child)
         self._condition.notify_all()
 
     def _skip_descendants_locked(self, parent: Job) -> None:
@@ -573,43 +1257,47 @@ class JobManager:
                 parent.node_states[node] = NODE_SKIPPED
                 self._emit_locked(parent, "node_skipped", node=node)
 
-    def wait(self, job_id: str, timeout: float | None = None) -> Job:
-        """Block until a job reaches a terminal state (or the timeout)."""
-        deadline = None if timeout is None else time.monotonic() + timeout
-        with self._condition:
-            job = self._jobs.get(job_id)
-            if job is None:
-                raise ServiceError(f"unknown job '{job_id}'")
-            while not job.finished:
-                remaining = None if deadline is None else deadline - time.monotonic()
-                if remaining is not None and remaining <= 0:
-                    break
-                self._condition.wait(timeout=remaining)
-        return job
+    # ------------------------------------------------------------------- stats
 
     def stats(self) -> dict:
-        """Queue depth, per-state counts, cache hit rates, utilisation."""
+        """Queue depth, per-state counts, cache hit rates, worker fleet."""
+        now = time.time()
         with self._lock:
             by_state: dict[str, int] = {}
             composites = 0
+            running_ids: list[str] = []
+            busy = self.busy_seconds
             for job in self._jobs.values():
                 by_state[job.state] = by_state.get(job.state, 0) + 1
                 if job.composite is not None:
                     composites += 1
+                    continue
+                if job.state in (JobState.RUNNING, JobState.CANCELLING):
+                    running_ids.append(job.id)
+                    if job.started_at is not None:
+                        busy += now - job.started_at
             queue_depth = by_state.get(JobState.QUEUED, 0)
-            running_id = self._running_id
-            busy = self.busy_seconds
-            if running_id is not None:
-                running = self._jobs.get(running_id)
-                if running is not None and running.started_at is not None:
-                    busy += time.time() - running.started_at
             total = len(self._jobs)
-        uptime = max(time.time() - self.started_at, 1e-9)
+            workers = {
+                name: {
+                    "remote": info["remote"],
+                    "leases_held": info["leases_held"],
+                    "leases_total": info["leases_total"],
+                    "leases_lost": info["leases_lost"],
+                    "cells_done": info["cells_done"],
+                    "cells_failed": info["cells_failed"],
+                    "last_seen": info["last_seen"],
+                    "heartbeat_age_seconds": max(0.0, now - info["last_seen"]),
+                }
+                for name, info in self._workers.items()
+            }
+            leases = {"active": len(self._leases), **self._lease_stats}
+        uptime = max(now - self.started_at, 1e-9)
         cell_cache = get_result_cache()
         return {
             "uptime_seconds": uptime,
             "queue_depth": queue_depth,
-            "running": running_id,
+            "running": running_ids,
             "jobs_total": total,
             "jobs_by_state": by_state,
             "composites_total": composites,
@@ -624,27 +1312,34 @@ class JobManager:
             },
             "worker_utilisation": min(1.0, busy / uptime),
             "busy_seconds": busy,
+            "workers": workers,
+            "leases": leases,
             "supervisor": supervisor_stats().as_dict(),
             "journal": self.journal.stats() if self.journal is not None else None,
         }
 
+    # ---------------------------------------------------------------- lifecycle
+
     def shutdown(self, timeout: float = 5.0) -> None:
-        """Stop the dispatcher; queued jobs stay queued (service is ending)."""
+        """Stop granting leases; queued jobs stay queued (service is ending)."""
         with self._condition:
             self._stop = True
             self._condition.notify_all()
-        self._dispatcher.join(timeout=timeout)
+        if self._pool is not None:
+            self._pool.stop(timeout=timeout)
+        self._reaper.join(timeout=timeout)
 
     def drain(self, timeout: float = 30.0) -> None:
         """Graceful SIGTERM path: stop accepting, finish or park, flush.
 
-        New submissions are rejected and the dispatcher launches nothing
-        further.  The running job gets up to ``timeout`` seconds to finish
-        normally; past that it is *parked* — its cancel token fires, every
-        completed cell already persisted in the result cache, and its journal
-        submit record stays live so the next server life replays it and the
-        cache answers the cells it finished.  Queued jobs simply stay in the
-        journal.  Ends with a journal compaction.
+        New submissions are rejected and the queue stops being popped —
+        leases over *already running* jobs keep being granted so started
+        work can finish.  Running jobs get up to ``timeout`` seconds to
+        complete normally; past that they are *parked* — cancel tokens fire,
+        every completed cell already persisted in the result cache, and
+        their journal submit records stay live so the next server life
+        replays them and the cache answers the cells they finished.  Queued
+        jobs simply stay in the journal.  Ends with a journal compaction.
         """
         deadline = time.monotonic() + max(0.0, timeout)
         with self._condition:
@@ -652,25 +1347,37 @@ class JobManager:
             self._condition.notify_all()
         self._await_idle(deadline)
         with self._condition:
-            running = (self._jobs.get(self._running_id)
-                       if self._running_id is not None else None)
-            if running is not None and not running.finished:
-                running.parked = True
-                if running.parent_id is not None:
-                    parent = self._jobs.get(running.parent_id)
+            for job in list(self._jobs.values()):
+                if job.finished or job.started_at is None:
+                    continue
+                if job.state not in (JobState.RUNNING, JobState.CANCELLING):
+                    continue
+                job.parked = True
+                if job.parent_id is not None:
+                    parent = self._jobs.get(job.parent_id)
                     if parent is not None:
                         parent.parked = True
-                if running.cancel is not None:
-                    running.cancel.cancel()
-        # Give a parked job one cell boundary to unwind before stopping.
+                if job.cancel is not None:
+                    job.cancel.cancel()
+        # Give parked leases one cell boundary to unwind before stopping.
         self._await_idle(time.monotonic() + 5.0)
         self.shutdown()
         if self.journal is not None:
             self.journal.compact()
 
     def _await_idle(self, deadline: float) -> None:
+        """Wait until no spec job is executing (or the deadline passes)."""
         with self._condition:
-            while self._running_id is not None:
+            while True:
+                busy = any(
+                    job.spec is not None and not job.finished
+                    and job.state in (JobState.RUNNING, JobState.CANCELLING)
+                    and (job.leases or job.finalizing
+                         or job.started_at is not None)
+                    for job in self._jobs.values()
+                )
+                if not busy:
+                    return
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
                     return
@@ -835,84 +1542,7 @@ class JobManager:
         self._prune_finished_locked()
         self._condition.notify_all()
 
-    # ------------------------------------------------------------------ dispatcher
-
-    def _dispatch_loop(self) -> None:
-        while True:
-            with self._condition:
-                # A draining manager launches nothing further: queued jobs
-                # stay queued (and journaled) for the next server life.
-                while not self._stop and (self._draining or not self._queue):
-                    self._condition.wait()
-                if self._stop:
-                    return
-                _neg_priority, _sequence, job_id = heapq.heappop(self._queue)
-                job = self._jobs.get(job_id)
-                if job is None or job.state != JobState.QUEUED:
-                    continue  # cancelled (or pruned with its parent) while waiting
-                job.state = JobState.RUNNING
-                job.started_at = time.time()
-                job.cancel = CancelToken()
-                self._running_id = job.id
-                self._emit_locked(job, JobState.RUNNING)
-            self._execute(job)
-
-    def _execute(self, job: Job) -> None:
-        def progress(done: int, total: int) -> None:
-            job.cells_done = done
-            job.cells_total = total
-            with self._condition:
-                self._emit_locked(job, "progress", done=done, total=total)
-                if job.parent_id is not None:
-                    parent = self._jobs.get(job.parent_id)
-                    # A parent that went terminal (cancelled / failed fast)
-                    # while this member drains must not receive events after
-                    # its terminal event.
-                    if parent is not None and not parent.finished:
-                        self._emit_locked(parent, "node_progress", node=job.node,
-                                          done=done, total=total)
-
-        try:
-            payload = self._runner(job.spec, self.sweep_jobs, progress, job.cancel)
-        except JobCancelledError:
-            # The engine honoured the cancel token at a cell boundary.
-            with self._condition:
-                job.state = JobState.CANCELLED
-                job.finished_at = time.time()
-                self.busy_seconds += job.finished_at - (job.started_at or job.finished_at)
-                self._running_id = None
-                self._emit_terminal_locked(job)
-                if job.parent_id is not None:
-                    self._on_child_terminal_locked(job)
-                self._prune_finished_locked()
-                self._condition.notify_all()
-            return
-        except Exception as error:  # noqa: BLE001 — a job must never kill the dispatcher
-            with self._condition:
-                job.state = JobState.FAILED
-                job.error = f"{type(error).__name__}: {error}"
-                job.finished_at = time.time()
-                self.busy_seconds += job.finished_at - (job.started_at or job.finished_at)
-                self._running_id = None
-                self._emit_terminal_locked(job)
-                if job.parent_id is not None:
-                    self._on_child_terminal_locked(job)
-                self._prune_finished_locked()
-                self._condition.notify_all()
-            return
-        if self.scenario_cache:
-            self.artifacts.put(job.digest, payload)
-        with self._condition:
-            job.result = payload
-            job.state = JobState.DONE
-            job.finished_at = time.time()
-            self.busy_seconds += job.finished_at - (job.started_at or job.finished_at)
-            self._running_id = None
-            self._emit_terminal_locked(job)
-            if job.parent_id is not None:
-                self._on_child_terminal_locked(job)
-            self._prune_finished_locked()
-            self._condition.notify_all()
+    # ------------------------------------------------------------------ retention
 
     def _prune_finished_locked(self) -> None:
         """Drop the oldest *parentless* terminal job records beyond the bound.

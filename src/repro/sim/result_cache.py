@@ -218,12 +218,24 @@ class CacheStats:
 
 
 class ResultCache:
-    """Content-addressed on-disk store of pickled cell results."""
+    """Content-addressed store of pickled cell results.
+
+    By default entries live on local disk under ``directory`` (sharded by
+    the first two digest characters) with the quarantine machinery described
+    in the module docstring.  An optional ``backend``
+    (:class:`repro.backends.ArtifactBackend`) reroutes the entry *bytes*
+    elsewhere — notably ``REPRO_ARTIFACT_BACKEND=http`` proxies them through
+    a scenario broker so a fleet of remote workers shares one cell cache.
+    Entry validation (format version, digest guard) always happens on this
+    side, so a corrupted or stale remote blob degrades to a recompute
+    exactly like a corrupted local file.
+    """
 
     def __init__(self, directory: str | os.PathLike = DEFAULT_CACHE_DIR,
-                 enabled: bool = True):
+                 enabled: bool = True, backend=None):
         self.directory = Path(directory)
         self.enabled = enabled
+        self.backend = backend
         self.stats = CacheStats()
 
     def entry_path(self, digest: str) -> Path:
@@ -240,6 +252,8 @@ class ResultCache:
         """
         if not self.enabled:
             return False, None
+        if self.backend is not None:
+            return self._get_via_backend(digest)
         path = self.entry_path(digest)
         try:
             with open(path, "rb") as handle:
@@ -263,10 +277,45 @@ class ResultCache:
         self.stats.misses += 1
         return False, None
 
+    def _get_via_backend(self, digest: str) -> tuple[bool, object]:
+        """Backend-routed lookup: same validation, no local quarantine."""
+        data = self.backend.get(digest)
+        if data is not None:
+            try:
+                entry = pickle.loads(data)
+            except Exception:
+                entry = None
+            if (
+                isinstance(entry, dict)
+                and entry.get("version") == CACHE_FORMAT_VERSION
+                and entry.get("digest") == digest
+            ):
+                self.stats.hits += 1
+                return True, entry["result"]
+            # A remote blob cannot be quarantined locally; dropping it lets
+            # the recompute overwrite, which is all quarantine guarantees.
+            self.stats.errors += 1
+            self.backend.delete(digest)
+        self.stats.misses += 1
+        return False, None
+
     def put(self, digest: str, result: object) -> bool:
         """Persist a result under its digest (atomic, best-effort)."""
         if not self.enabled:
             return False
+        if self.backend is not None:
+            entry = {"version": CACHE_FORMAT_VERSION, "digest": digest,
+                     "result": result}
+            try:
+                payload = pickle.dumps(entry, protocol=pickle.HIGHEST_PROTOCOL)
+            except Exception:
+                self.stats.errors += 1
+                return False
+            if not self.backend.put(digest, payload):
+                self.stats.errors += 1
+                return False
+            self.stats.stores += 1
+            return True
         path = self.entry_path(digest)
         entry = {"version": CACHE_FORMAT_VERSION, "digest": digest, "result": result}
         try:
@@ -334,23 +383,44 @@ def cache_enabled_from_env() -> bool:
 
 
 _DISABLED = ResultCache(enabled=False)
-_instances: dict[Path, ResultCache] = {}
+_instances: dict[tuple, ResultCache] = {}
 
 
 def get_result_cache() -> ResultCache:
     """The process-wide cache configured by ``REPRO_CACHE``/``REPRO_CACHE_DIR``.
 
-    Instances are memoised per resolved directory so statistics accumulate
-    across sweeps; a disabled cache is a shared no-op instance.  The
-    environment is re-read on every call, so tests (and long-lived services)
-    can flip the knobs without reloading the module.
+    Instances are memoised per resolved configuration so statistics
+    accumulate across sweeps; a disabled cache is a shared no-op instance.
+    The environment is re-read on every call, so tests (and long-lived
+    services) can flip the knobs without reloading the module.
+
+    ``REPRO_ARTIFACT_BACKEND=http`` (with ``REPRO_ARTIFACT_URL``) routes the
+    entry bytes through a scenario broker's ``cells`` artifact namespace —
+    the remote-worker configuration.  The local kinds (``directory``,
+    ``sharded``) keep the historical on-disk layout, which is already
+    sharded by digest prefix.
     """
+    from repro.backends import HTTPArtifactBackend, artifact_url_from_env, resolve_artifact_backend
+
     if not cache_enabled_from_env():
         return _DISABLED
     directory = Path(os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR).expanduser()
     resolved = directory if directory.is_absolute() else Path.cwd() / directory
-    instance = _instances.get(resolved)
+    backend_kind = resolve_artifact_backend()
+    url = artifact_url_from_env() if backend_kind == "http" else None
+    if backend_kind == "http" and url is None:
+        from repro.errors import ConfigurationError
+
+        raise ConfigurationError(
+            "REPRO_ARTIFACT_BACKEND=http requires REPRO_ARTIFACT_URL to "
+            "point at a scenario broker (e.g. 'http://127.0.0.1:8642')"
+        )
+    key = (resolved, backend_kind if url is not None else "local", url)
+    instance = _instances.get(key)
     if instance is None:
-        instance = ResultCache(directory=resolved, enabled=True)
-        _instances[resolved] = instance
+        backend = (HTTPArtifactBackend(url, "cells") if url is not None
+                   else None)
+        instance = ResultCache(directory=resolved, enabled=True,
+                               backend=backend)
+        _instances[key] = instance
     return instance

@@ -1,0 +1,175 @@
+"""Tests for the pluggable artifact backends and the broker's artifact routes.
+
+The local kinds (``directory``, ``sharded``) are exercised directly; the
+``http`` kind is exercised against a live broker's
+``/artifacts/{namespace}/{key}`` routes, including the shared-cell-cache
+behaviour that lets a remote worker reuse cells the broker already computed.
+"""
+
+import pickle
+import threading
+
+import pytest
+
+from repro.backends import (
+    ARTIFACT_BACKENDS,
+    DirectoryBackend,
+    HTTPArtifactBackend,
+    ShardedDirectoryBackend,
+    artifact_url_from_env,
+    backend_from_env,
+    resolve_artifact_backend,
+)
+from repro.errors import ConfigurationError
+from repro.service import ArtifactStore, JobManager, ServiceClient, create_server
+from repro.sim.result_cache import CACHE_FORMAT_VERSION, ResultCache
+
+KEY = "ab" * 20  # a plausible 40-char hex digest
+
+
+class TestLocalBackends:
+    @pytest.mark.parametrize("kind", [DirectoryBackend, ShardedDirectoryBackend])
+    def test_round_trip_and_delete(self, tmp_path, kind):
+        backend = kind(tmp_path, suffix=".bin")
+        assert backend.get(KEY) is None
+        assert backend.put(KEY, b"payload")
+        assert backend.get(KEY) == b"payload"
+        assert backend.path_for(KEY).is_file()
+        assert backend.delete(KEY)
+        assert backend.get(KEY) is None
+
+    def test_sharded_layout_matches_cell_cache(self, tmp_path):
+        """The sharded backend writes exactly where ResultCache reads."""
+        backend = ShardedDirectoryBackend(tmp_path, suffix=".pkl")
+        cache = ResultCache(directory=tmp_path, enabled=True)
+        entry = {"version": CACHE_FORMAT_VERSION, "digest": KEY, "result": 42}
+        assert backend.put(KEY, pickle.dumps(entry))
+        assert backend.path_for(KEY) == cache.entry_path(KEY)
+        assert cache.get(KEY) == (True, 42)
+
+    def test_unreadable_entry_counts_a_read_error(self, tmp_path):
+        backend = DirectoryBackend(tmp_path, suffix=".bin")
+        backend.path_for(KEY).mkdir(parents=True)  # directory, not a file
+        assert backend.get(KEY) is None
+        assert backend.read_errors == 1
+
+    def test_entry_paths_lru_order(self, tmp_path):
+        backend = DirectoryBackend(tmp_path, suffix=".bin")
+        backend.put("aa" * 20, b"old")
+        backend.put("bb" * 20, b"new")
+        backend.touch("aa" * 20)
+        names = [path.name for path in backend.entry_paths()]
+        assert names[-1] == "aa" * 20 + ".bin"
+
+
+class TestBackendSelection:
+    def test_default_is_directory(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ARTIFACT_BACKEND", raising=False)
+        assert resolve_artifact_backend() == "directory"
+
+    @pytest.mark.parametrize("name", ARTIFACT_BACKENDS)
+    def test_known_names_resolve(self, name):
+        assert resolve_artifact_backend(name) == name
+
+    def test_unknown_name_gets_did_you_mean_hint(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ARTIFACT_BACKEND", "sharded-dir")
+        with pytest.raises(ConfigurationError, match="did you mean 'sharded'"):
+            resolve_artifact_backend()
+
+    def test_http_requires_a_broker_url(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_ARTIFACT_BACKEND", "http")
+        monkeypatch.delenv("REPRO_ARTIFACT_URL", raising=False)
+        with pytest.raises(ConfigurationError, match="REPRO_ARTIFACT_URL"):
+            backend_from_env(tmp_path, ".json", "scenarios")
+
+    def test_artifact_url_must_be_http(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ARTIFACT_URL", "ftp://nope")
+        with pytest.raises(ConfigurationError, match="http"):
+            artifact_url_from_env()
+
+    def test_env_selects_sharded_for_the_store(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_ARTIFACT_BACKEND", "sharded")
+        store = ArtifactStore(tmp_path, max_bytes=1 << 20)
+        assert store.backend.kind == "sharded"
+        assert store.put(KEY, {"v": 1})
+        assert store.entry_path(KEY).parent.name == KEY[:2]
+        assert store.get(KEY) == {"v": 1}
+
+
+@pytest.fixture
+def live_broker(tmp_path, monkeypatch):
+    """A broker with local stores, serving the /artifacts routes."""
+    monkeypatch.setenv("REPRO_CACHE", "1")
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cells"))
+    monkeypatch.delenv("REPRO_ARTIFACT_BACKEND", raising=False)
+    manager = JobManager(
+        local_workers=0,
+        artifacts=ArtifactStore(tmp_path / "artifacts", max_bytes=1 << 20),
+    )
+    server = create_server(port=0, manager=manager)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    yield f"http://127.0.0.1:{server.port}"
+    server.shutdown()
+    server.server_close()
+    manager.shutdown()
+
+
+class TestHTTPBackend:
+    def test_round_trip_through_the_broker(self, live_broker):
+        backend = HTTPArtifactBackend(live_broker, "scenarios")
+        assert backend.get(KEY) is None  # 404 is a plain miss
+        assert backend.read_errors == 0
+        assert backend.put(KEY, b'{"v": 1}')
+        assert backend.get(KEY) == b'{"v": 1}'
+
+    def test_cells_namespace_is_the_brokers_cell_cache(self, live_broker,
+                                                       tmp_path):
+        """What a worker PUTs through http, the broker's own ResultCache
+        reads locally — the shared-fleet-cache contract."""
+        backend = HTTPArtifactBackend(live_broker, "cells")
+        entry = {"version": CACHE_FORMAT_VERSION, "digest": KEY, "result": 7}
+        assert backend.put(KEY, pickle.dumps(entry))
+        broker_cache = ResultCache(directory=tmp_path / "cells", enabled=True)
+        assert broker_cache.get(KEY) == (True, 7)
+        # And the reverse: a broker-side write is visible over http.
+        other = "cd" * 20
+        broker_cache.put(other, "broker-side")
+        fetched = pickle.loads(backend.get(other))
+        assert fetched["result"] == "broker-side"
+
+    def test_unknown_namespace_is_a_miss(self, live_broker):
+        backend = HTTPArtifactBackend(live_broker, "secrets")
+        assert backend.get(KEY) is None
+        assert backend.put(KEY, b"x") is False
+
+    def test_non_hex_keys_are_rejected(self, live_broker):
+        backend = HTTPArtifactBackend(live_broker, "scenarios")
+        # Traversal attempts never reach the artifact handler (the extra
+        # path segments fail routing) and degrade to misses.
+        assert backend.get("../../etc/passwd") is None
+        assert backend.put("..%2f..%2fetc%2fpasswd", b"x") is False
+        # A single-segment non-hex key is answered 400 — an error, not an
+        # absence, so the counter distinguishes it from a clean miss.
+        assert backend.get("UPPERCASE.NOT.HEX") is None
+        assert backend.read_errors >= 1
+
+    def test_unreachable_broker_degrades_to_misses(self):
+        backend = HTTPArtifactBackend("http://127.0.0.1:9", "cells",
+                                      timeout=0.2)
+        assert backend.get(KEY) is None
+        assert backend.put(KEY, b"x") is False
+        assert backend.read_errors == 1
+
+    def test_result_cache_via_http_backend_round_trips(self, live_broker):
+        cache = ResultCache(directory="/nonexistent", enabled=True,
+                            backend=HTTPArtifactBackend(live_broker, "cells"))
+        digest = "ef" * 32
+        assert cache.put(digest, {"value": 3.5})
+        assert cache.get(digest) == (True, {"value": 3.5})
+        assert cache.stats.hits == 1 and cache.stats.stores == 1
+
+    def test_client_errors_carry_status(self, live_broker):
+        client = ServiceClient(live_broker)
+        with pytest.raises(Exception) as failure:
+            client._request("GET", f"/artifacts/secrets/{KEY}")
+        assert getattr(failure.value, "status", None) == 404

@@ -1,0 +1,463 @@
+"""Tests for the distributed worker fleet: lease broker, remote workers, knobs.
+
+Covers the manager-level lease API (grants, chunking, heartbeats, expiry,
+first-write-wins), the HTTP lease routes end-to-end with real
+:class:`~repro.service.workers.remote.RemoteWorker` loops attached to a
+broker-only server, fault injection inside a remote worker, and the strict
+``REPRO_LEASE_TTL``/``REPRO_WORKER_POLL`` knob validation.
+"""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError, LeaseLostError, ServiceError
+from repro.faults import FaultPlan, FaultSpec
+from repro.scenarios import ScenarioSpec, run_scenario
+from repro.scenarios.runner import expand_cells
+from repro.service import (
+    ArtifactStore,
+    JobManager,
+    JobState,
+    ServiceClient,
+    create_server,
+)
+from repro.service.workers import RemoteWorker
+from repro.service.workers.config import lease_ttl_from_env, worker_poll_from_env
+
+TINY_SPEC = {
+    "name": "fleet-tiny",
+    "kind": "accuracy",
+    "machine": {"core_counts": [2], "llc_kilobytes": 64},
+    "workloads": {"groups": ["H"], "per_group": 1},
+    "techniques": ["GDP"],
+    "instructions_per_core": 4000,
+    "interval_instructions": 2000,
+}
+
+# 3 groups x 2 per group = 6 cells: enough for chunked leases and for two
+# workers to hold cells of the same job at the same time.
+WIDE_SPEC = dict(TINY_SPEC, name="fleet-wide",
+                 workloads={"groups": ["H", "M", "L"], "per_group": 2})
+
+
+def make_spec(base=None, **overrides) -> ScenarioSpec:
+    return ScenarioSpec.from_dict(dict(base or TINY_SPEC, **overrides))
+
+
+def slow_plan(cells: int, delay: float = 0.25) -> dict:
+    """A fault-plan dict delaying every cell, serialisable into a spec."""
+    return FaultPlan(faults=tuple(
+        FaultSpec(kind="slow_cell", cell=index, delay_seconds=delay)
+        for index in range(cells)
+    )).to_dict()
+
+
+def payload_bytes(payload: dict) -> str:
+    return json.dumps(payload, sort_keys=True, default=str)
+
+
+@pytest.fixture
+def broker(tmp_path, monkeypatch):
+    """Broker-only JobManagers (no local pool) with isolated caches."""
+    monkeypatch.setenv("REPRO_CACHE", "1")
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cells"))
+    managers = []
+
+    def build(**kwargs):
+        kwargs.setdefault(
+            "artifacts", ArtifactStore(tmp_path / "artifacts", max_bytes=1 << 22)
+        )
+        kwargs.setdefault("local_workers", 0)
+        built = JobManager(**kwargs)
+        managers.append(built)
+        return built
+
+    yield build
+    for built in managers:
+        built.shutdown()
+
+
+@pytest.fixture
+def fleet(tmp_path, monkeypatch):
+    """A live broker-only server plus attachable in-thread remote workers."""
+    monkeypatch.setenv("REPRO_CACHE", "1")
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cells"))
+    state: dict = {}
+    workers: list[RemoteWorker] = []
+
+    def start(lease_ttl=None, local_workers=0, sweep_jobs=1) -> ServiceClient:
+        manager = JobManager(
+            sweep_jobs=sweep_jobs, local_workers=local_workers,
+            lease_ttl=lease_ttl,
+            artifacts=ArtifactStore(tmp_path / "artifacts", max_bytes=1 << 22),
+        )
+        server = create_server(port=0, manager=manager)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        state["server"] = server
+        state["url"] = f"http://127.0.0.1:{server.port}"
+        return ServiceClient(state["url"])
+
+    def attach(**kwargs) -> RemoteWorker:
+        kwargs.setdefault("jobs", 1)
+        kwargs.setdefault("poll", 0.2)
+        worker = RemoteWorker(state["url"], **kwargs)
+        threading.Thread(target=worker.run, daemon=True).start()
+        workers.append(worker)
+        return worker
+
+    yield start, attach
+    for worker in workers:
+        worker.stop()
+    server = state.get("server")
+    if server is not None:
+        server.shutdown()
+        server.server_close()
+        server.manager.shutdown()
+
+
+class TestLeaseBroker:
+    """The manager-level lease API, no HTTP involved."""
+
+    def test_no_work_means_no_grant(self, broker):
+        manager = broker()
+        assert manager.acquire_lease("idle", wait=0.0) is None
+
+    def test_cell_grant_ships_spec_and_indices(self, broker):
+        manager = broker()
+        spec = make_spec(WIDE_SPEC)
+        job = manager.submit(spec)
+        grant = manager.acquire_lease("w1", wait=5.0)
+        assert grant is not None
+        assert grant.kind == "cells"
+        assert grant.job_id == job.id
+        assert grant.cells == list(range(6))
+        assert grant.total_cells == 6
+        assert len(grant.tasks) == 6
+        # The spec round-trips: a remote worker re-expands it locally.
+        re_expanded = expand_cells(ScenarioSpec.from_dict(grant.spec.to_dict()))
+        assert [cell.task for cell in re_expanded] == [
+            cell.task for cell in expand_cells(spec)]
+        assert manager.get(job.id).state == JobState.RUNNING
+
+    def test_max_cells_chunks_one_job_across_leases(self, broker):
+        manager = broker()
+        manager.submit(make_spec(WIDE_SPEC))
+        first = manager.acquire_lease("w1", max_cells=4, wait=5.0)
+        second = manager.acquire_lease("w2", max_cells=4, wait=0.5)
+        assert first.cells == [0, 1, 2, 3]
+        assert second.cells == [4, 5]
+        assert manager.acquire_lease("w3", max_cells=4, wait=0.0) is None
+
+    def test_max_cells_is_validated(self, broker):
+        manager = broker()
+        with pytest.raises(ConfigurationError, match="max_cells"):
+            manager.acquire_lease("w1", max_cells=0)
+        with pytest.raises(ConfigurationError, match="max_cells"):
+            manager.acquire_lease("w1", max_cells=True)
+
+    def test_heartbeat_on_unknown_lease_is_lost(self, broker):
+        manager = broker()
+        with pytest.raises(LeaseLostError):
+            manager.heartbeat_lease("nope")
+        with pytest.raises(LeaseLostError):
+            manager.complete_lease("nope", outcomes={})
+
+    def test_error_completion_fails_the_job(self, broker):
+        manager = broker()
+        job = manager.submit(make_spec())
+        grant = manager.acquire_lease("w1", wait=5.0)
+        manager.complete_lease(grant.lease_id, error="RuntimeError: boom")
+        job = manager.get(job.id)
+        assert job.state == JobState.FAILED
+        assert "boom" in job.error
+
+    def test_cancelled_completion_requeues_unanswered_cells(self, broker):
+        manager = broker()
+        job = manager.submit(make_spec(WIDE_SPEC))
+        grant = manager.acquire_lease("w1", wait=5.0)
+        manager.complete_lease(grant.lease_id, cancelled=True)
+        # The job is still running; the cells went back to the open heap and
+        # the next worker picks them all up again.
+        assert manager.get(job.id).state == JobState.RUNNING
+        regrant = manager.acquire_lease("w2", wait=5.0)
+        assert regrant.cells == list(range(6))
+        assert manager.stats()["leases"]["requeued_cells_total"] >= 6
+
+    def test_heartbeat_relays_cancellation(self, broker):
+        manager = broker()
+        job = manager.submit(make_spec(WIDE_SPEC))
+        grant = manager.acquire_lease("w1", wait=5.0)
+        assert manager.heartbeat_lease(grant.lease_id, done=1)["cancel"] is False
+        manager.cancel(job.id)
+        assert manager.heartbeat_lease(grant.lease_id, done=1)["cancel"] is True
+
+    def test_expired_lease_requeues_and_rejects_the_zombie(self, broker):
+        """A dead worker's cells requeue; its late posts can't duplicate."""
+        manager = broker(lease_ttl=0.2)
+        job = manager.submit(make_spec(WIDE_SPEC))
+        grant = manager.acquire_lease("w1", wait=5.0)
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            if manager.stats()["leases"]["expired_total"] >= 1:
+                break
+            time.sleep(0.05)
+        assert manager.stats()["leases"]["expired_total"] >= 1
+        regrant = manager.acquire_lease("w2", wait=5.0)
+        assert sorted(regrant.cells) == list(range(6))
+        with pytest.raises(LeaseLostError):
+            manager.heartbeat_lease(grant.lease_id)
+        with pytest.raises(LeaseLostError):
+            manager.complete_lease(grant.lease_id, outcomes={0: object()})
+        assert manager.get(job.id).state == JobState.RUNNING
+        stats = manager.stats()
+        assert stats["leases"]["requeued_cells_total"] >= 6
+        assert stats["workers"]["w1"]["leases_lost"] == 1
+
+    def test_stats_report_workers_and_leases(self, broker):
+        manager = broker()
+        manager.submit(make_spec(WIDE_SPEC))
+        manager.acquire_lease("w1", max_cells=2, wait=5.0)
+        stats = manager.stats()
+        assert set(stats["leases"]) == {
+            "active", "granted_total", "expired_total", "requeued_cells_total"}
+        assert stats["leases"]["active"] == 1
+        worker = stats["workers"]["w1"]
+        assert worker["leases_held"] == 1
+        assert worker["remote"] is True
+        assert worker["heartbeat_age_seconds"] >= 0.0
+
+
+class TestWorkerKnobs:
+    """REPRO_LEASE_TTL / REPRO_WORKER_POLL: strict, eager, with hints."""
+
+    def test_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LEASE_TTL", raising=False)
+        monkeypatch.delenv("REPRO_WORKER_POLL", raising=False)
+        assert lease_ttl_from_env() == 30.0
+        assert worker_poll_from_env() == 2.0
+
+    def test_env_values_parse(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LEASE_TTL", "0.5")
+        monkeypatch.setenv("REPRO_WORKER_POLL", " 1.25 ")
+        assert lease_ttl_from_env() == 0.5
+        assert worker_poll_from_env() == 1.25
+
+    @pytest.mark.parametrize("bad", ["banana", "-3", "0", "", " "])
+    def test_garbage_ttl_rejected_eagerly_at_manager_construction(
+            self, monkeypatch, bad, tmp_path):
+        monkeypatch.setenv("REPRO_LEASE_TTL", bad)
+        if bad.strip() == "":
+            JobManager(local_workers=0, artifacts=ArtifactStore(
+                tmp_path, max_bytes=1 << 20)).shutdown()  # empty = default
+            return
+        with pytest.raises(ConfigurationError, match="REPRO_LEASE_TTL"):
+            JobManager(local_workers=0, artifacts=ArtifactStore(
+                tmp_path, max_bytes=1 << 20))
+
+    def test_off_word_gets_cannot_disable_hint(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LEASE_TTL", "off")
+        with pytest.raises(ConfigurationError, match="cannot be disabled"):
+            lease_ttl_from_env()
+
+    def test_on_word_gets_did_you_mean_hint(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKER_POLL", "auto")
+        with pytest.raises(ConfigurationError,
+                           match="did you mean a number of seconds"):
+            worker_poll_from_env()
+
+    def test_remote_worker_validates_poll_eagerly(self):
+        with pytest.raises(ConfigurationError, match="REPRO_WORKER_POLL"):
+            RemoteWorker("http://127.0.0.1:1", poll="fast")
+
+    def test_local_workers_must_be_a_count(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="local_workers"):
+            JobManager(local_workers=-1, artifacts=ArtifactStore(
+                tmp_path, max_bytes=1 << 20))
+
+
+class TestRemoteWorkerEndToEnd:
+    """Real RemoteWorker loops over HTTP against a broker-only server."""
+
+    def test_job_waits_for_a_worker_then_matches_single_node(self, fleet):
+        """The acceptance pin: zero local workers, a spec job completes only
+        once a remote worker attaches, and the payload is bit-identical to
+        an in-process run_scenario."""
+        start, attach = fleet
+        client = start(local_workers=0)
+        spec = make_spec(WIDE_SPEC)
+        job = client.submit(spec)
+        time.sleep(0.4)
+        assert client.status(job["id"])["state"] == JobState.QUEUED
+        worker = attach()
+        status = client.wait(job["id"], timeout=120)
+        assert status["state"] == JobState.DONE
+        remote_payload = client.result(job["id"])
+        direct = run_scenario(spec, jobs=1).to_dict()
+        assert payload_bytes(remote_payload) == payload_bytes(direct)
+        stats = client.stats()
+        assert stats["workers"][worker.worker_id]["cells_done"] == 6
+        assert worker.cells_run == 6
+
+    def test_two_workers_drain_one_job_with_live_stats(self, fleet):
+        """Two workers execute cells of the same job concurrently; /stats
+        stays consistent while they do."""
+        start, attach = fleet
+        client = start(local_workers=0, lease_ttl=5.0)
+        first = attach(lease_cells=1)
+        second = attach(lease_cells=1)
+        spec = make_spec(WIDE_SPEC, name="fleet-shared",
+                         fault_plan=slow_plan(6, 0.3))
+        job = client.submit(spec)
+        deadline = time.monotonic() + 120
+        while True:
+            stats = client.stats()
+            assert stats["queue_depth"] >= 0
+            assert 0.0 <= stats["worker_utilisation"] <= 1.0
+            leases = stats["leases"]
+            assert leases["active"] >= 0
+            assert leases["granted_total"] >= leases["active"]
+            for info in stats["workers"].values():
+                assert info["heartbeat_age_seconds"] >= 0.0
+                assert info["cells_done"] >= 0
+            state = client.status(job["id"])["state"]
+            if state in JobState.TERMINAL:
+                break
+            assert time.monotonic() < deadline, "job did not finish"
+            time.sleep(0.1)
+        assert state == JobState.DONE
+        stats = client.stats()
+        done_by = {name: info["cells_done"]
+                   for name, info in stats["workers"].items()}
+        assert sum(done_by.values()) == 6
+        assert done_by[first.worker_id] > 0
+        assert done_by[second.worker_id] > 0
+
+    def test_remote_progress_streams_over_sse(self, fleet):
+        start, attach = fleet
+        client = start(local_workers=0, lease_ttl=2.0)
+        spec = make_spec(WIDE_SPEC, name="fleet-sse",
+                         fault_plan=slow_plan(6, 0.2))
+        job = client.submit(spec)
+        attach(lease_cells=2)
+        events = list(client.iter_events(job["id"], timeout=30))
+        kinds = [event["event"] for event in events]
+        assert kinds[-1] == JobState.DONE
+        progress = [event for event in events if event["event"] == "progress"]
+        assert progress, f"no progress events in {kinds}"
+        assert any(0 < event["done"] < event["total"] for event in progress)
+        lease_grants = [event for event in events
+                        if event["event"] == "lease_granted"]
+        assert len(lease_grants) >= 2  # 6 cells, 2 per lease
+
+    def test_dead_worker_mid_job_requeues_no_duplicates(self, fleet):
+        """Kill a worker mid-batch: its lease expires, the cells requeue to
+        a live worker, the job completes bit-identically, and the zombie's
+        late post answers 410 without corrupting the result."""
+        start, attach = fleet
+        client = start(local_workers=0, lease_ttl=0.5)
+        spec = make_spec(WIDE_SPEC, name="fleet-orphan")
+        job = client.submit(spec)
+        # A "worker" that takes 3 cells and dies: no heartbeat, no result.
+        zombie = client.acquire_lease("zombie", max_cells=3, wait=10.0)
+        assert zombie["kind"] == "cells"
+        assert zombie["cells"] == [0, 1, 2]
+        attach()  # the live worker picks up everything, including requeues
+        status = client.wait(job["id"], timeout=120)
+        assert status["state"] == JobState.DONE
+        remote_payload = client.result(job["id"])
+        direct = run_scenario(spec, jobs=1).to_dict()
+        assert payload_bytes(remote_payload) == payload_bytes(direct)
+        # The zombie wakes up and posts: authoritative 410, nothing changes.
+        with pytest.raises(ServiceError) as failure:
+            client.lease_result(zombie["lease"], cells={0: {"bogus": True}})
+        assert failure.value.status == 410
+        assert payload_bytes(client.result(job["id"])) == payload_bytes(direct)
+        stats = client.stats()
+        assert stats["leases"]["expired_total"] >= 1
+        assert stats["leases"]["requeued_cells_total"] >= 3
+        assert stats["workers"]["zombie"]["leases_lost"] == 1
+
+    def test_fault_injection_inside_remote_worker_is_absorbed(
+            self, fleet, monkeypatch):
+        """REPRO_FAULT_PLAN faults fire inside the remote worker; the
+        supervisor retries them there and the payload stays bit-identical."""
+        start, attach = fleet
+        client = start(local_workers=0, lease_ttl=5.0)
+        plan = FaultPlan(faults=(
+            FaultSpec(kind="transient_error", cell=1, attempts=1),
+            FaultSpec(kind="slow_cell", cell=0, delay_seconds=0.2),
+            FaultSpec(kind="corrupt_cache_entry", cell=2),
+        ))
+        monkeypatch.setenv("REPRO_FAULT_PLAN", json.dumps(plan.to_dict()))
+        spec = make_spec(WIDE_SPEC, name="fleet-chaos")
+        job = client.submit(spec)
+        attach(lease_cells=4)  # cells split across two leases; fault indices
+        # are global, so the second lease's remapping is exercised too
+        status = client.wait(job["id"], timeout=120)
+        assert status["state"] == JobState.DONE
+        remote_payload = client.result(job["id"])
+        monkeypatch.delenv("REPRO_FAULT_PLAN")
+        direct = run_scenario(spec, jobs=1).to_dict()
+        assert payload_bytes(remote_payload) == payload_bytes(direct)
+        supervisor = client.stats()["supervisor"]
+        assert supervisor["retries"] >= 1
+
+    def test_cancel_reaches_a_remote_worker_through_heartbeats(self, fleet):
+        start, attach = fleet
+        client = start(local_workers=0, lease_ttl=1.0)
+        spec = make_spec(WIDE_SPEC, name="fleet-cancel",
+                         fault_plan=slow_plan(6, 0.5))
+        job = client.submit(spec)
+        attach(lease_cells=6)
+        deadline = time.monotonic() + 30
+        while client.status(job["id"])["state"] != JobState.RUNNING:
+            assert time.monotonic() < deadline
+            time.sleep(0.05)
+        time.sleep(0.3)  # let the worker get into its first slow cell
+        client.cancel(job["id"])
+        status = client.wait(job["id"], timeout=60)
+        assert status["state"] == JobState.CANCELLED
+
+
+class TestLeaseRoutesValidation:
+    """HTTP-level validation of the lease endpoints."""
+
+    @pytest.fixture
+    def live(self, fleet):
+        start, _attach = fleet
+        return start(local_workers=0)
+
+    def test_lease_request_requires_worker(self, live):
+        with pytest.raises(ServiceError) as failure:
+            live._request("POST", "/leases", {"wait": 0})
+        assert failure.value.status == 400
+
+    def test_lease_request_validates_wait(self, live):
+        with pytest.raises(ServiceError) as failure:
+            live._request("POST", "/leases", {"worker": "w", "wait": -1})
+        assert failure.value.status == 400
+
+    def test_lease_request_validates_max_cells(self, live):
+        with pytest.raises(ServiceError) as failure:
+            live._request("POST", "/leases",
+                          {"worker": "w", "wait": 0, "max_cells": 0})
+        assert failure.value.status == 400
+
+    def test_idle_long_poll_answers_204(self, live):
+        assert live.acquire_lease("idle", wait=0.0) is None
+
+    def test_heartbeat_unknown_lease_is_410(self, live):
+        with pytest.raises(ServiceError) as failure:
+            live.lease_heartbeat("nope")
+        assert failure.value.status == 410
+
+    def test_result_with_undecodable_cells_is_400(self, live):
+        live.submit(dict(TINY_SPEC, name="fleet-bad-result"))
+        grant = live.acquire_lease("w", wait=10.0)
+        with pytest.raises(ServiceError) as failure:
+            live._request("POST", f"/leases/{grant['lease']}/result",
+                          {"cells": {"0": "not-base64-pickle!!"}})
+        assert failure.value.status == 400
