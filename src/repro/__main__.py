@@ -7,6 +7,8 @@ Usage::
     python -m repro run figure3 [--scale small] [--jobs N] [--json OUT]
     python -m repro run path/to/scenario.json [--jobs N] [--json OUT]
     python -m repro run-composite path/to/composite.json [--jobs N] [--json OUT]
+    python -m repro query path/to/query.json [--jobs N] [--json OUT]
+    python -m repro query path/to/query.json --broker http://HOST:PORT
     python -m repro run-all [--scale small] [--jobs N] [--json OUT]
     python -m repro serve [--port P] [--jobs N] [--local-workers N]
     python -m repro worker --broker http://HOST:PORT [--jobs N] [--lease-cells N]
@@ -161,6 +163,71 @@ def _cmd_run_composite(path: str, jobs: int | None, json_path: str | None) -> in
     return 0
 
 
+def _cmd_query(path: str, jobs: int | None, broker: str | None,
+               json_path: str | None, timeout: float) -> int:
+    from repro.scenarios import format_query_payload, load_query
+
+    query = load_query(path)
+    if broker is None:
+        from repro.experiments.common import shutdown_executor
+        from repro.scenarios import run_query
+
+        def observer(event: dict) -> None:
+            name = event.get("event", "")
+            arm = event.get("arm") or event.get("candidate") or ""
+            if name == "wave_done":
+                print(f"  [{arm}] wave {event['wave']}: "
+                      f"{event['cells']} cell(s) done", flush=True)
+            elif name == "candidate_eliminated":
+                print(f"  [{arm}] eliminated after "
+                      f"{event['after_cells']} cell(s)", flush=True)
+
+        print(f"answering query '{query.name}' ({query.kind})")
+        try:
+            result = run_query(query, jobs=jobs, observer=observer)
+        finally:
+            shutdown_executor()
+        payload = result.to_dict()
+        print(result.report())
+        _print_cache_stats()
+        if json_path:
+            _write_json(json_path, payload)
+        return 0
+
+    from repro.service.client import ServiceClient
+
+    broker = broker.rstrip("/")
+    if not broker.startswith(("http://", "https://")):
+        raise ConfigurationError(
+            f"--broker must be an http(s) base URL such as "
+            f"'http://127.0.0.1:8642', got {broker!r}"
+        )
+    client = ServiceClient(broker)
+    job = client.submit_query(query)
+    print(f"submitted query '{query.name}' as job {job['id']} to {broker}")
+    for event in client.iter_events(job["id"]):
+        name = event.get("event", "")
+        if name == "wave_done":
+            print(f"  [{event.get('arm', '')}] wave {event.get('wave')}: "
+                  f"{event.get('cells')} cell(s) done", flush=True)
+        elif name == "candidate_eliminated":
+            print(f"  [{event.get('candidate', '')}] eliminated after "
+                  f"{event.get('after_cells')} cell(s)", flush=True)
+        elif name in ("failed", "cancelled"):
+            print(f"  job {name}: {event.get('error') or ''}", flush=True)
+    status = client.wait(job["id"], timeout=timeout)
+    if status["state"] != "done":
+        detail = f": {status['error']}" if status.get("error") else ""
+        print(f"error: query job {job['id']} finished "
+              f"{status['state']}{detail}", file=sys.stderr)
+        return 1
+    payload = client.result(job["id"])
+    print(format_query_payload(payload))
+    if json_path:
+        _write_json(json_path, payload)
+    return 0
+
+
 def _cmd_run_all(scale: str | None, jobs: int | None, json_path: str | None) -> int:
     from repro.experiments.run_all import run_all
 
@@ -258,6 +325,24 @@ def main(argv: list[str] | None = None) -> int:
     run_composite.add_argument("--json", dest="json_path", metavar="OUT",
                                help="write a JSON summary to this path")
 
+    query = subparsers.add_parser(
+        "query",
+        help="answer an on-demand query (best-of race, adaptive refinement, "
+             "confidence sampling) from a JSON query spec")
+    query.add_argument(
+        "query", help="path to a JSON query spec (see examples/query_best_of.json)")
+    query.add_argument("--jobs", type=int, default=None,
+                       help="parallel sweep workers for in-process execution "
+                            "(default: REPRO_JOBS or CPU count)")
+    query.add_argument("--broker", default=None,
+                       help="submit to a running scenario service instead of "
+                            "executing in-process, e.g. http://127.0.0.1:8642")
+    query.add_argument("--timeout", type=float, default=600.0,
+                       help="broker mode: seconds to wait for the answer "
+                            "(default: 600)")
+    query.add_argument("--json", dest="json_path", metavar="OUT",
+                       help="write the full answer payload to this path")
+
     run_all = subparsers.add_parser("run-all", help="run every figure plus the headline summary")
     run_all.add_argument("--scale", default=None,
                          help="small, medium or large (default: small)")
@@ -306,6 +391,10 @@ def main(argv: list[str] | None = None) -> int:
         if arguments.command == "run-composite":
             return _cmd_run_composite(arguments.composite, arguments.jobs,
                                       arguments.json_path)
+        if arguments.command == "query":
+            return _cmd_query(arguments.query, arguments.jobs,
+                              arguments.broker, arguments.json_path,
+                              arguments.timeout)
         if arguments.command == "serve":
             return _cmd_serve(arguments.port, arguments.host, arguments.jobs,
                               arguments.local_workers)

@@ -37,7 +37,9 @@ def run_all(scale: str = "small", jobs: int | None = None) -> dict:
     An unknown ``scale`` raises :class:`~repro.errors.ConfigurationError`.
     """
     knobs = resolve_scale(scale)
-    start = time.time()
+    # Monotonic: a wall-clock step (NTP, DST) must not produce a negative or
+    # wildly wrong elapsed time in the summary.
+    start = time.monotonic()
 
     # All figures fan their cells through the shared persistent process pool
     # and the content-addressed result cache; the pool is shut down when the
@@ -90,7 +92,7 @@ def run_all(scale: str = "small", jobs: int | None = None) -> dict:
         "headline_mean_ipc_error": headline.mean_ipc_error,
         "headline_mcp_vs_asm": headline.mcp_vs_asm_stp_improvement,
         "headline_mcp_vs_lru": headline.mcp_vs_lru_stp_improvement,
-        "elapsed_seconds": time.time() - start,
+        "elapsed_seconds": time.monotonic() - start,
     }
 
 

@@ -11,6 +11,12 @@ files via ``python -m repro run``.  Scenarios compose into dependency DAGs —
 :class:`~repro.scenarios.composite.CompositeSpec`, executed by the
 topological scheduler in :mod:`repro.scenarios.composite` via
 ``python -m repro run-composite`` or the service's ``POST /composites``.
+Question-shaped *queries* — best-of races with early termination, adaptive
+axis refinement, confidence-gated workload sampling — are described by
+:class:`~repro.scenarios.query.QuerySpec` and answered on demand by
+:func:`~repro.scenarios.ondemand.run_query` via ``python -m repro query``
+or the service's ``POST /queries``, evaluating only the cells the question
+needs.
 """
 
 from repro.scenarios.builtin import (
@@ -29,7 +35,21 @@ from repro.scenarios.composite import (
     load_composite,
     run_composite,
 )
+from repro.scenarios.ondemand import (
+    InProcessWaveExecutor,
+    QueryResult,
+    WaveExecutor,
+    format_query_payload,
+    run_query,
+)
+from repro.scenarios.query import QUERY_KINDS, QuerySpec, load_query, query_digest
 from repro.scenarios.runner import ScenarioResult, expand_cells, run_scenario
+from repro.scenarios.stopping import (
+    DEFAULT_RULES,
+    StoppingRule,
+    rule_from_dict,
+    stopping_rules,
+)
 from repro.scenarios.spec import (
     AXIS_NAMES,
     SCENARIO_KINDS,
@@ -63,4 +83,17 @@ __all__ = [
     "builtin_scenarios",
     "get_builtin",
     "resolve_scale",
+    "QUERY_KINDS",
+    "QuerySpec",
+    "load_query",
+    "query_digest",
+    "DEFAULT_RULES",
+    "StoppingRule",
+    "rule_from_dict",
+    "stopping_rules",
+    "InProcessWaveExecutor",
+    "QueryResult",
+    "WaveExecutor",
+    "format_query_payload",
+    "run_query",
 ]

@@ -1,0 +1,339 @@
+"""Query specs: question-shaped scenarios answered without the full grid.
+
+A :class:`QuerySpec` wraps a base :class:`~repro.scenarios.spec.ScenarioSpec`
+with a *question* and a :mod:`~repro.scenarios.stopping` rule; the on-demand
+scheduler (:mod:`repro.scenarios.ondemand`) then evaluates only the cells the
+question needs:
+
+* ``best_of`` — race the base spec's candidate ``policies`` or
+  ``techniques`` head-to-head, one single-candidate arm each, eliminating
+  losers wave by wave until one winner stands.
+* ``adaptive_refinement`` — evaluate a coarse sub-grid of one sweep axis,
+  then refine positions neighbouring the current optimum until the stopping
+  rule reports convergence.
+* ``confidence_sampling`` — add one workload per wave (the generator draws
+  workloads sequentially from one seeded RNG, so ``per_group=k`` is a strict
+  prefix of ``per_group=N``) and stop once the candidate ranking is stable.
+
+Like ``ScenarioSpec``/``CompositeSpec``, a query spec is a frozen,
+JSON-round-trippable value object: ``to_dict``/``from_dict`` are lossless,
+validation rejects malformed input with precise messages, and
+:func:`query_digest` addresses the complete query *answer* in the artifact
+store the same way ``scenario_digest`` addresses a full sweep result.
+
+Cells evaluated on behalf of a query are ordinary scenario cells of ordinary
+(arm) specs — the result records exactly which, so a full-grid replay can
+pin every one bit-identical to ``run_scenario`` on the same spec.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+from repro.registry import suggest_name
+from repro.scenarios.spec import (
+    ScenarioSpec,
+    _is_positive_int,
+    _reject_unknown_keys,
+    _require_object,
+)
+from repro.scenarios.stopping import DEFAULT_RULES, StoppingRule, rule_from_dict
+
+__all__ = [
+    "QUERY_KINDS",
+    "QuerySpec",
+    "load_query",
+    "query_digest",
+]
+
+QUERY_KINDS = ("best_of", "adaptive_refinement", "confidence_sampling")
+
+# Which base scenario kind each race is scored on: a policy race compares
+# per-policy system throughput, a technique race compares per-technique
+# estimation error.
+_RACE_BASE_KINDS = {"policies": "throughput", "techniques": "accuracy"}
+
+_QUERY_FIELDS = ("name", "kind", "base", "race", "axis", "coarse_step",
+                 "wave_cells", "prefetch", "stopping", "description")
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """A declarative on-demand query over one base scenario spec."""
+
+    name: str
+    kind: str
+    base: ScenarioSpec
+    race: str | None = None          # best_of: "policies" | "techniques"
+    axis: str | None = None          # adaptive_refinement: axis to refine
+    coarse_step: int = 2             # adaptive_refinement: coarse stride
+    wave_cells: int = 1              # best_of: cells per candidate per wave
+    prefetch: bool = False           # best_of: pipeline the next wave
+    stopping: StoppingRule | None = None
+    description: str = ""
+
+    # ------------------------------------------------------------ validation
+
+    def validate(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise ConfigurationError("query 'name' must be a non-empty string")
+        if self.kind not in QUERY_KINDS:
+            raise ConfigurationError(
+                f"unknown query kind '{self.kind}' "
+                f"(expected one of: {', '.join(QUERY_KINDS)})"
+                f"{suggest_name(self.kind, QUERY_KINDS)}"
+            )
+        if not isinstance(self.base, ScenarioSpec):
+            raise ConfigurationError(
+                "query 'base' must be a ScenarioSpec, "
+                f"got {type(self.base).__name__}"
+            )
+        self.base.validate()
+        if not _is_positive_int(self.wave_cells):
+            raise ConfigurationError(
+                f"query 'wave_cells' must be a positive integer, "
+                f"got {self.wave_cells!r}"
+            )
+        if not isinstance(self.prefetch, bool):
+            raise ConfigurationError(
+                f"query 'prefetch' must be a boolean, got {self.prefetch!r}"
+            )
+        if not isinstance(self.description, str):
+            raise ConfigurationError("query 'description' must be a string")
+        if self.kind == "best_of":
+            self._validate_best_of()
+        else:
+            if self.race is not None:
+                raise ConfigurationError(
+                    f"query 'race' only applies to best_of queries "
+                    f"(kind is '{self.kind}')"
+                )
+            if self.prefetch:
+                raise ConfigurationError(
+                    "query 'prefetch' only applies to best_of queries "
+                    f"(kind is '{self.kind}')"
+                )
+        if self.kind == "adaptive_refinement":
+            self._validate_refinement()
+        elif self.axis is not None:
+            raise ConfigurationError(
+                f"query 'axis' only applies to adaptive_refinement queries "
+                f"(kind is '{self.kind}')"
+            )
+        if self.kind == "confidence_sampling":
+            self._validate_sampling()
+        if self.stopping is not None and not isinstance(self.stopping,
+                                                        StoppingRule):
+            raise ConfigurationError(
+                "query 'stopping' must be a StoppingRule (use rule_from_dict "
+                f"for plain dicts), got {type(self.stopping).__name__}"
+            )
+        rule = self.rule()
+        rule.validate()
+        if self.kind not in rule.KINDS:
+            raise ConfigurationError(
+                f"stopping rule '{rule.RULE}' applies to "
+                f"{', '.join(rule.KINDS)} queries, not '{self.kind}'"
+            )
+
+    def _validate_best_of(self) -> None:
+        race = self.resolved_race()
+        expected = _RACE_BASE_KINDS[race]
+        if self.base.kind != expected:
+            raise ConfigurationError(
+                f"a best_of race over {race} needs a '{expected}' base "
+                f"scenario (got kind '{self.base.kind}')"
+            )
+        candidates = self.candidates()
+        if len(candidates) < 2:
+            raise ConfigurationError(
+                f"a best_of race needs at least two candidate {race}, "
+                f"got {list(candidates)!r}"
+            )
+
+    def _validate_refinement(self) -> None:
+        if self.base.kind not in ("throughput", "accuracy"):
+            raise ConfigurationError(
+                "adaptive_refinement needs a 'throughput' or 'accuracy' "
+                f"base scenario (got kind '{self.base.kind}')"
+            )
+        if not self.base.axes:
+            raise ConfigurationError(
+                "adaptive_refinement needs a base scenario with at least "
+                "one sweep axis"
+            )
+        axis = self.resolved_axis()
+        if len(axis.values) < 3:
+            raise ConfigurationError(
+                f"adaptive_refinement axis '{axis.name}' needs at least "
+                f"three values to refine, got {len(axis.values)}"
+            )
+        if not _is_positive_int(self.coarse_step) or self.coarse_step < 2:
+            raise ConfigurationError(
+                f"query 'coarse_step' must be an integer >= 2, "
+                f"got {self.coarse_step!r}"
+            )
+
+    def _validate_sampling(self) -> None:
+        if self.base.kind not in ("throughput", "accuracy"):
+            raise ConfigurationError(
+                "confidence_sampling needs a 'throughput' or 'accuracy' "
+                f"base scenario (got kind '{self.base.kind}')"
+            )
+        if self.base.workloads.per_group < 2:
+            raise ConfigurationError(
+                "confidence_sampling needs workloads.per_group >= 2 in the "
+                "base scenario — there is nothing to sample otherwise"
+            )
+
+    # ------------------------------------------------------------- resolution
+
+    def rule(self) -> StoppingRule:
+        """The explicit stopping rule, or the kind's default."""
+        if self.stopping is not None:
+            return self.stopping
+        return DEFAULT_RULES[self.kind]
+
+    def resolved_race(self) -> str:
+        """Which candidate set a best_of query races (derived from the base)."""
+        if self.race is not None:
+            if self.race not in _RACE_BASE_KINDS:
+                raise ConfigurationError(
+                    f"unknown race '{self.race}' (expected one of: "
+                    f"{', '.join(_RACE_BASE_KINDS)})"
+                    f"{suggest_name(self.race, _RACE_BASE_KINDS)}"
+                )
+            return self.race
+        if self.base.kind == "throughput":
+            return "policies"
+        if self.base.kind == "accuracy":
+            return "techniques"
+        raise ConfigurationError(
+            "cannot derive a race from a "
+            f"'{self.base.kind}' base scenario; set 'race' explicitly"
+        )
+
+    def candidates(self) -> tuple[str, ...]:
+        """The names racing in a best_of query."""
+        if self.resolved_race() == "policies":
+            return self.base.policies
+        return self.base.techniques
+
+    def arm_spec(self, candidate: str) -> ScenarioSpec:
+        """The single-candidate scenario spec one best_of arm evaluates.
+
+        Scoring is per-candidate-independent in both races (each policy's
+        STP comes from its own shared run; each technique estimates on its
+        own accounting pass), so a single-candidate arm's cells score
+        identically to the joint sweep's — and ``run_scenario`` on this very
+        spec is the full-grid replay the result's cell record points at.
+        """
+        if self.resolved_race() == "policies":
+            return replace(self.base, policies=(candidate,),
+                           name=f"{self.base.name}::{candidate}")
+        return replace(self.base, techniques=(candidate,),
+                       name=f"{self.base.name}::{candidate}")
+
+    def resolved_axis(self):
+        """The SweepAxis an adaptive_refinement query refines."""
+        if self.axis is None:
+            if len(self.base.axes) == 1:
+                return self.base.axes[0]
+            raise ConfigurationError(
+                "the base scenario sweeps "
+                f"{len(self.base.axes)} axes; set 'axis' to pick one of: "
+                f"{', '.join(axis.name for axis in self.base.axes)}"
+            )
+        for axis in self.base.axes:
+            if axis.name == self.axis:
+                return axis
+        names = tuple(axis.name for axis in self.base.axes)
+        raise ConfigurationError(
+            f"axis '{self.axis}' is not swept by the base scenario "
+            f"(axes: {', '.join(names) or 'none'})"
+            f"{suggest_name(self.axis, names)}"
+        )
+
+    # ------------------------------------------------------------- round-trip
+
+    def to_dict(self) -> dict:
+        data: dict = {
+            "name": self.name,
+            "kind": self.kind,
+            "base": self.base.to_dict(),
+            "wave_cells": self.wave_cells,
+            "prefetch": self.prefetch,
+        }
+        if self.race is not None:
+            data["race"] = self.race
+        if self.axis is not None:
+            data["axis"] = self.axis
+        if self.kind == "adaptive_refinement":
+            data["coarse_step"] = self.coarse_step
+        if self.stopping is not None:
+            data["stopping"] = self.stopping.to_dict()
+        if self.description:
+            data["description"] = self.description
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "QuerySpec":
+        _require_object(data, "query")
+        _reject_unknown_keys(data, _QUERY_FIELDS, "query")
+        if "base" not in data:
+            raise ConfigurationError("query is missing the 'base' scenario spec")
+        stopping = None
+        if data.get("stopping") is not None:
+            stopping = rule_from_dict(data["stopping"])
+        query = cls(
+            name=data.get("name", ""),
+            kind=data.get("kind", ""),
+            base=ScenarioSpec.from_dict(data["base"]),
+            race=data.get("race"),
+            axis=data.get("axis"),
+            coarse_step=data.get("coarse_step", 2),
+            wave_cells=data.get("wave_cells", 1),
+            prefetch=data.get("prefetch", False),
+            stopping=stopping,
+            description=data.get("description", ""),
+        )
+        query.validate()
+        return query
+
+    @classmethod
+    def from_json(cls, text: str) -> "QuerySpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ConfigurationError(f"query JSON does not parse: {error}") from None
+        return cls.from_dict(data)
+
+
+def load_query(path) -> QuerySpec:
+    """Load and validate a query spec from a JSON file."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as error:
+        raise ConfigurationError(f"cannot read query file {path}: {error}") from None
+    return QuerySpec.from_json(text)
+
+
+def query_digest(query: QuerySpec) -> str:
+    """Content digest addressing the complete answer of one query spec.
+
+    Mirrors :func:`~repro.scenarios.runner.scenario_digest`: the ambient
+    batch-cycles knob is folded in, and the base spec's fault plan is not —
+    faults script the execution path, never the result.
+    """
+    from repro.sim.result_cache import content_digest
+    from repro.sim.system import resolved_batch_cycles
+
+    material = query.to_dict()
+    material["base"].pop("fault_plan", None)
+    return content_digest(
+        "query-result", material,
+        extra=("batch_cycles", repr(resolved_batch_cycles())),
+    )

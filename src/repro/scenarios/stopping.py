@@ -1,0 +1,338 @@
+"""Stopping rules deciding when an on-demand query has seen enough cells.
+
+A :class:`~repro.scenarios.query.QuerySpec` answers a question ("which
+policy wins?", "where does the accuracy frontier settle?", "is the ranking
+stable?") without materialising its base scenario's full sweep grid.  The
+*stopping rule* is the pluggable piece that turns partial evidence into a
+termination decision:
+
+* ``margin`` — eliminate a ``best_of`` candidate once it trails the leader
+  by more than a fixed score margin (with a minimum sample count before any
+  elimination fires).
+* ``confidence`` — eliminate a candidate once the paired per-cell score
+  differences against the leader clear a z-score threshold.
+* ``tolerance`` — stop an ``adaptive_refinement`` query once another round
+  of refinement improves the best objective by less than a tolerance.
+* ``stable_ranking`` — stop ``confidence_sampling`` once the candidate
+  ranking has not changed for a number of consecutive waves.
+
+Rules live in a :class:`~repro.registry.Registry` (same did-you-mean
+failure modes as techniques/policies), round-trip through JSON dicts via
+``rule.to_dict()`` / :func:`rule_from_dict`, and declare which query kinds
+they apply to so validation can reject e.g. ``tolerance`` on a ``best_of``
+query up front.
+
+All decisions are pure functions of the samples handed in — rules hold no
+mutable state, so a query replayed from cached cells reaches the identical
+decision at the identical point.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.registry import Registry, suggest_name
+from repro.scenarios.spec import _reject_unknown_keys, _require_object
+
+__all__ = [
+    "ConfidenceRule",
+    "DEFAULT_RULES",
+    "MarginRule",
+    "StableRankingRule",
+    "StoppingRule",
+    "ToleranceRule",
+    "rule_from_dict",
+    "stopping_rules",
+]
+
+stopping_rules = Registry("stopping rule")
+
+
+def _mean(values) -> float:
+    values = list(values)
+    return sum(values) / len(values)
+
+
+def _as_float(value, field: str, rule: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ConfigurationError(
+            f"stopping rule '{rule}' field '{field}' must be a number, "
+            f"got {value!r}"
+        )
+    return float(value)
+
+
+def _as_positive_int(value, field: str, rule: str) -> int:
+    if isinstance(value, bool) or not isinstance(value, int) or value < 1:
+        raise ConfigurationError(
+            f"stopping rule '{rule}' field '{field}' must be a positive "
+            f"integer, got {value!r}"
+        )
+    return int(value)
+
+
+def _leader(scores: dict[str, float]) -> str:
+    """The best-scoring name under the canonical (-score, name) order.
+
+    Scores are *oriented* — higher is always better by the time a rule sees
+    them (accuracy RMS arrives negated) — and ties break alphabetically,
+    matching the composite ``best_*`` selectors so a query and a composite
+    over the same cells name the same winner.
+    """
+    return min(scores, key=lambda name: (-scores[name], name))
+
+
+class StoppingRule:
+    """Interface shared by all stopping rules (subclasses are frozen)."""
+
+    RULE = ""
+    KINDS: tuple[str, ...] = ()
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on out-of-range parameters."""
+
+    def to_dict(self) -> dict:
+        raise NotImplementedError
+
+    # Each rule implements only the decision methods its query kinds call:
+    # ``eliminate`` for best_of, ``converged`` for adaptive_refinement,
+    # ``stable`` for confidence_sampling.
+
+    def eliminate(self, samples: dict[str, list[float]]) -> tuple[str, ...]:
+        raise NotImplementedError  # pragma: no cover - kind-gated
+
+    def converged(self, previous_best: float | None, best: float) -> bool:
+        raise NotImplementedError  # pragma: no cover - kind-gated
+
+    def stable(self, rankings: list[tuple[str, ...]]) -> bool:
+        raise NotImplementedError  # pragma: no cover - kind-gated
+
+
+@dataclass(frozen=True)
+class MarginRule(StoppingRule):
+    """Drop candidates trailing the leader's mean score by more than ``margin``.
+
+    ``min_cells`` guards against deciding on a single noisy cell: no
+    elimination fires until every surviving candidate has that many scored
+    cells.  ``margin`` is in the score's own units (STP for throughput
+    races, IPC RMS for accuracy races).
+    """
+
+    margin: float = 0.0
+    min_cells: int = 2
+
+    RULE = "margin"
+    KINDS = ("best_of",)
+
+    def validate(self) -> None:
+        if not isinstance(self.margin, (int, float)) or isinstance(self.margin, bool):
+            raise ConfigurationError(
+                f"stopping rule 'margin' field 'margin' must be a number, "
+                f"got {self.margin!r}"
+            )
+        if self.margin < 0:
+            raise ConfigurationError(
+                f"stopping rule 'margin' requires margin >= 0, got {self.margin}"
+            )
+        _as_positive_int(self.min_cells, "min_cells", "margin")
+
+    def to_dict(self) -> dict:
+        return {"rule": self.RULE, "margin": self.margin,
+                "min_cells": self.min_cells}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MarginRule":
+        _reject_unknown_keys(data, ("rule", "margin", "min_cells"),
+                             "stopping rule 'margin'")
+        rule = cls(
+            margin=_as_float(data.get("margin", 0.0), "margin", "margin"),
+            min_cells=_as_positive_int(data.get("min_cells", 2),
+                                       "min_cells", "margin"),
+        )
+        rule.validate()
+        return rule
+
+    def eliminate(self, samples: dict[str, list[float]]) -> tuple[str, ...]:
+        if any(len(values) < self.min_cells for values in samples.values()):
+            return ()
+        scores = {name: _mean(values) for name, values in samples.items()}
+        lead = scores[_leader(scores)]
+        return tuple(
+            name for name in samples if lead - scores[name] > self.margin
+        )
+
+
+@dataclass(frozen=True)
+class ConfidenceRule(StoppingRule):
+    """Drop candidates whose paired deficit against the leader clears ``z``.
+
+    For each candidate the rule forms per-cell paired differences
+    ``leader_score - candidate_score`` (cells are evaluated in lockstep, so
+    the pairing is exact) and eliminates the candidate once the mean deficit
+    exceeds ``z`` standard errors.  A zero-variance deficit eliminates on
+    sign alone — the candidate loses every cell by the same amount.
+    """
+
+    z: float = 1.96
+    min_cells: int = 2
+
+    RULE = "confidence"
+    KINDS = ("best_of",)
+
+    def validate(self) -> None:
+        if (not isinstance(self.z, (int, float)) or isinstance(self.z, bool)
+                or self.z <= 0):
+            raise ConfigurationError(
+                f"stopping rule 'confidence' requires z > 0, got {self.z!r}"
+            )
+        if self.min_cells < 2:
+            raise ConfigurationError(
+                "stopping rule 'confidence' requires min_cells >= 2 "
+                f"(a standard error needs at least two samples), got {self.min_cells}"
+            )
+
+    def to_dict(self) -> dict:
+        return {"rule": self.RULE, "z": self.z, "min_cells": self.min_cells}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ConfidenceRule":
+        _reject_unknown_keys(data, ("rule", "z", "min_cells"),
+                             "stopping rule 'confidence'")
+        rule = cls(
+            z=_as_float(data.get("z", 1.96), "z", "confidence"),
+            min_cells=_as_positive_int(data.get("min_cells", 2),
+                                       "min_cells", "confidence"),
+        )
+        rule.validate()
+        return rule
+
+    def eliminate(self, samples: dict[str, list[float]]) -> tuple[str, ...]:
+        if any(len(values) < self.min_cells for values in samples.values()):
+            return ()
+        scores = {name: _mean(values) for name, values in samples.items()}
+        leader = _leader(scores)
+        losers = []
+        for name, values in samples.items():
+            if name == leader:
+                continue
+            deficits = [lead - own
+                        for lead, own in zip(samples[leader], values)]
+            mean = _mean(deficits)
+            if mean <= 0:
+                continue
+            variance = (sum((d - mean) ** 2 for d in deficits)
+                        / (len(deficits) - 1))
+            stderr = math.sqrt(variance / len(deficits))
+            if stderr == 0.0 or mean > self.z * stderr:
+                losers.append(name)
+        return tuple(losers)
+
+
+@dataclass(frozen=True)
+class ToleranceRule(StoppingRule):
+    """Stop refining once a round improves the best objective < ``tolerance``.
+
+    The comparison is on the *oriented* objective (higher is better), so
+    ``tolerance`` is an absolute improvement in score units — STP for
+    throughput sweeps, IPC RMS for accuracy sweeps.
+    """
+
+    tolerance: float = 0.01
+
+    RULE = "tolerance"
+    KINDS = ("adaptive_refinement",)
+
+    def validate(self) -> None:
+        if (not isinstance(self.tolerance, (int, float))
+                or isinstance(self.tolerance, bool) or self.tolerance < 0):
+            raise ConfigurationError(
+                f"stopping rule 'tolerance' requires tolerance >= 0, "
+                f"got {self.tolerance!r}"
+            )
+
+    def to_dict(self) -> dict:
+        return {"rule": self.RULE, "tolerance": self.tolerance}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ToleranceRule":
+        _reject_unknown_keys(data, ("rule", "tolerance"),
+                             "stopping rule 'tolerance'")
+        rule = cls(tolerance=_as_float(data.get("tolerance", 0.01),
+                                       "tolerance", "tolerance"))
+        rule.validate()
+        return rule
+
+    def converged(self, previous_best: float | None, best: float) -> bool:
+        if previous_best is None:
+            return False
+        return best - previous_best <= self.tolerance
+
+
+@dataclass(frozen=True)
+class StableRankingRule(StoppingRule):
+    """Stop sampling once the ranking survives ``rounds`` extra waves.
+
+    After wave *k* the driver appends the full-candidate ranking over all
+    cells consumed so far; the rule fires when the last ``rounds + 1``
+    rankings are identical — i.e. ``rounds`` additional workloads changed
+    nothing.
+    """
+
+    rounds: int = 2
+
+    RULE = "stable_ranking"
+    KINDS = ("confidence_sampling",)
+
+    def validate(self) -> None:
+        _as_positive_int(self.rounds, "rounds", "stable_ranking")
+
+    def to_dict(self) -> dict:
+        return {"rule": self.RULE, "rounds": self.rounds}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StableRankingRule":
+        _reject_unknown_keys(data, ("rule", "rounds"),
+                             "stopping rule 'stable_ranking'")
+        rule = cls(rounds=_as_positive_int(data.get("rounds", 2),
+                                           "rounds", "stable_ranking"))
+        rule.validate()
+        return rule
+
+    def stable(self, rankings: list[tuple[str, ...]]) -> bool:
+        if len(rankings) <= self.rounds:
+            return False
+        window = rankings[-(self.rounds + 1):]
+        return all(ranking == window[0] for ranking in window)
+
+
+stopping_rules.register("margin", MarginRule.from_dict)
+stopping_rules.register("confidence", ConfidenceRule.from_dict)
+stopping_rules.register("tolerance", ToleranceRule.from_dict)
+stopping_rules.register("stable_ranking", StableRankingRule.from_dict)
+
+# The rule a query kind falls back to when its spec names none.
+DEFAULT_RULES: dict[str, StoppingRule] = {
+    "best_of": MarginRule(),
+    "adaptive_refinement": ToleranceRule(),
+    "confidence_sampling": StableRankingRule(),
+}
+
+
+def rule_from_dict(data: dict) -> StoppingRule:
+    """Reconstruct a stopping rule from its ``to_dict`` payload."""
+    _require_object(data, "stopping rule")
+    name = data.get("rule")
+    if not isinstance(name, str) or not name:
+        raise ConfigurationError(
+            "stopping rule dict must carry a non-empty string 'rule' field; "
+            f"got {name!r}"
+        )
+    if name not in stopping_rules:
+        raise ConfigurationError(
+            f"unknown stopping rule '{name}' "
+            f"(registered: {', '.join(stopping_rules.names())})"
+            f"{suggest_name(name, stopping_rules.names())}"
+        )
+    return stopping_rules.create(name, data)

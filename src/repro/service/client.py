@@ -34,6 +34,7 @@ import urllib.request
 
 from repro.errors import ServiceError
 from repro.scenarios.composite import CompositeSpec
+from repro.scenarios.query import QuerySpec
 from repro.scenarios.spec import ScenarioSpec
 from repro.service.jobs import JobState
 
@@ -194,6 +195,18 @@ class ServiceClient:
         """
         data = composite.to_dict() if isinstance(composite, CompositeSpec) else composite
         return self._request("POST", "/composites", {"spec": data, "priority": priority})
+
+    def submit_query(self, query: QuerySpec | dict, priority: int = 0) -> dict:
+        """Submit an on-demand query; returns the parent-job summary.
+
+        The job's ``/events`` stream carries ``wave_started`` /
+        ``wave_done`` / ``candidate_eliminated`` events while the broker
+        evaluates only the cells the question needs; the finished job's
+        result is the :meth:`~repro.scenarios.ondemand.QueryResult.to_dict`
+        payload.
+        """
+        data = query.to_dict() if isinstance(query, QuerySpec) else query
+        return self._request("POST", "/queries", {"spec": data, "priority": priority})
 
     def iter_events(self, job_id: str, timeout: float | None = None):
         """Yield a job's Server-Sent Events as dicts until the terminal event.

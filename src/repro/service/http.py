@@ -16,6 +16,10 @@ POST     /scenarios                 submit a ScenarioSpec JSON (optionally
 POST     /composites                submit a CompositeSpec JSON (same optional
                                     ``{"spec": ..., "priority": N}`` wrapper);
                                     member jobs fan out as dependencies finish
+POST     /queries                   submit a QuerySpec JSON (same wrapper);
+                                    an on-demand query evaluated wave by wave
+                                    through the lease broker — wave lifecycle
+                                    events stream on the job's ``/events``
 GET      /scenarios                 list all jobs (most recent last)
 GET      /scenarios/{id}            job status + per-cell progress (+ children
                                     and per-node states for composites)
@@ -87,6 +91,7 @@ from repro.errors import (
     ServiceError,
 )
 from repro.scenarios.composite import CompositeSpec
+from repro.scenarios.query import QuerySpec
 from repro.scenarios.spec import ScenarioSpec
 from repro.service.artifacts import ArtifactStore
 from repro.service.jobs import JobManager, JobState
@@ -532,6 +537,8 @@ class ScenarioRequestHandler(BaseHTTPRequestHandler):
             parse, submit = ScenarioSpec.from_dict, self.manager.submit
         elif parts == ["composites"]:
             parse, submit = CompositeSpec.from_dict, self.manager.submit_composite
+        elif parts == ["queries"]:
+            parse, submit = QuerySpec.from_dict, self.manager.submit_query
         else:
             self._send_error_json(404, f"no such route: POST {self.path}")
             return

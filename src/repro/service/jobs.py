@@ -41,10 +41,26 @@ therefore the lease machinery), parent cancellation propagates, a member
 failure fails the composite fast, and the assembled payload is cached under
 a whole-composite digest.
 
+On-demand queries (:mod:`repro.scenarios.query`) run through the same
+broker: :meth:`JobManager.submit_query` drives the query on a background
+thread, and each *wave* of cells the query needs becomes a child job
+restricted to exactly those cell indices — waves ride the normal priority
+queue and lease machinery, so a query scales across the worker fleet like
+any sweep, and eliminating a losing candidate cancels its in-flight wave
+through the ordinary cooperative-cancellation path.  The complete answer is
+cached in the artifact store under :func:`~repro.scenarios.query.
+query_digest`.
+
 Every job also carries an append-only *event log* — queued/running/progress/
-lease/terminal transitions, plus per-node events on composite parents —
-consumed by the HTTP layer's SSE endpoint through
-:meth:`JobManager.iter_events`.
+lease/terminal transitions, plus per-node events on composite parents and
+wave events on query parents — consumed by the HTTP layer's SSE endpoint
+through :meth:`JobManager.iter_events`.
+
+Timekeeping discipline: every *deadline, age or interval* (lease TTLs,
+heartbeat staleness, busy/uptime accounting) is computed from
+``time.monotonic()``, which a wall-clock step (NTP, DST, operator ``date``)
+cannot move; ``time.time()`` appears only in display fields reported
+verbatim to clients (``submitted_at``, event timestamps, ``last_seen``).
 
 With an injected test ``runner`` the manager degrades to *whole-job* leases:
 the spec is never expanded and a single (local) lease covers the entire job,
@@ -63,6 +79,7 @@ from dataclasses import dataclass, field
 from repro.errors import (
     CacheKeyError,
     ConfigurationError,
+    JobCancelledError,
     JobConflictError,
     LeaseLostError,
     ServiceError,
@@ -79,6 +96,8 @@ from repro.scenarios.composite import (
     composite_digest,
     resolve_node_spec,
 )
+from repro.scenarios.ondemand import WaveExecutor, run_query
+from repro.scenarios.query import QuerySpec, query_digest
 from repro.scenarios.runner import (
     EVALUATORS,
     ScenarioCell,
@@ -126,6 +145,8 @@ class Job:
     Plain jobs carry a ``spec``; composite parents carry a ``composite`` and
     track their member jobs through ``children`` (node name -> child job id)
     and ``node_states``.  Children point back via ``parent_id``/``node``.
+    Query parents carry a ``query`` and spawn *wave* children — spec jobs
+    whose ``required`` restricts them to a subset of the grid's cell indices.
     """
 
     id: str
@@ -133,6 +154,7 @@ class Job:
     priority: int
     spec: ScenarioSpec | None = None
     composite: CompositeSpec | None = None
+    query: QuerySpec | None = None
     state: str = JobState.QUEUED
     submitted_at: float = 0.0
     started_at: float | None = None
@@ -151,6 +173,15 @@ class Job:
     # Cooperative-cancellation token; assigned when the job starts running
     # and shared by every lease of the job.
     cancel: CancelToken | None = field(default=None, repr=False)
+    # Monotonic companion to ``started_at``: interval math (busy-seconds,
+    # utilisation) must survive wall-clock steps.
+    started_monotonic: float | None = field(default=None, repr=False)
+    # Wave child: the subset of grid cell indices this job must answer
+    # (None = the whole grid, the normal case).
+    required: list[int] | None = None
+    # Wave child: raw `{cell_index: outcome}` objects held for the query
+    # driver (cleared once the driver collects them; never serialised).
+    raw: dict | None = field(default=None, repr=False)
     # A parked job was interrupted by a graceful drain: its terminal record
     # is withheld from the journal so a restarted server replays it.
     parked: bool = False
@@ -168,11 +199,19 @@ class Job:
 
     @property
     def name(self) -> str:
-        return self.composite.name if self.composite is not None else self.spec.name
+        if self.composite is not None:
+            return self.composite.name
+        if self.query is not None:
+            return self.query.name
+        return self.spec.name
 
     @property
     def kind(self) -> str:
-        return "composite" if self.composite is not None else self.spec.kind
+        if self.composite is not None:
+            return "composite"
+        if self.query is not None:
+            return "query"
+        return self.spec.kind
 
     def events_after(self, index: int) -> tuple[list[dict], int]:
         """Buffered events with absolute index >= ``index``, plus the next index."""
@@ -197,6 +236,8 @@ class Job:
         if self.composite is not None:
             payload["children"] = dict(self.children)
             payload["nodes"] = dict(self.node_states)
+        if self.query is not None:
+            payload["children"] = dict(self.children)
         if self.parent_id is not None:
             payload["parent"] = self.parent_id
             payload["node"] = self.node
@@ -255,7 +296,10 @@ class _JobPlan:
     ``pending`` holds the not-yet-leased cell indices, ``outcomes`` the
     answered ones (first write wins).  ``digests`` aligns with ``cells`` when
     the cell cache applies, so remotely-computed outcomes can be persisted
-    into the broker's cache as they arrive.
+    into the broker's cache as they arrive.  ``required`` restricts a query
+    *wave* to a subset of the grid: only those indices are leased, the job
+    completes when they are all answered, and no whole-sweep payload is
+    assembled (the query driver consumes the raw outcomes instead).
     """
 
     cells: list[ScenarioCell]
@@ -263,6 +307,18 @@ class _JobPlan:
     outcomes: dict[int, object]
     digests: list[str] | None
     use_cache: bool
+    required: list[int] | None = None
+
+    @property
+    def goal(self) -> int:
+        """How many cells this job must answer to finish."""
+        return len(self.cells) if self.required is None else len(self.required)
+
+    @property
+    def complete(self) -> bool:
+        if self.required is None:
+            return len(self.outcomes) == len(self.cells)
+        return all(index in self.outcomes for index in self.required)
 
 
 def _default_runner(spec: ScenarioSpec, jobs: int | None, progress, cancel) -> dict:
@@ -322,6 +378,9 @@ class JobManager:
         self.scenario_hits = 0
         self.scenario_misses = 0
         self.started_at = time.time()
+        # Uptime/utilisation intervals are measured on the monotonic clock;
+        # ``started_at`` above is the wall-clock display value only.
+        self._started_monotonic = time.monotonic()
         self.busy_seconds = 0.0
         self._runner = runner
         # With an injected runner the broker cannot expand specs into cells
@@ -570,6 +629,164 @@ class JobManager:
             self._launch_ready_nodes_locked(parent)
             return parent
 
+    # ------------------------------------------------------------------ queries
+
+    def submit_query(self, query: QuerySpec, priority: int = 0,
+                     job_id: str | None = None) -> Job:
+        """Answer an on-demand query through broker-executed waves.
+
+        The returned parent job coordinates the query: a background driver
+        thread runs :func:`~repro.scenarios.ondemand.run_query` with a
+        broker-backed wave executor, so every wave of cells becomes a child
+        job riding the normal priority queue and lease machinery (and
+        therefore the whole worker fleet).  Wave lifecycle events
+        (``wave_started`` / ``wave_done`` / ``candidate_eliminated``) are
+        mirrored onto the parent's SSE stream.  An identical query whose
+        answer is already in the artifact store (keyed on
+        :func:`~repro.scenarios.query.query_digest`) completes instantly
+        with ``cached=True`` — no wave runs.
+        """
+        query.validate()
+        self._reject_if_unavailable()
+        if not self._cell_mode:
+            raise ServiceError(
+                "queries need the cell-granular broker; a manager with an "
+                "injected runner only grants whole-job leases"
+            )
+        digest = query_digest(query)
+        cached = self.artifacts.get(digest) if self.scenario_cache else None
+        if self.journal is not None and cached is None:
+            job_id = job_id or uuid.uuid4().hex[:12]
+            self.journal.record_submit(job_id, "query", query.to_dict(),
+                                       priority)
+        with self._condition:
+            if self._stop:
+                raise ServiceError("the job manager is shut down")
+            parent = Job(
+                id=job_id or uuid.uuid4().hex[:12],
+                query=query,
+                digest=digest,
+                priority=priority,
+                submitted_at=time.time(),
+            )
+            self._jobs[parent.id] = parent
+            if cached is not None:
+                self.scenario_hits += 1
+                parent.result = cached
+                parent.cached = True
+                parent.state = JobState.DONE
+                parent.finished_at = parent.submitted_at
+                cells = cached.get("cells", {})
+                parent.cells_done = cells.get("evaluated", 0)
+                parent.cells_total = cells.get("total")
+                self._emit_terminal_locked(parent)
+                self._prune_finished_locked()
+                self._condition.notify_all()
+                return parent
+            self.scenario_misses += 1
+            parent.state = JobState.RUNNING
+            parent.started_at = time.time()
+            parent.cancel = CancelToken()
+            self._emit_locked(parent, JobState.RUNNING)
+        driver = threading.Thread(target=self._drive_query, args=(parent,),
+                                  name=f"query-{parent.id}", daemon=True)
+        driver.start()
+        return parent
+
+    def _drive_query(self, parent: Job) -> None:
+        """Run one query to its answer on a dedicated driver thread.
+
+        The driver never holds a lease or evaluates a cell itself — it only
+        submits wave children and blocks on their handles, so however many
+        queries run concurrently, the cell work still flows through the one
+        priority queue.
+        """
+
+        def observer(event: dict) -> None:
+            payload = dict(event)
+            name = payload.pop("event", "wave")
+            # Reserved event-record keys; the driver's payloads never carry
+            # them, but guard against a future collision corrupting the log.
+            for key in ("job", "seq", "time"):
+                payload.pop(key, None)
+            with self._condition:
+                if not parent.finished:
+                    self._emit_locked(parent, name, **payload)
+
+        try:
+            result = run_query(parent.query,
+                               executor=_BrokerWaveExecutor(self, parent),
+                               observer=observer, cancel=parent.cancel)
+        except JobCancelledError:
+            with self._condition:
+                if not parent.finished:
+                    self._finalize_query_locked(parent, JobState.CANCELLED)
+            return
+        except Exception as error:  # noqa: BLE001 — any driver failure must fail the job
+            with self._condition:
+                if not parent.finished:
+                    self._finalize_query_locked(
+                        parent, JobState.FAILED,
+                        f"{type(error).__name__}: {error}")
+            return
+        payload = result.to_dict()
+        if self.scenario_cache:
+            self.artifacts.put(parent.digest, payload)
+        with self._condition:
+            if parent.finished:
+                return
+            parent.result = payload
+            parent.cells_done = result.cells_evaluated
+            parent.cells_total = result.cells_total
+            self._finalize_query_locked(parent, JobState.DONE)
+
+    def _finalize_query_locked(self, parent: Job, state: str,
+                               error: str | None = None) -> None:
+        """Take a query parent to a terminal state (lock held).
+
+        Like :meth:`_finalize_locked` minus the lease/plan/busy bookkeeping
+        a parent never owns — its wave children each settled their own.
+        """
+        parent.state = state
+        if error is not None:
+            parent.error = error
+        parent.finished_at = time.time()
+        if parent.cancel is not None and state in (JobState.FAILED,
+                                                   JobState.CANCELLED):
+            parent.cancel.cancel()
+        self._emit_terminal_locked(parent)
+        self._prune_finished_locked()
+        self._condition.notify_all()
+
+    def _submit_wave_locked(self, parent: Job, spec: ScenarioSpec,
+                            indices: list[int], label: str) -> Job:
+        """Enqueue one wave of a query as a cell-restricted child job.
+
+        Waves skip the journal (the journaled parent re-derives them on
+        replay) and the scenario-level artifact cache (a wave is a partial
+        evaluation, not a whole-sweep result — its completed *cells* land in
+        the cell cache as usual, which is what makes a warm replay free).
+        """
+        child = Job(
+            id=uuid.uuid4().hex[:12],
+            spec=spec,
+            digest="",
+            priority=parent.priority,
+            submitted_at=time.time(),
+            parent_id=parent.id,
+            node=label,
+            required=list(indices),
+        )
+        self._jobs[child.id] = child
+        parent.children[label] = child.id
+        self._sequence += 1
+        heapq.heappush(self._queue, (-child.priority, self._sequence, child.id))
+        self._emit_locked(child, JobState.QUEUED)
+        self._emit_locked(parent, "wave_submitted", node=label, child=child.id,
+                          cells=len(child.required))
+        self._condition.notify_all()
+        return child
+
     def replay_journal(self) -> list[Job]:
         """Resubmit every journaled job the previous server life never
         finished, preserving the original job ids.
@@ -591,6 +808,10 @@ class JobManager:
                     composite = CompositeSpec.from_dict(record["spec"])
                     job = self.submit_composite(composite, priority=priority,
                                                 job_id=record["job"])
+                elif record.get("kind") == "query":
+                    query = QuerySpec.from_dict(record["spec"])
+                    job = self.submit_query(query, priority=priority,
+                                            job_id=record["job"])
                 else:
                     spec = ScenarioSpec.from_dict(record["spec"])
                     job = self.submit(spec, priority=priority,
@@ -677,12 +898,20 @@ class JobManager:
         if info is None:
             info = {"remote": remote, "leases_held": 0, "leases_total": 0,
                     "leases_lost": 0, "cells_done": 0, "cells_failed": 0,
-                    "last_seen": time.time()}
+                    "last_seen": time.time(),
+                    "last_seen_monotonic": time.monotonic()}
             self._workers[worker] = info
         else:
-            info["last_seen"] = time.time()
+            self._touch_worker_locked(info)
             info["remote"] = remote
         return info
+
+    @staticmethod
+    def _touch_worker_locked(info: dict) -> None:
+        """Refresh a worker's liveness stamps: monotonic for staleness math,
+        wall-clock for the human-facing ``last_seen`` field."""
+        info["last_seen"] = time.time()
+        info["last_seen_monotonic"] = time.monotonic()
 
     def _next_action_locked(self, worker: str, max_cells: int | None,
                             remote: bool):
@@ -734,6 +963,7 @@ class JobManager:
             heapq.heappop(self._queue)
             job.state = JobState.RUNNING
             job.started_at = time.time()
+            job.started_monotonic = time.monotonic()
             job.cancel = CancelToken()
             self._emit_locked(job, JobState.RUNNING)
             if self._cell_mode:
@@ -795,7 +1025,7 @@ class JobManager:
         here without any lease ever existing.
         """
         try:
-            plan = self._plan_job(job.spec)
+            plan = self._plan_job(job.spec, required=job.required)
         except Exception as error:  # noqa: BLE001 — a bad spec must fail the job, not the worker
             with self._condition:
                 if not job.finished:
@@ -809,7 +1039,7 @@ class JobManager:
                 self._finalize_locked(job, JobState.CANCELLED)
                 return
             self._plans[job.id] = plan
-            job.cells_total = len(plan.cells)
+            job.cells_total = plan.goal
             job.cells_done = len(plan.outcomes)
             self._emit_progress_locked(job)
             if plan.pending:
@@ -819,22 +1049,38 @@ class JobManager:
                                (-job.priority, job.sequence, job.id))
                 self._condition.notify_all()
                 return
+            if plan.required is not None:
+                # A fully-cached wave finishes here, no lease ever granted.
+                self._finish_wave_locked(job, plan)
+                return
             job.finalizing = True
             spec, cells = job.spec, plan.cells
             ordered = [plan.outcomes[index] for index in range(len(cells))]
         self._assemble_and_finish(job, spec, cells, ordered)
 
-    def _plan_job(self, spec: ScenarioSpec) -> _JobPlan:
+    def _plan_job(self, spec: ScenarioSpec,
+                  required: list[int] | None = None) -> _JobPlan:
         """Expand the spec and answer whatever the cell cache already holds.
 
         Mirrors :func:`repro.experiments.common.run_parallel`'s cache
         precheck exactly (same digesting, same ambient batch-cycles extra),
         so the broker and a single-node run agree cell for cell on what is
-        cached.
+        cached.  ``required`` restricts a query wave to a subset of the
+        grid's indices: the cells list (and digest alignment) still covers
+        the whole grid — indices stay global — but only the required cells
+        are cache-probed and queued.
         """
         evaluator, _cost_key = EVALUATORS[spec.kind]
         cells = expand_cells(spec)
-        tasks = [cell.task for cell in cells]
+        if required is not None:
+            bad = [index for index in required
+                   if not 0 <= index < len(cells)]
+            if bad:
+                raise ConfigurationError(
+                    f"wave cell indices {bad!r} are outside the spec's "
+                    f"{len(cells)}-cell grid"
+                )
+        wanted = list(range(len(cells))) if required is None else list(required)
         outcomes: dict[int, object] = {}
         digests: list[str] | None = None
         cache = get_result_cache()
@@ -844,19 +1090,20 @@ class JobManager:
 
             extra = ("batch_cycles", repr(resolved_batch_cycles()))
             try:
-                digests = [task_digest(evaluator, args, extra=extra)
-                           for args in tasks]
+                digests = [task_digest(evaluator, cell.task, extra=extra)
+                           for cell in cells]
             except CacheKeyError:
                 use_cache = False
                 digests = None
             else:
-                for index, digest in enumerate(digests):
-                    hit, value = cache.get(digest)
+                for index in wanted:
+                    hit, value = cache.get(digests[index])
                     if hit:
                         outcomes[index] = value
-        pending = [index for index in range(len(cells)) if index not in outcomes]
+        pending = [index for index in wanted if index not in outcomes]
         return _JobPlan(cells=cells, pending=pending, outcomes=outcomes,
-                        digests=digests, use_cache=use_cache)
+                        digests=digests, use_cache=use_cache,
+                        required=None if required is None else list(required))
 
     def _assemble_and_finish(self, job: Job, spec: ScenarioSpec,
                              cells: list[ScenarioCell], ordered: list) -> None:
@@ -877,6 +1124,14 @@ class JobManager:
         with self._condition:
             job.result = payload
             self._finalize_locked(job, JobState.DONE)
+
+    def _finish_wave_locked(self, job: Job, plan: _JobPlan) -> None:
+        """Finish a query wave child ``done`` (lock held): stash the raw
+        outcomes for the driver, no sweep assembly, no artifact write."""
+        job.raw = {index: plan.outcomes[index] for index in plan.required}
+        job.result = {"cells": sorted(plan.required)}
+        job.cells_done = len(plan.required)
+        self._finalize_locked(job, JobState.DONE)
 
     # -------------------------------------------------------------- heartbeats
 
@@ -900,7 +1155,7 @@ class JobManager:
             lease.deadline = time.monotonic() + self.lease_ttl
             info = self._workers.get(lease.worker)
             if info is not None:
-                info["last_seen"] = time.time()
+                self._touch_worker_locked(info)
             job = self._jobs.get(lease.job_id)
             if job is None or job.finished:
                 # The job went terminal while the lease was in flight (e.g.
@@ -931,7 +1186,7 @@ class JobManager:
             lease = self._leases.get(lease_id)
             if lease is not None and lease.cells is not None:
                 done += lease.done
-        done = min(done, len(plan.cells))
+        done = min(done, plan.goal)
         if done == job.cells_done:
             return
         job.cells_done = done
@@ -965,7 +1220,7 @@ class JobManager:
             self._resolve_lease_locked(lease)
             info = self._workers.get(lease.worker)
             if info is not None:
-                info["last_seen"] = time.time()
+                self._touch_worker_locked(info)
             job = self._jobs.get(lease.job_id)
             if job is None or job.finished:
                 return job  # late completion of a job decided elsewhere
@@ -1024,11 +1279,16 @@ class JobManager:
                     # via the HTTP artifact backend).
                     to_persist = [(plan.digests[index], value)
                                   for index, value in fresh.items()]
-                if len(plan.outcomes) == len(plan.cells):
-                    job.finalizing = True
-                    ordered = [plan.outcomes[index]
-                               for index in range(len(plan.cells))]
-                    finish = ("cells", job.spec, plan.cells, ordered)
+                if plan.complete:
+                    if plan.required is not None:
+                        # Query wave: no whole-sweep assembly — the driver
+                        # consumes the raw outcomes through the wave handle.
+                        self._finish_wave_locked(job, plan)
+                    else:
+                        job.finalizing = True
+                        ordered = [plan.outcomes[index]
+                                   for index in range(len(plan.cells))]
+                        finish = ("cells", job.spec, plan.cells, ordered)
                 elif (job.state == JobState.CANCELLING or job.parked) \
                         and not job.leases:
                     self._finalize_locked(job, JobState.CANCELLED)
@@ -1071,8 +1331,8 @@ class JobManager:
         if error is not None:
             job.error = error
         job.finished_at = time.time()
-        if job.started_at is not None:
-            self.busy_seconds += job.finished_at - job.started_at
+        if job.started_monotonic is not None:
+            self.busy_seconds += time.monotonic() - job.started_monotonic
         job.finalizing = False
         for lease_id in list(job.leases):
             lease = self._leases.get(lease_id)
@@ -1160,6 +1420,23 @@ class JobManager:
                     )
                 if job.state != JobState.CANCELLING:
                     self._cancel_composite_locked(job)
+                return job
+            if job.query is not None:
+                # Setting the token is enough: the driver thread notices at
+                # the next wave boundary (or mid-wait through its polling
+                # wave handles), cancels the in-flight wave children and
+                # finalises the parent ``cancelled``.
+                if job.finished:
+                    raise JobConflictError(
+                        f"job '{job_id}' is {job.state}; a finished query "
+                        f"cannot be cancelled"
+                    )
+                if job.state != JobState.CANCELLING:
+                    job.state = JobState.CANCELLING
+                    if job.cancel is not None:
+                        job.cancel.cancel()
+                    self._emit_locked(job, JobState.CANCELLING)
+                    self._condition.notify_all()
                 return job
             if job.state == JobState.CANCELLING:
                 return job  # idempotent: already being cancelled
@@ -1261,10 +1538,11 @@ class JobManager:
 
     def stats(self) -> dict:
         """Queue depth, per-state counts, cache hit rates, worker fleet."""
-        now = time.time()
+        now_monotonic = time.monotonic()
         with self._lock:
             by_state: dict[str, int] = {}
             composites = 0
+            queries = 0
             running_ids: list[str] = []
             busy = self.busy_seconds
             for job in self._jobs.values():
@@ -1272,10 +1550,15 @@ class JobManager:
                 if job.composite is not None:
                     composites += 1
                     continue
+                if job.query is not None:
+                    # A query parent occupies no worker itself — its wave
+                    # children carry the busy time.
+                    queries += 1
+                    continue
                 if job.state in (JobState.RUNNING, JobState.CANCELLING):
                     running_ids.append(job.id)
-                    if job.started_at is not None:
-                        busy += now - job.started_at
+                    if job.started_monotonic is not None:
+                        busy += now_monotonic - job.started_monotonic
             queue_depth = by_state.get(JobState.QUEUED, 0)
             total = len(self._jobs)
             workers = {
@@ -1287,12 +1570,13 @@ class JobManager:
                     "cells_done": info["cells_done"],
                     "cells_failed": info["cells_failed"],
                     "last_seen": info["last_seen"],
-                    "heartbeat_age_seconds": max(0.0, now - info["last_seen"]),
+                    "heartbeat_age_seconds": max(
+                        0.0, now_monotonic - info["last_seen_monotonic"]),
                 }
                 for name, info in self._workers.items()
             }
             leases = {"active": len(self._leases), **self._lease_stats}
-        uptime = max(now - self.started_at, 1e-9)
+        uptime = max(now_monotonic - self._started_monotonic, 1e-9)
         cell_cache = get_result_cache()
         return {
             "uptime_seconds": uptime,
@@ -1301,6 +1585,7 @@ class JobManager:
             "jobs_total": total,
             "jobs_by_state": by_state,
             "composites_total": composites,
+            "queries_total": queries,
             "scenario_cache": {
                 "hits": self.scenario_hits,
                 "misses": self.scenario_misses,
@@ -1448,6 +1733,10 @@ class JobManager:
         parent = self._jobs.get(child.parent_id or "")
         if parent is None:
             return
+        if parent.query is not None:
+            # Query waves are consumed through their handles by the driver
+            # thread; the parent's node table and DAG logic don't apply.
+            return
         node = child.node
         if parent.finished:
             # The parent reached a terminal state (cancellation, fail-fast)
@@ -1567,3 +1856,81 @@ class JobManager:
                 child = self._jobs.get(child_id)
                 if child is not None and child.finished:
                     del self._jobs[child_id]
+
+
+# ------------------------------------------------------------- query waves
+
+
+class _BrokerWaveExecutor(WaveExecutor):
+    """Run query waves as cell-restricted child jobs of one query parent.
+
+    The on-demand drivers in :mod:`repro.scenarios.ondemand` call ``start``
+    once per wave; each call enqueues a child job whose ``required`` names
+    exactly the wave's cell indices, so the lease broker fans the wave
+    across whatever workers — local threads or the remote fleet — pull it.
+    """
+
+    def __init__(self, manager: JobManager, parent: Job):
+        self._manager = manager
+        self._parent = parent
+
+    def start(self, spec: ScenarioSpec, indices, label: str) -> "_BrokerWaveHandle":
+        manager = self._manager
+        with manager._condition:
+            if manager._stop:
+                raise ServiceError("the job manager is shut down")
+            child = manager._submit_wave_locked(self._parent, spec,
+                                               list(indices), label)
+        return _BrokerWaveHandle(manager, child, self._parent.cancel)
+
+
+class _BrokerWaveHandle:
+    """One in-flight wave: wait for (or cancel) its child job.
+
+    ``wait`` deliberately polls the manager's condition instead of using
+    :meth:`JobManager.wait`: the driver must also unblock when the *query's*
+    cancel token fires or the manager stops — neither of which is a child
+    state transition.
+    """
+
+    def __init__(self, manager: JobManager, child: Job,
+                 token: CancelToken | None):
+        self._manager = manager
+        self._child = child
+        self._token = token
+
+    def wait(self) -> dict:
+        manager, child = self._manager, self._child
+        while True:
+            with manager._condition:
+                if child.finished:
+                    break
+                interrupted = manager._stop or (
+                    self._token is not None and self._token.cancelled)
+                if not interrupted:
+                    manager._condition.wait(timeout=0.25)
+                    continue
+            # Interrupted mid-wave (shutdown or query cancellation): cancel
+            # the child — its lease drains at the next cell boundary, every
+            # completed cell already cached — and unwind the driver.
+            self.cancel()
+            raise JobCancelledError(
+                f"query wave '{child.node}' interrupted by "
+                f"{'shutdown' if manager._stop else 'cancellation'}"
+            )
+        if child.state == JobState.DONE:
+            raw = child.raw or {}
+            child.raw = None  # the driver owns the outcomes now; free them
+            return raw
+        if child.state == JobState.CANCELLED:
+            raise JobCancelledError(
+                f"query wave '{child.node}' was cancelled")
+        raise ServiceError(
+            child.error or f"query wave '{child.node}' failed")
+
+    def cancel(self) -> None:
+        try:
+            self._manager.cancel(self._child.id)
+        except ServiceError:
+            # Already terminal (JobConflictError) or pruned: nothing to do.
+            pass

@@ -1,0 +1,869 @@
+"""Tests for on-demand query scenarios: specs, stopping rules, drivers, broker.
+
+Covers the query layer end to end — `QuerySpec` validation and JSON
+round-trips, the stopping-rule registry, the three `run_query` drivers over a
+synthetic wave executor (deterministic, instant), real-simulation runs that
+pin bit-identity against full-grid evaluation, the broker path
+(`JobManager.submit_query`, wave children, cancellation mid-lease, artifact
+and cell caching), and the monotonic-clock discipline of the lease broker.
+"""
+
+import dataclasses
+import pickle
+import time as real_time
+from types import SimpleNamespace
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    JobCancelledError,
+    JobConflictError,
+    ServiceError,
+)
+from repro.scenarios import (
+    DEFAULT_RULES,
+    QUERY_KINDS,
+    InProcessWaveExecutor,
+    QuerySpec,
+    ScenarioSpec,
+    WaveExecutor,
+    load_query,
+    query_digest,
+    rule_from_dict,
+    run_query,
+    stopping_rules,
+)
+from repro.scenarios.composite import _ranked_policies, _ranked_techniques
+from repro.scenarios.runner import EVALUATORS, expand_cells
+from repro.scenarios.stopping import (
+    ConfidenceRule,
+    MarginRule,
+    StableRankingRule,
+    ToleranceRule,
+)
+from repro.service import ArtifactStore, JobJournal, JobManager, JobState
+from repro.sim.result_cache import get_result_cache
+
+# A 3-cell accuracy grid per arm: big enough for an elimination to fire
+# mid-grid (min_cells=2 decides after cell 2 of 3), small enough to simulate
+# in well under a second per cell.
+ACC_BASE = {
+    "name": "query-acc",
+    "kind": "accuracy",
+    "machine": {"core_counts": [2], "llc_kilobytes": 64},
+    "workloads": {"groups": ["H", "M", "L"], "per_group": 1},
+    "techniques": ["GDP", "ITCA"],
+    "instructions_per_core": 4000,
+    "interval_instructions": 2000,
+}
+
+# Fake-executor specs never simulate, so the grid shape is all that matters.
+FAKE_RACE_BASE = {
+    "name": "fake-race",
+    "kind": "throughput",
+    "machine": {"core_counts": [2], "llc_kilobytes": None},
+    "workloads": {"groups": ["H", "M"], "per_group": 2},
+    "techniques": ["GDP"],
+    "policies": ["LRU", "UCP", "MCP"],
+    "instructions_per_core": 4000,
+    "interval_instructions": 2000,
+}
+
+
+def acc_query(**overrides) -> QuerySpec:
+    data = {
+        "name": "acc-race",
+        "kind": "best_of",
+        "base": dict(ACC_BASE),
+        "wave_cells": 1,
+        "stopping": {"rule": "margin", "margin": 0.0, "min_cells": 2},
+    }
+    data.update(overrides)
+    return QuerySpec.from_dict(data)
+
+
+def fake_race_query(**overrides) -> QuerySpec:
+    data = {
+        "name": "fake-best",
+        "kind": "best_of",
+        "base": dict(FAKE_RACE_BASE),
+        "wave_cells": 1,
+        "stopping": {"rule": "margin", "margin": 0.5, "min_cells": 2},
+    }
+    data.update(overrides)
+    return QuerySpec.from_dict(data)
+
+
+def outcome_fields(outcome) -> tuple:
+    """Per-field pickled bytes: the bit-identity fingerprint of one outcome.
+
+    Whole-object pickles can differ in reference-sharing structure between
+    two evaluations of the same cell; the fields themselves must not.
+    """
+    return tuple(
+        pickle.dumps(getattr(outcome, field.name))
+        for field in dataclasses.fields(outcome)
+    )
+
+
+class FakeHandle:
+    def __init__(self, outcomes: dict, error: Exception | None = None):
+        self._outcomes = outcomes
+        self._error = error
+        self.cancelled = False
+        self.waited = False
+
+    def wait(self) -> dict:
+        self.waited = True
+        if self._error is not None:
+            raise self._error
+        return self._outcomes
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class FakeExecutor(WaveExecutor):
+    """Synthetic outcomes from a ``score(spec, index) -> {policy: value}``."""
+
+    def __init__(self, score, fail_labels: set[str] | None = None):
+        self.score = score
+        self.fail_labels = fail_labels or set()
+        self.started: list[tuple[str, tuple[int, ...], str, FakeHandle]] = []
+
+    def start(self, spec, indices, label: str) -> FakeHandle:
+        error = RuntimeError(f"wave {label} exploded") \
+            if label in self.fail_labels else None
+        handle = FakeHandle(
+            {index: SimpleNamespace(stp=self.score(spec, index))
+             for index in indices},
+            error=error,
+        )
+        self.started.append((spec.name, tuple(indices), label, handle))
+        return handle
+
+
+# ----------------------------------------------------------- stopping rules
+
+
+class TestStoppingRules:
+    def test_margin_waits_for_min_cells(self):
+        rule = MarginRule(margin=0.0, min_cells=2)
+        assert rule.eliminate({"A": [1.0], "B": [0.0]}) == ()
+        assert rule.eliminate({"A": [1.0, 1.0], "B": [0.0, 0.0]}) == ("B",)
+
+    def test_margin_is_strict(self):
+        rule = MarginRule(margin=0.5, min_cells=1)
+        assert rule.eliminate({"A": [1.0], "B": [0.5]}) == ()
+        assert rule.eliminate({"A": [1.0], "B": [0.49]}) == ("B",)
+
+    def test_margin_equal_means_eliminate_nothing(self):
+        rule = MarginRule(margin=0.0, min_cells=1)
+        assert rule.eliminate({"A": [1.0], "B": [1.0]}) == ()
+
+    def test_margin_rejects_negative_margin(self):
+        with pytest.raises(ConfigurationError, match="margin >= 0"):
+            MarginRule(margin=-0.1).validate()
+
+    def test_confidence_zero_variance_eliminates_on_sign(self):
+        rule = ConfidenceRule(z=1.96, min_cells=2)
+        samples = {"A": [1.0, 2.0], "B": [0.9, 1.9]}  # constant deficit 0.1
+        assert rule.eliminate(samples) == ("B",)
+
+    def test_confidence_noisy_deficit_survives(self):
+        rule = ConfidenceRule(z=1.96, min_cells=2)
+        # Mean deficit 0.1 but stderr is large relative to it: keep B racing.
+        samples = {"A": [1.0, 2.0, 3.0], "B": [1.9, 1.9, 1.9]}
+        assert rule.eliminate(samples) == ()
+
+    def test_confidence_requires_two_cells(self):
+        with pytest.raises(ConfigurationError, match="min_cells >= 2"):
+            ConfidenceRule(min_cells=1).validate()
+
+    def test_tolerance_never_converges_without_history(self):
+        rule = ToleranceRule(tolerance=0.01)
+        assert not rule.converged(None, 5.0)
+        assert rule.converged(5.0, 5.005)
+        assert not rule.converged(5.0, 5.5)
+
+    def test_stable_ranking_needs_rounds_plus_one(self):
+        rule = StableRankingRule(rounds=2)
+        ab = ("A", "B")
+        assert not rule.stable([ab, ab])
+        assert rule.stable([ab, ab, ab])
+        assert not rule.stable([("B", "A"), ab, ab])
+
+    @pytest.mark.parametrize("rule", [
+        MarginRule(margin=0.25, min_cells=3),
+        ConfidenceRule(z=2.5, min_cells=4),
+        ToleranceRule(tolerance=0.125),
+        StableRankingRule(rounds=3),
+    ])
+    def test_rules_round_trip_through_dicts(self, rule):
+        assert rule_from_dict(rule.to_dict()) == rule
+
+    def test_unknown_rule_suggests_a_name(self):
+        with pytest.raises(ConfigurationError, match="margin"):
+            rule_from_dict({"rule": "margn"})
+
+    def test_rule_dict_requires_rule_field(self):
+        with pytest.raises(ConfigurationError, match="'rule'"):
+            rule_from_dict({"margin": 0.1})
+
+    def test_registry_knows_all_rules(self):
+        assert set(stopping_rules.names()) == {
+            "margin", "confidence", "tolerance", "stable_ranking",
+        }
+
+    def test_every_kind_has_a_default_rule(self):
+        assert set(DEFAULT_RULES) == set(QUERY_KINDS)
+        for kind, rule in DEFAULT_RULES.items():
+            assert kind in rule.KINDS
+
+
+# --------------------------------------------------------------- query spec
+
+
+class TestQuerySpec:
+    def test_round_trip_best_of(self):
+        query = acc_query(prefetch=True)
+        assert QuerySpec.from_dict(query.to_dict()) == query
+
+    def test_round_trip_refinement(self):
+        query = QuerySpec.from_dict({
+            "name": "refine",
+            "kind": "adaptive_refinement",
+            "base": dict(ACC_BASE, techniques=["GDP"], axes=[
+                {"name": "llc_size_kb", "values": [16, 32, 64, 128]},
+            ]),
+            "coarse_step": 3,
+            "stopping": {"rule": "tolerance", "tolerance": 0.002},
+        })
+        assert QuerySpec.from_dict(query.to_dict()) == query
+
+    def test_round_trip_sampling(self):
+        query = QuerySpec.from_dict({
+            "name": "sample",
+            "kind": "confidence_sampling",
+            "base": dict(FAKE_RACE_BASE),
+            "stopping": {"rule": "stable_ranking", "rounds": 1},
+        })
+        assert QuerySpec.from_dict(query.to_dict()) == query
+
+    def test_unknown_kind_suggests(self):
+        with pytest.raises(ConfigurationError, match="best_of"):
+            acc_query(kind="best_off")
+
+    def test_missing_base_rejected(self):
+        with pytest.raises(ConfigurationError, match="'base'"):
+            QuerySpec.from_dict({"name": "x", "kind": "best_of"})
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ConfigurationError, match="wave_cell"):
+            acc_query(wave_cell=3)
+
+    def test_race_only_on_best_of(self):
+        with pytest.raises(ConfigurationError, match="only applies to best_of"):
+            QuerySpec.from_dict({
+                "name": "x", "kind": "confidence_sampling",
+                "base": dict(FAKE_RACE_BASE), "race": "policies",
+            })
+
+    def test_prefetch_only_on_best_of(self):
+        with pytest.raises(ConfigurationError, match="prefetch"):
+            QuerySpec.from_dict({
+                "name": "x", "kind": "confidence_sampling",
+                "base": dict(FAKE_RACE_BASE), "prefetch": True,
+            })
+
+    def test_axis_only_on_refinement(self):
+        with pytest.raises(ConfigurationError, match="adaptive_refinement"):
+            acc_query(axis="llc_size_kb")
+
+    def test_wave_cells_must_be_positive(self):
+        with pytest.raises(ConfigurationError, match="wave_cells"):
+            acc_query(wave_cells=0)
+
+    def test_best_of_needs_two_candidates(self):
+        with pytest.raises(ConfigurationError, match="at least two"):
+            acc_query(base=dict(ACC_BASE, techniques=["GDP"]))
+
+    def test_race_must_match_base_kind(self):
+        with pytest.raises(ConfigurationError, match="'throughput' base"):
+            acc_query(race="policies")
+
+    def test_refinement_needs_an_axis(self):
+        with pytest.raises(ConfigurationError, match="sweep axis"):
+            QuerySpec.from_dict({
+                "name": "x", "kind": "adaptive_refinement",
+                "base": dict(ACC_BASE, techniques=["GDP"]),
+            })
+
+    def test_refinement_axis_needs_three_values(self):
+        with pytest.raises(ConfigurationError, match="three values"):
+            QuerySpec.from_dict({
+                "name": "x", "kind": "adaptive_refinement",
+                "base": dict(ACC_BASE, techniques=["GDP"], axes=[
+                    {"name": "llc_size_kb", "values": [16, 32]},
+                ]),
+            })
+
+    def test_coarse_step_at_least_two(self):
+        with pytest.raises(ConfigurationError, match="coarse_step"):
+            QuerySpec.from_dict({
+                "name": "x", "kind": "adaptive_refinement",
+                "base": dict(ACC_BASE, techniques=["GDP"], axes=[
+                    {"name": "llc_size_kb", "values": [16, 32, 64]},
+                ]),
+                "coarse_step": 1,
+            })
+
+    def test_sampling_needs_multiple_workloads(self):
+        with pytest.raises(ConfigurationError, match="per_group >= 2"):
+            QuerySpec.from_dict({
+                "name": "x", "kind": "confidence_sampling",
+                "base": dict(ACC_BASE, techniques=["GDP"]),
+            })
+
+    def test_rule_kind_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError, match="tolerance"):
+            acc_query(stopping={"rule": "tolerance"})
+
+    def test_raw_dict_stopping_rejected_with_precise_message(self):
+        base = ScenarioSpec.from_dict(ACC_BASE)
+        query = QuerySpec(name="x", kind="best_of", base=base,
+                          stopping={"rule": "margin"})
+        with pytest.raises(ConfigurationError, match="rule_from_dict"):
+            query.validate()
+
+    def test_resolved_race_derives_from_base_kind(self):
+        assert acc_query().resolved_race() == "techniques"
+        assert fake_race_query().resolved_race() == "policies"
+
+    def test_candidates_follow_the_race(self):
+        assert acc_query().candidates() == ("GDP", "ITCA")
+        assert fake_race_query().candidates() == ("LRU", "UCP", "MCP")
+
+    def test_arm_spec_isolates_one_candidate(self):
+        arm = acc_query().arm_spec("ITCA")
+        assert arm.techniques == ("ITCA",)
+        assert arm.name == "query-acc::ITCA"
+        arm = fake_race_query().arm_spec("UCP")
+        assert arm.policies == ("UCP",)
+
+    def test_resolved_axis_by_name_and_default(self):
+        query = QuerySpec.from_dict({
+            "name": "x", "kind": "adaptive_refinement",
+            "base": dict(ACC_BASE, techniques=["GDP"], axes=[
+                {"name": "llc_size_kb", "values": [16, 32, 64]},
+            ]),
+        })
+        assert query.resolved_axis().name == "llc_size_kb"
+        with pytest.raises(ConfigurationError, match="not swept"):
+            QuerySpec.from_dict(dict(query.to_dict(), axis="dram_channels"))
+
+    def test_example_files_load_and_digest(self):
+        best = load_query("examples/query_best_of.json")
+        refine = load_query("examples/query_refinement.json")
+        assert best.kind == "best_of"
+        assert refine.kind == "adaptive_refinement"
+        assert query_digest(best) == query_digest(best)
+        assert query_digest(best) != query_digest(refine)
+
+    def test_digest_tracks_the_question(self):
+        assert query_digest(acc_query()) != query_digest(acc_query(wave_cells=2))
+
+    def test_load_query_missing_file(self):
+        with pytest.raises(ConfigurationError, match="cannot read"):
+            load_query("examples/no-such-query.json")
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(ConfigurationError, match="does not parse"):
+            QuerySpec.from_json("{not json")
+
+
+# ------------------------------------------------- drivers (fake executor)
+
+
+def constant_scores(values: dict[str, float]):
+    """Score function: each policy always scores its fixed value."""
+    def score(spec, index):
+        return {policy: values[policy] for policy in spec.policies}
+    return score
+
+
+class TestBestOfDriver:
+    def test_eliminates_losers_and_terminates_early(self):
+        executor = FakeExecutor(constant_scores(
+            {"LRU": 1.0, "UCP": 2.0, "MCP": 3.0}))
+        events = []
+        result = run_query(fake_race_query(), executor=executor,
+                           observer=events.append)
+        assert result.answer["winner"] == "MCP"
+        assert result.answer["decided"] is True
+        # min_cells=2 holds fire through wave 1; wave 2 drops both trailers
+        # (margin 0.5 < both gaps), so 2 of 4 cells per arm were evaluated.
+        assert result.cells_evaluated == 6
+        assert result.cells_total == 12
+        assert [drop["candidate"] for drop in result.answer["eliminated"]] \
+            == ["LRU", "UCP"]
+        assert all(drop["after_cells"] == 2
+                   for drop in result.answer["eliminated"])
+        assert result.evaluated["MCP"]["cells"] == [0, 1]
+        kinds = {event["event"] for event in events}
+        assert kinds == {"wave_started", "wave_done", "candidate_eliminated"}
+
+    def test_prefetch_answers_identically_and_cancels_speculation(self):
+        scores = constant_scores({"LRU": 1.0, "UCP": 2.0, "MCP": 3.0})
+        plain = run_query(fake_race_query(), executor=FakeExecutor(scores))
+        executor = FakeExecutor(scores)
+        prefetched = run_query(fake_race_query(prefetch=True),
+                               executor=executor)
+        assert prefetched.answer == plain.answer
+        assert prefetched.evaluated == plain.evaluated
+        # Wave 3 was prefetched for every survivor of wave 2 but the race
+        # decided first: every unconsumed handle must have been cancelled.
+        speculative = [handle for _, _, label, handle in executor.started
+                       if label.endswith("#3")]
+        assert speculative and all(h.cancelled and not h.waited
+                                   for h in speculative)
+
+    def test_undecided_race_ties_break_by_name(self):
+        executor = FakeExecutor(constant_scores(
+            {"LRU": 1.0, "UCP": 1.0, "MCP": 1.0}))
+        result = run_query(fake_race_query(), executor=executor)
+        assert result.answer["decided"] is False
+        assert result.answer["winner"] == "LRU"
+        assert result.cells_evaluated == result.cells_total == 12
+
+    def test_cancellation_unwinds_in_flight_waves(self):
+        from repro.experiments.supervisor import CancelToken
+
+        token = CancelToken()
+        executor = FakeExecutor(constant_scores(
+            {"LRU": 1.0, "UCP": 1.0, "MCP": 1.0}))
+
+        def observer(event):
+            if event["event"] == "wave_done":
+                token.cancel()
+
+        with pytest.raises(JobCancelledError):
+            run_query(fake_race_query(prefetch=True), executor=executor,
+                      observer=observer, cancel=token)
+        # The prefetched second wave was in flight when the cancel landed.
+        assert any(handle.cancelled for _, _, _, handle in executor.started)
+
+
+def refinement_query(scores: list[float], coarse_step: int = 3,
+                     tolerance: float = 0.01):
+    """A fake-executor refinement query whose positions score ``scores``."""
+    values = [16 * (position + 1) for position in range(len(scores))]
+    base = dict(FAKE_RACE_BASE, policies=["LRU"],
+                workloads={"groups": ["H"], "per_group": 1},
+                axes=[{"name": "llc_size_kb", "values": values}])
+    query = QuerySpec.from_dict({
+        "name": "fake-refine", "kind": "adaptive_refinement", "base": base,
+        "coarse_step": coarse_step,
+        "stopping": {"rule": "tolerance", "tolerance": tolerance},
+    })
+    spec = query.base
+    cells = expand_cells(spec)
+    axis = query.resolved_axis()
+
+    def score(_spec, index):
+        label = cells[index].key[2].split("/")[0]
+        position = [f"{value}KB" for value in axis.values].index(label)
+        return {"LRU": scores[position]}
+
+    return query, score
+
+
+class TestRefinementDriver:
+    def test_coarse_then_refine_around_the_peak(self):
+        query, score = refinement_query([1.0, 2.0, 3.0, 5.0, 4.0, 3.0, 2.0])
+        result = run_query(query, executor=FakeExecutor(score))
+        assert result.answer["value"] == 64        # position 3 peaks
+        assert result.answer["score"] == 5.0
+        # Coarse grid {0, 3, 6} plus the refined neighbours {2, 4}.
+        assert sorted(result.answer["positions"]) == sorted(
+            ["16KB", "48KB", "64KB", "80KB", "112KB"])
+        assert result.cells_evaluated == 5
+        assert result.cells_total == 7
+
+    def test_converges_without_neighbours_at_the_boundary(self):
+        query, score = refinement_query([7.0, 6.0, 5.0, 4.0, 3.0, 2.0, 1.0])
+        result = run_query(query, executor=FakeExecutor(score))
+        assert result.answer["value"] == 16        # best sits at the edge
+        # Coarse {0, 3, 6} then position 1; its round does not improve the
+        # best, so the tolerance rule stops the walk.
+        assert result.cells_evaluated == 4
+
+    def test_interrupted_round_cancels_sibling_waves(self):
+        query, score = refinement_query([1.0, 2.0, 3.0, 5.0, 4.0, 3.0, 2.0])
+        executor = FakeExecutor(score, fail_labels={"16KB#1"})
+        with pytest.raises(RuntimeError, match="exploded"):
+            run_query(query, executor=executor)
+        siblings = [handle for _, _, label, handle in executor.started
+                    if label != "16KB#1"]
+        assert siblings and all(handle.cancelled for handle in siblings)
+
+
+class TestSamplingDriver:
+    def sampling_query(self, rounds: int = 1) -> QuerySpec:
+        base = dict(FAKE_RACE_BASE,
+                    workloads={"groups": ["H", "M"], "per_group": 4})
+        return QuerySpec.from_dict({
+            "name": "fake-sample", "kind": "confidence_sampling",
+            "base": base,
+            "stopping": {"rule": "stable_ranking", "rounds": rounds},
+        })
+
+    def test_stops_once_the_ranking_is_stable(self):
+        executor = FakeExecutor(constant_scores(
+            {"LRU": 1.0, "UCP": 3.0, "MCP": 2.0}))
+        result = run_query(self.sampling_query(), executor=executor)
+        assert result.answer["ranking"] == ["UCP", "MCP", "LRU"]
+        assert result.answer["stable"] is True
+        assert result.answer["workloads_used"] == 2
+        # Waves take the workload-w cell of each core/group block: indices
+        # i % per_group == w-1 — the generator's strict-prefix property.
+        assert result.evaluated["fake-race"]["cells"] == [0, 1, 4, 5]
+        assert result.cells_evaluated == 4
+        assert result.cells_total == 8
+
+    def test_unstable_ranking_consumes_every_workload(self):
+        def score(spec, index):
+            flip = index % 2  # ranking alternates between waves
+            return {"LRU": 1.0 + flip, "UCP": 2.0 - flip, "MCP": 0.0}
+
+        result = run_query(self.sampling_query(), executor=FakeExecutor(score))
+        assert result.answer["stable"] is False
+        assert result.answer["workloads_used"] == 4
+        assert result.cells_evaluated == result.cells_total == 8
+
+
+# ----------------------------------------------------- real-simulation runs
+
+
+class TestInProcessRealRuns:
+    def test_best_of_race_matches_exhaustive_bit_for_bit(self):
+        query = acc_query()
+        result = run_query(query, jobs=2, cache=False)
+        # GDP is the paper's most accurate technique on these workloads; the
+        # margin rule drops ITCA at the first legal decision point.
+        assert result.answer["winner"] == "GDP"
+        assert result.answer["decided"] is True
+        assert result.answer["eliminated"] == [
+            {"candidate": "ITCA", "after_cells": 2}]
+        assert result.cells_evaluated == 4
+        assert result.cells_total == 6
+        # Every consumed cell is bit-identical to the full-grid evaluation
+        # of the same arm spec at the same expansion position.
+        executor = InProcessWaveExecutor(jobs=2, cache=False)
+        for name in query.candidates():
+            arm = query.arm_spec(name)
+            grid = list(range(len(expand_cells(arm))))
+            full = executor.start(arm, grid, f"full-{name}").wait()
+            for index in result.evaluated[name]["cells"]:
+                assert outcome_fields(result.outcomes[name][index]) \
+                    == outcome_fields(full[index])
+
+    def test_warm_cell_cache_replays_with_zero_recompute(self, tmp_path,
+                                                         monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cells"))
+        first = run_query(acc_query(), jobs=2)
+        stores_after_first = get_result_cache().stats.stores
+        assert stores_after_first >= first.cells_evaluated
+        second = run_query(acc_query(), jobs=2)
+        assert second.answer == first.answer
+        assert second.evaluated == first.evaluated
+        assert get_result_cache().stats.stores == stores_after_first
+
+    def test_report_renders_every_kind(self):
+        executor = FakeExecutor(constant_scores(
+            {"LRU": 1.0, "UCP": 2.0, "MCP": 3.0}))
+        text = run_query(fake_race_query(), executor=executor).report()
+        assert "winner: MCP" in text
+        assert "eliminated LRU after 2 cells" in text
+        query, score = refinement_query([1.0, 2.0, 3.0, 5.0, 4.0, 3.0, 2.0])
+        text = run_query(query, executor=FakeExecutor(score)).report()
+        assert "best llc_size_kb: 64KB" in text
+
+
+class TestAcceptancePin:
+    def test_figure6_medium_best_of_matches_exhaustive_with_fewer_cells(
+            self, tmp_path, monkeypatch):
+        """The PR's acceptance pin: the shipped best_of example returns the
+        exhaustive sweep's winner from at most 60% of its cells, every
+        evaluated cell bit-identical to the full grid."""
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cells"))
+        query = load_query("examples/query_best_of.json")
+        executor = InProcessWaveExecutor(jobs=8, cache=True)
+        full: dict[str, dict[int, object]] = {}
+        for name in query.candidates():
+            arm = query.arm_spec(name)
+            grid = list(range(len(expand_cells(arm))))
+            full[name] = executor.start(arm, grid, f"full-{name}").wait()
+        means = {
+            name: sum(outcome.stp[name] for outcome in cells.values())
+            / len(cells)
+            for name, cells in full.items()
+        }
+        exhaustive_winner = min(means, key=lambda name: (-means[name], name))
+
+        result = run_query(query, jobs=8)
+        assert result.answer["winner"] == exhaustive_winner == "MCP"
+        assert result.answer["decided"] is True
+        assert len(result.answer["eliminated"]) == 4
+        assert result.cells_evaluated == 35
+        assert result.cells_total == 90
+        assert result.cells_evaluated <= 0.6 * result.cells_total
+        for name, record in result.evaluated.items():
+            for index in record["cells"]:
+                assert outcome_fields(result.outcomes[name][index]) \
+                    == outcome_fields(full[name][index])
+
+
+# ------------------------------------------------------------- broker path
+
+
+@pytest.fixture
+def manager(tmp_path):
+    managers = []
+
+    def build(**kwargs):
+        kwargs.setdefault(
+            "artifacts", ArtifactStore(tmp_path / "artifacts", max_bytes=1 << 20)
+        )
+        built = JobManager(**kwargs)
+        managers.append(built)
+        return built
+
+    yield build
+    for built in managers:
+        built.shutdown()
+
+
+class TestQueryService:
+    def test_query_through_broker_and_artifact_cache(self, manager):
+        jobs = manager(local_workers=2)
+        parent = jobs.submit_query(acc_query())
+        done = jobs.wait(parent.id, timeout=120)
+        assert done.state == JobState.DONE
+        assert done.cached is False
+        payload = done.result
+        assert payload["answer"]["winner"] == "GDP"
+        assert payload["cells"] == {"evaluated": 4, "total": 6,
+                                    "saved_percent": 33.33}
+        assert set(parent.children) == {"GDP#1", "ITCA#1", "GDP#2", "ITCA#2"}
+        stats = jobs.stats()
+        assert stats["queries_total"] == 1
+        assert stats["leases"]["active"] == 0
+        # The SSE history mirrors the wave lifecycle and ends terminally.
+        events = [event["event"] for event in jobs.iter_events(parent.id)]
+        assert "wave_submitted" in events
+        assert "wave_done" in events
+        assert "candidate_eliminated" in events
+        assert events[-1] == JobState.DONE
+        # An identical resubmission answers from the artifact store: no
+        # driver thread, no wave children, same payload.
+        again = jobs.submit_query(acc_query())
+        assert again.state == JobState.DONE
+        assert again.cached is True
+        assert again.result == payload
+        assert again.children == {}
+
+    def test_query_rejected_with_injected_runner(self, manager):
+        jobs = manager(runner=lambda spec, sweep_jobs, progress: {})
+        with pytest.raises(ServiceError, match="cell-granular"):
+            jobs.submit_query(acc_query())
+
+    def test_invalid_query_rejected_before_any_job_exists(self, manager):
+        jobs = manager(local_workers=0)
+        with pytest.raises(ConfigurationError):
+            jobs.submit_query(acc_query(wave_cells=0))
+        assert jobs.stats()["jobs_total"] == 0
+
+    def test_cancel_query_with_queued_waves(self, manager):
+        jobs = manager(local_workers=0)  # waves queue, nothing executes
+        parent = jobs.submit_query(acc_query())
+        deadline = real_time.monotonic() + 10
+        while not parent.children and real_time.monotonic() < deadline:
+            real_time.sleep(0.02)
+        assert parent.children
+        jobs.cancel(parent.id)
+        done = jobs.wait(parent.id, timeout=30)
+        assert done.state == JobState.CANCELLED
+        for child_id in parent.children.values():
+            child = jobs.wait(child_id, timeout=30)
+            assert child.state == JobState.CANCELLED
+        assert jobs.stats()["leases"]["active"] == 0
+        with pytest.raises(JobConflictError):
+            jobs.cancel(parent.id)
+
+    def test_prefetch_loser_cancelled_mid_lease(self, manager, tmp_path,
+                                                monkeypatch):
+        """A racing loser's prefetched wave is cancelled while a worker holds
+        its lease: no orphan lease survives, the cell cache holds only
+        completed cells, and a warm rerun answers identically with zero
+        recompute."""
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cells"))
+        jobs = manager(local_workers=0, scenario_cache=False)
+        parent = jobs.submit_query(acc_query(prefetch=True))
+
+        def next_grant():
+            grant = jobs.acquire_lease("probe-worker", max_cells=None,
+                                       wait=30.0)
+            assert grant is not None, "expected another wave lease"
+            return grant
+
+        def evaluate(grant):
+            evaluator, _ = EVALUATORS[grant.spec.kind]
+            return {index: evaluator(*task)
+                    for index, task in zip(grant.cells, grant.tasks)}
+
+        # Waves queue in submission order: GDP#1, ITCA#1 (wave 1), then the
+        # prefetched GDP#2, ITCA#2.  Complete wave 1 and GDP#2 normally.
+        for _ in range(3):
+            grant = next_grant()
+            jobs.complete_lease(grant.lease_id, outcomes=evaluate(grant))
+        # Hold ITCA#2 unfinished while leasing the speculative wave 3 of
+        # both arms — the elimination must land while they are mid-lease.
+        held_itca2 = next_grant()
+        held_wave3 = [next_grant(), next_grant()]
+        assert {jobs._jobs[grant.job_id].node for grant in held_wave3} \
+            == {"GDP#3", "ITCA#3"}
+        # Completing ITCA#2 lets the margin rule eliminate ITCA; the driver
+        # cancels both speculative leases (the loser's and, with the race
+        # decided, the winner's).
+        jobs.complete_lease(held_itca2.lease_id,
+                            outcomes=evaluate(held_itca2))
+        for grant in held_wave3:
+            deadline = real_time.monotonic() + 30
+            while real_time.monotonic() < deadline:
+                reply = jobs.heartbeat_lease(grant.lease_id)
+                if reply["cancel"]:
+                    break
+                real_time.sleep(0.02)
+            assert reply["cancel"] is True
+            jobs.complete_lease(grant.lease_id, cancelled=True)
+        done = jobs.wait(parent.id, timeout=30)
+        assert done.state == JobState.DONE
+        assert done.result["answer"]["winner"] == "GDP"
+        assert done.result["cells"]["evaluated"] == 4
+        for label in ("GDP#3", "ITCA#3"):
+            child = jobs.wait(parent.children[label], timeout=30)
+            assert child.state == JobState.CANCELLED
+        stats = jobs.stats()
+        assert stats["leases"]["active"] == 0
+        # The event stream is closed, not stale: it replays to the terminal
+        # event and ends.
+        events = [event["event"] for event in jobs.iter_events(parent.id)]
+        assert events[-1] == JobState.DONE
+        # Warm rerun: every consumed cell was persisted by complete_lease,
+        # so the rerun finishes its waves from the cache without granting a
+        # single lease or storing a single new cell.  Wave planning happens
+        # on an acquiring worker's thread, so the worker keeps polling — and
+        # must never actually receive a grant.
+        stores = get_result_cache().stats.stores
+        granted = stats["leases"]["granted_total"]
+        rerun = jobs.submit_query(acc_query())
+        deadline = real_time.monotonic() + 30
+        while real_time.monotonic() < deadline:
+            assert jobs.acquire_lease("probe-worker", wait=0.2) is None
+            if jobs.wait(rerun.id, timeout=0.01).state == JobState.DONE:
+                break
+        done_again = jobs.wait(rerun.id, timeout=30)
+        assert done_again.state == JobState.DONE
+        assert done_again.result["answer"] == done.result["answer"]
+        assert get_result_cache().stats.stores == stores
+        assert jobs.stats()["leases"]["granted_total"] == granted
+
+    def test_parked_query_replays_from_the_journal(self, manager, tmp_path):
+        journal = JobJournal(tmp_path / "journal.jsonl")
+        first = manager(local_workers=0, journal=journal)
+        parent = first.submit_query(acc_query())
+        deadline = real_time.monotonic() + 10
+        while not parent.children and real_time.monotonic() < deadline:
+            real_time.sleep(0.02)
+        first.drain(timeout=0.2)
+        second = manager(local_workers=2, journal=journal)
+        replayed = second.replay_journal()
+        assert [job.id for job in replayed] == [parent.id]
+        done = second.wait(parent.id, timeout=120)
+        assert done.state == JobState.DONE
+        assert done.result["answer"]["winner"] == "GDP"
+
+
+# --------------------------------------------- monotonic clock discipline
+
+
+class _BackwardsWallClock:
+    """``time()`` steps backwards an hour per call; everything else is real.
+
+    Models NTP slew/step during service uptime: wall-clock readings must
+    only ever feed display fields, never interval arithmetic.
+    """
+
+    def __init__(self):
+        self._wall = 1_700_000_000.0
+
+    def time(self) -> float:
+        self._wall -= 3600.0
+        return self._wall
+
+    def __getattr__(self, name):
+        return getattr(real_time, name)
+
+
+class TestMonotonicTimekeeping:
+    def test_wall_clock_regression_never_expires_a_live_lease(
+            self, manager, monkeypatch):
+        import repro.service.jobs as jobs_module
+
+        monkeypatch.setattr(jobs_module, "time", _BackwardsWallClock())
+        jobs = manager(local_workers=0, lease_ttl=30.0)
+        job = jobs.submit(ScenarioSpec.from_dict(ACC_BASE))
+        grant = jobs.acquire_lease("steady-worker", max_cells=1, wait=10.0)
+        assert grant is not None
+        # The wall clock has regressed by hours since the grant; the lease
+        # deadline and worker liveness are monotonic, so nothing expires.
+        reply = jobs.heartbeat_lease(grant.lease_id)
+        assert reply["cancel"] is False
+        stats = jobs.stats()
+        worker = stats["workers"]["steady-worker"]
+        assert worker["heartbeat_age_seconds"] >= 0.0
+        assert worker["leases_lost"] == 0
+        assert stats["leases"]["active"] == 1
+        assert stats["leases"]["expired_total"] == 0
+        assert stats["uptime_seconds"] > 0.0
+        assert stats["busy_seconds"] >= 0.0
+        # Completion accounting stays sane on the regressed clock too.
+        jobs.cancel(job.id)
+        jobs.complete_lease(grant.lease_id, cancelled=True)
+        done = jobs.wait(job.id, timeout=10)
+        assert done.state == JobState.CANCELLED
+        assert jobs.stats()["busy_seconds"] >= 0.0
+
+
+# ------------------------------------------- composite selector tie-breaks
+
+
+class TestCompositeSelectorTies:
+    def test_ranked_techniques_tie_breaks_by_name(self):
+        payload = {"tables": {"ipc_rms": {
+            "cell-a": {"PTCA": 0.10, "ITCA": 0.10, "GDP": 0.05},
+            "cell-b": {"PTCA": 0.10, "ITCA": 0.10, "GDP": 0.05},
+        }}}
+        assert _ranked_techniques(payload, "node") == ("GDP", "ITCA", "PTCA")
+
+    def test_ranked_policies_tie_breaks_by_name(self):
+        payload = {"tables": {"average_stp": {
+            "cell-a": {"UCP": 1.5, "LRU": 1.5, "MCP": 0.5},
+            "cell-b": {"UCP": 1.5, "LRU": 1.5, "MCP": 0.5},
+        }}}
+        assert _ranked_policies(payload, "node") == ("LRU", "UCP", "MCP")
